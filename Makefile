@@ -1,0 +1,48 @@
+# Development targets for the compsynth repository. Everything is
+# stdlib-only Go; no external tools are required beyond the toolchain.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/solver/ ./internal/core/
+
+cover:
+	$(GO) test -cover ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper artifact at full fidelity (EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments -all -runs 9 -seed 1
+
+# Run every example end to end.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/swan-te
+	$(GO) run ./examples/abr-qoe
+	$(GO) run ./examples/homenet
+	$(GO) run ./examples/perflow-te
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,229 @@
+// Command compsynth runs a comparative synthesis session for the SWAN
+// traffic-engineering objective (the paper's case study).
+//
+// By default an oracle plays the user, answering from a hidden target
+// function (the paper's evaluation methodology); pass -interactive to
+// answer the preference queries yourself on the terminal.
+//
+// Usage:
+//
+//	compsynth [-seed N] [-init K] [-pairs P] [-interactive]
+//	          [-target tp,l,s1,s2] [-sketch file] [-v]
+//	          [-save file] [-resume file] [-plot] [-dot file] [-explain]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"compsynth/internal/core"
+	"compsynth/internal/expr"
+	"compsynth/internal/oracle"
+	"compsynth/internal/sketch"
+	"compsynth/internal/solver"
+	"compsynth/internal/viz"
+)
+
+func main() {
+	var (
+		seed        = flag.Int64("seed", 1, "random seed (all randomness is derived from it)")
+		initN       = flag.Int("init", 5, "number of initial random scenarios to rank (0 for none)")
+		pairs       = flag.Int("pairs", 1, "scenario pairs ranked per iteration")
+		interactive = flag.Bool("interactive", false, "ask a human instead of the oracle")
+		targetStr   = flag.String("target", "1,50,1,5", "oracle target: tp_thrsh,l_thrsh,slope1,slope2")
+		verbose     = flag.Bool("v", false, "print per-iteration progress")
+		save        = flag.String("save", "", "write the session transcript (JSON) to this file")
+		resume      = flag.String("resume", "", "resume from a transcript written by -save")
+		plot        = flag.Bool("plot", false, "render the learned objective as an ASCII heatmap")
+		dot         = flag.String("dot", "", "write the preference graph (Graphviz DOT) to this file")
+		sketchFile  = flag.String("sketch", "", "load a sketch spec file instead of the built-in SWAN sketch")
+		explain     = flag.Bool("explain", false, "report how tightly each hole is pinned down")
+	)
+	flag.Parse()
+
+	if err := run(*seed, *initN, *pairs, *interactive, *targetStr, *verbose, *save, *resume, *plot, *dot, *sketchFile, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "compsynth:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, initN, pairs int, interactive bool, targetStr string, verbose bool, save, resume string, plot bool, dot, sketchFile string, explain bool) error {
+	sk := sketch.SWAN()
+	custom := false
+	if sketchFile != "" {
+		f, err := os.Open(sketchFile)
+		if err != nil {
+			return err
+		}
+		sk, err = sketch.ParseSpec(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		custom = true
+		fmt.Printf("loaded sketch %q: metrics %v, holes %v\n", sk.Name(), sk.Space().Names(), sk.Holes())
+	}
+
+	var user oracle.Oracle
+	var target *sketch.Candidate
+	switch {
+	case interactive:
+		user = oracle.NewInteractive(sk.Space(), os.Stdin, os.Stdout)
+		fmt.Println("You will be asked to compare pairs of outcomes.")
+		fmt.Println("Answer 1, 2, or = per question.")
+	case custom:
+		// No named target parameters for arbitrary sketches: the oracle
+		// plays a seeded random point of the hole box.
+		rng := rand.New(rand.NewSource(seed + 1))
+		holes := make([]float64, sk.NumHoles())
+		for i := range holes {
+			d := sk.Domain(i)
+			holes[i] = d.Lo + rng.Float64()*d.Width()
+		}
+		var err error
+		target, err = sk.Candidate(holes)
+		if err != nil {
+			return err
+		}
+		user = oracle.NewGroundTruth(target, 1e-9)
+		fmt.Printf("oracle plays hidden random target %v\n", target)
+	default:
+		params, err := parseTarget(targetStr)
+		if err != nil {
+			return err
+		}
+		target, err = params.Candidate(sk)
+		if err != nil {
+			return err
+		}
+		user = oracle.NewGroundTruth(target, 1e-9)
+		fmt.Printf("oracle plays hidden target %v\n", target)
+	}
+
+	if initN == 0 {
+		initN = -1 // core convention: -1 means explicitly none
+	}
+	cfg := core.Config{
+		Sketch:            sk,
+		Oracle:            user,
+		InitialScenarios:  initN,
+		PairsPerIteration: pairs,
+		Seed:              seed,
+	}
+	if interactive {
+		// Humans deserve a progress pulse between questions.
+		cfg.OnIteration = func(st core.IterationStat) {
+			if st.Status == solver.StatusUnsat {
+				fmt.Printf("  [iteration %d: candidates agree — confirming convergence]\n", st.Index)
+			}
+		}
+	}
+	synth, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	if resume != "" {
+		f, err := os.Open(resume)
+		if err != nil {
+			return err
+		}
+		tr, err := core.ReadTranscript(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := synth.Preload(tr); err != nil {
+			return err
+		}
+		fmt.Printf("resumed from %s: %d scenarios, %d preferences\n",
+			resume, len(tr.Scenarios), len(tr.Preferences))
+	}
+	res, err := synth.Run()
+	if err != nil {
+		return err
+	}
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		if _, err := core.Export(res).WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("transcript written to %s\n", save)
+	}
+
+	if verbose {
+		for _, st := range res.Stats {
+			fmt.Printf("iteration %3d: status=%-8v queries=%d new-edges=%d synth=%v\n",
+				st.Index, st.Status, st.Queries, st.NewEdges, st.SynthTime)
+		}
+	}
+	fmt.Printf("\nconverged=%v after %d iterations (%d preference edges, %d scenarios)\n",
+		res.Converged, res.Iterations, res.Graph.NumEdges(), res.Store.Len())
+	fmt.Printf("total synthesis time: %v\n\n", res.TotalSynthTime)
+	fmt.Println("synthesized objective function:")
+	fmt.Print(expr.Pretty(res.Final.Concretize()))
+
+	if target != nil {
+		agree := core.Validate(res, oracle.NewGroundTruth(target, 1e-9),
+			2000, rand.New(rand.NewSource(seed+99)))
+		fmt.Printf("\nranking agreement with hidden target: %.1f%%\n", agree*100)
+	}
+	if plot {
+		fmt.Println("\nlearned objective over the metric space:")
+		fmt.Print(viz.CandidateHeatmap(res.Final, 64, 18))
+		if target != nil {
+			fmt.Println("\nbehavioral difference vs the hidden target:")
+			fmt.Print(viz.DisagreementMap(res.Final.Eval, target.Eval, sk.Space(), 64, 18))
+		}
+	}
+	if explain {
+		ests, err := synth.Explain(16, rand.New(rand.NewSource(seed+7)))
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nhow tightly each hole is pinned down:")
+		fmt.Print(core.FormatEstimates(ests))
+	}
+	if dot != "" {
+		label := func(id int) string {
+			sc, ok := res.Store.Get(id)
+			if !ok {
+				return fmt.Sprintf("s%d", id)
+			}
+			return sk.Space().Format(sc)
+		}
+		if err := os.WriteFile(dot, []byte(res.Graph.DOT(label)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("preference graph written to %s\n", dot)
+	}
+	return nil
+}
+
+func parseTarget(s string) (sketch.SWANTargetParams, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return sketch.SWANTargetParams{}, fmt.Errorf("target needs 4 comma-separated values, got %q", s)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return sketch.SWANTargetParams{}, fmt.Errorf("bad target component %q: %v", p, err)
+		}
+		vals[i] = v
+	}
+	return sketch.SWANTargetParams{
+		TpThrsh: vals[0], LThrsh: vals[1], Slope1: vals[2], Slope2: vals[3],
+	}, nil
+}

@@ -1,0 +1,136 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+// Table 1 and Figures 3–5 (§4.3). Output is a plain-text table per
+// artifact, optionally CSV for plotting.
+//
+// Usage:
+//
+//	experiments [-table1] [-fig3] [-fig4] [-fig5] [-all]
+//	            [-runs N] [-seed S] [-fast] [-csv]
+//
+// Without -fast the runs use the full solver budget (the fidelity used
+// by EXPERIMENTS.md); -fast cuts budgets for a quick smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compsynth/internal/core"
+	"compsynth/internal/experiments"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "reproduce Table 1")
+		fig3     = flag.Bool("fig3", false, "reproduce Figure 3")
+		fig4     = flag.Bool("fig4", false, "reproduce Figure 4")
+		fig5     = flag.Bool("fig5", false, "reproduce Figure 5")
+		all      = flag.Bool("all", false, "reproduce everything")
+		runs     = flag.Int("runs", 9, "runs per configuration (the paper uses 9)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		fast     = flag.Bool("fast", false, "reduced solver budgets (quick smoke pass)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of text tables (fig4/fig5)")
+		noise    = flag.Bool("noise", false, "extension: noisy-oracle robustness sweep (§6.1)")
+		multi    = flag.Bool("multiregion", false, "extension: multi-region sketch sweep (§4.1)")
+		fatigue  = flag.Bool("fatigue", false, "extension: user-fatigue sweep (§4.3 discussion)")
+		strategy = flag.Bool("strategy", false, "ablation: query-selection strategy comparison")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *fig3, *fig4, *fig5, *noise, *multi, *fatigue, *strategy = true, true, true, true, true, true, true, true
+	}
+	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*noise && !*multi && !*fatigue && !*strategy {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*table1, *fig3, *fig4, *fig5, *noise, *multi, *fatigue, *strategy, *runs, *seed, *fast, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table1, fig3, fig4, fig5, noise, multi, fatigue, strategy bool, runs int, seed int64, fast, csv bool) error {
+	if table1 {
+		fmt.Printf("=== Table 1: summary over %d runs (default config) ===\n", runs)
+		rows, _, err := experiments.RunTable1(runs, seed, fast)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable1(rows))
+		fmt.Println()
+	}
+	if fig3 {
+		fmt.Printf("=== Figure 3: tuned target functions (%d runs each) ===\n", runs)
+		points, err := experiments.RunFigure3(runs, seed+10_000, fast)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatVariants(points))
+		fmt.Println()
+	}
+	if fig4 {
+		fmt.Printf("=== Figure 4: pairs ranked per iteration (%d runs each) ===\n", runs)
+		points, err := experiments.RunFigure4(runs, seed+20_000, fast)
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(experiments.CSV(points, "pairs_per_iteration"))
+		} else {
+			fmt.Print(experiments.FormatSweep("pairs", points))
+		}
+		fmt.Println()
+	}
+	if fig5 {
+		fmt.Printf("=== Figure 5: initial random scenarios (%d runs each) ===\n", runs)
+		points, err := experiments.RunFigure5(runs, seed+30_000, fast)
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Print(experiments.CSV(points, "initial_scenarios"))
+		} else {
+			fmt.Print(experiments.FormatSweep("init", points))
+		}
+		fmt.Println()
+	}
+	if noise {
+		fmt.Printf("=== Extension: noisy-oracle robustness, repair policy (%d runs each) ===\n", runs)
+		points, err := experiments.RunNoiseSweep(
+			[]float64{0, 0.05, 0.1, 0.2}, core.NoiseRepair, runs, seed+40_000, fast)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatNoise(points))
+		fmt.Println()
+	}
+	if multi {
+		fmt.Printf("=== Extension: multi-region sketches (%d runs each) ===\n", runs)
+		points, err := experiments.RunMultiRegion([]int{1, 2, 3}, runs, seed+50_000, fast)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatMultiRegion(points))
+		fmt.Println()
+	}
+	if fatigue {
+		fmt.Printf("=== Extension: user fatigue (%d runs each) ===\n", runs)
+		points, err := experiments.RunFatigueSweep([]int{0, 40, 25, 15, 8}, runs, seed+60_000, fast)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFatigue(points))
+		fmt.Println()
+	}
+	if strategy {
+		fmt.Printf("=== Ablation: query-selection strategies (%d runs each) ===\n", runs)
+		points, err := experiments.RunStrategyComparison(runs, seed+70_000, fast)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatStrategies(points))
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+// Command tedemo demonstrates the end-to-end loop the paper targets:
+// learn a traffic-engineering objective from preference comparisons,
+// then use the learned objective to pick among concrete network
+// designs (the §6.1 strategy of generating several good designs and
+// selecting by the learned objective).
+//
+// Steps:
+//  1. build a WAN topology (Abilene or B4-like) with a flow set,
+//  2. compute candidate allocations under the standard schemes (SWAN
+//     max-throughput at several ε, max-min, balanced, proportional fair),
+//  3. synthesize the architect's objective via comparative synthesis
+//     (oracle plays a hidden target),
+//  4. score and rank the designs under the synthesized objective.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"math/rand"
+
+	"compsynth/internal/core"
+	"compsynth/internal/oracle"
+	"compsynth/internal/sketch"
+	"compsynth/internal/te"
+	"compsynth/internal/topo"
+)
+
+func main() {
+	var (
+		topology = flag.String("topo", "abilene", "topology: abilene | b4 | a file in topo.ParseTopology format")
+		seed     = flag.Int64("seed", 1, "random seed")
+		tunnels  = flag.Int("tunnels", 4, "tunnels (k-shortest paths) per flow")
+		nFlows   = flag.Int("flows", 8, "gravity-model flows when -topo is a file")
+	)
+	flag.Parse()
+	if err := run(*topology, *seed, *tunnels, *nFlows); err != nil {
+		fmt.Fprintln(os.Stderr, "tedemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topology string, seed int64, tunnels, nFlows int) error {
+	g, flows, err := buildNetwork(topology, nFlows, seed)
+	if err != nil {
+		return err
+	}
+	n, err := te.NewNetwork(g, flows, tunnels)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology %s: %d nodes, %d links, %d flows\n\n",
+		topology, g.NumNodes(), g.NumLinks(), len(flows))
+
+	// Candidate designs.
+	schemes := te.StandardSchemes(
+		[]float64{0, 0.001, 0.005, 0.02, 0.05},
+		[]float64{0.5, 0.8, 1.0},
+	)
+	points, err := te.Evaluate(n, schemes)
+	if err != nil {
+		return err
+	}
+	fmt.Println("candidate designs:")
+	for _, p := range points {
+		fmt.Printf("  %-18s throughput=%6.2f Gbps  latency=%6.2f ms\n",
+			p.Name, p.Throughput, p.Latency)
+	}
+
+	// Learn the architect's objective.
+	sk := sketch.SWAN()
+	target, err := sketch.DefaultSWANTarget.Candidate(sk)
+	if err != nil {
+		return err
+	}
+	synth, err := core.New(core.Config{
+		Sketch: sk,
+		Oracle: oracle.NewGroundTruth(target, 1e-9),
+		Seed:   seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nsynthesizing the architect's objective from preference queries...")
+	res, err := synth.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converged=%v after %d iterations: %v\n", res.Converged, res.Iterations, res.Final)
+
+	// Pick the design.
+	ranked := te.SelectDesign(points, res.Final)
+	fmt.Println("\ndesigns ranked by the synthesized objective:")
+	for i, p := range ranked {
+		marker := "  "
+		if i == 0 {
+			marker = "→ "
+		}
+		fmt.Printf("%s%-18s score=%9.2f  (throughput=%.2f, latency=%.2f)\n",
+			marker, p.Name, p.Score, p.Throughput, p.Latency)
+	}
+	return nil
+}
+
+func buildNetwork(topology string, nFlows int, seed int64) (*topo.Graph, []te.Flow, error) {
+	// A file path loads a custom topology with a gravity-model workload.
+	if _, err := os.Stat(topology); err == nil {
+		f, err := os.Open(topology)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		g, err := topo.ParseTopology(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		flows, err := te.GravityFlows(g, te.GravityConfig{Flows: nFlows},
+			rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, flows, nil
+	}
+	switch topology {
+	case "abilene":
+		g := topo.Abilene()
+		mk := func(a, b string, demand float64) te.Flow {
+			src, _ := g.NodeID(a)
+			dst, _ := g.NodeID(b)
+			return te.Flow{Name: a + "→" + b, Src: src, Dst: dst, Demand: demand}
+		}
+		return g, []te.Flow{
+			mk("Seattle", "NewYork", 4),
+			mk("LosAngeles", "WashingtonDC", 4),
+			mk("Sunnyvale", "Atlanta", 3),
+			mk("Chicago", "Houston", 3),
+			mk("Denver", "Indianapolis", 2),
+		}, nil
+	case "b4":
+		g := topo.B4Like()
+		mk := func(a, b string, demand float64) te.Flow {
+			src, _ := g.NodeID(a)
+			dst, _ := g.NodeID(b)
+			return te.Flow{Name: a + "→" + b, Src: src, Dst: dst, Demand: demand}
+		}
+		return g, []te.Flow{
+			mk("US-West1", "EU-West", 8),
+			mk("US-East1", "Asia-East", 6),
+			mk("EU-Central", "Asia-North", 4),
+			mk("US-Central", "US-East2", 10),
+			mk("Asia-South", "Oceania", 3),
+			mk("US-West2", "EU-North", 5),
+		}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown topology %q (want abilene or b4)", topology)
+	}
+}

@@ -1,0 +1,30 @@
+// Package compsynth is a Go reproduction of "Learning Network Design
+// Objectives Using A Program Synthesis Approach" (Wang, Jiang, Qiu,
+// Rao — HotNets '19): comparative synthesis of objective functions from
+// preference comparisons, together with the network substrates the
+// paper's evaluation and applications rely on.
+//
+// The library lives under internal/:
+//
+//   - internal/core — the comparative synthesizer (the paper's
+//     contribution): preference-guided sketch completion with
+//     distinguishing queries and convergence detection.
+//   - internal/sketch, internal/expr, internal/scenario — objective
+//     function sketches, the expression DSL, and metric spaces.
+//   - internal/solver — the bounded nonlinear constraint solver that
+//     substitutes for Z3 (sampling + repair + interval branch-and-prune).
+//   - internal/prefgraph, internal/oracle — the preference DAG and the
+//     user models (ground-truth, noisy, interactive).
+//   - internal/te, internal/topo, internal/lp — the SWAN-style traffic
+//     engineering substrate (simplex, topologies, allocators).
+//   - internal/abr, internal/homenet — the §6.2 applications (video
+//     streaming QoE and home-network policy).
+//   - internal/experiments — the harness regenerating Table 1 and
+//     Figures 3–5.
+//
+// Entry points: cmd/compsynth (synthesis sessions, optionally
+// interactive), cmd/experiments (paper artifacts), cmd/tedemo
+// (objective-driven design selection), and the runnable programs under
+// examples/. The benchmarks in bench_test.go regenerate one paper
+// artifact each; see EXPERIMENTS.md for measured-vs-paper numbers.
+package compsynth

@@ -1,0 +1,63 @@
+// Quickstart: learn the SWAN objective function of the paper's Figure 2
+// from preference comparisons in under a minute.
+//
+//	go run ./examples/quickstart
+//
+// An oracle stands in for the network architect (exactly as in the
+// paper's evaluation): it secretly knows the target objective and
+// answers "which of these two (throughput, latency) outcomes do you
+// prefer?" queries. The synthesizer never sees the target — only the
+// answers — and still pins down a behaviorally equivalent objective.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"compsynth/internal/core"
+	"compsynth/internal/expr"
+	"compsynth/internal/oracle"
+	"compsynth/internal/sketch"
+)
+
+func main() {
+	// 1. The domain expert provides a sketch: an objective function with
+	//    holes (Figure 2a). sketch.SWAN() is the paper's sketch.
+	sk := sketch.SWAN()
+	fmt.Println("sketch (holes are ??name):")
+	fmt.Print(expr.Pretty(sk.Body()))
+
+	// 2. The "architect": an oracle playing the paper's Figure 2b target
+	//    (tp_thrsh=1, l_thrsh=50, slope1=1, slope2=5).
+	target, err := sketch.DefaultSWANTarget.Candidate(sk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	architect := oracle.NewGroundTruth(target, 1e-9)
+
+	// 3. Run comparative synthesis.
+	synth, err := core.New(core.Config{
+		Sketch: sk,
+		Oracle: architect,
+		Seed:   42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := synth.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Inspect the result.
+	fmt.Printf("\nconverged=%v after %d iterations (%v solver time)\n",
+		res.Converged, res.Iterations, res.TotalSynthTime)
+	fmt.Println("\nsynthesized objective:")
+	fmt.Print(expr.Pretty(res.Final.Concretize()))
+
+	// 5. Validate: the synthesized objective must rank scenario pairs
+	//    the same way the hidden target does.
+	agreement := core.Validate(res, architect, 2000, rand.New(rand.NewSource(7)))
+	fmt.Printf("\nranking agreement with the hidden target: %.1f%%\n", agreement*100)
+}

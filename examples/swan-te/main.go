@@ -1,0 +1,114 @@
+// SWAN-style traffic engineering with a learned objective.
+//
+//	go run ./examples/swan-te
+//
+// This example exercises the TE substrate end to end, the workload the
+// paper's §2 motivates:
+//
+//  1. a B4-like inter-datacenter WAN with two traffic classes
+//     (interactive and background),
+//  2. strict-priority allocation (SWAN's multi-class policy) with
+//     weighted max-min within each class,
+//  3. comparative synthesis of the architect's throughput/latency
+//     objective,
+//  4. an ε-sweep of SWAN's Eq (2.1) scored by the learned objective —
+//     i.e. the synthesizer, not a human, picks the ε knob the paper
+//     argues is a black art.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"compsynth/internal/core"
+	"compsynth/internal/oracle"
+	"compsynth/internal/sketch"
+	"compsynth/internal/te"
+	"compsynth/internal/topo"
+)
+
+func main() {
+	g := topo.B4Like()
+	id := func(name string) int {
+		n, ok := g.NodeID(name)
+		if !ok {
+			log.Fatalf("unknown node %s", name)
+		}
+		return n
+	}
+	flows := []te.Flow{
+		// Class 0: interactive, higher priority, weighted 2x.
+		{Name: "web-us-eu", Src: id("US-East1"), Dst: id("EU-West"), Demand: 6, Weight: 2, Class: 0},
+		{Name: "web-us-asia", Src: id("US-West1"), Dst: id("Asia-East"), Demand: 5, Weight: 2, Class: 0},
+		{Name: "rpc-intra-us", Src: id("US-West2"), Dst: id("US-East2"), Demand: 8, Weight: 1, Class: 0},
+		// Class 1: background copies.
+		{Name: "backup-eu", Src: id("US-East2"), Dst: id("EU-North"), Demand: 12, Class: 1},
+		{Name: "backup-asia", Src: id("US-West2"), Dst: id("Asia-South"), Demand: 10, Class: 1},
+		{Name: "index-sync", Src: id("US-Central"), Dst: id("Oceania"), Demand: 6, Class: 1},
+	}
+	n, err := te.NewNetwork(g, flows, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// SWAN's multi-class policy: strict priority between classes,
+	// weighted max-min within a class.
+	alloc, err := n.PriorityAllocate(func(sub *te.Network) (*te.Allocation, error) {
+		return sub.MaxMinFair()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("priority allocation (weighted max-min within class):")
+	for i, f := range n.Flows {
+		fmt.Printf("  class %d %-14s rate %5.2f / %5.2f Gbps\n",
+			f.Class, f.Name, alloc.FlowRate[i], f.Demand)
+	}
+	fmt.Printf("total %.2f Gbps, avg latency %.1f ms\n\n",
+		alloc.Throughput(), alloc.AvgLatency(n))
+
+	// Learn the architect's objective from comparisons.
+	sk := sketch.SWAN()
+	hidden := sketch.SWANTargetParams{TpThrsh: 2, LThrsh: 60, Slope1: 1, Slope2: 4}
+	target, err := hidden.Candidate(sk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	synth, err := core.New(core.Config{
+		Sketch: sk,
+		Oracle: oracle.NewGroundTruth(target, 1e-9),
+		Seed:   3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := synth.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned objective after %d iterations: %v\n\n", res.Iterations, res.Final)
+
+	// Sweep SWAN's ε and let the learned objective pick.
+	var schemes []te.Scheme
+	for _, eps := range []float64{0, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1} {
+		e := eps
+		schemes = append(schemes, te.Scheme{
+			Name: fmt.Sprintf("ε=%g", e),
+			Run:  func(net *te.Network) (*te.Allocation, error) { return net.MaxThroughput(e) },
+		})
+	}
+	points, err := te.Evaluate(n, schemes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked := te.SelectDesign(points, res.Final)
+	fmt.Println("ε-sweep ranked by the learned objective:")
+	for i, p := range ranked {
+		marker := "  "
+		if i == 0 {
+			marker = "→ "
+		}
+		fmt.Printf("%s%-10s throughput=%6.2f latency=%6.2f score=%9.2f\n",
+			marker, p.Name, p.Throughput, p.Latency, p.Score)
+	}
+}

@@ -1,0 +1,3 @@
+module compsynth
+
+go 1.22

@@ -1,0 +1,608 @@
+// Package abr implements the adaptive-bitrate video streaming
+// application of the paper's §6.2: a chunk-based playback simulator
+// with bandwidth traces and reference ABR algorithms (rate-based,
+// buffer-based à la BBA, and a lookahead hybrid). Each simulated
+// session yields the QoE metrics the paper lists (average bitrate,
+// rebuffering, bitrate switching, startup delay); the comparative
+// synthesizer learns how a publisher trades those metrics off by
+// ranking simulated sessions.
+package abr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"compsynth/internal/interval"
+	"compsynth/internal/scenario"
+	"compsynth/internal/sketch"
+)
+
+// DefaultLadder is a typical HTTP streaming bitrate ladder in Mbps.
+var DefaultLadder = []float64{0.35, 0.75, 1.2, 2.4, 4.8}
+
+// TraceSample is a piecewise-constant bandwidth segment.
+type TraceSample struct {
+	Duration float64 // seconds
+	Mbps     float64
+}
+
+// Trace is a bandwidth trace. Playback wraps around when the trace is
+// shorter than the session.
+type Trace struct {
+	samples []TraceSample
+	total   float64
+}
+
+// NewTrace validates and builds a trace.
+func NewTrace(samples []TraceSample) (*Trace, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("abr: empty trace")
+	}
+	t := &Trace{samples: append([]TraceSample(nil), samples...)}
+	for i, s := range samples {
+		if s.Duration <= 0 || math.IsNaN(s.Duration) || math.IsInf(s.Duration, 0) {
+			return nil, fmt.Errorf("abr: sample %d duration %v", i, s.Duration)
+		}
+		if s.Mbps <= 0 || math.IsNaN(s.Mbps) || math.IsInf(s.Mbps, 0) {
+			return nil, fmt.Errorf("abr: sample %d bandwidth %v", i, s.Mbps)
+		}
+		t.total += s.Duration
+	}
+	return t, nil
+}
+
+// MustNewTrace is NewTrace but panics on error.
+func MustNewTrace(samples []TraceSample) *Trace {
+	t, err := NewTrace(samples)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Constant returns a flat trace.
+func Constant(mbps float64) *Trace {
+	return MustNewTrace([]TraceSample{{Duration: 3600, Mbps: mbps}})
+}
+
+// RandomWalk returns a seeded random-walk trace: stepDur-second
+// segments whose bandwidth multiplies by a lognormal factor, clamped
+// to [minMbps, maxMbps].
+func RandomWalk(segments int, stepDur, startMbps, minMbps, maxMbps float64, rng *rand.Rand) *Trace {
+	if segments < 1 {
+		panic("abr: RandomWalk needs segments >= 1")
+	}
+	samples := make([]TraceSample, segments)
+	bw := startMbps
+	for i := range samples {
+		samples[i] = TraceSample{Duration: stepDur, Mbps: bw}
+		bw *= math.Exp(rng.NormFloat64() * 0.25)
+		bw = math.Max(minMbps, math.Min(maxMbps, bw))
+	}
+	return MustNewTrace(samples)
+}
+
+// Stepped returns a trace alternating between high and low bandwidth —
+// the classic ABR stress pattern.
+func Stepped(highMbps, lowMbps, periodSec float64, periods int) *Trace {
+	var samples []TraceSample
+	for i := 0; i < periods; i++ {
+		samples = append(samples,
+			TraceSample{Duration: periodSec, Mbps: highMbps},
+			TraceSample{Duration: periodSec, Mbps: lowMbps},
+		)
+	}
+	return MustNewTrace(samples)
+}
+
+// ParseTrace reads a bandwidth trace in the common two-column text
+// format used by public throughput datasets (FCC broadband, 3G/HSDPA
+// traces and the Pensieve-style cooked variants):
+//
+//	# comment
+//	<duration-seconds> <bandwidth-mbps>
+//	...
+//
+// Blank lines and #-comments are ignored; a single-column line is
+// interpreted as a bandwidth sample with a 1-second duration (the
+// convention of per-second trace files).
+func ParseTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	var samples []TraceSample
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		var dur, mbps float64
+		var err error
+		switch len(fields) {
+		case 1:
+			dur = 1
+			mbps, err = strconv.ParseFloat(fields[0], 64)
+		case 2:
+			dur, err = strconv.ParseFloat(fields[0], 64)
+			if err == nil {
+				mbps, err = strconv.ParseFloat(fields[1], 64)
+			}
+		default:
+			return nil, fmt.Errorf("abr: trace line %d: want 1 or 2 columns, got %d", lineNo, len(fields))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("abr: trace line %d: %v", lineNo, err)
+		}
+		samples = append(samples, TraceSample{Duration: dur, Mbps: mbps})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("abr: read trace: %w", err)
+	}
+	return NewTrace(samples)
+}
+
+// WriteTrace renders a trace in the two-column ParseTrace format.
+func WriteTrace(w io.Writer, t *Trace) error {
+	var b strings.Builder
+	for _, s := range t.samples {
+		fmt.Fprintf(&b, "%g %g\n", s.Duration, s.Mbps)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// bandwidthAt returns the bandwidth at absolute time t (wrapping).
+func (t *Trace) bandwidthAt(at float64) float64 {
+	at = math.Mod(at, t.total)
+	for _, s := range t.samples {
+		if at < s.Duration {
+			return s.Mbps
+		}
+		at -= s.Duration
+	}
+	return t.samples[len(t.samples)-1].Mbps
+}
+
+// downloadTime integrates the trace from start until megabits have been
+// transferred, returning the elapsed seconds.
+func (t *Trace) downloadTime(start, megabits float64) float64 {
+	elapsed := 0.0
+	remaining := megabits
+	for remaining > 1e-12 {
+		bw := t.bandwidthAt(start + elapsed)
+		// Time left in the current trace segment.
+		segLeft := t.segmentRemaining(start + elapsed)
+		canSend := bw * segLeft
+		if canSend >= remaining {
+			elapsed += remaining / bw
+			return elapsed
+		}
+		remaining -= canSend
+		elapsed += segLeft
+	}
+	return elapsed
+}
+
+func (t *Trace) segmentRemaining(at float64) float64 {
+	at = math.Mod(at, t.total)
+	for _, s := range t.samples {
+		if at < s.Duration {
+			return s.Duration - at
+		}
+		at -= s.Duration
+	}
+	return t.samples[len(t.samples)-1].Duration
+}
+
+// PlayerState is the observable state an ABR algorithm decides on.
+type PlayerState struct {
+	// BufferSec is the current playback buffer in seconds.
+	BufferSec float64
+	// LastIndex is the ladder index of the previous chunk (-1 for the
+	// first chunk).
+	LastIndex int
+	// ThroughputMbps is the EWMA throughput estimate (0 before the
+	// first download).
+	ThroughputMbps float64
+	// ChunkIndex is the index of the chunk being decided.
+	ChunkIndex int
+	// ChunkSec is the chunk duration in seconds.
+	ChunkSec float64
+	// Ladder is the available bitrate ladder (ascending Mbps).
+	Ladder []float64
+}
+
+// Algorithm selects the bitrate ladder index for the next chunk.
+type Algorithm interface {
+	Name() string
+	Choose(s PlayerState) int
+}
+
+// RateBased picks the highest bitrate below Safety × estimated
+// throughput (classic throughput-based ABR).
+type RateBased struct {
+	// Safety discounts the estimate (typical 0.9).
+	Safety float64
+}
+
+// Name implements Algorithm.
+func (RateBased) Name() string { return "rate-based" }
+
+// Choose implements Algorithm.
+func (a RateBased) Choose(s PlayerState) int {
+	safety := a.Safety
+	if safety == 0 {
+		safety = 0.9
+	}
+	budget := s.ThroughputMbps * safety
+	best := 0
+	for i, r := range s.Ladder {
+		if r <= budget {
+			best = i
+		}
+	}
+	return best
+}
+
+// BufferBased is BBA-style: bitrate is a linear function of buffer
+// occupancy between a reservoir and a cushion.
+type BufferBased struct {
+	// ReservoirSec plays the lowest bitrate below this buffer level
+	// (typical 5s); CushionSec reaches the top of the ladder (typical 20s).
+	ReservoirSec, CushionSec float64
+}
+
+// Name implements Algorithm.
+func (BufferBased) Name() string { return "buffer-based" }
+
+// Choose implements Algorithm.
+func (a BufferBased) Choose(s PlayerState) int {
+	reservoir, cushion := a.ReservoirSec, a.CushionSec
+	if reservoir == 0 {
+		reservoir = 5
+	}
+	if cushion == 0 {
+		cushion = 20
+	}
+	if s.BufferSec <= reservoir {
+		return 0
+	}
+	if s.BufferSec >= cushion {
+		return len(s.Ladder) - 1
+	}
+	frac := (s.BufferSec - reservoir) / (cushion - reservoir)
+	idx := int(frac * float64(len(s.Ladder)-1))
+	if idx >= len(s.Ladder) {
+		idx = len(s.Ladder) - 1
+	}
+	return idx
+}
+
+// Hybrid is a small lookahead controller in the spirit of MPC: it
+// scores each candidate bitrate by predicted local QoE (bitrate reward
+// minus rebuffer and switch penalties over one chunk) using the
+// throughput estimate, and picks the argmax.
+type Hybrid struct {
+	// RebufferPenalty and SwitchPenalty weight the lookahead score
+	// (defaults 4.0 and 1.0 per Mbps).
+	RebufferPenalty, SwitchPenalty float64
+	// ChunkSec is the chunk duration used for prediction (default 4).
+	ChunkSec float64
+}
+
+// Name implements Algorithm.
+func (Hybrid) Name() string { return "hybrid-mpc" }
+
+// Choose implements Algorithm.
+func (a Hybrid) Choose(s PlayerState) int {
+	rebufPen := a.RebufferPenalty
+	if rebufPen == 0 {
+		rebufPen = 4
+	}
+	switchPen := a.SwitchPenalty
+	if switchPen == 0 {
+		switchPen = 1
+	}
+	chunk := a.ChunkSec
+	if chunk == 0 {
+		chunk = 4
+	}
+	est := s.ThroughputMbps
+	if est <= 0 {
+		return 0
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for i, r := range s.Ladder {
+		dlTime := r * chunk / est
+		rebuf := math.Max(0, dlTime-s.BufferSec)
+		score := r - rebufPen*rebuf
+		if s.LastIndex >= 0 {
+			score -= switchPen * math.Abs(r-s.Ladder[s.LastIndex])
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// BOLA is the buffer-based Lyapunov controller of Spiteri et al.
+// (BOLA-BASIC, INFOCOM'16): it selects the ladder index maximizing
+//
+//	(V·(v_m + γp) − Q) / r_m
+//
+// where v_m = ln(r_m / r_min) is the utility of rung m, Q is the
+// buffer level in chunk units, and V is calibrated so the top rung is
+// picked once the buffer reaches BufferTargetSec. Unlike the simple
+// BufferBased controller it weighs utility *per byte*, which makes it
+// provably near-optimal for the utility-minus-rebuffer objective.
+type BOLA struct {
+	// GammaP is the γp rebuffer-avoidance term in utility units
+	// (default 5).
+	GammaP float64
+	// BufferTargetSec is the buffer level at which the top rung is
+	// chosen (default 25s).
+	BufferTargetSec float64
+}
+
+// Name implements Algorithm.
+func (BOLA) Name() string { return "bola" }
+
+// Choose implements Algorithm.
+func (a BOLA) Choose(s PlayerState) int {
+	gp := a.GammaP
+	if gp == 0 {
+		gp = 5
+	}
+	target := a.BufferTargetSec
+	if target == 0 {
+		target = 25
+	}
+	chunk := s.ChunkSec
+	if chunk <= 0 {
+		chunk = 4
+	}
+	rMin := s.Ladder[0]
+	vMax := math.Log(s.Ladder[len(s.Ladder)-1] / rMin)
+	qMax := target / chunk
+	if qMax <= 1 {
+		qMax = 2
+	}
+	v := (qMax - 1) / (vMax + gp)
+	q := s.BufferSec / chunk
+	best, bestScore := 0, math.Inf(-1)
+	for m, r := range s.Ladder {
+		util := math.Log(r / rMin)
+		score := (v*(util+gp) - q) / r
+		// Ties break to the higher bitrate, per the BOLA paper.
+		if score >= bestScore {
+			best, bestScore = m, score
+		}
+	}
+	return best
+}
+
+// Metrics are the QoE measurements of one simulated session — the
+// quantities the paper's §6.2 lists as impacting user experience.
+type Metrics struct {
+	// AvgBitrateMbps is the mean selected bitrate.
+	AvgBitrateMbps float64
+	// RebufferRatio is stall time divided by session play time.
+	RebufferRatio float64
+	// SwitchesPerMin is the mean absolute ladder-level change rate.
+	SwitchesPerMin float64
+	// StartupSec is the delay before playback starts.
+	StartupSec float64
+}
+
+// Scenario renders the metrics as a scenario over Space().
+func (m Metrics) Scenario() scenario.Scenario {
+	return scenario.Scenario{m.AvgBitrateMbps, m.RebufferRatio, m.SwitchesPerMin, m.StartupSec}
+}
+
+// Space returns the QoE metric space used for objective synthesis:
+// bitrate ∈ [0,5] Mbps, rebuffer ratio ∈ [0,1], switches/min ∈ [0,30],
+// startup ∈ [0,30] s.
+func Space() *scenario.Space {
+	return scenario.MustNewSpace(
+		[]string{"bitrate", "rebuffer", "switches", "startup"},
+		[]interval.Interval{
+			interval.New(0, 5),
+			interval.New(0, 1),
+			interval.New(0, 30),
+			interval.New(0, 30),
+		},
+	)
+}
+
+// QoESketch returns a weighted-sum QoE objective sketch over Space():
+// + w_bitrate·bitrate − w_rebuffer·rebuffer − w_switches·switches −
+// w_startup·startup, weights ∈ [0, 20]. This is the "simple linear
+// combination" shape the paper notes state-of-the-art ABR work uses,
+// with the weights left to comparative synthesis instead of hand-tuning.
+func QoESketch() *sketch.Sketch {
+	sk, err := sketch.WeightedSum("abr-qoe", Space(), []float64{1, -1, -1, -1}, interval.New(0, 20))
+	if err != nil {
+		panic(err)
+	}
+	return sk
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// ChunkSec is the chunk duration (default 4s).
+	ChunkSec float64
+	// NumChunks is the session length in chunks (default 75 = 5 min).
+	NumChunks int
+	// Ladder is the bitrate ladder (default DefaultLadder).
+	Ladder []float64
+	// MaxBufferSec caps the buffer (default 30s).
+	MaxBufferSec float64
+	// EWMAWeight is the throughput estimator's new-sample weight
+	// (default 0.35).
+	EWMAWeight float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSec == 0 {
+		c.ChunkSec = 4
+	}
+	if c.NumChunks == 0 {
+		c.NumChunks = 75
+	}
+	if len(c.Ladder) == 0 {
+		c.Ladder = DefaultLadder
+	}
+	if c.MaxBufferSec == 0 {
+		c.MaxBufferSec = 30
+	}
+	if c.EWMAWeight == 0 {
+		c.EWMAWeight = 0.35
+	}
+	return c
+}
+
+// Simulate plays a session of the algorithm over the trace and returns
+// its QoE metrics.
+func Simulate(algo Algorithm, trace *Trace, cfg Config) (Metrics, error) {
+	if algo == nil || trace == nil {
+		return Metrics{}, fmt.Errorf("abr: nil algorithm or trace")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.ChunkSec <= 0 || cfg.NumChunks <= 0 || cfg.MaxBufferSec <= 0 {
+		return Metrics{}, fmt.Errorf("abr: invalid config %+v", cfg)
+	}
+
+	var (
+		clock     float64
+		buffer    float64
+		playing   bool
+		startup   float64
+		rebuffer  float64
+		bitSum    float64
+		switchSum float64
+		last      = -1
+		estimate  float64
+	)
+	for i := 0; i < cfg.NumChunks; i++ {
+		choice := algo.Choose(PlayerState{
+			BufferSec:      buffer,
+			LastIndex:      last,
+			ThroughputMbps: estimate,
+			ChunkIndex:     i,
+			ChunkSec:       cfg.ChunkSec,
+			Ladder:         cfg.Ladder,
+		})
+		if choice < 0 || choice >= len(cfg.Ladder) {
+			return Metrics{}, fmt.Errorf("abr: %s chose ladder index %d of %d", algo.Name(), choice, len(cfg.Ladder))
+		}
+		rate := cfg.Ladder[choice]
+		megabits := rate * cfg.ChunkSec
+		dl := trace.downloadTime(clock, megabits)
+
+		if !playing {
+			startup += dl
+		} else if dl > buffer {
+			rebuffer += dl - buffer
+			buffer = 0
+		} else {
+			buffer -= dl
+		}
+		clock += dl
+		buffer += cfg.ChunkSec
+		if !playing {
+			playing = true // play as soon as the first chunk arrives
+		}
+		// Buffer cap: wait (while playing) until there is room.
+		if buffer > cfg.MaxBufferSec {
+			wait := buffer - cfg.MaxBufferSec
+			clock += wait
+			buffer = cfg.MaxBufferSec
+		}
+
+		// Throughput sample.
+		if dl > 0 {
+			sample := megabits / dl
+			if estimate == 0 {
+				estimate = sample
+			} else {
+				estimate = cfg.EWMAWeight*sample + (1-cfg.EWMAWeight)*estimate
+			}
+		}
+		bitSum += rate
+		if last >= 0 {
+			switchSum += math.Abs(float64(choice - last))
+		}
+		last = choice
+	}
+
+	playSec := float64(cfg.NumChunks) * cfg.ChunkSec
+	m := Metrics{
+		AvgBitrateMbps: bitSum / float64(cfg.NumChunks),
+		RebufferRatio:  rebuffer / (playSec + rebuffer),
+		SwitchesPerMin: switchSum / (playSec / 60),
+		StartupSec:     startup,
+	}
+	return m, nil
+}
+
+// TuneHybrid grid-searches the Hybrid controller's penalty knobs for
+// the configuration whose sessions score highest under a (learned) QoE
+// objective averaged across the traces — the §6.2 loop closed: the
+// synthesizer learns what "good QoE" means, then that objective tunes
+// the ABR algorithm. Returns the tuned algorithm and its mean score.
+func TuneHybrid(objective *sketch.Candidate, traces []*Trace, cfg Config,
+	rebufferGrid, switchGrid []float64) (Hybrid, float64, error) {
+	if len(traces) == 0 {
+		return Hybrid{}, 0, fmt.Errorf("abr: TuneHybrid needs traces")
+	}
+	if len(rebufferGrid) == 0 {
+		rebufferGrid = []float64{1, 2, 4, 8, 16}
+	}
+	if len(switchGrid) == 0 {
+		switchGrid = []float64{0.25, 0.5, 1, 2, 4}
+	}
+	space := objective.Sketch().Space()
+	bestScore := math.Inf(-1)
+	var best Hybrid
+	for _, rp := range rebufferGrid {
+		for _, sp := range switchGrid {
+			algo := Hybrid{RebufferPenalty: rp, SwitchPenalty: sp, ChunkSec: cfg.ChunkSec}
+			var sum float64
+			for _, tr := range traces {
+				m, err := Simulate(algo, tr, cfg)
+				if err != nil {
+					return Hybrid{}, 0, err
+				}
+				sum += objective.Eval(space.Clamp(m.Scenario()))
+			}
+			if score := sum / float64(len(traces)); score > bestScore {
+				bestScore, best = score, algo
+			}
+		}
+	}
+	return best, bestScore, nil
+}
+
+// Sessions simulates every algorithm over every trace and returns the
+// metric scenarios — the comparison pool the synthesizer draws QoE
+// preference queries from.
+func Sessions(algos []Algorithm, traces []*Trace, cfg Config) ([]Metrics, error) {
+	var out []Metrics
+	for _, a := range algos {
+		for _, tr := range traces {
+			m, err := Simulate(a, tr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,474 @@
+package abr
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceValidation(t *testing.T) {
+	if _, err := NewTrace(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	bad := [][]TraceSample{
+		{{Duration: 0, Mbps: 1}},
+		{{Duration: -1, Mbps: 1}},
+		{{Duration: 1, Mbps: 0}},
+		{{Duration: 1, Mbps: -2}},
+		{{Duration: math.NaN(), Mbps: 1}},
+		{{Duration: 1, Mbps: math.Inf(1)}},
+	}
+	for i, s := range bad {
+		if _, err := NewTrace(s); err == nil {
+			t.Errorf("case %d: invalid trace accepted", i)
+		}
+	}
+}
+
+func TestDownloadTimeConstant(t *testing.T) {
+	tr := Constant(4) // 4 Mbps
+	// 8 Mb at 4 Mbps = 2s.
+	if got := tr.downloadTime(0, 8); math.Abs(got-2) > 1e-9 {
+		t.Errorf("downloadTime = %v, want 2", got)
+	}
+	// Offset start doesn't matter on a constant trace.
+	if got := tr.downloadTime(100, 8); math.Abs(got-2) > 1e-9 {
+		t.Errorf("offset downloadTime = %v", got)
+	}
+}
+
+func TestDownloadTimeAcrossSegments(t *testing.T) {
+	tr := MustNewTrace([]TraceSample{
+		{Duration: 1, Mbps: 10}, // 10 Mb available in first second
+		{Duration: 10, Mbps: 1},
+	})
+	// 12 Mb: 10 in 1s, then 2 at 1 Mbps = 2s -> total 3s.
+	if got := tr.downloadTime(0, 12); math.Abs(got-3) > 1e-9 {
+		t.Errorf("cross-segment downloadTime = %v, want 3", got)
+	}
+}
+
+func TestDownloadTimeWraps(t *testing.T) {
+	tr := MustNewTrace([]TraceSample{{Duration: 1, Mbps: 1}})
+	// 5 Mb at 1 Mbps with a 1s trace that wraps: 5s.
+	if got := tr.downloadTime(0.5, 5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("wrapped downloadTime = %v, want 5", got)
+	}
+}
+
+func TestBandwidthAt(t *testing.T) {
+	tr := MustNewTrace([]TraceSample{
+		{Duration: 2, Mbps: 10},
+		{Duration: 3, Mbps: 1},
+	})
+	cases := []struct{ at, want float64 }{
+		{0, 10}, {1.9, 10}, {2, 1}, {4.9, 1}, {5, 10}, {7.5, 1},
+	}
+	for _, c := range cases {
+		if got := tr.bandwidthAt(c.at); got != c.want {
+			t.Errorf("bandwidthAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestTraceGenerators(t *testing.T) {
+	rw := RandomWalk(50, 2, 3, 0.3, 8, rand.New(rand.NewSource(1)))
+	for _, s := range rw.samples {
+		if s.Mbps < 0.3-1e-12 || s.Mbps > 8+1e-12 {
+			t.Errorf("random walk escaped bounds: %v", s.Mbps)
+		}
+	}
+	// Deterministic per seed.
+	rw2 := RandomWalk(50, 2, 3, 0.3, 8, rand.New(rand.NewSource(1)))
+	for i := range rw.samples {
+		if rw.samples[i] != rw2.samples[i] {
+			t.Fatal("RandomWalk not deterministic")
+		}
+	}
+	st := Stepped(5, 1, 10, 3)
+	if len(st.samples) != 6 {
+		t.Errorf("stepped samples = %d", len(st.samples))
+	}
+	if st.samples[0].Mbps != 5 || st.samples[1].Mbps != 1 {
+		t.Error("stepped pattern wrong")
+	}
+}
+
+func TestRateBasedChoice(t *testing.T) {
+	a := RateBased{Safety: 1.0}
+	st := PlayerState{ThroughputMbps: 2.0, Ladder: DefaultLadder, LastIndex: -1}
+	got := a.Choose(st)
+	if DefaultLadder[got] > 2.0 {
+		t.Errorf("rate-based chose %v above estimate", DefaultLadder[got])
+	}
+	if got != 2 { // 1.2 is the highest <= 2.0
+		t.Errorf("choice = %d, want 2", got)
+	}
+	// No estimate -> lowest.
+	if a.Choose(PlayerState{Ladder: DefaultLadder}) != 0 {
+		t.Error("no estimate should pick lowest")
+	}
+	// Safety discount.
+	safe := RateBased{Safety: 0.5}
+	if safe.Choose(st) != 1 { // 2*0.5 = 1.0 -> 0.75
+		t.Errorf("safety choice = %d", safe.Choose(st))
+	}
+}
+
+func TestBufferBasedChoice(t *testing.T) {
+	a := BufferBased{ReservoirSec: 5, CushionSec: 20}
+	lad := DefaultLadder
+	if a.Choose(PlayerState{BufferSec: 2, Ladder: lad}) != 0 {
+		t.Error("below reservoir should pick lowest")
+	}
+	if a.Choose(PlayerState{BufferSec: 25, Ladder: lad}) != len(lad)-1 {
+		t.Error("above cushion should pick highest")
+	}
+	mid := a.Choose(PlayerState{BufferSec: 12.5, Ladder: lad})
+	if mid <= 0 || mid >= len(lad)-1 {
+		t.Errorf("midpoint choice = %d", mid)
+	}
+	// Monotone in buffer.
+	prev := -1
+	for b := 0.0; b <= 30; b += 1 {
+		c := a.Choose(PlayerState{BufferSec: b, Ladder: lad})
+		if c < prev {
+			t.Fatalf("buffer-based not monotone at %v", b)
+		}
+		prev = c
+	}
+}
+
+func TestHybridChoice(t *testing.T) {
+	a := Hybrid{}
+	// Plenty of estimate and buffer: go high.
+	hi := a.Choose(PlayerState{ThroughputMbps: 10, BufferSec: 20, LastIndex: -1, Ladder: DefaultLadder})
+	if DefaultLadder[hi] < 2 {
+		t.Errorf("hybrid with headroom chose %v", DefaultLadder[hi])
+	}
+	// No estimate: lowest.
+	if a.Choose(PlayerState{Ladder: DefaultLadder}) != 0 {
+		t.Error("hybrid without estimate should pick lowest")
+	}
+	// Tiny buffer and weak link: prefer low bitrate.
+	lo := a.Choose(PlayerState{ThroughputMbps: 0.5, BufferSec: 0.5, LastIndex: 4, Ladder: DefaultLadder})
+	if DefaultLadder[lo] > 1.5 {
+		t.Errorf("hybrid under pressure chose %v", DefaultLadder[lo])
+	}
+}
+
+func TestSimulateFastLink(t *testing.T) {
+	// 50 Mbps: every algorithm should reach the top rung with no
+	// rebuffering.
+	tr := Constant(50)
+	for _, algo := range []Algorithm{RateBased{}, BufferBased{}, Hybrid{}} {
+		m, err := Simulate(algo, tr, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		if m.RebufferRatio > 1e-9 {
+			t.Errorf("%s rebuffered on a fast link: %v", algo.Name(), m.RebufferRatio)
+		}
+		if m.AvgBitrateMbps < 2 {
+			t.Errorf("%s bitrate only %v on 50 Mbps", algo.Name(), m.AvgBitrateMbps)
+		}
+		if m.StartupSec <= 0 {
+			t.Errorf("%s zero startup", algo.Name())
+		}
+	}
+}
+
+func TestSimulateSlowLinkLimitsBitrate(t *testing.T) {
+	tr := Constant(0.5)
+	m, err := Simulate(RateBased{}, tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AvgBitrateMbps > 0.6 {
+		t.Errorf("bitrate %v on a 0.5 Mbps link", m.AvgBitrateMbps)
+	}
+}
+
+func TestSimulateGreedyRebuffersOnSteppedTrace(t *testing.T) {
+	// A pathological greedy algorithm (always top bitrate) must
+	// rebuffer on a trace that dips below the top rate.
+	tr := Stepped(6, 0.6, 20, 5)
+	m, err := Simulate(greedy{}, tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RebufferRatio <= 0 {
+		t.Error("greedy algorithm did not rebuffer on stepped trace")
+	}
+	// A buffer-based player handles the same trace with less stalling.
+	mb, err := Simulate(BufferBased{}, tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.RebufferRatio >= m.RebufferRatio {
+		t.Errorf("buffer-based (%v) not better than greedy (%v)", mb.RebufferRatio, m.RebufferRatio)
+	}
+}
+
+type greedy struct{}
+
+func (greedy) Name() string             { return "greedy" }
+func (greedy) Choose(s PlayerState) int { return len(s.Ladder) - 1 }
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(nil, Constant(1), Config{}); err == nil {
+		t.Error("nil algorithm accepted")
+	}
+	if _, err := Simulate(RateBased{}, nil, Config{}); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := Simulate(badAlgo{}, Constant(1), Config{}); err == nil {
+		t.Error("out-of-range choice accepted")
+	}
+}
+
+type badAlgo struct{}
+
+func (badAlgo) Name() string           { return "bad" }
+func (badAlgo) Choose(PlayerState) int { return 99 }
+
+func TestSimulateMetricsInSpace(t *testing.T) {
+	sp := Space()
+	rng := rand.New(rand.NewSource(3))
+	traces := []*Trace{
+		Constant(3),
+		Stepped(5, 0.8, 15, 4),
+		RandomWalk(60, 3, 2, 0.3, 8, rng),
+	}
+	algos := []Algorithm{RateBased{}, BufferBased{}, Hybrid{}}
+	ms, err := Sessions(algos, traces, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 9 {
+		t.Fatalf("sessions = %d", len(ms))
+	}
+	for _, m := range ms {
+		sc := m.Scenario()
+		if !sp.Contains(sp.Clamp(sc)) {
+			t.Fatalf("clamped scenario outside space: %v", sc)
+		}
+		if m.RebufferRatio < 0 || m.RebufferRatio >= 1 {
+			t.Errorf("rebuffer ratio %v out of range", m.RebufferRatio)
+		}
+		if m.AvgBitrateMbps < DefaultLadder[0] || m.AvgBitrateMbps > DefaultLadder[len(DefaultLadder)-1] {
+			t.Errorf("avg bitrate %v outside ladder", m.AvgBitrateMbps)
+		}
+	}
+}
+
+func TestQoESketchShape(t *testing.T) {
+	sk := QoESketch()
+	if sk.NumHoles() != 4 {
+		t.Errorf("QoE sketch holes = %v", sk.Holes())
+	}
+	// A candidate scoring: 2*bitrate - 8*rebuffer - 1*switches - 0.5*startup.
+	m := map[string]float64{"w_bitrate": 2, "w_rebuffer": 8, "w_switches": 1, "w_startup": 0.5}
+	holes := make([]float64, sk.NumHoles())
+	for i, h := range sk.Holes() {
+		holes[i] = m[h]
+	}
+	c := sk.MustCandidate(holes)
+	got := c.Eval([]float64{3, 0.1, 2, 1})
+	want := 2*3 - 8*0.1 - 1*2 - 0.5*1
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("QoE eval = %v, want %v", got, want)
+	}
+}
+
+func TestBOLAChoice(t *testing.T) {
+	a := BOLA{}
+	st := PlayerState{Ladder: DefaultLadder, ChunkSec: 4, LastIndex: -1}
+	// Empty buffer: conservative (bottom half of the ladder).
+	st.BufferSec = 0
+	if c := a.Choose(st); DefaultLadder[c] > 1.5 {
+		t.Errorf("BOLA with empty buffer chose %v", DefaultLadder[c])
+	}
+	// Buffer at target: top rung.
+	st.BufferSec = 25
+	if c := a.Choose(st); c != len(DefaultLadder)-1 {
+		t.Errorf("BOLA at target buffer chose index %d", c)
+	}
+	// Monotone non-decreasing in buffer level.
+	prev := -1
+	for b := 0.0; b <= 30; b += 0.5 {
+		st.BufferSec = b
+		c := a.Choose(st)
+		if c < prev {
+			t.Fatalf("BOLA not monotone at buffer %v", b)
+		}
+		prev = c
+	}
+}
+
+func TestBOLADefaultsWithoutChunkSec(t *testing.T) {
+	// Zero ChunkSec (caller outside Simulate) must not panic.
+	a := BOLA{}
+	c := a.Choose(PlayerState{Ladder: DefaultLadder, BufferSec: 10})
+	if c < 0 || c >= len(DefaultLadder) {
+		t.Errorf("choice %d out of range", c)
+	}
+}
+
+func TestBOLASimulates(t *testing.T) {
+	m, err := Simulate(BOLA{}, Constant(50), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RebufferRatio > 1e-9 {
+		t.Errorf("BOLA rebuffered on fast link: %v", m.RebufferRatio)
+	}
+	if m.AvgBitrateMbps < 2 {
+		t.Errorf("BOLA bitrate %v on 50 Mbps", m.AvgBitrateMbps)
+	}
+	// Stress trace: BOLA must beat the greedy strawman on rebuffering.
+	tr := Stepped(6, 0.6, 20, 5)
+	mb, err := Simulate(BOLA{}, tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := Simulate(greedy{}, tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.RebufferRatio >= mg.RebufferRatio {
+		t.Errorf("BOLA (%v) not better than greedy (%v)", mb.RebufferRatio, mg.RebufferRatio)
+	}
+}
+
+func TestPlayerStateCarriesChunkSec(t *testing.T) {
+	probe := &chunkSecProbe{}
+	if _, err := Simulate(probe, Constant(10), Config{ChunkSec: 6, NumChunks: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if probe.seen != 6 {
+		t.Errorf("ChunkSec in state = %v, want 6", probe.seen)
+	}
+}
+
+type chunkSecProbe struct{ seen float64 }
+
+func (c *chunkSecProbe) Name() string { return "probe" }
+func (c *chunkSecProbe) Choose(s PlayerState) int {
+	c.seen = s.ChunkSec
+	return 0
+}
+
+func TestTuneHybrid(t *testing.T) {
+	sk := QoESketch()
+	// A rebuffer-phobic viewer.
+	m := map[string]float64{"w_bitrate": 2, "w_rebuffer": 18, "w_switches": 0.5, "w_startup": 0.3}
+	holes := make([]float64, sk.NumHoles())
+	for i, h := range sk.Holes() {
+		holes[i] = m[h]
+	}
+	objective := sk.MustCandidate(holes)
+	traces := []*Trace{
+		Stepped(5, 0.7, 20, 4),
+		Constant(2),
+	}
+	tuned, score, err := TuneHybrid(objective, traces, Config{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuned configuration must beat the package default under this
+	// objective (or tie if the default happens to be on the grid).
+	var defScore float64
+	for _, tr := range traces {
+		mm, err := Simulate(Hybrid{}, tr, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defScore += objective.Eval(sk.Space().Clamp(mm.Scenario()))
+	}
+	defScore /= float64(len(traces))
+	if score < defScore-1e-9 {
+		t.Errorf("tuned score %v below default %v", score, defScore)
+	}
+	if tuned.RebufferPenalty == 0 {
+		t.Error("tuned penalties zero")
+	}
+}
+
+func TestTuneHybridValidation(t *testing.T) {
+	sk := QoESketch()
+	objective := sk.MustCandidate(make([]float64, sk.NumHoles()))
+	if _, _, err := TuneHybrid(objective, nil, Config{}, nil, nil); err == nil {
+		t.Error("no traces accepted")
+	}
+}
+
+func TestParseTraceTwoColumn(t *testing.T) {
+	src := `
+# test trace
+2 10
+3 1.5
+`
+	tr, err := ParseTrace(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.samples) != 2 {
+		t.Fatalf("samples = %d", len(tr.samples))
+	}
+	if tr.samples[0] != (TraceSample{Duration: 2, Mbps: 10}) {
+		t.Errorf("sample 0 = %+v", tr.samples[0])
+	}
+}
+
+func TestParseTraceSingleColumn(t *testing.T) {
+	tr, err := ParseTrace(strings.NewReader("5\n3\n1.2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.samples) != 3 {
+		t.Fatalf("samples = %d", len(tr.samples))
+	}
+	for _, s := range tr.samples {
+		if s.Duration != 1 {
+			t.Errorf("single-column duration = %v, want 1", s.Duration)
+		}
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	bad := []string{
+		"",      // empty
+		"1 2 3", // too many columns
+		"x 2",   // bad duration
+		"2 y",   // bad bandwidth
+		"1 0",   // zero bandwidth rejected by NewTrace
+		"-1 2",  // negative duration
+	}
+	for _, src := range bad {
+		if _, err := ParseTrace(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestWriteTraceRoundTrip(t *testing.T) {
+	orig := Stepped(5, 1, 10, 3)
+	var buf strings.Builder
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.samples) != len(orig.samples) {
+		t.Fatalf("round trip changed sample count")
+	}
+	for i := range back.samples {
+		if back.samples[i] != orig.samples[i] {
+			t.Fatalf("sample %d changed: %+v vs %+v", i, back.samples[i], orig.samples[i])
+		}
+	}
+}

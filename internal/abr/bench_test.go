@@ -1,0 +1,21 @@
+package abr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSimulateSession(b *testing.B) {
+	tr := RandomWalk(120, 3, 2.5, 0.4, 8, rand.New(rand.NewSource(1)))
+	algos := []Algorithm{RateBased{}, BufferBased{}, BOLA{}, Hybrid{}}
+	for _, a := range algos {
+		b.Run(a.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(a, tr, Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

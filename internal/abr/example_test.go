@@ -1,0 +1,20 @@
+package abr_test
+
+import (
+	"fmt"
+
+	"compsynth/internal/abr"
+)
+
+func ExampleSimulate() {
+	// A buffer-based player on a steady 3 Mbps link.
+	m, err := abr.Simulate(abr.BufferBased{}, abr.Constant(3), abr.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rebuffered:", m.RebufferRatio > 0)
+	fmt.Println("bitrate within link rate:", m.AvgBitrateMbps <= 3)
+	// Output:
+	// rebuffered: false
+	// bitrate within link rate: true
+}

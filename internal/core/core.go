@@ -1,0 +1,558 @@
+// Package core implements comparative synthesis — the paper's primary
+// contribution. A Synthesizer learns an objective function matching a
+// user's intent through iterative preference queries:
+//
+//  1. It shows the user a handful of random scenarios and records the
+//     returned ranking in a preference graph G (§4.2).
+//  2. Each iteration it asks the constraint solver for two candidate
+//     objective functions consistent with G that disagree on a fresh
+//     pair of scenarios, and asks the user to order that pair.
+//  3. When no consistent candidates disagree anymore (the solver's
+//     "unsatisfiable" verdict), the objective function is behaviorally
+//     pinned down and a representative candidate is returned.
+//
+// The synthesizer supports the paper's extensions: several pairs ranked
+// per iteration (Fig. 4), a configurable number of initial scenarios
+// (Fig. 5), partial ranks/indifference (§4.2), a viability hook (§4.2),
+// and robustness to inconsistent answers (§6.1).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"compsynth/internal/oracle"
+	"compsynth/internal/prefgraph"
+	"compsynth/internal/scenario"
+	"compsynth/internal/sketch"
+	"compsynth/internal/solver"
+)
+
+// NoisePolicy selects how the synthesizer handles an answer that
+// contradicts the preference graph.
+type NoisePolicy int
+
+// Noise policies.
+const (
+	// NoiseReject drops contradicting answers on the floor (the safe
+	// default for trusted oracles, where contradictions indicate ties
+	// broken differently across queries).
+	NoiseReject NoisePolicy = iota
+	// NoiseRepair force-inserts the answer and breaks the resulting
+	// cycles by dropping the oldest conflicting edges — suitable for
+	// noisy users whose later answers are at least as trustworthy as
+	// earlier ones.
+	NoiseRepair
+	// NoiseFail aborts the synthesis with an error.
+	NoiseFail
+)
+
+func (p NoisePolicy) String() string {
+	switch p {
+	case NoiseReject:
+		return "reject"
+	case NoiseRepair:
+		return "repair"
+	case NoiseFail:
+		return "fail"
+	}
+	return fmt.Sprintf("NoisePolicy(%d)", int(p))
+}
+
+// Config parameterizes a synthesis session. Sketch and Oracle are
+// required; zero values elsewhere select the paper's defaults.
+type Config struct {
+	Sketch *sketch.Sketch
+	Oracle oracle.Oracle
+
+	// InitialScenarios is the number of random scenarios ranked before
+	// the first iteration (paper default 5; Fig. 5 varies 0–10).
+	InitialScenarios int
+	// PairsPerIteration is the number of scenario pairs the user ranks
+	// per iteration (paper default 1; Fig. 4 varies 1–5).
+	PairsPerIteration int
+	// MaxIterations caps the interaction loop (safety net; the paper's
+	// runs converge around 30).
+	MaxIterations int
+	// Margin is the strictness slack for preference constraints.
+	Margin float64
+	// LearnTies, when set, turns Indifferent answers into near-equality
+	// constraints |f(a) − f(b)| ≤ TieBand instead of discarding them —
+	// each query then always contributes information. Use only when the
+	// user's "indifferent" really means "equally good", not "don't
+	// know": a don't-know tie over genuinely different scenarios can
+	// make the constraint set unsatisfiable (which the noise-relaxation
+	// path then repairs by dropping preference edges).
+	LearnTies bool
+	// TieBand is the indifference slack for LearnTies. Zero defaults to
+	// the distinguishing resolution Gamma — "the user cannot tell them
+	// apart" and "the solver considers them behaviorally equal" then
+	// agree.
+	TieBand float64
+	// ConvergenceChecks is how many consecutive unsat verdicts are
+	// required before declaring convergence; the distinguishing search
+	// is randomized, so a single verdict can be premature. Default 2.
+	ConvergenceChecks int
+	// TransitiveReduction, when set, reduces the preference graph after
+	// every update so the solver sees a minimal constraint set. This is
+	// an ablation knob; see BenchmarkAblationTransitiveReduction.
+	TransitiveReduction bool
+	// Viable optionally rejects unimplementable hole vectors (§4.2).
+	Viable func(holes []float64) bool
+	// OnIteration, when set, is called after every completed iteration
+	// with its statistics — a progress hook for interactive frontends.
+	// It runs synchronously on the synthesis goroutine.
+	OnIteration func(IterationStat)
+	// InitialScenarioSource optionally supplies the initial scenarios
+	// instead of uniform random sampling — the paper's §6.1 "comparing
+	// scenarios through simulators": drawing them from a design
+	// simulator (e.g. te.SampleScenarios) shows the user outcomes that
+	// are actually achievable. It must return n scenarios inside the
+	// sketch's metric space.
+	InitialScenarioSource func(rng *rand.Rand, n int) []scenario.Scenario
+	// Noise selects the inconsistent-answer policy.
+	Noise NoisePolicy
+
+	// Solver and Distinguish tune the constraint-solving backend; zero
+	// values select solver.DefaultOptions / DefaultDistinguishOptions.
+	Solver      solver.Options
+	Distinguish solver.DistinguishOptions
+
+	// Seed drives all randomness in the session (scenario generation
+	// and solver search). Sessions with equal configs and seeds are
+	// reproducible.
+	Seed int64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.InitialScenarios == 0 {
+		c.InitialScenarios = 5
+	}
+	if c.InitialScenarios < 0 { // explicit "no initial scenarios"
+		c.InitialScenarios = 0
+	}
+	if c.PairsPerIteration <= 0 {
+		c.PairsPerIteration = 1
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 300
+	}
+	if c.ConvergenceChecks <= 0 {
+		c.ConvergenceChecks = 2
+	}
+	if c.Solver.Samples == 0 && c.Solver.RepairRestarts == 0 {
+		c.Solver = solver.DefaultOptions()
+	}
+	if c.Distinguish == (solver.DistinguishOptions{}) {
+		c.Distinguish = solver.DefaultDistinguishOptions()
+	}
+	return c
+}
+
+// IterationStat records one interaction round.
+type IterationStat struct {
+	// Index is the 1-based iteration number.
+	Index int
+	// SynthTime is the time spent in the solver this iteration (oracle
+	// time is excluded, as in the paper's methodology).
+	SynthTime time.Duration
+	// Queries is the number of oracle comparisons issued.
+	Queries int
+	// NewEdges is the number of preference edges added.
+	NewEdges int
+	// Rejected is the number of answers dropped or repaired away due to
+	// contradictions.
+	Rejected int
+	// Status is the distinguishing-query verdict.
+	Status solver.Status
+}
+
+// Result is the outcome of a synthesis session.
+type Result struct {
+	// Final is the synthesized objective function (a representative of
+	// the remaining version space).
+	Final *sketch.Candidate
+	// Converged reports whether the session ended with the solver
+	// unable to find disagreeing candidates (as opposed to hitting
+	// MaxIterations).
+	Converged bool
+	// Iterations is the number of interaction rounds performed.
+	Iterations int
+	// Stats has one entry per iteration.
+	Stats []IterationStat
+	// InitTime is the time spent preparing the initial preference graph.
+	InitTime time.Duration
+	// TotalSynthTime is the summed solver time (init + iterations).
+	TotalSynthTime time.Duration
+	// Graph is the final preference graph; Store resolves its vertex
+	// IDs to scenarios.
+	Graph *prefgraph.Graph
+	// Store is the scenario store backing Graph.
+	Store *scenario.Store
+	// Ties are the indifference constraints collected under LearnTies.
+	Ties []solver.Tie
+}
+
+// Oracle returns the synthesized objective as an oracle, for agreement
+// testing against the ground truth.
+func (r *Result) Oracle() oracle.Oracle {
+	return oracle.NewGroundTruth(r.Final, 0)
+}
+
+// ErrInconsistent is returned under NoiseFail when a user answer
+// contradicts the preference graph.
+var ErrInconsistent = errors.New("core: user answer contradicts earlier preferences")
+
+// ErrNoCandidate is returned when no objective function consistent with
+// the recorded preferences exists (over-constrained graph, e.g. from
+// unrepaired noise).
+var ErrNoCandidate = errors.New("core: no candidate consistent with preference graph")
+
+// Synthesizer runs comparative synthesis sessions.
+type Synthesizer struct {
+	cfg   Config
+	rng   *rand.Rand
+	graph *prefgraph.Graph
+	store *scenario.Store
+	// hints are warm-start hole vectors carried between iterations:
+	// witnesses found in earlier rounds anchor the solver in the
+	// remaining version space, which shrinks as constraints accumulate.
+	hints [][]float64
+	// preloaded marks a session resumed from a Transcript; the initial
+	// ranking is skipped because the transcript already contains it.
+	preloaded bool
+	// ties are the indifference constraints collected under LearnTies.
+	ties []solver.Tie
+}
+
+// maxHints caps the warm-start pool.
+const maxHints = 16
+
+func (s *Synthesizer) addHints(hs ...[]float64) {
+	for _, h := range hs {
+		if h == nil {
+			continue
+		}
+		s.hints = append(s.hints, append([]float64(nil), h...))
+	}
+	if len(s.hints) > maxHints {
+		s.hints = s.hints[len(s.hints)-maxHints:]
+	}
+}
+
+// solverOpts returns the configured solver options with current hints.
+func (s *Synthesizer) solverOpts(escalation int) solver.Options {
+	opts := s.cfg.Solver
+	if escalation > 0 {
+		opts.Samples *= 4 * escalation
+		opts.RepairRestarts *= 3 * escalation
+		opts.RepairSteps *= 2
+		opts.MaxBoxes *= 2 * escalation
+	}
+	opts.Hints = s.hints
+	return opts
+}
+
+// New validates the config and creates a synthesizer.
+func New(cfg Config) (*Synthesizer, error) {
+	if cfg.Sketch == nil {
+		return nil, errors.New("core: Config.Sketch is required")
+	}
+	if cfg.Oracle == nil {
+		return nil, errors.New("core: Config.Oracle is required")
+	}
+	cfg = cfg.withDefaults()
+	// Scenario dedup tolerance: a millionth of the metric ranges.
+	tol := 0.0
+	for _, r := range cfg.Sketch.Space().Ranges() {
+		if w := r.Width() * 1e-9; w > tol {
+			tol = w
+		}
+	}
+	return &Synthesizer{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		graph: prefgraph.New(),
+		store: scenario.NewStore(cfg.Sketch.Space(), tol),
+	}, nil
+}
+
+// Run executes the synthesis session to convergence (or the iteration
+// cap) and returns the result.
+func (s *Synthesizer) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the session stops at the next
+// iteration boundary when ctx is done and returns ctx's error. Long
+// interactive sessions (and servers embedding the synthesizer) should
+// prefer it.
+func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
+	res := &Result{Graph: s.graph, Store: s.store}
+
+	initStart := time.Now()
+	if err := s.initGraph(res); err != nil {
+		return nil, err
+	}
+	res.InitTime = time.Since(initStart)
+	res.TotalSynthTime += res.InitTime
+
+	unsatStreak := 0
+	for iter := 1; iter <= s.cfg.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: session canceled after %d iterations: %w", iter-1, err)
+		}
+		stat := IterationStat{Index: iter}
+
+		solveStart := time.Now()
+		problem, edges := s.problem()
+		wits, status := solver.FindDistinguishingMany(
+			problem, s.cfg.PairsPerIteration, s.solverOpts(0), s.cfg.Distinguish, s.rng)
+		if status == solver.StatusUnknown {
+			// No consistent candidate found at the base budget. Escalate
+			// once: the version space may just be small.
+			wits, status = solver.FindDistinguishingMany(
+				problem, s.cfg.PairsPerIteration, s.solverOpts(2), s.cfg.Distinguish, s.rng)
+		}
+		if status == solver.StatusUnknown {
+			// Still nothing: the preference constraints are numerically
+			// infeasible for this sketch (inconsistent answers that did
+			// not form a graph cycle). Relax per the noise policy.
+			dropped, relaxErr := s.relax(problem, edges)
+			if relaxErr != nil {
+				return nil, fmt.Errorf("%w (after %d iterations)", relaxErr, iter-1)
+			}
+			stat.Rejected += dropped
+			stat.SynthTime = time.Since(solveStart)
+			stat.Status = status
+			res.TotalSynthTime += stat.SynthTime
+			res.Stats = append(res.Stats, stat)
+			if s.cfg.OnIteration != nil {
+				s.cfg.OnIteration(stat)
+			}
+			res.Iterations = iter
+			continue
+		}
+		stat.SynthTime = time.Since(solveStart)
+		stat.Status = status
+		res.TotalSynthTime += stat.SynthTime
+
+		switch status {
+		case solver.StatusUnsat:
+			unsatStreak++
+			res.Stats = append(res.Stats, stat)
+			if s.cfg.OnIteration != nil {
+				s.cfg.OnIteration(stat)
+			}
+			res.Iterations = iter
+			if unsatStreak >= s.cfg.ConvergenceChecks {
+				res.Converged = true
+				return s.finish(res)
+			}
+			continue
+		}
+		unsatStreak = 0
+
+		for _, w := range wits {
+			s.addHints(w.A, w.B)
+		}
+		for _, w := range wits {
+			pref := s.cfg.Oracle.Compare(w.X1, w.X2)
+			stat.Queries++
+			added, rejected, err := s.record(w.X1, w.X2, pref)
+			if err != nil {
+				return nil, err
+			}
+			stat.NewEdges += added
+			stat.Rejected += rejected
+		}
+		if s.cfg.TransitiveReduction {
+			s.graph.TransitiveReduction()
+		}
+		res.Stats = append(res.Stats, stat)
+		if s.cfg.OnIteration != nil {
+			s.cfg.OnIteration(stat)
+		}
+		res.Iterations = iter
+	}
+	return s.finish(res)
+}
+
+// initGraph seeds the preference graph with a ranking of random
+// scenarios (paper: "the synthesizer generates a set of randomly
+// generated scenarios and asks the user to indicate her preferences").
+func (s *Synthesizer) initGraph(res *Result) error {
+	if s.preloaded {
+		return nil // transcript already supplied the early answers
+	}
+	n := s.cfg.InitialScenarios
+	if n < 2 {
+		return nil // nothing rankable
+	}
+	var scs []scenario.Scenario
+	if src := s.cfg.InitialScenarioSource; src != nil {
+		scs = src(s.rng, n)
+		for _, sc := range scs {
+			if !s.cfg.Sketch.Space().Contains(sc) {
+				return fmt.Errorf("core: InitialScenarioSource produced %v outside the metric space", sc)
+			}
+		}
+	} else {
+		scs = s.cfg.Sketch.Space().RandomN(s.rng, n)
+	}
+	groups := oracle.Rank(s.cfg.Oracle, scs)
+	// Edges between members of consecutive groups carry the full
+	// ranking (transitivity supplies the rest).
+	for gi := 0; gi+1 < len(groups); gi++ {
+		for _, hi := range groups[gi] {
+			for _, lo := range groups[gi+1] {
+				_, _, err := s.record(scs[hi], scs[lo], oracle.PrefersFirst)
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// record stores the user's answer for the (a, b) pair, returning the
+// number of edges added and of answers rejected/repaired.
+func (s *Synthesizer) record(a, b scenario.Scenario, pref oracle.Preference) (added, rejected int, err error) {
+	if pref == oracle.Indifferent {
+		if !s.cfg.LearnTies {
+			return 0, 0, nil // partial ranks are fine (§4.2)
+		}
+		band := s.cfg.TieBand
+		if band <= 0 {
+			band = s.cfg.Distinguish.Gamma
+		}
+		s.ties = append(s.ties, solver.Tie{A: a.Clone(), B: b.Clone(), Band: band})
+		return 1, 0, nil
+	}
+	better, worse := a, b
+	if pref == oracle.PrefersSecond {
+		better, worse = b, a
+	}
+	bid, err := s.store.Add(better)
+	if err != nil {
+		return 0, 0, err
+	}
+	wid, err := s.store.Add(worse)
+	if err != nil {
+		return 0, 0, err
+	}
+	if bid == wid {
+		return 0, 0, nil // deduplicated to the same vertex
+	}
+	addErr := s.graph.Add(bid, wid)
+	if addErr == nil {
+		return 1, 0, nil
+	}
+	var cyc prefgraph.ErrCycle
+	if !errors.As(addErr, &cyc) {
+		return 0, 0, addErr
+	}
+	switch s.cfg.Noise {
+	case NoiseReject:
+		return 0, 1, nil
+	case NoiseFail:
+		return 0, 0, fmt.Errorf("%w: %v", ErrInconsistent, addErr)
+	case NoiseRepair:
+		s.graph.ForceAdd(bid, wid)
+		// Prefer keeping the newest edge: older edges get lower weight.
+		newest := prefgraph.Edge{Better: bid, Worse: wid}
+		removed := s.graph.BreakCycles(func(e prefgraph.Edge) float64 {
+			if e == newest {
+				return 1
+			}
+			return 0
+		})
+		return 1, len(removed), nil
+	}
+	return 0, 0, fmt.Errorf("core: unknown noise policy %v", s.cfg.Noise)
+}
+
+// problem materializes the current graph as solver constraints. The
+// returned edges parallel the constraint order.
+func (s *Synthesizer) problem() (solver.Problem, []prefgraph.Edge) {
+	edges := s.graph.Edges()
+	prefs := make([]solver.Pref, 0, len(edges))
+	for _, e := range edges {
+		better, _ := s.store.Get(e.Better)
+		worse, _ := s.store.Get(e.Worse)
+		prefs = append(prefs, solver.Pref{Better: better, Worse: worse})
+	}
+	return solver.Problem{
+		Sketch: s.cfg.Sketch,
+		Prefs:  prefs,
+		Ties:   s.ties,
+		Margin: s.cfg.Margin,
+		Viable: s.cfg.Viable,
+	}, edges
+}
+
+// relax drops the preference edges violated by the best point the
+// solver can reach, restoring numeric feasibility after inconsistent
+// answers. NoiseFail forbids relaxation.
+func (s *Synthesizer) relax(p solver.Problem, edges []prefgraph.Edge) (int, error) {
+	if s.cfg.Noise == NoiseFail {
+		return 0, ErrInconsistent
+	}
+	if len(edges) == 0 {
+		return 0, ErrNoCandidate
+	}
+	best, loss, satisfied := solver.BestEffort(p, s.solverOpts(2), s.rng)
+	dropped := 0
+	for i, ok := range satisfied {
+		if !ok {
+			if s.graph.Remove(edges[i].Better, edges[i].Worse) {
+				dropped++
+			}
+		}
+	}
+	if dropped == 0 {
+		// Nothing identifiably wrong yet no candidate: give up rather
+		// than loop forever.
+		return 0, ErrNoCandidate
+	}
+	if loss == 0 {
+		s.addHints(best)
+	}
+	return dropped, nil
+}
+
+// finish extracts the final representative candidate.
+func (s *Synthesizer) finish(res *Result) (*Result, error) {
+	res.Ties = append([]solver.Tie(nil), s.ties...)
+	start := time.Now()
+	p, _ := s.problem()
+	holes, status := solver.FindCandidate(p, s.solverOpts(0), s.rng)
+	if status != solver.StatusSat {
+		holes, status = solver.FindCandidate(p, s.solverOpts(2), s.rng)
+	}
+	res.TotalSynthTime += time.Since(start)
+	if status != solver.StatusSat {
+		return nil, fmt.Errorf("%w (final extraction: %v)", ErrNoCandidate, status)
+	}
+	cand, err := s.cfg.Sketch.Candidate(holes)
+	if err != nil {
+		return nil, fmt.Errorf("core: final candidate invalid: %w", err)
+	}
+	res.Final = cand
+	return res, nil
+}
+
+// Validate measures ranking agreement between a synthesis result and a
+// reference oracle over n random scenario pairs — the formalization of
+// the paper's "we successfully synthesized all different correct
+// objective functions" (DESIGN.md §5).
+func Validate(res *Result, reference oracle.Oracle, n int, rng *rand.Rand) float64 {
+	pairs := oracle.RandomPairs(res.Final.Sketch().Space(), n, rng)
+	frac, _ := oracle.Agreement(res.Oracle(), reference, pairs)
+	return frac
+}

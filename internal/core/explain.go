@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"compsynth/internal/interval"
+	"compsynth/internal/solver"
+)
+
+// HoleEstimate summarizes what the session learned about one hole: the
+// range of values still consistent with every recorded preference
+// (estimated from a sample of surviving candidates) and how much of
+// the original domain that range covers.
+type HoleEstimate struct {
+	Name string
+	// Range spans the sampled consistent candidates' values.
+	Range interval.Interval
+	// Domain is the hole's original domain.
+	Domain interval.Interval
+	// Pinned is 1 − Range.Width()/Domain.Width(): 0 means the
+	// preferences say nothing about this hole, 1 means it is fully
+	// determined. Holes that barely affect behavior (e.g. a slope in a
+	// region the bonus dominates) legitimately stay loose even after
+	// convergence.
+	Pinned float64
+}
+
+// Explain estimates the remaining version space of a finished session
+// by sampling consistent candidates and measuring each hole's surviving
+// range. samples controls the candidate pool size (16 is plenty).
+func (s *Synthesizer) Explain(samples int, rng *rand.Rand) ([]HoleEstimate, error) {
+	if samples < 2 {
+		samples = 16
+	}
+	p, _ := s.problem()
+	cands := solver.FindDiverse(p, samples, s.solverOpts(0), rng)
+	if len(cands) == 0 {
+		return nil, ErrNoCandidate
+	}
+	sk := s.cfg.Sketch
+	names := sk.Holes()
+	out := make([]HoleEstimate, len(names))
+	for i, name := range names {
+		lo, hi := cands[0][i], cands[0][i]
+		for _, c := range cands[1:] {
+			if c[i] < lo {
+				lo = c[i]
+			}
+			if c[i] > hi {
+				hi = c[i]
+			}
+		}
+		domain := sk.Domain(i)
+		pinned := 0.0
+		if w := domain.Width(); w > 0 {
+			pinned = 1 - (hi-lo)/w
+			if pinned < 0 {
+				pinned = 0
+			}
+		}
+		out[i] = HoleEstimate{
+			Name:   name,
+			Range:  interval.New(lo, hi),
+			Domain: domain,
+			Pinned: pinned,
+		}
+	}
+	return out, nil
+}
+
+// FormatEstimates renders hole estimates as a table with a confidence
+// bar per hole.
+func FormatEstimates(ests []HoleEstimate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-22s %-18s %s\n", "hole", "consistent range", "domain", "pinned")
+	for _, e := range ests {
+		bar := strings.Repeat("█", int(e.Pinned*10+0.5))
+		fmt.Fprintf(&b, "%-12s %-22s %-18s %5.1f%% %s\n",
+			e.Name, e.Range.String(), e.Domain.String(), e.Pinned*100, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestExplainAfterConvergence(t *testing.T) {
+	cfg := fastConfig(t, 81)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ests, err := s.Explain(16, rand.New(rand.NewSource(82)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 4 {
+		t.Fatalf("estimates = %d", len(ests))
+	}
+	byName := map[string]HoleEstimate{}
+	for _, e := range ests {
+		byName[e.Name] = e
+		if e.Pinned < 0 || e.Pinned > 1 {
+			t.Errorf("%s pinned = %v", e.Name, e.Pinned)
+		}
+		if e.Range.IsEmpty() {
+			t.Errorf("%s empty range", e.Name)
+		}
+		if !e.Domain.ContainsInterval(e.Range) {
+			t.Errorf("%s range %v outside domain %v", e.Name, e.Range, e.Domain)
+		}
+	}
+	// After convergence the thresholds are behaviorally decisive and
+	// must be tightly pinned; the ground truth values lie inside the
+	// surviving ranges (with sampling slack on the range edges).
+	lt := byName["l_thrsh"]
+	if lt.Pinned < 0.8 {
+		t.Errorf("l_thrsh pinned only %v (range %v)", lt.Pinned, lt.Range)
+	}
+	if !lt.Range.Widen(5).Contains(50) {
+		t.Errorf("l_thrsh surviving range %v far from truth 50", lt.Range)
+	}
+	tp := byName["tp_thrsh"]
+	if !tp.Range.Widen(1).Contains(1) {
+		t.Errorf("tp_thrsh surviving range %v far from truth 1", tp.Range)
+	}
+
+	out := FormatEstimates(ests)
+	for _, frag := range []string{"hole", "pinned", "l_thrsh", "tp_thrsh"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("FormatEstimates missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExplainBeforeAnyConstraints(t *testing.T) {
+	cfg := fastConfig(t, 83)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Run: empty graph — every hole should be loose.
+	ests, err := s.Explain(16, rand.New(rand.NewSource(84)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ests {
+		if e.Pinned > 0.9 {
+			t.Errorf("%s pinned %v with no constraints", e.Name, e.Pinned)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"compsynth/internal/scenario"
+	"compsynth/internal/sketch"
+	"compsynth/internal/solver"
+)
+
+// Transcript is the serializable record of a synthesis session: the
+// scenarios shown to the user, the preferences they expressed, and the
+// synthesized result. Transcripts make sessions auditable ("why did
+// the tool pick this objective?") and resumable — an architect can
+// stop answering and continue later, and a recorded session can replay
+// against a modified sketch.
+type Transcript struct {
+	// SketchName, Holes and Metrics identify the sketch the session ran
+	// against; Preload refuses a transcript recorded for a different
+	// shape.
+	SketchName string   `json:"sketch"`
+	Holes      []string `json:"holes"`
+	Metrics    []string `json:"metrics"`
+	// Scenarios are the stored scenarios, indexed by ID.
+	Scenarios [][]float64 `json:"scenarios"`
+	// Preferences are [better, worse] ID pairs (direct graph edges).
+	Preferences [][2]int `json:"preferences"`
+	// Ties are indifference constraints by scenario ID.
+	Ties []TranscriptTie `json:"ties,omitempty"`
+	// Final is the synthesized hole vector (nil if the session did not
+	// finish).
+	Final []float64 `json:"final,omitempty"`
+	// Converged and Iterations record the outcome.
+	Converged  bool `json:"converged"`
+	Iterations int  `json:"iterations"`
+}
+
+// TranscriptTie is a serialized indifference constraint.
+type TranscriptTie struct {
+	A    int     `json:"a"`
+	B    int     `json:"b"`
+	Band float64 `json:"band"`
+}
+
+// Export renders a result as a transcript.
+func Export(res *Result) *Transcript {
+	t := &Transcript{
+		Converged:  res.Converged,
+		Iterations: res.Iterations,
+	}
+	if res.Final != nil {
+		sk := res.Final.Sketch()
+		t.SketchName = sk.Name()
+		t.Holes = sk.Holes()
+		t.Metrics = sk.Space().Names()
+		t.Final = res.Final.Holes()
+	}
+	for _, s := range res.Store.All() {
+		t.Scenarios = append(t.Scenarios, s)
+	}
+	for _, e := range res.Graph.Edges() {
+		t.Preferences = append(t.Preferences, [2]int{e.Better, e.Worse})
+	}
+	for _, tie := range res.Ties {
+		// Tie scenarios were not interned in the store during the
+		// session; intern them now so IDs resolve on load.
+		aID, errA := res.Store.Add(tie.A)
+		bID, errB := res.Store.Add(tie.B)
+		if errA != nil || errB != nil {
+			continue // out-of-space tie cannot happen for session-produced results
+		}
+		t.Ties = append(t.Ties, TranscriptTie{A: aID, B: bID, Band: tie.Band})
+	}
+	if len(res.Ties) > 0 {
+		// Re-export scenarios: interning ties may have grown the store.
+		t.Scenarios = nil
+		for _, s := range res.Store.All() {
+			t.Scenarios = append(t.Scenarios, s)
+		}
+	}
+	return t
+}
+
+// WriteTo serializes the transcript as indented JSON.
+func (t *Transcript) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("core: marshal transcript: %w", err)
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// ReadTranscript parses a JSON transcript.
+func ReadTranscript(r io.Reader) (*Transcript, error) {
+	var t Transcript
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("core: parse transcript: %w", err)
+	}
+	return &t, nil
+}
+
+// Preload installs a transcript's scenarios and preferences into a
+// fresh synthesizer, so a subsequent Run continues the recorded
+// session instead of starting over. The transcript must match the
+// synthesizer's sketch shape, and its preferences must be acyclic.
+// Preload must be called before Run and skips the initial-scenario
+// ranking (the transcript already contains the user's earlier answers).
+func (s *Synthesizer) Preload(t *Transcript) error {
+	if s.graph.NumEdges() > 0 || s.store.Len() > 0 {
+		return fmt.Errorf("core: Preload on a non-fresh synthesizer")
+	}
+	sk := s.cfg.Sketch
+	if t.SketchName != "" && t.SketchName != sk.Name() {
+		return fmt.Errorf("core: transcript for sketch %q, synthesizer has %q", t.SketchName, sk.Name())
+	}
+	if len(t.Holes) > 0 && !equalStrings(t.Holes, sk.Holes()) {
+		return fmt.Errorf("core: transcript holes %v do not match sketch %v", t.Holes, sk.Holes())
+	}
+	if len(t.Metrics) > 0 && !equalStrings(t.Metrics, sk.Space().Names()) {
+		return fmt.Errorf("core: transcript metrics %v do not match space %v", t.Metrics, sk.Space().Names())
+	}
+	// Re-intern scenarios; IDs may shift under deduplication, so keep a
+	// translation table.
+	ids := make([]int, len(t.Scenarios))
+	for i, raw := range t.Scenarios {
+		id, err := s.store.Add(scenario.Scenario(raw))
+		if err != nil {
+			return fmt.Errorf("core: transcript scenario %d: %w", i, err)
+		}
+		ids[i] = id
+	}
+	for _, pref := range t.Preferences {
+		b, w := pref[0], pref[1]
+		if b < 0 || b >= len(ids) || w < 0 || w >= len(ids) {
+			return fmt.Errorf("core: transcript preference %v out of range", pref)
+		}
+		if err := s.graph.Add(ids[b], ids[w]); err != nil {
+			return fmt.Errorf("core: transcript preference %v: %w", pref, err)
+		}
+	}
+	for _, tie := range t.Ties {
+		if tie.A < 0 || tie.A >= len(ids) || tie.B < 0 || tie.B >= len(ids) {
+			return fmt.Errorf("core: transcript tie %v out of range", tie)
+		}
+		if tie.Band <= 0 {
+			return fmt.Errorf("core: transcript tie %v has non-positive band", tie)
+		}
+		a, _ := s.store.Get(ids[tie.A])
+		b, _ := s.store.Get(ids[tie.B])
+		s.ties = append(s.ties, solver.Tie{A: a.Clone(), B: b.Clone(), Band: tie.Band})
+	}
+	if len(t.Final) == len(sk.Holes()) {
+		s.addHints(t.Final)
+	}
+	s.preloaded = true
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Candidate materializes the transcript's final hole vector against a
+// sketch (for replaying a finished session without re-running it).
+func (t *Transcript) Candidate(sk *sketch.Sketch) (*sketch.Candidate, error) {
+	if t.Final == nil {
+		return nil, fmt.Errorf("core: transcript has no final candidate")
+	}
+	return sk.Candidate(t.Final)
+}

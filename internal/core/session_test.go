@@ -1,0 +1,297 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"compsynth/internal/oracle"
+	"compsynth/internal/scenario"
+	"compsynth/internal/sketch"
+	"compsynth/internal/te"
+	"compsynth/internal/topo"
+)
+
+func finishedResult(t *testing.T, seed int64) (*Result, Config) {
+	t.Helper()
+	cfg := fastConfig(t, seed)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, cfg
+}
+
+func TestTranscriptRoundTrip(t *testing.T) {
+	res, _ := finishedResult(t, 51)
+	tr := Export(res)
+	if tr.SketchName != "swan" || len(tr.Holes) != 4 || len(tr.Metrics) != 2 {
+		t.Errorf("transcript header = %+v", tr)
+	}
+	if len(tr.Scenarios) != res.Store.Len() {
+		t.Errorf("scenarios = %d, store = %d", len(tr.Scenarios), res.Store.Len())
+	}
+	if len(tr.Preferences) != res.Graph.NumEdges() {
+		t.Errorf("preferences = %d, edges = %d", len(tr.Preferences), res.Graph.NumEdges())
+	}
+	if !tr.Converged || tr.Iterations != res.Iterations {
+		t.Error("outcome fields wrong")
+	}
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"sketch\": \"swan\"") {
+		t.Errorf("JSON missing sketch name:\n%s", buf.String())
+	}
+	back, err := ReadTranscript(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SketchName != tr.SketchName || back.Iterations != tr.Iterations ||
+		len(back.Scenarios) != len(tr.Scenarios) || len(back.Preferences) != len(tr.Preferences) {
+		t.Error("round trip lost data")
+	}
+	cand, err := back.Candidate(sketch.SWAN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Final.Holes()
+	got := cand.Holes()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("final candidate changed in round trip")
+		}
+	}
+}
+
+func TestReadTranscriptBadJSON(t *testing.T) {
+	if _, err := ReadTranscript(strings.NewReader("{nope")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestTranscriptCandidateWithoutFinal(t *testing.T) {
+	tr := &Transcript{}
+	if _, err := tr.Candidate(sketch.SWAN()); err == nil {
+		t.Error("empty final accepted")
+	}
+}
+
+func TestPreloadResumesSession(t *testing.T) {
+	res, cfg := finishedResult(t, 53)
+	tr := Export(res)
+
+	// Resume into a fresh synthesizer; it should converge quickly (the
+	// transcript carries the full preference graph) and honor all
+	// recorded preferences.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Preload(tr); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Converged {
+		t.Error("resumed session did not converge")
+	}
+	if res2.Iterations > res.Iterations {
+		t.Errorf("resumed session took %d iterations, original %d", res2.Iterations, res.Iterations)
+	}
+	for _, e := range res.Graph.Edges() {
+		better, _ := res.Store.Get(e.Better)
+		worse, _ := res.Store.Get(e.Worse)
+		if res2.Final.Eval(better) <= res2.Final.Eval(worse) {
+			t.Error("resumed result violates recorded preference")
+		}
+	}
+}
+
+func TestPreloadValidation(t *testing.T) {
+	res, cfg := finishedResult(t, 57)
+	tr := Export(res)
+
+	// Non-fresh synthesizer.
+	s, _ := New(cfg)
+	if _, _, err := s.record(scenario.Scenario{5, 10}, scenario.Scenario{2, 100}, oracle.PrefersFirst); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Preload(tr); err == nil {
+		t.Error("Preload on dirty synthesizer accepted")
+	}
+
+	// Wrong sketch shape.
+	s2, _ := New(cfg)
+	bad := *tr
+	bad.Holes = []string{"other"}
+	if err := s2.Preload(&bad); err == nil {
+		t.Error("mismatched holes accepted")
+	}
+	bad = *tr
+	bad.SketchName = "different"
+	if err := s2.Preload(&bad); err == nil {
+		t.Error("mismatched sketch name accepted")
+	}
+	bad = *tr
+	bad.Metrics = []string{"a", "b"}
+	if err := s2.Preload(&bad); err == nil {
+		t.Error("mismatched metrics accepted")
+	}
+
+	// Out-of-range preference index.
+	bad = *tr
+	bad.Preferences = append(append([][2]int{}, tr.Preferences...), [2]int{0, 9999})
+	if err := s2.Preload(&bad); err == nil {
+		t.Error("out-of-range preference accepted")
+	}
+
+	// Cyclic preferences.
+	bad = *tr
+	bad.Preferences = [][2]int{{0, 1}, {1, 0}}
+	if err := s2.Preload(&bad); err == nil {
+		t.Error("cyclic transcript accepted")
+	}
+
+	// Scenario outside the space.
+	bad = *tr
+	bad.Scenarios = append(append([][]float64{}, tr.Scenarios...), []float64{-5, 0})
+	bad.Preferences = nil
+	if err := s2.Preload(&bad); err == nil {
+		t.Error("out-of-space scenario accepted")
+	}
+}
+
+func TestInitialScenarioSourceFromSimulator(t *testing.T) {
+	// Use TE allocations as the initial scenarios (§6.1): the user
+	// ranks achievable outcomes rather than random metric points.
+	g := topo.Abilene()
+	sea, _ := g.NodeID("Seattle")
+	ny, _ := g.NodeID("NewYork")
+	la, _ := g.NodeID("LosAngeles")
+	dc, _ := g.NodeID("WashingtonDC")
+	n, err := te.NewNetwork(g, []te.Flow{
+		{Name: "f1", Src: sea, Dst: ny, Demand: 4},
+		{Name: "f2", Src: la, Dst: dc, Demand: 4},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig(t, 61)
+	achievable, err := te.SampleScenarios(n,
+		te.StandardSchemes([]float64{0, 0.01, 0.05}, []float64{1}), cfg.Sketch.Space())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(achievable) < 3 {
+		t.Fatalf("only %d achievable scenarios", len(achievable))
+	}
+	used := 0
+	cfg.InitialScenarioSource = func(rng *rand.Rand, want int) []scenario.Scenario {
+		out := make([]scenario.Scenario, want)
+		for i := range out {
+			out[i] = achievable[i%len(achievable)]
+			used++
+		}
+		return out
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used == 0 {
+		t.Error("simulator scenario source never used")
+	}
+	if !res.Converged {
+		t.Error("simulator-seeded session did not converge")
+	}
+}
+
+func TestInitialScenarioSourceValidated(t *testing.T) {
+	cfg := fastConfig(t, 67)
+	cfg.InitialScenarioSource = func(rng *rand.Rand, want int) []scenario.Scenario {
+		out := make([]scenario.Scenario, want)
+		for i := range out {
+			out[i] = scenario.Scenario{-99, -99}
+		}
+		return out
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Error("out-of-space initial scenarios accepted")
+	}
+}
+
+func TestTranscriptTiesRoundTrip(t *testing.T) {
+	cfg := fastConfig(t, 103)
+	target, err := sketch.DefaultSWANTarget.Candidate(cfg.Sketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Oracle = oracle.NewGroundTruth(target, 40) // wide tie band -> ties happen
+	cfg.LearnTies = true
+	cfg.TieBand = 80
+	cfg.MaxIterations = 40
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Export(res)
+	if len(res.Ties) != len(tr.Ties) {
+		t.Fatalf("exported %d ties for %d recorded", len(tr.Ties), len(res.Ties))
+	}
+	if len(tr.Ties) == 0 {
+		t.Skip("no ties recorded this seed; covered by other seeds")
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTranscript(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Preload(back); err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.ties) != len(tr.Ties) {
+		t.Errorf("preloaded %d ties, want %d", len(s2.ties), len(tr.Ties))
+	}
+	// Bad tie index rejected.
+	bad := *back
+	bad.Ties = []TranscriptTie{{A: 0, B: 9999, Band: 1}}
+	s3, _ := New(cfg)
+	if err := s3.Preload(&bad); err == nil {
+		t.Error("out-of-range tie accepted")
+	}
+	bad2 := *back
+	bad2.Ties = []TranscriptTie{{A: 0, B: 1, Band: 0}}
+	s4, _ := New(cfg)
+	if err := s4.Preload(&bad2); err == nil {
+		t.Error("zero-band tie accepted")
+	}
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"compsynth/internal/sketch"
+)
+
+func TestRunOnceFast(t *testing.T) {
+	r, err := RunOnce(RunConfig{Seed: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Converged {
+		t.Error("fast run did not converge")
+	}
+	if r.Iterations <= 0 || r.TotalSynthSec <= 0 || r.SecPerIteration <= 0 {
+		t.Errorf("degenerate result: %+v", r)
+	}
+	if r.Queries <= 0 {
+		t.Error("no oracle queries recorded")
+	}
+	if r.Agreement < 0.85 {
+		t.Errorf("agreement %v too low", r.Agreement)
+	}
+	if r.Final == nil {
+		t.Error("no final candidate")
+	}
+}
+
+func TestRunOnceCustomTarget(t *testing.T) {
+	target := sketch.SWANTargetParams{TpThrsh: 3, LThrsh: 80, Slope1: 2, Slope2: 4}
+	r, err := RunOnce(RunConfig{Target: target, Seed: 2, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Agreement < 0.85 {
+		t.Errorf("variant agreement %v", r.Agreement)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	rows, results, err := RunTable1(3, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if rows[0].Metric != "# Iterations" {
+		t.Errorf("row 0 = %q", rows[0].Metric)
+	}
+	for _, r := range rows {
+		if r.Average <= 0 || r.Median <= 0 {
+			t.Errorf("%s: non-positive aggregate %+v", r.Metric, r)
+		}
+		if r.SIQR < 0 {
+			t.Errorf("%s: negative SIQR", r.Metric)
+		}
+	}
+	out := FormatTable1(rows)
+	for _, frag := range []string{"Metrics", "Average", "Median", "SIQR", "# Iterations"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("FormatTable1 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFigure3Variants(t *testing.T) {
+	vs := Figure3Variants()
+	// baseline + 4 holes x 5 values.
+	if len(vs) != 21 {
+		t.Fatalf("variants = %d, want 21", len(vs))
+	}
+	labels := map[string]bool{}
+	for _, v := range vs {
+		if labels[v.Label] {
+			t.Errorf("duplicate label %q", v.Label)
+		}
+		labels[v.Label] = true
+	}
+	for _, want := range []string{"baseline", "tp_thrsh=3", "l_thrsh=80", "slope1=4", "slope2=2"} {
+		if !labels[want] {
+			t.Errorf("missing variant %q", want)
+		}
+	}
+}
+
+func TestRunFigure4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	points, err := RunFigure4(2, 300, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		if p.Value != i+1 {
+			t.Errorf("point %d value = %d", i, p.Value)
+		}
+		if p.ConvergedFraction < 1 {
+			t.Errorf("pairs=%d: converged %v", p.Value, p.ConvergedFraction)
+		}
+	}
+	// The paper's Fig. 4 trend: more pairs per iteration, fewer
+	// iterations (compare the extremes with slack for randomness).
+	if points[4].AvgIterations > points[0].AvgIterations {
+		t.Errorf("5 pairs/iter (%v iters) not fewer than 1 pair (%v)",
+			points[4].AvgIterations, points[0].AvgIterations)
+	}
+	out := FormatSweep("pairs", points)
+	if !strings.Contains(out, "avg iterations") {
+		t.Errorf("FormatSweep header missing:\n%s", out)
+	}
+	csv := CSV(points, "pairs")
+	if !strings.HasPrefix(csv, "pairs,avg_iterations") {
+		t.Errorf("CSV header = %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 6 {
+		t.Error("CSV row count wrong")
+	}
+}
+
+func TestRunFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	points, err := RunFigure5(2, 500, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	wantValues := []int{0, 2, 5, 7, 10}
+	for i, p := range points {
+		if p.Value != wantValues[i] {
+			t.Errorf("point %d value = %d, want %d", i, p.Value, wantValues[i])
+		}
+		if p.ConvergedFraction < 1 {
+			t.Errorf("init=%d: converged %v", p.Value, p.ConvergedFraction)
+		}
+		if p.AvgAgreement < 0.85 {
+			t.Errorf("init=%d: agreement %v", p.Value, p.AvgAgreement)
+		}
+	}
+}
+
+func TestRunFigure3Subset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("variant sweep is slow")
+	}
+	// Full Figure 3 is exercised by the benchmark harness; here a smoke
+	// run over the real entry point with 1 run per variant.
+	points, err := RunFigure3(1, 700, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 21 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.ConvergedFraction < 1 {
+			t.Errorf("%s did not converge", p.Label)
+		}
+		if p.AvgAgreement < 0.8 {
+			t.Errorf("%s agreement %v", p.Label, p.AvgAgreement)
+		}
+	}
+	out := FormatVariants(points)
+	if !strings.Contains(out, "baseline") {
+		t.Errorf("FormatVariants missing baseline:\n%s", out)
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"compsynth/internal/core"
+)
+
+func TestRunNoiseSweepCleanOracle(t *testing.T) {
+	points, err := RunNoiseSweep([]float64{0}, core.NoiseReject, 2, 900, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("points = %d", len(points))
+	}
+	p := points[0]
+	if p.CompletedFraction < 1 {
+		t.Errorf("clean runs failed: %v", p.CompletedFraction)
+	}
+	if p.AvgAgreement < 0.9 {
+		t.Errorf("clean agreement = %v", p.AvgAgreement)
+	}
+	out := FormatNoise(points)
+	if !strings.Contains(out, "flip prob") {
+		t.Errorf("FormatNoise header:\n%s", out)
+	}
+}
+
+func TestRunNoiseSweepNoisyOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("noisy sweep is slow")
+	}
+	points, err := RunNoiseSweep([]float64{0.05, 0.15}, core.NoiseRepair, 2, 950, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.CompletedFraction == 0 {
+			t.Errorf("flip=%v: no runs completed", p.FlipProb)
+		}
+	}
+	// A completed noisy run should still beat coin flipping by a wide
+	// margin.
+	if points[0].CompletedFraction > 0 && points[0].AvgAgreement < 0.6 {
+		t.Errorf("flip=0.05 agreement = %v", points[0].AvgAgreement)
+	}
+}
+
+func TestRunMultiRegion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-region sweep is slow")
+	}
+	points, err := RunMultiRegion([]int{1, 2}, 2, 970, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].Holes != 4 || points[1].Holes != 7 {
+		t.Errorf("hole counts = %d, %d", points[0].Holes, points[1].Holes)
+	}
+	for _, p := range points {
+		if p.ConvergedFraction == 0 {
+			t.Errorf("%d regions: nothing converged", p.Regions)
+		}
+		if p.AvgAgreement < 0.8 {
+			t.Errorf("%d regions: agreement %v", p.Regions, p.AvgAgreement)
+		}
+	}
+	out := FormatMultiRegion(points)
+	if !strings.Contains(out, "regions") {
+		t.Errorf("FormatMultiRegion header:\n%s", out)
+	}
+}
+
+func TestRunFatigueSweep(t *testing.T) {
+	points, err := RunFatigueSweep([]int{0, 15}, 2, 1100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].AvgAgreement < 0.9 {
+		t.Errorf("tireless agreement = %v", points[0].AvgAgreement)
+	}
+	// The fatigued user still produces a usable (if worse) objective.
+	if points[1].AvgAgreement < 0.5 {
+		t.Errorf("fatigued agreement = %v", points[1].AvgAgreement)
+	}
+	if points[1].AvgAnswered == 0 {
+		t.Error("fatigued answer count not recorded")
+	}
+	out := FormatFatigue(points)
+	if !strings.Contains(out, "patience") || !strings.Contains(out, "∞") {
+		t.Errorf("FormatFatigue:\n%s", out)
+	}
+}
+
+func TestRunStrategyComparison(t *testing.T) {
+	points, err := RunStrategyComparison(2, 1300, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.AvgIterations <= 0 {
+			t.Errorf("%v: iterations %v", p.Strategy, p.AvgIterations)
+		}
+		if p.AvgAgreement < 0.85 {
+			t.Errorf("%v: agreement %v", p.Strategy, p.AvgAgreement)
+		}
+	}
+	out := FormatStrategies(points)
+	for _, frag := range []string{"strategy", "max-gap", "vote-split", "first-found"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("FormatStrategies missing %q:\n%s", frag, out)
+		}
+	}
+}

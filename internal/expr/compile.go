@@ -1,0 +1,350 @@
+package expr
+
+import (
+	"fmt"
+
+	"compsynth/internal/interval"
+)
+
+// Program is an expression compiled against fixed variable and hole
+// orderings. Evaluation takes positional slices instead of maps, which
+// keeps the synthesizer's inner loops allocation-free.
+type Program struct {
+	expr   Expr
+	vars   []string
+	holes  []string
+	varIdx map[string]int
+	hole   map[string]int
+	fn     compiledNum
+	ifn    compiledNumIv
+}
+
+type compiledNum func(vars, holes []float64) float64
+type compiledBool func(vars, holes []float64) bool
+type compiledNumIv func(vars, holes []interval.Interval) interval.Interval
+type compiledBoolIv func(vars, holes []interval.Interval) Tri
+
+// Compile binds e's variables and holes to positions in the given
+// orderings and returns a Program. Every variable and hole occurring in
+// e must appear in the respective list; extra names are permitted.
+func Compile(e Expr, vars, holes []string) (*Program, error) {
+	p := &Program{
+		expr:   e,
+		vars:   append([]string(nil), vars...),
+		holes:  append([]string(nil), holes...),
+		varIdx: make(map[string]int, len(vars)),
+		hole:   make(map[string]int, len(holes)),
+	}
+	for i, v := range vars {
+		if _, dup := p.varIdx[v]; dup {
+			return nil, fmt.Errorf("expr: duplicate variable %q", v)
+		}
+		p.varIdx[v] = i
+	}
+	for i, h := range holes {
+		if _, dup := p.hole[h]; dup {
+			return nil, fmt.Errorf("expr: duplicate hole %q", h)
+		}
+		p.hole[h] = i
+	}
+	fn, err := p.compileNum(e)
+	if err != nil {
+		return nil, err
+	}
+	ifn, err := p.compileNumIv(e)
+	if err != nil {
+		return nil, err
+	}
+	p.fn = fn
+	p.ifn = ifn
+	return p, nil
+}
+
+// MustCompile is Compile but panics on error; for package-level sketches
+// whose well-formedness is a code invariant.
+func MustCompile(e Expr, vars, holes []string) *Program {
+	p, err := Compile(e, vars, holes)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Expr returns the source expression.
+func (p *Program) Expr() Expr { return p.expr }
+
+// Vars returns the variable ordering.
+func (p *Program) Vars() []string { return append([]string(nil), p.vars...) }
+
+// HoleNames returns the hole ordering.
+func (p *Program) HoleNames() []string { return append([]string(nil), p.holes...) }
+
+// NumHoles returns the number of holes in the ordering.
+func (p *Program) NumHoles() int { return len(p.holes) }
+
+// NumVars returns the number of variables in the ordering.
+func (p *Program) NumVars() int { return len(p.vars) }
+
+// Eval evaluates the program. vars and holes are positional per the
+// orderings given to Compile.
+func (p *Program) Eval(vars, holes []float64) float64 {
+	return p.fn(vars, holes)
+}
+
+// EvalInterval evaluates the program over boxes.
+func (p *Program) EvalInterval(vars, holes []interval.Interval) interval.Interval {
+	return p.ifn(vars, holes)
+}
+
+func (p *Program) compileNum(e Expr) (compiledNum, error) {
+	switch n := e.(type) {
+	case Const:
+		v := n.Value
+		return func(_, _ []float64) float64 { return v }, nil
+	case Var:
+		i, ok := p.varIdx[n.Name]
+		if !ok {
+			return nil, ErrUnbound{Kind: "var", Name: n.Name}
+		}
+		return func(vars, _ []float64) float64 { return vars[i] }, nil
+	case Hole:
+		i, ok := p.hole[n.Name]
+		if !ok {
+			return nil, ErrUnbound{Kind: "hole", Name: n.Name}
+		}
+		return func(_, holes []float64) float64 { return holes[i] }, nil
+	case Bin:
+		l, err := p.compileNum(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.compileNum(n.R)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case OpAdd:
+			return func(v, h []float64) float64 { return l(v, h) + r(v, h) }, nil
+		case OpSub:
+			return func(v, h []float64) float64 { return l(v, h) - r(v, h) }, nil
+		case OpMul:
+			return func(v, h []float64) float64 { return l(v, h) * r(v, h) }, nil
+		case OpDiv:
+			return func(v, h []float64) float64 { return l(v, h) / r(v, h) }, nil
+		case OpMin:
+			return func(v, h []float64) float64 {
+				a, b := l(v, h), r(v, h)
+				if a < b {
+					return a
+				}
+				return b
+			}, nil
+		case OpMax:
+			return func(v, h []float64) float64 {
+				a, b := l(v, h), r(v, h)
+				if a > b {
+					return a
+				}
+				return b
+			}, nil
+		}
+		return nil, fmt.Errorf("expr: unknown binop %v", n.Op)
+	case Neg:
+		x, err := p.compileNum(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(v, h []float64) float64 { return -x(v, h) }, nil
+	case Abs:
+		x, err := p.compileNum(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(v, h []float64) float64 {
+			a := x(v, h)
+			if a < 0 {
+				return -a
+			}
+			return a
+		}, nil
+	case If:
+		c, err := p.compileBool(n.Cond)
+		if err != nil {
+			return nil, err
+		}
+		t, err := p.compileNum(n.Then)
+		if err != nil {
+			return nil, err
+		}
+		f, err := p.compileNum(n.Else)
+		if err != nil {
+			return nil, err
+		}
+		return func(v, h []float64) float64 {
+			if c(v, h) {
+				return t(v, h)
+			}
+			return f(v, h)
+		}, nil
+	}
+	return nil, fmt.Errorf("expr: unknown node %T", e)
+}
+
+func (p *Program) compileBool(b BoolExpr) (compiledBool, error) {
+	switch n := b.(type) {
+	case BoolConst:
+		v := n.Value
+		return func(_, _ []float64) bool { return v }, nil
+	case Cmp:
+		l, err := p.compileNum(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.compileNum(n.R)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(v, h []float64) bool { return applyCmp(op, l(v, h), r(v, h)) }, nil
+	case BoolBin:
+		l, err := p.compileBool(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.compileBool(n.R)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == OpAnd {
+			return func(v, h []float64) bool { return l(v, h) && r(v, h) }, nil
+		}
+		return func(v, h []float64) bool { return l(v, h) || r(v, h) }, nil
+	case Not:
+		x, err := p.compileBool(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(v, h []float64) bool { return !x(v, h) }, nil
+	}
+	return nil, fmt.Errorf("expr: unknown bool node %T", b)
+}
+
+func (p *Program) compileNumIv(e Expr) (compiledNumIv, error) {
+	switch n := e.(type) {
+	case Const:
+		v := interval.Point(n.Value)
+		return func(_, _ []interval.Interval) interval.Interval { return v }, nil
+	case Var:
+		i, ok := p.varIdx[n.Name]
+		if !ok {
+			return nil, ErrUnbound{Kind: "var", Name: n.Name}
+		}
+		return func(vars, _ []interval.Interval) interval.Interval { return vars[i] }, nil
+	case Hole:
+		i, ok := p.hole[n.Name]
+		if !ok {
+			return nil, ErrUnbound{Kind: "hole", Name: n.Name}
+		}
+		return func(_, holes []interval.Interval) interval.Interval { return holes[i] }, nil
+	case Bin:
+		l, err := p.compileNumIv(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.compileNumIv(n.R)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(v, h []interval.Interval) interval.Interval {
+			return applyBinInterval(op, l(v, h), r(v, h))
+		}, nil
+	case Neg:
+		x, err := p.compileNumIv(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(v, h []interval.Interval) interval.Interval { return x(v, h).Neg() }, nil
+	case Abs:
+		x, err := p.compileNumIv(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(v, h []interval.Interval) interval.Interval { return x(v, h).Abs() }, nil
+	case If:
+		c, err := p.compileBoolIv(n.Cond)
+		if err != nil {
+			return nil, err
+		}
+		t, err := p.compileNumIv(n.Then)
+		if err != nil {
+			return nil, err
+		}
+		f, err := p.compileNumIv(n.Else)
+		if err != nil {
+			return nil, err
+		}
+		return func(v, h []interval.Interval) interval.Interval {
+			switch c(v, h) {
+			case TriTrue:
+				return t(v, h)
+			case TriFalse:
+				return f(v, h)
+			default:
+				return t(v, h).Union(f(v, h))
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("expr: unknown node %T", e)
+}
+
+func (p *Program) compileBoolIv(b BoolExpr) (compiledBoolIv, error) {
+	switch n := b.(type) {
+	case BoolConst:
+		v := TriFalse
+		if n.Value {
+			v = TriTrue
+		}
+		return func(_, _ []interval.Interval) Tri { return v }, nil
+	case Cmp:
+		l, err := p.compileNumIv(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.compileNumIv(n.R)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(v, h []interval.Interval) Tri { return cmpInterval(op, l(v, h), r(v, h)) }, nil
+	case BoolBin:
+		l, err := p.compileBoolIv(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.compileBoolIv(n.R)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == OpAnd {
+			return func(v, h []interval.Interval) Tri { return triAnd(l(v, h), r(v, h)) }, nil
+		}
+		return func(v, h []interval.Interval) Tri { return triOr(l(v, h), r(v, h)) }, nil
+	case Not:
+		x, err := p.compileBoolIv(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(v, h []interval.Interval) Tri {
+			switch x(v, h) {
+			case TriTrue:
+				return TriFalse
+			case TriFalse:
+				return TriTrue
+			default:
+				return TriUnknown
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("expr: unknown bool node %T", b)
+}

@@ -1,0 +1,360 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"compsynth/internal/interval"
+)
+
+// Env supplies values for variables and holes during evaluation.
+type Env struct {
+	Vars  map[string]float64
+	Holes map[string]float64
+}
+
+// ErrUnbound reports a variable or hole with no value in the environment.
+type ErrUnbound struct {
+	Kind string // "var" or "hole"
+	Name string
+}
+
+func (e ErrUnbound) Error() string {
+	return fmt.Sprintf("expr: unbound %s %q", e.Kind, e.Name)
+}
+
+// Eval evaluates a numeric expression under env.
+func Eval(e Expr, env Env) (float64, error) {
+	switch n := e.(type) {
+	case Const:
+		return n.Value, nil
+	case Var:
+		v, ok := env.Vars[n.Name]
+		if !ok {
+			return 0, ErrUnbound{Kind: "var", Name: n.Name}
+		}
+		return v, nil
+	case Hole:
+		v, ok := env.Holes[n.Name]
+		if !ok {
+			return 0, ErrUnbound{Kind: "hole", Name: n.Name}
+		}
+		return v, nil
+	case Bin:
+		l, err := Eval(n.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := Eval(n.R, env)
+		if err != nil {
+			return 0, err
+		}
+		return applyBin(n.Op, l, r), nil
+	case Neg:
+		v, err := Eval(n.X, env)
+		return -v, err
+	case Abs:
+		v, err := Eval(n.X, env)
+		return math.Abs(v), err
+	case If:
+		c, err := EvalBool(n.Cond, env)
+		if err != nil {
+			return 0, err
+		}
+		if c {
+			return Eval(n.Then, env)
+		}
+		return Eval(n.Else, env)
+	}
+	return 0, fmt.Errorf("expr: unknown node %T", e)
+}
+
+// EvalBool evaluates a boolean expression under env.
+func EvalBool(b BoolExpr, env Env) (bool, error) {
+	switch n := b.(type) {
+	case BoolConst:
+		return n.Value, nil
+	case Cmp:
+		l, err := Eval(n.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := Eval(n.R, env)
+		if err != nil {
+			return false, err
+		}
+		return applyCmp(n.Op, l, r), nil
+	case BoolBin:
+		l, err := EvalBool(n.L, env)
+		if err != nil {
+			return false, err
+		}
+		// No short-circuit: both sides must be well-formed, and
+		// evaluation is pure, so order is unobservable.
+		r, err := EvalBool(n.R, env)
+		if err != nil {
+			return false, err
+		}
+		if n.Op == OpAnd {
+			return l && r, nil
+		}
+		return l || r, nil
+	case Not:
+		v, err := EvalBool(n.X, env)
+		return !v, err
+	}
+	return false, fmt.Errorf("expr: unknown bool node %T", b)
+}
+
+func applyBin(op BinOp, l, r float64) float64 {
+	switch op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpMul:
+		return l * r
+	case OpDiv:
+		return l / r
+	case OpMin:
+		return math.Min(l, r)
+	case OpMax:
+		return math.Max(l, r)
+	}
+	panic(fmt.Sprintf("expr: unknown binop %d", op))
+}
+
+func applyCmp(op CmpOp, l, r float64) bool {
+	switch op {
+	case CmpGE:
+		return l >= r
+	case CmpLE:
+		return l <= r
+	case CmpGT:
+		return l > r
+	case CmpLT:
+		return l < r
+	case CmpEQ:
+		return l == r
+	}
+	panic(fmt.Sprintf("expr: unknown cmpop %d", op))
+}
+
+// IntervalEnv supplies interval values for variables and holes.
+type IntervalEnv struct {
+	Vars  map[string]interval.Interval
+	Holes map[string]interval.Interval
+}
+
+// EvalInterval evaluates a numeric expression over interval environments,
+// returning an interval guaranteed to contain every pointwise result for
+// points drawn from the environment intervals.
+func EvalInterval(e Expr, env IntervalEnv) (interval.Interval, error) {
+	switch n := e.(type) {
+	case Const:
+		return interval.Point(n.Value), nil
+	case Var:
+		iv, ok := env.Vars[n.Name]
+		if !ok {
+			return interval.Empty(), ErrUnbound{Kind: "var", Name: n.Name}
+		}
+		return iv, nil
+	case Hole:
+		iv, ok := env.Holes[n.Name]
+		if !ok {
+			return interval.Empty(), ErrUnbound{Kind: "hole", Name: n.Name}
+		}
+		return iv, nil
+	case Bin:
+		l, err := EvalInterval(n.L, env)
+		if err != nil {
+			return interval.Empty(), err
+		}
+		r, err := EvalInterval(n.R, env)
+		if err != nil {
+			return interval.Empty(), err
+		}
+		return applyBinInterval(n.Op, l, r), nil
+	case Neg:
+		v, err := EvalInterval(n.X, env)
+		return v.Neg(), err
+	case Abs:
+		v, err := EvalInterval(n.X, env)
+		return v.Abs(), err
+	case If:
+		tv, err := EvalBoolInterval(n.Cond, env)
+		if err != nil {
+			return interval.Empty(), err
+		}
+		switch tv {
+		case TriTrue:
+			return EvalInterval(n.Then, env)
+		case TriFalse:
+			return EvalInterval(n.Else, env)
+		default:
+			a, err := EvalInterval(n.Then, env)
+			if err != nil {
+				return interval.Empty(), err
+			}
+			b, err := EvalInterval(n.Else, env)
+			if err != nil {
+				return interval.Empty(), err
+			}
+			return a.Union(b), nil
+		}
+	}
+	return interval.Empty(), fmt.Errorf("expr: unknown node %T", e)
+}
+
+// Tri is a three-valued truth value for interval evaluation of booleans.
+type Tri int
+
+// Three-valued logic constants.
+const (
+	TriFalse Tri = iota
+	TriTrue
+	TriUnknown
+)
+
+func (t Tri) String() string {
+	switch t {
+	case TriFalse:
+		return "false"
+	case TriTrue:
+		return "true"
+	default:
+		return "unknown"
+	}
+}
+
+// EvalBoolInterval evaluates a boolean expression under interval
+// environments in three-valued logic: TriTrue/TriFalse are returned only
+// when the condition holds/fails for every point in the box.
+func EvalBoolInterval(b BoolExpr, env IntervalEnv) (Tri, error) {
+	switch n := b.(type) {
+	case BoolConst:
+		if n.Value {
+			return TriTrue, nil
+		}
+		return TriFalse, nil
+	case Cmp:
+		l, err := EvalInterval(n.L, env)
+		if err != nil {
+			return TriUnknown, err
+		}
+		r, err := EvalInterval(n.R, env)
+		if err != nil {
+			return TriUnknown, err
+		}
+		return cmpInterval(n.Op, l, r), nil
+	case BoolBin:
+		l, err := EvalBoolInterval(n.L, env)
+		if err != nil {
+			return TriUnknown, err
+		}
+		r, err := EvalBoolInterval(n.R, env)
+		if err != nil {
+			return TriUnknown, err
+		}
+		if n.Op == OpAnd {
+			return triAnd(l, r), nil
+		}
+		return triOr(l, r), nil
+	case Not:
+		v, err := EvalBoolInterval(n.X, env)
+		if err != nil {
+			return TriUnknown, err
+		}
+		switch v {
+		case TriTrue:
+			return TriFalse, nil
+		case TriFalse:
+			return TriTrue, nil
+		default:
+			return TriUnknown, nil
+		}
+	}
+	return TriUnknown, fmt.Errorf("expr: unknown bool node %T", b)
+}
+
+func triAnd(a, b Tri) Tri {
+	if a == TriFalse || b == TriFalse {
+		return TriFalse
+	}
+	if a == TriTrue && b == TriTrue {
+		return TriTrue
+	}
+	return TriUnknown
+}
+
+func triOr(a, b Tri) Tri {
+	if a == TriTrue || b == TriTrue {
+		return TriTrue
+	}
+	if a == TriFalse && b == TriFalse {
+		return TriFalse
+	}
+	return TriUnknown
+}
+
+func applyBinInterval(op BinOp, l, r interval.Interval) interval.Interval {
+	switch op {
+	case OpAdd:
+		return l.Add(r)
+	case OpSub:
+		return l.Sub(r)
+	case OpMul:
+		return l.Mul(r)
+	case OpDiv:
+		return l.Div(r)
+	case OpMin:
+		return l.Min(r)
+	case OpMax:
+		return l.Max(r)
+	}
+	panic(fmt.Sprintf("expr: unknown binop %d", op))
+}
+
+func cmpInterval(op CmpOp, l, r interval.Interval) Tri {
+	if l.IsEmpty() || r.IsEmpty() {
+		return TriUnknown
+	}
+	switch op {
+	case CmpGE:
+		if l.Lo >= r.Hi {
+			return TriTrue
+		}
+		if l.Hi < r.Lo {
+			return TriFalse
+		}
+	case CmpLE:
+		if l.Hi <= r.Lo {
+			return TriTrue
+		}
+		if l.Lo > r.Hi {
+			return TriFalse
+		}
+	case CmpGT:
+		if l.Lo > r.Hi {
+			return TriTrue
+		}
+		if l.Hi <= r.Lo {
+			return TriFalse
+		}
+	case CmpLT:
+		if l.Hi < r.Lo {
+			return TriTrue
+		}
+		if l.Lo >= r.Hi {
+			return TriFalse
+		}
+	case CmpEQ:
+		if l.IsPoint() && r.IsPoint() && l.Lo == r.Lo {
+			return TriTrue
+		}
+		if l.Intersect(r).IsEmpty() {
+			return TriFalse
+		}
+	}
+	return TriUnknown
+}

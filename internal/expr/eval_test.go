@@ -1,0 +1,204 @@
+package expr
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"compsynth/internal/interval"
+)
+
+func env(vars map[string]float64, holes map[string]float64) Env {
+	return Env{Vars: vars, Holes: holes}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	e := env(map[string]float64{"x": 3, "y": -2}, nil)
+	cases := []struct {
+		expr Expr
+		want float64
+	}{
+		{Add(V("x"), V("y")), 1},
+		{Sub(V("x"), V("y")), 5},
+		{Mul(V("x"), V("y")), -6},
+		{Div(V("x"), V("y")), -1.5},
+		{Min(V("x"), V("y")), -2},
+		{Max(V("x"), V("y")), 3},
+		{Neg{X: V("x")}, -3},
+		{Abs{X: V("y")}, 2},
+		{C(7.5), 7.5},
+	}
+	for _, c := range cases {
+		got, err := Eval(c.expr, e)
+		if err != nil {
+			t.Fatalf("Eval(%s): %v", c.expr, err)
+		}
+		if got != c.want {
+			t.Errorf("Eval(%s) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestEvalIfBranches(t *testing.T) {
+	e := Ite(GT(V("x"), C(0)), C(1), C(-1))
+	if v, _ := Eval(e, env(map[string]float64{"x": 5}, nil)); v != 1 {
+		t.Errorf("then branch = %v", v)
+	}
+	if v, _ := Eval(e, env(map[string]float64{"x": -5}, nil)); v != -1 {
+		t.Errorf("else branch = %v", v)
+	}
+	if v, _ := Eval(e, env(map[string]float64{"x": 0}, nil)); v != -1 {
+		t.Errorf("boundary (strict >) = %v", v)
+	}
+}
+
+func TestEvalBoolOps(t *testing.T) {
+	e := env(map[string]float64{"x": 3}, nil)
+	cases := []struct {
+		b    BoolExpr
+		want bool
+	}{
+		{GE(V("x"), C(3)), true},
+		{LE(V("x"), C(2)), false},
+		{GT(V("x"), C(3)), false},
+		{LT(V("x"), C(4)), true},
+		{Cmp{Op: CmpEQ, L: V("x"), R: C(3)}, true},
+		{And(GE(V("x"), C(0)), LE(V("x"), C(10))), true},
+		{And(GE(V("x"), C(0)), LE(V("x"), C(1))), false},
+		{Or(LT(V("x"), C(0)), GT(V("x"), C(2))), true},
+		{Or(LT(V("x"), C(0)), GT(V("x"), C(5))), false},
+		{Not{X: GT(V("x"), C(5))}, true},
+		{BoolConst{Value: true}, true},
+		{BoolConst{Value: false}, false},
+	}
+	for _, c := range cases {
+		got, err := EvalBool(c.b, e)
+		if err != nil {
+			t.Fatalf("EvalBool(%s): %v", c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("EvalBool(%s) = %v, want %v", c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalUnbound(t *testing.T) {
+	_, err := Eval(V("missing"), Env{})
+	var ub ErrUnbound
+	if !errors.As(err, &ub) || ub.Kind != "var" || ub.Name != "missing" {
+		t.Errorf("unbound var error = %v", err)
+	}
+	_, err = Eval(H("gap"), Env{})
+	if !errors.As(err, &ub) || ub.Kind != "hole" {
+		t.Errorf("unbound hole error = %v", err)
+	}
+	_, err = Eval(Add(V("x"), H("h")), env(map[string]float64{"x": 1}, nil))
+	if err == nil {
+		t.Error("nested unbound hole not reported")
+	}
+}
+
+func TestEvalSWANTarget(t *testing.T) {
+	// Figure 2b: tp_thrsh=1, l_thrsh=50, slope1=1, slope2=5.
+	body := swanBody()
+	holes := map[string]float64{"tp_thrsh": 1, "l_thrsh": 50, "slope1": 1, "slope2": 5}
+	cases := []struct {
+		tp, lat float64
+		want    float64
+	}{
+		{2, 10, 2 - 1*2*10 + 1000},    // satisfying
+		{2, 100, 2 - 5*2*100},         // latency too high
+		{0.5, 10, 0.5 - 5*0.5*10},     // throughput too low
+		{1, 50, 1 - 1*1*50 + 1000},    // both boundaries inclusive
+		{1, 50.0001, 1 - 5*1*50.0001}, // just over latency bound
+	}
+	for _, c := range cases {
+		got, err := Eval(body, env(map[string]float64{"throughput": c.tp, "latency": c.lat}, holes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("f(%v,%v) = %v, want %v", c.tp, c.lat, got, c.want)
+		}
+	}
+}
+
+func TestEvalIntervalSoundOnSWAN(t *testing.T) {
+	body := swanBody()
+	rng := rand.New(rand.NewSource(5))
+	holesPt := map[string]float64{"tp_thrsh": 1, "l_thrsh": 50, "slope1": 1, "slope2": 5}
+	holesIv := map[string]interval.Interval{
+		"tp_thrsh": interval.Point(1), "l_thrsh": interval.Point(50),
+		"slope1": interval.Point(1), "slope2": interval.Point(5),
+	}
+	for i := 0; i < 500; i++ {
+		tlo := rng.Float64() * 10
+		thi := tlo + rng.Float64()*2
+		llo := rng.Float64() * 200
+		lhi := llo + rng.Float64()*20
+		iv, err := EvalInterval(body, IntervalEnv{
+			Vars: map[string]interval.Interval{
+				"throughput": interval.New(tlo, thi),
+				"latency":    interval.New(llo, lhi),
+			},
+			Holes: holesIv,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sample points inside the box; every value must be inside iv.
+		for j := 0; j < 20; j++ {
+			tp := tlo + rng.Float64()*(thi-tlo)
+			lat := llo + rng.Float64()*(lhi-llo)
+			v, err := Eval(body, env(map[string]float64{"throughput": tp, "latency": lat}, holesPt))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !iv.Widen(1e-6 + math.Abs(v)*1e-9).Contains(v) {
+				t.Fatalf("interval %v misses %v at (%v,%v) box t[%v,%v] l[%v,%v]",
+					iv, v, tp, lat, tlo, thi, llo, lhi)
+			}
+		}
+	}
+}
+
+func TestEvalBoolIntervalThreeValued(t *testing.T) {
+	mkEnv := func(lo, hi float64) IntervalEnv {
+		return IntervalEnv{Vars: map[string]interval.Interval{"x": interval.New(lo, hi)}}
+	}
+	b := GE(V("x"), C(5))
+	if tv, _ := EvalBoolInterval(b, mkEnv(6, 8)); tv != TriTrue {
+		t.Errorf("x in [6,8] >= 5: %v", tv)
+	}
+	if tv, _ := EvalBoolInterval(b, mkEnv(0, 2)); tv != TriFalse {
+		t.Errorf("x in [0,2] >= 5: %v", tv)
+	}
+	if tv, _ := EvalBoolInterval(b, mkEnv(3, 7)); tv != TriUnknown {
+		t.Errorf("x in [3,7] >= 5: %v", tv)
+	}
+	and := And(GE(V("x"), C(0)), LE(V("x"), C(10)))
+	if tv, _ := EvalBoolInterval(and, mkEnv(2, 4)); tv != TriTrue {
+		t.Errorf("conj definitely true: %v", tv)
+	}
+	if tv, _ := EvalBoolInterval(and, mkEnv(-5, -1)); tv != TriFalse {
+		t.Errorf("conj definitely false: %v", tv)
+	}
+	or := Or(LT(V("x"), C(0)), GT(V("x"), C(10)))
+	if tv, _ := EvalBoolInterval(or, mkEnv(11, 12)); tv != TriTrue {
+		t.Errorf("disj true: %v", tv)
+	}
+	not := Not{X: GE(V("x"), C(5))}
+	if tv, _ := EvalBoolInterval(not, mkEnv(0, 2)); tv != TriTrue {
+		t.Errorf("not false: %v", tv)
+	}
+	if tv, _ := EvalBoolInterval(not, mkEnv(3, 7)); tv != TriUnknown {
+		t.Errorf("not unknown: %v", tv)
+	}
+}
+
+func TestTriString(t *testing.T) {
+	if TriTrue.String() != "true" || TriFalse.String() != "false" || TriUnknown.String() != "unknown" {
+		t.Error("Tri.String values wrong")
+	}
+}

@@ -1,0 +1,49 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that everything it
+// accepts survives a print/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"1 + 2 * x",
+		"if throughput >= ??tp && latency <= ??l then 1 else 0",
+		"min(x, max(y, 3)) - abs(-z)",
+		"((x))",
+		"?\x00?",
+		"if if",
+		"1e309", // overflows to +Inf; ParseFloat accepts it
+		"??_",
+		"x >= y",
+		"!true && false || x > 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := e.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", printed, src, err)
+		}
+		if !Equal(e, back) {
+			t.Fatalf("round trip changed %q -> %q", printed, back.String())
+		}
+		// Simplification must also be panic-free and re-parseable
+		// (modulo constants that print as Inf, which the grammar has no
+		// literal for).
+		s := Simplify(e)
+		if str := s.String(); !strings.Contains(str, "Inf") && !strings.Contains(str, "NaN") {
+			if _, err := Parse(str); err != nil {
+				t.Fatalf("simplified form %q unparseable: %v", str, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSWANSketchText(t *testing.T) {
+	src := `
+if throughput >= ??tp_thrsh && latency <= ??l_thrsh then
+  throughput - ??slope1*throughput*latency + 1000
+else
+  throughput - ??slope2*throughput*latency
+`
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(e, swanBody()) {
+		t.Errorf("parsed sketch != constructed sketch:\n%s\nvs\n%s", e, swanBody())
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Expr
+	}{
+		{"1 + 2 * 3", Add(C(1), Mul(C(2), C(3)))},
+		{"(1 + 2) * 3", Mul(Add(C(1), C(2)), C(3))},
+		{"1 - 2 - 3", Sub(Sub(C(1), C(2)), C(3))},
+		{"6 / 2 / 3", Div(Div(C(6), C(2)), C(3))},
+		{"-x * 2", Mul(Neg{X: V("x")}, C(2))},
+		{"- - 3", Neg{X: Neg{X: C(3)}}},
+		{"2e3", C(2000)},
+		{"1.5e-2", C(0.015)},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("Parse(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseBoolPrecedence(t *testing.T) {
+	// && binds tighter than ||.
+	e := MustParse("if x > 0 || y > 0 && z > 0 then 1 else 0")
+	ifn := e.(If)
+	or, ok := ifn.Cond.(BoolBin)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top connective = %v, want ||", ifn.Cond)
+	}
+	and, ok := or.R.(BoolBin)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("right of || = %v, want &&", or.R)
+	}
+}
+
+func TestParseParenthesizedBool(t *testing.T) {
+	e := MustParse("if (x > 0 || y > 0) && z > 0 then 1 else 0")
+	ifn := e.(If)
+	and, ok := ifn.Cond.(BoolBin)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("top connective = %v, want &&", ifn.Cond)
+	}
+	// Parenthesized numeric left side of a comparison.
+	e2 := MustParse("if (x + 1) > 0 then 1 else 0")
+	cmp, ok := e2.(If).Cond.(Cmp)
+	if !ok || !Equal(cmp.L, Add(V("x"), C(1))) {
+		t.Fatalf("numeric paren in comparison parsed wrong: %v", e2)
+	}
+}
+
+func TestParseNestedIf(t *testing.T) {
+	e := MustParse("if x > 0 then if y > 0 then 1 else 2 else 3")
+	outer := e.(If)
+	if _, ok := outer.Then.(If); !ok {
+		t.Fatalf("nested if not parsed: %v", e)
+	}
+	if c, ok := outer.Else.(Const); !ok || c.Value != 3 {
+		t.Fatalf("outer else = %v", outer.Else)
+	}
+}
+
+func TestParseFunctions(t *testing.T) {
+	e := MustParse("min(x, max(y, 2)) + abs(-z)")
+	want := Add(Min(V("x"), Max(V("y"), C(2))), Abs{X: Neg{X: V("z")}})
+	if !Equal(e, want) {
+		t.Errorf("got %s, want %s", e, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1 +",
+		"(1",
+		"if x > 0 then 1",      // missing else
+		"if x then 1 else 2",   // non-boolean condition
+		"min(1)",               // arity
+		"abs(1, 2)",            // arity
+		"?x",                   // single ?
+		"??",                   // hole without name
+		"?? 5",                 // hole without ident
+		"1 2",                  // trailing token
+		"x $ y",                // bad char
+		"if then 1 else 2",     // missing condition
+		"if x > 0 then else 2", // missing then-expr
+		"then",                 // keyword as expr
+		"1 > ",                 // incomplete comparison in expr position
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseErrorMentionsOffset(t *testing.T) {
+	_, err := Parse("x + $")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error %v does not mention offset", err)
+	}
+}
+
+func TestParseHoleNames(t *testing.T) {
+	e := MustParse("??alpha_1 + ??beta2")
+	hs := Holes(e)
+	if len(hs) != 2 || hs[0] != "alpha_1" || hs[1] != "beta2" {
+		t.Errorf("holes = %v", hs)
+	}
+}
+
+func TestParseBoolLiterals(t *testing.T) {
+	e := MustParse("if true then 1 else 0")
+	if v, _ := Eval(e, Env{}); v != 1 {
+		t.Errorf("if true = %v", v)
+	}
+	e = MustParse("if false || x > 0 then 1 else 0")
+	if v, _ := Eval(e, Env{Vars: map[string]float64{"x": 1}}); v != 1 {
+		t.Errorf("false || x>0 = %v", v)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("((")
+}

@@ -1,0 +1,137 @@
+package expr
+
+import "math"
+
+// Simplify returns an equivalent expression with constants folded and
+// trivial identities removed (x+0, x*1, x*0, if-true, double negation).
+// Synthesized objective functions are substituted sketches full of
+// concrete constants; simplification makes the printed result readable.
+//
+// Division is folded only when the divisor is a nonzero constant, so
+// the 1/0 → +Inf evaluation behavior of the original expression is
+// preserved for all remaining (non-constant) divisors.
+func Simplify(e Expr) Expr {
+	switch n := e.(type) {
+	case Bin:
+		l := Simplify(n.L)
+		r := Simplify(n.R)
+		lc, lok := l.(Const)
+		rc, rok := r.(Const)
+		if lok && rok && (n.Op != OpDiv || rc.Value != 0) {
+			return Const{Value: applyBin(n.Op, lc.Value, rc.Value)}
+		}
+		switch n.Op {
+		case OpAdd:
+			if lok && lc.Value == 0 {
+				return r
+			}
+			if rok && rc.Value == 0 {
+				return l
+			}
+		case OpSub:
+			if rok && rc.Value == 0 {
+				return l
+			}
+		case OpMul:
+			if lok && lc.Value == 1 {
+				return r
+			}
+			if rok && rc.Value == 1 {
+				return l
+			}
+			if lok && lc.Value == 0 || rok && rc.Value == 0 {
+				// Sound because evaluation over the reals here cannot
+				// produce NaN from 0*x unless x is ±Inf, which bounded
+				// metric spaces exclude.
+				return Const{Value: 0}
+			}
+		case OpDiv:
+			if rok && rc.Value == 1 {
+				return l
+			}
+		}
+		return Bin{Op: n.Op, L: l, R: r}
+	case Neg:
+		x := Simplify(n.X)
+		if c, ok := x.(Const); ok {
+			return Const{Value: -c.Value}
+		}
+		if inner, ok := x.(Neg); ok {
+			return inner.X
+		}
+		return Neg{X: x}
+	case Abs:
+		x := Simplify(n.X)
+		if c, ok := x.(Const); ok {
+			return Const{Value: math.Abs(c.Value)}
+		}
+		return Abs{X: x}
+	case If:
+		cond := SimplifyBool(n.Cond)
+		thenE := Simplify(n.Then)
+		elseE := Simplify(n.Else)
+		if c, ok := cond.(BoolConst); ok {
+			if c.Value {
+				return thenE
+			}
+			return elseE
+		}
+		if Equal(thenE, elseE) {
+			return thenE
+		}
+		return If{Cond: cond, Then: thenE, Else: elseE}
+	default:
+		return e
+	}
+}
+
+// SimplifyBool is Simplify for boolean expressions.
+func SimplifyBool(b BoolExpr) BoolExpr {
+	switch n := b.(type) {
+	case Cmp:
+		l := Simplify(n.L)
+		r := Simplify(n.R)
+		lc, lok := l.(Const)
+		rc, rok := r.(Const)
+		if lok && rok {
+			return BoolConst{Value: applyCmp(n.Op, lc.Value, rc.Value)}
+		}
+		return Cmp{Op: n.Op, L: l, R: r}
+	case BoolBin:
+		l := SimplifyBool(n.L)
+		r := SimplifyBool(n.R)
+		lc, lok := l.(BoolConst)
+		rc, rok := r.(BoolConst)
+		if n.Op == OpAnd {
+			switch {
+			case lok && !lc.Value || rok && !rc.Value:
+				return BoolConst{Value: false}
+			case lok && lc.Value:
+				return r
+			case rok && rc.Value:
+				return l
+			}
+		} else {
+			switch {
+			case lok && lc.Value || rok && rc.Value:
+				return BoolConst{Value: true}
+			case lok && !lc.Value:
+				return r
+			case rok && !rc.Value:
+				return l
+			}
+		}
+		return BoolBin{Op: n.Op, L: l, R: r}
+	case Not:
+		x := SimplifyBool(n.X)
+		if c, ok := x.(BoolConst); ok {
+			return BoolConst{Value: !c.Value}
+		}
+		if inner, ok := x.(Not); ok {
+			return inner.X
+		}
+		return Not{X: x}
+	default:
+		return b
+	}
+}

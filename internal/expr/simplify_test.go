@@ -1,0 +1,167 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyFoldsConstants(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"1 + 2", "3"},
+		{"2 * 3 + 4", "10"},
+		{"min(2, 5)", "2"},
+		{"max(2, 5)", "5"},
+		{"abs(-3)", "3"},
+		{"-(-x)", "x"},
+		{"x + 0", "x"},
+		{"0 + x", "x"},
+		{"x - 0", "x"},
+		{"x * 1", "x"},
+		{"1 * x", "x"},
+		{"x * 0", "0"},
+		{"0 * x", "0"},
+		{"x / 1", "x"},
+		{"6 / 3", "2"},
+		{"if true then x else y", "x"},
+		{"if false then x else y", "y"},
+		{"if 2 > 1 then x else y", "x"},
+		{"if x > 1 then y else y", "y"},
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.src))
+		want := MustParse(c.want)
+		if !Equal(got, want) {
+			t.Errorf("Simplify(%q) = %s, want %s", c.src, got, want)
+		}
+	}
+}
+
+func TestSimplifyNegatedConstant(t *testing.T) {
+	got := Simplify(MustParse("- 4"))
+	if c, ok := got.(Const); !ok || c.Value != -4 {
+		t.Errorf("Simplify(-4) = %s, want constant -4", got)
+	}
+}
+
+func TestSimplifyBoolConnectives(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"if x > 0 && true then 1 else 2", "if x > 0 then 1 else 2"},
+		{"if x > 0 && 1 > 2 then 1 else 2", "2"},
+		{"if x > 0 || true then 1 else 2", "1"},
+		{"if x > 0 || false then 1 else 2", "if x > 0 then 1 else 2"},
+		{"if !(1 > 2) then 1 else 2", "1"},
+		{"if !(!(x > 0)) then 1 else 2", "if x > 0 then 1 else 2"},
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.src))
+		want := MustParse(c.want)
+		if !Equal(got, want) {
+			t.Errorf("Simplify(%q) = %s, want %s", c.src, got, want)
+		}
+	}
+}
+
+func TestSimplifyKeepsDivisionByZeroUnfolded(t *testing.T) {
+	got := Simplify(MustParse("1 / 0"))
+	if _, isConst := got.(Const); isConst {
+		t.Errorf("1/0 folded to constant %s", got)
+	}
+}
+
+// Property: simplification preserves semantics on random inputs.
+func TestPropSimplifyPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		e := randomExpr(rng, 4)
+		s := Simplify(e)
+		for probe := 0; probe < 25; probe++ {
+			env := Env{Vars: map[string]float64{
+				"x": rng.NormFloat64() * 5,
+				"y": rng.NormFloat64() * 5,
+			}}
+			v1, err1 := Eval(e, env)
+			v2, err2 := Eval(s, env)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("error mismatch for %s vs %s: %v vs %v", e, s, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if v1 != v2 && !(math.IsNaN(v1) && math.IsNaN(v2)) {
+				if math.Abs(v1-v2) > 1e-9*(1+math.Abs(v1)) {
+					t.Fatalf("Simplify changed semantics:\n  %s = %v\n  %s = %v\n  env %v",
+						e, v1, s, v2, env.Vars)
+				}
+			}
+		}
+	}
+}
+
+// randomExpr generates a random well-formed expression over x, y.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 || rng.Float64() < 0.3 {
+		switch rng.Intn(3) {
+		case 0:
+			return C(float64(rng.Intn(7) - 3))
+		case 1:
+			return V("x")
+		default:
+			return V("y")
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return Add(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	case 1:
+		return Sub(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	case 2:
+		return Mul(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	case 3:
+		return Min(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	case 4:
+		return Max(randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	case 5:
+		return Neg{X: randomExpr(rng, depth-1)}
+	case 6:
+		return Abs{X: randomExpr(rng, depth-1)}
+	default:
+		return Ite(randomBool(rng, depth-1), randomExpr(rng, depth-1), randomExpr(rng, depth-1))
+	}
+}
+
+func randomBool(rng *rand.Rand, depth int) BoolExpr {
+	if depth == 0 || rng.Float64() < 0.4 {
+		ops := []CmpOp{CmpGE, CmpLE, CmpGT, CmpLT}
+		return Cmp{Op: ops[rng.Intn(len(ops))], L: randomExpr(rng, 0), R: randomExpr(rng, 0)}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return And(randomBool(rng, depth-1), randomBool(rng, depth-1))
+	case 1:
+		return Or(randomBool(rng, depth-1), randomBool(rng, depth-1))
+	default:
+		return Not{X: randomBool(rng, depth-1)}
+	}
+}
+
+func TestSimplifiedSWANCandidateReadable(t *testing.T) {
+	// A substituted SWAN sketch simplifies to a clean closed form.
+	closed := Subst(swanBody(), map[string]float64{
+		"tp_thrsh": 1, "l_thrsh": 50, "slope1": 1, "slope2": 5,
+	})
+	s := Simplify(closed)
+	// slope1=1 means the 1*throughput product collapses.
+	if len(Holes(s)) != 0 {
+		t.Error("holes survived")
+	}
+	v1, _ := Eval(closed, Env{Vars: map[string]float64{"throughput": 2, "latency": 10}})
+	v2, _ := Eval(s, Env{Vars: map[string]float64{"throughput": 2, "latency": 10}})
+	if v1 != v2 {
+		t.Errorf("simplified SWAN differs: %v vs %v", v1, v2)
+	}
+}

@@ -1,0 +1,337 @@
+// Package homenet implements the paper's §6.2 home-network
+// application: allocating a home broadband link across competing
+// applications (video calls, streaming, gaming, IoT, bulk transfers).
+// Configuring per-application weights and utility functions by hand is
+// exactly the kind of task the paper argues home users cannot do; the
+// package exposes the allocation substrate, per-application quality
+// models, and an objective sketch so the comparative synthesizer can
+// learn the household's preferences from comparisons instead.
+package homenet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"compsynth/internal/expr"
+	"compsynth/internal/interval"
+	"compsynth/internal/scenario"
+	"compsynth/internal/sketch"
+)
+
+// AppKind classifies an application's traffic and quality model.
+type AppKind int
+
+// Application kinds.
+const (
+	// VideoCall is latency/bandwidth sensitive interactive video.
+	VideoCall AppKind = iota
+	// Streaming is adaptive video playback.
+	Streaming
+	// Gaming needs little bandwidth but suffers under queueing.
+	Gaming
+	// IoT is background telemetry.
+	IoT
+	// Bulk is elastic transfer (backups, downloads).
+	Bulk
+)
+
+func (k AppKind) String() string {
+	switch k {
+	case VideoCall:
+		return "video-call"
+	case Streaming:
+		return "streaming"
+	case Gaming:
+		return "gaming"
+	case IoT:
+		return "iot"
+	case Bulk:
+		return "bulk"
+	}
+	return fmt.Sprintf("AppKind(%d)", int(k))
+}
+
+// App is one application competing for the home link.
+type App struct {
+	Name string
+	Kind AppKind
+	// DemandMbps is the rate at which the app is fully satisfied.
+	DemandMbps float64
+	// Weight is the allocation weight (set by the allocator policy).
+	Weight float64
+}
+
+// Home is a single-bottleneck home network.
+type Home struct {
+	// CapacityMbps is the downstream link capacity.
+	CapacityMbps float64
+	Apps         []App
+}
+
+// NewHome validates the configuration.
+func NewHome(capacityMbps float64, apps []App) (*Home, error) {
+	if capacityMbps <= 0 || math.IsNaN(capacityMbps) || math.IsInf(capacityMbps, 0) {
+		return nil, fmt.Errorf("homenet: capacity %v", capacityMbps)
+	}
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("homenet: no apps")
+	}
+	h := &Home{CapacityMbps: capacityMbps, Apps: append([]App(nil), apps...)}
+	for i := range h.Apps {
+		a := &h.Apps[i]
+		if a.DemandMbps <= 0 {
+			return nil, fmt.Errorf("homenet: app %q demand %v", a.Name, a.DemandMbps)
+		}
+		if a.Weight == 0 {
+			a.Weight = 1
+		}
+		if a.Weight < 0 {
+			return nil, fmt.Errorf("homenet: app %q weight %v", a.Name, a.Weight)
+		}
+	}
+	return h, nil
+}
+
+// Allocate computes the demand-capped weighted max-min (water-filling)
+// allocation of the link under the given per-app weights; weights must
+// be positive and are matched by index (nil uses the apps' own
+// weights). It returns the per-app rates in Mbps.
+func (h *Home) Allocate(weights []float64) ([]float64, error) {
+	n := len(h.Apps)
+	w := make([]float64, n)
+	for i := range w {
+		switch {
+		case weights == nil:
+			w[i] = h.Apps[i].Weight
+		case len(weights) != n:
+			return nil, fmt.Errorf("homenet: %d weights for %d apps", len(weights), n)
+		default:
+			w[i] = weights[i]
+		}
+		if w[i] <= 0 || math.IsNaN(w[i]) {
+			return nil, fmt.Errorf("homenet: invalid weight %v", w[i])
+		}
+	}
+	rates := make([]float64, n)
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	remaining := h.CapacityMbps
+	for iter := 0; iter < n; iter++ {
+		var wsum float64
+		for i, on := range active {
+			if on {
+				wsum += w[i]
+			}
+		}
+		if wsum == 0 || remaining <= 1e-12 {
+			break
+		}
+		// Water level that would exactly exhaust remaining capacity.
+		level := remaining / wsum
+		// Cap apps whose demand is below their share.
+		capped := false
+		for i, on := range active {
+			if !on {
+				continue
+			}
+			if share := w[i] * level; h.Apps[i].DemandMbps <= share {
+				rates[i] = h.Apps[i].DemandMbps
+				remaining -= rates[i]
+				active[i] = false
+				capped = true
+			}
+		}
+		if !capped {
+			for i, on := range active {
+				if on {
+					rates[i] = w[i] * level
+					active[i] = false
+				}
+			}
+			remaining = 0
+			break
+		}
+	}
+	return rates, nil
+}
+
+// Quality maps an app's allocated rate to a 0–5 quality score (a MOS
+// for calls, picture quality for streaming, responsiveness for gaming,
+// completion speed for bulk/IoT). All mappings are piecewise linear,
+// concave, and reach 5 exactly at the app's demand.
+func Quality(app App, rateMbps float64) float64 {
+	if rateMbps <= 0 {
+		return 0
+	}
+	frac := rateMbps / app.DemandMbps
+	if frac > 1 {
+		frac = 1
+	}
+	switch app.Kind {
+	case VideoCall:
+		// Calls degrade sharply below ~60% of demand.
+		if frac >= 0.6 {
+			return 3 + (frac-0.6)/0.4*2
+		}
+		return frac / 0.6 * 3
+	case Streaming:
+		// ABR ladders make streaming tolerant until ~40%.
+		if frac >= 0.4 {
+			return 3.5 + (frac-0.4)/0.6*1.5
+		}
+		return frac / 0.4 * 3.5
+	case Gaming:
+		// Gaming saturates early: half demand is nearly perfect.
+		if frac >= 0.5 {
+			return 4.5 + (frac-0.5)/0.5*0.5
+		}
+		return frac / 0.5 * 4.5
+	default: // IoT, Bulk: linear elasticity
+		return frac * 5
+	}
+}
+
+// Metrics summarizes an allocation as the household-facing quality
+// scores, grouped by kind (mean within each kind, 5 when absent).
+type Metrics struct {
+	CallQuality   float64
+	StreamQuality float64
+	GameQuality   float64
+	BulkSpeed     float64 // mean of IoT+Bulk quality
+}
+
+// MeasureQuality computes Metrics for an allocation of h.
+func (h *Home) MeasureQuality(rates []float64) (Metrics, error) {
+	if len(rates) != len(h.Apps) {
+		return Metrics{}, fmt.Errorf("homenet: %d rates for %d apps", len(rates), len(h.Apps))
+	}
+	sums := map[AppKind]float64{}
+	counts := map[AppKind]int{}
+	for i, a := range h.Apps {
+		sums[a.Kind] += Quality(a, rates[i])
+		counts[a.Kind]++
+	}
+	get := func(kinds ...AppKind) float64 {
+		var s float64
+		var c int
+		for _, k := range kinds {
+			s += sums[k]
+			c += counts[k]
+		}
+		if c == 0 {
+			return 5 // absent traffic classes are trivially satisfied
+		}
+		return s / float64(c)
+	}
+	return Metrics{
+		CallQuality:   get(VideoCall),
+		StreamQuality: get(Streaming),
+		GameQuality:   get(Gaming),
+		BulkSpeed:     get(IoT, Bulk),
+	}, nil
+}
+
+// Scenario renders metrics over Space().
+func (m Metrics) Scenario() scenario.Scenario {
+	return scenario.Scenario{m.CallQuality, m.StreamQuality, m.GameQuality, m.BulkSpeed}
+}
+
+// Space is the quality metric space: four 0–5 scores.
+func Space() *scenario.Space {
+	r := interval.New(0, 5)
+	return scenario.MustNewSpace(
+		[]string{"call", "stream", "game", "bulk"},
+		[]interval.Interval{r, r, r, r},
+	)
+}
+
+// OptimizeWeights searches the per-app weight space for the allocation
+// the (learned) objective scores highest: random restarts followed by
+// coordinate ascent with multiplicative steps. It returns the best
+// weights and their score — closing the §6.2 loop: the synthesizer
+// learns the household's objective, then that objective configures the
+// router.
+func OptimizeWeights(h *Home, objective *sketch.Candidate, restarts int, rng *rand.Rand) ([]float64, float64, error) {
+	if restarts < 1 {
+		restarts = 8
+	}
+	n := len(h.Apps)
+	space := objective.Sketch().Space()
+	score := func(w []float64) (float64, error) {
+		rates, err := h.Allocate(w)
+		if err != nil {
+			return 0, err
+		}
+		m, err := h.MeasureQuality(rates)
+		if err != nil {
+			return 0, err
+		}
+		return objective.Eval(space.Clamp(m.Scenario())), nil
+	}
+
+	bestScore := math.Inf(-1)
+	bestW := make([]float64, n)
+	for r := 0; r < restarts; r++ {
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = math.Exp(rng.NormFloat64()) // lognormal start
+		}
+		cur, err := score(w)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Coordinate ascent with shrinking multiplicative steps.
+		for step := 4.0; step > 1.05; step = math.Sqrt(step) {
+			improved := true
+			for improved {
+				improved = false
+				for i := 0; i < n; i++ {
+					for _, factor := range []float64{step, 1 / step} {
+						old := w[i]
+						w[i] = old * factor
+						cand, err := score(w)
+						if err != nil {
+							return nil, 0, err
+						}
+						if cand > cur+1e-12 {
+							cur = cand
+							improved = true
+							break
+						}
+						w[i] = old
+					}
+				}
+			}
+		}
+		if cur > bestScore {
+			bestScore = cur
+			copy(bestW, w)
+		}
+	}
+	return bestW, bestScore, nil
+}
+
+// ObjectiveSketch returns the household-objective sketch: a weighted
+// sum of the four quality scores with a bonus when the call quality
+// stays above a threshold (people notice broken calls first):
+//
+//	if call >= ??call_floor then Σ ??w_m · m + 100 else Σ ??w_m · m
+func ObjectiveSketch() *sketch.Sketch {
+	sum := "??w_call*call + ??w_stream*stream + ??w_game*game + ??w_bulk*bulk"
+	body := fmt.Sprintf("if call >= ??call_floor then %s + 100 else %s", sum, sum)
+	domains := map[string]interval.Interval{
+		"call_floor": interval.New(0, 5),
+		"w_call":     interval.New(0, 10),
+		"w_stream":   interval.New(0, 10),
+		"w_game":     interval.New(0, 10),
+		"w_bulk":     interval.New(0, 10),
+	}
+	sk, err := sketch.New("homenet", expr.MustParse(body), Space(), domains)
+	if err != nil {
+		panic(err)
+	}
+	return sk
+}

@@ -1,0 +1,333 @@
+package homenet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testHome(t *testing.T) *Home {
+	t.Helper()
+	h, err := NewHome(100, []App{
+		{Name: "zoom", Kind: VideoCall, DemandMbps: 4},
+		{Name: "netflix", Kind: Streaming, DemandMbps: 25},
+		{Name: "xbox", Kind: Gaming, DemandMbps: 10},
+		{Name: "backup", Kind: Bulk, DemandMbps: 200},
+		{Name: "sensors", Kind: IoT, DemandMbps: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHomeValidation(t *testing.T) {
+	if _, err := NewHome(0, []App{{Name: "a", DemandMbps: 1}}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewHome(100, nil); err == nil {
+		t.Error("no apps accepted")
+	}
+	if _, err := NewHome(100, []App{{Name: "a", DemandMbps: 0}}); err == nil {
+		t.Error("zero demand accepted")
+	}
+	if _, err := NewHome(100, []App{{Name: "a", DemandMbps: 1, Weight: -1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	h, err := NewHome(100, []App{{Name: "a", DemandMbps: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Apps[0].Weight != 1 {
+		t.Error("default weight not 1")
+	}
+}
+
+func TestAllocateAmpleCapacity(t *testing.T) {
+	// Demands total 240 > 100, but with small demands all but bulk are
+	// satisfied.
+	h := testHome(t)
+	rates, err := h.Allocate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for i, r := range rates {
+		total += r
+		if r > h.Apps[i].DemandMbps+1e-9 {
+			t.Errorf("app %s allocated %v above demand %v", h.Apps[i].Name, r, h.Apps[i].DemandMbps)
+		}
+		if r < 0 {
+			t.Errorf("negative rate %v", r)
+		}
+	}
+	if total > h.CapacityMbps+1e-6 {
+		t.Errorf("total %v exceeds capacity", total)
+	}
+	// Small demands fully met; bulk absorbs the rest.
+	if math.Abs(rates[0]-4) > 1e-6 || math.Abs(rates[4]-1) > 1e-6 {
+		t.Errorf("small demands not met: %v", rates)
+	}
+	if math.Abs(total-h.CapacityMbps) > 1e-6 {
+		t.Errorf("capacity not fully used: %v", total)
+	}
+}
+
+func TestAllocateWeightedSplit(t *testing.T) {
+	h, err := NewHome(30, []App{
+		{Name: "a", Kind: Bulk, DemandMbps: 100},
+		{Name: "b", Kind: Bulk, DemandMbps: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := h.Allocate([]float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rates[0]-20) > 1e-6 || math.Abs(rates[1]-10) > 1e-6 {
+		t.Errorf("weighted split = %v, want [20 10]", rates)
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	h := testHome(t)
+	if _, err := h.Allocate([]float64{1}); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	if _, err := h.Allocate([]float64{1, 1, 1, 0, 1}); err == nil {
+		t.Error("zero weight accepted")
+	}
+}
+
+func TestAllocateScarceCapacity(t *testing.T) {
+	h, err := NewHome(6, []App{
+		{Name: "a", Kind: Bulk, DemandMbps: 10},
+		{Name: "b", Kind: Bulk, DemandMbps: 10},
+		{Name: "c", Kind: Bulk, DemandMbps: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := h.Allocate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c is capped at 1; a and b split the remaining 5 -> 2.5 each.
+	if math.Abs(rates[2]-1) > 1e-6 {
+		t.Errorf("capped app got %v", rates[2])
+	}
+	if math.Abs(rates[0]-2.5) > 1e-6 || math.Abs(rates[1]-2.5) > 1e-6 {
+		t.Errorf("waterfill = %v, want [2.5 2.5 1]", rates)
+	}
+}
+
+func TestQualityMappings(t *testing.T) {
+	call := App{Kind: VideoCall, DemandMbps: 4}
+	if Quality(call, 4) != 5 {
+		t.Errorf("full-rate call quality = %v", Quality(call, 4))
+	}
+	if Quality(call, 0) != 0 {
+		t.Error("zero-rate quality not 0")
+	}
+	if Quality(call, 8) != 5 {
+		t.Error("over-provisioned quality not capped at 5")
+	}
+	// Monotone non-decreasing for all kinds.
+	for _, kind := range []AppKind{VideoCall, Streaming, Gaming, IoT, Bulk} {
+		app := App{Kind: kind, DemandMbps: 10}
+		prev := -1.0
+		for r := 0.0; r <= 12; r += 0.25 {
+			q := Quality(app, r)
+			if q < prev-1e-12 {
+				t.Fatalf("%v quality not monotone at %v", kind, r)
+			}
+			if q < 0 || q > 5 {
+				t.Fatalf("%v quality %v out of [0,5]", kind, q)
+			}
+			prev = q
+		}
+	}
+	// Gaming saturates faster than bulk.
+	game := App{Kind: Gaming, DemandMbps: 10}
+	bulk := App{Kind: Bulk, DemandMbps: 10}
+	if Quality(game, 5) <= Quality(bulk, 5) {
+		t.Error("gaming not more tolerant than bulk at half rate")
+	}
+}
+
+func TestMeasureQuality(t *testing.T) {
+	h := testHome(t)
+	rates, err := h.Allocate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := h.MeasureQuality(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CallQuality != 5 {
+		t.Errorf("satisfied call quality = %v", m.CallQuality)
+	}
+	if m.BulkSpeed >= 5 {
+		t.Errorf("starved bulk quality = %v", m.BulkSpeed)
+	}
+	sc := m.Scenario()
+	if !Space().Contains(sc) {
+		t.Errorf("scenario %v outside space", sc)
+	}
+	if _, err := h.MeasureQuality([]float64{1}); err == nil {
+		t.Error("wrong rate count accepted")
+	}
+}
+
+func TestMeasureQualityAbsentKind(t *testing.T) {
+	h, err := NewHome(10, []App{{Name: "only", Kind: Bulk, DemandMbps: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := h.MeasureQuality([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CallQuality != 5 || m.GameQuality != 5 {
+		t.Errorf("absent kinds should be 5: %+v", m)
+	}
+	if m.BulkSpeed != 5 {
+		t.Errorf("satisfied bulk = %v", m.BulkSpeed)
+	}
+}
+
+func TestObjectiveSketch(t *testing.T) {
+	sk := ObjectiveSketch()
+	if sk.NumHoles() != 5 {
+		t.Fatalf("holes = %v", sk.Holes())
+	}
+	vals := map[string]float64{
+		"call_floor": 4, "w_call": 5, "w_stream": 3, "w_game": 2, "w_bulk": 1,
+	}
+	holes := make([]float64, sk.NumHoles())
+	for i, hName := range sk.Holes() {
+		holes[i] = vals[hName]
+	}
+	c := sk.MustCandidate(holes)
+	// Above the floor: bonus applies.
+	hi := c.Eval([]float64{4.5, 4, 4, 4})
+	lo := c.Eval([]float64{3.5, 4, 4, 4})
+	if hi-lo < 90 { // bonus 100 minus the weighted call delta (5 Mbps * 1)
+		t.Errorf("call floor bonus missing: hi=%v lo=%v", hi, lo)
+	}
+}
+
+// Property: allocations are always feasible and exhaust capacity when
+// total demand exceeds it.
+func TestPropAllocationFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	kinds := []AppKind{VideoCall, Streaming, Gaming, IoT, Bulk}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		apps := make([]App, n)
+		var totalDemand float64
+		for i := range apps {
+			apps[i] = App{
+				Name:       "app",
+				Kind:       kinds[rng.Intn(len(kinds))],
+				DemandMbps: 0.5 + rng.Float64()*50,
+				Weight:     0.1 + rng.Float64()*5,
+			}
+			totalDemand += apps[i].DemandMbps
+		}
+		capacity := 5 + rng.Float64()*150
+		h, err := NewHome(capacity, apps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates, err := h.Allocate(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for i, r := range rates {
+			if r < -1e-9 || r > apps[i].DemandMbps+1e-9 {
+				t.Fatalf("rate %v outside [0, %v]", r, apps[i].DemandMbps)
+			}
+			total += r
+		}
+		if total > capacity+1e-6 {
+			t.Fatalf("total %v exceeds capacity %v", total, capacity)
+		}
+		if totalDemand >= capacity && math.Abs(total-capacity) > 1e-6 {
+			t.Fatalf("capacity underused: %v of %v (demand %v)", total, capacity, totalDemand)
+		}
+		if totalDemand < capacity && math.Abs(total-totalDemand) > 1e-6 {
+			t.Fatalf("demand unmet with ample capacity: %v of %v", total, totalDemand)
+		}
+	}
+}
+
+func TestAppKindString(t *testing.T) {
+	for k, want := range map[AppKind]string{
+		VideoCall: "video-call", Streaming: "streaming", Gaming: "gaming",
+		IoT: "iot", Bulk: "bulk",
+	} {
+		if k.String() != want {
+			t.Errorf("%d String = %q", k, k.String())
+		}
+	}
+	if AppKind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestOptimizeWeights(t *testing.T) {
+	h := testHome(t)
+	sk := ObjectiveSketch()
+	vals := map[string]float64{
+		"call_floor": 4, "w_call": 6, "w_stream": 3, "w_game": 2, "w_bulk": 1,
+	}
+	holes := make([]float64, sk.NumHoles())
+	for i, name := range sk.Holes() {
+		holes[i] = vals[name]
+	}
+	objective := sk.MustCandidate(holes)
+	rng := rand.New(rand.NewSource(42))
+
+	bestW, bestScore, err := OptimizeWeights(h, objective, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bestW) != len(h.Apps) {
+		t.Fatalf("weights = %v", bestW)
+	}
+	for _, w := range bestW {
+		if w <= 0 {
+			t.Errorf("non-positive optimized weight %v", w)
+		}
+	}
+	// Must beat (or tie) equal weights.
+	rates, err := h.Allocate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := h.MeasureQuality(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalScore := objective.Eval(m.Scenario())
+	if bestScore < equalScore-1e-9 {
+		t.Errorf("optimized score %v below equal-weights score %v", bestScore, equalScore)
+	}
+	// With the call floor at 4, the optimized policy should keep calls
+	// healthy.
+	optRates, err := h.Allocate(bestW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optM, err := h.MeasureQuality(optRates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optM.CallQuality < 4 {
+		t.Errorf("optimized call quality %v below the objective's floor", optM.CallQuality)
+	}
+}

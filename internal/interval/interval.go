@@ -1,0 +1,275 @@
+// Package interval implements closed-interval arithmetic over float64.
+//
+// Intervals are the sound over-approximation backbone of the constraint
+// solver in internal/solver: evaluating an expression over interval
+// arguments yields an interval guaranteed to contain every pointwise
+// result. The implementation follows the usual outward-rounding-free
+// convention: float64 rounding slop is absorbed by a small epsilon
+// widening in the operations that need it (division, transcendental-free
+// here), which is sufficient for the delta-decision use in this project.
+package interval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed interval [Lo, Hi]. An interval with Lo > Hi is
+// empty. The zero value is the degenerate interval [0, 0].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// New returns the interval [lo, hi]. It panics if either bound is NaN;
+// NaN bounds indicate a logic error upstream and must not propagate
+// silently through solver pruning.
+func New(lo, hi float64) Interval {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		panic(fmt.Sprintf("interval.New: NaN bound [%v, %v]", lo, hi))
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Point returns the degenerate interval [v, v].
+func Point(v float64) Interval { return New(v, v) }
+
+// Empty returns a canonical empty interval.
+func Empty() Interval { return Interval{Lo: 1, Hi: -1} }
+
+// Whole returns the interval covering the entire (finite-representable)
+// real line.
+func Whole() Interval { return Interval{Lo: math.Inf(-1), Hi: math.Inf(1)} }
+
+// IsEmpty reports whether the interval contains no points.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+
+// IsPoint reports whether the interval is a single point.
+func (iv Interval) IsPoint() bool { return iv.Lo == iv.Hi }
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v float64) bool {
+	return !iv.IsEmpty() && iv.Lo <= v && v <= iv.Hi
+}
+
+// ContainsInterval reports whether other is a subset of iv.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	if other.IsEmpty() {
+		return true
+	}
+	if iv.IsEmpty() {
+		return false
+	}
+	return iv.Lo <= other.Lo && other.Hi <= iv.Hi
+}
+
+// Width returns Hi-Lo, or 0 for an empty interval.
+func (iv Interval) Width() float64 {
+	if iv.IsEmpty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Mid returns the midpoint. For unbounded intervals it returns a finite
+// representative (0 for the whole line, a shifted bound otherwise).
+func (iv Interval) Mid() float64 {
+	switch {
+	case iv.IsEmpty():
+		return math.NaN()
+	case math.IsInf(iv.Lo, -1) && math.IsInf(iv.Hi, 1):
+		return 0
+	case math.IsInf(iv.Lo, -1):
+		return iv.Hi - 1
+	case math.IsInf(iv.Hi, 1):
+		return iv.Lo + 1
+	}
+	return iv.Lo + (iv.Hi-iv.Lo)/2
+}
+
+// Clamp returns v clamped into the interval. Clamp panics on an empty
+// interval.
+func (iv Interval) Clamp(v float64) float64 {
+	if iv.IsEmpty() {
+		panic("interval.Clamp: empty interval")
+	}
+	if v < iv.Lo {
+		return iv.Lo
+	}
+	if v > iv.Hi {
+		return iv.Hi
+	}
+	return v
+}
+
+// Intersect returns the intersection of two intervals (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return Empty()
+	}
+	lo := math.Max(iv.Lo, other.Lo)
+	hi := math.Min(iv.Hi, other.Hi)
+	if lo > hi {
+		return Empty()
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Union returns the smallest interval containing both arguments (the
+// interval hull; gaps are filled).
+func (iv Interval) Union(other Interval) Interval {
+	if iv.IsEmpty() {
+		return other
+	}
+	if other.IsEmpty() {
+		return iv
+	}
+	return Interval{Lo: math.Min(iv.Lo, other.Lo), Hi: math.Max(iv.Hi, other.Hi)}
+}
+
+// Add returns iv + other.
+func (iv Interval) Add(other Interval) Interval {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return Empty()
+	}
+	return Interval{Lo: iv.Lo + other.Lo, Hi: iv.Hi + other.Hi}
+}
+
+// Sub returns iv - other.
+func (iv Interval) Sub(other Interval) Interval {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return Empty()
+	}
+	return Interval{Lo: iv.Lo - other.Hi, Hi: iv.Hi - other.Lo}
+}
+
+// Neg returns -iv.
+func (iv Interval) Neg() Interval {
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	return Interval{Lo: -iv.Hi, Hi: -iv.Lo}
+}
+
+// Mul returns iv * other using the four-corner rule. Products involving
+// 0*Inf are treated as 0, matching the convention that an infinite bound
+// stands for an arbitrarily large finite value.
+func (iv Interval) Mul(other Interval) Interval {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return Empty()
+	}
+	p1 := mulBound(iv.Lo, other.Lo)
+	p2 := mulBound(iv.Lo, other.Hi)
+	p3 := mulBound(iv.Hi, other.Lo)
+	p4 := mulBound(iv.Hi, other.Hi)
+	return Interval{
+		Lo: math.Min(math.Min(p1, p2), math.Min(p3, p4)),
+		Hi: math.Max(math.Max(p1, p2), math.Max(p3, p4)),
+	}
+}
+
+func mulBound(a, b float64) float64 {
+	if a == 0 || b == 0 {
+		return 0 // 0 * ±Inf -> 0 under the "huge finite" reading.
+	}
+	return a * b
+}
+
+// Div returns iv / other. If other contains 0 strictly inside, the result
+// is the whole line (the relational semantics of division); if other is
+// exactly [0,0] the result is empty.
+func (iv Interval) Div(other Interval) Interval {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return Empty()
+	}
+	if other.Lo == 0 && other.Hi == 0 {
+		return Empty()
+	}
+	if other.Lo < 0 && other.Hi > 0 {
+		return Whole()
+	}
+	// other is sign-definite (possibly with a zero endpoint).
+	inv := Interval{}
+	switch {
+	case other.Lo > 0 || other.Hi < 0:
+		inv = Interval{Lo: 1 / other.Hi, Hi: 1 / other.Lo}
+	case other.Lo == 0: // (0, hi]
+		inv = Interval{Lo: 1 / other.Hi, Hi: math.Inf(1)}
+	default: // [lo, 0)
+		inv = Interval{Lo: math.Inf(-1), Hi: 1 / other.Lo}
+	}
+	return iv.Mul(inv)
+}
+
+// Sqr returns iv^2, which is tighter than iv.Mul(iv) when iv spans 0.
+func (iv Interval) Sqr() Interval {
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	a, b := iv.Lo*iv.Lo, iv.Hi*iv.Hi
+	lo, hi := math.Min(a, b), math.Max(a, b)
+	if iv.Contains(0) {
+		lo = 0
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Min returns the pointwise minimum interval.
+func (iv Interval) Min(other Interval) Interval {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return Empty()
+	}
+	return Interval{Lo: math.Min(iv.Lo, other.Lo), Hi: math.Min(iv.Hi, other.Hi)}
+}
+
+// Max returns the pointwise maximum interval.
+func (iv Interval) Max(other Interval) Interval {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return Empty()
+	}
+	return Interval{Lo: math.Max(iv.Lo, other.Lo), Hi: math.Max(iv.Hi, other.Hi)}
+}
+
+// Abs returns |iv|.
+func (iv Interval) Abs() Interval {
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	if iv.Lo >= 0 {
+		return iv
+	}
+	if iv.Hi <= 0 {
+		return iv.Neg()
+	}
+	return Interval{Lo: 0, Hi: math.Max(-iv.Lo, iv.Hi)}
+}
+
+// Widen returns the interval grown by eps on each side (shrunk for
+// negative eps; may become empty).
+func (iv Interval) Widen(eps float64) Interval {
+	if iv.IsEmpty() {
+		return iv
+	}
+	out := Interval{Lo: iv.Lo - eps, Hi: iv.Hi + eps}
+	if out.Lo > out.Hi {
+		return Empty()
+	}
+	return out
+}
+
+// Split bisects the interval at its midpoint, returning the two halves.
+// Splitting an empty or point interval returns the interval twice.
+func (iv Interval) Split() (Interval, Interval) {
+	if iv.IsEmpty() || iv.IsPoint() {
+		return iv, iv
+	}
+	m := iv.Mid()
+	return Interval{Lo: iv.Lo, Hi: m}, Interval{Lo: m, Hi: iv.Hi}
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "∅"
+	}
+	return fmt.Sprintf("[%g, %g]", iv.Lo, iv.Hi)
+}

@@ -1,0 +1,330 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with NaN bound did not panic")
+		}
+	}()
+	New(math.NaN(), 1)
+}
+
+func TestEmptyBasics(t *testing.T) {
+	e := Empty()
+	if !e.IsEmpty() {
+		t.Fatal("Empty() is not empty")
+	}
+	if e.Contains(0) {
+		t.Error("empty interval contains 0")
+	}
+	if e.Width() != 0 {
+		t.Errorf("empty width = %v, want 0", e.Width())
+	}
+	if !math.IsNaN(e.Mid()) {
+		t.Errorf("empty Mid = %v, want NaN", e.Mid())
+	}
+	if e.String() != "∅" {
+		t.Errorf("empty String = %q", e.String())
+	}
+}
+
+func TestPointInterval(t *testing.T) {
+	p := Point(3.5)
+	if !p.IsPoint() {
+		t.Fatal("Point not IsPoint")
+	}
+	if !p.Contains(3.5) || p.Contains(3.6) {
+		t.Error("Point containment wrong")
+	}
+	if p.Mid() != 3.5 {
+		t.Errorf("Point Mid = %v", p.Mid())
+	}
+}
+
+func TestContainsInterval(t *testing.T) {
+	outer := New(0, 10)
+	cases := []struct {
+		in   Interval
+		want bool
+	}{
+		{New(2, 5), true},
+		{New(0, 10), true},
+		{New(-1, 5), false},
+		{New(5, 11), false},
+		{Empty(), true},
+	}
+	for _, c := range cases {
+		if got := outer.ContainsInterval(c.in); got != c.want {
+			t.Errorf("ContainsInterval(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if Empty().ContainsInterval(New(1, 2)) {
+		t.Error("empty contains non-empty")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := New(0, 5)
+	b := New(3, 8)
+	got := a.Intersect(b)
+	if got.Lo != 3 || got.Hi != 5 {
+		t.Errorf("Intersect = %v, want [3,5]", got)
+	}
+	if !New(0, 1).Intersect(New(2, 3)).IsEmpty() {
+		t.Error("disjoint intersect not empty")
+	}
+	// Touching intervals intersect in a point.
+	p := New(0, 2).Intersect(New(2, 4))
+	if p.IsEmpty() || !p.IsPoint() || p.Lo != 2 {
+		t.Errorf("touching intersect = %v, want [2,2]", p)
+	}
+}
+
+func TestUnionHull(t *testing.T) {
+	got := New(0, 1).Union(New(5, 6))
+	if got.Lo != 0 || got.Hi != 6 {
+		t.Errorf("Union = %v, want [0,6]", got)
+	}
+	if u := Empty().Union(New(1, 2)); u.Lo != 1 || u.Hi != 2 {
+		t.Errorf("Empty.Union = %v", u)
+	}
+	if u := New(1, 2).Union(Empty()); u.Lo != 1 || u.Hi != 2 {
+		t.Errorf("Union(Empty) = %v", u)
+	}
+}
+
+func TestArithmeticKnownValues(t *testing.T) {
+	a := New(1, 2)
+	b := New(-3, 4)
+	if got := a.Add(b); got != New(-2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != New(-3, 5) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Neg(); got != New(-2, -1) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Mul(b); got != New(-6, 8) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := b.Sqr(); got != New(0, 16) {
+		t.Errorf("Sqr = %v", got)
+	}
+}
+
+func TestDiv(t *testing.T) {
+	a := New(1, 2)
+	if got := a.Div(New(2, 4)); got != New(0.25, 1) {
+		t.Errorf("Div = %v", got)
+	}
+	// Divisor spanning zero strictly -> whole line.
+	w := a.Div(New(-1, 1))
+	if !math.IsInf(w.Lo, -1) || !math.IsInf(w.Hi, 1) {
+		t.Errorf("Div spanning zero = %v, want whole", w)
+	}
+	// Division by exactly zero -> empty.
+	if !a.Div(Point(0)).IsEmpty() {
+		t.Error("Div by [0,0] not empty")
+	}
+	// Divisor with zero endpoint: [0, 2] -> [1/2, +inf) scaled.
+	g := New(1, 1).Div(New(0, 2))
+	if g.Lo != 0.5 || !math.IsInf(g.Hi, 1) {
+		t.Errorf("Div by [0,2] = %v", g)
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	a := New(1, 5)
+	b := New(3, 4)
+	if got := a.Min(b); got != New(1, 4) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != New(3, 5) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := New(-3, 2).Abs(); got != New(0, 3) {
+		t.Errorf("Abs = %v", got)
+	}
+	if got := New(-3, -1).Abs(); got != New(1, 3) {
+		t.Errorf("Abs neg = %v", got)
+	}
+	if got := New(1, 3).Abs(); got != New(1, 3) {
+		t.Errorf("Abs pos = %v", got)
+	}
+}
+
+func TestWiden(t *testing.T) {
+	if got := New(1, 2).Widen(0.5); got != New(0.5, 2.5) {
+		t.Errorf("Widen = %v", got)
+	}
+	if !New(1, 2).Widen(-1).IsEmpty() {
+		t.Error("over-shrunk interval not empty")
+	}
+	if got := Empty().Widen(10); !got.IsEmpty() {
+		t.Error("widened empty not empty")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	l, r := New(0, 4).Split()
+	if l != New(0, 2) || r != New(2, 4) {
+		t.Errorf("Split = %v, %v", l, r)
+	}
+	pl, pr := Point(1).Split()
+	if pl != Point(1) || pr != Point(1) {
+		t.Errorf("point Split = %v, %v", pl, pr)
+	}
+}
+
+func TestMidUnbounded(t *testing.T) {
+	if m := Whole().Mid(); m != 0 {
+		t.Errorf("Whole Mid = %v", m)
+	}
+	if m := New(math.Inf(-1), 5).Mid(); m != 4 {
+		t.Errorf("(-inf,5] Mid = %v", m)
+	}
+	if m := New(5, math.Inf(1)).Mid(); m != 6 {
+		t.Errorf("[5,inf) Mid = %v", m)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	iv := New(0, 10)
+	for _, c := range []struct{ in, want float64 }{{-5, 0}, {5, 5}, {15, 10}} {
+		if got := iv.Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp on empty did not panic")
+		}
+	}()
+	Empty().Clamp(1)
+}
+
+// randomPair draws a random interval and a random point inside it.
+func randomPair(rng *rand.Rand) (Interval, float64) {
+	a := rng.NormFloat64() * 10
+	b := rng.NormFloat64() * 10
+	if a > b {
+		a, b = b, a
+	}
+	iv := New(a, b)
+	p := a + rng.Float64()*(b-a)
+	return iv, p
+}
+
+// Property: interval operations are inclusion-sound, i.e. for points
+// x ∈ A, y ∈ B, the pointwise result lies in op(A, B).
+func TestPropInclusionSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type binop struct {
+		name string
+		ivOp func(Interval, Interval) Interval
+		ptOp func(float64, float64) float64
+	}
+	ops := []binop{
+		{"Add", Interval.Add, func(x, y float64) float64 { return x + y }},
+		{"Sub", Interval.Sub, func(x, y float64) float64 { return x - y }},
+		{"Mul", Interval.Mul, func(x, y float64) float64 { return x * y }},
+		{"Min", Interval.Min, math.Min},
+		{"Max", Interval.Max, math.Max},
+	}
+	const slack = 1e-9
+	for i := 0; i < 3000; i++ {
+		a, x := randomPair(rng)
+		b, y := randomPair(rng)
+		for _, op := range ops {
+			res := op.ivOp(a, b)
+			v := op.ptOp(x, y)
+			if !res.Widen(slack + math.Abs(v)*1e-12).Contains(v) {
+				t.Fatalf("%s not inclusion-sound: %v op %v = %v, point %v op %v = %v",
+					op.name, a, b, res, x, y, v)
+			}
+		}
+	}
+}
+
+func TestPropDivisionSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		a, x := randomPair(rng)
+		b, y := randomPair(rng)
+		if y == 0 {
+			continue
+		}
+		res := a.Div(b)
+		v := x / y
+		if !res.Widen(1e-9 + math.Abs(v)*1e-9).Contains(v) {
+			t.Fatalf("Div not sound: %v / %v = %v, point %v / %v = %v", a, b, res, x, y, v)
+		}
+	}
+}
+
+func TestPropSqrTighterThanMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		a, x := randomPair(rng)
+		sq := a.Sqr()
+		if !sq.Widen(1e-9 + x*x*1e-12).Contains(x * x) {
+			t.Fatalf("Sqr not sound: %v^2 = %v misses %v", a, sq, x*x)
+		}
+		if !a.Mul(a).ContainsInterval(sq) {
+			t.Fatalf("Sqr(%v)=%v wider than Mul=%v", a, sq, a.Mul(a))
+		}
+	}
+}
+
+func TestPropIntersectCommutes(t *testing.T) {
+	f := func(alo, ahi, blo, bhi float64) bool {
+		if math.IsNaN(alo) || math.IsNaN(ahi) || math.IsNaN(blo) || math.IsNaN(bhi) {
+			return true
+		}
+		a, b := Interval{alo, ahi}, Interval{blo, bhi}
+		x, y := a.Intersect(b), b.Intersect(a)
+		return x.IsEmpty() == y.IsEmpty() && (x.IsEmpty() || x == y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropUnionContainsBoth(t *testing.T) {
+	f := func(alo, ahi, blo, bhi float64) bool {
+		if math.IsNaN(alo) || math.IsNaN(ahi) || math.IsNaN(blo) || math.IsNaN(bhi) {
+			return true
+		}
+		a, b := Interval{alo, ahi}, Interval{blo, bhi}
+		u := a.Union(b)
+		return u.ContainsInterval(a) && u.ContainsInterval(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSplitCoversAndShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for i := 0; i < 2000; i++ {
+		a, x := randomPair(rng)
+		l, r := a.Split()
+		if !l.Contains(x) && !r.Contains(x) {
+			t.Fatalf("Split of %v loses point %v", a, x)
+		}
+		if !a.IsPoint() && (l.Width() >= a.Width() || r.Width() >= a.Width()) {
+			t.Fatalf("Split of %v did not shrink: %v %v", a, l, r)
+		}
+		if got := l.Union(r); got != a {
+			t.Fatalf("Split of %v does not cover: union %v", a, got)
+		}
+	}
+}

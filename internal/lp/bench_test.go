@@ -1,0 +1,61 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomLP builds a bounded random LP with n variables and m extra
+// constraints (plus the bounding box).
+func randomLP(n, m int, rng *rand.Rand) Problem {
+	p := Problem{NumVars: n, Objective: make([]float64, n)}
+	for i := range p.Objective {
+		p.Objective[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		row[i] = 1
+		p.AddConstraint(row, LE, 1+rng.Float64()*10)
+	}
+	for k := 0; k < m; k++ {
+		row := make([]float64, n)
+		for i := range row {
+			row[i] = rng.NormFloat64()
+		}
+		p.AddConstraint(row, LE, rng.Float64()*10)
+	}
+	return p
+}
+
+func BenchmarkSimplexSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomLP(10, 10, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	p := randomLP(60, 60, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexLarge(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomLP(200, 120, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"compsynth/internal/lp"
+)
+
+func ExampleSolve() {
+	// maximize 3x + 2y subject to x+y ≤ 4, x+3y ≤ 6, x,y ≥ 0.
+	p := lp.Problem{NumVars: 2, Objective: []float64{3, 2}}
+	p.AddConstraint([]float64{1, 1}, lp.LE, 4)
+	p.AddConstraint([]float64{1, 3}, lp.LE, 6)
+	sol, err := lp.Solve(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sol.Status, sol.Objective)
+	// Output: optimal 12
+}

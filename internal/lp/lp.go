@@ -1,0 +1,390 @@
+// Package lp implements a dense two-phase simplex solver for linear
+// programs. It is the optimization substrate for the traffic-engineering
+// allocators in internal/te (SWAN-style max-throughput, max-min
+// fairness via iterative LPs, and the balanced fairness/throughput
+// scheme), standing in for the commercial solvers those systems use in
+// production.
+//
+// Problems are stated over non-negative variables:
+//
+//	maximize  c·x
+//	subject to  a_i·x  (≤ | = | ≥)  b_i   for each row i
+//	            x ≥ 0
+//
+// The implementation is a textbook dense tableau with Bland's rule
+// (which precludes cycling), adequate for the problem sizes the TE
+// substrate generates (hundreds of variables).
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota // a·x ≤ b
+	GE           // a·x ≥ b
+	EQ           // a·x = b
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Constraint is one row a·x (op) b.
+type Constraint struct {
+	Coeffs []float64
+	Op     Op
+	RHS    float64
+}
+
+// Problem is a linear program over non-negative variables. NumVars
+// fixes the dimension; every constraint's Coeffs must have that length.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // maximize Objective·x
+	Constraints []Constraint
+}
+
+// AddConstraint appends a constraint (convenience builder).
+func (p *Problem) AddConstraint(coeffs []float64, op Op, rhs float64) {
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Op: op, RHS: rhs})
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // variable values (valid when Optimal)
+	Objective float64   // c·x (valid when Optimal)
+}
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex on the problem.
+func Solve(p Problem) (Solution, error) {
+	if p.NumVars <= 0 {
+		return Solution{}, fmt.Errorf("lp: NumVars = %d", p.NumVars)
+	}
+	if len(p.Objective) != p.NumVars {
+		return Solution{}, fmt.Errorf("lp: objective has %d coefficients for %d vars", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != p.NumVars {
+			return Solution{}, fmt.Errorf("lp: constraint %d has %d coefficients for %d vars", i, len(c.Coeffs), p.NumVars)
+		}
+		for _, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return Solution{}, fmt.Errorf("lp: constraint %d has non-finite coefficient", i)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return Solution{}, fmt.Errorf("lp: constraint %d has non-finite RHS", i)
+		}
+	}
+
+	t := newTableau(p)
+
+	// Phase 1: drive artificial variables to zero.
+	if t.numArtificial > 0 {
+		t.setPhase1Objective()
+		if st := t.iterate(); st == Unbounded {
+			// Phase 1 objective is bounded below by 0; unbounded here
+			// indicates a logic error.
+			return Solution{}, fmt.Errorf("lp: internal error: phase 1 unbounded")
+		}
+		// Phase 1 maximizes -(Σ artificials); an optimum below zero
+		// means some artificial is stuck positive: infeasible.
+		if t.objectiveValue() < -eps {
+			return Solution{Status: Infeasible}, nil
+		}
+		t.evictArtificials()
+	}
+
+	// Phase 2: original objective.
+	t.setPhase2Objective(p.Objective)
+	if st := t.iterate(); st == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+
+	x := t.extract(p.NumVars)
+	obj := 0.0
+	for i, c := range p.Objective {
+		obj += c * x[i]
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// tableau is a dense simplex tableau in the form
+//
+//	rows:    m constraint rows over [structural | slack/surplus | artificial | RHS]
+//	objRow:  reduced costs (maximization: pivot while some cost > eps)
+type tableau struct {
+	m, n          int // constraints, total columns excluding RHS
+	numStruct     int
+	numArtificial int
+	artStart      int         // column index of first artificial
+	rows          [][]float64 // m rows, each n+1 wide (RHS last)
+	obj           []float64   // n+1 wide (current objective row, RHS last = value)
+	basis         []int       // basis[i] = column basic in row i
+}
+
+func newTableau(p Problem) *tableau {
+	m := len(p.Constraints)
+	// Count auxiliary columns.
+	numSlack := 0
+	numArt := 0
+	for _, c := range p.Constraints {
+		rhs := c.RHS
+		op := c.Op
+		if rhs < 0 {
+			op = flip(op)
+		}
+		switch op {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++ // surplus
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	n := p.NumVars + numSlack + numArt
+	t := &tableau{
+		m:             m,
+		n:             n,
+		numStruct:     p.NumVars,
+		numArtificial: numArt,
+		artStart:      p.NumVars + numSlack,
+		rows:          make([][]float64, m),
+		obj:           make([]float64, n+1),
+		basis:         make([]int, m),
+	}
+	slackCol := p.NumVars
+	artCol := t.artStart
+	for i, c := range p.Constraints {
+		row := make([]float64, n+1)
+		sign := 1.0
+		op := c.Op
+		rhs := c.RHS
+		if rhs < 0 {
+			sign = -1
+			rhs = -rhs
+			op = flip(op)
+		}
+		for j, v := range c.Coeffs {
+			row[j] = sign * v
+		}
+		row[n] = rhs
+		switch op {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.rows[i] = row
+	}
+	return t
+}
+
+func flip(op Op) Op {
+	switch op {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return EQ
+}
+
+// setPhase1Objective loads "maximize -(sum of artificials)" expressed in
+// terms of the current (artificial) basis.
+func (t *tableau) setPhase1Objective() {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	for j := t.artStart; j < t.artStart+t.numArtificial; j++ {
+		t.obj[j] = -1
+	}
+	// Price out basic artificial variables.
+	for i, b := range t.basis {
+		if b >= t.artStart {
+			for j := 0; j <= t.n; j++ {
+				t.obj[j] += t.rows[i][j]
+			}
+		}
+	}
+}
+
+// setPhase2Objective loads the original objective priced out against the
+// current basis, zeroing artificial columns so they can never re-enter.
+func (t *tableau) setPhase2Objective(c []float64) {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	copy(t.obj, c)
+	for i, b := range t.basis {
+		if b < len(c) && c[b] != 0 {
+			coef := c[b]
+			for j := 0; j <= t.n; j++ {
+				t.obj[j] -= coef * t.rows[i][j]
+			}
+			// Restore the basic column's own entry to 0 exactly.
+			t.obj[b] = 0
+		}
+	}
+	// Artificials are frozen out.
+	for j := t.artStart; j < t.artStart+t.numArtificial; j++ {
+		t.obj[j] = math.Inf(-1)
+	}
+	_ = c
+}
+
+// objectiveValue returns the current objective row value.
+func (t *tableau) objectiveValue() float64 { return -t.obj[t.n] }
+
+// iterate pivots until optimal or unbounded (Bland's rule).
+func (t *tableau) iterate() Status {
+	for {
+		// Entering column: smallest index with positive reduced cost.
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			if t.obj[j] > eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Leaving row: min ratio, ties by smallest basis index (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.rows[i][enter]
+			if a <= eps {
+				continue
+			}
+			ratio := t.rows[i][t.n] / a
+			if ratio < bestRatio-eps ||
+				(math.Abs(ratio-bestRatio) <= eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	prow := t.rows[leave]
+	pval := prow[enter]
+	for j := 0; j <= t.n; j++ {
+		prow[j] /= pval
+	}
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		factor := t.rows[i][enter]
+		if factor == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := 0; j <= t.n; j++ {
+			row[j] -= factor * prow[j]
+		}
+		row[enter] = 0
+	}
+	if f := t.obj[enter]; f != 0 && !math.IsInf(f, 0) {
+		for j := 0; j <= t.n; j++ {
+			if !math.IsInf(t.obj[j], 0) {
+				t.obj[j] -= f * prow[j]
+			}
+		}
+		t.obj[enter] = 0
+	}
+	t.basis[leave] = enter
+}
+
+// evictArtificials pivots basic artificial variables out of the basis
+// where possible (degenerate rows) so phase 2 cannot reuse them.
+func (t *tableau) evictArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		// Find any non-artificial column with a nonzero entry.
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rows[i][j]) > eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+		// If none exists the row is all-zero (redundant constraint);
+		// the artificial stays basic at value 0, which is harmless
+		// because phase 2 freezes artificial columns.
+	}
+}
+
+// extract reads the structural variable values off the tableau.
+func (t *tableau) extract(numVars int) []float64 {
+	x := make([]float64, numVars)
+	for i, b := range t.basis {
+		if b < numVars {
+			x[b] = t.rows[i][t.n]
+			if x[b] < 0 && x[b] > -eps {
+				x[b] = 0
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,305 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12.
+	p := Problem{NumVars: 2, Objective: []float64{3, 2}}
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 3}, LE, 6)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-12) > 1e-6 {
+		t.Errorf("objective = %v, want 12", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-4) > 1e-6 || math.Abs(sol.X[1]) > 1e-6 {
+		t.Errorf("X = %v", sol.X)
+	}
+}
+
+func TestInteriorOptimum(t *testing.T) {
+	// max x + y s.t. x <= 2, y <= 3 -> (2,3), obj 5.
+	p := Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint([]float64{1, 0}, LE, 2)
+	p.AddConstraint([]float64{0, 1}, LE, 3)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-5) > 1e-6 {
+		t.Errorf("objective = %v", sol.Objective)
+	}
+}
+
+func TestGEAndEQConstraints(t *testing.T) {
+	// max x + 2y s.t. x + y = 10, x >= 3, y <= 5 -> x=5, y=5, obj 15.
+	p := Problem{NumVars: 2, Objective: []float64{1, 2}}
+	p.AddConstraint([]float64{1, 1}, EQ, 10)
+	p.AddConstraint([]float64{1, 0}, GE, 3)
+	p.AddConstraint([]float64{0, 1}, LE, 5)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-15) > 1e-6 {
+		t.Errorf("objective = %v, X = %v", sol.Objective, sol.X)
+	}
+	if math.Abs(sol.X[0]+sol.X[1]-10) > 1e-6 {
+		t.Errorf("equality violated: %v", sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2.
+	p := Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint([]float64{1}, LE, 1)
+	p.AddConstraint([]float64{1}, GE, 2)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// max x with only x >= 1.
+	p := Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint([]float64{1}, GE, 1)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x <= -2 is x >= 2; max -x s.t. x >= 2, x <= 5 -> x=2.
+	p := Problem{NumVars: 1, Objective: []float64{-1}}
+	p.AddConstraint([]float64{-1}, LE, -2)
+	p.AddConstraint([]float64{1}, LE, 5)
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]-2) > 1e-6 {
+		t.Errorf("X = %v, want 2", sol.X)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// Classic degenerate LP (Beale-like); Bland's rule must terminate.
+	p := Problem{NumVars: 4, Objective: []float64{0.75, -150, 0.02, -6}}
+	p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-0.05) > 1e-6 {
+		t.Errorf("objective = %v, want 0.05", sol.Objective)
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	// Pure feasibility problem.
+	p := Problem{NumVars: 2, Objective: []float64{0, 0}}
+	p.AddConstraint([]float64{1, 1}, EQ, 3)
+	p.AddConstraint([]float64{1, 0}, LE, 2)
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]+sol.X[1]-3) > 1e-6 || sol.X[0] > 2+1e-9 {
+		t.Errorf("X = %v", sol.X)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	p := Problem{NumVars: 2, Objective: []float64{1, 1}}
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 1}, LE, 4) // duplicate
+	p.AddConstraint([]float64{2, 2}, EQ, 8) // forces the boundary
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-4) > 1e-6 {
+		t.Errorf("objective = %v", sol.Objective)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Solve(Problem{NumVars: 0}); err == nil {
+		t.Error("zero vars accepted")
+	}
+	if _, err := Solve(Problem{NumVars: 2, Objective: []float64{1}}); err == nil {
+		t.Error("objective arity mismatch accepted")
+	}
+	p := Problem{NumVars: 1, Objective: []float64{1}}
+	p.AddConstraint([]float64{1, 2}, LE, 1)
+	if _, err := Solve(p); err == nil {
+		t.Error("constraint arity mismatch accepted")
+	}
+	p2 := Problem{NumVars: 1, Objective: []float64{1}}
+	p2.AddConstraint([]float64{math.NaN()}, LE, 1)
+	if _, err := Solve(p2); err == nil {
+		t.Error("NaN coefficient accepted")
+	}
+	p3 := Problem{NumVars: 1, Objective: []float64{1}}
+	p3.AddConstraint([]float64{1}, LE, math.Inf(1))
+	if _, err := Solve(p3); err == nil {
+		t.Error("infinite RHS accepted")
+	}
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Op strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("Status strings wrong")
+	}
+	if Op(7).String() == "" || Status(7).String() == "" {
+		t.Error("unknown strings empty")
+	}
+}
+
+// bruteForce2D solves a 2-variable LP with LE constraints by vertex
+// enumeration, for cross-checking the simplex.
+func bruteForce2D(obj []float64, cons []Constraint) (float64, bool) {
+	// Vertices arise from intersections of constraint boundaries (incl.
+	// the axes x=0, y=0).
+	lines := [][3]float64{{1, 0, 0}, {0, 1, 0}} // x=0, y=0
+	for _, c := range cons {
+		lines = append(lines, [3]float64{c.Coeffs[0], c.Coeffs[1], c.RHS})
+	}
+	feasible := func(x, y float64) bool {
+		if x < -1e-9 || y < -1e-9 {
+			return false
+		}
+		for _, c := range cons {
+			if c.Coeffs[0]*x+c.Coeffs[1]*y > c.RHS+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	best := math.Inf(-1)
+	found := false
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			a1, b1, c1 := lines[i][0], lines[i][1], lines[i][2]
+			a2, b2, c2 := lines[j][0], lines[j][1], lines[j][2]
+			det := a1*b2 - a2*b1
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (c1*b2 - c2*b1) / det
+			y := (a1*c2 - a2*c1) / det
+			if feasible(x, y) {
+				found = true
+				if v := obj[0]*x + obj[1]*y; v > best {
+					best = v
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// Property: simplex matches brute-force vertex enumeration on random
+// bounded 2D LPs.
+func TestPropMatchesBruteForce2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		obj := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		var cons []Constraint
+		// Bounding box keeps every instance bounded.
+		cons = append(cons,
+			Constraint{Coeffs: []float64{1, 0}, Op: LE, RHS: 1 + rng.Float64()*10},
+			Constraint{Coeffs: []float64{0, 1}, Op: LE, RHS: 1 + rng.Float64()*10},
+		)
+		for k := rng.Intn(4); k > 0; k-- {
+			cons = append(cons, Constraint{
+				Coeffs: []float64{rng.NormFloat64(), rng.NormFloat64()},
+				Op:     LE,
+				RHS:    rng.Float64() * 5, // nonnegative keeps origin feasible
+			})
+		}
+		p := Problem{NumVars: 2, Objective: obj, Constraints: cons}
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, feasible := bruteForce2D(obj, cons)
+		if !feasible {
+			// Origin is always feasible here, so this can't happen.
+			t.Fatal("brute force found no vertex")
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v, want optimal (brute force %v)", trial, sol.Status, want)
+		}
+		if math.Abs(sol.Objective-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: simplex %v != brute force %v", trial, sol.Objective, want)
+		}
+	}
+}
+
+// Property: returned solutions always satisfy their constraints.
+func TestPropSolutionsFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(5)
+		p := Problem{NumVars: n, Objective: make([]float64, n)}
+		for i := range p.Objective {
+			p.Objective[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			bound := make([]float64, n)
+			bound[i] = 1
+			p.AddConstraint(bound, LE, 1+rng.Float64()*5)
+		}
+		for k := rng.Intn(5); k > 0; k-- {
+			row := make([]float64, n)
+			for i := range row {
+				row[i] = rng.NormFloat64()
+			}
+			ops := []Op{LE, GE, EQ}
+			op := ops[rng.Intn(2)] // LE or GE; EQ often infeasible randomly
+			p.AddConstraint(row, op, rng.NormFloat64()*3)
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			continue
+		}
+		for i, c := range p.Constraints {
+			lhs := 0.0
+			for j, v := range c.Coeffs {
+				lhs += v * sol.X[j]
+			}
+			ok := true
+			switch c.Op {
+			case LE:
+				ok = lhs <= c.RHS+1e-6
+			case GE:
+				ok = lhs >= c.RHS-1e-6
+			case EQ:
+				ok = math.Abs(lhs-c.RHS) <= 1e-6
+			}
+			if !ok {
+				t.Fatalf("trial %d: constraint %d violated: %v %v %v (X=%v)",
+					trial, i, lhs, c.Op, c.RHS, sol.X)
+			}
+		}
+		for j, v := range sol.X {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: negative variable x%d = %v", trial, j, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package oracle
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"compsynth/internal/scenario"
+	"compsynth/internal/sketch"
+)
+
+func groundTruth(t testing.TB) *GroundTruth {
+	t.Helper()
+	sk := sketch.SWAN()
+	target, err := sketch.DefaultSWANTarget.Candidate(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewGroundTruth(target, 1e-9)
+}
+
+func TestGroundTruthCompare(t *testing.T) {
+	g := groundTruth(t)
+	// (5,10) satisfying vs (2,100) unsatisfying: first strongly preferred.
+	if p := g.Compare(scenario.Scenario{5, 10}, scenario.Scenario{2, 100}); p != PrefersFirst {
+		t.Errorf("Compare = %v", p)
+	}
+	if p := g.Compare(scenario.Scenario{2, 100}, scenario.Scenario{5, 10}); p != PrefersSecond {
+		t.Errorf("reversed Compare = %v", p)
+	}
+	if p := g.Compare(scenario.Scenario{5, 10}, scenario.Scenario{5, 10}); p != Indifferent {
+		t.Errorf("identical Compare = %v", p)
+	}
+}
+
+func TestGroundTruthAntisymmetric(t *testing.T) {
+	g := groundTruth(t)
+	rng := rand.New(rand.NewSource(1))
+	sp := scenario.SWANSpace()
+	for i := 0; i < 500; i++ {
+		a, b := sp.Random(rng), sp.Random(rng)
+		pa, pb := g.Compare(a, b), g.Compare(b, a)
+		switch pa {
+		case PrefersFirst:
+			if pb != PrefersSecond {
+				t.Fatalf("not antisymmetric: %v vs %v", pa, pb)
+			}
+		case PrefersSecond:
+			if pb != PrefersFirst {
+				t.Fatalf("not antisymmetric: %v vs %v", pa, pb)
+			}
+		case Indifferent:
+			if pb != Indifferent {
+				t.Fatalf("indifference not symmetric")
+			}
+		}
+	}
+}
+
+func TestGroundTruthTieEps(t *testing.T) {
+	sk := sketch.SWAN()
+	target, _ := sketch.DefaultSWANTarget.Candidate(sk)
+	g := NewGroundTruth(target, 100) // huge tie band
+	// Scores differ by < 100 -> indifferent.
+	a, b := scenario.Scenario{5, 10}, scenario.Scenario{5.1, 10}
+	if p := g.Compare(a, b); p != Indifferent {
+		t.Errorf("within tie band: %v", p)
+	}
+}
+
+func TestNoisyFlips(t *testing.T) {
+	g := groundTruth(t)
+	n := &Noisy{Inner: g, FlipProb: 1.0, Rng: rand.New(rand.NewSource(2))}
+	a, b := scenario.Scenario{5, 10}, scenario.Scenario{2, 100}
+	if p := n.Compare(a, b); p != PrefersSecond {
+		t.Errorf("FlipProb=1 did not flip: %v", p)
+	}
+	n.FlipProb = 0
+	if p := n.Compare(a, b); p != PrefersFirst {
+		t.Errorf("FlipProb=0 flipped: %v", p)
+	}
+	// Indifferent never flips.
+	n.FlipProb = 1
+	if p := n.Compare(a, a); p != Indifferent {
+		t.Errorf("indifferent flipped: %v", p)
+	}
+}
+
+func TestNoisyRate(t *testing.T) {
+	g := groundTruth(t)
+	n := &Noisy{Inner: g, FlipProb: 0.3, Rng: rand.New(rand.NewSource(3))}
+	sp := scenario.SWANSpace()
+	rng := rand.New(rand.NewSource(4))
+	flips, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		a, b := sp.Random(rng), sp.Random(rng)
+		truth := g.Compare(a, b)
+		if truth == Indifferent {
+			continue
+		}
+		total++
+		if n.Compare(a, b) != truth {
+			flips++
+		}
+	}
+	rate := float64(flips) / float64(total)
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("observed flip rate %v, want ~0.3", rate)
+	}
+}
+
+func TestCounting(t *testing.T) {
+	g := groundTruth(t)
+	c := &Counting{Inner: g}
+	a, b := scenario.Scenario{5, 10}, scenario.Scenario{2, 100}
+	for i := 0; i < 7; i++ {
+		c.Compare(a, b)
+	}
+	if c.Queries != 7 {
+		t.Errorf("Queries = %d", c.Queries)
+	}
+}
+
+func TestRankTotalOrder(t *testing.T) {
+	g := groundTruth(t)
+	scs := []scenario.Scenario{
+		{2, 100},  // unsat: 2 - 5*200 = -998
+		{5, 10},   // sat: 5 - 50 + 1000 = 955
+		{9, 40},   // sat: 9 - 360 + 1000 = 649
+		{0.5, 10}, // unsat: 0.5 - 25 = -24.5
+	}
+	groups := Rank(g, scs)
+	if len(groups) != 4 {
+		t.Fatalf("groups = %v", groups)
+	}
+	want := []int{1, 2, 3, 0} // best-first by the scores above
+	for i, g := range groups {
+		if len(g) != 1 || g[0] != want[i] {
+			t.Fatalf("groups = %v, want singletons %v", groups, want)
+		}
+	}
+}
+
+func TestRankGroupsTies(t *testing.T) {
+	g := groundTruth(t)
+	scs := []scenario.Scenario{
+		{5, 10},
+		{5, 10}, // duplicate -> tie
+		{2, 100},
+	}
+	groups := Rank(g, scs)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 2 {
+		t.Errorf("tie group = %v", groups[0])
+	}
+	if len(groups[1]) != 1 || groups[1][0] != 2 {
+		t.Errorf("last group = %v", groups[1])
+	}
+}
+
+func TestRankEmptyAndSingle(t *testing.T) {
+	g := groundTruth(t)
+	if groups := Rank(g, nil); len(groups) != 0 {
+		t.Errorf("empty rank = %v", groups)
+	}
+	groups := Rank(g, []scenario.Scenario{{1, 1}})
+	if len(groups) != 1 || len(groups[0]) != 1 {
+		t.Errorf("single rank = %v", groups)
+	}
+}
+
+func TestRankAgreesWithScores(t *testing.T) {
+	g := groundTruth(t)
+	sp := scenario.SWANSpace()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		scs := sp.RandomN(rng, 6)
+		groups := Rank(g, scs)
+		// Flatten and verify scores are non-increasing across groups.
+		prevBest := 0.0
+		for gi, grp := range groups {
+			score := g.Target.Eval(scs[grp[0]])
+			if gi > 0 && score >= prevBest {
+				t.Fatalf("group %d score %v >= previous %v", gi, score, prevBest)
+			}
+			prevBest = score
+		}
+	}
+}
+
+func TestInteractive(t *testing.T) {
+	sp := scenario.SWANSpace()
+	in := strings.NewReader("1\nbogus\n2\n=\n")
+	var out strings.Builder
+	ia := NewInteractive(sp, in, &out)
+	a, b := scenario.Scenario{5, 10}, scenario.Scenario{2, 100}
+	if p := ia.Compare(a, b); p != PrefersFirst {
+		t.Errorf("answer 1 = %v", p)
+	}
+	if p := ia.Compare(a, b); p != PrefersSecond {
+		t.Errorf("answer bogus,2 = %v", p)
+	}
+	if !strings.Contains(out.String(), "please answer") {
+		t.Error("no reprompt after bogus answer")
+	}
+	if p := ia.Compare(a, b); p != Indifferent {
+		t.Errorf("answer = : %v", p)
+	}
+	// EOF -> indifferent, no hang.
+	if p := ia.Compare(a, b); p != Indifferent {
+		t.Errorf("EOF = %v", p)
+	}
+	if !strings.Contains(out.String(), "throughput=5") {
+		t.Error("prompt does not show scenarios")
+	}
+}
+
+func TestAgreementSelfIsOne(t *testing.T) {
+	g := groundTruth(t)
+	pairs := RandomPairs(scenario.SWANSpace(), 200, rand.New(rand.NewSource(6)))
+	frac, strict := Agreement(g, g, pairs)
+	if frac != 1 {
+		t.Errorf("self agreement = %v", frac)
+	}
+	if strict == 0 {
+		t.Error("no strict pairs sampled")
+	}
+}
+
+func TestAgreementDetectsDifference(t *testing.T) {
+	sk := sketch.SWAN()
+	t1, _ := sketch.DefaultSWANTarget.Candidate(sk)
+	p2 := sketch.DefaultSWANTarget
+	p2.LThrsh = 120 // very different satisfying region
+	p2.Slope2 = 1
+	t2, err := p2.Candidate(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := RandomPairs(scenario.SWANSpace(), 500, rand.New(rand.NewSource(7)))
+	frac, _ := Agreement(NewGroundTruth(t1, 1e-9), NewGroundTruth(t2, 1e-9), pairs)
+	if frac > 0.97 {
+		t.Errorf("agreement %v too high for different targets", frac)
+	}
+}
+
+func TestAgreementNoStrictPairs(t *testing.T) {
+	sk := sketch.SWAN()
+	target, _ := sketch.DefaultSWANTarget.Candidate(sk)
+	g := NewGroundTruth(target, 1e12) // everything ties
+	pairs := RandomPairs(scenario.SWANSpace(), 10, rand.New(rand.NewSource(8)))
+	frac, strict := Agreement(g, g, pairs)
+	if strict != 0 || frac != 1 {
+		t.Errorf("degenerate agreement = %v, %d", frac, strict)
+	}
+}
+
+func TestRandomPairsDistinct(t *testing.T) {
+	pairs := RandomPairs(scenario.SWANSpace(), 100, rand.New(rand.NewSource(9)))
+	if len(pairs) != 100 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	for _, pr := range pairs {
+		if pr[0].AlmostEqual(pr[1], 1e-9) {
+			t.Error("degenerate pair returned")
+		}
+	}
+}
+
+func TestPreferenceString(t *testing.T) {
+	if PrefersFirst.String() != "first" || PrefersSecond.String() != "second" || Indifferent.String() != "indifferent" {
+		t.Error("Preference strings wrong")
+	}
+	if Preference(9).String() == "" {
+		t.Error("unknown preference empty")
+	}
+}
+
+func TestFatiguedOracle(t *testing.T) {
+	g := groundTruth(t)
+	f := &Fatigued{Inner: g, Patience: 10, Rng: rand.New(rand.NewSource(10))}
+	a, b := scenario.Scenario{5, 10}, scenario.Scenario{2, 100}
+	// Fresh user: strict answers.
+	for i := 0; i < 10; i++ {
+		if p := f.Compare(a, b); p != PrefersFirst {
+			t.Fatalf("query %d before fatigue = %v", i, p)
+		}
+	}
+	// Deep past patience: mostly (eventually always) indifferent.
+	indiff := 0
+	for i := 0; i < 40; i++ {
+		if f.Compare(a, b) == Indifferent {
+			indiff++
+		}
+	}
+	if indiff < 20 {
+		t.Errorf("only %d/40 indifferent answers past patience", indiff)
+	}
+	if f.Answered() != 50 {
+		t.Errorf("Answered = %d", f.Answered())
+	}
+	// Zero patience disables fatigue.
+	tireless := &Fatigued{Inner: g, Patience: 0, Rng: rand.New(rand.NewSource(11))}
+	for i := 0; i < 100; i++ {
+		if p := tireless.Compare(a, b); p != PrefersFirst {
+			t.Fatal("zero-patience oracle fatigued")
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package sketch_test
+
+import (
+	"fmt"
+
+	"compsynth/internal/scenario"
+	"compsynth/internal/sketch"
+)
+
+func ExampleSWAN() {
+	sk := sketch.SWAN()
+	fmt.Println(sk.Holes())
+
+	// The paper's Figure 2b target: tp_thrsh=1, l_thrsh=50, slope1=1,
+	// slope2=5 (positional per the canonical hole order above).
+	target, err := sketch.DefaultSWANTarget.Candidate(sk)
+	if err != nil {
+		panic(err)
+	}
+	satisfying := scenario.Scenario{5, 10}    // 5 Gbps at 10 ms
+	unsatisfying := scenario.Scenario{2, 100} // 2 Gbps at 100 ms
+	fmt.Println(target.Eval(satisfying), target.Eval(unsatisfying))
+	fmt.Println(target.Prefers(satisfying, unsatisfying))
+	// Output:
+	// [l_thrsh slope1 slope2 tp_thrsh]
+	// 955 -998
+	// true
+}

@@ -1,0 +1,201 @@
+package sketch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"compsynth/internal/expr"
+	"compsynth/internal/interval"
+	"compsynth/internal/scenario"
+)
+
+// ParseSpec reads a sketch specification — the format domain experts
+// use to hand a sketch to the synthesizer without writing Go:
+//
+//	# SWAN-style objective (comments start with #)
+//	sketch swan
+//	metric throughput 0 10
+//	metric latency   0 200
+//	hole tp_thrsh 0 10
+//	hole l_thrsh  0 200
+//	hole slope1   0 10
+//	hole slope2   0 10
+//	objective
+//	if throughput >= ??tp_thrsh && latency <= ??l_thrsh then
+//	    throughput - ??slope1*throughput*latency + 1000
+//	else
+//	    throughput - ??slope2*throughput*latency
+//
+// Sections: a `sketch NAME` line, one `metric NAME LO HI` line per
+// metric (order defines the scenario layout), one `hole NAME LO HI`
+// line per hole, then `objective` followed by the expression body
+// (everything to EOF, in the expression syntax of internal/expr).
+func ParseSpec(r io.Reader) (*Sketch, error) {
+	var (
+		name    string
+		names   []string
+		ranges  []interval.Interval
+		domains = map[string]interval.Interval{}
+		body    strings.Builder
+		inBody  bool
+		lineNo  int
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if inBody {
+			body.WriteString(line)
+			body.WriteByte('\n')
+			continue
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		fields := strings.Fields(trimmed)
+		switch fields[0] {
+		case "sketch":
+			if len(fields) != 2 {
+				return nil, specErr(lineNo, "sketch needs exactly one name")
+			}
+			if name != "" {
+				return nil, specErr(lineNo, "duplicate sketch line")
+			}
+			name = fields[1]
+		case "metric":
+			lo, hi, err := parseRange(fields, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			names = append(names, fields[1])
+			ranges = append(ranges, interval.New(lo, hi))
+		case "hole":
+			lo, hi, err := parseRange(fields, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := domains[fields[1]]; dup {
+				return nil, specErr(lineNo, "duplicate hole %q", fields[1])
+			}
+			domains[fields[1]] = interval.New(lo, hi)
+		case "objective":
+			if len(fields) != 1 {
+				return nil, specErr(lineNo, "objective takes no arguments")
+			}
+			inBody = true
+		default:
+			return nil, specErr(lineNo, "unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sketch: read spec: %w", err)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("sketch: spec has no 'sketch NAME' line")
+	}
+	if !inBody {
+		return nil, fmt.Errorf("sketch: spec has no 'objective' section")
+	}
+	space, err := scenario.NewSpace(names, ranges)
+	if err != nil {
+		return nil, fmt.Errorf("sketch: spec metrics: %w", err)
+	}
+	e, err := expr.Parse(body.String())
+	if err != nil {
+		return nil, fmt.Errorf("sketch: spec objective: %w", err)
+	}
+	return New(name, e, space, domains)
+}
+
+func parseRange(fields []string, lineNo int) (lo, hi float64, err error) {
+	if len(fields) != 4 {
+		return 0, 0, specErr(lineNo, "%s needs NAME LO HI", fields[0])
+	}
+	lo, err = strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return 0, 0, specErr(lineNo, "bad lower bound %q", fields[2])
+	}
+	hi, err = strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return 0, 0, specErr(lineNo, "bad upper bound %q", fields[3])
+	}
+	if lo > hi {
+		return 0, 0, specErr(lineNo, "empty range [%v, %v]", lo, hi)
+	}
+	return lo, hi, nil
+}
+
+func specErr(line int, format string, args ...any) error {
+	return fmt.Errorf("sketch: spec line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// WriteSpec renders a sketch back into the ParseSpec format; a session
+// can thus persist the exact sketch it ran against.
+func WriteSpec(w io.Writer, s *Sketch) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sketch %s\n", s.Name())
+	space := s.Space()
+	ranges := space.Ranges()
+	for i, n := range space.Names() {
+		fmt.Fprintf(&b, "metric %s %g %g\n", n, ranges[i].Lo, ranges[i].Hi)
+	}
+	for i, h := range s.Holes() {
+		d := s.Domain(i)
+		fmt.Fprintf(&b, "hole %s %g %g\n", h, d.Lo, d.Hi)
+	}
+	b.WriteString("objective\n")
+	b.WriteString(s.Body().String())
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// PerFlowSWAN generalizes the SWAN sketch to per-flow metrics (paper
+// §3: "the metrics could include the throughput and latency of
+// individual flows"). The space has 2·flows metrics (tp_1, lat_1, …)
+// and the objective sums a SWAN-style region term per flow with
+// *shared* holes — the architect's notion of a satisfying flow is the
+// same for every flow, but each flow is judged individually:
+//
+//	Σ_i  if tp_i >= ??tp_thrsh && lat_i <= ??l_thrsh
+//	     then tp_i − ??slope1·tp_i·lat_i + 1000
+//	     else tp_i − ??slope2·tp_i·lat_i
+func PerFlowSWAN(flows int) (*Sketch, error) {
+	if flows < 1 {
+		return nil, fmt.Errorf("sketch: PerFlowSWAN needs flows >= 1")
+	}
+	names := make([]string, 0, 2*flows)
+	ranges := make([]interval.Interval, 0, 2*flows)
+	var body expr.Expr
+	for i := 1; i <= flows; i++ {
+		tp := fmt.Sprintf("tp_%d", i)
+		lat := fmt.Sprintf("lat_%d", i)
+		names = append(names, tp, lat)
+		ranges = append(ranges, interval.New(0, 10), interval.New(0, 200))
+		term := expr.Ite(
+			expr.And(expr.GE(expr.V(tp), expr.H("tp_thrsh")), expr.LE(expr.V(lat), expr.H("l_thrsh"))),
+			expr.Add(expr.Sub(expr.V(tp), expr.Mul(expr.Mul(expr.H("slope1"), expr.V(tp)), expr.V(lat))), expr.C(1000)),
+			expr.Sub(expr.V(tp), expr.Mul(expr.Mul(expr.H("slope2"), expr.V(tp)), expr.V(lat))),
+		)
+		if body == nil {
+			body = term
+		} else {
+			body = expr.Add(body, term)
+		}
+	}
+	space, err := scenario.NewSpace(names, ranges)
+	if err != nil {
+		return nil, err
+	}
+	return New(fmt.Sprintf("swan-perflow-%d", flows), body, space, map[string]interval.Interval{
+		"tp_thrsh": interval.New(0, 10),
+		"l_thrsh":  interval.New(0, 200),
+		"slope1":   interval.New(0, 10),
+		"slope2":   interval.New(0, 10),
+	})
+}

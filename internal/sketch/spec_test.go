@@ -1,0 +1,150 @@
+package sketch
+
+import (
+	"strings"
+	"testing"
+
+	"compsynth/internal/scenario"
+)
+
+const swanSpec = `
+# SWAN-style objective
+sketch swan
+metric throughput 0 10
+metric latency   0 200
+hole tp_thrsh 0 10
+hole l_thrsh  0 200
+hole slope1   0 10
+hole slope2   0 10
+objective
+if throughput >= ??tp_thrsh && latency <= ??l_thrsh then
+    throughput - ??slope1*throughput*latency + 1000
+else
+    throughput - ??slope2*throughput*latency
+`
+
+func TestParseSpecSWAN(t *testing.T) {
+	sk, err := ParseSpec(strings.NewReader(swanSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := SWAN()
+	if sk.Name() != ref.Name() {
+		t.Errorf("name = %q", sk.Name())
+	}
+	if sk.NumHoles() != ref.NumHoles() {
+		t.Fatalf("holes = %v", sk.Holes())
+	}
+	// Behavior matches the programmatic sketch.
+	holes := []float64{50, 1, 5, 1} // canonical order: l_thrsh, slope1, slope2, tp_thrsh
+	scs := []scenario.Scenario{{5, 10}, {2, 100}, {0.5, 30}}
+	for _, sc := range scs {
+		if got, want := sk.Eval(sc, holes), ref.Eval(sc, holes); got != want {
+			t.Errorf("spec sketch differs at %v: %v vs %v", sc, got, want)
+		}
+	}
+	// Domains preserved.
+	for i, d := range sk.Domains() {
+		if d != ref.Domain(i) {
+			t.Errorf("domain %d = %v, want %v", i, d, ref.Domain(i))
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := map[string]string{
+		"no sketch line": "metric x 0 1\nobjective\nx",
+		"no objective":   "sketch s\nmetric x 0 1",
+		"dup sketch":     "sketch a\nsketch b\nobjective\n1",
+		"bad directive":  "sketch s\nfrobnicate x\nobjective\n1",
+		"metric arity":   "sketch s\nmetric x 0\nobjective\nx",
+		"bad lo":         "sketch s\nmetric x zero 1\nobjective\nx",
+		"bad hi":         "sketch s\nmetric x 0 one\nobjective\nx",
+		"empty range":    "sketch s\nmetric x 5 1\nobjective\nx",
+		"dup hole":       "sketch s\nmetric x 0 1\nhole h 0 1\nhole h 0 2\nobjective\n??h",
+		"objective args": "sketch s\nmetric x 0 1\nobjective now\nx",
+		"bad body":       "sketch s\nmetric x 0 1\nobjective\nx +",
+		"unknown metric": "sketch s\nmetric x 0 1\nobjective\ny",
+		"hole no domain": "sketch s\nmetric x 0 1\nobjective\n??h + x",
+		"no metrics":     "sketch s\nhole h 0 1\nobjective\n??h",
+	}
+	for name, src := range bad {
+		if _, err := ParseSpec(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, src)
+		}
+	}
+}
+
+func TestWriteSpecRoundTrip(t *testing.T) {
+	ref := SWAN()
+	var buf strings.Builder
+	if err := WriteSpec(&buf, ref); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nspec:\n%s", err, buf.String())
+	}
+	if back.Name() != ref.Name() || back.NumHoles() != ref.NumHoles() {
+		t.Error("round trip changed shape")
+	}
+	holes := []float64{50, 1, 5, 1}
+	for _, sc := range []scenario.Scenario{{5, 10}, {2, 100}} {
+		if back.Eval(sc, holes) != ref.Eval(sc, holes) {
+			t.Error("round trip changed behavior")
+		}
+	}
+}
+
+func TestPerFlowSWAN(t *testing.T) {
+	if _, err := PerFlowSWAN(0); err == nil {
+		t.Error("zero flows accepted")
+	}
+	sk, err := PerFlowSWAN(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Space().Dim() != 4 {
+		t.Fatalf("dim = %d", sk.Space().Dim())
+	}
+	if sk.NumHoles() != 4 { // shared holes
+		t.Fatalf("holes = %v", sk.Holes())
+	}
+	holes := make([]float64, 4)
+	m := map[string]float64{"tp_thrsh": 1, "l_thrsh": 50, "slope1": 1, "slope2": 5}
+	for i, h := range sk.Holes() {
+		holes[i] = m[h]
+	}
+	c := sk.MustCandidate(holes)
+	// Flow 1 satisfying (5,10), flow 2 not (2,100):
+	// term1 = 5 - 1*5*10 + 1000 = 955; term2 = 2 - 5*2*100 = -998.
+	got := c.Eval(scenario.Scenario{5, 10, 2, 100})
+	if got != 955-998 {
+		t.Errorf("per-flow eval = %v, want %v", got, 955-998)
+	}
+	// Per-flow judgment: a single bad flow drags the score even when
+	// the aggregate average looks fine.
+	goodBoth := c.Eval(scenario.Scenario{3.5, 55, 3.5, 55})
+	mixed := c.Eval(scenario.Scenario{5, 10, 2, 100})
+	_ = goodBoth
+	_ = mixed
+	// Both flows satisfying beats one satisfying + one terrible.
+	bothSat := c.Eval(scenario.Scenario{5, 10, 5, 10})
+	if bothSat <= mixed {
+		t.Errorf("both-satisfying (%v) not preferred over mixed (%v)", bothSat, mixed)
+	}
+}
+
+func TestPerFlowSWANOneFlowMatchesSWAN(t *testing.T) {
+	pf, err := PerFlowSWAN(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := SWAN()
+	holes := []float64{50, 1, 5, 1}
+	for _, sc := range []scenario.Scenario{{5, 10}, {2, 100}, {0.3, 170}} {
+		if got, want := pf.Eval(sc, holes), ref.Eval(sc, holes); got != want {
+			t.Errorf("1-flow per-flow sketch differs at %v: %v vs %v", sc, got, want)
+		}
+	}
+}

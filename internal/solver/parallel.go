@@ -1,0 +1,94 @@
+package solver
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// searchJob is one unit of parallel candidate search: a share of the
+// sampling budget followed by a share of the repair restarts.
+type searchJob struct {
+	seed    int64
+	samples int
+	repairs int
+}
+
+// splitBudget divides the sampling/repair budget across workers and
+// draws one derived seed per worker from the caller's RNG. The seeds
+// are drawn in worker order, so the partition is a pure function of
+// the caller RNG state and the worker count.
+func splitBudget(opts Options, rng *rand.Rand) []searchJob {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > opts.Samples+opts.RepairRestarts {
+		workers = opts.Samples + opts.RepairRestarts
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	jobs := make([]searchJob, workers)
+	for w := range jobs {
+		jobs[w].seed = rng.Int63()
+		jobs[w].samples = opts.Samples / workers
+		jobs[w].repairs = opts.RepairRestarts / workers
+	}
+	// Remainders go to the first workers.
+	for i := 0; i < opts.Samples%workers; i++ {
+		jobs[i].samples++
+	}
+	for i := 0; i < opts.RepairRestarts%workers; i++ {
+		jobs[i].repairs++
+	}
+	return jobs
+}
+
+// parallelWitnesses runs the sampling+repair stages across workers and
+// returns every consistent vector found, merged in worker order (so
+// the result is deterministic for a fixed seed and worker count).
+// maxPerWorker bounds each worker's output; 0 means "stop after the
+// first witness" (the FindCandidate use), larger values build pools
+// for FindDiverse.
+func parallelWitnesses(p Problem, opts Options, rng *rand.Rand, maxPerWorker int) [][]float64 {
+	domains := p.Sketch.Domains()
+	jobs := splitBudget(opts, rng)
+	if maxPerWorker <= 0 {
+		maxPerWorker = 1
+	}
+	results := make([][][]float64, len(jobs))
+	var wg sync.WaitGroup
+	for w, job := range jobs {
+		wg.Add(1)
+		go func(w int, job searchJob) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(job.seed))
+			var found [][]float64
+			for i := 0; i < job.samples && len(found) < maxPerWorker; i++ {
+				if opts.Stats != nil {
+					opts.Stats.Samples.Add(1)
+				}
+				h := randomVector(domains, wrng)
+				if Satisfies(p, h) {
+					found = append(found, h)
+				}
+			}
+			for r := 0; r < job.repairs && len(found) < maxPerWorker; r++ {
+				if opts.Stats != nil {
+					opts.Stats.Repairs.Add(1)
+				}
+				start := randomVector(domains, wrng)
+				if repaired, ok := repair(p, start, domains, opts.RepairSteps, wrng); ok {
+					found = append(found, repaired)
+				}
+			}
+			results[w] = found
+		}(w, job)
+	}
+	wg.Wait()
+	var out [][]float64
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}

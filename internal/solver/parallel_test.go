@@ -1,0 +1,108 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParallelFindCandidateFindsSolutions(t *testing.T) {
+	p, _ := swanProblem(t, 25, 41)
+	opts := DefaultOptions()
+	opts.Workers = 4
+	h, st := FindCandidate(p, opts, rand.New(rand.NewSource(42)))
+	if st != StatusSat {
+		t.Fatalf("status = %v", st)
+	}
+	if !Satisfies(p, h) {
+		t.Error("parallel candidate violates constraints")
+	}
+}
+
+func TestParallelDeterministicPerSeed(t *testing.T) {
+	p, _ := swanProblem(t, 15, 43)
+	opts := DefaultOptions()
+	opts.Workers = 4
+	run := func() []float64 {
+		h, st := FindCandidate(p, opts, rand.New(rand.NewSource(7)))
+		if st != StatusSat {
+			t.Fatalf("status = %v", st)
+		}
+		return h
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("parallel search not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestParallelFindDiverse(t *testing.T) {
+	p, _ := swanProblem(t, 5, 47)
+	opts := DefaultOptions()
+	opts.Workers = 4
+	cands := FindDiverse(p, 6, opts, rand.New(rand.NewSource(48)))
+	if len(cands) < 2 {
+		t.Fatalf("parallel FindDiverse found %d candidates", len(cands))
+	}
+	for _, c := range cands {
+		if !Satisfies(p, c) {
+			t.Error("parallel diverse candidate violates constraints")
+		}
+	}
+}
+
+func TestParallelDistinguishing(t *testing.T) {
+	p, _ := swanProblem(t, 4, 49)
+	opts := DefaultOptions()
+	opts.Workers = 4
+	w, st := FindDistinguishing(p, opts, DefaultDistinguishOptions(), rand.New(rand.NewSource(50)))
+	if st != StatusSat {
+		t.Fatalf("status = %v", st)
+	}
+	validateWitness(t, p, w, DefaultDistinguishOptions().Gamma)
+}
+
+func TestSplitBudget(t *testing.T) {
+	opts := Options{Samples: 10, RepairRestarts: 5, Workers: 3}
+	jobs := splitBudget(opts, rand.New(rand.NewSource(1)))
+	if len(jobs) != 3 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	samples, repairs := 0, 0
+	for _, j := range jobs {
+		samples += j.samples
+		repairs += j.repairs
+	}
+	if samples != 10 || repairs != 5 {
+		t.Errorf("budget split lost work: %d samples, %d repairs", samples, repairs)
+	}
+	// Distinct per-worker seeds.
+	if jobs[0].seed == jobs[1].seed {
+		t.Error("workers share seeds")
+	}
+	// More workers than work: clamped.
+	opts = Options{Samples: 1, RepairRestarts: 0, Workers: 8}
+	jobs = splitBudget(opts, rand.New(rand.NewSource(2)))
+	if len(jobs) != 1 {
+		t.Errorf("jobs = %d, want clamp to 1", len(jobs))
+	}
+	// Zero budget: one no-op worker, no panic.
+	opts = Options{Workers: 4}
+	jobs = splitBudget(opts, rand.New(rand.NewSource(3)))
+	if len(jobs) != 1 {
+		t.Errorf("zero-budget jobs = %d", len(jobs))
+	}
+}
+
+func TestParallelWitnessesRespectsMaxPerWorker(t *testing.T) {
+	// Unconstrained problem: every sample is a witness, so each worker
+	// stops at maxPerWorker.
+	p, _ := swanProblem(t, 0, 51)
+	opts := DefaultOptions()
+	opts.Workers = 4
+	ws := parallelWitnesses(p, opts, rand.New(rand.NewSource(52)), 3)
+	if len(ws) == 0 || len(ws) > 4*3 {
+		t.Errorf("witnesses = %d, want in (0, 12]", len(ws))
+	}
+}

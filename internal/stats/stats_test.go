@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean([]float64{7}); got != 7 {
+		t.Errorf("Mean single = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) not NaN")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd Median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even Median = %v", got)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) not NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+		{-1, 1}, {2, 5}, // clamped
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation.
+	if got := Quantile([]float64{0, 10}, 0.25); got != 2.5 {
+		t.Errorf("interpolated quantile = %v", got)
+	}
+	if !math.IsNaN(Quantile([]float64{1}, math.NaN())) {
+		t.Error("NaN q not NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+}
+
+func TestSIQR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := SIQR(xs); got != 1 {
+		t.Errorf("SIQR = %v, want 1", got)
+	}
+	// Constant data has zero spread.
+	if got := SIQR([]float64{3, 3, 3, 3}); got != 0 {
+		t.Errorf("constant SIQR = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138089935) > 1e-6 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if got := StdDev([]float64{1}); got != 0 {
+		t.Errorf("single StdDev = %v", got)
+	}
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("empty StdDev = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty Min/Max not NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.SIQR != 1 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	str := s.String()
+	for _, frag := range []string{"n=5", "mean=3", "median=3", "siqr=1"} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("Summary.String missing %q: %s", frag, str)
+		}
+	}
+}
+
+func TestPropQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+			}
+			prev = v
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		if Quantile(xs, 0) != sorted[0] || Quantile(xs, 1) != sorted[n-1] {
+			t.Fatal("extreme quantiles not min/max")
+		}
+	}
+}
+
+func TestPropMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSIQRNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		if SIQR(xs) < 0 {
+			t.Fatal("negative SIQR")
+		}
+	}
+}

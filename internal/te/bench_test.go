@@ -1,0 +1,60 @@
+package te
+
+import (
+	"math/rand"
+	"testing"
+
+	"compsynth/internal/topo"
+)
+
+func benchNetwork(b *testing.B, flows int) *Network {
+	b.Helper()
+	g := topo.B4Like()
+	fs, err := GravityFlows(g, GravityConfig{Flows: flows, TotalDemand: 40},
+		rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := NewNetwork(g, fs, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+func BenchmarkMaxThroughput(b *testing.B) {
+	n := benchNetwork(b, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.MaxThroughput(0.001); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxMinFair(b *testing.B) {
+	n := benchNetwork(b, 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := n.MaxMinFair(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlphaFair(b *testing.B) {
+	n := benchNetwork(b, 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := n.AlphaFair(1, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBalanced(b *testing.B) {
+	n := benchNetwork(b, 8)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := n.Balanced(0.8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package te
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"compsynth/internal/sketch"
+	"compsynth/internal/topo"
+)
+
+func abileneNet(t *testing.T) *Network {
+	t.Helper()
+	g := topo.Abilene()
+	sea, _ := g.NodeID("Seattle")
+	ny, _ := g.NodeID("NewYork")
+	la, _ := g.NodeID("LosAngeles")
+	dc, _ := g.NodeID("WashingtonDC")
+	n, err := NewNetwork(g, []Flow{
+		{Name: "sea-ny", Src: sea, Dst: ny, Demand: 5},
+		{Name: "la-dc", Src: la, Dst: dc, Demand: 5},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestStandardSchemesRunAll(t *testing.T) {
+	n := abileneNet(t)
+	schemes := StandardSchemes([]float64{0, 0.002}, []float64{0.5, 1})
+	if len(schemes) != 2+1+2+1 {
+		t.Fatalf("scheme count = %d", len(schemes))
+	}
+	points, err := Evaluate(n, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(schemes) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Throughput <= 0 {
+			t.Errorf("%s: throughput %v", p.Name, p.Throughput)
+		}
+		if p.Latency < 0 {
+			t.Errorf("%s: negative latency", p.Name)
+		}
+		if p.Alloc == nil {
+			t.Errorf("%s: nil allocation", p.Name)
+		}
+	}
+	// Scheme names are informative.
+	if !strings.Contains(schemes[0].Name, "swan") {
+		t.Errorf("scheme name = %q", schemes[0].Name)
+	}
+}
+
+func TestSelectDesignOrdersByScore(t *testing.T) {
+	n := abileneNet(t)
+	points, err := Evaluate(n, StandardSchemes([]float64{0, 0.002, 0.02}, []float64{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := sketch.SWAN()
+	objective, err := sketch.DefaultSWANTarget.Candidate(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := SelectDesign(points, objective)
+	if len(ranked) != len(points) {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Errorf("not sorted by score: %v after %v", ranked[i].Score, ranked[i-1].Score)
+		}
+	}
+	// Scores must equal the objective on the clamped metrics.
+	for _, p := range ranked {
+		sc := objective.Sketch().Space().Clamp([]float64{p.Throughput, p.Latency})
+		if want := objective.Eval(sc); math.Abs(p.Score-want) > 1e-9 {
+			t.Errorf("%s: score %v != objective %v", p.Name, p.Score, want)
+		}
+	}
+	// Input order untouched.
+	if points[0].Score != 0 {
+		t.Error("SelectDesign mutated its input")
+	}
+}
+
+func TestSelectDesignClampsOutOfRange(t *testing.T) {
+	sk := sketch.SWAN()
+	objective, _ := sketch.DefaultSWANTarget.Candidate(sk)
+	points := []DesignPoint{
+		{Name: "huge", Throughput: 500, Latency: 900}, // outside the 10G/200ms box
+	}
+	ranked := SelectDesign(points, objective)
+	wantScore := objective.Eval([]float64{10, 200})
+	if math.Abs(ranked[0].Score-wantScore) > 1e-9 {
+		t.Errorf("clamped score = %v, want %v", ranked[0].Score, wantScore)
+	}
+}
+
+func TestEvaluatePropagatesErrors(t *testing.T) {
+	n := abileneNet(t)
+	bad := []Scheme{{
+		Name: "boom",
+		Run:  func(*Network) (*Allocation, error) { return nil, errBoom },
+	}}
+	if _, err := Evaluate(n, bad); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+type boomErr struct{}
+
+func (boomErr) Error() string { return "boom" }
+
+var errBoom = boomErr{}

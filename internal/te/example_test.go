@@ -1,0 +1,47 @@
+package te_test
+
+import (
+	"fmt"
+
+	"compsynth/internal/te"
+	"compsynth/internal/topo"
+)
+
+func ExampleNetwork_MaxThroughput() {
+	// Two nodes, one 10 Gbps link, one 8 Gbps demand.
+	g := topo.MustNewGraph([]string{"a", "b"})
+	if _, err := g.AddLink(0, 1, 10, 5); err != nil {
+		panic(err)
+	}
+	n, err := te.NewNetwork(g, []te.Flow{{Name: "f", Src: 0, Dst: 1, Demand: 8}}, 1)
+	if err != nil {
+		panic(err)
+	}
+	alloc, err := n.MaxThroughput(0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(alloc.Throughput(), alloc.AvgLatency(n))
+	// Output: 8 5
+}
+
+func ExampleNetwork_MaxMinFair() {
+	// Two flows share a 10 Gbps link; max-min splits it evenly.
+	g := topo.MustNewGraph([]string{"a", "b"})
+	if _, err := g.AddLink(0, 1, 10, 5); err != nil {
+		panic(err)
+	}
+	n, err := te.NewNetwork(g, []te.Flow{
+		{Name: "f1", Src: 0, Dst: 1, Demand: 8},
+		{Name: "f2", Src: 0, Dst: 1, Demand: 8},
+	}, 1)
+	if err != nil {
+		panic(err)
+	}
+	alloc, err := n.MaxMinFair()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.1f %.1f\n", alloc.FlowRate[0], alloc.FlowRate[1])
+	// Output: 5.0 5.0
+}

@@ -1,0 +1,103 @@
+package te
+
+import (
+	"math"
+	"testing"
+
+	"compsynth/internal/sketch"
+	"compsynth/internal/topo"
+)
+
+func TestOptimizeEpsilonBeatsGridEndpoints(t *testing.T) {
+	n := twoFlowNet(t)
+	sk := sketch.SWAN()
+	objective, err := sketch.DefaultSWANTarget.Candidate(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestEps, best, err := OptimizeEpsilon(n, objective, 0.1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestEps < 0 || bestEps > 0.1 {
+		t.Errorf("bestEps = %v outside range", bestEps)
+	}
+	// The optimizer's pick must be at least as good as both endpoints.
+	for _, eps := range []float64{0, 0.1} {
+		alloc, err := n.MaxThroughput(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := objective.Sketch().Space().Clamp([]float64{alloc.Throughput(), alloc.AvgLatency(n)})
+		if score := objective.Eval(sc); score > best.Score+1e-9 {
+			t.Errorf("endpoint ε=%v scores %v > optimized %v (ε=%v)", eps, score, best.Score, bestEps)
+		}
+	}
+	if best.Alloc == nil {
+		t.Error("no allocation returned")
+	}
+}
+
+func TestOptimizeEpsilonPrefersLatencyWhenObjectiveDoes(t *testing.T) {
+	// An objective with a harsh latency slope and generous thresholds:
+	// the optimum should avoid the 30ms detour (i.e. ε large enough to
+	// shun it), like the target with l_thrsh below the detour latency.
+	n := twoFlowNet(t)
+	sk := sketch.SWAN()
+	latencyHater, err := sketch.SWANTargetParams{TpThrsh: 0.5, LThrsh: 12, Slope1: 1, Slope2: 9}.Candidate(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, best, err := OptimizeEpsilon(n, latencyHater, 0.1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chosen design must keep latency within the satisfying region.
+	if best.Latency > 12+1e-6 {
+		t.Errorf("optimized design latency %v exceeds the objective's threshold", best.Latency)
+	}
+	if math.Abs(best.Throughput-10) > 1e-6 {
+		t.Errorf("optimized throughput %v, want 10 (short path only)", best.Throughput)
+	}
+}
+
+func TestOptimizeEpsilonValidation(t *testing.T) {
+	n := twoFlowNet(t)
+	sk := sketch.SWAN()
+	objective, _ := sketch.DefaultSWANTarget.Candidate(sk)
+	if _, _, err := OptimizeEpsilon(n, objective, 0, 0.01); err == nil {
+		t.Error("zero maxEps accepted")
+	}
+	// tol <= 0 defaults rather than erroring.
+	if _, _, err := OptimizeEpsilon(n, objective, 0.05, 0); err != nil {
+		t.Errorf("default tol failed: %v", err)
+	}
+}
+
+func TestOptimizeEpsilonOnAbilene(t *testing.T) {
+	g := topo.Abilene()
+	sea, _ := g.NodeID("Seattle")
+	ny, _ := g.NodeID("NewYork")
+	n, err := NewNetwork(g, []Flow{{Name: "f", Src: sea, Dst: ny, Demand: 8}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seattle→NewYork's shortest path is ~55ms, so the Figure 2b target
+	// (l_thrsh=50, slope2=5) scores any traffic negatively there; use an
+	// objective whose satisfying region is reachable on this topology.
+	sk := sketch.SWAN()
+	objective, err := sketch.SWANTargetParams{TpThrsh: 1, LThrsh: 80, Slope1: 1, Slope2: 5}.Candidate(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, best, err := OptimizeEpsilon(n, objective, 0.05, 0.0005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Throughput <= 0 {
+		t.Error("optimized design carries no traffic")
+	}
+	if best.Latency > 80 {
+		t.Errorf("optimized latency %v outside satisfying region", best.Latency)
+	}
+}

@@ -1,0 +1,447 @@
+// Package te implements the traffic-engineering substrate of the
+// paper's motivating example (§2): bandwidth allocation of flows onto
+// tunnels over a capacitated WAN, in the style of SWAN [Hong et al.,
+// SIGCOMM'13], plus the alternative allocation schemes the paper
+// discusses — max-min fairness, weighted max-min, the balanced
+// fairness/throughput scheme of Danna et al., α-fair allocations, and
+// strict multi-class priority.
+//
+// Each allocator produces an Allocation whose summary metrics (total
+// throughput, traffic-weighted average latency) form the scenarios that
+// the comparative synthesizer asks the architect to rank, and the
+// design-selection helpers (§6.1) score allocations under a synthesized
+// objective function.
+package te
+
+import (
+	"fmt"
+	"math"
+
+	"compsynth/internal/lp"
+	"compsynth/internal/scenario"
+	"compsynth/internal/topo"
+)
+
+// Flow is a traffic demand between two nodes.
+type Flow struct {
+	Name   string
+	Src    int
+	Dst    int
+	Demand float64 // Gbps
+	// Weight scales the flow's fair share in weighted max-min (1 = plain).
+	Weight float64
+	// Class is the priority class; 0 is the highest priority.
+	Class int
+}
+
+// Network couples a topology with flows and their tunnels (k-shortest
+// paths, as in SWAN).
+type Network struct {
+	Graph   *topo.Graph
+	Flows   []Flow
+	Tunnels [][]topo.Path // Tunnels[f] are the usable paths of flow f
+}
+
+// NewNetwork computes k tunnels per flow and validates the input.
+func NewNetwork(g *topo.Graph, flows []Flow, tunnelsPerFlow int) (*Network, error) {
+	if g == nil {
+		return nil, fmt.Errorf("te: nil graph")
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("te: no flows")
+	}
+	if tunnelsPerFlow < 1 {
+		return nil, fmt.Errorf("te: tunnelsPerFlow = %d", tunnelsPerFlow)
+	}
+	n := &Network{Graph: g, Flows: append([]Flow(nil), flows...)}
+	for i := range n.Flows {
+		f := &n.Flows[i]
+		if f.Weight == 0 {
+			f.Weight = 1
+		}
+		if f.Weight < 0 {
+			return nil, fmt.Errorf("te: flow %q has negative weight", f.Name)
+		}
+		if f.Demand <= 0 || math.IsNaN(f.Demand) || math.IsInf(f.Demand, 0) {
+			return nil, fmt.Errorf("te: flow %q has invalid demand %v", f.Name, f.Demand)
+		}
+		if f.Src == f.Dst {
+			return nil, fmt.Errorf("te: flow %q has src == dst", f.Name)
+		}
+		paths := g.KShortestPaths(f.Src, f.Dst, tunnelsPerFlow)
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("te: flow %q has no path %s -> %s",
+				f.Name, g.NodeName(f.Src), g.NodeName(f.Dst))
+		}
+		n.Tunnels = append(n.Tunnels, paths)
+	}
+	return n, nil
+}
+
+// Allocation assigns rates to flows and tunnels.
+type Allocation struct {
+	// FlowRate[f] is flow f's total rate b_f.
+	FlowRate []float64
+	// TunnelRate[f][t] is the rate b_{f,t} on tunnel t of flow f.
+	TunnelRate [][]float64
+}
+
+// Throughput returns the total allocated rate Σ b_f.
+func (a *Allocation) Throughput() float64 {
+	var sum float64
+	for _, r := range a.FlowRate {
+		sum += r
+	}
+	return sum
+}
+
+// AvgLatency returns the traffic-weighted average tunnel latency — the
+// paper's second SWAN metric. Zero traffic yields zero latency.
+func (a *Allocation) AvgLatency(n *Network) float64 {
+	var weighted, total float64
+	for f, rates := range a.TunnelRate {
+		for t, r := range rates {
+			weighted += r * n.Tunnels[f][t].Latency
+			total += r
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}
+
+// Scenario summarizes the allocation as a (throughput, latency) metric
+// vector for the comparative synthesizer.
+func (a *Allocation) Scenario(n *Network) scenario.Scenario {
+	return scenario.Scenario{a.Throughput(), a.AvgLatency(n)}
+}
+
+// LinkUtilization returns per-link utilization (traffic / capacity) in
+// link-index order, plus the maximum — the congestion headroom metric
+// operators watch.
+func (a *Allocation) LinkUtilization(n *Network) (perLink []float64, max float64) {
+	perLink = make([]float64, n.Graph.NumLinks())
+	for f, rates := range a.TunnelRate {
+		for t, r := range rates {
+			for _, li := range n.Tunnels[f][t].LinkIdx {
+				perLink[li] += r
+			}
+		}
+	}
+	for li := range perLink {
+		perLink[li] /= n.Graph.Link(li).Capacity
+		if perLink[li] > max {
+			max = perLink[li]
+		}
+	}
+	return perLink, max
+}
+
+// MinRate returns the smallest flow rate (the fairness floor).
+func (a *Allocation) MinRate() float64 {
+	if len(a.FlowRate) == 0 {
+		return 0
+	}
+	m := a.FlowRate[0]
+	for _, r := range a.FlowRate[1:] {
+		if r < m {
+			m = r
+		}
+	}
+	return m
+}
+
+// varLayout maps (flow, tunnel) pairs to LP variable indices.
+type varLayout struct {
+	offset []int
+	total  int
+}
+
+func (n *Network) layout() varLayout {
+	l := varLayout{offset: make([]int, len(n.Flows))}
+	for f := range n.Flows {
+		l.offset[f] = l.total
+		l.total += len(n.Tunnels[f])
+	}
+	return l
+}
+
+// addCapacityConstraints adds Σ_{(f,t) using link} x_{f,t} ≤ cap for
+// every link carrying at least one tunnel. extra widens rows for
+// problems with additional variables appended after the tunnel rates.
+func (n *Network) addCapacityConstraints(p *lp.Problem, l varLayout, extra int) {
+	rows := map[int][]float64{}
+	for f := range n.Flows {
+		for t, path := range n.Tunnels[f] {
+			for _, li := range path.LinkIdx {
+				row, ok := rows[li]
+				if !ok {
+					row = make([]float64, l.total+extra)
+					rows[li] = row
+				}
+				row[l.offset[f]+t] += 1
+			}
+		}
+	}
+	// Deterministic order: iterate links by index.
+	for li := 0; li < n.Graph.NumLinks(); li++ {
+		if row, ok := rows[li]; ok {
+			p.AddConstraint(row, lp.LE, n.Graph.Link(li).Capacity)
+		}
+	}
+}
+
+// demandRow returns the row selecting flow f's total rate.
+func demandRow(l varLayout, f, tunnels, extra int) []float64 {
+	row := make([]float64, l.total+extra)
+	for t := 0; t < tunnels; t++ {
+		row[l.offset[f]+t] = 1
+	}
+	return row
+}
+
+// extractAllocation reads tunnel rates out of an LP solution.
+func (n *Network) extractAllocation(x []float64, l varLayout) *Allocation {
+	a := &Allocation{
+		FlowRate:   make([]float64, len(n.Flows)),
+		TunnelRate: make([][]float64, len(n.Flows)),
+	}
+	for f := range n.Flows {
+		a.TunnelRate[f] = make([]float64, len(n.Tunnels[f]))
+		for t := range n.Tunnels[f] {
+			r := x[l.offset[f]+t]
+			if r < 0 {
+				r = 0
+			}
+			a.TunnelRate[f][t] = r
+			a.FlowRate[f] += r
+		}
+	}
+	return a
+}
+
+// MaxThroughput implements SWAN's Eq (2.1): maximize
+//
+//	Σ_f b_f − ε · Σ_{f,t} w_t · b_{f,t}
+//
+// where w_t is tunnel t's latency, subject to demand and capacity. The
+// knob ε trades throughput against the use of long paths — the very
+// parameter the paper argues architects cannot pick by hand.
+func (n *Network) MaxThroughput(epsilon float64) (*Allocation, error) {
+	if epsilon < 0 || math.IsNaN(epsilon) {
+		return nil, fmt.Errorf("te: invalid epsilon %v", epsilon)
+	}
+	l := n.layout()
+	p := lp.Problem{NumVars: l.total, Objective: make([]float64, l.total)}
+	for f := range n.Flows {
+		for t, path := range n.Tunnels[f] {
+			p.Objective[l.offset[f]+t] = 1 - epsilon*path.Latency
+		}
+		p.AddConstraint(demandRow(l, f, len(n.Tunnels[f]), 0), lp.LE, n.Flows[f].Demand)
+	}
+	n.addCapacityConstraints(&p, l, 0)
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("te: max-throughput LP %v", sol.Status)
+	}
+	return n.extractAllocation(sol.X, l), nil
+}
+
+// MaxMinFair computes the (demand-capped) max-min fair allocation with
+// the standard iterative LP algorithm: repeatedly maximize the common
+// rate t of unfrozen flows, then freeze the flows that cannot exceed
+// the optimum, until all flows are frozen. Weights scale fair shares
+// (flow f receives Weight_f · t), degenerating to plain max-min when
+// all weights are 1 — the scheme SWAN applies within a traffic class.
+func (n *Network) MaxMinFair() (*Allocation, error) {
+	const tol = 1e-6
+	nf := len(n.Flows)
+	l := n.layout()
+	frozen := make([]bool, nf)
+	frozenRate := make([]float64, nf)
+
+	for rounds := 0; rounds < nf; rounds++ {
+		allFrozen := true
+		for _, fz := range frozen {
+			if !fz {
+				allFrozen = false
+				break
+			}
+		}
+		if allFrozen {
+			break
+		}
+		// LP over [tunnel rates..., t].
+		tVar := l.total
+		p := lp.Problem{NumVars: l.total + 1, Objective: make([]float64, l.total+1)}
+		p.Objective[tVar] = 1
+		n.buildMaxMinConstraints(&p, l, frozen, frozenRate, tVar)
+		sol, err := lp.Solve(p)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			return nil, fmt.Errorf("te: max-min LP %v", sol.Status)
+		}
+		tStar := sol.X[tVar]
+
+		// Freeze saturated flows: demand-capped ones first, then the
+		// bottlenecked ones (those whose rate cannot exceed w_f·t*).
+		newlyFrozen := 0
+		for f := 0; f < nf; f++ {
+			if frozen[f] {
+				continue
+			}
+			share := n.Flows[f].Weight * tStar
+			if n.Flows[f].Demand <= share+tol {
+				frozen[f] = true
+				frozenRate[f] = n.Flows[f].Demand
+				newlyFrozen++
+			}
+		}
+		for f := 0; f < nf; f++ {
+			if frozen[f] {
+				continue
+			}
+			canGrow, err := n.canExceed(l, frozen, frozenRate, f, tStar, tol)
+			if err != nil {
+				return nil, err
+			}
+			if !canGrow {
+				frozen[f] = true
+				frozenRate[f] = n.Flows[f].Weight * tStar
+				newlyFrozen++
+			}
+		}
+		if newlyFrozen == 0 {
+			// Numerical stall: freeze everything at the current share.
+			for f := 0; f < nf; f++ {
+				if !frozen[f] {
+					frozen[f] = true
+					frozenRate[f] = n.Flows[f].Weight * tStar
+				}
+			}
+		}
+	}
+
+	// Final pass: fix all flow rates and maximize throughput to spread
+	// the frozen rates onto concrete tunnels.
+	p := lp.Problem{NumVars: l.total, Objective: make([]float64, l.total)}
+	for f := range n.Flows {
+		for t := range n.Tunnels[f] {
+			p.Objective[l.offset[f]+t] = 1
+		}
+		// Allow tiny slack below the frozen rate for numerical safety.
+		p.AddConstraint(demandRow(l, f, len(n.Tunnels[f]), 0), lp.GE, frozenRate[f]*(1-1e-9))
+		p.AddConstraint(demandRow(l, f, len(n.Tunnels[f]), 0), lp.LE, frozenRate[f])
+	}
+	n.addCapacityConstraints(&p, l, 0)
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("te: max-min extraction LP %v", sol.Status)
+	}
+	return n.extractAllocation(sol.X, l), nil
+}
+
+// buildMaxMinConstraints adds the shared constraint set of the max-min
+// rounds: unfrozen flows get rate ≥ weight·t and ≤ demand, frozen flows
+// are pinned, capacities hold.
+func (n *Network) buildMaxMinConstraints(p *lp.Problem, l varLayout, frozen []bool, frozenRate []float64, tVar int) {
+	for f := range n.Flows {
+		row := demandRow(l, f, len(n.Tunnels[f]), 1)
+		if frozen[f] {
+			p.AddConstraint(row, lp.EQ, frozenRate[f])
+			continue
+		}
+		// Σx - w_f·t ≥ 0.
+		rowT := append([]float64(nil), row...)
+		rowT[tVar] = -n.Flows[f].Weight
+		p.AddConstraint(rowT, lp.GE, 0)
+		p.AddConstraint(row, lp.LE, n.Flows[f].Demand)
+	}
+	n.addCapacityConstraints(p, l, 1)
+}
+
+// canExceed tests whether flow f can push its rate above weight·t*
+// while all other unfrozen flows keep at least their share.
+func (n *Network) canExceed(l varLayout, frozen []bool, frozenRate []float64, f int, tStar, tol float64) (bool, error) {
+	p := lp.Problem{NumVars: l.total, Objective: make([]float64, l.total)}
+	for t := range n.Tunnels[f] {
+		p.Objective[l.offset[f]+t] = 1
+	}
+	for g := range n.Flows {
+		row := demandRow(l, g, len(n.Tunnels[g]), 0)
+		switch {
+		case frozen[g]:
+			p.AddConstraint(row, lp.EQ, frozenRate[g])
+		case g == f:
+			p.AddConstraint(row, lp.LE, n.Flows[g].Demand)
+		default:
+			share := n.Flows[g].Weight * tStar
+			if share > n.Flows[g].Demand {
+				share = n.Flows[g].Demand
+			}
+			p.AddConstraint(row, lp.GE, share*(1-1e-9))
+			p.AddConstraint(row, lp.LE, n.Flows[g].Demand)
+		}
+	}
+	n.addCapacityConstraints(&p, l, 0)
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return false, err
+	}
+	if sol.Status != lp.Optimal {
+		return false, fmt.Errorf("te: can-exceed LP %v", sol.Status)
+	}
+	return sol.Objective > n.Flows[f].Weight*tStar+tol, nil
+}
+
+// Balanced implements the fairness/throughput balancing scheme the
+// paper cites (Danna et al., INFOCOM'12): every flow is guaranteed at
+// least fraction qf of its max-min fair share, and subject to that the
+// total throughput is maximized. It returns the allocation together
+// with the achieved throughput fraction qt = T/T_opt.
+func (n *Network) Balanced(qf float64) (*Allocation, float64, error) {
+	if qf < 0 || qf > 1 || math.IsNaN(qf) {
+		return nil, 0, fmt.Errorf("te: qf = %v outside [0,1]", qf)
+	}
+	fair, err := n.MaxMinFair()
+	if err != nil {
+		return nil, 0, fmt.Errorf("te: balanced: %w", err)
+	}
+	opt, err := n.MaxThroughput(0)
+	if err != nil {
+		return nil, 0, fmt.Errorf("te: balanced: %w", err)
+	}
+	l := n.layout()
+	p := lp.Problem{NumVars: l.total, Objective: make([]float64, l.total)}
+	for f := range n.Flows {
+		for t := range n.Tunnels[f] {
+			p.Objective[l.offset[f]+t] = 1
+		}
+		row := demandRow(l, f, len(n.Tunnels[f]), 0)
+		p.AddConstraint(row, lp.GE, qf*fair.FlowRate[f]*(1-1e-9))
+		p.AddConstraint(row, lp.LE, n.Flows[f].Demand)
+	}
+	n.addCapacityConstraints(&p, l, 0)
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, 0, fmt.Errorf("te: balanced LP %v", sol.Status)
+	}
+	alloc := n.extractAllocation(sol.X, l)
+	qt := 0.0
+	if topt := opt.Throughput(); topt > 0 {
+		qt = alloc.Throughput() / topt
+	}
+	return alloc, qt, nil
+}

@@ -1,0 +1,450 @@
+package te
+
+import (
+	"math"
+	"testing"
+
+	"compsynth/internal/topo"
+)
+
+// twoFlowNet builds a simple shared-bottleneck network:
+//
+//	a --10G/5ms--> m --10G/5ms--> b
+//	       plus a --10G/30ms--> b direct detour
+//
+// Flows: f1 a->b demand 8, f2 a->b demand 8 (they share everything).
+func twoFlowNet(t *testing.T) *Network {
+	t.Helper()
+	g := topo.MustNewGraph([]string{"a", "m", "b"})
+	mustAdd(t, g, 0, 1, 10, 5)
+	mustAdd(t, g, 1, 2, 10, 5)
+	mustAdd(t, g, 0, 2, 10, 30)
+	n, err := NewNetwork(g, []Flow{
+		{Name: "f1", Src: 0, Dst: 2, Demand: 8},
+		{Name: "f2", Src: 0, Dst: 2, Demand: 8},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func mustAdd(t *testing.T, g *topo.Graph, from, to int, capacity, latency float64) {
+	t.Helper()
+	if _, err := g.AddLink(from, to, capacity, latency); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	g := topo.MustNewGraph([]string{"a", "b", "c"})
+	mustAdd(t, g, 0, 1, 10, 5)
+	if _, err := NewNetwork(nil, []Flow{{Src: 0, Dst: 1, Demand: 1}}, 2); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := NewNetwork(g, nil, 2); err == nil {
+		t.Error("no flows accepted")
+	}
+	if _, err := NewNetwork(g, []Flow{{Src: 0, Dst: 1, Demand: 1}}, 0); err == nil {
+		t.Error("zero tunnels accepted")
+	}
+	if _, err := NewNetwork(g, []Flow{{Src: 0, Dst: 0, Demand: 1}}, 2); err == nil {
+		t.Error("src==dst accepted")
+	}
+	if _, err := NewNetwork(g, []Flow{{Src: 0, Dst: 1, Demand: -1}}, 2); err == nil {
+		t.Error("negative demand accepted")
+	}
+	if _, err := NewNetwork(g, []Flow{{Src: 0, Dst: 2, Demand: 1}}, 2); err == nil {
+		t.Error("unreachable flow accepted")
+	}
+	if _, err := NewNetwork(g, []Flow{{Src: 0, Dst: 1, Demand: 1, Weight: -2}}, 2); err == nil {
+		t.Error("negative weight accepted")
+	}
+	n, err := NewNetwork(g, []Flow{{Src: 0, Dst: 1, Demand: 1}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Flows[0].Weight != 1 {
+		t.Error("default weight not 1")
+	}
+}
+
+func TestMaxThroughputSaturatesBottleneck(t *testing.T) {
+	n := twoFlowNet(t)
+	alloc, err := n.MaxThroughput(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity: 10 via the 2-hop path + 10 direct = 20 total, but
+	// demand is 8+8=16, so throughput should be 16.
+	if got := alloc.Throughput(); math.Abs(got-16) > 1e-6 {
+		t.Errorf("throughput = %v, want 16", got)
+	}
+	checkFeasible(t, n, alloc)
+}
+
+func TestMaxThroughputEpsilonAvoidsLongPaths(t *testing.T) {
+	n := twoFlowNet(t)
+	// With a harsh latency penalty, the 30ms detour is a net negative
+	// (1 - ε·30 < 0 for ε > 1/30), so only the 10ms path is used.
+	alloc, err := n.MaxThroughput(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := alloc.Throughput(); math.Abs(got-10) > 1e-6 {
+		t.Errorf("throughput = %v, want 10 (detour shunned)", got)
+	}
+	if lat := alloc.AvgLatency(n); math.Abs(lat-10) > 1e-6 {
+		t.Errorf("avg latency = %v, want 10", lat)
+	}
+	checkFeasible(t, n, alloc)
+}
+
+func TestMaxThroughputEpsilonMonotoneLatency(t *testing.T) {
+	n := twoFlowNet(t)
+	prevLat := math.Inf(1)
+	for _, eps := range []float64{0, 0.001, 0.01, 0.05} {
+		alloc, err := n.MaxThroughput(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat := alloc.AvgLatency(n)
+		if lat > prevLat+1e-6 {
+			t.Errorf("latency increased with ε: %v after %v", lat, prevLat)
+		}
+		prevLat = lat
+	}
+}
+
+func TestMaxThroughputInvalidEpsilon(t *testing.T) {
+	n := twoFlowNet(t)
+	if _, err := n.MaxThroughput(-1); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if _, err := n.MaxThroughput(math.NaN()); err == nil {
+		t.Error("NaN epsilon accepted")
+	}
+}
+
+func TestMaxMinFairEqualSplit(t *testing.T) {
+	n := twoFlowNet(t)
+	alloc, err := n.MaxMinFair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20G capacity, demands 8+8: both fully satisfied.
+	if math.Abs(alloc.FlowRate[0]-8) > 1e-4 || math.Abs(alloc.FlowRate[1]-8) > 1e-4 {
+		t.Errorf("rates = %v, want [8 8]", alloc.FlowRate)
+	}
+	checkFeasible(t, n, alloc)
+}
+
+func TestMaxMinFairBottleneckSplit(t *testing.T) {
+	// Single 10G path shared by two 8G demands -> 5 each.
+	g := topo.MustNewGraph([]string{"a", "b"})
+	mustAdd(t, g, 0, 1, 10, 5)
+	n, err := NewNetwork(g, []Flow{
+		{Name: "f1", Src: 0, Dst: 1, Demand: 8},
+		{Name: "f2", Src: 0, Dst: 1, Demand: 8},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := n.MaxMinFair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc.FlowRate[0]-5) > 1e-4 || math.Abs(alloc.FlowRate[1]-5) > 1e-4 {
+		t.Errorf("rates = %v, want [5 5]", alloc.FlowRate)
+	}
+	checkFeasible(t, n, alloc)
+}
+
+func TestMaxMinFairDemandCapped(t *testing.T) {
+	// One small demand (1G) and one big (20G) on a 10G link: max-min
+	// gives 1 and 9.
+	g := topo.MustNewGraph([]string{"a", "b"})
+	mustAdd(t, g, 0, 1, 10, 5)
+	n, err := NewNetwork(g, []Flow{
+		{Name: "small", Src: 0, Dst: 1, Demand: 1},
+		{Name: "big", Src: 0, Dst: 1, Demand: 20},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := n.MaxMinFair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc.FlowRate[0]-1) > 1e-4 {
+		t.Errorf("small rate = %v, want 1", alloc.FlowRate[0])
+	}
+	if math.Abs(alloc.FlowRate[1]-9) > 1e-4 {
+		t.Errorf("big rate = %v, want 9", alloc.FlowRate[1])
+	}
+}
+
+func TestWeightedMaxMinFair(t *testing.T) {
+	// Weight 3:1 on a shared 8G link -> 6 and 2.
+	g := topo.MustNewGraph([]string{"a", "b"})
+	mustAdd(t, g, 0, 1, 8, 5)
+	n, err := NewNetwork(g, []Flow{
+		{Name: "heavy", Src: 0, Dst: 1, Demand: 20, Weight: 3},
+		{Name: "light", Src: 0, Dst: 1, Demand: 20, Weight: 1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := n.MaxMinFair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc.FlowRate[0]-6) > 1e-3 || math.Abs(alloc.FlowRate[1]-2) > 1e-3 {
+		t.Errorf("rates = %v, want [6 2]", alloc.FlowRate)
+	}
+}
+
+func TestMaxMinUsesMultiplePathsWhenNeeded(t *testing.T) {
+	// Two disjoint 5G paths; one flow with 20G demand must use both.
+	g := topo.MustNewGraph([]string{"a", "m1", "m2", "b"})
+	mustAdd(t, g, 0, 1, 5, 5)
+	mustAdd(t, g, 1, 3, 5, 5)
+	mustAdd(t, g, 0, 2, 5, 10)
+	mustAdd(t, g, 2, 3, 5, 10)
+	n, err := NewNetwork(g, []Flow{{Name: "f", Src: 0, Dst: 3, Demand: 20}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := n.MaxMinFair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc.FlowRate[0]-10) > 1e-3 {
+		t.Errorf("rate = %v, want 10 over two paths", alloc.FlowRate[0])
+	}
+	checkFeasible(t, n, alloc)
+}
+
+func TestBalancedInterpolates(t *testing.T) {
+	// Asymmetric network where fairness and throughput conflict:
+	// flows share one 10G bottleneck, but f2 also has a private 10G path.
+	g := topo.MustNewGraph([]string{"a", "b", "c"})
+	mustAdd(t, g, 0, 1, 10, 5)  // shared a->b
+	mustAdd(t, g, 1, 2, 30, 5)  // b->c fat
+	mustAdd(t, g, 0, 2, 10, 20) // direct a->c (f2 only route option via tunnels)
+	n, err := NewNetwork(g, []Flow{
+		{Name: "f1", Src: 0, Dst: 1, Demand: 10},
+		{Name: "f2", Src: 0, Dst: 2, Demand: 20},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocFair, qtFair, err := n.Balanced(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocLoose, qtLoose, err := n.Balanced(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qtLoose < qtFair-1e-9 {
+		t.Errorf("qt with qf=0 (%v) below qt with qf=1 (%v)", qtLoose, qtFair)
+	}
+	if allocLoose.Throughput() < allocFair.Throughput()-1e-6 {
+		t.Error("relaxing fairness reduced throughput")
+	}
+	// qf=1 must respect max-min shares.
+	fair, err := n.MaxMinFair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range n.Flows {
+		if allocFair.FlowRate[f] < fair.FlowRate[f]*(1-1e-6)-1e-6 {
+			t.Errorf("flow %d rate %v below max-min share %v", f, allocFair.FlowRate[f], fair.FlowRate[f])
+		}
+	}
+	if _, _, err := n.Balanced(1.5); err == nil {
+		t.Error("qf > 1 accepted")
+	}
+}
+
+func TestAlphaFairFamily(t *testing.T) {
+	// Shared 10G link; f1 also has a private 10G path. Proportional
+	// fairness should give f1 more than max-min-style equal share on
+	// the bottleneck but keep f2 nonzero.
+	g := topo.MustNewGraph([]string{"a", "b"})
+	mustAdd(t, g, 0, 1, 10, 5)
+	n, err := NewNetwork(g, []Flow{
+		{Name: "f1", Src: 0, Dst: 1, Demand: 10},
+		{Name: "f2", Src: 0, Dst: 1, Demand: 10},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric case: any alpha must split evenly-ish.
+	for _, alpha := range []float64{0.5, 1, 2} {
+		alloc, err := n.AlphaFair(alpha, 10)
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		if math.Abs(alloc.FlowRate[0]-alloc.FlowRate[1]) > 1.1 {
+			t.Errorf("alpha=%v: asymmetric split %v", alpha, alloc.FlowRate)
+		}
+		if math.Abs(alloc.Throughput()-10) > 1e-3 {
+			t.Errorf("alpha=%v: throughput %v, want 10", alpha, alloc.Throughput())
+		}
+		checkFeasible(t, n, alloc)
+	}
+	if _, err := n.AlphaFair(-1, 8); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if _, err := n.AlphaFair(1, 0); err == nil {
+		t.Error("zero segments accepted")
+	}
+}
+
+func TestPriorityAllocate(t *testing.T) {
+	// 10G link; class 0 flow takes its full 7G first, class 1 gets 3G.
+	g := topo.MustNewGraph([]string{"a", "b"})
+	mustAdd(t, g, 0, 1, 10, 5)
+	n, err := NewNetwork(g, []Flow{
+		{Name: "hi", Src: 0, Dst: 1, Demand: 7, Class: 0},
+		{Name: "lo", Src: 0, Dst: 1, Demand: 10, Class: 1},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := n.PriorityAllocate(func(sub *Network) (*Allocation, error) {
+		return sub.MaxMinFair()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc.FlowRate[0]-7) > 1e-3 {
+		t.Errorf("high class rate = %v, want 7", alloc.FlowRate[0])
+	}
+	if math.Abs(alloc.FlowRate[1]-3) > 1e-3 {
+		t.Errorf("low class rate = %v, want 3", alloc.FlowRate[1])
+	}
+}
+
+func TestAllocationMetrics(t *testing.T) {
+	n := twoFlowNet(t)
+	alloc, err := n.MaxThroughput(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := alloc.Scenario(n)
+	if len(sc) != 2 {
+		t.Fatalf("scenario = %v", sc)
+	}
+	if sc[0] != alloc.Throughput() || sc[1] != alloc.AvgLatency(n) {
+		t.Error("scenario does not match metrics")
+	}
+	if alloc.MinRate() > alloc.FlowRate[0] || alloc.MinRate() > alloc.FlowRate[1] {
+		t.Error("MinRate above a flow rate")
+	}
+	empty := &Allocation{}
+	if empty.Throughput() != 0 || empty.MinRate() != 0 {
+		t.Error("empty allocation metrics nonzero")
+	}
+	zero := &Allocation{FlowRate: []float64{0}, TunnelRate: [][]float64{make([]float64, len(n.Tunnels[0]))}}
+	if zero.AvgLatency(n) != 0 {
+		t.Error("zero-traffic latency nonzero")
+	}
+}
+
+func TestAbileneEndToEnd(t *testing.T) {
+	g := topo.Abilene()
+	sea, _ := g.NodeID("Seattle")
+	ny, _ := g.NodeID("NewYork")
+	la, _ := g.NodeID("LosAngeles")
+	dc, _ := g.NodeID("WashingtonDC")
+	chi, _ := g.NodeID("Chicago")
+	hou, _ := g.NodeID("Houston")
+	n, err := NewNetwork(g, []Flow{
+		{Name: "sea-ny", Src: sea, Dst: ny, Demand: 6},
+		{Name: "la-dc", Src: la, Dst: dc, Demand: 6},
+		{Name: "chi-hou", Src: chi, Dst: hou, Demand: 6},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func() (*Allocation, error){
+		"max-throughput": func() (*Allocation, error) { return n.MaxThroughput(0.001) },
+		"max-min":        func() (*Allocation, error) { return n.MaxMinFair() },
+		"alpha-1":        func() (*Allocation, error) { return n.AlphaFair(1, 8) },
+	} {
+		alloc, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if alloc.Throughput() <= 0 {
+			t.Errorf("%s: zero throughput", name)
+		}
+		checkFeasible(t, n, alloc)
+	}
+}
+
+// checkFeasible verifies capacity, demand, and non-negativity.
+func checkFeasible(t *testing.T, n *Network, a *Allocation) {
+	t.Helper()
+	const tol = 1e-5
+	used := make([]float64, n.Graph.NumLinks())
+	for f := range n.Flows {
+		var total float64
+		for tn, r := range a.TunnelRate[f] {
+			if r < -tol {
+				t.Errorf("negative tunnel rate %v", r)
+			}
+			total += r
+			for _, li := range n.Tunnels[f][tn].LinkIdx {
+				used[li] += r
+			}
+		}
+		if math.Abs(total-a.FlowRate[f]) > tol {
+			t.Errorf("flow %d rate %v != tunnel sum %v", f, a.FlowRate[f], total)
+		}
+		if total > n.Flows[f].Demand+tol {
+			t.Errorf("flow %d exceeds demand: %v > %v", f, total, n.Flows[f].Demand)
+		}
+	}
+	for li, u := range used {
+		if u > n.Graph.Link(li).Capacity+tol {
+			t.Errorf("link %d over capacity: %v > %v", li, u, n.Graph.Link(li).Capacity)
+		}
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	n := twoFlowNet(t)
+	alloc, err := n.MaxThroughput(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, max := alloc.LinkUtilization(n)
+	if len(per) != n.Graph.NumLinks() {
+		t.Fatalf("per-link = %d entries", len(per))
+	}
+	for li, u := range per {
+		if u < -1e-9 || u > 1+1e-6 {
+			t.Errorf("link %d utilization %v", li, u)
+		}
+		if u > max+1e-12 {
+			t.Errorf("max %v below link %d's %v", max, li, u)
+		}
+	}
+	// Demand 16 over 20 capacity: the bottleneck links saturate.
+	if max < 0.99 {
+		t.Errorf("max utilization %v, want ~1 at full allocation", max)
+	}
+	// Empty allocation: zero everywhere.
+	empty := &Allocation{
+		FlowRate:   make([]float64, len(n.Flows)),
+		TunnelRate: [][]float64{make([]float64, len(n.Tunnels[0])), make([]float64, len(n.Tunnels[1]))},
+	}
+	_, zmax := empty.LinkUtilization(n)
+	if zmax != 0 {
+		t.Errorf("empty allocation max utilization %v", zmax)
+	}
+}

@@ -1,0 +1,122 @@
+package te
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"compsynth/internal/topo"
+)
+
+// GravityConfig parameterizes the gravity-model traffic generator.
+type GravityConfig struct {
+	// Flows is the number of distinct origin-destination flows.
+	Flows int
+	// TotalDemand is the summed demand across flows (Gbps). Zero means
+	// "half the total link capacity", a moderately loaded network.
+	TotalDemand float64
+	// MassSigma is the lognormal σ of node masses (default 1.0; larger
+	// values make the matrix more skewed, as real WAN matrices are).
+	MassSigma float64
+	// MinDemand floors each flow's demand (default 1% of the mean).
+	MinDemand float64
+}
+
+// GravityFlows generates a traffic matrix with the gravity model, the
+// standard synthetic workload for TE studies: each node gets a random
+// lognormal mass, pair weights are the mass products, and Flows node
+// pairs are sampled proportionally to weight with demands split
+// likewise. All flows are guaranteed routable on g.
+func GravityFlows(g *topo.Graph, cfg GravityConfig, rng *rand.Rand) ([]Flow, error) {
+	n := g.NumNodes()
+	if n < 2 {
+		return nil, fmt.Errorf("te: gravity model needs >= 2 nodes")
+	}
+	if cfg.Flows < 1 {
+		return nil, fmt.Errorf("te: gravity model needs >= 1 flow")
+	}
+	maxPairs := n * (n - 1)
+	if cfg.Flows > maxPairs {
+		return nil, fmt.Errorf("te: %d flows exceed %d ordered node pairs", cfg.Flows, maxPairs)
+	}
+	sigma := cfg.MassSigma
+	if sigma == 0 {
+		sigma = 1
+	}
+	total := cfg.TotalDemand
+	if total == 0 {
+		for _, l := range g.Links() {
+			total += l.Capacity
+		}
+		total /= 2
+	}
+
+	mass := make([]float64, n)
+	for i := range mass {
+		mass[i] = math.Exp(rng.NormFloat64() * sigma)
+	}
+
+	type pair struct {
+		src, dst int
+		weight   float64
+	}
+	var pairs []pair
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			if _, ok := g.ShortestPath(s, d); !ok {
+				continue // unroutable pair
+			}
+			pairs = append(pairs, pair{src: s, dst: d, weight: mass[s] * mass[d]})
+		}
+	}
+	if len(pairs) < cfg.Flows {
+		return nil, fmt.Errorf("te: only %d routable pairs for %d flows", len(pairs), cfg.Flows)
+	}
+
+	// Weighted sampling without replacement.
+	chosen := make([]pair, 0, cfg.Flows)
+	for len(chosen) < cfg.Flows {
+		var sum float64
+		for _, p := range pairs {
+			sum += p.weight
+		}
+		r := rng.Float64() * sum
+		idx := len(pairs) - 1
+		for i, p := range pairs {
+			r -= p.weight
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		chosen = append(chosen, pairs[idx])
+		pairs[idx] = pairs[len(pairs)-1]
+		pairs = pairs[:len(pairs)-1]
+	}
+
+	var weightSum float64
+	for _, p := range chosen {
+		weightSum += p.weight
+	}
+	minDemand := cfg.MinDemand
+	if minDemand == 0 {
+		minDemand = total / float64(cfg.Flows) / 100
+	}
+	flows := make([]Flow, len(chosen))
+	for i, p := range chosen {
+		demand := total * p.weight / weightSum
+		if demand < minDemand {
+			demand = minDemand
+		}
+		flows[i] = Flow{
+			Name:   fmt.Sprintf("%s→%s", g.NodeName(p.src), g.NodeName(p.dst)),
+			Src:    p.src,
+			Dst:    p.dst,
+			Demand: demand,
+		}
+	}
+	return flows, nil
+}

@@ -1,0 +1,150 @@
+package te
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"compsynth/internal/topo"
+)
+
+func TestGravityFlowsBasic(t *testing.T) {
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(1))
+	flows, err := GravityFlows(g, GravityConfig{Flows: 10, TotalDemand: 40}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 10 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	var total float64
+	seen := map[[2]int]bool{}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Error("self flow")
+		}
+		if f.Demand <= 0 {
+			t.Errorf("flow %s demand %v", f.Name, f.Demand)
+		}
+		key := [2]int{f.Src, f.Dst}
+		if seen[key] {
+			t.Errorf("duplicate pair %v", key)
+		}
+		seen[key] = true
+		if _, ok := g.ShortestPath(f.Src, f.Dst); !ok {
+			t.Errorf("unroutable flow %s", f.Name)
+		}
+		total += f.Demand
+	}
+	// Total demand approximately honored (floor can push it up a bit).
+	if total < 40*0.99 || total > 40*1.2 {
+		t.Errorf("total demand = %v, want ≈40", total)
+	}
+}
+
+func TestGravityFlowsDefaults(t *testing.T) {
+	g := topo.Abilene()
+	flows, err := GravityFlows(g, GravityConfig{Flows: 5}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var capTotal float64
+	for _, l := range g.Links() {
+		capTotal += l.Capacity
+	}
+	var total float64
+	for _, f := range flows {
+		total += f.Demand
+	}
+	if math.Abs(total-capTotal/2) > capTotal*0.1 {
+		t.Errorf("default total %v, want ≈ half capacity %v", total, capTotal/2)
+	}
+}
+
+func TestGravityFlowsValidation(t *testing.T) {
+	g := topo.Abilene()
+	rng := rand.New(rand.NewSource(3))
+	if _, err := GravityFlows(g, GravityConfig{Flows: 0}, rng); err == nil {
+		t.Error("zero flows accepted")
+	}
+	if _, err := GravityFlows(g, GravityConfig{Flows: 10000}, rng); err == nil {
+		t.Error("too many flows accepted")
+	}
+	single := topo.MustNewGraph([]string{"a"})
+	if _, err := GravityFlows(single, GravityConfig{Flows: 1}, rng); err == nil {
+		t.Error("single-node graph accepted")
+	}
+}
+
+func TestGravityFlowsDeterministic(t *testing.T) {
+	g := topo.B4Like()
+	a, err := GravityFlows(g, GravityConfig{Flows: 8}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GravityFlows(g, GravityConfig{Flows: 8}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Src != b[i].Src || a[i].Dst != b[i].Dst || a[i].Demand != b[i].Demand {
+			t.Fatal("gravity model not deterministic per seed")
+		}
+	}
+}
+
+func TestGravityFlowsFeedAllocators(t *testing.T) {
+	g := topo.B4Like()
+	flows, err := GravityFlows(g, GravityConfig{Flows: 12}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNetwork(g, flows, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := n.MaxThroughput(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Throughput() <= 0 {
+		t.Error("gravity workload produced zero throughput")
+	}
+	checkFeasible(t, n, alloc)
+	fair, err := n.MaxMinFair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, n, fair)
+	// Max-min min rate should be at least the max-throughput min rate
+	// (fairness lifts the floor).
+	if fair.MinRate() < alloc.MinRate()-1e-6 {
+		t.Errorf("max-min floor %v below max-throughput floor %v", fair.MinRate(), alloc.MinRate())
+	}
+}
+
+func TestGravityMassSkew(t *testing.T) {
+	// Higher sigma should concentrate demand: compare max/mean demand
+	// ratios. (Statistical, but with 60 flows and very different sigmas
+	// the ordering is stable for a fixed seed.)
+	g := topo.B4Like()
+	ratio := func(sigma float64) float64 {
+		flows, err := GravityFlows(g, GravityConfig{Flows: 60, MassSigma: sigma, TotalDemand: 100},
+			rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxD, sum := 0.0, 0.0
+		for _, f := range flows {
+			sum += f.Demand
+			if f.Demand > maxD {
+				maxD = f.Demand
+			}
+		}
+		return maxD / (sum / float64(len(flows)))
+	}
+	if ratio(2.5) <= ratio(0.2) {
+		t.Errorf("high sigma not more skewed: %v vs %v", ratio(2.5), ratio(0.2))
+	}
+}

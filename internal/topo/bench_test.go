@@ -1,0 +1,38 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkShortestPathAbilene(b *testing.B) {
+	g := Abilene()
+	src, _ := g.NodeID("Seattle")
+	dst, _ := g.NodeID("NewYork")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.ShortestPath(src, dst); !ok {
+			b.Fatal("no path")
+		}
+	}
+}
+
+func BenchmarkKShortestPathsAbilene(b *testing.B) {
+	g := Abilene()
+	src, _ := g.NodeID("Seattle")
+	dst, _ := g.NodeID("NewYork")
+	for i := 0; i < b.N; i++ {
+		if paths := g.KShortestPaths(src, dst, 6); len(paths) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+func BenchmarkKShortestPathsRandom50(b *testing.B) {
+	g := Random(50, 4, 5, 20, rand.New(rand.NewSource(1)))
+	for i := 0; i < b.N; i++ {
+		if paths := g.KShortestPaths(0, 25, 4); len(paths) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}

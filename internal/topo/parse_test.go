@@ -1,0 +1,120 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleTopo = `
+# tiny test WAN
+node a
+node b
+bilink a b 10 5
+link b c 20 7
+`
+
+func TestParseTopology(t *testing.T) {
+	g, err := ParseTopology(strings.NewReader(sampleTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumLinks() != 3 { // bilink = 2 + link = 1
+		t.Fatalf("links = %d", g.NumLinks())
+	}
+	// Implicitly declared node c exists.
+	cID, ok := g.NodeID("c")
+	if !ok {
+		t.Fatal("implicit node c missing")
+	}
+	bID, _ := g.NodeID("b")
+	aID, _ := g.NodeID("a")
+	// Directed link b->c only.
+	if _, ok := g.ShortestPath(bID, cID); !ok {
+		t.Error("b->c missing")
+	}
+	if _, ok := g.ShortestPath(cID, bID); ok {
+		t.Error("c->b should not exist (directed)")
+	}
+	// Bilink both ways.
+	if _, ok := g.ShortestPath(aID, bID); !ok {
+		t.Error("a->b missing")
+	}
+	if _, ok := g.ShortestPath(bID, aID); !ok {
+		t.Error("b->a missing")
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	bad := map[string]string{
+		"unknown directive": "frob a b",
+		"node arity":        "node",
+		"link arity":        "link a b 10",
+		"bad capacity":      "link a b ten 5",
+		"bad latency":       "link a b 10 five",
+		"self loop":         "link a a 10 5",
+		"zero capacity":     "link a b 0 5",
+		"empty":             "# nothing\n",
+	}
+	for name, src := range bad {
+		if _, err := ParseTopology(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestWriteTopologyRoundTrip(t *testing.T) {
+	orig := Abilene()
+	var buf strings.Builder
+	if err := WriteTopology(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	// Bidirectional pairs collapse to bilink lines.
+	if strings.Count(buf.String(), "bilink ") != 14 {
+		t.Errorf("bilink lines = %d, want 14:\n%s", strings.Count(buf.String(), "bilink "), buf.String())
+	}
+	back, err := ParseTopology(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != orig.NumNodes() || back.NumLinks() != orig.NumLinks() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			back.NumNodes(), back.NumLinks(), orig.NumNodes(), orig.NumLinks())
+	}
+	// Same shortest paths everywhere.
+	for s := 0; s < orig.NumNodes(); s++ {
+		for d := 0; d < orig.NumNodes(); d++ {
+			if s == d {
+				continue
+			}
+			p1, ok1 := orig.ShortestPath(s, d)
+			// Node IDs may be renumbered; map via names.
+			s2, _ := back.NodeID(orig.NodeName(s))
+			d2, _ := back.NodeID(orig.NodeName(d))
+			p2, ok2 := back.ShortestPath(s2, d2)
+			if ok1 != ok2 || p1.Latency != p2.Latency {
+				t.Fatalf("path %s->%s changed: %v/%v lat %v vs %v",
+					orig.NodeName(s), orig.NodeName(d), ok1, ok2, p1.Latency, p2.Latency)
+			}
+		}
+	}
+}
+
+func TestWriteTopologyAsymmetricLinks(t *testing.T) {
+	g := MustNewGraph([]string{"a", "b"})
+	if _, err := g.AddLink(0, 1, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddLink(1, 0, 20, 5); err != nil { // different capacity
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteTopology(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "bilink") {
+		t.Errorf("asymmetric links collapsed to bilink:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,566 @@
+// Package topo provides the network substrate for the traffic-
+// engineering case study: directed graphs with link capacities and
+// latencies, shortest-path and k-shortest-path (Yen) computation, and
+// reference topologies (an Abilene-like research WAN and a B4-like
+// inter-datacenter WAN) plus random topologies for stress tests.
+package topo
+
+import (
+	"bufio"
+	"container/heap"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Link is a directed edge with capacity (Gbps) and latency (ms).
+type Link struct {
+	From, To int
+	Capacity float64
+	Latency  float64
+}
+
+// Graph is a directed network. Nodes are dense integer IDs with
+// human-readable names.
+type Graph struct {
+	names []string
+	links []Link
+	adj   [][]int // adj[u] = indices into links leaving u
+}
+
+// NewGraph creates a graph with the given node names.
+func NewGraph(names []string) (*Graph, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("topo: empty graph")
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("topo: empty node name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("topo: duplicate node %q", n)
+		}
+		seen[n] = true
+	}
+	return &Graph{
+		names: append([]string(nil), names...),
+		adj:   make([][]int, len(names)),
+	}, nil
+}
+
+// MustNewGraph is NewGraph but panics on error.
+func MustNewGraph(names []string) *Graph {
+	g, err := NewGraph(names)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// NumLinks returns the directed link count.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// NodeName returns the name of node id.
+func (g *Graph) NodeName(id int) string { return g.names[id] }
+
+// NodeID returns the id of the named node.
+func (g *Graph) NodeID(name string) (int, bool) {
+	for i, n := range g.names {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Link returns the link with the given index.
+func (g *Graph) Link(i int) Link { return g.links[i] }
+
+// Links returns a copy of all links.
+func (g *Graph) Links() []Link { return append([]Link(nil), g.links...) }
+
+// AddLink adds a directed link and returns its index.
+func (g *Graph) AddLink(from, to int, capacity, latency float64) (int, error) {
+	if from < 0 || from >= len(g.names) || to < 0 || to >= len(g.names) {
+		return 0, fmt.Errorf("topo: link %d->%d out of range", from, to)
+	}
+	if from == to {
+		return 0, fmt.Errorf("topo: self-loop on node %d", from)
+	}
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return 0, fmt.Errorf("topo: invalid capacity %v", capacity)
+	}
+	if latency < 0 || math.IsNaN(latency) || math.IsInf(latency, 0) {
+		return 0, fmt.Errorf("topo: invalid latency %v", latency)
+	}
+	idx := len(g.links)
+	g.links = append(g.links, Link{From: from, To: to, Capacity: capacity, Latency: latency})
+	g.adj[from] = append(g.adj[from], idx)
+	return idx, nil
+}
+
+// AddBiLink adds links in both directions with equal capacity/latency.
+func (g *Graph) AddBiLink(a, b int, capacity, latency float64) error {
+	if _, err := g.AddLink(a, b, capacity, latency); err != nil {
+		return err
+	}
+	_, err := g.AddLink(b, a, capacity, latency)
+	return err
+}
+
+// Path is a sequence of link indices forming a walk from its first
+// link's From to its last link's To.
+type Path struct {
+	LinkIdx []int
+	// Latency is the summed link latency.
+	Latency float64
+}
+
+// Nodes returns the node sequence of the path within graph g.
+func (p Path) Nodes(g *Graph) []int {
+	if len(p.LinkIdx) == 0 {
+		return nil
+	}
+	out := []int{g.links[p.LinkIdx[0]].From}
+	for _, li := range p.LinkIdx {
+		out = append(out, g.links[li].To)
+	}
+	return out
+}
+
+// MinCapacity returns the bottleneck capacity along the path.
+func (p Path) MinCapacity(g *Graph) float64 {
+	min := math.Inf(1)
+	for _, li := range p.LinkIdx {
+		if c := g.links[li].Capacity; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// String renders the path as node names.
+func (p Path) format(g *Graph) string {
+	nodes := p.Nodes(g)
+	s := ""
+	for i, n := range nodes {
+		if i > 0 {
+			s += "→"
+		}
+		s += g.names[n]
+	}
+	return s
+}
+
+// FormatPath renders a path with node names and total latency.
+func (g *Graph) FormatPath(p Path) string {
+	return fmt.Sprintf("%s (%.1fms)", p.format(g), p.Latency)
+}
+
+// pqItem is a priority queue entry for Dijkstra.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// ShortestPath returns the minimum-latency path from src to dst, or
+// ok=false if dst is unreachable. banned links/nodes support Yen's
+// algorithm; pass nil for plain shortest path.
+func (g *Graph) ShortestPath(src, dst int) (Path, bool) {
+	return g.shortestPath(src, dst, nil, nil)
+}
+
+func (g *Graph) shortestPath(src, dst int, bannedLinks map[int]bool, bannedNodes map[int]bool) (Path, bool) {
+	const unvisited = -1
+	dist := make([]float64, len(g.names))
+	prevLink := make([]int, len(g.names))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevLink[i] = unvisited
+	}
+	dist[src] = 0
+	q := &pq{{node: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		if it.node == dst {
+			break
+		}
+		for _, li := range g.adj[it.node] {
+			if bannedLinks[li] {
+				continue
+			}
+			l := g.links[li]
+			if bannedNodes[l.To] && l.To != dst {
+				continue
+			}
+			if nd := it.dist + l.Latency; nd < dist[l.To] {
+				dist[l.To] = nd
+				prevLink[l.To] = li
+				heap.Push(q, pqItem{node: l.To, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	var rev []int
+	for n := dst; n != src; {
+		li := prevLink[n]
+		rev = append(rev, li)
+		n = g.links[li].From
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return Path{LinkIdx: rev, Latency: dist[dst]}, true
+}
+
+// KShortestPaths returns up to k loop-free minimum-latency paths from
+// src to dst in increasing latency order (Yen's algorithm). These serve
+// as the tunnels of the TE formulations.
+func (g *Graph) KShortestPaths(src, dst, k int) []Path {
+	if k < 1 {
+		return nil
+	}
+	first, ok := g.ShortestPath(src, dst)
+	if !ok {
+		return nil
+	}
+	paths := []Path{first}
+	var candidates []Path
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		prevNodes := prev.Nodes(g)
+		// Spur from every node of the previous path except the last.
+		for si := 0; si < len(prevNodes)-1; si++ {
+			spurNode := prevNodes[si]
+			rootLinks := prev.LinkIdx[:si]
+			bannedLinks := map[int]bool{}
+			// Ban links that would recreate an already-found path with
+			// the same root.
+			for _, p := range paths {
+				if len(p.LinkIdx) > si && equalInts(p.LinkIdx[:si], rootLinks) {
+					bannedLinks[p.LinkIdx[si]] = true
+				}
+			}
+			// Ban root nodes to keep paths simple.
+			bannedNodes := map[int]bool{}
+			for _, n := range prevNodes[:si] {
+				bannedNodes[n] = true
+			}
+			spur, ok := g.shortestPath(spurNode, dst, bannedLinks, bannedNodes)
+			if !ok {
+				continue
+			}
+			total := Path{
+				LinkIdx: append(append([]int(nil), rootLinks...), spur.LinkIdx...),
+			}
+			for _, li := range total.LinkIdx {
+				total.Latency += g.links[li].Latency
+			}
+			if !containsPath(paths, total) && !containsPath(candidates, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			if candidates[i].Latency != candidates[j].Latency {
+				return candidates[i].Latency < candidates[j].Latency
+			}
+			return len(candidates[i].LinkIdx) < len(candidates[j].LinkIdx)
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps []Path, p Path) bool {
+	for _, q := range ps {
+		if equalInts(q.LinkIdx, p.LinkIdx) {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseTopology reads a topology from the plain-text format:
+//
+//	# comment
+//	node <name>
+//	link <from> <to> <capacity-gbps> <latency-ms>     # directed
+//	bilink <a> <b> <capacity-gbps> <latency-ms>       # both directions
+//
+// Node lines are optional: link endpoints implicitly declare nodes in
+// order of first mention.
+func ParseTopology(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var names []string
+	index := map[string]int{}
+	type rawLink struct {
+		a, b     string
+		cap, lat float64
+		bi       bool
+		line     int
+	}
+	var links []rawLink
+	ensure := func(name string) {
+		if _, ok := index[name]; !ok {
+			index[name] = len(names)
+			names = append(names, name)
+		}
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("topo: line %d: node needs a name", lineNo)
+			}
+			ensure(fields[1])
+		case "link", "bilink":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("topo: line %d: %s needs FROM TO CAP LAT", lineNo, fields[0])
+			}
+			capacity, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("topo: line %d: bad capacity %q", lineNo, fields[3])
+			}
+			latency, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("topo: line %d: bad latency %q", lineNo, fields[4])
+			}
+			ensure(fields[1])
+			ensure(fields[2])
+			links = append(links, rawLink{
+				a: fields[1], b: fields[2],
+				cap: capacity, lat: latency,
+				bi: fields[0] == "bilink", line: lineNo,
+			})
+		default:
+			return nil, fmt.Errorf("topo: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topo: read topology: %w", err)
+	}
+	g, err := NewGraph(names)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range links {
+		a, b := index[l.a], index[l.b]
+		if l.bi {
+			err = g.AddBiLink(a, b, l.cap, l.lat)
+		} else {
+			_, err = g.AddLink(a, b, l.cap, l.lat)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("topo: line %d: %w", l.line, err)
+		}
+	}
+	return g, nil
+}
+
+// WriteTopology renders the graph in the ParseTopology format. Pairs of
+// mirror links with equal capacity/latency collapse to bilink lines.
+func WriteTopology(w io.Writer, g *Graph) error {
+	var b strings.Builder
+	for i := 0; i < g.NumNodes(); i++ {
+		fmt.Fprintf(&b, "node %s\n", g.NodeName(i))
+	}
+	emitted := make([]bool, g.NumLinks())
+	for i := 0; i < g.NumLinks(); i++ {
+		if emitted[i] {
+			continue
+		}
+		l := g.Link(i)
+		mirror := -1
+		for j := i + 1; j < g.NumLinks(); j++ {
+			m := g.Link(j)
+			if !emitted[j] && m.From == l.To && m.To == l.From &&
+				m.Capacity == l.Capacity && m.Latency == l.Latency {
+				mirror = j
+				break
+			}
+		}
+		if mirror >= 0 {
+			emitted[mirror] = true
+			fmt.Fprintf(&b, "bilink %s %s %g %g\n", g.NodeName(l.From), g.NodeName(l.To), l.Capacity, l.Latency)
+		} else {
+			fmt.Fprintf(&b, "link %s %s %g %g\n", g.NodeName(l.From), g.NodeName(l.To), l.Capacity, l.Latency)
+		}
+		emitted[i] = true
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Abilene returns a topology modeled on the 11-node Abilene research
+// backbone. Capacities are in Gbps, latencies approximate great-circle
+// propagation delays in milliseconds. All links are bidirectional.
+func Abilene() *Graph {
+	g := MustNewGraph([]string{
+		"Seattle", "Sunnyvale", "LosAngeles", "Denver", "KansasCity",
+		"Houston", "Chicago", "Indianapolis", "Atlanta", "WashingtonDC", "NewYork",
+	})
+	type e struct {
+		a, b string
+		lat  float64
+	}
+	edges := []e{
+		{"Seattle", "Sunnyvale", 13},
+		{"Seattle", "Denver", 21},
+		{"Sunnyvale", "LosAngeles", 6},
+		{"Sunnyvale", "Denver", 19},
+		{"LosAngeles", "Houston", 25},
+		{"Denver", "KansasCity", 10},
+		{"KansasCity", "Houston", 13},
+		{"KansasCity", "Indianapolis", 8},
+		{"Houston", "Atlanta", 13},
+		{"Chicago", "Indianapolis", 3},
+		{"Chicago", "NewYork", 13},
+		{"Indianapolis", "Atlanta", 9},
+		{"Atlanta", "WashingtonDC", 10},
+		{"WashingtonDC", "NewYork", 4},
+	}
+	for _, ed := range edges {
+		a, _ := g.NodeID(ed.a)
+		b, _ := g.NodeID(ed.b)
+		if err := g.AddBiLink(a, b, 10, ed.lat); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// B4Like returns a 12-node inter-datacenter WAN in the spirit of
+// Google's B4: a few continental clusters with high-capacity regional
+// rings and a handful of long-haul links.
+func B4Like() *Graph {
+	g := MustNewGraph([]string{
+		"US-West1", "US-West2", "US-Central", "US-East1", "US-East2",
+		"EU-West", "EU-Central", "EU-North",
+		"Asia-East", "Asia-South", "Asia-North", "Oceania",
+	})
+	type e struct {
+		a, b     string
+		cap, lat float64
+	}
+	edges := []e{
+		// US ring.
+		{"US-West1", "US-West2", 40, 5},
+		{"US-West2", "US-Central", 40, 15},
+		{"US-Central", "US-East1", 40, 12},
+		{"US-East1", "US-East2", 40, 4},
+		{"US-West1", "US-Central", 40, 18},
+		// EU ring.
+		{"EU-West", "EU-Central", 30, 6},
+		{"EU-Central", "EU-North", 30, 8},
+		{"EU-West", "EU-North", 30, 11},
+		// Asia ring.
+		{"Asia-East", "Asia-South", 20, 22},
+		{"Asia-East", "Asia-North", 20, 12},
+		{"Asia-South", "Asia-North", 20, 28},
+		// Long hauls.
+		{"US-East2", "EU-West", 20, 38},
+		{"US-East1", "EU-West", 20, 40},
+		{"US-West1", "Asia-East", 20, 51},
+		{"US-West2", "Asia-North", 15, 45},
+		{"EU-North", "Asia-North", 10, 35},
+		{"Asia-South", "Oceania", 10, 46},
+		{"US-West2", "Oceania", 10, 62},
+	}
+	for _, ed := range edges {
+		a, _ := g.NodeID(ed.a)
+		b, _ := g.NodeID(ed.b)
+		if err := g.AddBiLink(a, b, ed.cap, ed.lat); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// Random returns a connected random topology with n nodes: a random
+// spanning tree plus extra random links up to the requested average
+// degree. Capacities are uniform in [capMin, capMax] Gbps; latencies
+// uniform in [1, 30] ms.
+func Random(n int, avgDegree float64, capMin, capMax float64, rng *rand.Rand) *Graph {
+	if n < 2 {
+		panic("topo: Random needs n >= 2")
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i)
+	}
+	g := MustNewGraph(names)
+	randomLink := func(a, b int) {
+		capacity := capMin + rng.Float64()*(capMax-capMin)
+		latency := 1 + rng.Float64()*29
+		if err := g.AddBiLink(a, b, capacity, latency); err != nil {
+			panic(err)
+		}
+	}
+	// Spanning tree over a random permutation.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		randomLink(perm[i], perm[rng.Intn(i)])
+	}
+	// Extra links to reach the target degree (bidirectional links add 2
+	// to the total directed degree).
+	want := int(avgDegree*float64(n)/2) - (n - 1)
+	have := map[[2]int]bool{}
+	for _, l := range g.Links() {
+		have[[2]int{l.From, l.To}] = true
+	}
+	for added := 0; added < want; {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b || have[[2]int{a, b}] {
+			continue
+		}
+		randomLink(a, b)
+		have[[2]int{a, b}] = true
+		have[[2]int{b, a}] = true
+		added++
+	}
+	return g
+}

@@ -1,0 +1,282 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func line3(t *testing.T) *Graph {
+	t.Helper()
+	g := MustNewGraph([]string{"a", "b", "c"})
+	if err := g.AddBiLink(0, 1, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddBiLink(1, 2, 10, 7); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(nil); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := NewGraph([]string{"a", "a"}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if _, err := NewGraph([]string{""}); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	g := MustNewGraph([]string{"a", "b"})
+	cases := []struct {
+		from, to int
+		cap, lat float64
+	}{
+		{0, 0, 1, 1},          // self loop
+		{0, 5, 1, 1},          // out of range
+		{-1, 1, 1, 1},         // out of range
+		{0, 1, 0, 1},          // zero capacity
+		{0, 1, -2, 1},         // negative capacity
+		{0, 1, 1, -1},         // negative latency
+		{0, 1, math.NaN(), 1}, // NaN capacity
+		{0, 1, 1, math.Inf(1)},
+	}
+	for i, c := range cases {
+		if _, err := g.AddLink(c.from, c.to, c.cap, c.lat); err == nil {
+			t.Errorf("case %d: invalid link accepted", i)
+		}
+	}
+	if _, err := g.AddLink(0, 1, 10, 0); err != nil {
+		t.Errorf("zero latency rejected: %v", err)
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	g := line3(t)
+	if id, ok := g.NodeID("b"); !ok || id != 1 {
+		t.Errorf("NodeID(b) = %d, %v", id, ok)
+	}
+	if _, ok := g.NodeID("zzz"); ok {
+		t.Error("unknown node found")
+	}
+	if g.NodeName(2) != "c" {
+		t.Errorf("NodeName(2) = %q", g.NodeName(2))
+	}
+	if g.NumNodes() != 3 || g.NumLinks() != 4 {
+		t.Errorf("counts = %d nodes, %d links", g.NumNodes(), g.NumLinks())
+	}
+}
+
+func TestShortestPathDirect(t *testing.T) {
+	g := line3(t)
+	p, ok := g.ShortestPath(0, 2)
+	if !ok {
+		t.Fatal("no path a->c")
+	}
+	if p.Latency != 12 {
+		t.Errorf("latency = %v, want 12", p.Latency)
+	}
+	nodes := p.Nodes(g)
+	if len(nodes) != 3 || nodes[0] != 0 || nodes[2] != 2 {
+		t.Errorf("nodes = %v", nodes)
+	}
+	if p.MinCapacity(g) != 10 {
+		t.Errorf("min capacity = %v", p.MinCapacity(g))
+	}
+}
+
+func TestShortestPathPrefersLowLatency(t *testing.T) {
+	g := MustNewGraph([]string{"a", "b", "c"})
+	// Direct a->c at 20ms, detour a->b->c at 5+5=10ms.
+	mustLink(t, g, 0, 2, 10, 20)
+	mustLink(t, g, 0, 1, 10, 5)
+	mustLink(t, g, 1, 2, 10, 5)
+	p, ok := g.ShortestPath(0, 2)
+	if !ok || p.Latency != 10 {
+		t.Errorf("latency = %v, want 10 via detour", p.Latency)
+	}
+	if len(p.LinkIdx) != 2 {
+		t.Errorf("path = %v", p.LinkIdx)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := MustNewGraph([]string{"a", "b", "c"})
+	mustLink(t, g, 0, 1, 10, 5)
+	if _, ok := g.ShortestPath(0, 2); ok {
+		t.Error("found path to disconnected node")
+	}
+	// Directed: reverse direction unreachable too.
+	if _, ok := g.ShortestPath(1, 0); ok {
+		t.Error("directed link traversed backwards")
+	}
+}
+
+func TestKShortestPaths(t *testing.T) {
+	// Diamond: a->b->d (5+5), a->c->d (7+7), a->d direct (30).
+	g := MustNewGraph([]string{"a", "b", "c", "d"})
+	mustLink(t, g, 0, 1, 10, 5)
+	mustLink(t, g, 1, 3, 10, 5)
+	mustLink(t, g, 0, 2, 10, 7)
+	mustLink(t, g, 2, 3, 10, 7)
+	mustLink(t, g, 0, 3, 10, 30)
+	paths := g.KShortestPaths(0, 3, 5)
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	wantLat := []float64{10, 14, 30}
+	for i, p := range paths {
+		if p.Latency != wantLat[i] {
+			t.Errorf("path %d latency = %v, want %v", i, p.Latency, wantLat[i])
+		}
+	}
+	// k smaller than available.
+	if got := g.KShortestPaths(0, 3, 2); len(got) != 2 {
+		t.Errorf("k=2 returned %d", len(got))
+	}
+	if got := g.KShortestPaths(0, 3, 0); got != nil {
+		t.Error("k=0 returned paths")
+	}
+}
+
+func TestKShortestPathsLoopFree(t *testing.T) {
+	g := Abilene()
+	src, _ := g.NodeID("Seattle")
+	dst, _ := g.NodeID("NewYork")
+	paths := g.KShortestPaths(src, dst, 6)
+	if len(paths) < 3 {
+		t.Fatalf("only %d Seattle->NewYork paths", len(paths))
+	}
+	for pi, p := range paths {
+		nodes := p.Nodes(g)
+		seen := map[int]bool{}
+		for _, n := range nodes {
+			if seen[n] {
+				t.Errorf("path %d revisits node %s: %v", pi, g.NodeName(n), nodes)
+			}
+			seen[n] = true
+		}
+		if nodes[0] != src || nodes[len(nodes)-1] != dst {
+			t.Errorf("path %d endpoints wrong: %v", pi, nodes)
+		}
+		// Latencies consistent with link data.
+		var lat float64
+		for _, li := range p.LinkIdx {
+			lat += g.Link(li).Latency
+		}
+		if math.Abs(lat-p.Latency) > 1e-9 {
+			t.Errorf("path %d latency %v != sum %v", pi, p.Latency, lat)
+		}
+	}
+	// Non-decreasing latencies.
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Latency < paths[i-1].Latency {
+			t.Errorf("paths not sorted: %v after %v", paths[i].Latency, paths[i-1].Latency)
+		}
+	}
+	// All distinct.
+	for i := range paths {
+		for j := i + 1; j < len(paths); j++ {
+			if equalInts(paths[i].LinkIdx, paths[j].LinkIdx) {
+				t.Error("duplicate paths")
+			}
+		}
+	}
+}
+
+func TestAbileneShape(t *testing.T) {
+	g := Abilene()
+	if g.NumNodes() != 11 {
+		t.Errorf("Abilene nodes = %d", g.NumNodes())
+	}
+	if g.NumLinks() != 28 { // 14 bidirectional pairs
+		t.Errorf("Abilene links = %d", g.NumLinks())
+	}
+	// Fully connected.
+	for s := 0; s < g.NumNodes(); s++ {
+		for d := 0; d < g.NumNodes(); d++ {
+			if s == d {
+				continue
+			}
+			if _, ok := g.ShortestPath(s, d); !ok {
+				t.Fatalf("Abilene not connected: %s -> %s", g.NodeName(s), g.NodeName(d))
+			}
+		}
+	}
+}
+
+func TestB4LikeShape(t *testing.T) {
+	g := B4Like()
+	if g.NumNodes() != 12 {
+		t.Errorf("B4 nodes = %d", g.NumNodes())
+	}
+	for s := 0; s < g.NumNodes(); s++ {
+		for d := 0; d < g.NumNodes(); d++ {
+			if s == d {
+				continue
+			}
+			if _, ok := g.ShortestPath(s, d); !ok {
+				t.Fatalf("B4 not connected: %s -> %s", g.NodeName(s), g.NodeName(d))
+			}
+		}
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(15)
+		g := Random(n, 3, 5, 20, rng)
+		if g.NumNodes() != n {
+			t.Fatalf("nodes = %d, want %d", g.NumNodes(), n)
+		}
+		for d := 1; d < n; d++ {
+			if _, ok := g.ShortestPath(0, d); !ok {
+				t.Fatalf("random graph disconnected (n=%d, trial %d)", n, trial)
+			}
+		}
+		for _, l := range g.Links() {
+			if l.Capacity < 5 || l.Capacity > 20 {
+				t.Errorf("capacity %v outside [5,20]", l.Capacity)
+			}
+			if l.Latency < 1 || l.Latency > 30 {
+				t.Errorf("latency %v outside [1,30]", l.Latency)
+			}
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(10, 3, 5, 20, rand.New(rand.NewSource(9)))
+	b := Random(10, 3, 5, 20, rand.New(rand.NewSource(9)))
+	la, lb := a.Links(), b.Links()
+	if len(la) != len(lb) {
+		t.Fatal("same seed, different link counts")
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("same seed, different links")
+		}
+	}
+}
+
+func TestFormatPath(t *testing.T) {
+	g := line3(t)
+	p, _ := g.ShortestPath(0, 2)
+	s := g.FormatPath(p)
+	if !strings.Contains(s, "a→b→c") || !strings.Contains(s, "12.0ms") {
+		t.Errorf("FormatPath = %q", s)
+	}
+}
+
+func mustLink(t *testing.T, g *Graph, from, to int, capacity, latency float64) {
+	t.Helper()
+	if _, err := g.AddLink(from, to, capacity, latency); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package viz renders objective functions and preference data for
+// terminals: ASCII heatmaps of two-metric objectives (so an architect
+// can eyeball what the synthesizer learned) and comparison maps between
+// two objectives (where do they rank scenarios differently?).
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"compsynth/internal/scenario"
+	"compsynth/internal/sketch"
+)
+
+// shades orders the heatmap glyphs from lowest to highest value.
+const shades = " .:-=+*#%@"
+
+// Heatmap renders f over the first two metrics of the space as an
+// ASCII grid of width x height cells. The first metric runs along the
+// X axis (left → right, low → high), the second along the Y axis
+// (bottom → top, low → high, like a plot). Values are normalized to
+// the observed min/max.
+func Heatmap(f func(scenario.Scenario) float64, space *scenario.Space, width, height int) string {
+	if width < 2 || height < 2 {
+		width, height = 40, 16
+	}
+	if space.Dim() < 2 {
+		return "viz: heatmap needs a 2-metric space\n"
+	}
+	ranges := space.Ranges()
+	xr, yr := ranges[0], ranges[1]
+
+	vals := make([][]float64, height)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for row := 0; row < height; row++ {
+		vals[row] = make([]float64, width)
+		for col := 0; col < width; col++ {
+			x := xr.Lo + xr.Width()*float64(col)/float64(width-1)
+			// Row 0 is the top of the plot = highest Y.
+			y := yr.Lo + yr.Width()*float64(height-1-row)/float64(height-1)
+			v := f(scenario.Scenario{x, y})
+			vals[row][col] = v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+
+	names := space.Names()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s ↑  (shade: low %q → high %q over [%.3g, %.3g])\n",
+		names[1], shades[0], shades[len(shades)-1], lo, hi)
+	span := hi - lo
+	for row := 0; row < height; row++ {
+		y := yr.Lo + yr.Width()*float64(height-1-row)/float64(height-1)
+		fmt.Fprintf(&b, "%8.3g |", y)
+		for col := 0; col < width; col++ {
+			idx := 0
+			if span > 0 {
+				idx = int((vals[row][col] - lo) / span * float64(len(shades)-1))
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*.3g%*.3g  → %s\n", "", width/2, xr.Lo, width-width/2, xr.Hi, names[0])
+	return b.String()
+}
+
+// CandidateHeatmap renders a synthesized candidate over its sketch's
+// metric space.
+func CandidateHeatmap(c *sketch.Candidate, width, height int) string {
+	return Heatmap(c.Eval, c.Sketch().Space(), width, height)
+}
+
+// DisagreementMap renders where two objectives order scenario pairs
+// differently: each cell compares the scenario at that cell against the
+// space's midpoint scenario; cells where a and b disagree about that
+// comparison are marked 'X', agreements '·'. It gives a quick visual of
+// the behavioral difference between a learned objective and a reference.
+func DisagreementMap(a, b func(scenario.Scenario) float64, space *scenario.Space, width, height int) string {
+	if width < 2 || height < 2 {
+		width, height = 40, 16
+	}
+	if space.Dim() < 2 {
+		return "viz: disagreement map needs a 2-metric space\n"
+	}
+	ranges := space.Ranges()
+	xr, yr := ranges[0], ranges[1]
+	mid := make(scenario.Scenario, space.Dim())
+	for i, r := range ranges {
+		mid[i] = r.Lo + r.Width()/2
+	}
+	aMid, bMid := a(mid), b(mid)
+
+	var disagreements int
+	var bbuf strings.Builder
+	names := space.Names()
+	fmt.Fprintf(&bbuf, "disagreement vs midpoint %s ('X' = objectives order the pair differently)\n",
+		space.Format(mid))
+	for row := 0; row < height; row++ {
+		y := yr.Lo + yr.Width()*float64(height-1-row)/float64(height-1)
+		fmt.Fprintf(&bbuf, "%8.3g |", y)
+		for col := 0; col < width; col++ {
+			x := xr.Lo + xr.Width()*float64(col)/float64(width-1)
+			s := scenario.Scenario{x, y}
+			da := a(s) - aMid
+			db := b(s) - bMid
+			if da*db < 0 {
+				bbuf.WriteByte('X')
+				disagreements++
+			} else {
+				bbuf.WriteString("·")
+			}
+		}
+		bbuf.WriteByte('\n')
+	}
+	fmt.Fprintf(&bbuf, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&bbuf, "%8s  %s → ;  disagreement cells: %d / %d\n",
+		"", names[0], disagreements, width*height)
+	return bbuf.String()
+}

@@ -1,0 +1,94 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"compsynth/internal/scenario"
+	"compsynth/internal/sketch"
+)
+
+func TestHeatmapShape(t *testing.T) {
+	sp := scenario.SWANSpace()
+	f := func(s scenario.Scenario) float64 { return s[0] - s[1] }
+	out := Heatmap(f, sp, 30, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + 10 rows + axis + label = 13 lines.
+	if len(lines) != 13 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "latency") {
+		t.Errorf("header missing Y metric: %q", lines[0])
+	}
+	if !strings.Contains(out, "throughput") {
+		t.Error("X metric label missing")
+	}
+	// Monotone f: top-right (high tp, low lat is at bottom-right...)
+	// f = tp - lat is maximal at (10, 0): bottom-right cell must be the
+	// darkest shade, top-left the lightest.
+	rows := lines[1 : 1+10]
+	bottom := rows[len(rows)-1]
+	topLeftCell := rows[0][strings.Index(rows[0], "|")+1]
+	bottomRightCell := bottom[len(bottom)-1]
+	if bottomRightCell != '@' {
+		t.Errorf("max cell shade = %q, want '@'", bottomRightCell)
+	}
+	if topLeftCell == '@' {
+		t.Error("min region shaded as max")
+	}
+}
+
+func TestHeatmapConstantFunction(t *testing.T) {
+	sp := scenario.SWANSpace()
+	out := Heatmap(func(scenario.Scenario) float64 { return 7 }, sp, 20, 8)
+	// Constant function: all cells the lightest shade, no panic on
+	// zero span.
+	if strings.Contains(strings.SplitN(out, "\n", 2)[1], "@") {
+		t.Error("constant function produced dark cells")
+	}
+}
+
+func TestHeatmapDefaultsAndErrors(t *testing.T) {
+	sp := scenario.SWANSpace()
+	out := Heatmap(func(s scenario.Scenario) float64 { return s[0] }, sp, 0, 0)
+	if len(out) == 0 {
+		t.Error("default-size heatmap empty")
+	}
+	one := scenario.MustNewSpace([]string{"x"}, sp.Ranges()[:1])
+	if !strings.Contains(Heatmap(func(scenario.Scenario) float64 { return 0 }, one, 10, 10), "needs a 2-metric") {
+		t.Error("1D space not rejected")
+	}
+}
+
+func TestCandidateHeatmap(t *testing.T) {
+	sk := sketch.SWAN()
+	c, err := sketch.DefaultSWANTarget.Candidate(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := CandidateHeatmap(c, 40, 12)
+	// The satisfying region (low latency) must be visibly darker than
+	// the unsatisfying one: top rows (high latency) light, bottom rows
+	// (low latency) dark.
+	if !strings.Contains(out, "@") {
+		t.Errorf("no dark cells in SWAN heatmap:\n%s", out)
+	}
+}
+
+func TestDisagreementMap(t *testing.T) {
+	sp := scenario.SWANSpace()
+	f := func(s scenario.Scenario) float64 { return s[0] }
+	g := func(s scenario.Scenario) float64 { return -s[0] }
+	out := DisagreementMap(f, g, sp, 20, 8)
+	if !strings.Contains(out, "X") {
+		t.Errorf("opposite objectives show no disagreement:\n%s", out)
+	}
+	same := DisagreementMap(f, f, sp, 20, 8)
+	if strings.Contains(strings.SplitN(same, "\n", 2)[1], "X") {
+		t.Errorf("identical objectives disagree:\n%s", same)
+	}
+	one := scenario.MustNewSpace([]string{"x"}, sp.Ranges()[:1])
+	if !strings.Contains(DisagreementMap(f, g, one, 5, 5), "needs a 2-metric") {
+		t.Error("1D space not rejected")
+	}
+}
