@@ -5,7 +5,10 @@ GO ?= go
 
 .PHONY: all build test test-short race cover bench experiments examples fmt vet clean
 
-all: build test
+# Tier-1 verification: build, vet, the full test suite, and the race
+# detector over the packages with real concurrency (parallel solver
+# workers, the sketch specialization cache).
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -17,7 +20,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/solver/ ./internal/core/
+	$(GO) test -race ./internal/sketch/ ./internal/solver/ ./internal/core/
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"compsynth/internal/oracle"
@@ -218,6 +219,16 @@ type Synthesizer struct {
 	rng   *rand.Rand
 	graph *prefgraph.Graph
 	store *scenario.Store
+	// sys is the compiled constraint system, built incrementally as
+	// preference edges are recorded: each new edge costs one fused
+	// difference-program compile (over cached per-scenario
+	// specializations) instead of re-deriving the whole problem every
+	// iteration. sysEdges parallels its constraint order and always
+	// matches prefgraph.Edges() — the order the reference problem()
+	// materialization would produce — which keeps transcripts
+	// bit-identical to the uncompiled path.
+	sys      *solver.System
+	sysEdges []prefgraph.Edge
 	// hints are warm-start hole vectors carried between iterations:
 	// witnesses found in earlier rounds anchor the solver in the
 	// remaining version space, which shrinks as constraints accumulate.
@@ -278,6 +289,7 @@ func New(cfg Config) (*Synthesizer, error) {
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		graph: prefgraph.New(),
 		store: scenario.NewStore(cfg.Sketch.Space(), tol),
+		sys:   solver.NewSystem(cfg.Sketch, cfg.Margin, cfg.Viable, cfg.Solver.Stats),
 	}, nil
 }
 
@@ -309,20 +321,19 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 		stat := IterationStat{Index: iter}
 
 		solveStart := time.Now()
-		problem, edges := s.problem()
-		wits, status := solver.FindDistinguishingMany(
-			problem, s.cfg.PairsPerIteration, s.solverOpts(0), s.cfg.Distinguish, s.rng)
+		wits, status := s.sys.FindDistinguishingMany(
+			s.cfg.PairsPerIteration, s.solverOpts(0), s.cfg.Distinguish, s.rng)
 		if status == solver.StatusUnknown {
 			// No consistent candidate found at the base budget. Escalate
 			// once: the version space may just be small.
-			wits, status = solver.FindDistinguishingMany(
-				problem, s.cfg.PairsPerIteration, s.solverOpts(2), s.cfg.Distinguish, s.rng)
+			wits, status = s.sys.FindDistinguishingMany(
+				s.cfg.PairsPerIteration, s.solverOpts(2), s.cfg.Distinguish, s.rng)
 		}
 		if status == solver.StatusUnknown {
 			// Still nothing: the preference constraints are numerically
 			// infeasible for this sketch (inconsistent answers that did
 			// not form a graph cycle). Relax per the noise policy.
-			dropped, relaxErr := s.relax(problem, edges)
+			dropped, relaxErr := s.relax()
 			if relaxErr != nil {
 				return nil, fmt.Errorf("%w (after %d iterations)", relaxErr, iter-1)
 			}
@@ -371,7 +382,9 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 			stat.Rejected += rejected
 		}
 		if s.cfg.TransitiveReduction {
-			s.graph.TransitiveReduction()
+			if s.graph.TransitiveReduction() > 0 {
+				s.rebuildSystem()
+			}
 		}
 		res.Stats = append(res.Stats, stat)
 		if s.cfg.OnIteration != nil {
@@ -431,7 +444,9 @@ func (s *Synthesizer) record(a, b scenario.Scenario, pref oracle.Preference) (ad
 		if band <= 0 {
 			band = s.cfg.Distinguish.Gamma
 		}
-		s.ties = append(s.ties, solver.Tie{A: a.Clone(), B: b.Clone(), Band: band})
+		tie := solver.Tie{A: a.Clone(), B: b.Clone(), Band: band}
+		s.ties = append(s.ties, tie)
+		s.sys.AddTie(tie)
 		return 1, 0, nil
 	}
 	better, worse := a, b
@@ -451,6 +466,7 @@ func (s *Synthesizer) record(a, b scenario.Scenario, pref oracle.Preference) (ad
 	}
 	addErr := s.graph.Add(bid, wid)
 	if addErr == nil {
+		s.insertEdge(prefgraph.Edge{Better: bid, Worse: wid})
 		return 1, 0, nil
 	}
 	var cyc prefgraph.ErrCycle
@@ -472,13 +488,62 @@ func (s *Synthesizer) record(a, b scenario.Scenario, pref oracle.Preference) (ad
 			}
 			return 0
 		})
+		s.rebuildSystem()
 		return 1, len(removed), nil
 	}
 	return 0, 0, fmt.Errorf("core: unknown noise policy %v", s.cfg.Noise)
 }
 
+// insertEdge mirrors a newly added graph edge into the compiled system.
+// sysEdges is kept in prefgraph.Edges() order (sorted by Better, then
+// Worse): constraint order is observable through the violation sum and
+// the satisfaction mask, so the incremental system must present edges
+// exactly as a fresh problem() materialization would.
+func (s *Synthesizer) insertEdge(e prefgraph.Edge) {
+	i := sort.Search(len(s.sysEdges), func(i int) bool {
+		if s.sysEdges[i].Better != e.Better {
+			return s.sysEdges[i].Better > e.Better
+		}
+		return s.sysEdges[i].Worse >= e.Worse
+	})
+	if i < len(s.sysEdges) && s.sysEdges[i] == e {
+		return // repeated answer; graph.Add was a no-op
+	}
+	// The system uses the store's interned representatives (not the raw
+	// answer scenarios): deduplication may have snapped the answer onto
+	// an earlier scenario within tolerance, and problem() resolves
+	// through the store too.
+	better, _ := s.store.Get(e.Better)
+	worse, _ := s.store.Get(e.Worse)
+	s.sysEdges = append(s.sysEdges, prefgraph.Edge{})
+	copy(s.sysEdges[i+1:], s.sysEdges[i:])
+	s.sysEdges[i] = e
+	s.sys.InsertPref(i, solver.Pref{Better: better, Worse: worse})
+}
+
+// rebuildSystem recompiles the system from the graph after a bulk
+// mutation (cycle repair, transitive reduction, transcript preload).
+// Per-scenario specializations come from the sketch's cache, so a
+// rebuild costs one fused difference compile per edge, not a full
+// re-specialization.
+func (s *Synthesizer) rebuildSystem() {
+	s.sys.Reset()
+	s.sysEdges = s.graph.Edges()
+	for _, e := range s.sysEdges {
+		better, _ := s.store.Get(e.Better)
+		worse, _ := s.store.Get(e.Worse)
+		s.sys.AddPref(solver.Pref{Better: better, Worse: worse})
+	}
+	for _, t := range s.ties {
+		s.sys.AddTie(t)
+	}
+}
+
 // problem materializes the current graph as solver constraints. The
-// returned edges parallel the constraint order.
+// returned edges parallel the constraint order. The synthesis loop
+// itself runs on the incrementally maintained sys instead; problem()
+// is the uncompiled reference materialization, kept for differential
+// tests asserting the two stay in lockstep.
 func (s *Synthesizer) problem() (solver.Problem, []prefgraph.Edge) {
 	edges := s.graph.Edges()
 	prefs := make([]solver.Pref, 0, len(edges))
@@ -498,20 +563,26 @@ func (s *Synthesizer) problem() (solver.Problem, []prefgraph.Edge) {
 
 // relax drops the preference edges violated by the best point the
 // solver can reach, restoring numeric feasibility after inconsistent
-// answers. NoiseFail forbids relaxation.
-func (s *Synthesizer) relax(p solver.Problem, edges []prefgraph.Edge) (int, error) {
+// answers. NoiseFail forbids relaxation. The satisfaction mask is
+// parallel to the system's constraint order, which sysEdges mirrors, so
+// mask index i names edge sysEdges[i]; removal runs highest-index-first
+// to keep the remaining indices valid.
+func (s *Synthesizer) relax() (int, error) {
 	if s.cfg.Noise == NoiseFail {
 		return 0, ErrInconsistent
 	}
-	if len(edges) == 0 {
+	if len(s.sysEdges) == 0 {
 		return 0, ErrNoCandidate
 	}
-	best, loss, satisfied := solver.BestEffort(p, s.solverOpts(2), s.rng)
+	best, loss, satisfied := s.sys.BestEffort(s.solverOpts(2), s.rng)
 	dropped := 0
-	for i, ok := range satisfied {
-		if !ok {
-			if s.graph.Remove(edges[i].Better, edges[i].Worse) {
+	for i := len(satisfied) - 1; i >= 0; i-- {
+		if !satisfied[i] {
+			e := s.sysEdges[i]
+			if s.graph.Remove(e.Better, e.Worse) {
 				dropped++
+				s.sys.RemovePref(i)
+				s.sysEdges = append(s.sysEdges[:i], s.sysEdges[i+1:]...)
 			}
 		}
 	}
@@ -530,10 +601,9 @@ func (s *Synthesizer) relax(p solver.Problem, edges []prefgraph.Edge) (int, erro
 func (s *Synthesizer) finish(res *Result) (*Result, error) {
 	res.Ties = append([]solver.Tie(nil), s.ties...)
 	start := time.Now()
-	p, _ := s.problem()
-	holes, status := solver.FindCandidate(p, s.solverOpts(0), s.rng)
+	holes, status := s.sys.FindCandidate(s.solverOpts(0), s.rng)
 	if status != solver.StatusSat {
-		holes, status = solver.FindCandidate(p, s.solverOpts(2), s.rng)
+		holes, status = s.sys.FindCandidate(s.solverOpts(2), s.rng)
 	}
 	res.TotalSynthTime += time.Since(start)
 	if status != solver.StatusSat {

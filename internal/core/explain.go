@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"compsynth/internal/interval"
-	"compsynth/internal/solver"
 )
 
 // HoleEstimate summarizes what the session learned about one hole: the
@@ -34,8 +33,7 @@ func (s *Synthesizer) Explain(samples int, rng *rand.Rand) ([]HoleEstimate, erro
 	if samples < 2 {
 		samples = 16
 	}
-	p, _ := s.problem()
-	cands := solver.FindDiverse(p, samples, s.solverOpts(0), rng)
+	cands := s.sys.FindDiverse(samples, s.solverOpts(0), rng)
 	if len(cands) == 0 {
 		return nil, ErrNoCandidate
 	}

@@ -1,0 +1,164 @@
+package core_test
+
+// Determinism regression tests: a synthesis session with a fixed seed
+// and a fixed worker count must produce a bit-identical transcript
+// across refactors of the evaluation pipeline. The golden files were
+// generated with the pre-compilation (map/AST-walking) solver path and
+// pin the exact behavior the compiled constraint system must preserve.
+//
+// Regenerate (only when an intentional behavior change is made) with:
+//
+//	go test ./internal/core/ -run TestGoldenTranscript -update-golden
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compsynth/internal/core"
+	"compsynth/internal/oracle"
+	"compsynth/internal/sketch"
+	"compsynth/internal/solver"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden transcript files")
+
+// goldenCases enumerates the pinned configurations. Both sequential and
+// parallel (Workers > 1) solver paths are covered: the parallel merge is
+// documented to be deterministic per (seed, Workers), so its transcript
+// must be stable too.
+func goldenCases() []struct {
+	name string
+	cfg  core.Config
+} {
+	fastSolver := func(workers int) solver.Options {
+		opts := solver.DefaultOptions()
+		opts.Samples = 150
+		opts.RepairRestarts = 5
+		opts.RepairSteps = 60
+		opts.Workers = workers
+		return opts
+	}
+	fastDistinguish := func() solver.DistinguishOptions {
+		dopts := solver.DefaultDistinguishOptions()
+		dopts.Candidates = 6
+		dopts.PairSamples = 250
+		dopts.Gamma = 2
+		return dopts
+	}
+	target := func(t sketch.SWANTargetParams) *sketch.Candidate {
+		cand, err := t.Candidate(sketch.SWAN())
+		if err != nil {
+			panic(err)
+		}
+		return cand
+	}
+	return []struct {
+		name string
+		cfg  core.Config
+	}{
+		{
+			name: "default-seq",
+			cfg: core.Config{
+				Sketch:      sketch.SWAN(),
+				Oracle:      oracle.NewGroundTruth(target(sketch.DefaultSWANTarget), 1e-9),
+				Solver:      fastSolver(1),
+				Distinguish: fastDistinguish(),
+				Seed:        11,
+			},
+		},
+		{
+			name: "parallel-w3",
+			cfg: core.Config{
+				Sketch:      sketch.SWAN(),
+				Oracle:      oracle.NewGroundTruth(target(sketch.DefaultSWANTarget), 1e-9),
+				Solver:      fastSolver(3),
+				Distinguish: fastDistinguish(),
+				Seed:        12,
+			},
+		},
+		{
+			name: "pairs2-seq",
+			cfg: core.Config{
+				Sketch:            sketch.SWAN(),
+				Oracle:            oracle.NewGroundTruth(target(sketch.SWANTargetParams{TpThrsh: 4, LThrsh: 80, Slope1: 2, Slope2: 6}), 1e-9),
+				Solver:            fastSolver(1),
+				Distinguish:       fastDistinguish(),
+				PairsPerIteration: 2,
+				Seed:              13,
+			},
+		},
+	}
+}
+
+func TestGoldenTranscript(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden synthesis runs are not -short friendly")
+	}
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			synth, err := core.New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := synth.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if _, err := core.Export(res).WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden_"+tc.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, buf.Len())
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update-golden): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("transcript for %s diverged from golden file %s\n"+
+					"the synthesis pipeline is no longer bit-deterministic for fixed seeds;\n"+
+					"got %d bytes, want %d bytes", tc.name, path, buf.Len(), len(want))
+			}
+		})
+	}
+}
+
+// TestGoldenRerunStable guards the guard: two in-process runs of the
+// same config must already agree, independent of the golden files.
+func TestGoldenRerunStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden synthesis runs are not -short friendly")
+	}
+	tc := goldenCases()[1] // the parallel case, where nondeterminism would hide
+	run := func() []byte {
+		synth, err := core.New(tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := synth.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := core.Export(res).WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Error("same config + seed produced different transcripts in one process")
+	}
+}

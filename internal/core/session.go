@@ -157,6 +157,9 @@ func (s *Synthesizer) Preload(t *Transcript) error {
 	if len(t.Final) == len(sk.Holes()) {
 		s.addHints(t.Final)
 	}
+	// Edges and ties were bulk-loaded into the graph; compile them into
+	// the incremental system in one pass.
+	s.rebuildSystem()
 	s.preloaded = true
 	return nil
 }

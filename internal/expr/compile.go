@@ -2,6 +2,7 @@ package expr
 
 import (
 	"fmt"
+	"math"
 
 	"compsynth/internal/interval"
 )
@@ -17,6 +18,7 @@ type Program struct {
 	hole   map[string]int
 	fn     compiledNum
 	ifn    compiledNumIv
+	tp     *tape
 }
 
 type compiledNum func(vars, holes []float64) float64
@@ -57,6 +59,11 @@ func Compile(e Expr, vars, holes []string) (*Program, error) {
 	}
 	p.fn = fn
 	p.ifn = ifn
+	// Point evaluation prefers the flat instruction tape; the closure
+	// tree remains as the fallback for expressions too deep for the
+	// tape's fixed stacks. Both engines are bit-identical (the
+	// differential fuzz test in fuzz_test.go holds them to that).
+	p.tp, _ = newTape(e, p.varIdx, p.hole)
 	return p, nil
 }
 
@@ -88,6 +95,9 @@ func (p *Program) NumVars() int { return len(p.vars) }
 // Eval evaluates the program. vars and holes are positional per the
 // orderings given to Compile.
 func (p *Program) Eval(vars, holes []float64) float64 {
+	if p.tp != nil {
+		return p.tp.eval(vars, holes)
+	}
 	return p.fn(vars, holes)
 }
 
@@ -132,21 +142,11 @@ func (p *Program) compileNum(e Expr) (compiledNum, error) {
 		case OpDiv:
 			return func(v, h []float64) float64 { return l(v, h) / r(v, h) }, nil
 		case OpMin:
-			return func(v, h []float64) float64 {
-				a, b := l(v, h), r(v, h)
-				if a < b {
-					return a
-				}
-				return b
-			}, nil
+			// math.Min (not a<b) so NaN and -0 handling matches the tree
+			// walker's applyBin and the tape exactly.
+			return func(v, h []float64) float64 { return math.Min(l(v, h), r(v, h)) }, nil
 		case OpMax:
-			return func(v, h []float64) float64 {
-				a, b := l(v, h), r(v, h)
-				if a > b {
-					return a
-				}
-				return b
-			}, nil
+			return func(v, h []float64) float64 { return math.Max(l(v, h), r(v, h)) }, nil
 		}
 		return nil, fmt.Errorf("expr: unknown binop %v", n.Op)
 	case Neg:
@@ -160,13 +160,7 @@ func (p *Program) compileNum(e Expr) (compiledNum, error) {
 		if err != nil {
 			return nil, err
 		}
-		return func(v, h []float64) float64 {
-			a := x(v, h)
-			if a < 0 {
-				return -a
-			}
-			return a
-		}, nil
+		return func(v, h []float64) float64 { return math.Abs(x(v, h)) }, nil
 	case If:
 		c, err := p.compileBool(n.Cond)
 		if err != nil {

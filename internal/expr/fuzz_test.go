@@ -1,8 +1,11 @@
 package expr
 
 import (
+	"math"
 	"strings"
 	"testing"
+
+	"compsynth/internal/interval"
 )
 
 // FuzzParse checks that the parser never panics and that everything it
@@ -44,6 +47,221 @@ func FuzzParse(f *testing.F) {
 			if _, err := Parse(str); err != nil {
 				t.Fatalf("simplified form %q unparseable: %v", str, err)
 			}
+		}
+	})
+}
+
+// Differential fuzzing of the evaluation engines. A fuzz input is
+// decoded into a random expression plus environments, and every engine
+// must agree:
+//
+//   - tree-walking Eval, the closure compiler, and the instruction tape
+//     must be bit-identical (same ops in the same order);
+//   - Partial with all variables substituted must match the original up
+//     to the sign of zero (identity folds like x+0 may drop the
+//     operation that would normalize -0 to +0), under both point and
+//     interval evaluation.
+//
+// This is the contract that lets the solver evaluate pre-specialized
+// programs in its hot path without perturbing synthesis transcripts.
+
+var (
+	fuzzVars   = []string{"x", "y", "z"}
+	fuzzHoles  = []string{"a", "b"}
+	fuzzConsts = []float64{0, 1, -1, 2, 0.5, -3.25, 100, 1e9, -1e-3, math.Inf(1), math.Inf(-1)}
+)
+
+// byteSrc doles out fuzz bytes; exhausted inputs read as zero, which
+// steers the generator toward leaves so every input terminates.
+type byteSrc struct {
+	data []byte
+	pos  int
+}
+
+func (s *byteSrc) next() byte {
+	if s.pos >= len(s.data) {
+		return 0
+	}
+	b := s.data[s.pos]
+	s.pos++
+	return b
+}
+
+func (s *byteSrc) pick() float64 { return fuzzConsts[int(s.next())%len(fuzzConsts)] }
+
+func genExpr(s *byteSrc, depth int) Expr {
+	b := s.next()
+	if depth <= 0 {
+		b %= 3
+	}
+	switch b % 8 {
+	case 0:
+		return Const{Value: s.pick()}
+	case 1:
+		return Var{Name: fuzzVars[int(s.next())%len(fuzzVars)]}
+	case 2:
+		return Hole{Name: fuzzHoles[int(s.next())%len(fuzzHoles)]}
+	case 3, 4:
+		op := BinOp(int(s.next()) % 6)
+		return Bin{Op: op, L: genExpr(s, depth-1), R: genExpr(s, depth-1)}
+	case 5:
+		return Neg{X: genExpr(s, depth-1)}
+	case 6:
+		return Abs{X: genExpr(s, depth-1)}
+	default:
+		return If{Cond: genBool(s, depth-1), Then: genExpr(s, depth-1), Else: genExpr(s, depth-1)}
+	}
+}
+
+func genBool(s *byteSrc, depth int) BoolExpr {
+	b := s.next()
+	if depth <= 0 {
+		return BoolConst{Value: b%2 == 0}
+	}
+	switch b % 6 {
+	case 0:
+		return BoolConst{Value: s.next()%2 == 0}
+	case 1, 2:
+		op := CmpOp(int(s.next()) % 5)
+		return Cmp{Op: op, L: genExpr(s, depth-1), R: genExpr(s, depth-1)}
+	case 3:
+		return BoolBin{Op: OpAnd, L: genBool(s, depth-1), R: genBool(s, depth-1)}
+	case 4:
+		return BoolBin{Op: OpOr, L: genBool(s, depth-1), R: genBool(s, depth-1)}
+	default:
+		return Not{X: genBool(s, depth-1)}
+	}
+}
+
+// eqBits is exact equality: same bits, or both NaN (payloads may differ
+// across math.Min and friends).
+func eqBits(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// eqNum is numeric equality: NaN matches NaN and -0 matches +0 (the
+// sign of zero is unobservable through comparisons, so identity folds
+// are allowed to change it).
+func eqNum(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}
+
+func eqInterval(a, b interval.Interval) bool {
+	if a.IsEmpty() || b.IsEmpty() {
+		return a.IsEmpty() && b.IsEmpty()
+	}
+	return eqNum(a.Lo, b.Lo) && eqNum(a.Hi, b.Hi)
+}
+
+func FuzzDifferentialEval(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 0, 3, 3, 2, 0, 2, 1})           // a - b style
+	f.Add([]byte{7, 1, 3, 1, 0, 0, 9, 3, 2, 2, 0, 1, 2}) // if with cmp
+	f.Add([]byte{3, 3, 0, 9, 1, 0, 3, 5, 0, 10, 2, 1})   // Inf arithmetic
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := &byteSrc{data: data}
+		e := genExpr(s, 5)
+
+		varVals := map[string]float64{}
+		varSlice := make([]float64, len(fuzzVars))
+		for i, name := range fuzzVars {
+			v := s.pick()
+			varVals[name] = v
+			varSlice[i] = v
+		}
+		holeVals := map[string]float64{}
+		holeSlice := make([]float64, len(fuzzHoles))
+		for i, name := range fuzzHoles {
+			v := s.pick()
+			holeVals[name] = v
+			holeSlice[i] = v
+		}
+
+		prog, err := Compile(e, fuzzVars, fuzzHoles)
+		if err != nil {
+			t.Fatalf("compile %s: %v", e, err)
+		}
+		want, err := Eval(e, Env{Vars: varVals, Holes: holeVals})
+		if err != nil {
+			t.Fatalf("eval %s: %v", e, err)
+		}
+
+		// Engine agreement on the original expression: closures and the
+		// tape must reproduce the tree walker bit for bit.
+		if got := prog.fn(varSlice, holeSlice); !eqBits(got, want) {
+			t.Errorf("closure eval of %s = %v, tree = %v", e, got, want)
+		}
+		if prog.tp == nil {
+			t.Fatalf("depth-5 expression rejected by tape compiler: %s", e)
+		}
+		if got := prog.tp.eval(varSlice, holeSlice); !eqBits(got, want) {
+			t.Errorf("tape eval of %s = %v, tree = %v", e, got, want)
+		}
+
+		// Partial with every variable bound must leave a hole-only
+		// expression that evaluates identically.
+		pe := Partial(e, varVals)
+		if vs := Vars(pe); len(vs) != 0 {
+			t.Fatalf("Partial(%s) kept variables %v", e, vs)
+		}
+		pv, err := Eval(pe, Env{Holes: holeVals})
+		if err != nil {
+			t.Fatalf("eval partial %s: %v", pe, err)
+		}
+		if !eqNum(pv, want) {
+			t.Errorf("Partial(%s) evaluates to %v, original %v", e, pv, want)
+		}
+		pprog, err := Compile(pe, nil, fuzzHoles)
+		if err != nil {
+			t.Fatalf("compile partial %s: %v", pe, err)
+		}
+		if got := pprog.Eval(nil, holeSlice); !eqNum(got, want) {
+			t.Errorf("compiled Partial(%s) = %v, original %v", e, got, want)
+		}
+
+		// Interval agreement: concrete (point) variables, boxed holes —
+		// exactly the shape branch-and-prune evaluates. The palette has
+		// no NaN, so interval.Point never panics here.
+		varIvs := map[string]interval.Interval{}
+		varIvSlice := make([]interval.Interval, len(fuzzVars))
+		for i, name := range fuzzVars {
+			iv := interval.Point(varVals[name])
+			varIvs[name] = iv
+			varIvSlice[i] = iv
+		}
+		holeIvs := map[string]interval.Interval{}
+		holeIvSlice := make([]interval.Interval, len(fuzzHoles))
+		for i, name := range fuzzHoles {
+			lo, hi := s.pick(), s.pick()
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			iv := interval.New(lo, hi)
+			holeIvs[name] = iv
+			holeIvSlice[i] = iv
+		}
+		wantIv, err := EvalInterval(e, IntervalEnv{Vars: varIvs, Holes: holeIvs})
+		if err != nil {
+			t.Fatalf("interval eval %s: %v", e, err)
+		}
+		if got := prog.EvalInterval(varIvSlice, holeIvSlice); !eqInterval(got, wantIv) {
+			t.Errorf("compiled interval eval of %s = %v, tree = %v", e, got, wantIv)
+		}
+		piv, err := EvalInterval(pe, IntervalEnv{Holes: holeIvs})
+		if err != nil {
+			t.Fatalf("interval eval partial %s: %v", pe, err)
+		}
+		if !eqInterval(piv, wantIv) {
+			t.Errorf("interval Partial(%s) = %v, original %v", e, piv, wantIv)
+		}
+		if got := pprog.EvalInterval(nil, holeIvSlice); !eqInterval(got, wantIv) {
+			t.Errorf("compiled interval Partial(%s) = %v, original %v", e, got, wantIv)
 		}
 	})
 }

@@ -1,0 +1,180 @@
+package expr
+
+import "math"
+
+// Partial evaluation: substitute concrete scenario variables into an
+// expression and fold what becomes constant, yielding a hole-only
+// expression. This is the first stage of the compiled constraint
+// pipeline (see DESIGN.md "Evaluation pipeline"): the solver evaluates
+// each preference constraint thousands of times at the *same* scenario
+// with *different* hole vectors, so the scenario-dependent part of the
+// expression is computed once here instead of on every call.
+//
+// Unlike Simplify, every rewrite applied here is bit-exact: for any
+// hole assignment, evaluating the partial-evaluated expression yields
+// the same float64 (and the same interval, under interval evaluation)
+// as evaluating the original with the variables bound — including all
+// Inf and NaN propagation. Simplify's remaining rules (x*0 → 0,
+// if c then a else a → a, constant-divisor folding) are deliberately
+// NOT reused because they can change results in non-finite corner
+// cases: 0*Inf is NaN pointwise but 0 under Simplify's rule, and
+// folding a/b to a single constant changes the interval result, which
+// computes a·(1/b) rather than a/b. Bit-exactness is what lets the
+// solver swap the specialized programs into its hot path while keeping
+// synthesis transcripts identical for fixed seeds.
+//
+// The exact rules applied, all sharing Simplify's constant-folding
+// arithmetic (applyBin/applyCmp in eval.go):
+//
+//   - Var substitution per the vars map (missing vars are left intact);
+//   - const ∘ const folding for +, -, *, min, max when the result is
+//     not NaN (division is structurally preserved, see above);
+//   - the exact identities x+(-0), (-0)+x, x-(+0), x*1, 1*x, x/1
+//     (adding +0 or subtracting -0 is NOT an identity — it flips -0
+//     to +0, which 1/x observes);
+//   - const comparisons and decided boolean connectives
+//     (true&&b → b, false&&b → false, ...);
+//   - if-branch selection when the condition folds to a constant.
+
+// Partial returns e with the given variables substituted and constants
+// folded. The result is semantically identical to the original under
+// both point and interval evaluation (see the package comment above);
+// if vars covers every variable of e, the result mentions only holes.
+func Partial(e Expr, vars map[string]float64) Expr {
+	switch n := e.(type) {
+	case Var:
+		if v, ok := vars[n.Name]; ok {
+			return Const{Value: v}
+		}
+		return n
+	case Bin:
+		return foldBin(n.Op, Partial(n.L, vars), Partial(n.R, vars))
+	case Neg:
+		x := Partial(n.X, vars)
+		if c, ok := x.(Const); ok {
+			return Const{Value: -c.Value}
+		}
+		return Neg{X: x}
+	case Abs:
+		x := Partial(n.X, vars)
+		if c, ok := x.(Const); ok {
+			return Const{Value: math.Abs(c.Value)}
+		}
+		return Abs{X: x}
+	case If:
+		cond := PartialBool(n.Cond, vars)
+		thenE := Partial(n.Then, vars)
+		elseE := Partial(n.Else, vars)
+		if c, ok := cond.(BoolConst); ok {
+			if c.Value {
+				return thenE
+			}
+			return elseE
+		}
+		return If{Cond: cond, Then: thenE, Else: elseE}
+	default: // Const, Hole
+		return e
+	}
+}
+
+// PartialBool is Partial for boolean expressions.
+func PartialBool(b BoolExpr, vars map[string]float64) BoolExpr {
+	switch n := b.(type) {
+	case Cmp:
+		l := Partial(n.L, vars)
+		r := Partial(n.R, vars)
+		if lc, ok := l.(Const); ok {
+			if rc, ok := r.(Const); ok && !math.IsNaN(lc.Value) && !math.IsNaN(rc.Value) {
+				// Exact under intervals too: for non-NaN points,
+				// cmpInterval always decides and agrees with applyCmp.
+				return BoolConst{Value: applyCmp(n.Op, lc.Value, rc.Value)}
+			}
+		}
+		return Cmp{Op: n.Op, L: l, R: r}
+	case BoolBin:
+		return foldBoolBin(n.Op, PartialBool(n.L, vars), PartialBool(n.R, vars))
+	case Not:
+		x := PartialBool(n.X, vars)
+		if c, ok := x.(BoolConst); ok {
+			return BoolConst{Value: !c.Value}
+		}
+		return Not{X: x}
+	default: // BoolConst
+		return b
+	}
+}
+
+// foldBin applies the bit-exact numeric folds for l ∘ r.
+func foldBin(op BinOp, l, r Expr) Expr {
+	lc, lok := l.(Const)
+	rc, rok := r.(Const)
+	if lok && rok && op != OpDiv {
+		// Interval evaluation of Const nodes uses interval.Point, which
+		// panics on NaN, and interval Mul treats 0·Inf as 0 — so fold
+		// only when the pointwise result is NaN-free. Division is never
+		// folded: interval division computes a·(1/b), which differs
+		// from a/b by an ulp for most operands.
+		if v := applyBin(op, lc.Value, rc.Value); !math.IsNaN(v) {
+			return Const{Value: v}
+		}
+		return Bin{Op: op, L: l, R: r}
+	}
+	switch op {
+	case OpAdd:
+		// Only adding NEGATIVE zero is an identity: x + (-0) == x and
+		// (-0) + x == x for every x, but x + (+0) flips -0 to +0, which
+		// division observes (0.5/-0 = -Inf, 0.5/+0 = +Inf). Dually,
+		// subtracting POSITIVE zero is the exact one: x - (+0) == x,
+		// while x - (-0) flips -0 to +0.
+		if lok && lc.Value == 0 && math.Signbit(lc.Value) {
+			return r
+		}
+		if rok && rc.Value == 0 && math.Signbit(rc.Value) {
+			return l
+		}
+	case OpSub:
+		if rok && rc.Value == 0 && !math.Signbit(rc.Value) {
+			return l
+		}
+	case OpMul:
+		if lok && lc.Value == 1 {
+			return r
+		}
+		if rok && rc.Value == 1 {
+			return l
+		}
+	case OpDiv:
+		if rok && rc.Value == 1 {
+			return l
+		}
+	}
+	return Bin{Op: op, L: l, R: r}
+}
+
+// foldBoolBin applies decided-operand folds for boolean connectives.
+// These mirror three-valued interval logic exactly: triAnd(TriTrue, t)
+// is t, triAnd(TriFalse, t) is TriFalse, and dually for or.
+func foldBoolBin(op BoolOp, l, r BoolExpr) BoolExpr {
+	lc, lok := l.(BoolConst)
+	rc, rok := r.(BoolConst)
+	if op == OpAnd {
+		switch {
+		case lok && !lc.Value || rok && !rc.Value:
+			return BoolConst{Value: false}
+		case lok && lc.Value:
+			return r
+		case rok && rc.Value:
+			return l
+		}
+	} else {
+		switch {
+		case lok && lc.Value || rok && rc.Value:
+			return BoolConst{Value: true}
+		case lok && !lc.Value:
+			return r
+		case rok && !rc.Value:
+			return l
+		}
+	}
+	return BoolBin{Op: op, L: l, R: r}
+}

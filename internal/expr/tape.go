@@ -1,0 +1,344 @@
+package expr
+
+import "math"
+
+// Tape compilation: a Program's point-evaluation path lowered to a flat
+// postfix instruction stream executed over fixed-size value stacks.
+// Compared to the closure tree built by compileNum, the tape removes
+// one indirect call per AST node, keeps all state in two stack-local
+// arrays (zero heap traffic per Eval), and walks a contiguous
+// instruction slice instead of chasing closure pointers.
+//
+// Instructions are packed into 4 bytes (8-bit opcode, 24-bit operand;
+// float immediates live in a per-tape constant pool) so that even a
+// solver system holding dozens of specialized constraint tapes stays
+// cache-resident — instruction footprint, not dispatch, is what
+// dominates the solver's full-sweep evaluations.
+//
+// The tape preserves evaluation semantics exactly: operands are
+// evaluated left-to-right, both sides of boolean connectives are
+// evaluated (no short-circuit, matching Eval and compileBool), and
+// only the taken branch of an If is executed (via conditional jumps).
+// Expressions whose stack or operand widths exceed the fixed caps fall
+// back to the closure path; Program.Eval dispatches transparently.
+
+// tapeCode enumerates tape instructions.
+type tapeCode uint32
+
+const (
+	tConst tapeCode = iota // push consts[arg] onto the float stack
+	tVar                   // push vars[arg]
+	tHole                  // push holes[arg]
+	tAdd                   // pop b, a; push a+b
+	tSub                   // pop b, a; push a-b
+	tMul                   // pop b, a; push a*b
+	tDiv                   // pop b, a; push a/b
+	tMin                   // pop b, a; push math.Min(a, b)
+	tMax                   // pop b, a; push math.Max(a, b)
+	tNeg                   // negate top of float stack
+	tAbs                   // absolute value of top of float stack
+	tCmpGE                 // pop b, a; push a>=b onto the bool stack
+	tCmpLE                 // pop b, a; push a<=b
+	tCmpGT                 // pop b, a; push a>b
+	tCmpLT                 // pop b, a; push a<b
+	tCmpEQ                 // pop b, a; push a==b
+	tAnd                   // pop q, p; push p&&q
+	tOr                    // pop q, p; push p||q
+	tNot                   // invert top of bool stack
+	tBoolConst             // push arg != 0 onto the bool stack
+	tJmp                   // jump to arg
+	tJmpIfFalse            // pop bool; jump to arg when false
+)
+
+// Stack caps for the fixed-size evaluation arrays, and the operand
+// width limit of the packed encoding. Objective sketches are shallow
+// (the SWAN family needs < 8 float slots), and the caps are deliberately
+// tight: eval zero-initializes both arrays on every call, so their
+// combined size is per-evaluation overhead. Expressions beyond the caps
+// evaluate through the closure fallback.
+const (
+	tapeMaxFloat = 16
+	tapeMaxBool  = 8
+	tapeMaxArg   = 1<<24 - 1
+)
+
+// tape is a compiled instruction stream. Each instruction packs the
+// opcode into the top 8 bits and the operand (constant-pool index,
+// variable/hole slot, jump target, or tBoolConst value) into the low
+// 24.
+type tape struct {
+	code   []uint32
+	consts []float64
+}
+
+func packInstr(code tapeCode, arg int) uint32 {
+	return uint32(code)<<24 | uint32(arg)
+}
+
+// newTape lowers e against the given slot maps, or reports ok=false
+// when the expression exceeds the stack or operand caps. Callers must
+// have validated name resolution already (compileNum succeeded).
+func newTape(e Expr, varIdx, holeIdx map[string]int) (*tape, bool) {
+	if f, b := numDepth(e); f > tapeMaxFloat || b > tapeMaxBool {
+		return nil, false
+	}
+	t := &tape{}
+	t.emitNum(e, varIdx, holeIdx)
+	if len(t.code) > tapeMaxArg || len(t.consts) > tapeMaxArg {
+		return nil, false
+	}
+	return t, true
+}
+
+// numDepth returns the float- and bool-stack high-water marks of
+// evaluating e with empty stacks.
+func numDepth(e Expr) (floats, bools int) {
+	switch n := e.(type) {
+	case Bin:
+		lf, lb := numDepth(n.L)
+		rf, rb := numDepth(n.R)
+		return maxInt(lf, rf+1), maxInt(lb, rb)
+	case Neg:
+		return numDepth(n.X)
+	case Abs:
+		return numDepth(n.X)
+	case If:
+		cf, cb := boolDepth(n.Cond)
+		tf, tb := numDepth(n.Then)
+		ef, eb := numDepth(n.Else)
+		return maxInt(cf, maxInt(tf, ef)), maxInt(cb, maxInt(tb, eb))
+	default: // Const, Var, Hole
+		return 1, 0
+	}
+}
+
+// boolDepth is numDepth for boolean expressions.
+func boolDepth(b BoolExpr) (floats, bools int) {
+	switch n := b.(type) {
+	case Cmp:
+		lf, lb := numDepth(n.L)
+		rf, rb := numDepth(n.R)
+		return maxInt(lf, rf+1), maxInt(lb, rb)
+	case BoolBin:
+		lf, lb := boolDepth(n.L)
+		rf, rb := boolDepth(n.R)
+		return maxInt(lf, rf), maxInt(lb, rb+1)
+	case Not:
+		return boolDepth(n.X)
+	default: // BoolConst
+		return 0, 1
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (t *tape) emit(code tapeCode, arg int) int {
+	t.code = append(t.code, packInstr(code, arg))
+	return len(t.code) - 1
+}
+
+// constIndex returns the pool slot for v, reusing an existing slot with
+// the same bits (NaN never reaches the pool: Partial and the parser
+// only produce non-NaN constants, and folding guards against it).
+func (t *tape) constIndex(v float64) int {
+	bits := math.Float64bits(v)
+	for i, c := range t.consts {
+		if math.Float64bits(c) == bits {
+			return i
+		}
+	}
+	t.consts = append(t.consts, v)
+	return len(t.consts) - 1
+}
+
+func (t *tape) emitNum(e Expr, varIdx, holeIdx map[string]int) {
+	switch n := e.(type) {
+	case Const:
+		t.emit(tConst, t.constIndex(n.Value))
+	case Var:
+		t.emit(tVar, varIdx[n.Name])
+	case Hole:
+		t.emit(tHole, holeIdx[n.Name])
+	case Bin:
+		t.emitNum(n.L, varIdx, holeIdx)
+		t.emitNum(n.R, varIdx, holeIdx)
+		var code tapeCode
+		switch n.Op {
+		case OpAdd:
+			code = tAdd
+		case OpSub:
+			code = tSub
+		case OpMul:
+			code = tMul
+		case OpDiv:
+			code = tDiv
+		case OpMin:
+			code = tMin
+		case OpMax:
+			code = tMax
+		}
+		t.emit(code, 0)
+	case Neg:
+		t.emitNum(n.X, varIdx, holeIdx)
+		t.emit(tNeg, 0)
+	case Abs:
+		t.emitNum(n.X, varIdx, holeIdx)
+		t.emit(tAbs, 0)
+	case If:
+		t.emitBool(n.Cond, varIdx, holeIdx)
+		toElse := t.emit(tJmpIfFalse, 0)
+		t.emitNum(n.Then, varIdx, holeIdx)
+		toEnd := t.emit(tJmp, 0)
+		t.code[toElse] = packInstr(tJmpIfFalse, len(t.code))
+		t.emitNum(n.Else, varIdx, holeIdx)
+		t.code[toEnd] = packInstr(tJmp, len(t.code))
+	}
+}
+
+func (t *tape) emitBool(b BoolExpr, varIdx, holeIdx map[string]int) {
+	switch n := b.(type) {
+	case Cmp:
+		t.emitNum(n.L, varIdx, holeIdx)
+		t.emitNum(n.R, varIdx, holeIdx)
+		var code tapeCode
+		switch n.Op {
+		case CmpGE:
+			code = tCmpGE
+		case CmpLE:
+			code = tCmpLE
+		case CmpGT:
+			code = tCmpGT
+		case CmpLT:
+			code = tCmpLT
+		case CmpEQ:
+			code = tCmpEQ
+		}
+		t.emit(code, 0)
+	case BoolBin:
+		t.emitBool(n.L, varIdx, holeIdx)
+		t.emitBool(n.R, varIdx, holeIdx)
+		if n.Op == OpAnd {
+			t.emit(tAnd, 0)
+		} else {
+			t.emit(tOr, 0)
+		}
+	case Not:
+		t.emitBool(n.X, varIdx, holeIdx)
+		t.emit(tNot, 0)
+	case BoolConst:
+		arg := 0
+		if n.Value {
+			arg = 1
+		}
+		t.emit(tBoolConst, arg)
+	}
+}
+
+// eval runs the tape. The stacks live in the goroutine's stack frame,
+// so concurrent evaluation of a shared tape is safe and allocation-free.
+//
+// The top float value is cached in a register (top) rather than the
+// spill array: pushes spill the previous top, binary ops combine the
+// spilled second operand into the register, and only multi-value pops
+// (comparisons) reload. The invariant is that logical stack item i
+// (0-based, depth fsp) lives in fs[i+1] for i < fsp-1 and in top for
+// i = fsp-1; fs[0] and the slot under a freshly-computed top are dead.
+// This halves the memory traffic of the interpreter loop, which is
+// what lets the tape beat the closure tree on arithmetic-heavy bodies.
+func (t *tape) eval(vars, holes []float64) float64 {
+	var fs [tapeMaxFloat]float64
+	var bs [tapeMaxBool]bool
+	var top float64
+	fsp, bsp := 0, 0
+	code := t.code
+	consts := t.consts
+	for pc := 0; pc < len(code); pc++ {
+		in := code[pc]
+		arg := in & 0xffffff
+		switch tapeCode(in >> 24) {
+		case tConst:
+			fs[fsp] = top
+			fsp++
+			top = consts[arg]
+		case tVar:
+			fs[fsp] = top
+			fsp++
+			top = vars[arg]
+		case tHole:
+			fs[fsp] = top
+			fsp++
+			top = holes[arg]
+		case tAdd:
+			fsp--
+			top = fs[fsp] + top
+		case tSub:
+			fsp--
+			top = fs[fsp] - top
+		case tMul:
+			fsp--
+			top = fs[fsp] * top
+		case tDiv:
+			fsp--
+			top = fs[fsp] / top
+		case tMin:
+			fsp--
+			top = math.Min(fs[fsp], top)
+		case tMax:
+			fsp--
+			top = math.Max(fs[fsp], top)
+		case tNeg:
+			top = -top
+		case tAbs:
+			top = math.Abs(top)
+		case tCmpGE:
+			bs[bsp] = fs[fsp-1] >= top
+			bsp++
+			fsp -= 2
+			top = fs[fsp]
+		case tCmpLE:
+			bs[bsp] = fs[fsp-1] <= top
+			bsp++
+			fsp -= 2
+			top = fs[fsp]
+		case tCmpGT:
+			bs[bsp] = fs[fsp-1] > top
+			bsp++
+			fsp -= 2
+			top = fs[fsp]
+		case tCmpLT:
+			bs[bsp] = fs[fsp-1] < top
+			bsp++
+			fsp -= 2
+			top = fs[fsp]
+		case tCmpEQ:
+			bs[bsp] = fs[fsp-1] == top
+			bsp++
+			fsp -= 2
+			top = fs[fsp]
+		case tAnd:
+			bsp--
+			bs[bsp-1] = bs[bsp-1] && bs[bsp]
+		case tOr:
+			bsp--
+			bs[bsp-1] = bs[bsp-1] || bs[bsp]
+		case tNot:
+			bs[bsp-1] = !bs[bsp-1]
+		case tBoolConst:
+			bs[bsp] = arg != 0
+			bsp++
+		case tJmp:
+			pc = int(arg) - 1
+		case tJmpIfFalse:
+			bsp--
+			if !bs[bsp] {
+				pc = int(arg) - 1
+			}
+		}
+	}
+	return top
+}

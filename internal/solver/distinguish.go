@@ -109,25 +109,32 @@ func (d DistinguishOptions) effectiveStrategy() QueryStrategy {
 //   - StatusUnknown: no consistent candidate could be found at all
 //     (over-constrained problem, e.g. inconsistent oracle input).
 func FindDistinguishing(p Problem, opts Options, dopts DistinguishOptions, rng *rand.Rand) (*Distinguishing, Status) {
-	wits, st := findDistinguishingMany(p, 1, opts, dopts, rng)
-	if st != StatusSat {
-		return nil, st
-	}
-	return wits[0], StatusSat
+	return compileSystem(p, opts.Stats).FindDistinguishing(opts, dopts, rng)
 }
 
 // FindDistinguishingMany returns up to k distinguishing witnesses with
 // mutually distinct scenario pairs — used when the synthesizer asks the
 // user to rank several pairs per iteration (paper Figure 4).
 func FindDistinguishingMany(p Problem, k int, opts Options, dopts DistinguishOptions, rng *rand.Rand) ([]*Distinguishing, Status) {
-	return findDistinguishingMany(p, k, opts, dopts, rng)
+	return compileSystem(p, opts.Stats).FindDistinguishingMany(k, opts, dopts, rng)
 }
 
-func findDistinguishingMany(p Problem, k int, opts Options, dopts DistinguishOptions, rng *rand.Rand) ([]*Distinguishing, Status) {
+// FindDistinguishing is the System-level single-witness variant.
+func (s *System) FindDistinguishing(opts Options, dopts DistinguishOptions, rng *rand.Rand) (*Distinguishing, Status) {
+	wits, st := s.FindDistinguishingMany(1, opts, dopts, rng)
+	if st != StatusSat {
+		return nil, st
+	}
+	return wits[0], StatusSat
+}
+
+// FindDistinguishingMany is the System-level search; see the package
+// function of the same name.
+func (s *System) FindDistinguishingMany(k int, opts Options, dopts DistinguishOptions, rng *rand.Rand) ([]*Distinguishing, Status) {
 	if k < 1 {
 		k = 1
 	}
-	cands := FindDiverse(p, dopts.Candidates, opts, rng)
+	cands := s.FindDiverse(dopts.Candidates, opts, rng)
 	if len(cands) == 0 {
 		return nil, StatusUnknown
 	}
@@ -135,7 +142,7 @@ func findDistinguishingMany(p Problem, k int, opts Options, dopts DistinguishOpt
 		return nil, StatusUnsat
 	}
 
-	space := p.Sketch.Space()
+	space := s.sk.Space()
 	var found []*Distinguishing
 
 	// Pre-draw the scenario pair pool once; all candidate pairs are
@@ -143,12 +150,15 @@ func findDistinguishingMany(p Problem, k int, opts Options, dopts DistinguishOpt
 	x1s := space.RandomN(rng, dopts.PairSamples)
 	x2s := space.RandomN(rng, dopts.PairSamples)
 
-	// Score matrix: scores[c][s] = f_c(x1s[s]) - f_c(x2s[s]).
+	// Score matrix: scores[c][s] = f_c(x1s[s]) - f_c(x2s[s]). The pool
+	// is fresh random scenarios every call, so specializing them would
+	// churn the sketch cache for single-use programs; this loop
+	// deliberately stays on the sketch's shared compiled body.
 	scores := make([][]float64, len(cands))
 	for ci, c := range cands {
 		row := make([]float64, dopts.PairSamples)
 		for si := 0; si < dopts.PairSamples; si++ {
-			row[si] = p.Sketch.Eval(x1s[si], c) - p.Sketch.Eval(x2s[si], c)
+			row[si] = s.sk.Eval(x1s[si], c) - s.sk.Eval(x2s[si], c)
 		}
 		scores[ci] = row
 	}

@@ -17,6 +17,16 @@ type searchJob struct {
 // draws one derived seed per worker from the caller's RNG. The seeds
 // are drawn in worker order, so the partition is a pure function of
 // the caller RNG state and the worker count.
+//
+// Edge handling: Workers is clamped into [1, Samples+RepairRestarts]
+// (floor 1 even when the total budget is zero, so callers always get a
+// worker — it just does nothing). The clamp keeps the worker count from
+// exceeding the total budget; it does NOT guarantee every worker gets
+// work, because sample and repair remainders both go to the
+// lowest-indexed workers. With Samples=4, RepairRestarts=3, Workers=7,
+// workers 4–6 end up with empty budgets — they still draw their derived
+// seed, which is what keeps the partition (and thus results) a pure
+// function of (caller RNG state, worker count).
 func splitBudget(opts Options, rng *rand.Rand) []searchJob {
 	workers := opts.Workers
 	if workers < 1 {
@@ -49,9 +59,11 @@ func splitBudget(opts Options, rng *rand.Rand) []searchJob {
 // the result is deterministic for a fixed seed and worker count).
 // maxPerWorker bounds each worker's output; 0 means "stop after the
 // first witness" (the FindCandidate use), larger values build pools
-// for FindDiverse.
-func parallelWitnesses(p Problem, opts Options, rng *rand.Rand, maxPerWorker int) [][]float64 {
-	domains := p.Sketch.Domains()
+// for FindDiverse. Workers only read the system (Violation/Satisfies
+// over immutable specialized programs), so no mutation races exist.
+func (s *System) parallelWitnesses(opts Options, rng *rand.Rand, maxPerWorker int) [][]float64 {
+	domains := s.sk.Domains()
+	stats := s.statsOf(opts)
 	jobs := splitBudget(opts, rng)
 	if maxPerWorker <= 0 {
 		maxPerWorker = 1
@@ -63,22 +75,23 @@ func parallelWitnesses(p Problem, opts Options, rng *rand.Rand, maxPerWorker int
 		go func(w int, job searchJob) {
 			defer wg.Done()
 			wrng := rand.New(rand.NewSource(job.seed))
+			scratch := make([]float64, len(domains))
 			var found [][]float64
 			for i := 0; i < job.samples && len(found) < maxPerWorker; i++ {
-				if opts.Stats != nil {
-					opts.Stats.Samples.Add(1)
+				if stats != nil {
+					stats.Samples.Add(1)
 				}
-				h := randomVector(domains, wrng)
-				if Satisfies(p, h) {
-					found = append(found, h)
+				fillRandomVector(scratch, domains, wrng)
+				if s.Satisfies(scratch) {
+					found = append(found, append([]float64(nil), scratch...))
 				}
 			}
 			for r := 0; r < job.repairs && len(found) < maxPerWorker; r++ {
-				if opts.Stats != nil {
-					opts.Stats.Repairs.Add(1)
+				if stats != nil {
+					stats.Repairs.Add(1)
 				}
-				start := randomVector(domains, wrng)
-				if repaired, ok := repair(p, start, domains, opts.RepairSteps, wrng); ok {
+				fillRandomVector(scratch, domains, wrng)
+				if repaired, ok := s.repair(scratch, domains, opts.RepairSteps, wrng); ok {
 					found = append(found, repaired)
 				}
 			}

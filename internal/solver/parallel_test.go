@@ -95,13 +95,53 @@ func TestSplitBudget(t *testing.T) {
 	}
 }
 
+func TestSplitBudgetClampsWorkersToBudget(t *testing.T) {
+	// Workers beyond Samples+RepairRestarts are dropped so the worker
+	// count never exceeds the total budget.
+	opts := Options{Samples: 4, RepairRestarts: 3, Workers: 10}
+	jobs := splitBudget(opts, rand.New(rand.NewSource(9)))
+	if len(jobs) != 7 {
+		t.Fatalf("jobs = %d, want clamp to Samples+RepairRestarts = 7", len(jobs))
+	}
+	samples, repairs := 0, 0
+	for _, j := range jobs {
+		samples += j.samples
+		repairs += j.repairs
+	}
+	if samples != 4 || repairs != 3 {
+		t.Errorf("clamped split lost work: %d samples, %d repairs", samples, repairs)
+	}
+	// Remainders pile onto the lowest-indexed workers, so trailing
+	// workers may legitimately hold an empty budget even after the
+	// clamp; they exist only to keep seed derivation uniform. Document
+	// the exact shape for this configuration.
+	wantSamples := []int{1, 1, 1, 1, 0, 0, 0}
+	wantRepairs := []int{1, 1, 1, 0, 0, 0, 0}
+	for w, j := range jobs {
+		if j.samples != wantSamples[w] || j.repairs != wantRepairs[w] {
+			t.Errorf("worker %d budget = (%d samples, %d repairs), want (%d, %d)",
+				w, j.samples, j.repairs, wantSamples[w], wantRepairs[w])
+		}
+	}
+	// Exactly at the budget: no clamp.
+	opts = Options{Samples: 4, RepairRestarts: 3, Workers: 7}
+	if jobs := splitBudget(opts, rand.New(rand.NewSource(10))); len(jobs) != 7 {
+		t.Errorf("jobs = %d, want 7 (no clamp at exact budget)", len(jobs))
+	}
+	// Negative/zero Workers floors at one.
+	opts = Options{Samples: 4, RepairRestarts: 3, Workers: -2}
+	if jobs := splitBudget(opts, rand.New(rand.NewSource(11))); len(jobs) != 1 {
+		t.Errorf("jobs = %d, want 1 for Workers <= 0", len(jobs))
+	}
+}
+
 func TestParallelWitnessesRespectsMaxPerWorker(t *testing.T) {
 	// Unconstrained problem: every sample is a witness, so each worker
 	// stops at maxPerWorker.
 	p, _ := swanProblem(t, 0, 51)
 	opts := DefaultOptions()
 	opts.Workers = 4
-	ws := parallelWitnesses(p, opts, rand.New(rand.NewSource(52)), 3)
+	ws := compileSystem(p, nil).parallelWitnesses(opts, rand.New(rand.NewSource(52)), 3)
 	if len(ws) == 0 || len(ws) > 4*3 {
 		t.Errorf("witnesses = %d, want in (0, 12]", len(ws))
 	}

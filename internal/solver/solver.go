@@ -22,7 +22,6 @@ package solver
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"sync/atomic"
 
@@ -138,12 +137,21 @@ type Stats struct {
 	Boxes atomic.Int64
 	// HintHits counts warm-start hints that were directly feasible.
 	HintHits atomic.Int64
+	// SpecCompiles counts constraint difference programs compiled into
+	// the sketch's pair cache (one per distinct ordered scenario pair
+	// per sketch; each miss also specializes its two scenarios unless
+	// they are already cached).
+	SpecCompiles atomic.Int64
+	// SpecCacheHits counts constraint compilations served from the
+	// pair cache.
+	SpecCacheHits atomic.Int64
 }
 
 // String renders the counters compactly.
 func (s *Stats) String() string {
-	return fmt.Sprintf("samples=%d repairs=%d boxes=%d hint-hits=%d",
-		s.Samples.Load(), s.Repairs.Load(), s.Boxes.Load(), s.HintHits.Load())
+	return fmt.Sprintf("samples=%d repairs=%d boxes=%d hint-hits=%d spec-compiles=%d spec-hits=%d",
+		s.Samples.Load(), s.Repairs.Load(), s.Boxes.Load(), s.HintHits.Load(),
+		s.SpecCompiles.Load(), s.SpecCacheHits.Load())
 }
 
 // DefaultOptions returns the tuning used by the synthesizer.
@@ -159,6 +167,12 @@ func DefaultOptions() Options {
 
 // violation returns the hinge loss of θ against the constraints: 0 iff
 // every constraint holds with the margin.
+//
+// This is the uncompiled reference implementation — it evaluates the
+// sketch with per-call scenario binding. The hot path uses the
+// bit-identical System.Violation over pre-specialized programs; this
+// one is kept as the differential baseline for tests and the
+// BenchmarkViolation comparison.
 func violation(p Problem, holes []float64) float64 {
 	var loss float64
 	for _, c := range p.Prefs {
@@ -183,6 +197,9 @@ func violation(p Problem, holes []float64) float64 {
 
 // Satisfies reports whether the hole vector satisfies every preference
 // constraint with the problem margin, and the viability check if set.
+//
+// Like violation, this is the uncompiled reference path; the solver
+// itself runs System.Satisfies.
 func Satisfies(p Problem, holes []float64) bool {
 	for _, c := range p.Prefs {
 		if p.Sketch.Eval(c.Better, holes)-p.Sketch.Eval(c.Worse, holes) <= p.Margin {
@@ -208,56 +225,14 @@ func Satisfies(p Problem, holes []float64) bool {
 // random starts, (3) exhaustive interval branch-and-prune. Only stage 3
 // can return StatusUnsat; if its box budget is exhausted first the
 // result is StatusUnknown.
+//
+// The search runs on the compiled System representation; callers that
+// solve a growing problem repeatedly should hold a System themselves
+// (see NewSystem) and call its FindCandidate to skip the per-call
+// compile. Specializations are cached on the sketch, so this wrapper is
+// cheap after the first call per scenario anyway.
 func FindCandidate(p Problem, opts Options, rng *rand.Rand) ([]float64, Status) {
-	domains := p.Sketch.Domains()
-
-	// Stage 0: warm-start hints — prior witnesses usually remain (or
-	// are close to) feasible after one more constraint.
-	for _, hint := range opts.Hints {
-		h := clampToBox(hint, domains)
-		if Satisfies(p, h) {
-			if opts.Stats != nil {
-				opts.Stats.HintHits.Add(1)
-			}
-			return h, StatusSat
-		}
-		if opts.Stats != nil {
-			opts.Stats.Repairs.Add(1)
-		}
-		if repaired, ok := repair(p, h, domains, opts.RepairSteps, rng); ok {
-			return repaired, StatusSat
-		}
-	}
-
-	// Stages 1–2: uniform sampling, then hinge-loss repair. With
-	// Workers > 1 both stages fan out across goroutines.
-	if opts.Workers > 1 {
-		if ws := parallelWitnesses(p, opts, rng, 1); len(ws) > 0 {
-			return ws[0], StatusSat
-		}
-	} else {
-		for i := 0; i < opts.Samples; i++ {
-			if opts.Stats != nil {
-				opts.Stats.Samples.Add(1)
-			}
-			h := randomVector(domains, rng)
-			if Satisfies(p, h) {
-				return h, StatusSat
-			}
-		}
-		for r := 0; r < opts.RepairRestarts; r++ {
-			if opts.Stats != nil {
-				opts.Stats.Repairs.Add(1)
-			}
-			h := randomVector(domains, rng)
-			if repaired, ok := repair(p, h, domains, opts.RepairSteps, rng); ok {
-				return repaired, StatusSat
-			}
-		}
-	}
-
-	// Stage 3: branch-and-prune.
-	return branchAndPrune(p, domains, opts)
+	return compileSystem(p, opts.Stats).FindCandidate(opts, rng)
 }
 
 // clampToBox returns a copy of h with every coordinate clamped into its
@@ -283,248 +258,13 @@ func randomVector(domains []interval.Interval, rng *rand.Rand) []float64 {
 	return h
 }
 
-// repair runs coordinate descent on the hinge loss with a geometrically
-// shrinking step schedule. It reports success when the loss reaches
-// exactly zero (all constraints strictly satisfied with margin).
-func repair(p Problem, start []float64, domains []interval.Interval, steps int, rng *rand.Rand) ([]float64, bool) {
-	h := append([]float64(nil), start...)
-	loss := violation(p, h)
-	if loss == 0 {
-		return h, Satisfies(p, h)
-	}
-	// Per-dimension step sizes start at a quarter of the domain width.
-	step := make([]float64, len(domains))
-	for i, d := range domains {
-		step[i] = d.Width() / 4
-	}
-	for it := 0; it < steps && loss > 0; it++ {
-		improved := false
-		// Random dimension order de-correlates descent paths between
-		// restarts.
-		for _, i := range rng.Perm(len(h)) {
-			for _, dir := range []float64{+1, -1} {
-				cand := h[i] + dir*step[i]
-				if cand < domains[i].Lo || cand > domains[i].Hi {
-					continue
-				}
-				old := h[i]
-				h[i] = cand
-				if l := violation(p, h); l < loss {
-					loss = l
-					improved = true
-					break
-				}
-				h[i] = old
-			}
-		}
-		if loss == 0 {
-			return h, Satisfies(p, h)
-		}
-		if !improved {
-			for i := range step {
-				step[i] /= 2
-			}
-			// Below numeric resolution: give up this restart.
-			allTiny := true
-			for i, s := range step {
-				if s > domains[i].Width()*1e-12 {
-					allTiny = false
-					break
-				}
-			}
-			if allTiny {
-				break
-			}
-		}
-	}
-	return h, loss == 0 && Satisfies(p, h)
-}
-
-// branchAndPrune exhaustively explores the hole box. For each box it
-// computes the interval of f(better)-f(worse) per constraint:
-//
-//   - if some constraint's upper bound ≤ margin, no point of the box can
-//     satisfy it → prune;
-//   - if every constraint's lower bound > margin, the whole box is
-//     feasible → return its midpoint;
-//   - otherwise split the widest dimension, down to the width floor.
-//
-// Boxes that reach the width floor undecided (interval over-approximation
-// cannot separate them, e.g. near If-branch boundaries) are point-checked
-// at their midpoint and corners; if none yields a witness the box is
-// treated as infeasible. The resulting UNSAT is therefore a δ-decision in
-// the dReal sense: any solution missed this way lies within the width
-// floor of infeasibility. Only exhausting MaxBoxes yields StatusUnknown.
-func branchAndPrune(p Problem, domains []interval.Interval, opts Options) ([]float64, Status) {
-	minWidths := make([]float64, len(domains))
-	for i, d := range domains {
-		minWidths[i] = math.Max(d.Width()*opts.MinBoxWidth, 1e-12)
-	}
-	type boxT = []interval.Interval
-	stack := []boxT{append([]interval.Interval(nil), domains...)}
-	processed := 0
-
-	scBetter := make([][]interval.Interval, len(p.Prefs))
-	scWorse := make([][]interval.Interval, len(p.Prefs))
-	for ci, c := range p.Prefs {
-		scBetter[ci] = pointBox(c.Better)
-		scWorse[ci] = pointBox(c.Worse)
-	}
-	tieA := make([][]interval.Interval, len(p.Ties))
-	tieB := make([][]interval.Interval, len(p.Ties))
-	for ti, t := range p.Ties {
-		tieA[ti] = pointBox(t.A)
-		tieB[ti] = pointBox(t.B)
-	}
-
-	for len(stack) > 0 {
-		if processed >= opts.MaxBoxes {
-			return nil, StatusUnknown
-		}
-		processed++
-		if opts.Stats != nil {
-			opts.Stats.Boxes.Add(1)
-		}
-		box := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-
-		feasible := true
-		pruned := false
-		for ci := range p.Prefs {
-			fb := p.Sketch.EvalInterval(scBetter[ci], box)
-			fw := p.Sketch.EvalInterval(scWorse[ci], box)
-			diff := fb.Sub(fw)
-			if diff.Hi <= p.Margin {
-				pruned = true
-				break
-			}
-			if !(diff.Lo > p.Margin) {
-				feasible = false
-			}
-		}
-		if !pruned {
-			for ti, t := range p.Ties {
-				fa := p.Sketch.EvalInterval(tieA[ti], box)
-				fb := p.Sketch.EvalInterval(tieB[ti], box)
-				diff := fa.Sub(fb)
-				if diff.Lo > t.Band || diff.Hi < -t.Band {
-					pruned = true
-					break
-				}
-				if !(diff.Lo >= -t.Band && diff.Hi <= t.Band) {
-					feasible = false
-				}
-			}
-		}
-		if pruned {
-			continue
-		}
-		if feasible {
-			return midpoint(box), StatusSat
-		}
-		// Undecided: try the midpoint as a cheap witness.
-		mid := midpoint(box)
-		if Satisfies(p, mid) {
-			return mid, StatusSat
-		}
-		// Split the widest (relative to floor) dimension.
-		widest, ratio := -1, 1.0
-		for i, iv := range box {
-			if r := iv.Width() / minWidths[i]; r > ratio {
-				widest, ratio = i, r
-			}
-		}
-		if widest < 0 {
-			// At the resolution floor and still undecided: point-check
-			// the corners (the midpoint was checked above). If none is a
-			// witness, discard the box — the δ-unsat convention.
-			if w := cornerWitness(p, box); w != nil {
-				return w, StatusSat
-			}
-			continue
-		}
-		l, r := box[widest].Split()
-		left := append([]interval.Interval(nil), box...)
-		right := append([]interval.Interval(nil), box...)
-		left[widest] = l
-		right[widest] = r
-		stack = append(stack, left, right)
-	}
-	return nil, StatusUnsat
-}
-
-// cornerWitness point-checks the corners of a box (up to 2^8 of them)
-// and returns the first satisfying corner, or nil.
-func cornerWitness(p Problem, box []interval.Interval) []float64 {
-	d := len(box)
-	if d > 8 {
-		d = 8 // cap the enumeration; remaining dims stay at midpoint
-	}
-	h := midpoint(box)
-	for mask := 0; mask < 1<<d; mask++ {
-		for i := 0; i < d; i++ {
-			if mask&(1<<i) != 0 {
-				h[i] = box[i].Hi
-			} else {
-				h[i] = box[i].Lo
-			}
-		}
-		if Satisfies(p, h) {
-			return h
-		}
-	}
-	return nil
-}
-
-func pointBox(s scenario.Scenario) []interval.Interval {
-	out := make([]interval.Interval, len(s))
-	for i, v := range s {
-		out[i] = interval.Point(v)
-	}
-	return out
-}
-
-func midpoint(box []interval.Interval) []float64 {
-	out := make([]float64, len(box))
-	for i, iv := range box {
-		out[i] = iv.Mid()
-	}
-	return out
-}
-
 // BestEffort returns the lowest-violation hole vector found within the
 // sampling/repair budget, together with its hinge loss (0 means fully
 // consistent) and the per-constraint satisfaction mask. The synthesizer
 // uses it to localize numerically infeasible preference edges when the
 // user's answers are inconsistent.
 func BestEffort(p Problem, opts Options, rng *rand.Rand) (holes []float64, loss float64, satisfied []bool) {
-	domains := p.Sketch.Domains()
-	best := randomVector(domains, rng)
-	bestLoss := violation(p, best)
-	consider := func(h []float64) {
-		if l := violation(p, h); l < bestLoss {
-			best, bestLoss = append([]float64(nil), h...), l
-		}
-	}
-	for _, hint := range opts.Hints {
-		consider(clampToBox(hint, domains))
-	}
-	for i := 0; i < opts.Samples && bestLoss > 0; i++ {
-		consider(randomVector(domains, rng))
-	}
-	for r := 0; r < opts.RepairRestarts && bestLoss > 0; r++ {
-		start := randomVector(domains, rng)
-		if r == 0 && len(opts.Hints) > 0 {
-			start = clampToBox(opts.Hints[0], domains)
-		}
-		repaired, _ := repair(p, start, domains, opts.RepairSteps, rng)
-		consider(repaired)
-	}
-	satisfied = make([]bool, len(p.Prefs))
-	for i, c := range p.Prefs {
-		satisfied[i] = p.Sketch.Eval(c.Better, best)-p.Sketch.Eval(c.Worse, best) > p.Margin
-	}
-	return best, bestLoss, satisfied
+	return compileSystem(p, opts.Stats).BestEffort(opts, rng)
 }
 
 // FindDiverse returns up to k consistent hole vectors that are mutually
@@ -533,113 +273,5 @@ func BestEffort(p Problem, opts Options, rng *rand.Rand) (holes []float64, loss 
 // search leverage: behaviorally different candidates come from distant
 // corners of the version space.
 func FindDiverse(p Problem, k int, opts Options, rng *rand.Rand) [][]float64 {
-	domains := p.Sketch.Domains()
-	var pool [][]float64
-
-	// Warm-start hints first: they anchor the pool in the known-feasible
-	// region and their repairs land on version-space boundaries.
-	for _, hint := range opts.Hints {
-		h := clampToBox(hint, domains)
-		if Satisfies(p, h) {
-			pool = append(pool, h)
-		} else if repaired, ok := repair(p, h, domains, opts.RepairSteps, rng); ok {
-			pool = append(pool, repaired)
-		}
-	}
-
-	// Pool from sampling, topped up with repaired points (they land on
-	// feasibility boundaries, which is where behavioral differences
-	// concentrate). With Workers > 1 the search fans out.
-	if opts.Workers > 1 {
-		per := (8*k + opts.Workers - 1) / opts.Workers
-		pool = append(pool, parallelWitnesses(p, opts, rng, per)...)
-	} else {
-		for i := 0; i < opts.Samples && len(pool) < 8*k; i++ {
-			h := randomVector(domains, rng)
-			if Satisfies(p, h) {
-				pool = append(pool, h)
-			}
-		}
-		for r := 0; r < opts.RepairRestarts && len(pool) < 8*k; r++ {
-			h := randomVector(domains, rng)
-			if repaired, ok := repair(p, h, domains, opts.RepairSteps, rng); ok {
-				pool = append(pool, repaired)
-			}
-		}
-	}
-	if len(pool) == 0 {
-		if h, st := FindCandidate(p, opts, rng); st == StatusSat {
-			pool = append(pool, h)
-		}
-	}
-	if len(pool) == 0 {
-		return nil
-	}
-	if len(pool) <= k {
-		return pool
-	}
-
-	// Greedy max-min selection, seeded with the pool point farthest
-	// from the box center (normalized coordinates).
-	norm := func(h []float64) []float64 {
-		out := make([]float64, len(h))
-		for i, d := range domains {
-			w := d.Width()
-			if w == 0 {
-				continue
-			}
-			out[i] = (h[i] - d.Lo) / w
-		}
-		return out
-	}
-	dist := func(a, b []float64) float64 {
-		var s float64
-		for i := range a {
-			d := a[i] - b[i]
-			s += d * d
-		}
-		return s
-	}
-	normed := make([][]float64, len(pool))
-	for i, h := range pool {
-		normed[i] = norm(h)
-	}
-	center := make([]float64, len(domains))
-	for i := range center {
-		center[i] = 0.5
-	}
-	first, best := 0, -1.0
-	for i := range pool {
-		if d := dist(normed[i], center); d > best {
-			first, best = i, d
-		}
-	}
-	chosen := []int{first}
-	for len(chosen) < k {
-		next, bestMin := -1, -1.0
-		for i := range pool {
-			minD := math.Inf(1)
-			for _, c := range chosen {
-				if i == c {
-					minD = 0
-					break
-				}
-				if d := dist(normed[i], normed[c]); d < minD {
-					minD = d
-				}
-			}
-			if minD > bestMin {
-				next, bestMin = i, minD
-			}
-		}
-		if next < 0 || bestMin == 0 {
-			break
-		}
-		chosen = append(chosen, next)
-	}
-	out := make([][]float64, len(chosen))
-	for i, c := range chosen {
-		out[i] = pool[c]
-	}
-	return out
+	return compileSystem(p, opts.Stats).FindDiverse(k, opts, rng)
 }

@@ -1,0 +1,601 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+
+	"compsynth/internal/expr"
+	"compsynth/internal/interval"
+	"compsynth/internal/sketch"
+)
+
+// System is a compiled conjunction of preference constraints: the
+// Problem representation lowered for the solver's hot path. Each
+// constraint's two scenarios are partial-evaluated into the sketch body
+// (sketch.Specialize), so violation, satisfaction, and interval pruning
+// run hole-only programs — no scenario binding, no map lookups, no AST
+// walks — while remaining bit-exact with the Problem-based reference
+// path (violation/Satisfies in solver.go), which is what keeps
+// synthesis transcripts identical for fixed seeds.
+//
+// A System is built once and mutated incrementally as preference edges
+// are recorded (AddPref/InsertPref/RemovePref/AddTie), so the per-
+// iteration cost of the synthesis loop is one specialization pair per
+// new edge instead of a full problem rebuild. Mutation is not
+// goroutine-safe; the search methods only read and may be called with
+// Workers > 1.
+type System struct {
+	sk     *sketch.Sketch
+	margin float64
+	viable func(holes []float64) bool
+	stats  *Stats
+
+	prefs []Pref
+	cps   []compiledPref
+	ties  []Tie
+	cts   []compiledTie
+}
+
+// compiledPref is a preference edge lowered to one hole-only program
+// computing f(better) - f(worse). Fusing the pair into a single
+// difference program halves evaluator dispatch per constraint and keeps
+// each constraint's instructions contiguous; the result is bit-exact
+// with evaluating the sides separately and subtracting (same float ops
+// in the same order, and interval Sub is exactly the Bin/OpSub
+// semantics).
+type compiledPref struct {
+	diff *expr.Program
+}
+
+// compiledTie is an indifference constraint lowered the same way:
+// one program computing f(A) - f(B), checked against ±band.
+type compiledTie struct {
+	diff *expr.Program
+	band float64
+}
+
+// NewSystem returns an empty compiled system over the sketch's hole
+// box. margin and viable have Problem.Margin/Problem.Viable semantics.
+// stats, when non-nil, accumulates specialization counters (and is also
+// the default Stats sink for searches run through the system).
+func NewSystem(sk *sketch.Sketch, margin float64, viable func(holes []float64) bool, stats *Stats) *System {
+	return &System{sk: sk, margin: margin, viable: viable, stats: stats}
+}
+
+// compileSystem lowers a Problem. Specializations hit the sketch's
+// cache after the first compile of each distinct scenario, so repeated
+// solver calls over a growing problem stay cheap.
+func compileSystem(p Problem, stats *Stats) *System {
+	s := NewSystem(p.Sketch, p.Margin, p.Viable, stats)
+	s.prefs = make([]Pref, 0, len(p.Prefs))
+	s.cps = make([]compiledPref, 0, len(p.Prefs))
+	s.ties = make([]Tie, 0, len(p.Ties))
+	s.cts = make([]compiledTie, 0, len(p.Ties))
+	for _, c := range p.Prefs {
+		s.AddPref(c)
+	}
+	for _, t := range p.Ties {
+		s.AddTie(t)
+	}
+	return s
+}
+
+// compileDiff obtains the fused difference program f(a) - f(b) for a
+// constraint, served from the sketch's pair cache (which in turn builds
+// on the per-scenario specialization cache), with counter accounting.
+func (s *System) compileDiff(a, b []float64) *expr.Program {
+	prog, hit := s.sk.SpecializeDiff(a, b)
+	if s.stats != nil {
+		if hit {
+			s.stats.SpecCacheHits.Add(1)
+		} else {
+			s.stats.SpecCompiles.Add(1)
+		}
+	}
+	return prog
+}
+
+// Sketch returns the sketch the system is compiled against.
+func (s *System) Sketch() *sketch.Sketch { return s.sk }
+
+// Margin returns the strictness slack (Problem.Margin).
+func (s *System) Margin() float64 { return s.margin }
+
+// NumPrefs returns the number of preference constraints.
+func (s *System) NumPrefs() int { return len(s.prefs) }
+
+// NumTies returns the number of indifference constraints.
+func (s *System) NumTies() int { return len(s.ties) }
+
+// Prefs returns the preference constraints in constraint order (copy).
+func (s *System) Prefs() []Pref { return append([]Pref(nil), s.prefs...) }
+
+// Ties returns the indifference constraints in constraint order (copy).
+func (s *System) Ties() []Tie { return append([]Tie(nil), s.ties...) }
+
+// AddPref appends a preference constraint.
+func (s *System) AddPref(c Pref) {
+	s.prefs = append(s.prefs, c)
+	s.cps = append(s.cps, compiledPref{diff: s.compileDiff(c.Better, c.Worse)})
+}
+
+// InsertPref inserts a preference constraint at index i. Constraint
+// order is observable — the violation sum and the satisfaction mask
+// follow it — so callers maintaining a canonical order (the synthesizer
+// mirrors prefgraph.Edges) insert rather than append.
+func (s *System) InsertPref(i int, c Pref) {
+	s.prefs = append(s.prefs, Pref{})
+	copy(s.prefs[i+1:], s.prefs[i:])
+	s.prefs[i] = c
+	s.cps = append(s.cps, compiledPref{})
+	copy(s.cps[i+1:], s.cps[i:])
+	s.cps[i] = compiledPref{diff: s.compileDiff(c.Better, c.Worse)}
+}
+
+// RemovePref removes the preference constraint at index i.
+func (s *System) RemovePref(i int) {
+	s.prefs = append(s.prefs[:i], s.prefs[i+1:]...)
+	s.cps = append(s.cps[:i], s.cps[i+1:]...)
+}
+
+// AddTie appends an indifference constraint.
+func (s *System) AddTie(t Tie) {
+	s.ties = append(s.ties, t)
+	s.cts = append(s.cts, compiledTie{diff: s.compileDiff(t.A, t.B), band: t.Band})
+}
+
+// Reset drops all constraints, keeping the sketch and its
+// specialization cache.
+func (s *System) Reset() {
+	s.prefs, s.cps = s.prefs[:0], s.cps[:0]
+	s.ties, s.cts = s.ties[:0], s.cts[:0]
+}
+
+// Violation returns the hinge loss of θ against the constraints: 0 iff
+// every constraint holds with the margin. Bit-identical to the
+// Problem-based violation reference.
+func (s *System) Violation(holes []float64) float64 {
+	var loss float64
+	for i := range s.cps {
+		diff := s.cps[i].diff.Eval(nil, holes)
+		if slack := s.margin - diff; slack > 0 {
+			loss += slack
+		}
+	}
+	for i := range s.cts {
+		diff := s.cts[i].diff.Eval(nil, holes)
+		if diff < 0 {
+			diff = -diff
+		}
+		if over := diff - s.cts[i].band; over > 0 {
+			loss += over
+		}
+	}
+	return loss
+}
+
+// Satisfies reports whether the hole vector satisfies every constraint
+// with the margin, and the viability check if set.
+func (s *System) Satisfies(holes []float64) bool {
+	for i := range s.cps {
+		if s.cps[i].diff.Eval(nil, holes) <= s.margin {
+			return false
+		}
+	}
+	for i := range s.cts {
+		diff := s.cts[i].diff.Eval(nil, holes)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > s.cts[i].band {
+			return false
+		}
+	}
+	return s.viable == nil || s.viable(holes)
+}
+
+// SatisfiedMask writes the per-preference satisfaction of θ into mask
+// (parallel to the constraint order; ties are not included). mask is
+// grown as needed and returned.
+func (s *System) SatisfiedMask(holes []float64, mask []bool) []bool {
+	if cap(mask) < len(s.cps) {
+		mask = make([]bool, len(s.cps))
+	}
+	mask = mask[:len(s.cps)]
+	for i := range s.cps {
+		mask[i] = s.cps[i].diff.Eval(nil, holes) > s.margin
+	}
+	return mask
+}
+
+// statsOf resolves the Stats sink for a search: the per-call Options
+// override wins, else the system's own.
+func (s *System) statsOf(opts Options) *Stats {
+	if opts.Stats != nil {
+		return opts.Stats
+	}
+	return s.stats
+}
+
+// FindCandidate searches the hole box for a vector consistent with all
+// constraints; see the Problem-level FindCandidate for the staging.
+func (s *System) FindCandidate(opts Options, rng *rand.Rand) ([]float64, Status) {
+	domains := s.sk.Domains()
+	stats := s.statsOf(opts)
+
+	// Stage 0: warm-start hints.
+	for _, hint := range opts.Hints {
+		h := clampToBox(hint, domains)
+		if s.Satisfies(h) {
+			if stats != nil {
+				stats.HintHits.Add(1)
+			}
+			return h, StatusSat
+		}
+		if stats != nil {
+			stats.Repairs.Add(1)
+		}
+		if repaired, ok := s.repair(h, domains, opts.RepairSteps, rng); ok {
+			return repaired, StatusSat
+		}
+	}
+
+	// Stages 1–2: uniform sampling, then hinge-loss repair.
+	if opts.Workers > 1 {
+		if ws := s.parallelWitnesses(opts, rng, 1); len(ws) > 0 {
+			return ws[0], StatusSat
+		}
+	} else {
+		scratch := make([]float64, len(domains))
+		for i := 0; i < opts.Samples; i++ {
+			if stats != nil {
+				stats.Samples.Add(1)
+			}
+			fillRandomVector(scratch, domains, rng)
+			if s.Satisfies(scratch) {
+				return append([]float64(nil), scratch...), StatusSat
+			}
+		}
+		for r := 0; r < opts.RepairRestarts; r++ {
+			if stats != nil {
+				stats.Repairs.Add(1)
+			}
+			fillRandomVector(scratch, domains, rng)
+			if repaired, ok := s.repair(scratch, domains, opts.RepairSteps, rng); ok {
+				return repaired, StatusSat
+			}
+		}
+	}
+
+	// Stage 3: branch-and-prune.
+	return s.branchAndPrune(domains, opts)
+}
+
+// repair runs coordinate descent on the hinge loss; see the package
+// documentation of the algorithm in solver.go. start is not retained.
+func (s *System) repair(start []float64, domains []interval.Interval, steps int, rng *rand.Rand) ([]float64, bool) {
+	h := append([]float64(nil), start...)
+	loss := s.Violation(h)
+	if loss == 0 {
+		return h, s.Satisfies(h)
+	}
+	step := make([]float64, len(domains))
+	for i, d := range domains {
+		step[i] = d.Width() / 4
+	}
+	for it := 0; it < steps && loss > 0; it++ {
+		improved := false
+		// Random dimension order de-correlates descent paths between
+		// restarts.
+		for _, i := range rng.Perm(len(h)) {
+			for _, dir := range []float64{+1, -1} {
+				cand := h[i] + dir*step[i]
+				if cand < domains[i].Lo || cand > domains[i].Hi {
+					continue
+				}
+				old := h[i]
+				h[i] = cand
+				if l := s.Violation(h); l < loss {
+					loss = l
+					improved = true
+					break
+				}
+				h[i] = old
+			}
+		}
+		if loss == 0 {
+			return h, s.Satisfies(h)
+		}
+		if !improved {
+			for i := range step {
+				step[i] /= 2
+			}
+			allTiny := true
+			for i, st := range step {
+				if st > domains[i].Width()*1e-12 {
+					allTiny = false
+					break
+				}
+			}
+			if allTiny {
+				break
+			}
+		}
+	}
+	return h, loss == 0 && s.Satisfies(h)
+}
+
+// branchAndPrune exhaustively explores the hole box; see the
+// Problem-level documentation in solver.go for the pruning rules and
+// the δ-unsat convention. Constraint intervals come from the
+// pre-specialized programs, so no scenario boxes are materialized, and
+// the midpoint/corner scratch vector is reused across boxes.
+func (s *System) branchAndPrune(domains []interval.Interval, opts Options) ([]float64, Status) {
+	stats := s.statsOf(opts)
+	minWidths := make([]float64, len(domains))
+	for i, d := range domains {
+		minWidths[i] = math.Max(d.Width()*opts.MinBoxWidth, 1e-12)
+	}
+	stack := [][]interval.Interval{append([]interval.Interval(nil), domains...)}
+	processed := 0
+	mid := make([]float64, len(domains))
+
+	for len(stack) > 0 {
+		if processed >= opts.MaxBoxes {
+			return nil, StatusUnknown
+		}
+		processed++
+		if stats != nil {
+			stats.Boxes.Add(1)
+		}
+		box := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		feasible := true
+		pruned := false
+		for i := range s.cps {
+			diff := s.cps[i].diff.EvalInterval(nil, box)
+			if diff.Hi <= s.margin {
+				pruned = true
+				break
+			}
+			if !(diff.Lo > s.margin) {
+				feasible = false
+			}
+		}
+		if !pruned {
+			for i := range s.cts {
+				diff := s.cts[i].diff.EvalInterval(nil, box)
+				if diff.Lo > s.cts[i].band || diff.Hi < -s.cts[i].band {
+					pruned = true
+					break
+				}
+				if !(diff.Lo >= -s.cts[i].band && diff.Hi <= s.cts[i].band) {
+					feasible = false
+				}
+			}
+		}
+		if pruned {
+			continue
+		}
+		fillMidpoint(mid, box)
+		if feasible {
+			return append([]float64(nil), mid...), StatusSat
+		}
+		// Undecided: try the midpoint as a cheap witness.
+		if s.Satisfies(mid) {
+			return append([]float64(nil), mid...), StatusSat
+		}
+		// Split the widest (relative to floor) dimension.
+		widest, ratio := -1, 1.0
+		for i, iv := range box {
+			if r := iv.Width() / minWidths[i]; r > ratio {
+				widest, ratio = i, r
+			}
+		}
+		if widest < 0 {
+			// At the resolution floor and still undecided: point-check the
+			// corners (mid still holds the midpoint for dims beyond the
+			// enumeration cap).
+			if w := s.cornerWitness(box, mid); w != nil {
+				return w, StatusSat
+			}
+			continue
+		}
+		l, r := box[widest].Split()
+		left := append([]interval.Interval(nil), box...)
+		right := append([]interval.Interval(nil), box...)
+		left[widest] = l
+		right[widest] = r
+		stack = append(stack, left, right)
+	}
+	return nil, StatusUnsat
+}
+
+// cornerWitness point-checks the corners of a box (up to 2^8 of them)
+// and returns a copy of the first satisfying corner, or nil. h must
+// hold the box midpoint on entry and is used as scratch.
+func (s *System) cornerWitness(box []interval.Interval, h []float64) []float64 {
+	d := len(box)
+	if d > 8 {
+		d = 8 // cap the enumeration; remaining dims stay at midpoint
+	}
+	for mask := 0; mask < 1<<d; mask++ {
+		for i := 0; i < d; i++ {
+			if mask&(1<<i) != 0 {
+				h[i] = box[i].Hi
+			} else {
+				h[i] = box[i].Lo
+			}
+		}
+		if s.Satisfies(h) {
+			return append([]float64(nil), h...)
+		}
+	}
+	return nil
+}
+
+// BestEffort returns the lowest-violation hole vector found within the
+// sampling/repair budget; see the Problem-level BestEffort.
+func (s *System) BestEffort(opts Options, rng *rand.Rand) (holes []float64, loss float64, satisfied []bool) {
+	domains := s.sk.Domains()
+	best := randomVector(domains, rng)
+	bestLoss := s.Violation(best)
+	consider := func(h []float64) {
+		if l := s.Violation(h); l < bestLoss {
+			best, bestLoss = append([]float64(nil), h...), l
+		}
+	}
+	for _, hint := range opts.Hints {
+		consider(clampToBox(hint, domains))
+	}
+	scratch := make([]float64, len(domains))
+	for i := 0; i < opts.Samples && bestLoss > 0; i++ {
+		fillRandomVector(scratch, domains, rng)
+		consider(scratch)
+	}
+	for r := 0; r < opts.RepairRestarts && bestLoss > 0; r++ {
+		fillRandomVector(scratch, domains, rng)
+		start := scratch
+		if r == 0 && len(opts.Hints) > 0 {
+			start = clampToBox(opts.Hints[0], domains)
+		}
+		repaired, _ := s.repair(start, domains, opts.RepairSteps, rng)
+		consider(repaired)
+	}
+	return best, bestLoss, s.SatisfiedMask(best, nil)
+}
+
+// FindDiverse returns up to k consistent hole vectors that are mutually
+// spread out in the hole box; see the Problem-level FindDiverse.
+func (s *System) FindDiverse(k int, opts Options, rng *rand.Rand) [][]float64 {
+	domains := s.sk.Domains()
+	var pool [][]float64
+
+	// Warm-start hints first: they anchor the pool in the known-feasible
+	// region and their repairs land on version-space boundaries.
+	for _, hint := range opts.Hints {
+		h := clampToBox(hint, domains)
+		if s.Satisfies(h) {
+			pool = append(pool, h)
+		} else if repaired, ok := s.repair(h, domains, opts.RepairSteps, rng); ok {
+			pool = append(pool, repaired)
+		}
+	}
+
+	// Pool from sampling, topped up with repaired points (they land on
+	// feasibility boundaries, which is where behavioral differences
+	// concentrate). With Workers > 1 the search fans out.
+	if opts.Workers > 1 {
+		per := (8*k + opts.Workers - 1) / opts.Workers
+		pool = append(pool, s.parallelWitnesses(opts, rng, per)...)
+	} else {
+		scratch := make([]float64, len(domains))
+		for i := 0; i < opts.Samples && len(pool) < 8*k; i++ {
+			fillRandomVector(scratch, domains, rng)
+			if s.Satisfies(scratch) {
+				pool = append(pool, append([]float64(nil), scratch...))
+			}
+		}
+		for r := 0; r < opts.RepairRestarts && len(pool) < 8*k; r++ {
+			fillRandomVector(scratch, domains, rng)
+			if repaired, ok := s.repair(scratch, domains, opts.RepairSteps, rng); ok {
+				pool = append(pool, repaired)
+			}
+		}
+	}
+	if len(pool) == 0 {
+		if h, st := s.FindCandidate(opts, rng); st == StatusSat {
+			pool = append(pool, h)
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	if len(pool) <= k {
+		return pool
+	}
+	return diverseSubset(pool, k, domains)
+}
+
+// diverseSubset is the greedy max-min selection over a witness pool,
+// seeded with the pool point farthest from the box center (normalized
+// coordinates).
+func diverseSubset(pool [][]float64, k int, domains []interval.Interval) [][]float64 {
+	norm := func(h []float64) []float64 {
+		out := make([]float64, len(h))
+		for i, d := range domains {
+			w := d.Width()
+			if w == 0 {
+				continue
+			}
+			out[i] = (h[i] - d.Lo) / w
+		}
+		return out
+	}
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return s
+	}
+	normed := make([][]float64, len(pool))
+	for i, h := range pool {
+		normed[i] = norm(h)
+	}
+	center := make([]float64, len(domains))
+	for i := range center {
+		center[i] = 0.5
+	}
+	first, best := 0, -1.0
+	for i := range pool {
+		if d := dist(normed[i], center); d > best {
+			first, best = i, d
+		}
+	}
+	chosen := []int{first}
+	for len(chosen) < k {
+		next, bestMin := -1, -1.0
+		for i := range pool {
+			minD := math.Inf(1)
+			for _, c := range chosen {
+				if i == c {
+					minD = 0
+					break
+				}
+				if d := dist(normed[i], normed[c]); d < minD {
+					minD = d
+				}
+			}
+			if minD > bestMin {
+				next, bestMin = i, minD
+			}
+		}
+		if next < 0 || bestMin == 0 {
+			break
+		}
+		chosen = append(chosen, next)
+	}
+	out := make([][]float64, len(chosen))
+	for i, c := range chosen {
+		out[i] = pool[c]
+	}
+	return out
+}
+
+// fillRandomVector draws a uniform point from the box into h, consuming
+// the RNG exactly like randomVector.
+func fillRandomVector(h []float64, domains []interval.Interval, rng *rand.Rand) {
+	for i, d := range domains {
+		h[i] = d.Lo + rng.Float64()*d.Width()
+	}
+}
+
+// fillMidpoint writes the box midpoint into out.
+func fillMidpoint(out []float64, box []interval.Interval) {
+	for i, iv := range box {
+		out[i] = iv.Mid()
+	}
+}
