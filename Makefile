@@ -3,12 +3,13 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench experiments examples fmt vet clean
+.PHONY: all build test test-short race cover bench bench-json experiments examples obs-smoke obs-demo fmt vet clean
 
-# Tier-1 verification: build, vet, the full test suite, and the race
+# Tier-1 verification: build, vet, the full test suite, the race
 # detector over the packages with real concurrency (parallel solver
-# workers, the sketch specialization cache).
-all: build vet test race
+# workers, the sketch specialization cache), and a smoke test of the
+# observability HTTP endpoint.
+all: build vet test race obs-smoke
 
 build:
 	$(GO) build ./...
@@ -20,13 +21,31 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/sketch/ ./internal/solver/ ./internal/core/
+	$(GO) test -race ./internal/sketch/ ./internal/solver/ ./internal/core/ ./internal/obs/
 
 cover:
 	$(GO) test -cover ./internal/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Archive hot-path benchmark results (ns/op, B/op, allocs/op) as JSON
+# for cross-commit perf tracking.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_solver.json
+
+# Boot the live observability endpoint: /metrics (Prometheus text),
+# /debug/vars (expvar), /debug/pprof, /trace (JSONL spans).
+obs-smoke:
+	$(GO) test -short -run TestServe ./internal/obs/
+
+# End-to-end demo of the -obs endpoint: run a small experiment campaign
+# with the endpoint attached, scrape /metrics while it lingers.
+obs-demo:
+	$(GO) run ./cmd/experiments -table1 -runs 2 -fast -effort \
+		-obs 127.0.0.1:8090 -obs-linger 6s & \
+	sleep 4 && curl -sf http://127.0.0.1:8090/metrics | grep -E '^compsynth_' | head -20; \
+	wait
 
 # Regenerate every paper artifact at full fidelity (EXPERIMENTS.md).
 experiments:

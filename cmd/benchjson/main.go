@@ -1,0 +1,111 @@
+// Command benchjson runs the repository's benchmarks and archives the
+// results as JSON (ns/op, B/op, allocs/op per benchmark), so perf can
+// be tracked and diffed across commits without scraping text logs.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_solver.json] [-bench regex] [-benchtime d]
+//	          [-count N] [pkg ...]
+//
+// Without package arguments it covers the solver-adjacent hot-path
+// packages. Invoked by `make bench-json`.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"time"
+
+	"compsynth/internal/benchfmt"
+)
+
+// defaultPackages are the hot-path packages whose benchmarks gate perf.
+var defaultPackages = []string{
+	"./internal/solver/",
+	"./internal/sketch/",
+	"./internal/expr/",
+}
+
+type document struct {
+	// Generated is the run timestamp (RFC 3339, UTC).
+	Generated string `json:"generated"`
+	// GoVersion and GOOS/GOARCH qualify the numbers: absolute ns/op are
+	// only comparable within one toolchain + platform.
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	Bench     string            `json:"bench_regex"`
+	Packages  []string          `json:"packages"`
+	Results   []benchfmt.Result `json:"results"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_solver.json", "output file")
+		benchRE   = flag.String("bench", ".", "benchmark name regex (go test -bench)")
+		benchtime = flag.String("benchtime", "", "per-benchmark time or iteration budget (go test -benchtime)")
+		count     = flag.Int("count", 1, "runs per benchmark (go test -count)")
+	)
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = defaultPackages
+	}
+	if err := run(*out, *benchRE, *benchtime, *count, pkgs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, benchRE, benchtime string, count int, pkgs []string) error {
+	args := []string{"test", "-run", "^$", "-bench", benchRE, "-benchmem",
+		"-count", fmt.Sprint(count)}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkgs...)
+
+	cmd := exec.Command("go", args...)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "benchjson: go %v\n", args)
+	if err := cmd.Run(); err != nil {
+		// Benchmark output collected so far still helps diagnose.
+		os.Stderr.Write(stdout.Bytes())
+		return fmt.Errorf("go test: %w", err)
+	}
+
+	results, err := benchfmt.Parse(bytes.NewReader(stdout.Bytes()))
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results parsed (regex %q over %v)", benchRE, pkgs)
+	}
+
+	doc := document{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     benchRE,
+		Packages:  pkgs,
+		Results:   results,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(results), out)
+	return nil
+}

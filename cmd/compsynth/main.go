@@ -10,6 +10,14 @@
 //	compsynth [-seed N] [-init K] [-pairs P] [-interactive]
 //	          [-target tp,l,s1,s2] [-sketch file] [-v]
 //	          [-save file] [-resume file] [-plot] [-dot file] [-explain]
+//	          [-obs addr] [-trace file.jsonl]
+//
+// -obs serves live observability over HTTP while the session runs:
+// Prometheus-text /metrics, expvar /debug/vars, pprof under
+// /debug/pprof/, and the span trace at /trace. -trace writes the span
+// trace as JSON Lines when the session ends. Neither affects the
+// session's results: instrumentation reads clocks and counters only,
+// never the random state.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 
 	"compsynth/internal/core"
 	"compsynth/internal/expr"
+	"compsynth/internal/obs"
 	"compsynth/internal/oracle"
 	"compsynth/internal/sketch"
 	"compsynth/internal/solver"
@@ -42,16 +51,57 @@ func main() {
 		dot         = flag.String("dot", "", "write the preference graph (Graphviz DOT) to this file")
 		sketchFile  = flag.String("sketch", "", "load a sketch spec file instead of the built-in SWAN sketch")
 		explain     = flag.Bool("explain", false, "report how tightly each hole is pinned down")
+		obsAddr     = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/pprof and /trace on this address while running (e.g. 127.0.0.1:8090)")
+		traceFile   = flag.String("trace", "", "write the synthesis span trace (JSON Lines) to this file")
 	)
 	flag.Parse()
 
-	if err := run(*seed, *initN, *pairs, *interactive, *targetStr, *verbose, *save, *resume, *plot, *dot, *sketchFile, *explain); err != nil {
+	if err := run(*seed, *initN, *pairs, *interactive, *targetStr, *verbose, *save, *resume, *plot, *dot, *sketchFile, *explain, *obsAddr, *traceFile); err != nil {
 		fmt.Fprintln(os.Stderr, "compsynth:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, initN, pairs int, interactive bool, targetStr string, verbose bool, save, resume string, plot bool, dot, sketchFile string, explain bool) error {
+func run(seed int64, initN, pairs int, interactive bool, targetStr string, verbose bool, save, resume string, plot bool, dot, sketchFile string, explain bool, obsAddr, traceFile string) error {
+	// Observability edge: a registry when anything will scrape it, a
+	// tracer when anyone will read spans (live /trace or a -trace dump).
+	var observer *obs.Observer
+	if obsAddr != "" || traceFile != "" {
+		observer = &obs.Observer{Tracer: obs.NewTracer(0)}
+		if obsAddr != "" {
+			observer.Registry = obs.NewRegistry()
+		}
+	}
+	if obsAddr != "" {
+		srv, err := obs.Serve(obsAddr, observer.Registry, observer.Tracer)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("observability endpoint on http://%s/ (metrics, debug/vars, debug/pprof, trace)\n", srv.Addr())
+	}
+	if traceFile != "" {
+		// Deferred so failed sessions dump their trace too — that is
+		// when a trace is most useful.
+		defer func() {
+			f, err := os.Create(traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "compsynth: trace:", err)
+				return
+			}
+			werr := observer.Tracer.WriteJSONL(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "compsynth: trace:", werr)
+				return
+			}
+			fmt.Printf("span trace written to %s (%d spans, %d dropped)\n",
+				traceFile, observer.Tracer.Len(), observer.Tracer.Dropped())
+		}()
+	}
+
 	sk := sketch.SWAN()
 	custom := false
 	if sketchFile != "" {
@@ -113,6 +163,7 @@ func run(seed int64, initN, pairs int, interactive bool, targetStr string, verbo
 		InitialScenarios:  initN,
 		PairsPerIteration: pairs,
 		Seed:              seed,
+		Obs:               observer,
 	}
 	if interactive {
 		// Humans deserve a progress pulse between questions.
@@ -163,9 +214,11 @@ func run(seed int64, initN, pairs int, interactive bool, targetStr string, verbo
 
 	if verbose {
 		for _, st := range res.Stats {
-			fmt.Printf("iteration %3d: status=%-8v queries=%d new-edges=%d synth=%v\n",
-				st.Index, st.Status, st.Queries, st.NewEdges, st.SynthTime)
+			fmt.Printf("iteration %3d: status=%-8v queries=%d new-edges=%d synth=%v oracle=%v\n",
+				st.Index, st.Status, st.Queries, st.NewEdges, st.SynthTime, st.OracleTime)
 		}
+		fmt.Println()
+		fmt.Print(res.EffortReport())
 	}
 	fmt.Printf("\nconverged=%v after %d iterations (%d preference edges, %d scenarios)\n",
 		res.Converged, res.Iterations, res.Graph.NumEdges(), res.Store.Len())

@@ -6,18 +6,27 @@
 //
 //	experiments [-table1] [-fig3] [-fig4] [-fig5] [-all]
 //	            [-runs N] [-seed S] [-fast] [-csv]
+//	            [-effort] [-obs addr] [-obs-linger d]
 //
 // Without -fast the runs use the full solver budget (the fidelity used
 // by EXPERIMENTS.md); -fast cuts budgets for a quick smoke pass.
+//
+// -obs serves live observability (Prometheus-text /metrics, expvar
+// /debug/vars, pprof under /debug/pprof/) for the whole campaign;
+// -obs-linger keeps the endpoint up that long after the runs finish so
+// scrapers can collect the final counters. -effort appends a per-run
+// table of oracle time and solver search counters to Table 1.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"compsynth/internal/core"
 	"compsynth/internal/experiments"
+	"compsynth/internal/obs"
 )
 
 func main() {
@@ -35,6 +44,9 @@ func main() {
 		multi    = flag.Bool("multiregion", false, "extension: multi-region sketch sweep (§4.1)")
 		fatigue  = flag.Bool("fatigue", false, "extension: user-fatigue sweep (§4.3 discussion)")
 		strategy = flag.Bool("strategy", false, "ablation: query-selection strategy comparison")
+		effort   = flag.Bool("effort", false, "print per-run effort accounting (oracle time, solver counters) with -table1")
+		obsAddr  = flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (e.g. 127.0.0.1:8090)")
+		linger   = flag.Duration("obs-linger", 0, "keep the -obs endpoint up this long after the runs finish")
 	)
 	flag.Parse()
 	if *all {
@@ -44,20 +56,42 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*table1, *fig3, *fig4, *fig5, *noise, *multi, *fatigue, *strategy, *runs, *seed, *fast, *csv); err != nil {
+	if *obsAddr != "" {
+		reg, tr := obs.NewRegistry(), obs.NewTracer(0)
+		srv, err := obs.Serve(*obsAddr, reg, tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		experiments.SetObserver(&obs.Observer{Registry: reg, Tracer: tr})
+		fmt.Printf("observability endpoint on http://%s/ (metrics, debug/vars, debug/pprof, trace)\n", srv.Addr())
+		defer srv.Close()
+		if *linger > 0 {
+			defer func() {
+				fmt.Printf("keeping observability endpoint up for %v...\n", *linger)
+				time.Sleep(*linger)
+			}()
+		}
+	}
+	if err := run(*table1, *fig3, *fig4, *fig5, *noise, *multi, *fatigue, *strategy, *runs, *seed, *fast, *csv, *effort); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table1, fig3, fig4, fig5, noise, multi, fatigue, strategy bool, runs int, seed int64, fast, csv bool) error {
+func run(table1, fig3, fig4, fig5, noise, multi, fatigue, strategy bool, runs int, seed int64, fast, csv, effort bool) error {
 	if table1 {
 		fmt.Printf("=== Table 1: summary over %d runs (default config) ===\n", runs)
-		rows, _, err := experiments.RunTable1(runs, seed, fast)
+		rows, results, err := experiments.RunTable1(runs, seed, fast)
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.FormatTable1(rows))
+		if effort {
+			fmt.Println()
+			fmt.Println("per-run effort:")
+			fmt.Print(experiments.FormatEffort(results))
+		}
 		fmt.Println()
 	}
 	if fig3 {

@@ -1,0 +1,98 @@
+// Package benchfmt parses the standard `go test -bench` text output
+// into structured records, so benchmark results can be archived as
+// JSON and diffed across commits (see cmd/benchjson and the
+// `make bench-json` target).
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Fields beyond NsPerOp are present only
+// when the corresponding unit appeared (B/op and allocs/op require
+// -benchmem; MB/s requires SetBytes).
+type Result struct {
+	// Name is the full benchmark name including the -GOMAXPROCS suffix,
+	// e.g. "BenchmarkFindCandidateSystem-8".
+	Name string `json:"name"`
+	// Iterations is b.N for the measured run.
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Parse reads `go test -bench` output and returns the benchmark lines
+// in order of appearance. Non-benchmark lines (PASS, ok, pkg headers)
+// are skipped. A line that starts with "Benchmark" but does not parse
+// is an error — silent drops would make a regression gate vacuous.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	// Minimum shape: Name N value ns/op
+	if len(fields) < 4 {
+		return Result{}, fmt.Errorf("benchfmt: short benchmark line %q", line)
+	}
+	var res Result
+	res.Name = fields[0]
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("benchfmt: bad iteration count in %q: %v", line, err)
+	}
+	res.Iterations = n
+	// The rest is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		unit := fields[i+1]
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			switch unit {
+			case "ns/op", "MB/s", "B/op", "allocs/op":
+				return Result{}, fmt.Errorf("benchfmt: bad value %q in %q: %v", fields[i], line, err)
+			default:
+				// Unknown units (custom b.ReportMetric) may carry values
+				// this parser has no business rejecting.
+				continue
+			}
+		}
+		switch unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "MB/s":
+			res.MBPerSec = v
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+			// Unknown units are ignored.
+		}
+	}
+	if res.NsPerOp == 0 && !strings.Contains(line, "ns/op") {
+		return Result{}, fmt.Errorf("benchfmt: no ns/op in benchmark line %q", line)
+	}
+	return res, nil
+}

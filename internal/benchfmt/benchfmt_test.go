@@ -1,0 +1,63 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: compsynth/internal/solver
+cpu: Test CPU @ 3.00GHz
+BenchmarkViolation/problem-8         	   10000	    113601 ns/op	   46k extra	  12 B/op	       1 allocs/op
+BenchmarkFindCandidateSystem-8       	     514	   2304027 ns/op	    2048 B/op	       6 allocs/op
+BenchmarkThroughput-8                	    1000	      1050 ns/op	 952.38 MB/s
+PASS
+ok  	compsynth/internal/solver	5.123s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkViolation/problem-8" ||
+		r.Iterations != 10000 || r.NsPerOp != 113601 ||
+		r.BytesPerOp != 12 || r.AllocsPerOp != 1 {
+		t.Errorf("first line parsed wrong: %+v", r)
+	}
+	r = results[1]
+	if r.Name != "BenchmarkFindCandidateSystem-8" || r.AllocsPerOp != 6 || r.BytesPerOp != 2048 {
+		t.Errorf("second line parsed wrong: %+v", r)
+	}
+	if results[2].MBPerSec != 952.38 {
+		t.Errorf("MB/s parsed wrong: %+v", results[2])
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-8",                  // short
+		"BenchmarkX-8 abc 100 ns/op",    // bad count
+		"BenchmarkX-8 100 xyz ns/op",    // bad value
+		"BenchmarkX-8 100 5 B/op extra", // no ns/op anywhere
+	} {
+		if _, err := Parse(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("Parse accepted malformed line %q", bad)
+		}
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	results, err := Parse(strings.NewReader("PASS\nok x 1s\n\n--- BENCH: foo\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("got %d results from noise, want 0", len(results))
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"time"
 
+	"compsynth/internal/obs"
 	"compsynth/internal/oracle"
 	"compsynth/internal/prefgraph"
 	"compsynth/internal/scenario"
@@ -117,6 +118,14 @@ type Config struct {
 	// Noise selects the inconsistent-answer policy.
 	Noise NoisePolicy
 
+	// Obs optionally attaches observability: a metrics registry (solver,
+	// sketch-cache, and loop counters become scrapeable) and/or a span
+	// tracer recording per-iteration events. Nil, or an Observer with
+	// nil fields, costs nothing on the synthesis path and never touches
+	// the session's randomness — transcripts are bit-identical with and
+	// without it.
+	Obs *obs.Observer
+
 	// Solver and Distinguish tune the constraint-solving backend; zero
 	// values select solver.DefaultOptions / DefaultDistinguishOptions.
 	Solver      solver.Options
@@ -146,7 +155,9 @@ func (c Config) withDefaults() Config {
 		c.ConvergenceChecks = 2
 	}
 	if c.Solver.Samples == 0 && c.Solver.RepairRestarts == 0 {
+		stats := c.Solver.Stats
 		c.Solver = solver.DefaultOptions()
+		c.Solver.Stats = stats
 	}
 	if c.Distinguish == (solver.DistinguishOptions{}) {
 		c.Distinguish = solver.DefaultDistinguishOptions()
@@ -168,6 +179,9 @@ type IterationStat struct {
 	// Rejected is the number of answers dropped or repaired away due to
 	// contradictions.
 	Rejected int
+	// OracleTime is the wall time spent waiting on the oracle this
+	// iteration (excluded from SynthTime, as in the paper).
+	OracleTime time.Duration
 	// Status is the distinguishing-query verdict.
 	Status solver.Status
 }
@@ -189,6 +203,18 @@ type Result struct {
 	InitTime time.Duration
 	// TotalSynthTime is the summed solver time (init + iterations).
 	TotalSynthTime time.Duration
+	// OracleTime is the summed wall time spent inside Oracle.Compare
+	// across the whole session (initial ranking included). The paper's
+	// methodology reports synthesis time net of the user; this is the
+	// other side of that ledger.
+	OracleTime time.Duration
+	// Queries is the total number of oracle comparisons issued
+	// (initial ranking + query loop).
+	Queries int
+	// SolverEffort snapshots the solver's cumulative search counters at
+	// session end. Nil unless Config.Solver.Stats was set (attaching an
+	// Observer with a registry sets it automatically).
+	SolverEffort *solver.StatsSnapshot
 	// Graph is the final preference graph; Store resolves its vertex
 	// IDs to scenarios.
 	Graph *prefgraph.Graph
@@ -238,6 +264,15 @@ type Synthesizer struct {
 	preloaded bool
 	// ties are the indifference constraints collected under LearnTies.
 	ties []solver.Tie
+	// user wraps cfg.Oracle with timing/counting (see timedOracle); all
+	// comparisons go through it.
+	user oracle.Oracle
+	// om holds the loop metrics (nil when no registry is attached).
+	om *coreMetrics
+	// oracleTime and queries accumulate across the session; finish
+	// publishes them on the Result.
+	oracleTime time.Duration
+	queries    int
 }
 
 // maxHints caps the warm-start pool.
@@ -277,6 +312,11 @@ func New(cfg Config) (*Synthesizer, error) {
 		return nil, errors.New("core: Config.Oracle is required")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Obs.Reg() != nil && cfg.Solver.Stats == nil {
+		// A registry without Stats would scrape zeros for the solver
+		// counters; attach the storage the read-through views need.
+		cfg.Solver.Stats = &solver.Stats{}
+	}
 	// Scenario dedup tolerance: a millionth of the metric ranges.
 	tol := 0.0
 	for _, r := range cfg.Sketch.Space().Ranges() {
@@ -284,13 +324,20 @@ func New(cfg Config) (*Synthesizer, error) {
 			tol = w
 		}
 	}
-	return &Synthesizer{
+	s := &Synthesizer{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		graph: prefgraph.New(),
 		store: scenario.NewStore(cfg.Sketch.Space(), tol),
 		sys:   solver.NewSystem(cfg.Sketch, cfg.Margin, cfg.Viable, cfg.Solver.Stats),
-	}, nil
+	}
+	s.user = timedOracle{s}
+	if reg := cfg.Obs.Reg(); reg != nil {
+		s.om = newCoreMetrics(reg)
+		s.sys.SetMetrics(solver.NewMetrics(reg, cfg.Solver.Stats))
+		sketch.RegisterMetrics(reg, cfg.Sketch)
+	}
+	return s, nil
 }
 
 // Run executes the synthesis session to convergence (or the iteration
@@ -305,12 +352,21 @@ func (s *Synthesizer) Run() (*Result, error) {
 // prefer it.
 func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 	res := &Result{Graph: s.graph, Store: s.store}
+	s.om.sessionStart()
+	tr := s.tracer()
 
+	spInit := tr.Begin("init")
 	initStart := time.Now()
 	if err := s.initGraph(res); err != nil {
+		spInit.End()
 		return nil, err
 	}
 	res.InitTime = time.Since(initStart)
+	if spInit.Active() {
+		spInit.End(
+			obs.Num("edges", float64(s.graph.NumEdges())),
+			obs.Num("queries", float64(s.queries)))
+	}
 	res.TotalSynthTime += res.InitTime
 
 	unsatStreak := 0
@@ -319,33 +375,43 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 			return nil, fmt.Errorf("core: session canceled after %d iterations: %w", iter-1, err)
 		}
 		stat := IterationStat{Index: iter}
+		spIter := tr.Begin("iteration")
 
 		solveStart := time.Now()
+		spSolve := tr.Begin("solve")
 		wits, status := s.sys.FindDistinguishingMany(
 			s.cfg.PairsPerIteration, s.solverOpts(0), s.cfg.Distinguish, s.rng)
+		if spSolve.Active() {
+			spSolve.End(obs.Num("escalation", 0), obs.Num("status", float64(status)))
+		}
 		if status == solver.StatusUnknown {
 			// No consistent candidate found at the base budget. Escalate
 			// once: the version space may just be small.
+			spSolve = tr.Begin("solve")
 			wits, status = s.sys.FindDistinguishingMany(
 				s.cfg.PairsPerIteration, s.solverOpts(2), s.cfg.Distinguish, s.rng)
+			if spSolve.Active() {
+				spSolve.End(obs.Num("escalation", 2), obs.Num("status", float64(status)))
+			}
 		}
 		if status == solver.StatusUnknown {
 			// Still nothing: the preference constraints are numerically
 			// infeasible for this sketch (inconsistent answers that did
 			// not form a graph cycle). Relax per the noise policy.
+			spRelax := tr.Begin("relax")
 			dropped, relaxErr := s.relax()
+			if spRelax.Active() {
+				spRelax.End(obs.Num("dropped", float64(dropped)))
+			}
 			if relaxErr != nil {
+				spIter.End()
 				return nil, fmt.Errorf("%w (after %d iterations)", relaxErr, iter-1)
 			}
 			stat.Rejected += dropped
 			stat.SynthTime = time.Since(solveStart)
 			stat.Status = status
 			res.TotalSynthTime += stat.SynthTime
-			res.Stats = append(res.Stats, stat)
-			if s.cfg.OnIteration != nil {
-				s.cfg.OnIteration(stat)
-			}
-			res.Iterations = iter
+			s.endIteration(res, stat, spIter)
 			continue
 		}
 		stat.SynthTime = time.Since(solveStart)
@@ -355,11 +421,7 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 		switch status {
 		case solver.StatusUnsat:
 			unsatStreak++
-			res.Stats = append(res.Stats, stat)
-			if s.cfg.OnIteration != nil {
-				s.cfg.OnIteration(stat)
-			}
-			res.Iterations = iter
+			s.endIteration(res, stat, spIter)
 			if unsatStreak >= s.cfg.ConvergenceChecks {
 				res.Converged = true
 				return s.finish(res)
@@ -371,28 +433,47 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 		for _, w := range wits {
 			s.addHints(w.A, w.B)
 		}
+		oracleBefore := s.oracleTime
 		for _, w := range wits {
-			pref := s.cfg.Oracle.Compare(w.X1, w.X2)
+			pref := s.user.Compare(w.X1, w.X2)
 			stat.Queries++
 			added, rejected, err := s.record(w.X1, w.X2, pref)
 			if err != nil {
+				spIter.End()
 				return nil, err
 			}
 			stat.NewEdges += added
 			stat.Rejected += rejected
 		}
+		stat.OracleTime = s.oracleTime - oracleBefore
 		if s.cfg.TransitiveReduction {
 			if s.graph.TransitiveReduction() > 0 {
 				s.rebuildSystem()
 			}
 		}
-		res.Stats = append(res.Stats, stat)
-		if s.cfg.OnIteration != nil {
-			s.cfg.OnIteration(stat)
-		}
-		res.Iterations = iter
+		s.endIteration(res, stat, spIter)
 	}
 	return s.finish(res)
+}
+
+// endIteration publishes one completed round: loop metrics, the
+// "iteration" span, the per-iteration stats entry, and the progress
+// hook. Every iteration exit path funnels through here.
+func (s *Synthesizer) endIteration(res *Result, stat IterationStat, sp obs.Span) {
+	s.om.observeIteration(stat)
+	if sp.Active() {
+		sp.End(
+			obs.Num("index", float64(stat.Index)),
+			obs.Num("queries", float64(stat.Queries)),
+			obs.Num("new_edges", float64(stat.NewEdges)),
+			obs.Num("rejected", float64(stat.Rejected)),
+			obs.Num("status", float64(stat.Status)))
+	}
+	res.Stats = append(res.Stats, stat)
+	if s.cfg.OnIteration != nil {
+		s.cfg.OnIteration(stat)
+	}
+	res.Iterations = stat.Index
 }
 
 // initGraph seeds the preference graph with a ranking of random
@@ -417,7 +498,7 @@ func (s *Synthesizer) initGraph(res *Result) error {
 	} else {
 		scs = s.cfg.Sketch.Space().RandomN(s.rng, n)
 	}
-	groups := oracle.Rank(s.cfg.Oracle, scs)
+	groups := oracle.Rank(s.user, scs)
 	// Edges between members of consecutive groups carry the full
 	// ranking (transitivity supplies the rest).
 	for gi := 0; gi+1 < len(groups); gi++ {
@@ -513,12 +594,17 @@ func (s *Synthesizer) insertEdge(e prefgraph.Edge) {
 	// answer scenarios): deduplication may have snapped the answer onto
 	// an earlier scenario within tolerance, and problem() resolves
 	// through the store too.
+	sp := s.tracer().Begin("edge-insert")
 	better, _ := s.store.Get(e.Better)
 	worse, _ := s.store.Get(e.Worse)
 	s.sysEdges = append(s.sysEdges, prefgraph.Edge{})
 	copy(s.sysEdges[i+1:], s.sysEdges[i:])
 	s.sysEdges[i] = e
 	s.sys.InsertPref(i, solver.Pref{Better: better, Worse: worse})
+	if s.om != nil {
+		s.om.edges.Inc()
+	}
+	sp.End()
 }
 
 // rebuildSystem recompiles the system from the graph after a bulk
@@ -527,6 +613,7 @@ func (s *Synthesizer) insertEdge(e prefgraph.Edge) {
 // rebuild costs one fused difference compile per edge, not a full
 // re-specialization.
 func (s *Synthesizer) rebuildSystem() {
+	sp := s.tracer().Begin("system-rebuild")
 	s.sys.Reset()
 	s.sysEdges = s.graph.Edges()
 	for _, e := range s.sysEdges {
@@ -536,6 +623,12 @@ func (s *Synthesizer) rebuildSystem() {
 	}
 	for _, t := range s.ties {
 		s.sys.AddTie(t)
+	}
+	if s.om != nil {
+		s.om.rebuilds.Inc()
+	}
+	if sp.Active() {
+		sp.End(obs.Num("edges", float64(len(s.sysEdges))))
 	}
 }
 
@@ -597,8 +690,10 @@ func (s *Synthesizer) relax() (int, error) {
 	return dropped, nil
 }
 
-// finish extracts the final representative candidate.
+// finish extracts the final representative candidate and seals the
+// session's effort accounting onto the Result.
 func (s *Synthesizer) finish(res *Result) (*Result, error) {
+	sp := s.tracer().Begin("finish")
 	res.Ties = append([]solver.Tie(nil), s.ties...)
 	start := time.Now()
 	holes, status := s.sys.FindCandidate(s.solverOpts(0), s.rng)
@@ -606,6 +701,16 @@ func (s *Synthesizer) finish(res *Result) (*Result, error) {
 		holes, status = s.sys.FindCandidate(s.solverOpts(2), s.rng)
 	}
 	res.TotalSynthTime += time.Since(start)
+	res.OracleTime = s.oracleTime
+	res.Queries = s.queries
+	if s.cfg.Solver.Stats != nil {
+		snap := s.cfg.Solver.Stats.Snapshot()
+		res.SolverEffort = &snap
+	}
+	s.om.sessionEnd(res.Converged)
+	if sp.Active() {
+		sp.End(obs.Num("status", float64(status)))
+	}
 	if status != solver.StatusSat {
 		return nil, fmt.Errorf("%w (final extraction: %v)", ErrNoCandidate, status)
 	}

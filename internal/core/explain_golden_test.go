@@ -1,0 +1,59 @@
+package core
+
+// Golden test for the explanation text: a fixed-seed session followed
+// by a fixed-seed Explain must render the same estimates table every
+// time. This pins both the Explain sampling (which rides the solver's
+// deterministic search) and the FormatEstimates layout.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./internal/core/ -run TestGoldenExplain -update-explain-golden
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateExplainGolden = flag.Bool("update-explain-golden", false, "rewrite the golden explanation file")
+
+func TestGoldenExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesis run")
+	}
+	cfg := fastConfig(t, 81)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ests, err := s.Explain(16, rand.New(rand.NewSource(82)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatEstimates(ests)
+
+	path := filepath.Join("testdata", "explain_seed81.txt")
+	if *updateExplainGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update-explain-golden): %v", err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		t.Errorf("explanation diverged from golden file %s\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,57 @@
+package core_test
+
+// Observability must be a pure observer: attaching a metrics registry
+// and a span tracer reads clocks and counters but never the session's
+// random state, so the transcript of an instrumented run must be
+// byte-identical to the pinned golden transcript of the bare run.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compsynth/internal/core"
+	"compsynth/internal/obs"
+)
+
+func TestGoldenTranscriptObsInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden synthesis runs are not -short friendly")
+	}
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Obs = &obs.Observer{
+				Registry: obs.NewRegistry(),
+				Tracer:   obs.NewTracer(0),
+			}
+			synth, err := core.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := synth.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if _, err := core.Export(res).WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden_"+tc.name+".json")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update-golden): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("transcript with observability attached diverged from %s:\n"+
+					"instrumentation perturbed the session (it must not touch RNG state);\n"+
+					"got %d bytes, want %d bytes", path, buf.Len(), len(want))
+			}
+			if tr := cfg.Obs.Trace(); tr.Len() == 0 {
+				t.Error("tracer recorded no spans — instrumentation not wired")
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"compsynth/internal/core"
 	"compsynth/internal/oracle"
 	"compsynth/internal/sketch"
+	"compsynth/internal/solver"
 	"compsynth/internal/stats"
 )
 
@@ -49,8 +50,11 @@ type RunResult struct {
 	TotalSynthSec   float64
 	SecPerIteration float64 // mean solver time per iteration
 	Queries         int     // oracle comparisons issued
+	OracleSec       float64 // wall time spent inside the oracle
 	Agreement       float64 // ranking agreement with the ground truth
 	Final           *sketch.Candidate
+	// Solver is the run's solver search effort (fresh counters per run).
+	Solver solver.StatsSnapshot
 }
 
 // RunOnce executes a single synthesis run against an oracle playing
@@ -71,7 +75,11 @@ func RunOnce(cfg RunConfig) (RunResult, error) {
 		InitialScenarios:  cfg.InitialScenarios,
 		PairsPerIteration: cfg.PairsPerIteration,
 		Seed:              cfg.Seed,
+		Obs:               observer.Load(),
 	}
+	// Fresh per-run counters so RunResult.Solver is this run's effort,
+	// not the campaign's cumulative total.
+	ccfg.Solver.Stats = &solver.Stats{}
 	if cfg.Fast {
 		ccfg.Solver.Samples = 150
 		ccfg.Solver.RepairRestarts = 5
@@ -96,7 +104,11 @@ func RunOnce(cfg RunConfig) (RunResult, error) {
 		Converged:     res.Converged,
 		TotalSynthSec: res.TotalSynthTime.Seconds(),
 		Queries:       counting.Queries,
+		OracleSec:     res.OracleTime.Seconds(),
 		Final:         res.Final,
+	}
+	if res.SolverEffort != nil {
+		out.Solver = *res.SolverEffort
 	}
 	if res.Iterations > 0 {
 		var iterSec float64

@@ -161,7 +161,7 @@ func eqInterval(a, b interval.Interval) bool {
 
 func FuzzDifferentialEval(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{3, 0, 1, 0, 3, 3, 2, 0, 2, 1})           // a - b style
+	f.Add([]byte{3, 0, 1, 0, 3, 3, 2, 0, 2, 1})          // a - b style
 	f.Add([]byte{7, 1, 3, 1, 0, 0, 9, 3, 2, 2, 0, 1, 2}) // if with cmp
 	f.Add([]byte{3, 3, 0, 9, 1, 0, 3, 5, 0, 10, 2, 1})   // Inf arithmetic
 	f.Fuzz(func(t *testing.T, data []byte) {

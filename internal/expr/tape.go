@@ -26,28 +26,28 @@ import "math"
 type tapeCode uint32
 
 const (
-	tConst tapeCode = iota // push consts[arg] onto the float stack
-	tVar                   // push vars[arg]
-	tHole                  // push holes[arg]
-	tAdd                   // pop b, a; push a+b
-	tSub                   // pop b, a; push a-b
-	tMul                   // pop b, a; push a*b
-	tDiv                   // pop b, a; push a/b
-	tMin                   // pop b, a; push math.Min(a, b)
-	tMax                   // pop b, a; push math.Max(a, b)
-	tNeg                   // negate top of float stack
-	tAbs                   // absolute value of top of float stack
-	tCmpGE                 // pop b, a; push a>=b onto the bool stack
-	tCmpLE                 // pop b, a; push a<=b
-	tCmpGT                 // pop b, a; push a>b
-	tCmpLT                 // pop b, a; push a<b
-	tCmpEQ                 // pop b, a; push a==b
-	tAnd                   // pop q, p; push p&&q
-	tOr                    // pop q, p; push p||q
-	tNot                   // invert top of bool stack
-	tBoolConst             // push arg != 0 onto the bool stack
-	tJmp                   // jump to arg
-	tJmpIfFalse            // pop bool; jump to arg when false
+	tConst      tapeCode = iota // push consts[arg] onto the float stack
+	tVar                        // push vars[arg]
+	tHole                       // push holes[arg]
+	tAdd                        // pop b, a; push a+b
+	tSub                        // pop b, a; push a-b
+	tMul                        // pop b, a; push a*b
+	tDiv                        // pop b, a; push a/b
+	tMin                        // pop b, a; push math.Min(a, b)
+	tMax                        // pop b, a; push math.Max(a, b)
+	tNeg                        // negate top of float stack
+	tAbs                        // absolute value of top of float stack
+	tCmpGE                      // pop b, a; push a>=b onto the bool stack
+	tCmpLE                      // pop b, a; push a<=b
+	tCmpGT                      // pop b, a; push a>b
+	tCmpLT                      // pop b, a; push a<b
+	tCmpEQ                      // pop b, a; push a==b
+	tAnd                        // pop q, p; push p&&q
+	tOr                         // pop q, p; push p||q
+	tNot                        // invert top of bool stack
+	tBoolConst                  // push arg != 0 onto the bool stack
+	tJmp                        // jump to arg
+	tJmpIfFalse                 // pop bool; jump to arg when false
 )
 
 // Stack caps for the fixed-size evaluation arrays, and the operand

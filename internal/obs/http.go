@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the flag-gated diagnostics HTTP endpoint behind the CLI
+// `-obs addr` flag. It serves:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/debug/vars    expvar JSON (process vars plus the registry snapshot)
+//	/debug/pprof/  the standard pprof handlers (profile, heap, trace, ...)
+//	/trace         the span ring buffer as JSON Lines (when a tracer is attached)
+//
+// It binds its own mux, so nothing leaks onto http.DefaultServeMux
+// beyond the side effects of importing net/http/pprof.
+type Server struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// Serve starts the diagnostics server on addr ("127.0.0.1:0" picks a
+// free port; the chosen address is available via Addr). reg and tr may
+// be nil — the corresponding endpoints then serve empty documents.
+func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg, tr),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go srv.Serve(lis) //nolint:errcheck // shutdown error is the normal exit path
+	return &Server{srv: srv, lis: lis}, nil
+}
+
+// Addr returns the bound address (host:port).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Handler returns the diagnostics mux; Serve wraps it, and embedding
+// servers can mount it under their own routes.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "compsynth diagnostics")
+		fmt.Fprintln(w, "  /metrics       Prometheus text")
+		fmt.Fprintln(w, "  /debug/vars    expvar JSON")
+		fmt.Fprintln(w, "  /debug/pprof/  pprof profiles")
+		fmt.Fprintln(w, "  /trace         span log (JSONL)")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // client disconnects only
+	})
+	mux.HandleFunc("/debug/vars", varsHandler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if tr != nil {
+			tr.WriteJSONL(w) //nolint:errcheck // client disconnects only
+		}
+	})
+	return mux
+}
+
+// varsHandler renders the expvar document — every published process
+// var (memstats, cmdline, ...) plus the registry snapshot under the
+// "compsynth" key. A custom handler instead of expvar.Publish keeps
+// multiple registries in one process (tests) from colliding on the
+// global publish namespace.
+func varsHandler(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		expvar.Do(func(kv expvar.KeyValue) {
+			fmt.Fprintf(w, "%q: %s,\n", kv.Key, kv.Value.String())
+		})
+		snap := expvar.Func(func() any { return reg.Snapshot() })
+		fmt.Fprintf(w, "%q: %s\n}\n", "compsynth", snap.String())
+	}
+}

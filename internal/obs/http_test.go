@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeEndpoints is the tier-1 -short smoke of the diagnostics
+// endpoint: every route must answer, /metrics must be valid Prometheus
+// text, /debug/vars valid JSON, and /trace valid JSONL.
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("smoke_total", "smoke counter").Add(3)
+	reg.Histogram("smoke_seconds", "", nil).Observe(0.02)
+	tr := NewTracer(8)
+	tr.Begin("smoke").End(Num("ok", 1))
+
+	srv, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		cli := &http.Client{Timeout: 5 * time.Second}
+		resp, err := cli.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "smoke_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", metrics)
+	}
+	assertPrometheusText(t, metrics)
+
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars not valid JSON: %v", err)
+	}
+	comp, ok := vars["compsynth"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/vars missing compsynth section: %v", vars)
+	}
+	if comp["smoke_total"] != 3.0 {
+		t.Errorf("compsynth.smoke_total = %v, want 3", comp["smoke_total"])
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars missing memstats")
+	}
+
+	var rec SpanRecord
+	if err := json.Unmarshal([]byte(strings.TrimSpace(get("/trace"))), &rec); err != nil {
+		t.Fatalf("/trace not valid JSONL: %v", err)
+	}
+	if rec.Name != "smoke" {
+		t.Errorf("trace span = %q, want smoke", rec.Name)
+	}
+
+	if !strings.Contains(get("/debug/pprof/"), "profile") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+	if !strings.Contains(get("/"), "/metrics") {
+		t.Error("index page missing endpoint listing")
+	}
+}
+
+// assertPrometheusText is a lightweight format validator: every
+// non-comment line must be `name{labels} value` with a parseable float
+// value, and every metric must be preceded by a TYPE comment.
+func assertPrometheusText(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Errorf("malformed TYPE comment: %q", line)
+				continue
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok && typed[b] {
+				base = b
+				break
+			}
+		}
+		if !typed[base] {
+			t.Errorf("sample %q has no TYPE comment", name)
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Errorf("sample %q has unparseable value %q", line, val)
+		}
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bogus", nil, nil); err == nil {
+		t.Error("bogus address did not error")
+	}
+}

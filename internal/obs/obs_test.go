@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("test_ops_total", "ops"); again != c {
+		t.Error("same name did not return the same counter")
+	}
+
+	g := r.Gauge("test_depth", "depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-105.65) > 1e-9 {
+		t.Errorf("sum = %v, want 105.65", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// le is cumulative: ≤0.1 holds 0.05 and 0.1, ≤1 adds 0.5, ≤10 adds 5,
+	// +Inf adds 100.
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.1"} 2`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="10"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		`test_seconds_count 5`,
+		"# TYPE test_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil instruments")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	r.CounterFunc("x", "", func() float64 { return 0 })
+	r.GaugeFunc("x", "", func() float64 { return 0 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil instruments retained state")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil registry exposition = %q, %v", b.String(), err)
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Error("nil registry snapshot non-empty")
+	}
+
+	var tr *Tracer
+	sp := tr.Begin("nothing")
+	sp.End(Num("k", 1))
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Error("nil tracer retained spans")
+	}
+}
+
+// TestNilInstrumentsAllocFree pins the zero-cost-when-disabled
+// contract: instrument calls through nil receivers must not allocate.
+func TestNilInstrumentsAllocFree(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(1)
+		h.Observe(1)
+		sp := tr.Begin("x")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil instruments allocate %v per op, want 0", allocs)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	g := r.Gauge("conc_gauge", "")
+	h := r.Histogram("conc_seconds", "", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %v, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestFuncMetricsAndReplacement(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.CounterFunc("fn_total", "first", func() float64 { return v })
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "fn_total 1") {
+		t.Errorf("func counter missing:\n%s", b.String())
+	}
+	// Replacement: a new session re-registers the view over its own state.
+	r.CounterFunc("fn_total", "second", func() float64 { return 42 })
+	b.Reset()
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "fn_total 42") {
+		t.Errorf("replaced func counter missing:\n%s", b.String())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kind_clash", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge over an existing counter name did not panic")
+		}
+	}()
+	r.Gauge("kind_clash", "")
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerNesting(t *testing.T) {
+	tr := NewTracer(16)
+	outer := tr.Begin("iteration")
+	inner := tr.Begin("solve")
+	inner.End(Num("status", 0))
+	outer.End(Num("index", 1), Num("queries", 2))
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	// Seq order: outer began first.
+	if spans[0].Name != "iteration" || spans[1].Name != "solve" {
+		t.Errorf("order = %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Depth != 0 || spans[1].Depth != 1 {
+		t.Errorf("depths = %d, %d, want 0, 1", spans[0].Depth, spans[1].Depth)
+	}
+	if spans[0].Attrs["queries"] != 2 {
+		t.Errorf("attrs = %v", spans[0].Attrs)
+	}
+	if spans[1].StartMicros < spans[0].StartMicros {
+		t.Error("child started before parent")
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Begin("e").End()
+	}
+	if tr.Len() != 4 {
+		t.Errorf("retained = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.Dropped())
+	}
+	spans := tr.Spans()
+	// The retained spans are the most recent four, in begin order.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Seq <= spans[i-1].Seq {
+			t.Errorf("spans out of order: %v", spans)
+		}
+	}
+	if spans[len(spans)-1].Seq != 10 {
+		t.Errorf("newest seq = %d, want 10", spans[len(spans)-1].Seq)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Begin("solve")
+	tr.Begin("oracle").End()
+	sp.End(Num("boxes", 12))
+
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var lines int
+	for sc.Scan() {
+		lines++
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines, err)
+		}
+		if rec.Name == "" {
+			t.Errorf("line %d has empty name", lines)
+		}
+	}
+	if lines != 2 {
+		t.Errorf("lines = %d, want 2", lines)
+	}
+}

@@ -1,0 +1,32 @@
+package sketch
+
+import "compsynth/internal/obs"
+
+// RegisterMetrics exposes the sketch's specialization-cache state on
+// the registry: size gauges for the per-scenario and fused-difference
+// caches and read-through hit/miss counters. Registering a second
+// sketch on the same registry repoints the views at it (the sequential
+// -session semantics documented on Registry.CounterFunc).
+func RegisterMetrics(reg *obs.Registry, sk *Sketch) {
+	if reg == nil || sk == nil {
+		return
+	}
+	reg.GaugeFunc("compsynth_sketch_spec_cache_size",
+		"cached per-scenario specializations",
+		func() float64 { return float64(sk.SpecializedCount()) })
+	reg.GaugeFunc("compsynth_sketch_diff_cache_size",
+		"cached fused difference programs",
+		func() float64 { return float64(sk.DiffCount()) })
+	reg.CounterFunc("compsynth_sketch_spec_cache_hits_total",
+		"per-scenario specialization cache hits",
+		func() float64 { return float64(sk.CacheStats().SpecHits) })
+	reg.CounterFunc("compsynth_sketch_spec_cache_misses_total",
+		"per-scenario specialization cache misses",
+		func() float64 { return float64(sk.CacheStats().SpecMisses) })
+	reg.CounterFunc("compsynth_sketch_diff_cache_hits_total",
+		"fused difference cache hits",
+		func() float64 { return float64(sk.CacheStats().DiffHits) })
+	reg.CounterFunc("compsynth_sketch_diff_cache_misses_total",
+		"fused difference cache misses",
+		func() float64 { return float64(sk.CacheStats().DiffMisses) })
+}

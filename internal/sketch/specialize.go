@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"compsynth/internal/expr"
 	"compsynth/internal/scenario"
@@ -36,6 +37,11 @@ const specCacheCap = 4096
 type specCache struct {
 	mu sync.RWMutex
 	m  map[string]*expr.Program
+	// hits/misses count lookups for observability (CacheStats). They
+	// ride alongside the map operations the lookup already pays for, so
+	// the accounting is always on; a miss that loses a compile race
+	// still counts as a miss (the compile work happened).
+	hits, misses atomic.Int64
 }
 
 // appendSpecKey appends the byte-exact map key of the scenario to dst.
@@ -64,8 +70,10 @@ func (s *Sketch) Specialize(sc scenario.Scenario) (*expr.Program, bool) {
 	prog, ok := s.spec.m[string(key)]
 	s.spec.mu.RUnlock()
 	if ok {
+		s.spec.hits.Add(1)
 		return prog, true
 	}
+	s.spec.misses.Add(1)
 
 	vars := make(map[string]float64, len(sc))
 	for i, name := range s.space.Names() {
@@ -97,6 +105,35 @@ func (s *Sketch) SpecializedCount() int {
 	return len(s.spec.m)
 }
 
+// DiffCount returns the number of cached fused difference programs.
+func (s *Sketch) DiffCount() int {
+	s.diff.mu.RLock()
+	defer s.diff.mu.RUnlock()
+	return len(s.diff.m)
+}
+
+// CacheStats reports the size and lookup outcomes of the two
+// specialization caches. Entries are current sizes (gauges); the
+// hit/miss counters are cumulative over the sketch's lifetime.
+type CacheStats struct {
+	SpecEntries, DiffEntries int
+	SpecHits, SpecMisses     int64
+	DiffHits, DiffMisses     int64
+}
+
+// CacheStats returns a consistent-enough snapshot of the cache
+// counters (each value is read atomically; the set is not one cut).
+func (s *Sketch) CacheStats() CacheStats {
+	return CacheStats{
+		SpecEntries: s.SpecializedCount(),
+		DiffEntries: s.DiffCount(),
+		SpecHits:    s.spec.hits.Load(),
+		SpecMisses:  s.spec.misses.Load(),
+		DiffHits:    s.diff.hits.Load(),
+		DiffMisses:  s.diff.misses.Load(),
+	}
+}
+
 // SpecializeDiff returns a compiled program computing f(a) − f(b) over
 // the hole-only specializations of the two scenarios, and whether it
 // was served from the cache. Preference constraints are differences by
@@ -118,8 +155,10 @@ func (s *Sketch) SpecializeDiff(a, b scenario.Scenario) (*expr.Program, bool) {
 	prog, ok := s.diff.m[string(key)]
 	s.diff.mu.RUnlock()
 	if ok {
+		s.diff.hits.Add(1)
 		return prog, true
 	}
+	s.diff.misses.Add(1)
 
 	pa, _ := s.Specialize(a)
 	pb, _ := s.Specialize(b)

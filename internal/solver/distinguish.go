@@ -3,6 +3,7 @@ package solver
 import (
 	"math"
 	"math/rand"
+	"time"
 
 	"compsynth/internal/scenario"
 )
@@ -131,10 +132,22 @@ func (s *System) FindDistinguishing(opts Options, dopts DistinguishOptions, rng 
 // FindDistinguishingMany is the System-level search; see the package
 // function of the same name.
 func (s *System) FindDistinguishingMany(k int, opts Options, dopts DistinguishOptions, rng *rand.Rand) ([]*Distinguishing, Status) {
+	var start time.Time
+	if s.metrics != nil {
+		start = time.Now()
+	}
+	wits, st := s.findDistinguishingMany(k, opts, dopts, rng)
+	if s.metrics != nil {
+		s.metrics.observe(s.metrics.distinguishSearches, time.Since(start), st, true)
+	}
+	return wits, st
+}
+
+func (s *System) findDistinguishingMany(k int, opts Options, dopts DistinguishOptions, rng *rand.Rand) ([]*Distinguishing, Status) {
 	if k < 1 {
 		k = 1
 	}
-	cands := s.FindDiverse(dopts.Candidates, opts, rng)
+	cands := s.findDiverse(dopts.Candidates, opts, rng)
 	if len(cands) == 0 {
 		return nil, StatusUnknown
 	}

@@ -128,6 +128,12 @@ type Options struct {
 
 // Stats counts solver effort. All counters are cumulative and safe for
 // concurrent use.
+//
+// Stats is the storage layer of the solver's observability: the atomics
+// here are bumped on hot paths, and an attached obs.Registry (see
+// NewMetrics) exposes them as thin read-through counter views — the
+// registry reads the atomics at scrape time, so /metrics costs nothing
+// on the search path.
 type Stats struct {
 	// Samples is the number of uniform random vectors evaluated.
 	Samples atomic.Int64
@@ -149,9 +155,63 @@ type Stats struct {
 
 // String renders the counters compactly.
 func (s *Stats) String() string {
+	return s.Snapshot().String()
+}
+
+// StatsSnapshot is a plain (non-atomic) copy of the Stats counters at
+// one instant. Snapshots can be compared and subtracted without racing
+// the live atomics, which is how callers attribute effort to phases of
+// a session (e.g. initial ranking vs the query loop).
+type StatsSnapshot struct {
+	Samples       int64
+	Repairs       int64
+	Boxes         int64
+	HintHits      int64
+	SpecCompiles  int64
+	SpecCacheHits int64
+}
+
+// Snapshot copies the current counter values. Each counter is loaded
+// atomically; the snapshot as a whole is not an atomic cut across
+// counters, which is fine for effort accounting (counters only grow).
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Samples:       s.Samples.Load(),
+		Repairs:       s.Repairs.Load(),
+		Boxes:         s.Boxes.Load(),
+		HintHits:      s.HintHits.Load(),
+		SpecCompiles:  s.SpecCompiles.Load(),
+		SpecCacheHits: s.SpecCacheHits.Load(),
+	}
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() {
+	s.Samples.Store(0)
+	s.Repairs.Store(0)
+	s.Boxes.Store(0)
+	s.HintHits.Store(0)
+	s.SpecCompiles.Store(0)
+	s.SpecCacheHits.Store(0)
+}
+
+// Sub returns the per-counter difference a − b: the effort spent
+// between two snapshots of the same Stats.
+func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Samples:       a.Samples - b.Samples,
+		Repairs:       a.Repairs - b.Repairs,
+		Boxes:         a.Boxes - b.Boxes,
+		HintHits:      a.HintHits - b.HintHits,
+		SpecCompiles:  a.SpecCompiles - b.SpecCompiles,
+		SpecCacheHits: a.SpecCacheHits - b.SpecCacheHits,
+	}
+}
+
+// String renders the snapshot in the Stats.String format.
+func (s StatsSnapshot) String() string {
 	return fmt.Sprintf("samples=%d repairs=%d boxes=%d hint-hits=%d spec-compiles=%d spec-hits=%d",
-		s.Samples.Load(), s.Repairs.Load(), s.Boxes.Load(), s.HintHits.Load(),
-		s.SpecCompiles.Load(), s.SpecCacheHits.Load())
+		s.Samples, s.Repairs, s.Boxes, s.HintHits, s.SpecCompiles, s.SpecCacheHits)
 }
 
 // DefaultOptions returns the tuning used by the synthesizer.

@@ -3,6 +3,7 @@ package solver
 import (
 	"math"
 	"math/rand"
+	"time"
 
 	"compsynth/internal/expr"
 	"compsynth/internal/interval"
@@ -29,6 +30,10 @@ type System struct {
 	margin float64
 	viable func(holes []float64) bool
 	stats  *Stats
+	// metrics, when non-nil, times and counts the public searches
+	// (see SetMetrics). Nil means zero instrumentation cost: the
+	// wrappers skip even the clock reads.
+	metrics *Metrics
 
 	prefs []Pref
 	cps   []compiledPref
@@ -94,6 +99,12 @@ func (s *System) compileDiff(a, b []float64) *expr.Program {
 	}
 	return prog
 }
+
+// SetMetrics attaches registry-backed instruments (obtained from
+// NewMetrics) to the system's searches. A nil argument detaches them.
+// Like constraint mutation, SetMetrics is not goroutine-safe with
+// concurrent searches.
+func (s *System) SetMetrics(m *Metrics) { s.metrics = m }
 
 // Sketch returns the sketch the system is compiled against.
 func (s *System) Sketch() *sketch.Sketch { return s.sk }
@@ -220,6 +231,18 @@ func (s *System) statsOf(opts Options) *Stats {
 // FindCandidate searches the hole box for a vector consistent with all
 // constraints; see the Problem-level FindCandidate for the staging.
 func (s *System) FindCandidate(opts Options, rng *rand.Rand) ([]float64, Status) {
+	var start time.Time
+	if s.metrics != nil {
+		start = time.Now()
+	}
+	h, st := s.findCandidate(opts, rng)
+	if s.metrics != nil {
+		s.metrics.observe(s.metrics.candidateSearches, time.Since(start), st, true)
+	}
+	return h, st
+}
+
+func (s *System) findCandidate(opts Options, rng *rand.Rand) ([]float64, Status) {
 	domains := s.sk.Domains()
 	stats := s.statsOf(opts)
 
@@ -438,6 +461,18 @@ func (s *System) cornerWitness(box []interval.Interval, h []float64) []float64 {
 // BestEffort returns the lowest-violation hole vector found within the
 // sampling/repair budget; see the Problem-level BestEffort.
 func (s *System) BestEffort(opts Options, rng *rand.Rand) (holes []float64, loss float64, satisfied []bool) {
+	var start time.Time
+	if s.metrics != nil {
+		start = time.Now()
+	}
+	holes, loss, satisfied = s.bestEffort(opts, rng)
+	if s.metrics != nil {
+		s.metrics.observe(s.metrics.bestEffortSearches, time.Since(start), 0, false)
+	}
+	return holes, loss, satisfied
+}
+
+func (s *System) bestEffort(opts Options, rng *rand.Rand) (holes []float64, loss float64, satisfied []bool) {
 	domains := s.sk.Domains()
 	best := randomVector(domains, rng)
 	bestLoss := s.Violation(best)
@@ -469,7 +504,20 @@ func (s *System) BestEffort(opts Options, rng *rand.Rand) (holes []float64, loss
 // FindDiverse returns up to k consistent hole vectors that are mutually
 // spread out in the hole box; see the Problem-level FindDiverse.
 func (s *System) FindDiverse(k int, opts Options, rng *rand.Rand) [][]float64 {
+	var start time.Time
+	if s.metrics != nil {
+		start = time.Now()
+	}
+	out := s.findDiverse(k, opts, rng)
+	if s.metrics != nil {
+		s.metrics.observe(s.metrics.diverseSearches, time.Since(start), 0, false)
+	}
+	return out
+}
+
+func (s *System) findDiverse(k int, opts Options, rng *rand.Rand) [][]float64 {
 	domains := s.sk.Domains()
+	stats := s.statsOf(opts)
 	var pool [][]float64
 
 	// Warm-start hints first: they anchor the pool in the known-feasible
@@ -477,8 +525,16 @@ func (s *System) FindDiverse(k int, opts Options, rng *rand.Rand) [][]float64 {
 	for _, hint := range opts.Hints {
 		h := clampToBox(hint, domains)
 		if s.Satisfies(h) {
+			if stats != nil {
+				stats.HintHits.Add(1)
+			}
 			pool = append(pool, h)
-		} else if repaired, ok := s.repair(h, domains, opts.RepairSteps, rng); ok {
+			continue
+		}
+		if stats != nil {
+			stats.Repairs.Add(1)
+		}
+		if repaired, ok := s.repair(h, domains, opts.RepairSteps, rng); ok {
 			pool = append(pool, repaired)
 		}
 	}
@@ -492,12 +548,18 @@ func (s *System) FindDiverse(k int, opts Options, rng *rand.Rand) [][]float64 {
 	} else {
 		scratch := make([]float64, len(domains))
 		for i := 0; i < opts.Samples && len(pool) < 8*k; i++ {
+			if stats != nil {
+				stats.Samples.Add(1)
+			}
 			fillRandomVector(scratch, domains, rng)
 			if s.Satisfies(scratch) {
 				pool = append(pool, append([]float64(nil), scratch...))
 			}
 		}
 		for r := 0; r < opts.RepairRestarts && len(pool) < 8*k; r++ {
+			if stats != nil {
+				stats.Repairs.Add(1)
+			}
 			fillRandomVector(scratch, domains, rng)
 			if repaired, ok := s.repair(scratch, domains, opts.RepairSteps, rng); ok {
 				pool = append(pool, repaired)
@@ -505,7 +567,7 @@ func (s *System) FindDiverse(k int, opts Options, rng *rand.Rand) [][]float64 {
 		}
 	}
 	if len(pool) == 0 {
-		if h, st := s.FindCandidate(opts, rng); st == StatusSat {
+		if h, st := s.findCandidate(opts, rng); st == StatusSat {
 			pool = append(pool, h)
 		}
 	}

@@ -1,0 +1,66 @@
+package viz
+
+// Golden rendering tests: the ASCII heatmaps are part of the CLI's
+// user-facing output, so their exact layout is pinned. The inputs are
+// fixed candidates (no randomness), making the renders byte-stable.
+//
+// Regenerate after an intentional layout change with:
+//
+//	go test ./internal/viz/ -run TestGolden -update-viz-golden
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compsynth/internal/sketch"
+)
+
+var updateVizGolden = flag.Bool("update-viz-golden", false, "rewrite golden heatmap files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateVizGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update-viz-golden): %v", err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		t.Errorf("%s diverged from golden render:\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestGoldenCandidateHeatmap(t *testing.T) {
+	sk := sketch.SWAN()
+	c, err := sketch.DefaultSWANTarget.Candidate(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "heatmap_swan_default.txt", CandidateHeatmap(c, 64, 18))
+}
+
+func TestGoldenDisagreementMap(t *testing.T) {
+	sk := sketch.SWAN()
+	a, err := sketch.DefaultSWANTarget.Candidate(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (sketch.SWANTargetParams{TpThrsh: 4, LThrsh: 80, Slope1: 2, Slope2: 6}).Candidate(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "disagreement_swan.txt",
+		DisagreementMap(a.Eval, b.Eval, sk.Space(), 64, 18))
+}
