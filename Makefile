@@ -3,13 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json experiments examples obs-smoke obs-demo fmt vet clean
+.PHONY: all build test test-short race cover bench bench-json experiments examples obs-smoke obs-demo service-smoke fmt vet clean
 
 # Tier-1 verification: build, vet, the full test suite, the race
 # detector over the packages with real concurrency (parallel solver
-# workers, the sketch specialization cache), and a smoke test of the
-# observability HTTP endpoint.
-all: build vet test race obs-smoke
+# workers, the sketch specialization cache, the synthesis service's
+# worker pool), and smoke tests of the observability HTTP endpoint and
+# the compsynthd service layer.
+all: build vet test race obs-smoke service-smoke
 
 build:
 	$(GO) build ./...
@@ -21,7 +22,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/sketch/ ./internal/solver/ ./internal/core/ ./internal/obs/
+	$(GO) test -race ./internal/sketch/ ./internal/solver/ ./internal/core/ ./internal/obs/ ./internal/service/
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -38,6 +39,12 @@ bench-json:
 # /debug/vars (expvar), /debug/pprof, /trace (JSONL spans).
 obs-smoke:
 	$(GO) test -short -run TestServe ./internal/obs/
+
+# Smoke the compsynthd service layer without full synthesis runs: API
+# error contract, journal crash tolerance, recovery quarantine, and the
+# telemetry mounts (the -short subset of the service tests).
+service-smoke:
+	$(GO) test -short -run 'TestHTTP|TestHandlerMountsObs|TestJournal|TestRecoverySkips' ./internal/service/
 
 # End-to-end demo of the -obs endpoint: run a small experiment campaign
 # with the endpoint attached, scrape /metrics while it lingers.

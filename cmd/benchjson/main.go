@@ -5,7 +5,13 @@
 // Usage:
 //
 //	benchjson [-out BENCH_solver.json] [-bench regex] [-benchtime d]
-//	          [-count N] [pkg ...]
+//	          [-count N] [-commit HASH] [pkg ...]
+//
+// The output file is a history: each invocation appends a run keyed by
+// the git commit (taken from `git rev-parse --short HEAD` unless
+// -commit overrides it), and re-running on the same commit replaces
+// that commit's entry instead of duplicating it. Legacy single-run
+// files from older benchjson versions are migrated in place.
 //
 // Without package arguments it covers the solver-adjacent hot-path
 // packages. Invoked by `make bench-json`.
@@ -13,12 +19,12 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 
 	"compsynth/internal/benchfmt"
@@ -31,38 +37,36 @@ var defaultPackages = []string{
 	"./internal/expr/",
 }
 
-type document struct {
-	// Generated is the run timestamp (RFC 3339, UTC).
-	Generated string `json:"generated"`
-	// GoVersion and GOOS/GOARCH qualify the numbers: absolute ns/op are
-	// only comparable within one toolchain + platform.
-	GoVersion string            `json:"go_version"`
-	GOOS      string            `json:"goos"`
-	GOARCH    string            `json:"goarch"`
-	Bench     string            `json:"bench_regex"`
-	Packages  []string          `json:"packages"`
-	Results   []benchfmt.Result `json:"results"`
-}
-
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_solver.json", "output file")
+		out       = flag.String("out", "BENCH_solver.json", "output history file (appended to, keyed by commit)")
 		benchRE   = flag.String("bench", ".", "benchmark name regex (go test -bench)")
 		benchtime = flag.String("benchtime", "", "per-benchmark time or iteration budget (go test -benchtime)")
 		count     = flag.Int("count", 1, "runs per benchmark (go test -count)")
+		commit    = flag.String("commit", "", "commit hash keying this run (default: git rev-parse --short HEAD)")
 	)
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
 		pkgs = defaultPackages
 	}
-	if err := run(*out, *benchRE, *benchtime, *count, pkgs); err != nil {
+	if err := run(*out, *benchRE, *benchtime, *commit, *count, pkgs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, benchRE, benchtime string, count int, pkgs []string) error {
+// gitCommit best-effort resolves the current short commit hash; empty
+// outside a git checkout (the run then appends un-keyed).
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func run(out, benchRE, benchtime, commit string, count int, pkgs []string) error {
 	args := []string{"test", "-run", "^$", "-bench", benchRE, "-benchmem",
 		"-count", fmt.Sprint(count)}
 	if benchtime != "" {
@@ -89,7 +93,20 @@ func run(out, benchRE, benchtime string, count int, pkgs []string) error {
 		return fmt.Errorf("no benchmark results parsed (regex %q over %v)", benchRE, pkgs)
 	}
 
-	doc := document{
+	if commit == "" {
+		commit = gitCommit()
+	}
+	history := &benchfmt.History{}
+	if raw, err := os.ReadFile(out); err == nil {
+		history, err = benchfmt.ReadHistory(bytes.NewReader(raw))
+		if err != nil {
+			return fmt.Errorf("existing archive %s: %w", out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	history.Upsert(benchfmt.Run{
+		Commit:    commit,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -97,15 +114,20 @@ func run(out, benchRE, benchtime string, count int, pkgs []string) error {
 		Bench:     benchRE,
 		Packages:  pkgs,
 		Results:   results,
-	}
-	buf, err := json.MarshalIndent(doc, "", "  ")
+	})
+
+	f, err := os.Create(out)
 	if err != nil {
 		return err
 	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(out, buf, 0o644); err != nil {
-		return err
+	_, werr := history.WriteTo(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
 	}
-	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(results), out)
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("benchjson: %d benchmarks -> %s (commit %q, %d runs in history)\n",
+		len(results), out, commit, len(history.Runs))
 	return nil
 }

@@ -1,0 +1,121 @@
+// Command compsynthd serves comparative synthesis sessions over
+// HTTP/JSON: create a session, long-poll for distinguishing scenario
+// pairs, post preferences, and export or import transcripts — the
+// interactive loop of cmd/compsynth inverted into a stateful service
+// (see internal/service for the API).
+//
+// Usage:
+//
+//	compsynthd [-addr :8080] [-data DIR] [-workers N]
+//	           [-max-sessions N] [-idle-ttl D] [-step-timeout D]
+//	           [-grace D] [-v]
+//
+// Every accepted answer is journaled (fsynced) under -data before the
+// solver consumes it, so killing the daemon at any point loses nothing:
+// on restart sessions are rebuilt from their journals and continue
+// exactly where they left off. SIGINT/SIGTERM triggers a graceful stop
+// bounded by -grace: the listener drains, in-flight synthesis steps
+// finish or are cancelled, and every unfinished session is checkpointed.
+//
+// The observability endpoints (/metrics, /debug/vars, /debug/pprof/,
+// /trace) are mounted on the same listener as the API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"compsynth/internal/obs"
+	"compsynth/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address for the API (and /metrics, /debug/pprof/, /trace)")
+		dataDir     = flag.String("data", "compsynthd-data", "directory for per-session journals (crash recovery)")
+		workers     = flag.Int("workers", 4, "max concurrent synthesis steps (the worker pool)")
+		maxSessions = flag.Int("max-sessions", 64, "max resident sessions")
+		idleTTL     = flag.Duration("idle-ttl", 30*time.Minute, "checkpoint and evict sessions idle this long (0 disables)")
+		stepTimeout = flag.Duration("step-timeout", 5*time.Minute, "fail a session whose synthesis step exceeds this")
+		acquireWait = flag.Duration("acquire-wait", 2*time.Second, "how long a request queues for a worker slot before 429")
+		longPoll    = flag.Duration("long-poll", 30*time.Second, "cap on the ?wait= query long-poll")
+		grace       = flag.Duration("grace", 15*time.Second, "graceful shutdown deadline on SIGINT/SIGTERM")
+		verbose     = flag.Bool("v", false, "log per-session events")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *dataDir, *workers, *maxSessions, *idleTTL, *stepTimeout, *acquireWait, *longPoll, *grace, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "compsynthd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataDir string, workers, maxSessions int, idleTTL, stepTimeout, acquireWait, longPoll, grace time.Duration, verbose bool) error {
+	logger := log.New(os.Stderr, "compsynthd: ", log.LstdFlags)
+	logf := logger.Printf
+	if !verbose {
+		logf = func(string, ...any) {}
+	}
+
+	observer := &obs.Observer{
+		Registry: obs.NewRegistry(),
+		Tracer:   obs.NewTracer(0),
+	}
+	mgr, err := service.New(service.Config{
+		DataDir:     dataDir,
+		Workers:     workers,
+		MaxSessions: maxSessions,
+		IdleTTL:     idleTTL,
+		StepTimeout: stepTimeout,
+		AcquireWait: acquireWait,
+		LongPollMax: longPoll,
+		Obs:         observer,
+		Logf:        logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	handler := service.Handler(mgr, obs.Handler(observer.Registry, observer.Tracer))
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger.Printf("serving on http://%s/ (API under /v1/, telemetry at /metrics /debug/pprof/ /trace)", lis.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+
+	select {
+	case err := <-errc:
+		mgr.Abort()
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down (grace %v): draining requests, checkpointing sessions", grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		srv.Close()
+	}
+	if err := mgr.Close(shutCtx); err != nil {
+		logger.Printf("shutdown deadline passed; unparked sessions were cancelled (journals are intact): %v", err)
+	}
+	logger.Printf("bye")
+	return nil
+}

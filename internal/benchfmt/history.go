@@ -1,0 +1,101 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Run is one archived benchmark run. Runs are keyed by Commit so a
+// re-run on the same commit replaces its entry instead of growing the
+// history; Generated is informational only and never compared.
+type Run struct {
+	// Commit identifies the source revision (git short hash). Empty when
+	// the run happened outside a git checkout.
+	Commit string `json:"commit,omitempty"`
+	// Generated is the run timestamp (RFC 3339, UTC).
+	Generated string `json:"generated"`
+	// GoVersion and GOOS/GOARCH qualify the numbers: absolute ns/op are
+	// only comparable within one toolchain + platform.
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Bench     string   `json:"bench_regex"`
+	Packages  []string `json:"packages"`
+	Results   []Result `json:"results"`
+}
+
+// History is the cross-commit benchmark archive (cmd/benchjson's
+// output file): one Run per measured commit, in recording order.
+type History struct {
+	Runs []Run `json:"runs"`
+}
+
+// Upsert records a run. A run with the same non-empty commit replaces
+// the existing entry in place (same commit, fresher numbers); anything
+// else appends.
+func (h *History) Upsert(run Run) {
+	if run.Commit != "" {
+		for i := range h.Runs {
+			if h.Runs[i].Commit == run.Commit {
+				h.Runs[i] = run
+				return
+			}
+		}
+	}
+	h.Runs = append(h.Runs, run)
+}
+
+// Latest returns the most recently recorded run, or nil for an empty
+// history.
+func (h *History) Latest() *Run {
+	if len(h.Runs) == 0 {
+		return nil
+	}
+	return &h.Runs[len(h.Runs)-1]
+}
+
+// ReadHistory decodes a benchmark archive. It accepts both the current
+// multi-run document ({"runs": [...]}) and the legacy single-run
+// layout that benchjson wrote before histories existed (a Run at the
+// top level), migrating the latter to a one-run history so old archive
+// files keep accumulating instead of being clobbered.
+func ReadHistory(r io.Reader) (*History, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var probe struct {
+		Runs    *json.RawMessage `json:"runs"`
+		Results *json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("benchfmt: parse history: %w", err)
+	}
+	if probe.Runs != nil {
+		var h History
+		if err := json.Unmarshal(data, &h); err != nil {
+			return nil, fmt.Errorf("benchfmt: parse history runs: %w", err)
+		}
+		return &h, nil
+	}
+	if probe.Results == nil {
+		return nil, fmt.Errorf("benchfmt: document has neither \"runs\" nor legacy \"results\"")
+	}
+	var legacy Run
+	if err := json.Unmarshal(data, &legacy); err != nil {
+		return nil, fmt.Errorf("benchfmt: parse legacy run: %w", err)
+	}
+	return &History{Runs: []Run{legacy}}, nil
+}
+
+// WriteTo writes the history as indented JSON.
+func (h *History) WriteTo(w io.Writer) (int64, error) {
+	buf, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	buf = append(buf, '\n')
+	n, err := w.Write(buf)
+	return int64(n), err
+}

@@ -1,0 +1,105 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testRun(commit string, ns float64) Run {
+	return Run{
+		Commit:    commit,
+		Generated: "2026-01-01T00:00:00Z",
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		Bench:     ".",
+		Packages:  []string{"./internal/solver/"},
+		Results:   []Result{{Name: "BenchmarkX-8", Iterations: 100, NsPerOp: ns}},
+	}
+}
+
+func TestHistoryUpsertKeysByCommit(t *testing.T) {
+	var h History
+	h.Upsert(testRun("aaa1111", 100))
+	h.Upsert(testRun("bbb2222", 200))
+	if len(h.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(h.Runs))
+	}
+
+	// Same commit replaces in place — a re-run updates, never duplicates.
+	h.Upsert(testRun("aaa1111", 90))
+	if len(h.Runs) != 2 {
+		t.Fatalf("re-run duplicated history: %d runs", len(h.Runs))
+	}
+	if got := h.Runs[0].Results[0].NsPerOp; got != 90 {
+		t.Errorf("re-run did not replace: ns/op %v, want 90", got)
+	}
+	if h.Runs[0].Commit != "aaa1111" || h.Runs[1].Commit != "bbb2222" {
+		t.Errorf("order disturbed: %s, %s", h.Runs[0].Commit, h.Runs[1].Commit)
+	}
+
+	// Commit-less runs (no git checkout) always append.
+	h.Upsert(testRun("", 1))
+	h.Upsert(testRun("", 2))
+	if len(h.Runs) != 4 {
+		t.Errorf("commit-less runs should append: %d runs, want 4", len(h.Runs))
+	}
+
+	if got := h.Latest().Results[0].NsPerOp; got != 2 {
+		t.Errorf("Latest: ns/op %v, want 2", got)
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	var h History
+	h.Upsert(testRun("aaa1111", 100))
+	h.Upsert(testRun("bbb2222", 200))
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadHistory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Runs) != 2 || again.Runs[1].Commit != "bbb2222" {
+		t.Fatalf("round trip mangled history: %+v", again.Runs)
+	}
+}
+
+func TestReadHistoryMigratesLegacy(t *testing.T) {
+	// The pre-history benchjson document: a single run at the top level.
+	legacy := `{
+	  "generated": "2025-12-01T00:00:00Z",
+	  "go_version": "go1.24.0",
+	  "goos": "linux",
+	  "goarch": "amd64",
+	  "bench_regex": ".",
+	  "packages": ["./internal/solver/"],
+	  "results": [{"name": "BenchmarkY-8", "iterations": 50, "ns_per_op": 123}]
+	}`
+	h, err := ReadHistory(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(h.Runs))
+	}
+	if h.Runs[0].Commit != "" || h.Runs[0].Results[0].Name != "BenchmarkY-8" {
+		t.Errorf("legacy run mangled: %+v", h.Runs[0])
+	}
+	// A new commit-keyed run appends after the migrated legacy entry.
+	h.Upsert(testRun("ccc3333", 110))
+	if len(h.Runs) != 2 || h.Latest().Commit != "ccc3333" {
+		t.Errorf("append after migration broken: %+v", h.Runs)
+	}
+}
+
+func TestReadHistoryRejectsJunk(t *testing.T) {
+	for _, doc := range []string{``, `[]`, `{"nope": 1}`, `{"runs": "x"}`} {
+		if _, err := ReadHistory(strings.NewReader(doc)); err == nil {
+			t.Errorf("ReadHistory(%q) accepted junk", doc)
+		}
+	}
+}

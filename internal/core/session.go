@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"compsynth/internal/scenario"
 	"compsynth/internal/sketch"
@@ -94,14 +95,79 @@ func (t *Transcript) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
-// ReadTranscript parses a JSON transcript.
+// ReadTranscript parses and validates a JSON transcript. Transcripts
+// arrive over the network in the service layer, so everything is
+// treated as untrusted: structural violations (mismatched shapes,
+// out-of-range IDs, non-finite numbers) are errors, never panics.
 func ReadTranscript(r io.Reader) (*Transcript, error) {
 	var t Transcript
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&t); err != nil {
 		return nil, fmt.Errorf("core: parse transcript: %w", err)
 	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
 	return &t, nil
+}
+
+// Validate checks the transcript's internal structural invariants: all
+// scenarios share one dimension (matching Metrics when present), every
+// preference and tie references a stored scenario, tie bands are
+// positive, and all numbers are finite. It does not check agreement
+// with any particular sketch — Preload does that against its own.
+func (t *Transcript) Validate() error {
+	dim := -1
+	if len(t.Metrics) > 0 {
+		dim = len(t.Metrics)
+	}
+	for i, sc := range t.Scenarios {
+		if len(sc) == 0 {
+			return fmt.Errorf("core: transcript scenario %d is empty", i)
+		}
+		if dim == -1 {
+			dim = len(sc)
+		}
+		if len(sc) != dim {
+			return fmt.Errorf("core: transcript scenario %d has %d metrics, want %d", i, len(sc), dim)
+		}
+		for j, v := range sc {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: transcript scenario %d metric %d is not finite", i, j)
+			}
+		}
+	}
+	n := len(t.Scenarios)
+	for _, p := range t.Preferences {
+		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+			return fmt.Errorf("core: transcript preference %v out of range [0,%d)", p, n)
+		}
+		if p[0] == p[1] {
+			return fmt.Errorf("core: transcript preference %v is a self-loop", p)
+		}
+	}
+	for _, tie := range t.Ties {
+		if tie.A < 0 || tie.A >= n || tie.B < 0 || tie.B >= n {
+			return fmt.Errorf("core: transcript tie %+v out of range [0,%d)", tie, n)
+		}
+		if !(tie.Band > 0) || math.IsInf(tie.Band, 0) {
+			return fmt.Errorf("core: transcript tie %+v has non-positive band", tie)
+		}
+	}
+	if t.Final != nil {
+		if len(t.Holes) > 0 && len(t.Final) != len(t.Holes) {
+			return fmt.Errorf("core: transcript final has %d holes, sketch declares %d", len(t.Final), len(t.Holes))
+		}
+		for i, v := range t.Final {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: transcript final hole %d is not finite", i)
+			}
+		}
+	}
+	if t.Iterations < 0 {
+		return fmt.Errorf("core: transcript has negative iteration count %d", t.Iterations)
+	}
+	return nil
 }
 
 // Preload installs a transcript's scenarios and preferences into a

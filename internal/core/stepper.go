@@ -1,0 +1,320 @@
+package core
+
+// Stepper inverts the synthesizer's oracle-callback loop into a
+// step-wise state machine, which is what a serving layer needs: the
+// batch Synthesizer *calls into* an Oracle and blocks until it answers,
+// but a network service must instead *yield* the pending question to an
+// HTTP handler and pick the session back up when the answer arrives,
+// possibly minutes or days later (the paper's interaction model has a
+// human architect on the other end).
+//
+// The inversion runs the unmodified synthesis loop on its own goroutine
+// behind a rendezvous oracle: Compare publishes the scenario pair on an
+// unbuffered channel and blocks until Answer supplies the preference.
+// Because it is the same loop, a stepper-driven session is bit-identical
+// to a batch run with the same Config and answer sequence — the golden
+// equivalence the service layer's tests pin.
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"compsynth/internal/oracle"
+	"compsynth/internal/scenario"
+)
+
+// Query is one pending preference question: "which of these two
+// scenarios do you prefer?".
+type Query struct {
+	// Seq is the 0-based sequence number of the question within this
+	// stepper's lifetime. Answer validation uses it to reject stale or
+	// duplicate answers from concurrent clients.
+	Seq int
+	// A and B are the two scenarios to compare.
+	A, B scenario.Scenario
+}
+
+// Stepper errors.
+var (
+	// ErrNoPendingQuery is returned by Answer when there is no
+	// outstanding query (none asked yet, or it was already answered).
+	ErrNoPendingQuery = errors.New("core: no pending query to answer")
+	// ErrSessionBusy is returned by Snapshot while the synthesis
+	// goroutine is computing (between an answer and the next query).
+	ErrSessionBusy = errors.New("core: session is computing")
+	// ErrSessionRunning is returned by Result before the session ends.
+	ErrSessionRunning = errors.New("core: session still running")
+)
+
+// Stepper drives a synthesis session one query at a time. Typical use:
+//
+//	st, _ := core.NewStepper(cfg)           // cfg.Oracle must be nil
+//	for {
+//		q, err := st.Next(ctx)              // blocks while the solver works
+//		if err != nil || q == nil {
+//			break                           // error, or session finished
+//		}
+//		st.Answer(askTheUser(q.A, q.B))
+//	}
+//	res, err := st.Result()
+//
+// Next, Answer, Snapshot, and Close are safe for concurrent use.
+type Stepper struct {
+	synth  *Synthesizer
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	queries chan Query
+	answers chan oracle.Preference
+	done    chan struct{}
+
+	// nextMu serializes Next so concurrent pollers agree on the pending
+	// query instead of racing for the channel receive.
+	nextMu sync.Mutex
+
+	mu      sync.Mutex
+	started bool
+	pending *Query
+	seq     int
+	res     *Result
+	err     error
+}
+
+// stepOracle is the rendezvous oracle installed into the synthesizer:
+// every Compare becomes a yielded Query. On cancellation it answers
+// Indifferent, which the loop treats as "no information" — the run
+// goroutine then drains to the next context check and exits.
+type stepOracle struct{ st *Stepper }
+
+func (o stepOracle) Compare(a, b scenario.Scenario) oracle.Preference {
+	q := Query{A: a.Clone(), B: b.Clone()}
+	select {
+	case o.st.queries <- q:
+	case <-o.st.ctx.Done():
+		return oracle.Indifferent
+	}
+	select {
+	case p := <-o.st.answers:
+		return p
+	case <-o.st.ctx.Done():
+		return oracle.Indifferent
+	}
+}
+
+// NewStepper validates the config and creates a stepper. The config is
+// the same as New's except that Oracle must be nil: the stepper is the
+// oracle, yielding each comparison to the caller.
+func NewStepper(cfg Config) (*Stepper, error) {
+	if cfg.Oracle != nil {
+		return nil, errors.New("core: Stepper supplies its own oracle; Config.Oracle must be nil")
+	}
+	st := &Stepper{
+		queries: make(chan Query),
+		answers: make(chan oracle.Preference),
+		done:    make(chan struct{}),
+	}
+	st.ctx, st.cancel = context.WithCancel(context.Background())
+	cfg.Oracle = stepOracle{st}
+	synth, err := New(cfg)
+	if err != nil {
+		st.cancel()
+		return nil, err
+	}
+	st.synth = synth
+	return st, nil
+}
+
+// Preload installs a transcript before the session starts; see
+// Synthesizer.Preload. It must be called before the first Next.
+func (st *Stepper) Preload(t *Transcript) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.started {
+		return errors.New("core: Preload after the session started")
+	}
+	return st.synth.Preload(t)
+}
+
+// run executes the synthesis loop; it is the only goroutine that
+// mutates the synthesizer's state after start.
+func (st *Stepper) run() {
+	res, err := st.synth.RunContext(st.ctx)
+	st.mu.Lock()
+	st.res, st.err = res, err
+	st.mu.Unlock()
+	close(st.done)
+}
+
+// Next returns the session's next query, starting the synthesis loop on
+// first call. It blocks while the solver searches for a distinguishing
+// pair. A nil Query with nil error means the session finished (check
+// Result). If ctx expires first, Next returns ctx's error and the
+// computation keeps running — a later Next picks the query up.
+func (st *Stepper) Next(ctx context.Context) (*Query, error) {
+	st.nextMu.Lock()
+	defer st.nextMu.Unlock()
+
+	st.mu.Lock()
+	if st.pending != nil {
+		q := *st.pending
+		st.mu.Unlock()
+		return &q, nil
+	}
+	if !st.started {
+		st.started = true
+		go st.run()
+	}
+	st.mu.Unlock()
+
+	select {
+	case q := <-st.queries:
+		st.mu.Lock()
+		q.Seq = st.seq
+		st.pending = &q
+		st.mu.Unlock()
+		out := q
+		return &out, nil
+	case <-st.done:
+		return nil, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Pending returns the outstanding query, if any, without blocking.
+func (st *Stepper) Pending() *Query {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.pending == nil {
+		return nil
+	}
+	q := *st.pending
+	return &q
+}
+
+// Answer resolves the pending query with the user's preference and
+// resumes the synthesis loop. It returns ErrNoPendingQuery when no
+// query is outstanding.
+func (st *Stepper) Answer(pref oracle.Preference) error {
+	st.mu.Lock()
+	if st.pending == nil {
+		st.mu.Unlock()
+		return ErrNoPendingQuery
+	}
+	st.pending = nil
+	st.seq++
+	st.mu.Unlock()
+	// The run goroutine is parked in Compare waiting for exactly this
+	// send, so it cannot block — unless the session was closed, which
+	// the ctx branch covers.
+	select {
+	case st.answers <- pref:
+		return nil
+	case <-st.ctx.Done():
+		return st.ctx.Err()
+	}
+}
+
+// Answered returns the number of answers accepted so far.
+func (st *Stepper) Answered() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.seq
+}
+
+// Done reports whether the session has finished (converged, failed, or
+// closed).
+func (st *Stepper) Done() bool {
+	select {
+	case <-st.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Result returns the session outcome. Before the session ends it
+// returns ErrSessionRunning.
+func (st *Stepper) Result() (*Result, error) {
+	select {
+	case <-st.done:
+	default:
+		return nil, ErrSessionRunning
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.res, st.err
+}
+
+// Snapshot exports the session's current state as a transcript: the
+// scenarios shown so far, the preference edges recorded, and — once the
+// session has finished successfully — the final hole vector. It is the
+// checkpoint format of the service layer's journal. Snapshot fails with
+// ErrSessionBusy while the synthesis goroutine is between an answer and
+// the next query, because the underlying graph is being mutated then.
+func (st *Stepper) Snapshot() (*Transcript, error) {
+	select {
+	case <-st.done:
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.err == nil && st.res != nil {
+			return Export(st.res), nil
+		}
+		// Failed or canceled: the loop goroutine has exited, so reading
+		// the partial state is safe.
+		return st.partial(), nil
+	default:
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.started && st.pending == nil {
+		return nil, ErrSessionBusy
+	}
+	return st.partial(), nil
+}
+
+// partial renders the synthesizer's current graph/store/ties as a
+// transcript without a final candidate. Callers must ensure the run
+// goroutine is quiescent (not started, parked on a pending query, or
+// exited).
+func (st *Stepper) partial() *Transcript {
+	s := st.synth
+	sk := s.cfg.Sketch
+	t := &Transcript{
+		SketchName: sk.Name(),
+		Holes:      sk.Holes(),
+		Metrics:    sk.Space().Names(),
+	}
+	for _, tie := range s.ties {
+		// Intern tie scenarios so their IDs resolve on load, mirroring
+		// Export.
+		aID, errA := s.store.Add(tie.A)
+		bID, errB := s.store.Add(tie.B)
+		if errA != nil || errB != nil {
+			continue
+		}
+		t.Ties = append(t.Ties, TranscriptTie{A: aID, B: bID, Band: tie.Band})
+	}
+	for _, sc := range s.store.All() {
+		t.Scenarios = append(t.Scenarios, sc)
+	}
+	for _, e := range s.graph.Edges() {
+		t.Preferences = append(t.Preferences, [2]int{e.Better, e.Worse})
+	}
+	return t
+}
+
+// Close cancels the session and waits for the synthesis goroutine to
+// exit, so no work leaks past it. After Close, Result reports the
+// cancellation error (or the completed result, if the session had
+// already finished).
+func (st *Stepper) Close() {
+	st.cancel()
+	st.mu.Lock()
+	started := st.started
+	st.mu.Unlock()
+	if started {
+		<-st.done
+	}
+}

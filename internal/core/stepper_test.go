@@ -1,0 +1,265 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"compsynth/internal/core"
+	"compsynth/internal/oracle"
+	"compsynth/internal/sketch"
+	"compsynth/internal/solver"
+)
+
+// stepperConfig returns a fast synthesis config without an oracle (the
+// stepper supplies its own).
+func stepperConfig(seed int64) core.Config {
+	opts := solver.DefaultOptions()
+	opts.Samples = 150
+	opts.RepairRestarts = 5
+	opts.RepairSteps = 60
+	opts.Workers = 1
+	dopts := solver.DefaultDistinguishOptions()
+	dopts.Candidates = 6
+	dopts.PairSamples = 250
+	dopts.Gamma = 2
+	return core.Config{
+		Sketch:      sketch.SWAN(),
+		Solver:      opts,
+		Distinguish: dopts,
+		Seed:        seed,
+	}
+}
+
+func swanTarget(t *testing.T) *sketch.Candidate {
+	t.Helper()
+	cand, err := sketch.DefaultSWANTarget.Candidate(sketch.SWAN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cand
+}
+
+// driveStepper answers every query from the given oracle until the
+// session completes, returning the result.
+func driveStepper(t *testing.T, st *core.Stepper, user oracle.Oracle) *core.Result {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	for {
+		q, err := st.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if q == nil {
+			break
+		}
+		if err := st.Answer(user.Compare(q.A, q.B)); err != nil {
+			t.Fatalf("Answer: %v", err)
+		}
+	}
+	res, err := st.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	return res
+}
+
+// TestStepperMatchesBatch is the inversion's core guarantee: a session
+// driven query-by-query through the Stepper produces a transcript
+// bit-identical to the batch Run with the same config, seed, and
+// answers.
+func TestStepperMatchesBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	target := swanTarget(t)
+	user := oracle.NewGroundTruth(target, 1e-9)
+
+	batchCfg := stepperConfig(21)
+	batchCfg.Oracle = user
+	batch, err := core.New(batchCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRes, err := batch.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchBuf bytes.Buffer
+	if _, err := core.Export(batchRes).WriteTo(&batchBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := core.NewStepper(stepperConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	stepRes := driveStepper(t, st, user)
+	var stepBuf bytes.Buffer
+	if _, err := core.Export(stepRes).WriteTo(&stepBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(batchBuf.Bytes(), stepBuf.Bytes()) {
+		t.Errorf("stepper transcript diverged from batch run\nbatch %d bytes, stepper %d bytes",
+			batchBuf.Len(), stepBuf.Len())
+	}
+	if !stepRes.Converged {
+		t.Error("stepper session did not converge")
+	}
+}
+
+// TestStepperSnapshotResume checkpoints a half-finished session and
+// resumes it in a fresh stepper, the service layer's recovery shape.
+func TestStepperSnapshotResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	target := swanTarget(t)
+	user := oracle.NewGroundTruth(target, 1e-9)
+
+	st, err := core.NewStepper(stepperConfig(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Answer a prefix of the session, then abandon it.
+	for i := 0; i < 12; i++ {
+		q, err := st.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q == nil {
+			t.Fatalf("session finished after only %d answers", i)
+		}
+		if q.Seq != i {
+			t.Fatalf("query %d has Seq=%d", i, q.Seq)
+		}
+		if err := st.Answer(user.Compare(q.A, q.B)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Immediately after an answer the loop is computing, so Snapshot
+	// refuses; once the next query is parked the state is stable.
+	if _, err := st.Snapshot(); err != core.ErrSessionBusy {
+		t.Fatalf("Snapshot while computing: got %v, want ErrSessionBusy", err)
+	}
+	if q, err := st.Next(ctx); err != nil || q == nil {
+		t.Fatalf("Next before snapshot: q=%v err=%v", q, err)
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if len(snap.Preferences) == 0 {
+		t.Fatal("snapshot has no preference edges")
+	}
+	st.Close()
+
+	resumed, err := core.NewStepper(stepperConfig(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if err := resumed.Preload(snap); err != nil {
+		t.Fatalf("Preload: %v", err)
+	}
+	res := driveStepper(t, resumed, user)
+	if !res.Converged {
+		t.Error("resumed session did not converge")
+	}
+	agree := core.Validate(res, user, 1500, rand.New(rand.NewSource(23)))
+	if agree < 0.95 {
+		t.Errorf("resumed session agreement %.3f, want >= 0.95", agree)
+	}
+}
+
+func TestStepperAPIErrors(t *testing.T) {
+	cfg := stepperConfig(7)
+	cfg.Oracle = oracle.NewGroundTruth(swanTarget(t), 0)
+	if _, err := core.NewStepper(cfg); err == nil {
+		t.Error("NewStepper accepted a config with an Oracle")
+	}
+
+	st, err := core.NewStepper(stepperConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Answer(oracle.PrefersFirst); err != core.ErrNoPendingQuery {
+		t.Errorf("Answer before any query: got %v, want ErrNoPendingQuery", err)
+	}
+	if _, err := st.Result(); err != core.ErrSessionRunning {
+		t.Errorf("Result before completion: got %v, want ErrSessionRunning", err)
+	}
+	// A fresh stepper snapshots to an empty transcript.
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Scenarios) != 0 || len(snap.Preferences) != 0 {
+		t.Errorf("fresh snapshot not empty: %d scenarios, %d prefs",
+			len(snap.Scenarios), len(snap.Preferences))
+	}
+	if st.Done() {
+		t.Error("fresh stepper reports Done")
+	}
+
+	// Start the session, then verify Preload is rejected and a timed-out
+	// Next surfaces the context error while the query survives for the
+	// next poll.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	q, err := st.Next(ctx)
+	if err != nil || q == nil {
+		t.Fatalf("first Next: q=%v err=%v", q, err)
+	}
+	if err := st.Preload(&core.Transcript{}); err == nil {
+		t.Error("Preload after start succeeded")
+	}
+	if p := st.Pending(); p == nil || p.Seq != q.Seq {
+		t.Errorf("Pending() = %v, want seq %d", p, q.Seq)
+	}
+	// Next with an expired context still returns the pending query
+	// immediately (no blocking needed).
+	expired, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	q2, err := st.Next(expired)
+	if err != nil || q2 == nil || q2.Seq != q.Seq {
+		t.Errorf("Next with pending query: q=%v err=%v", q2, err)
+	}
+}
+
+// TestStepperClose ensures Close terminates a mid-session loop without
+// hanging, and Result reports the cancellation.
+func TestStepperClose(t *testing.T) {
+	st, err := core.NewStepper(stepperConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := st.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	doneClose := make(chan struct{})
+	go func() {
+		st.Close()
+		close(doneClose)
+	}()
+	select {
+	case <-doneClose:
+	case <-time.After(60 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	if !st.Done() {
+		t.Error("stepper not Done after Close")
+	}
+	if _, err := st.Result(); err == nil {
+		t.Error("Result after mid-session Close returned no error")
+	}
+}

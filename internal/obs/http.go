@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -46,8 +47,26 @@ func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 // Addr returns the bound address (host:port).
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
-// Close stops the server and releases the listener.
-func (s *Server) Close() error { return s.srv.Close() }
+// Shutdown stops the server gracefully: the listener closes
+// immediately, in-flight requests (a slow /debug/pprof/profile, a
+// metrics scrape) run until done or ctx expires, and at the deadline
+// any stragglers are force-closed so Shutdown always returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		s.srv.Close() //nolint:errcheck // best-effort after deadline
+	}
+	return err
+}
+
+// Close stops the server with a bounded grace period. Both CLIs and
+// the daemon share this path, so a Ctrl-C during a profile capture
+// still flushes the response instead of truncating it.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
 
 // Handler returns the diagnostics mux; Serve wraps it, and embedding
 // servers can mount it under their own routes.

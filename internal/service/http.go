@@ -1,0 +1,262 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"compsynth/internal/core"
+	"compsynth/internal/oracle"
+)
+
+// Handler builds the daemon's HTTP API over a manager. Alongside the
+// /v1 session routes it mounts the obs exposition endpoints (/metrics,
+// /debug/vars, /debug/pprof/, /trace) when the manager was built with
+// an observer, so one listener serves both the API and its telemetry.
+func Handler(m *Manager, extra http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", m.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", m.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", m.handleStatus)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", m.handleDelete)
+	mux.HandleFunc("GET /v1/sessions/{id}/query", m.handleQuery)
+	mux.HandleFunc("POST /v1/sessions/{id}/answer", m.handleAnswer)
+	mux.HandleFunc("GET /v1/sessions/{id}/transcript", m.handleExport)
+	mux.HandleFunc("PUT /v1/sessions/{id}/transcript", m.handleImport)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if extra != nil {
+		mux.Handle("/metrics", extra)
+		mux.Handle("/debug/", extra)
+		mux.Handle("/trace", extra)
+	}
+	return mux
+}
+
+// apiError is the JSON error body every failing route returns.
+type apiError struct {
+	Error string `json:"error"`
+	State State  `json:"state,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError maps service errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error, state State) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrSaturated), errors.Is(err, ErrTooManySessions):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrNoPending), errors.Is(err, ErrStaleAnswer),
+		errors.Is(err, ErrBusy), errors.Is(err, ErrConflict), errors.Is(err, ErrGone):
+		status = http.StatusConflict
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// A long-poll that timed out server-side: not an error, just no
+		// content yet.
+		status = http.StatusRequestTimeout
+	}
+	writeJSON(w, status, apiError{Error: err.Error(), State: state})
+}
+
+func (m *Manager) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	s, err := m.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err, "")
+		return nil, false
+	}
+	return s, true
+}
+
+func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec SessionSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode spec: " + err.Error()})
+		return
+	}
+	s, err := m.Create(spec)
+	if err != nil {
+		if errors.Is(err, ErrTooManySessions) || errors.Is(err, ErrClosed) {
+			writeError(w, err, "")
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.Status())
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": m.List()})
+}
+
+func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+func (m *Manager) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := m.Delete(r.PathValue("id")); err != nil {
+		writeError(w, err, "")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// queryResponse carries the pending distinguishing pair. Seq must be
+// echoed back in the answer.
+type queryResponse struct {
+	State State     `json:"state"`
+	Seq   int       `json:"seq"`
+	A     []float64 `json:"a,omitempty"`
+	B     []float64 `json:"b,omitempty"`
+	Final []float64 `json:"final,omitempty"`
+	Error string    `json:"error,omitempty"`
+}
+
+func (m *Manager) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	wait := m.cfg.LongPollMax
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad wait duration: " + err.Error()})
+			return
+		}
+		if d < wait {
+			wait = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	q, state, err := s.AwaitQuery(ctx)
+	if errors.Is(err, ErrGone) {
+		// Evicted between lookup and wait; the journal has it — retry the
+		// lookup once so the client never sees the eviction.
+		if s, ok = m.session(w, r); !ok {
+			return
+		}
+		q, state, err = s.AwaitQuery(ctx)
+	}
+	if err != nil {
+		writeError(w, err, state)
+		return
+	}
+	resp := queryResponse{State: state}
+	if q != nil {
+		resp.Seq = q.Seq
+		resp.A = q.A
+		resp.B = q.B
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// Session finished: report the outcome inline so scripted clients
+	// need no second request.
+	st := s.Status()
+	resp.Final = st.Final
+	resp.Error = st.Error
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// answerRequest is the POST /answer body.
+type answerRequest struct {
+	Seq int `json:"seq"`
+	// Pref is "first", "second", or "tie" (aliases: "1", "2", "a", "b",
+	// "=", "indifferent").
+	Pref string `json:"pref"`
+}
+
+func parsePref(s string) (oracle.Preference, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "first", "1", "a":
+		return oracle.PrefersFirst, nil
+	case "second", "2", "b":
+		return oracle.PrefersSecond, nil
+	case "tie", "=", "indifferent", "0":
+		return oracle.Indifferent, nil
+	}
+	return oracle.Indifferent, fmt.Errorf("bad pref %q (want first, second, or tie)", s)
+}
+
+func (m *Manager) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	var req answerRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode answer: " + err.Error()})
+		return
+	}
+	pref, err := parsePref(req.Pref)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	state, err := s.Answer(req.Seq, pref)
+	if err != nil {
+		writeError(w, err, state)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"state": state, "seq": req.Seq})
+}
+
+func (m *Manager) handleExport(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	t, err := s.Transcript()
+	if err != nil {
+		writeError(w, err, "")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		"attachment; filename="+strconv.Quote(s.ID+".transcript.json"))
+	t.WriteTo(w)
+}
+
+func (m *Manager) handleImport(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	t, err := core.ReadTranscript(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "read transcript: " + err.Error()})
+		return
+	}
+	if err := s.Import(t); err != nil {
+		writeError(w, err, "")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status())
+}

@@ -1,0 +1,535 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"compsynth/internal/core"
+	"compsynth/internal/obs"
+	"compsynth/internal/oracle"
+	"compsynth/internal/solver"
+)
+
+// Config tunes the session manager.
+type Config struct {
+	// DataDir holds the per-session journals. Created if missing.
+	DataDir string
+	// Workers bounds concurrent synthesis steps (the worker pool).
+	Workers int
+	// MaxSessions caps resident sessions; creation beyond it gets 429.
+	MaxSessions int
+	// IdleTTL evicts sessions untouched for this long (checkpointed to
+	// their journal first; a later request reloads them transparently).
+	// Zero disables eviction.
+	IdleTTL time.Duration
+	// JanitorInterval is the eviction sweep period.
+	JanitorInterval time.Duration
+	// StepTimeout bounds one synthesis step; a session whose step
+	// exceeds it is failed (the journal preserves its answers).
+	StepTimeout time.Duration
+	// AcquireWait is how long a request waits for a worker slot before
+	// 429. Zero rejects immediately.
+	AcquireWait time.Duration
+	// LongPollMax caps the ?wait= long-poll duration on query GETs.
+	LongPollMax time.Duration
+	// Obs receives service metrics and spans (nil disables).
+	Obs *obs.Observer
+	// Logf logs operational events (nil discards).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.DataDir == "" {
+		c.DataDir = "compsynthd-data"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.JanitorInterval <= 0 {
+		c.JanitorInterval = 30 * time.Second
+	}
+	if c.StepTimeout <= 0 {
+		c.StepTimeout = 5 * time.Minute
+	}
+	if c.LongPollMax <= 0 {
+		c.LongPollMax = 30 * time.Second
+	}
+	return c
+}
+
+// Manager owns the session table, the worker pool, the janitor, and
+// startup recovery.
+type Manager struct {
+	cfg   Config
+	met   *metrics
+	slots chan struct{}
+	advWG sync.WaitGroup
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   int64
+	closed   bool
+}
+
+// New builds a manager, recovering every journaled session found in the
+// data directory. Unfinished sessions are rebuilt by preloading their
+// latest checkpoint and replaying the answers recorded after it; the
+// replay re-runs synthesis steps, so startup time scales with the
+// un-checkpointed tail of each journal.
+func New(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: data dir: %w", err)
+	}
+	m := &Manager{
+		cfg:         cfg,
+		met:         newMetrics(cfg.Obs.Reg()),
+		slots:       make(chan struct{}, cfg.Workers),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+		sessions:    make(map[string]*Session),
+	}
+	if err := m.recoverAll(); err != nil {
+		return nil, err
+	}
+	go m.janitor()
+	return m, nil
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+func (m *Manager) now() time.Time { return time.Now() }
+
+func (m *Manager) span(name string) obs.Span {
+	return m.cfg.Obs.Trace().Begin("service." + name)
+}
+
+// acquireSlot claims a worker-pool slot, waiting up to AcquireWait.
+// The returned release is idempotent.
+func (m *Manager) acquireSlot() (release func(), ok bool) {
+	select {
+	case m.slots <- struct{}{}:
+	default:
+		if m.cfg.AcquireWait <= 0 {
+			m.met.saturated.Inc()
+			return nil, false
+		}
+		t := time.NewTimer(m.cfg.AcquireWait)
+		defer t.Stop()
+		select {
+		case m.slots <- struct{}{}:
+		case <-t.C:
+			m.met.saturated.Inc()
+			return nil, false
+		}
+	}
+	m.advWG.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-m.slots
+			m.advWG.Done()
+		})
+	}, true
+}
+
+// buildSession constructs a live session around a fresh stepper.
+func (m *Manager) buildSession(id string, spec SessionSpec, jr *journal) (*Session, error) {
+	stats := &solver.Stats{}
+	// Sessions share the service registry only through the service-level
+	// metrics; the core pipeline gets the tracer alone, because core's
+	// registry instruments are named per-process and concurrent sessions
+	// would fight over them.
+	coreObs := &obs.Observer{Tracer: m.cfg.Obs.Trace()}
+	cfg, err := spec.config(coreObs, stats)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		ID:        id,
+		m:         m,
+		spec:      spec,
+		skName:    cfg.Sketch.Name(),
+		stats:     stats,
+		state:     StateIdle,
+		jr:        jr,
+		lastTouch: m.now(),
+		changed:   make(chan struct{}),
+	}
+	cfg.OnIteration = func(core.IterationStat) { s.iterations.Add(1) }
+	st, err := core.NewStepper(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.stepper = st
+	return s, nil
+}
+
+// Create starts a new session from a client spec.
+func (m *Manager) Create(spec SessionSpec) (*Session, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		return nil, fmt.Errorf("%w (%d resident)", ErrTooManySessions, len(m.sessions))
+	}
+	id := fmt.Sprintf("s%06d", m.nextID)
+	m.nextID++
+	jr, err := createJournal(m.cfg.DataDir, id, &spec)
+	if err != nil {
+		return nil, err
+	}
+	s, err := m.buildSession(id, spec, jr)
+	if err != nil {
+		jr.close()
+		os.Remove(journalPath(m.cfg.DataDir, id))
+		return nil, err
+	}
+	m.sessions[id] = s
+	m.met.created.Inc()
+	m.met.active.Set(float64(len(m.sessions)))
+	return s, nil
+}
+
+// Get returns a resident session, lazily reloading an evicted one from
+// its journal.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.sessions[id]; ok {
+		return s, nil
+	}
+	if m.closed {
+		return nil, ErrClosed
+	}
+	path := journalPath(m.cfg.DataDir, id)
+	if _, err := os.Stat(path); err != nil {
+		return nil, ErrNotFound
+	}
+	s, err := m.rebuildLocked(id, path)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// List reports all resident sessions, ordered by ID.
+func (m *Manager) List() []SessionStatus {
+	m.mu.Lock()
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.mu.Unlock()
+	sort.Slice(ss, func(i, j int) bool { return ss[i].ID < ss[j].ID })
+	out := make([]SessionStatus, len(ss))
+	for i, s := range ss {
+		out[i] = s.Status()
+	}
+	return out
+}
+
+// Delete removes a session and its journal entirely.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+		m.met.active.Set(float64(len(m.sessions)))
+	}
+	m.mu.Unlock()
+	if s != nil {
+		s.abort()
+	}
+	path := journalPath(m.cfg.DataDir, id)
+	err := os.Remove(path)
+	if !ok && os.IsNotExist(err) {
+		return ErrNotFound
+	}
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// recoverAll rebuilds every session whose journal is in the data dir.
+func (m *Manager) recoverAll() error {
+	paths, err := filepath.Glob(filepath.Join(m.cfg.DataDir, "*.journal"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, path := range paths {
+		id := strings.TrimSuffix(filepath.Base(path), ".journal")
+		if _, err := m.rebuildLocked(id, path); err != nil {
+			// A corrupt journal must not take the daemon down with it:
+			// quarantine and continue.
+			m.logf("recover %s: %v (quarantined as %s.bad)", id, err, path)
+			os.Rename(path, path+".bad")
+			continue
+		}
+		m.logf("recovered session %s", id)
+	}
+	return nil
+}
+
+// rebuildLocked reconstructs one session from its journal and registers
+// it. Caller holds m.mu.
+func (m *Manager) rebuildLocked(id, path string) (*Session, error) {
+	recs, err := readJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	if n, ok := sessionSeq(id); ok && n >= m.nextID {
+		m.nextID = n + 1
+	}
+	spec := *recs[0].Spec
+
+	// A finished session needs no stepper: serve its final record.
+	for _, rec := range recs {
+		if rec.Type != recFinal {
+			continue
+		}
+		sk, err := spec.sketchFor()
+		if err != nil {
+			return nil, err
+		}
+		s := &Session{
+			ID:        id,
+			m:         m,
+			spec:      spec,
+			skName:    sk.Name(),
+			lastTouch: m.now(),
+			changed:   make(chan struct{}),
+			final:     rec.Transcript,
+			failure:   rec.Err,
+			answers:   countAnswers(recs),
+		}
+		if rec.Err != "" {
+			s.state = StateFailed
+		} else {
+			s.state = StateDone
+		}
+		m.sessions[id] = s
+		m.met.recovered.Inc()
+		m.met.active.Set(float64(len(m.sessions)))
+		return s, nil
+	}
+
+	jr, err := openJournal(m.cfg.DataDir, id)
+	if err != nil {
+		return nil, err
+	}
+	s, err := m.buildSession(id, spec, jr)
+	if err != nil {
+		jr.close()
+		return nil, err
+	}
+	s.jr = jr
+
+	// Preload the latest checkpoint, then replay the answers recorded
+	// after it. Query generation is deterministic in (spec, preloaded
+	// state, answers), so the replayed queries must reproduce the
+	// journaled pairs exactly — a mismatch means the code changed under
+	// the journal, and resuming would silently answer different
+	// questions.
+	lastCk := -1
+	for i, rec := range recs {
+		if rec.Type == recCheckpoint {
+			lastCk = i
+		}
+	}
+	if lastCk >= 0 {
+		if err := s.stepper.Preload(recs[lastCk].Transcript); err != nil {
+			jr.close()
+			s.stepper.Close()
+			return nil, fmt.Errorf("preload checkpoint: %w", err)
+		}
+		s.imported = true
+	}
+	replayed := 0
+	for i := lastCk + 1; i < len(recs); i++ {
+		rec := recs[i]
+		if rec.Type != recAnswer {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), m.cfg.StepTimeout)
+		q, err := s.stepper.Next(ctx)
+		cancel()
+		if err != nil {
+			jr.close()
+			s.stepper.Close()
+			return nil, fmt.Errorf("replay step %d: %w", replayed, err)
+		}
+		if q == nil {
+			m.logf("session %s: finished during replay with %d journaled answers unused", id, countAnswers(recs[i:]))
+			break
+		}
+		if !sameScenario(q.A, rec.A) || !sameScenario(q.B, rec.B) {
+			jr.close()
+			s.stepper.Close()
+			return nil, fmt.Errorf("replay step %d: regenerated query diverged from journal (stale journal for this build?)", replayed)
+		}
+		if err := s.stepper.Answer(oracle.Preference(rec.Pref)); err != nil {
+			jr.close()
+			s.stepper.Close()
+			return nil, fmt.Errorf("replay answer %d: %w", replayed, err)
+		}
+		replayed++
+	}
+	s.answers = countAnswers(recs)
+	s.seqBase = s.answers - s.stepper.Answered()
+	m.sessions[id] = s
+	m.met.recovered.Inc()
+	m.met.active.Set(float64(len(m.sessions)))
+	return s, nil
+}
+
+func countAnswers(recs []journalRecord) int {
+	n := 0
+	for _, rec := range recs {
+		if rec.Type == recAnswer {
+			n++
+		}
+	}
+	return n
+}
+
+// sessionSeq parses the numeric suffix of a generated session ID.
+func sessionSeq(id string) (int64, bool) {
+	if !strings.HasPrefix(id, "s") {
+		return 0, false
+	}
+	var n int64
+	if _, err := fmt.Sscanf(id[1:], "%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func sameScenario(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// janitor periodically evicts idle sessions.
+func (m *Manager) janitor() {
+	defer close(m.janitorDone)
+	t := time.NewTicker(m.cfg.JanitorInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.sweep()
+		case <-m.janitorStop:
+			return
+		}
+	}
+}
+
+func (m *Manager) sweep() {
+	if m.cfg.IdleTTL <= 0 {
+		return
+	}
+	now := m.now()
+	m.mu.Lock()
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.mu.Unlock()
+	for _, s := range ss {
+		if !s.evictIfIdle(now, m.cfg.IdleTTL) {
+			continue
+		}
+		m.mu.Lock()
+		delete(m.sessions, s.ID)
+		m.met.active.Set(float64(len(m.sessions)))
+		m.mu.Unlock()
+		m.met.evicted.Inc()
+		m.logf("evicted idle session %s (checkpointed)", s.ID)
+	}
+}
+
+// Close gracefully shuts the manager down: stops the janitor, waits
+// (bounded by ctx) for in-flight steps to park, checkpoints every
+// unfinished session to its journal, and releases all resources. After
+// Close the data directory alone reconstitutes every session.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.sessions = make(map[string]*Session)
+	m.mu.Unlock()
+
+	close(m.janitorStop)
+	<-m.janitorDone
+	for _, s := range ss {
+		s.shutdown(ctx)
+	}
+	m.advWG.Wait()
+	m.met.active.Set(0)
+	return ctx.Err()
+}
+
+// Abort simulates a crash for tests: every session is dropped without
+// checkpoints, leaving only the fsynced answer trail in the journals.
+func (m *Manager) Abort() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.sessions = make(map[string]*Session)
+	m.mu.Unlock()
+
+	close(m.janitorStop)
+	<-m.janitorDone
+	for _, s := range ss {
+		s.abort()
+	}
+	m.advWG.Wait()
+	m.met.active.Set(0)
+}

@@ -1,0 +1,51 @@
+package service
+
+import (
+	"compsynth/internal/obs"
+)
+
+// metrics is the service-layer instrument set. Built over a nil
+// registry every field is a nil instrument whose methods are no-ops, so
+// an unobserved manager pays nothing (the obs package's contract).
+type metrics struct {
+	active    *obs.Gauge
+	created   *obs.Counter
+	recovered *obs.Counter
+	evicted   *obs.Counter
+	finished  *obs.Counter
+	failed    *obs.Counter
+
+	queries     *obs.Counter
+	answers     *obs.Counter
+	rejected    *obs.Counter
+	saturated   *obs.Counter
+	stepSeconds *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		active: reg.Gauge("compsynthd_sessions_active",
+			"Live synthesis sessions resident in memory."),
+		created: reg.Counter("compsynthd_sessions_created_total",
+			"Sessions created via the API."),
+		recovered: reg.Counter("compsynthd_sessions_recovered_total",
+			"Sessions rebuilt from journals (startup recovery or lazy reload)."),
+		evicted: reg.Counter("compsynthd_sessions_evicted_total",
+			"Sessions checkpointed and dropped from memory by the idle TTL."),
+		finished: reg.Counter("compsynthd_sessions_finished_total",
+			"Sessions that completed (converged or hit the iteration cap)."),
+		failed: reg.Counter("compsynthd_sessions_failed_total",
+			"Sessions that ended in an error."),
+		queries: reg.Counter("compsynthd_queries_total",
+			"Distinguishing queries issued to clients."),
+		answers: reg.Counter("compsynthd_answers_total",
+			"Preference answers accepted and journaled."),
+		rejected: reg.Counter("compsynthd_answers_rejected_total",
+			"Answers rejected (no pending query or stale sequence number)."),
+		saturated: reg.Counter("compsynthd_backpressure_total",
+			"Requests rejected with 429 because the worker pool was saturated."),
+		stepSeconds: reg.Histogram("compsynthd_step_seconds",
+			"Per-step synthesis compute latency (answer accepted to next query).",
+			obs.SecondsBuckets()),
+	}
+}

@@ -1,0 +1,337 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"compsynth/internal/core"
+	"compsynth/internal/oracle"
+)
+
+// answerN drives a session through exactly n answers via the
+// in-process API.
+func answerN(t *testing.T, s *Session, user oracle.Oracle, n int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for answered := 0; answered < n; {
+		q, state, err := s.AwaitQuery(ctx)
+		if errors.Is(err, ErrSaturated) {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		if err != nil {
+			t.Fatalf("AwaitQuery: %v", err)
+		}
+		if q == nil {
+			t.Fatalf("session finished (state %s) after %d answers; wanted %d", state, answered, n)
+		}
+		if _, err := s.Answer(q.Seq, user.Compare(q.A, q.B)); err != nil {
+			t.Fatalf("Answer %d: %v", answered, err)
+		}
+		answered++
+	}
+}
+
+// TestEvictionCheckpointReload walks a session through the idle-TTL
+// eviction path: the janitor sweep must checkpoint it to its journal,
+// a later Get must reload it transparently, and the resumed session
+// must still converge to a high-agreement objective. (The continuation
+// is not bit-identical to an uninterrupted run — a checkpoint restart
+// reseeds the search — so agreement, not bytes, is the bar here; the
+// bit-exact bar is held by the crash-replay tests, which have no
+// checkpoint.)
+func TestEvictionCheckpointReload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	user := swanUser(t)
+	cfg := testConfig(t.TempDir())
+	cfg.IdleTTL = time.Minute
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Abort()
+
+	s, err := m.Create(testSpec(46))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.ID
+	// Answer past the initial-ranking phase: ranking answers commit to
+	// the preference graph only when the whole ranking finishes, so an
+	// earlier snapshot would be empty and eviction would (correctly)
+	// skip the checkpoint.
+	answerN(t, s, user, 10)
+
+	// Park the next query so the session is quiescent, then age it past
+	// the TTL and sweep.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, _, err := s.AwaitQuery(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.lastTouch = time.Now().Add(-time.Hour)
+	s.mu.Unlock()
+	m.sweep()
+
+	m.mu.Lock()
+	_, resident := m.sessions[id]
+	m.mu.Unlock()
+	if resident {
+		t.Fatal("session still resident after sweep")
+	}
+	recs, err := readJournal(journalPath(cfg.DataDir, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasCk := false
+	for _, rec := range recs {
+		if rec.Type == recCheckpoint {
+			hasCk = true
+		}
+	}
+	if !hasCk {
+		t.Fatal("eviction did not checkpoint the session")
+	}
+
+	// Lazy reload: the same ID resolves again, with its answers intact
+	// and sequence numbers continuing where they left off.
+	s2, err := m.Get(id)
+	if err != nil {
+		t.Fatalf("reload evicted session: %v", err)
+	}
+	if s2 == s {
+		t.Fatal("Get returned the evicted session object")
+	}
+	if got := s2.Status().Answers; got != 10 {
+		t.Fatalf("reloaded session has %d answers, want 10", got)
+	}
+	q, _, err := s2.AwaitQuery(ctx)
+	if err != nil || q == nil {
+		t.Fatalf("reloaded session query: %v (q=%v)", err, q)
+	}
+	if q.Seq != 10 {
+		t.Errorf("reloaded session resumed at seq %d, want 10", q.Seq)
+	}
+
+	if err := driveSession(s2, user); err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Status()
+	if st.State != StateDone || !st.Converged {
+		t.Fatalf("resumed session: state %s converged %v (%s)", st.State, st.Converged, st.Error)
+	}
+	s2.mu.Lock()
+	res := s2.result
+	s2.mu.Unlock()
+	if agree := core.Validate(res, user, 1500, rand.New(rand.NewSource(7))); agree < 0.9 {
+		t.Errorf("resumed session agreement %.3f, want >= 0.9", agree)
+	}
+}
+
+// TestGracefulCloseCheckpoints shuts a mid-session manager down and
+// verifies the journal gained a checkpoint, then resumes in a fresh
+// manager without replaying any answers (the checkpoint subsumes them).
+func TestGracefulCloseCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	user := swanUser(t)
+	dir := t.TempDir()
+	m, err := New(testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Create(testSpec(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.ID
+	answerN(t, s, user, 10) // past initial ranking, so the snapshot has content
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	recs, err := readJournal(journalPath(dir, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckAfterLastAnswer := false
+	for _, rec := range recs {
+		switch rec.Type {
+		case recCheckpoint:
+			ckAfterLastAnswer = true
+		case recAnswer:
+			ckAfterLastAnswer = false
+		}
+	}
+	if !ckAfterLastAnswer {
+		t.Fatal("graceful shutdown did not checkpoint after the last answer")
+	}
+
+	m2, err := New(testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Abort()
+	s2, err := m2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Status().Answers; got != 10 {
+		t.Fatalf("recovered session has %d answers, want 10", got)
+	}
+	if err := driveSession(s2, user); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Status(); st.State != StateDone || !st.Converged {
+		t.Fatalf("resumed session: state %s converged %v (%s)", st.State, st.Converged, st.Error)
+	}
+}
+
+// TestJournalTornLine pins crash-tolerant journal reading: a torn
+// trailing line is dropped, garbage mid-file is an error.
+func TestJournalTornLine(t *testing.T) {
+	dir := t.TempDir()
+	jr, err := createJournal(dir, "s000000", &SessionSpec{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.append(journalRecord{Type: recAnswer, Seq: 0, A: []float64{1, 2}, B: []float64{3, 4}, Pref: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.close(); err != nil {
+		t.Fatal(err)
+	}
+	path := journalPath(dir, "s000000")
+
+	// Simulate a crash mid-append: a torn, unparseable tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"type":"answer","seq":1,"a":[5`)
+	f.Close()
+
+	recs, err := readJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (create+answer)", len(recs))
+	}
+
+	// Garbage in the middle is corruption, not a crash artifact.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, []byte("\n{\"type\":\"answer\",\"seq\":2,\"a\":[1],\"b\":[2],\"pref\":2}\n")...)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readJournal(path); err == nil {
+		t.Fatal("mid-file garbage should be rejected")
+	}
+
+	// A journal whose first record is not create is rejected.
+	bad := journalPath(dir, "s000001")
+	if err := os.WriteFile(bad, []byte(`{"type":"answer","seq":0,"a":[1],"b":[2],"pref":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readJournal(bad); err == nil {
+		t.Fatal("journal without a create record should be rejected")
+	}
+}
+
+// TestRecoverySkipsCorruptJournal checks a bad journal quarantines
+// instead of failing daemon startup.
+func TestRecoverySkipsCorruptJournal(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(journalPath(dir, "s000000"), []byte("not json at all\nstill not\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(testConfig(dir))
+	if err != nil {
+		t.Fatalf("corrupt journal must not fail startup: %v", err)
+	}
+	defer m.Abort()
+	if _, err := m.Get("s000000"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("corrupt session should be gone, got %v", err)
+	}
+	if _, err := os.Stat(journalPath(dir, "s000000") + ".bad"); err != nil {
+		t.Errorf("corrupt journal not quarantined: %v", err)
+	}
+}
+
+// TestDeterministicJournalReplay exercises rebuild's query-match check
+// directly: replaying a journal against the same build regenerates the
+// same queries, so recovery succeeds and the answer count holds.
+func TestDeterministicJournalReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	user := swanUser(t)
+	dir := t.TempDir()
+	m, err := New(testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Create(testSpec(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.ID
+	answerN(t, s, user, 5)
+	m.Abort() // crash: journal only
+
+	m2, err := New(testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Abort()
+	s2, err := m2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Status()
+	if st.Answers != 5 {
+		t.Errorf("replayed session has %d answers, want 5", st.Answers)
+	}
+	if st.State != StateIdle && st.State != StateAwaiting {
+		t.Errorf("replayed session in state %s", st.State)
+	}
+
+	// Tampering with a journaled answer's scenario must be caught by
+	// the divergence check, and the session quarantined, not resumed.
+	m2.Abort()
+	raw, err := os.ReadFile(journalPath(dir, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(raw, []byte(`"a":[`), []byte(`"a":[9999,`), 1)
+	if bytes.Equal(raw, tampered) {
+		t.Fatal("tamper patch did not apply")
+	}
+	if err := os.WriteFile(journalPath(dir, id), tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := New(testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Abort()
+	if _, err := m3.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("tampered journal should quarantine the session, got %v", err)
+	}
+}

@@ -1,0 +1,472 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compsynth/internal/core"
+	"compsynth/internal/obs"
+	"compsynth/internal/oracle"
+	"compsynth/internal/solver"
+)
+
+// State is a session's externally visible lifecycle state.
+type State string
+
+// Session states. The transitions form a small machine:
+//
+//	idle ──(first query poll)──► computing ──► awaiting_answer
+//	  ▲                              │  ▲            │
+//	  │ (recovery / import)          │  └─(answer)───┘
+//	  │                              ├──► done   (converged / cap)
+//	  │                              └──► failed (error / step timeout)
+//	any non-computing state ──(TTL, shutdown, DELETE)──► evicted
+//
+// "computing" means an advance goroutine holds a worker-pool slot and
+// the synthesis loop is searching for the next distinguishing pair;
+// sessions parked in awaiting_answer hold no slot at all, which is what
+// lets a small pool serve many architects who answer over minutes or
+// days.
+const (
+	StateIdle      State = "idle"
+	StateComputing State = "computing"
+	StateAwaiting  State = "awaiting_answer"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateEvicted   State = "evicted"
+)
+
+// Service errors, mapped onto HTTP statuses by the handler layer.
+var (
+	// ErrSaturated means the worker pool had no free slot (HTTP 429).
+	ErrSaturated = errors.New("service: worker pool saturated")
+	// ErrTooManySessions means the session cap was reached (HTTP 429).
+	ErrTooManySessions = errors.New("service: session limit reached")
+	// ErrClosed means the manager is shutting down (HTTP 503).
+	ErrClosed = errors.New("service: manager is shut down")
+	// ErrNotFound means the session does not exist (HTTP 404).
+	ErrNotFound = errors.New("service: no such session")
+	// ErrNoPending means an answer arrived with no query outstanding
+	// (HTTP 409).
+	ErrNoPending = errors.New("service: no pending query")
+	// ErrStaleAnswer means the answer's sequence number does not match
+	// the pending query — a duplicate or a lost race (HTTP 409).
+	ErrStaleAnswer = errors.New("service: answer does not match the pending query")
+	// ErrBusy means the session is computing and the operation needs a
+	// quiescent session (HTTP 409; retry shortly).
+	ErrBusy = errors.New("service: session is computing")
+	// ErrConflict means a transcript import hit a session that already
+	// has history (HTTP 409).
+	ErrConflict = errors.New("service: session already has recorded state")
+	// ErrGone means the session was evicted while the caller waited; a
+	// fresh lookup will transparently reload it from its journal.
+	ErrGone = errors.New("service: session evicted")
+)
+
+// Session is one architect's synthesis campaign: a stepper plus the
+// serving state around it (journal, pending query, idle clock). All
+// fields behind mu; the iterations counter is written by the synthesis
+// goroutine and therefore atomic.
+type Session struct {
+	ID string
+
+	m      *Manager
+	spec   SessionSpec
+	skName string
+	stats  *solver.Stats
+
+	iterations atomic.Int64
+
+	mu        sync.Mutex
+	state     State
+	stepper   *core.Stepper
+	pending   *core.Query
+	answers   int // accepted answers over the session's whole life (journal count)
+	seqBase   int // journaled answers subsumed by checkpoints before this stepper
+	imported  bool
+	jr        *journal
+	lastTouch time.Time
+	changed   chan struct{} // closed and replaced on every state change
+	final     *core.Transcript
+	result    *core.Result
+	failure   string
+	closing   bool
+}
+
+// SessionStatus is the status document (GET /v1/sessions/{id}).
+type SessionStatus struct {
+	ID         string `json:"id"`
+	State      State  `json:"state"`
+	Sketch     string `json:"sketch"`
+	Seed       int64  `json:"seed"`
+	Iterations int64  `json:"iterations"`
+	Answers    int    `json:"answers"`
+	PendingSeq *int   `json:"pending_seq,omitempty"`
+	Converged  bool   `json:"converged"`
+	// Final is the synthesized hole vector, present once done.
+	Final []float64 `json:"final,omitempty"`
+	Error string    `json:"error,omitempty"`
+	// SolverEffort is the session-scoped solver counter snapshot.
+	SolverEffort *solver.StatsSnapshot `json:"solver_effort,omitempty"`
+}
+
+// touchLocked resets the idle clock.
+func (s *Session) touchLocked() { s.lastTouch = s.m.now() }
+
+// bumpLocked wakes every long-poll waiter.
+func (s *Session) bumpLocked() {
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// startAdvanceLocked transitions to computing and hands the slot to an
+// advance goroutine.
+func (s *Session) startAdvanceLocked(release func()) {
+	s.state = StateComputing
+	go s.advance(release)
+}
+
+// advance runs one synthesis step — from an accepted answer (or session
+// start) to the next parked query or completion — while holding a
+// worker-pool slot.
+func (s *Session) advance(release func()) {
+	defer release()
+	sp := s.m.span("advance")
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), s.m.cfg.StepTimeout)
+	q, err := s.stepper.Next(ctx)
+	cancel()
+	s.m.met.stepSeconds.Observe(time.Since(start).Seconds())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.bumpLocked()
+	if sp.Active() {
+		sp.End(obs.Num("answers", float64(s.answers)))
+	}
+	if s.closing {
+		// Shutdown or eviction owns the teardown. A completed session
+		// still records its result; anything else parks as idle so the
+		// checkpoint logic sees a quiescent state.
+		if err == nil && q == nil {
+			s.finishLocked()
+		} else if err == nil && q != nil {
+			q.Seq += s.seqBase
+			s.pending = q
+			s.state = StateAwaiting
+		} else {
+			s.state = StateIdle
+		}
+		return
+	}
+	if err != nil {
+		s.failLocked(fmt.Errorf("synthesis step: %w", err))
+		// The loop may still be computing; cut it loose without holding
+		// the session lock for the duration.
+		go s.stepper.Close()
+		return
+	}
+	if q != nil {
+		q.Seq += s.seqBase
+		s.pending = q
+		s.state = StateAwaiting
+		s.m.met.queries.Inc()
+		return
+	}
+	s.finishLocked()
+}
+
+// finishLocked records the completed session outcome and journals the
+// final transcript.
+func (s *Session) finishLocked() {
+	res, err := s.stepper.Result()
+	if err != nil {
+		s.failLocked(err)
+		return
+	}
+	t := core.Export(res)
+	s.final = t
+	s.result = res
+	s.state = StateDone
+	s.m.met.finished.Inc()
+	if s.jr != nil {
+		if jerr := s.jr.append(journalRecord{Type: recFinal, Transcript: t}); jerr != nil {
+			s.m.logf("session %s: journal final record: %v", s.ID, jerr)
+		}
+	}
+}
+
+// failLocked marks the session failed and journals the failure so it is
+// not resumed into the same dead end on restart.
+func (s *Session) failLocked(err error) {
+	s.state = StateFailed
+	s.failure = err.Error()
+	s.pending = nil
+	s.m.met.failed.Inc()
+	s.m.logf("session %s failed: %v", s.ID, err)
+	if s.jr != nil {
+		if jerr := s.jr.append(journalRecord{Type: recFinal, Err: s.failure}); jerr != nil {
+			s.m.logf("session %s: journal failure record: %v", s.ID, jerr)
+		}
+	}
+}
+
+// AwaitQuery long-polls for the session's next query. It kicks off the
+// first synthesis step for idle sessions (which needs a worker slot —
+// ErrSaturated when none frees up in time). Returns the pending query,
+// or (nil, state, nil) for finished sessions, or ctx's error when the
+// poll deadline passes while the solver is still working.
+func (s *Session) AwaitQuery(ctx context.Context) (*core.Query, State, error) {
+	for {
+		s.mu.Lock()
+		s.touchLocked()
+		switch s.state {
+		case StateAwaiting:
+			q := *s.pending
+			s.mu.Unlock()
+			return &q, StateAwaiting, nil
+		case StateDone, StateFailed:
+			st := s.state
+			s.mu.Unlock()
+			return nil, st, nil
+		case StateEvicted:
+			s.mu.Unlock()
+			return nil, StateEvicted, ErrGone
+		case StateIdle:
+			release, ok := s.m.acquireSlot()
+			if !ok {
+				s.mu.Unlock()
+				return nil, StateIdle, ErrSaturated
+			}
+			s.startAdvanceLocked(release)
+		case StateComputing:
+			// fall through to wait
+		}
+		ch := s.changed
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, StateComputing, ctx.Err()
+		}
+	}
+}
+
+// Answer applies the architect's preference for the pending query. The
+// sequence number must match the pending query's, which makes answers
+// idempotent under client retries and safe under racing clients: one
+// wins, the rest get ErrStaleAnswer. The answer is journaled (and
+// fsynced) before the synthesis loop may consume it.
+func (s *Session) Answer(seq int, pref oracle.Preference) (State, error) {
+	// Acquire the compute slot first: accepting an answer commits us to
+	// running the next step, and the pool is the backpressure boundary.
+	release, ok := s.m.acquireSlot()
+	if !ok {
+		return StateAwaiting, ErrSaturated
+	}
+	sp := s.m.span("answer")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touchLocked()
+	if sp.Active() {
+		defer sp.End(obs.Num("seq", float64(seq)))
+	}
+	if s.state != StateAwaiting || s.pending == nil {
+		release()
+		s.m.met.rejected.Inc()
+		return s.state, fmt.Errorf("%w (session is %s)", ErrNoPending, s.state)
+	}
+	if seq != s.pending.Seq {
+		release()
+		s.m.met.rejected.Inc()
+		return s.state, fmt.Errorf("%w: got seq %d, pending is %d", ErrStaleAnswer, seq, s.pending.Seq)
+	}
+	rec := journalRecord{
+		Type: recAnswer,
+		Seq:  seq,
+		A:    s.pending.A,
+		B:    s.pending.B,
+		Pref: int(pref),
+	}
+	if err := s.jr.append(rec); err != nil {
+		release()
+		s.failLocked(fmt.Errorf("journal answer: %w", err))
+		s.bumpLocked()
+		return StateFailed, err
+	}
+	if err := s.stepper.Answer(pref); err != nil {
+		release()
+		s.m.met.rejected.Inc()
+		return s.state, err
+	}
+	s.pending = nil
+	s.answers++
+	s.m.met.answers.Inc()
+	s.startAdvanceLocked(release)
+	s.bumpLocked()
+	return StateComputing, nil
+}
+
+// Import preloads a recorded transcript into a fresh session (PUT
+// transcript). Only valid before any query has been asked; the imported
+// transcript is journaled as a checkpoint so recovery replays on top of
+// it.
+func (s *Session) Import(t *core.Transcript) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touchLocked()
+	if s.state != StateIdle || s.answers > 0 || s.imported {
+		return fmt.Errorf("%w (state %s, %d answers)", ErrConflict, s.state, s.answers)
+	}
+	if err := s.stepper.Preload(t); err != nil {
+		return err
+	}
+	if err := s.jr.append(journalRecord{Type: recCheckpoint, Transcript: t}); err != nil {
+		s.failLocked(fmt.Errorf("journal imported transcript: %w", err))
+		s.bumpLocked()
+		return err
+	}
+	s.imported = true
+	return nil
+}
+
+// Transcript exports the session's current state (GET transcript): the
+// full result for finished sessions, a partial transcript otherwise.
+// While a step is computing the state is in flux — ErrBusy, retry.
+func (s *Session) Transcript() (*core.Transcript, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touchLocked()
+	switch s.state {
+	case StateDone:
+		return s.final, nil
+	case StateComputing:
+		return nil, ErrBusy
+	case StateEvicted:
+		return nil, ErrGone
+	case StateFailed:
+		if s.final != nil {
+			return s.final, nil
+		}
+	}
+	if s.stepper == nil {
+		return nil, fmt.Errorf("%w: no live state", ErrNotFound)
+	}
+	t, err := s.stepper.Snapshot()
+	if errors.Is(err, core.ErrSessionBusy) {
+		return nil, ErrBusy
+	}
+	return t, err
+}
+
+// Status reports the session without touching its idle clock, so
+// monitoring cannot keep a session alive forever.
+func (s *Session) Status() SessionStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SessionStatus{
+		ID:         s.ID,
+		State:      s.state,
+		Sketch:     s.skName,
+		Seed:       s.spec.Seed,
+		Iterations: s.iterations.Load(),
+		Answers:    s.answers,
+		Error:      s.failure,
+	}
+	if s.state == StateAwaiting && s.pending != nil {
+		seq := s.pending.Seq
+		st.PendingSeq = &seq
+	}
+	if s.final != nil {
+		st.Converged = s.final.Converged
+		st.Final = s.final.Final
+		st.Iterations = int64(s.final.Iterations)
+	}
+	if s.stats != nil {
+		snap := s.stats.Snapshot()
+		st.SolverEffort = &snap
+	}
+	return st
+}
+
+// evictIfIdle checkpoints and drops a session whose idle clock passed
+// the TTL. Computing sessions are never evicted (they hold a slot; the
+// step timeout bounds them). Returns whether the session was evicted.
+func (s *Session) evictIfIdle(now time.Time, ttl time.Duration) bool {
+	s.mu.Lock()
+	if s.state == StateComputing || s.state == StateEvicted || now.Sub(s.lastTouch) < ttl {
+		s.mu.Unlock()
+		return false
+	}
+	s.teardownLocked(true)
+	return true
+}
+
+// shutdown is the graceful-stop path: wait (bounded by ctx) for an
+// in-flight step to park, cancel it at the deadline, then checkpoint
+// and release everything. The journal already holds every accepted
+// answer, so even the forced path loses nothing.
+func (s *Session) shutdown(ctx context.Context) {
+	s.mu.Lock()
+	s.closing = true
+	forced := false
+	for s.state == StateComputing {
+		ch := s.changed
+		s.mu.Unlock()
+		if forced {
+			<-ch // the canceled advance is about to publish
+		} else {
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				forced = true
+				s.stepper.Close() // cancels the loop; advance parks as idle
+			}
+		}
+		s.mu.Lock()
+	}
+	s.teardownLocked(true)
+}
+
+// abort simulates a crash: drop everything without checkpointing, so
+// recovery exercises the answer-replay path. Also the fast path for
+// DELETE (the checkpoint would be dead weight).
+func (s *Session) abort() {
+	s.mu.Lock()
+	s.closing = true
+	s.teardownLocked(false)
+}
+
+// teardownLocked finalizes the session: optional checkpoint of a
+// quiescent unfinished session, then journal close and stepper
+// cancellation. Releases s.mu; runs the blocking stepper.Close outside
+// the lock.
+func (s *Session) teardownLocked(checkpoint bool) {
+	var snap *core.Transcript
+	if checkpoint && (s.state == StateIdle || s.state == StateAwaiting) && s.stepper != nil {
+		if t, err := s.stepper.Snapshot(); err == nil && len(t.Scenarios) > 0 {
+			snap = t
+		}
+	}
+	s.closing = true
+	s.state = StateEvicted
+	s.pending = nil
+	jr, stepper := s.jr, s.stepper
+	s.bumpLocked()
+	s.mu.Unlock()
+	if jr != nil {
+		if snap != nil {
+			if err := jr.append(journalRecord{Type: recCheckpoint, Transcript: snap}); err != nil {
+				s.m.logf("session %s: checkpoint: %v", s.ID, err)
+			}
+		}
+		jr.close()
+	}
+	if stepper != nil {
+		stepper.Close()
+	}
+}

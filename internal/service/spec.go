@@ -1,0 +1,149 @@
+// Package service is the serving layer over internal/core: it turns
+// synthesis campaigns into addressable, resumable sessions behind an
+// HTTP/JSON API (cmd/compsynthd). A network architect — human or
+// scripted — drives a session interactively:
+//
+//	POST /v1/sessions                     create (pick sketch + options)
+//	GET  /v1/sessions/{id}/query          next scenario pair (long-poll)
+//	POST /v1/sessions/{id}/answer         preference / tie
+//	GET  /v1/sessions/{id}                status + result
+//	GET  /v1/sessions/{id}/transcript     export core.Transcript
+//	PUT  /v1/sessions/{id}/transcript     import (resume a recording)
+//
+// Under the API sits a session manager with a bounded worker pool (429
+// backpressure when saturated), per-session serialization, idle-TTL
+// eviction, and crash recovery: every accepted answer is appended to a
+// per-session journal in the data directory, graceful shutdown
+// checkpoints in-flight sessions, and on restart sessions are rebuilt
+// from their journals (checkpoint → core Preload, then deterministic
+// replay of any answers recorded after it).
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"compsynth/internal/core"
+	"compsynth/internal/obs"
+	"compsynth/internal/sketch"
+	"compsynth/internal/solver"
+)
+
+// SessionSpec is the client-supplied session configuration (the JSON
+// body of POST /v1/sessions). It is stored verbatim in the session's
+// journal, so recovery rebuilds the exact same core.Config.
+type SessionSpec struct {
+	// Sketch names a built-in sketch ("swan", the default). Exclusive
+	// with SpecText.
+	Sketch string `json:"sketch,omitempty"`
+	// SpecText is an inline sketch spec (the sketch.ParseSpec format)
+	// for custom objective grammars.
+	SpecText string `json:"spec,omitempty"`
+	// Seed drives all session randomness; equal (spec, answers) pairs
+	// yield bit-identical sessions.
+	Seed int64 `json:"seed"`
+	// InitialScenarios, PairsPerIteration, and MaxIterations mirror
+	// core.Config (zero selects the paper defaults; InitialScenarios<0
+	// means none).
+	InitialScenarios  int `json:"initial_scenarios,omitempty"`
+	PairsPerIteration int `json:"pairs_per_iteration,omitempty"`
+	MaxIterations     int `json:"max_iterations,omitempty"`
+	// Solver and Distinguish override individual search-budget knobs;
+	// omitted fields keep the solver defaults.
+	Solver      *SolverSpec      `json:"solver,omitempty"`
+	Distinguish *DistinguishSpec `json:"distinguish,omitempty"`
+}
+
+// SolverSpec overrides solver.Options fields (zero keeps the default).
+type SolverSpec struct {
+	Samples        int `json:"samples,omitempty"`
+	RepairRestarts int `json:"repair_restarts,omitempty"`
+	RepairSteps    int `json:"repair_steps,omitempty"`
+	MaxBoxes       int `json:"max_boxes,omitempty"`
+	Workers        int `json:"workers,omitempty"`
+}
+
+// DistinguishSpec overrides solver.DistinguishOptions fields.
+type DistinguishSpec struct {
+	Candidates  int     `json:"candidates,omitempty"`
+	PairSamples int     `json:"pair_samples,omitempty"`
+	Gamma       float64 `json:"gamma,omitempty"`
+}
+
+// sketchFor resolves the spec's sketch.
+func (sp *SessionSpec) sketchFor() (*sketch.Sketch, error) {
+	if sp.SpecText != "" {
+		if sp.Sketch != "" {
+			return nil, fmt.Errorf("service: spec names both a built-in sketch %q and an inline spec", sp.Sketch)
+		}
+		sk, err := sketch.ParseSpec(strings.NewReader(sp.SpecText))
+		if err != nil {
+			return nil, fmt.Errorf("service: parse inline sketch spec: %w", err)
+		}
+		return sk, nil
+	}
+	switch strings.ToLower(sp.Sketch) {
+	case "", "swan":
+		return sketch.SWAN(), nil
+	}
+	return nil, fmt.Errorf("service: unknown sketch %q (built-ins: swan; or send an inline spec)", sp.Sketch)
+}
+
+// config materializes a core.Config for a stepper. Each call builds a
+// fresh sketch so per-session specialization caches are not shared
+// across sessions (session isolation beats cache reuse here: a hung
+// session must not pin another session's memory).
+func (sp *SessionSpec) config(obsv *obs.Observer, stats *solver.Stats) (core.Config, error) {
+	sk, err := sp.sketchFor()
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.Config{
+		Sketch:            sk,
+		Seed:              sp.Seed,
+		InitialScenarios:  sp.InitialScenarios,
+		PairsPerIteration: sp.PairsPerIteration,
+		MaxIterations:     sp.MaxIterations,
+		Obs:               obsv,
+	}
+	opts := solver.DefaultOptions()
+	if s := sp.Solver; s != nil {
+		if s.Samples > 0 {
+			opts.Samples = s.Samples
+		}
+		if s.RepairRestarts > 0 {
+			opts.RepairRestarts = s.RepairRestarts
+		}
+		if s.RepairSteps > 0 {
+			opts.RepairSteps = s.RepairSteps
+		}
+		if s.MaxBoxes > 0 {
+			opts.MaxBoxes = s.MaxBoxes
+		}
+		if s.Workers > 0 {
+			opts.Workers = s.Workers
+		}
+	}
+	opts.Stats = stats
+	cfg.Solver = opts
+	dopts := solver.DefaultDistinguishOptions()
+	if d := sp.Distinguish; d != nil {
+		if d.Candidates > 0 {
+			dopts.Candidates = d.Candidates
+		}
+		if d.PairSamples > 0 {
+			dopts.PairSamples = d.PairSamples
+		}
+		if d.Gamma > 0 {
+			dopts.Gamma = d.Gamma
+		}
+	}
+	cfg.Distinguish = dopts
+	return cfg, nil
+}
+
+// validate rejects specs that cannot produce a session.
+func (sp *SessionSpec) validate() error {
+	_, err := sp.sketchFor()
+	return err
+}
