@@ -7,7 +7,8 @@ GO ?= go
 
 # Tier-1 verification: build, vet, the full test suite, the race
 # detector over the packages with real concurrency (parallel solver
-# workers, the sketch specialization cache, the synthesis service's
+# workers, the work-stealing branch-and-prune engine and its steal
+# hammer, the sketch specialization cache, the synthesis service's
 # worker pool), and smoke tests of the observability HTTP endpoint and
 # the compsynthd service layer.
 all: build vet test race obs-smoke service-smoke

@@ -146,14 +146,14 @@ func BenchmarkAblationSolverStrategies(b *testing.B) {
 		name string
 		opts solver.Options
 	}{
-		{"sampling+repair", solver.Options{
+		{"sampling+repair", solver.Options{Budget: solver.Budget{
 			Samples: 400, RepairRestarts: 12, RepairSteps: 160,
 			MinBoxWidth: 1.0 / 256, MaxBoxes: 20000,
-		}},
-		{"branch-and-prune-only", solver.Options{
+		}}},
+		{"branch-and-prune-only", solver.Options{Budget: solver.Budget{
 			Samples: 0, RepairRestarts: 0, RepairSteps: 0,
 			MinBoxWidth: 1.0 / 256, MaxBoxes: 200000,
-		}},
+		}}},
 	}
 	for _, s := range strategies {
 		b.Run(s.name, func(b *testing.B) {

@@ -9,8 +9,15 @@
 //
 //	compsynth [-seed N] [-init K] [-pairs P] [-interactive]
 //	          [-target tp,l,s1,s2] [-sketch file] [-v]
+//	          [-workers N] [-prune-workers N]
 //	          [-save file] [-resume file] [-plot] [-dot file] [-explain]
 //	          [-obs addr] [-trace file.jsonl]
+//
+// -workers partitions the sampling/repair budget across N goroutines
+// (results are deterministic per seed and worker count). -prune-workers
+// sizes the branch-and-prune engine's pool; its results are identical
+// for any value, so the default (one worker per CPU) only ever needs
+// lowering to keep the process off other tenants' cores.
 //
 // -obs serves live observability over HTTP while the session runs:
 // Prometheus-text /metrics, expvar /debug/vars, pprof under
@@ -39,30 +46,32 @@ import (
 
 func main() {
 	var (
-		seed        = flag.Int64("seed", 1, "random seed (all randomness is derived from it)")
-		initN       = flag.Int("init", 5, "number of initial random scenarios to rank (0 for none)")
-		pairs       = flag.Int("pairs", 1, "scenario pairs ranked per iteration")
-		interactive = flag.Bool("interactive", false, "ask a human instead of the oracle")
-		targetStr   = flag.String("target", "1,50,1,5", "oracle target: tp_thrsh,l_thrsh,slope1,slope2")
-		verbose     = flag.Bool("v", false, "print per-iteration progress")
-		save        = flag.String("save", "", "write the session transcript (JSON) to this file")
-		resume      = flag.String("resume", "", "resume from a transcript written by -save")
-		plot        = flag.Bool("plot", false, "render the learned objective as an ASCII heatmap")
-		dot         = flag.String("dot", "", "write the preference graph (Graphviz DOT) to this file")
-		sketchFile  = flag.String("sketch", "", "load a sketch spec file instead of the built-in SWAN sketch")
-		explain     = flag.Bool("explain", false, "report how tightly each hole is pinned down")
-		obsAddr     = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/pprof and /trace on this address while running (e.g. 127.0.0.1:8090)")
-		traceFile   = flag.String("trace", "", "write the synthesis span trace (JSON Lines) to this file")
+		seed         = flag.Int64("seed", 1, "random seed (all randomness is derived from it)")
+		initN        = flag.Int("init", 5, "number of initial random scenarios to rank (0 for none)")
+		pairs        = flag.Int("pairs", 1, "scenario pairs ranked per iteration")
+		interactive  = flag.Bool("interactive", false, "ask a human instead of the oracle")
+		targetStr    = flag.String("target", "1,50,1,5", "oracle target: tp_thrsh,l_thrsh,slope1,slope2")
+		verbose      = flag.Bool("v", false, "print per-iteration progress")
+		save         = flag.String("save", "", "write the session transcript (JSON) to this file")
+		resume       = flag.String("resume", "", "resume from a transcript written by -save")
+		plot         = flag.Bool("plot", false, "render the learned objective as an ASCII heatmap")
+		dot          = flag.String("dot", "", "write the preference graph (Graphviz DOT) to this file")
+		sketchFile   = flag.String("sketch", "", "load a sketch spec file instead of the built-in SWAN sketch")
+		explain      = flag.Bool("explain", false, "report how tightly each hole is pinned down")
+		obsAddr      = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/pprof and /trace on this address while running (e.g. 127.0.0.1:8090)")
+		traceFile    = flag.String("trace", "", "write the synthesis span trace (JSON Lines) to this file")
+		workers      = flag.Int("workers", 0, "sampling/repair worker count (0 keeps the sequential default; changes the seed-deterministic search path)")
+		pruneWorkers = flag.Int("prune-workers", 0, "branch-and-prune worker count (0 means one per CPU; never changes results)")
 	)
 	flag.Parse()
 
-	if err := run(*seed, *initN, *pairs, *interactive, *targetStr, *verbose, *save, *resume, *plot, *dot, *sketchFile, *explain, *obsAddr, *traceFile); err != nil {
+	if err := run(*seed, *initN, *pairs, *interactive, *targetStr, *verbose, *save, *resume, *plot, *dot, *sketchFile, *explain, *obsAddr, *traceFile, *workers, *pruneWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "compsynth:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, initN, pairs int, interactive bool, targetStr string, verbose bool, save, resume string, plot bool, dot, sketchFile string, explain bool, obsAddr, traceFile string) error {
+func run(seed int64, initN, pairs int, interactive bool, targetStr string, verbose bool, save, resume string, plot bool, dot, sketchFile string, explain bool, obsAddr, traceFile string, workers, pruneWorkers int) error {
 	// Observability edge: a registry when anything will scrape it, a
 	// tracer when anyone will read spans (live /trace or a -trace dump).
 	var observer *obs.Observer
@@ -164,6 +173,11 @@ func run(seed int64, initN, pairs int, interactive bool, targetStr string, verbo
 		PairsPerIteration: pairs,
 		Seed:              seed,
 		Obs:               observer,
+	}
+	if workers > 0 || pruneWorkers > 0 {
+		cfg.Solver = solver.DefaultOptions()
+		cfg.Solver.Workers = workers
+		cfg.Solver.PruneWorkers = pruneWorkers
 	}
 	if interactive {
 		// Humans deserve a progress pulse between questions.

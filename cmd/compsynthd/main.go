@@ -19,6 +19,12 @@
 //
 // The observability endpoints (/metrics, /debug/vars, /debug/pprof/,
 // /trace) are mounted on the same listener as the API.
+//
+// The session API lives under /v1 (POST /v1/sessions, ...). The
+// historical unversioned paths still work as frozen aliases of the
+// same handlers; they answer with an RFC 9745 Deprecation header and
+// a Link to the /v1 successor so clients can migrate on their own
+// schedule.
 package main
 
 import (

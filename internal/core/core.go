@@ -255,6 +255,10 @@ type Synthesizer struct {
 	// bit-identical to the uncompiled path.
 	sys      *solver.System
 	sysEdges []prefgraph.Edge
+	// search is the context-first view over sys; every solver query the
+	// loop issues goes through it so RunContext's ctx reaches down to
+	// individual samples, repair restarts, and prune waves.
+	search solver.Search
 	// hints are warm-start hole vectors carried between iterations:
 	// witnesses found in earlier rounds anchor the solver in the
 	// remaining version space, which shrinks as constraints accumulate.
@@ -331,6 +335,7 @@ func New(cfg Config) (*Synthesizer, error) {
 		store: scenario.NewStore(cfg.Sketch.Space(), tol),
 		sys:   solver.NewSystem(cfg.Sketch, cfg.Margin, cfg.Viable, cfg.Solver.Stats),
 	}
+	s.search = solver.NewSearch(s.sys)
 	s.user = timedOracle{s}
 	if reg := cfg.Obs.Reg(); reg != nil {
 		s.om = newCoreMetrics(reg)
@@ -379,19 +384,27 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 
 		solveStart := time.Now()
 		spSolve := tr.Begin("solve")
-		wits, status := s.sys.FindDistinguishingMany(
-			s.cfg.PairsPerIteration, s.solverOpts(0), s.cfg.Distinguish, s.rng)
+		wits, status, err := s.search.FindDistinguishingMany(
+			ctx, s.cfg.PairsPerIteration, s.solverOpts(0), s.cfg.Distinguish, s.rng)
 		if spSolve.Active() {
 			spSolve.End(obs.Num("escalation", 0), obs.Num("status", float64(status)))
+		}
+		if err != nil {
+			spIter.End()
+			return nil, fmt.Errorf("core: session canceled after %d iterations: %w", iter-1, err)
 		}
 		if status == solver.StatusUnknown {
 			// No consistent candidate found at the base budget. Escalate
 			// once: the version space may just be small.
 			spSolve = tr.Begin("solve")
-			wits, status = s.sys.FindDistinguishingMany(
-				s.cfg.PairsPerIteration, s.solverOpts(2), s.cfg.Distinguish, s.rng)
+			wits, status, err = s.search.FindDistinguishingMany(
+				ctx, s.cfg.PairsPerIteration, s.solverOpts(2), s.cfg.Distinguish, s.rng)
 			if spSolve.Active() {
 				spSolve.End(obs.Num("escalation", 2), obs.Num("status", float64(status)))
+			}
+			if err != nil {
+				spIter.End()
+				return nil, fmt.Errorf("core: session canceled after %d iterations: %w", iter-1, err)
 			}
 		}
 		if status == solver.StatusUnknown {
@@ -399,7 +412,7 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 			// infeasible for this sketch (inconsistent answers that did
 			// not form a graph cycle). Relax per the noise policy.
 			spRelax := tr.Begin("relax")
-			dropped, relaxErr := s.relax()
+			dropped, relaxErr := s.relax(ctx)
 			if spRelax.Active() {
 				spRelax.End(obs.Num("dropped", float64(dropped)))
 			}
@@ -424,7 +437,7 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 			s.endIteration(res, stat, spIter)
 			if unsatStreak >= s.cfg.ConvergenceChecks {
 				res.Converged = true
-				return s.finish(res)
+				return s.finish(ctx, res)
 			}
 			continue
 		}
@@ -453,7 +466,7 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 		}
 		s.endIteration(res, stat, spIter)
 	}
-	return s.finish(res)
+	return s.finish(ctx, res)
 }
 
 // endIteration publishes one completed round: loop metrics, the
@@ -660,14 +673,17 @@ func (s *Synthesizer) problem() (solver.Problem, []prefgraph.Edge) {
 // parallel to the system's constraint order, which sysEdges mirrors, so
 // mask index i names edge sysEdges[i]; removal runs highest-index-first
 // to keep the remaining indices valid.
-func (s *Synthesizer) relax() (int, error) {
+func (s *Synthesizer) relax(ctx context.Context) (int, error) {
 	if s.cfg.Noise == NoiseFail {
 		return 0, ErrInconsistent
 	}
 	if len(s.sysEdges) == 0 {
 		return 0, ErrNoCandidate
 	}
-	best, loss, satisfied := s.sys.BestEffort(s.solverOpts(2), s.rng)
+	best, loss, satisfied, err := s.search.BestEffort(ctx, s.solverOpts(2), s.rng)
+	if err != nil {
+		return 0, err
+	}
 	dropped := 0
 	for i := len(satisfied) - 1; i >= 0; i-- {
 		if !satisfied[i] {
@@ -692,13 +708,13 @@ func (s *Synthesizer) relax() (int, error) {
 
 // finish extracts the final representative candidate and seals the
 // session's effort accounting onto the Result.
-func (s *Synthesizer) finish(res *Result) (*Result, error) {
+func (s *Synthesizer) finish(ctx context.Context, res *Result) (*Result, error) {
 	sp := s.tracer().Begin("finish")
 	res.Ties = append([]solver.Tie(nil), s.ties...)
 	start := time.Now()
-	holes, status := s.sys.FindCandidate(s.solverOpts(0), s.rng)
-	if status != solver.StatusSat {
-		holes, status = s.sys.FindCandidate(s.solverOpts(2), s.rng)
+	holes, status, err := s.search.FindCandidate(ctx, s.solverOpts(0), s.rng)
+	if err == nil && status != solver.StatusSat {
+		holes, status, err = s.search.FindCandidate(ctx, s.solverOpts(2), s.rng)
 	}
 	res.TotalSynthTime += time.Since(start)
 	res.OracleTime = s.oracleTime
@@ -710,6 +726,9 @@ func (s *Synthesizer) finish(res *Result) (*Result, error) {
 	s.om.sessionEnd(res.Converged)
 	if sp.Active() {
 		sp.End(obs.Num("status", float64(status)))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: session canceled during final extraction: %w", err)
 	}
 	if status != solver.StatusSat {
 		return nil, fmt.Errorf("%w (final extraction: %v)", ErrNoCandidate, status)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -33,8 +34,8 @@ func (s *Synthesizer) Explain(samples int, rng *rand.Rand) ([]HoleEstimate, erro
 	if samples < 2 {
 		samples = 16
 	}
-	cands := s.sys.FindDiverse(samples, s.solverOpts(0), rng)
-	if len(cands) == 0 {
+	cands, err := s.search.FindDiverse(context.Background(), samples, s.solverOpts(0), rng)
+	if err != nil || len(cands) == 0 {
 		return nil, ErrNoCandidate
 	}
 	sk := s.cfg.Sketch

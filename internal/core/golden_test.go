@@ -162,3 +162,39 @@ func TestGoldenRerunStable(t *testing.T) {
 		t.Error("same config + seed produced different transcripts in one process")
 	}
 }
+
+// TestGoldenPruneWorkerInvariance pins the parallel prune engine's
+// central contract at the session level: PruneWorkers sizes a pool over
+// a wave of boxes whose merge is order-independent, so — unlike Workers,
+// which partitions the RNG budget — the whole transcript must be
+// bit-identical for every PruneWorkers value.
+func TestGoldenPruneWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden synthesis runs are not -short friendly")
+	}
+	base := goldenCases()[0] // default-seq
+	run := func(pruneWorkers int) []byte {
+		cfg := base.cfg
+		cfg.Solver.PruneWorkers = pruneWorkers
+		synth, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := synth.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := core.Export(res).WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !bytes.Equal(got, want) {
+			t.Errorf("PruneWorkers=%d transcript diverged from PruneWorkers=1 (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+}

@@ -131,6 +131,20 @@ func (h *Histogram) Observe(v float64) {
 	h.sum.Add(v)
 }
 
+// ObserveN records n identical observations of v in one shot — the
+// bulk form for callers that tally per-batch (e.g. the solver's prune
+// engine observing a whole frontier wave at one depth) without paying
+// n bucket searches.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	h.sum.Add(v * float64(n))
+}
+
 // Count returns the number of observations (0 for nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {

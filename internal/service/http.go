@@ -14,20 +14,45 @@ import (
 	"compsynth/internal/oracle"
 )
 
+// deprecationDate is the RFC 9745 Deprecation header value advertised
+// on the unversioned alias routes: the epoch seconds of the day the
+// /v1 prefix became the canonical API surface.
+const deprecationDate = "@1785542400" // 2026-08-05T00:00:00Z
+
 // Handler builds the daemon's HTTP API over a manager. Alongside the
 // /v1 session routes it mounts the obs exposition endpoints (/metrics,
 // /debug/vars, /debug/pprof/, /trace) when the manager was built with
 // an observer, so one listener serves both the API and its telemetry.
+//
+// Every session route is also reachable at its historical unversioned
+// path (e.g. /sessions for /v1/sessions). Those aliases are frozen:
+// they serve the same handlers but answer with an RFC 9745
+// Deprecation header and a Link to the /v1 successor, and new routes
+// are added under /v1 only.
 func Handler(m *Manager, extra http.Handler) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", m.handleCreate)
-	mux.HandleFunc("GET /v1/sessions", m.handleList)
-	mux.HandleFunc("GET /v1/sessions/{id}", m.handleStatus)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", m.handleDelete)
-	mux.HandleFunc("GET /v1/sessions/{id}/query", m.handleQuery)
-	mux.HandleFunc("POST /v1/sessions/{id}/answer", m.handleAnswer)
-	mux.HandleFunc("GET /v1/sessions/{id}/transcript", m.handleExport)
-	mux.HandleFunc("PUT /v1/sessions/{id}/transcript", m.handleImport)
+	routes := []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"POST", "/sessions", m.handleCreate},
+		{"GET", "/sessions", m.handleList},
+		{"GET", "/sessions/{id}", m.handleStatus},
+		{"DELETE", "/sessions/{id}", m.handleDelete},
+		{"GET", "/sessions/{id}/query", m.handleQuery},
+		{"POST", "/sessions/{id}/answer", m.handleAnswer},
+		{"GET", "/sessions/{id}/transcript", m.handleExport},
+		{"PUT", "/sessions/{id}/transcript", m.handleImport},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
+		h := rt.h
+		mux.HandleFunc(rt.method+" "+rt.path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", deprecationDate)
+			w.Header().Set("Link", `</v1`+r.URL.EscapedPath()+`>; rel="successor-version"`)
+			h(w, r)
+		})
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHTTPUnversionedAliases pins the migration contract for the
+// pre-/v1 paths: every session route still answers at its historical
+// unversioned path, backed by the same manager, but carries the RFC
+// 9745 Deprecation header plus a Link to the /v1 successor — and the
+// canonical /v1 routes carry neither.
+func TestHTTPUnversionedAliases(t *testing.T) {
+	m, err := New(testConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(m, nil))
+	defer srv.Close()
+	defer m.Abort()
+
+	body, err := json.Marshal(testSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st SessionStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || st.ID == "" {
+		t.Fatalf("POST /sessions = %d, status %+v", resp.StatusCode, st)
+	}
+	if dep := resp.Header.Get("Deprecation"); !strings.HasPrefix(dep, "@") {
+		t.Errorf("Deprecation header = %q, want @<epoch>", dep)
+	}
+	if link := resp.Header.Get("Link"); link != `</v1/sessions>; rel="successor-version"` {
+		t.Errorf("Link header = %q", link)
+	}
+
+	// The alias and the canonical route share the manager: the session
+	// created above is visible through /v1, without deprecation noise.
+	resp, err = http.Get(srv.URL + "/v1/sessions/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/sessions/%s = %d", st.ID, resp.StatusCode)
+	}
+	if dep := resp.Header.Get("Deprecation"); dep != "" {
+		t.Errorf("/v1 route advertises Deprecation %q", dep)
+	}
+	if link := resp.Header.Get("Link"); link != "" {
+		t.Errorf("/v1 route advertises Link %q", link)
+	}
+
+	// Parameterized alias: the successor Link points at the concrete
+	// /v1 path, not a template.
+	resp, err = http.Get(srv.URL + "/sessions/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /sessions/%s = %d", st.ID, resp.StatusCode)
+	}
+	if want := `</v1/sessions/` + st.ID + `>; rel="successor-version"`; resp.Header.Get("Link") != want {
+		t.Errorf("Link header = %q, want %q", resp.Header.Get("Link"), want)
+	}
+}

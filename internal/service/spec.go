@@ -61,6 +61,11 @@ type SolverSpec struct {
 	RepairSteps    int `json:"repair_steps,omitempty"`
 	MaxBoxes       int `json:"max_boxes,omitempty"`
 	Workers        int `json:"workers,omitempty"`
+	// PruneWorkers caps the branch-and-prune engine's worker pool.
+	// Unlike Workers it never affects results — prune verdicts are
+	// bit-identical for any value — so the default (0: one worker per
+	// CPU) is right unless a session must be confined for fairness.
+	PruneWorkers int `json:"prune_workers,omitempty"`
 }
 
 // DistinguishSpec overrides solver.DistinguishOptions fields.
@@ -122,6 +127,9 @@ func (sp *SessionSpec) config(obsv *obs.Observer, stats *solver.Stats) (core.Con
 		}
 		if s.Workers > 0 {
 			opts.Workers = s.Workers
+		}
+		if s.PruneWorkers > 0 {
+			opts.PruneWorkers = s.PruneWorkers
 		}
 	}
 	opts.Stats = stats

@@ -1,9 +1,9 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"math/rand"
-	"time"
 
 	"compsynth/internal/scenario"
 )
@@ -109,50 +109,57 @@ func (d DistinguishOptions) effectiveStrategy() QueryStrategy {
 //     consistent candidate can then be obtained with FindCandidate.
 //   - StatusUnknown: no consistent candidate could be found at all
 //     (over-constrained problem, e.g. inconsistent oracle input).
+//
+// Deprecated: this wrapper cannot be canceled. Use
+// Compile(p, opts.Stats).FindDistinguishing(ctx, opts, dopts, rng).
 func FindDistinguishing(p Problem, opts Options, dopts DistinguishOptions, rng *rand.Rand) (*Distinguishing, Status) {
-	return compileSystem(p, opts.Stats).FindDistinguishing(opts, dopts, rng)
+	w, st, _ := Compile(p, opts.Stats).FindDistinguishing(context.Background(), opts, dopts, rng)
+	return w, st
 }
 
 // FindDistinguishingMany returns up to k distinguishing witnesses with
 // mutually distinct scenario pairs — used when the synthesizer asks the
 // user to rank several pairs per iteration (paper Figure 4).
+//
+// Deprecated: this wrapper cannot be canceled. Use
+// Compile(p, opts.Stats).FindDistinguishingMany(ctx, k, opts, dopts, rng).
 func FindDistinguishingMany(p Problem, k int, opts Options, dopts DistinguishOptions, rng *rand.Rand) ([]*Distinguishing, Status) {
-	return compileSystem(p, opts.Stats).FindDistinguishingMany(k, opts, dopts, rng)
+	wits, st, _ := Compile(p, opts.Stats).FindDistinguishingMany(context.Background(), k, opts, dopts, rng)
+	return wits, st
 }
 
 // FindDistinguishing is the System-level single-witness variant.
+//
+// Deprecated: this wrapper cannot be canceled. Use
+// NewSearch(s).FindDistinguishing(ctx, opts, dopts, rng).
 func (s *System) FindDistinguishing(opts Options, dopts DistinguishOptions, rng *rand.Rand) (*Distinguishing, Status) {
-	wits, st := s.FindDistinguishingMany(1, opts, dopts, rng)
-	if st != StatusSat {
-		return nil, st
-	}
-	return wits[0], StatusSat
+	w, st, _ := NewSearch(s).FindDistinguishing(context.Background(), opts, dopts, rng)
+	return w, st
 }
 
 // FindDistinguishingMany is the System-level search; see the package
 // function of the same name.
+//
+// Deprecated: this wrapper cannot be canceled. Use
+// NewSearch(s).FindDistinguishingMany(ctx, k, opts, dopts, rng).
 func (s *System) FindDistinguishingMany(k int, opts Options, dopts DistinguishOptions, rng *rand.Rand) ([]*Distinguishing, Status) {
-	var start time.Time
-	if s.metrics != nil {
-		start = time.Now()
-	}
-	wits, st := s.findDistinguishingMany(k, opts, dopts, rng)
-	if s.metrics != nil {
-		s.metrics.observe(s.metrics.distinguishSearches, time.Since(start), st, true)
-	}
+	wits, st, _ := NewSearch(s).FindDistinguishingMany(context.Background(), k, opts, dopts, rng)
 	return wits, st
 }
 
-func (s *System) findDistinguishingMany(k int, opts Options, dopts DistinguishOptions, rng *rand.Rand) ([]*Distinguishing, Status) {
+func (s *System) findDistinguishingMany(ctx context.Context, k int, opts Options, dopts DistinguishOptions, rng *rand.Rand) ([]*Distinguishing, Status, error) {
 	if k < 1 {
 		k = 1
 	}
-	cands := s.findDiverse(dopts.Candidates, opts, rng)
+	cands, err := s.findDiverse(ctx, dopts.Candidates, opts, rng)
+	if err != nil {
+		return nil, StatusUnknown, err
+	}
 	if len(cands) == 0 {
-		return nil, StatusUnknown
+		return nil, StatusUnknown, nil
 	}
 	if len(cands) == 1 {
-		return nil, StatusUnsat
+		return nil, StatusUnsat, nil
 	}
 
 	space := s.sk.Space()
@@ -169,6 +176,9 @@ func (s *System) findDistinguishingMany(k int, opts Options, dopts DistinguishOp
 	// deliberately stays on the sketch's shared compiled body.
 	scores := make([][]float64, len(cands))
 	for ci, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, StatusUnknown, err
+		}
 		row := make([]float64, dopts.PairSamples)
 		for si := 0; si < dopts.PairSamples; si++ {
 			row[si] = s.sk.Eval(x1s[si], c) - s.sk.Eval(x2s[si], c)
@@ -219,7 +229,7 @@ func (s *System) findDistinguishingMany(k int, opts Options, dopts DistinguishOp
 		sortByGap(found)
 	}
 	if len(found) == 0 {
-		return nil, StatusUnsat
+		return nil, StatusUnsat, nil
 	}
 
 	// Greedily keep witnesses whose scenario pairs are distinct from
@@ -241,7 +251,7 @@ func (s *System) findDistinguishingMany(k int, opts Options, dopts DistinguishOp
 			out = append(out, w)
 		}
 	}
-	return out, StatusSat
+	return out, StatusSat, nil
 }
 
 // voteSplitWitnesses ranks scenario pairs by how evenly the candidate

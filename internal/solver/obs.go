@@ -25,6 +25,10 @@ type Metrics struct {
 	unsatVerdicts       *obs.Counter
 	unknownVerdicts     *obs.Counter
 	searchSeconds       *obs.Histogram
+	// pruneDepth distributes branch-and-prune boxes over frontier depth
+	// (one observation per processed box, bulked per wave). Deep tails
+	// mean the constraint surface resists interval refutation.
+	pruneDepth *obs.Histogram
 }
 
 // NewMetrics registers the solver instruments on the registry and, if
@@ -41,6 +45,8 @@ func NewMetrics(reg *obs.Registry, stats *Stats) *Metrics {
 		view("compsynth_solver_samples_total", "uniform random hole vectors evaluated", stats.Samples.Load)
 		view("compsynth_solver_repairs_total", "hinge-loss repair descents started", stats.Repairs.Load)
 		view("compsynth_solver_boxes_total", "branch-and-prune boxes processed", stats.Boxes.Load)
+		view("compsynth_solver_boxes_pruned_total", "branch-and-prune boxes refuted by interval bounds", stats.BoxesPruned.Load)
+		view("compsynth_solver_prune_steals_total", "work-stealing span steals in the parallel prune engine", stats.Steals.Load)
 		view("compsynth_solver_hint_hits_total", "warm-start hints that were directly feasible", stats.HintHits.Load)
 		view("compsynth_solver_spec_compiles_total", "constraint difference programs compiled", stats.SpecCompiles.Load)
 		view("compsynth_solver_spec_cache_hits_total", "constraint compilations served from the pair cache", stats.SpecCacheHits.Load)
@@ -54,7 +60,17 @@ func NewMetrics(reg *obs.Registry, stats *Stats) *Metrics {
 		unsatVerdicts:       reg.Counter("compsynth_solver_unsat_total", "searches ending unsat"),
 		unknownVerdicts:     reg.Counter("compsynth_solver_unknown_total", "searches ending unknown"),
 		searchSeconds:       reg.Histogram("compsynth_solver_search_seconds", "per-search wall-clock latency", obs.SecondsBuckets()),
+		pruneDepth:          reg.Histogram("compsynth_solver_prune_depth", "branch-and-prune frontier depth per box processed", obs.ExpBuckets(1, 2, 10)),
 	}
+}
+
+// observePruneDepth records `boxes` processed boxes at one frontier
+// depth — called once per wave, off the box-evaluation hot path.
+func (m *Metrics) observePruneDepth(depth, boxes int) {
+	if m == nil {
+		return
+	}
+	m.pruneDepth.ObserveN(float64(depth), int64(boxes))
 }
 
 // observe records one completed search. kind is nil when the search

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 )
@@ -61,7 +62,11 @@ func splitBudget(opts Options, rng *rand.Rand) []searchJob {
 // first witness" (the FindCandidate use), larger values build pools
 // for FindDiverse. Workers only read the system (Violation/Satisfies
 // over immutable specialized programs), so no mutation races exist.
-func (s *System) parallelWitnesses(opts Options, rng *rand.Rand, maxPerWorker int) [][]float64 {
+//
+// Cancellation: workers poll ctx between budget units and bail; the
+// call then returns (nil, ctx.Err()) and any partial findings are
+// discarded, so an uncanceled run's result is never affected.
+func (s *System) parallelWitnesses(ctx context.Context, opts Options, rng *rand.Rand, maxPerWorker int) ([][]float64, error) {
 	domains := s.sk.Domains()
 	stats := s.statsOf(opts)
 	jobs := splitBudget(opts, rng)
@@ -78,6 +83,9 @@ func (s *System) parallelWitnesses(opts Options, rng *rand.Rand, maxPerWorker in
 			scratch := make([]float64, len(domains))
 			var found [][]float64
 			for i := 0; i < job.samples && len(found) < maxPerWorker; i++ {
+				if ctx.Err() != nil {
+					return
+				}
 				if stats != nil {
 					stats.Samples.Add(1)
 				}
@@ -87,6 +95,9 @@ func (s *System) parallelWitnesses(opts Options, rng *rand.Rand, maxPerWorker in
 				}
 			}
 			for r := 0; r < job.repairs && len(found) < maxPerWorker; r++ {
+				if ctx.Err() != nil {
+					return
+				}
 				if stats != nil {
 					stats.Repairs.Add(1)
 				}
@@ -99,9 +110,12 @@ func (s *System) parallelWitnesses(opts Options, rng *rand.Rand, maxPerWorker in
 		}(w, job)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var out [][]float64
 	for _, r := range results {
 		out = append(out, r...)
 	}
-	return out
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -64,7 +65,7 @@ func TestParallelDistinguishing(t *testing.T) {
 }
 
 func TestSplitBudget(t *testing.T) {
-	opts := Options{Samples: 10, RepairRestarts: 5, Workers: 3}
+	opts := Options{Budget: Budget{Samples: 10, RepairRestarts: 5, Workers: 3}}
 	jobs := splitBudget(opts, rand.New(rand.NewSource(1)))
 	if len(jobs) != 3 {
 		t.Fatalf("jobs = %d", len(jobs))
@@ -82,13 +83,13 @@ func TestSplitBudget(t *testing.T) {
 		t.Error("workers share seeds")
 	}
 	// More workers than work: clamped.
-	opts = Options{Samples: 1, RepairRestarts: 0, Workers: 8}
+	opts = Options{Budget: Budget{Samples: 1, RepairRestarts: 0, Workers: 8}}
 	jobs = splitBudget(opts, rand.New(rand.NewSource(2)))
 	if len(jobs) != 1 {
 		t.Errorf("jobs = %d, want clamp to 1", len(jobs))
 	}
 	// Zero budget: one no-op worker, no panic.
-	opts = Options{Workers: 4}
+	opts = Options{Budget: Budget{Workers: 4}}
 	jobs = splitBudget(opts, rand.New(rand.NewSource(3)))
 	if len(jobs) != 1 {
 		t.Errorf("zero-budget jobs = %d", len(jobs))
@@ -98,7 +99,7 @@ func TestSplitBudget(t *testing.T) {
 func TestSplitBudgetClampsWorkersToBudget(t *testing.T) {
 	// Workers beyond Samples+RepairRestarts are dropped so the worker
 	// count never exceeds the total budget.
-	opts := Options{Samples: 4, RepairRestarts: 3, Workers: 10}
+	opts := Options{Budget: Budget{Samples: 4, RepairRestarts: 3, Workers: 10}}
 	jobs := splitBudget(opts, rand.New(rand.NewSource(9)))
 	if len(jobs) != 7 {
 		t.Fatalf("jobs = %d, want clamp to Samples+RepairRestarts = 7", len(jobs))
@@ -124,12 +125,12 @@ func TestSplitBudgetClampsWorkersToBudget(t *testing.T) {
 		}
 	}
 	// Exactly at the budget: no clamp.
-	opts = Options{Samples: 4, RepairRestarts: 3, Workers: 7}
+	opts = Options{Budget: Budget{Samples: 4, RepairRestarts: 3, Workers: 7}}
 	if jobs := splitBudget(opts, rand.New(rand.NewSource(10))); len(jobs) != 7 {
 		t.Errorf("jobs = %d, want 7 (no clamp at exact budget)", len(jobs))
 	}
 	// Negative/zero Workers floors at one.
-	opts = Options{Samples: 4, RepairRestarts: 3, Workers: -2}
+	opts = Options{Budget: Budget{Samples: 4, RepairRestarts: 3, Workers: -2}}
 	if jobs := splitBudget(opts, rand.New(rand.NewSource(11))); len(jobs) != 1 {
 		t.Errorf("jobs = %d, want 1 for Workers <= 0", len(jobs))
 	}
@@ -141,7 +142,10 @@ func TestParallelWitnessesRespectsMaxPerWorker(t *testing.T) {
 	p, _ := swanProblem(t, 0, 51)
 	opts := DefaultOptions()
 	opts.Workers = 4
-	ws := compileSystem(p, nil).parallelWitnesses(opts, rand.New(rand.NewSource(52)), 3)
+	ws, err := compileSystem(p, nil).parallelWitnesses(context.Background(), opts, rand.New(rand.NewSource(52)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ws) == 0 || len(ws) > 4*3 {
 		t.Errorf("witnesses = %d, want in (0, 12]", len(ws))
 	}

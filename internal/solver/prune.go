@@ -1,0 +1,331 @@
+package solver
+
+// The parallel branch-and-prune engine. The UNSAT direction of every
+// solver verdict — and therefore the convergence check that terminates
+// a synthesis session — runs through here, so this is the path worth
+// parallelizing. The design constraint is strict determinism: Status,
+// witness, and every transcript downstream must be bit-identical for
+// any PruneWorkers value, or golden-transcript reproducibility dies.
+//
+// The engine achieves that with a wave (frontier-at-a-time) traversal:
+//
+//   - The frontier is the ordered list of surviving boxes at one depth.
+//   - Evaluating one box is a pure function of the box (interval
+//     evaluation of compiled constraint programs, a midpoint check, a
+//     corner check at the resolution floor — no RNG, no shared state),
+//     so boxes of a wave can be evaluated in any order, by any worker,
+//     into a slot-addressed results array.
+//   - Work within a wave is distributed through per-worker deques of
+//     index spans: owners pop LIFO from the tail, idle workers steal
+//     FIFO from the head of the next deque over. Stealing reshuffles
+//     only *who* computes a slot, never *what* ends up in it.
+//   - The merge then runs sequentially in frontier order: the first
+//     witness in wave order wins, surviving splits append their two
+//     children in order, and the box budget truncates the frontier at a
+//     deterministic index. Unsat (an empty next frontier) is
+//     order-independent to begin with.
+//
+// Contrast with the sampling-stage parallelism in parallel.go, which is
+// deterministic only per (seed, Workers) pair: there the worker count
+// partitions the RNG budget, here workers never touch randomness at
+// all, so the worker count is free to follow the machine.
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"compsynth/internal/interval"
+)
+
+// pruneChunk is the span granularity of the wave deques: boxes are
+// handed out (and stolen) in runs of this many slots. Large enough to
+// amortize the deque mutex, small enough that a straggler span cannot
+// serialize a wave tail.
+const pruneChunk = 8
+
+// pruneKind classifies one box's outcome.
+type pruneKind uint8
+
+const (
+	// prunePruned: interval bounds refute the box — no solution inside.
+	prunePruned pruneKind = iota
+	// pruneWitness: a satisfying point was found in the box.
+	pruneWitness
+	// pruneSplit: undecided — the box was split along its widest
+	// dimension (relative to the per-dimension resolution floor).
+	pruneSplit
+	// pruneFloor: at the resolution floor and still undecided, with no
+	// corner witness; the box is dropped (δ-unsat convention).
+	pruneFloor
+)
+
+// pruneResult is the outcome of evaluating one frontier box. Results
+// are written slot-addressed by whichever worker evaluated the box and
+// read back in frontier order by the merge.
+type pruneResult struct {
+	kind        pruneKind
+	witness     []float64
+	left, right []interval.Interval
+}
+
+// pruneSpan is a contiguous run [lo, hi) of frontier indices.
+type pruneSpan struct{ lo, hi int }
+
+// pruneDeque is one worker's span queue. The owner pops LIFO from the
+// tail (locality: its most recently deferred work); thieves steal FIFO
+// from the head (the oldest — and for the initial block layout the
+// largest remaining — run). A plain mutex is enough: contention is one
+// lock per pruneChunk boxes, and the critical section is a slice
+// header update.
+type pruneDeque struct {
+	mu    sync.Mutex
+	spans []pruneSpan
+}
+
+func (d *pruneDeque) pop() (pruneSpan, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.spans)
+	if n == 0 {
+		return pruneSpan{}, false
+	}
+	sp := d.spans[n-1]
+	d.spans = d.spans[:n-1]
+	return sp, true
+}
+
+func (d *pruneDeque) steal() (pruneSpan, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.spans) == 0 {
+		return pruneSpan{}, false
+	}
+	sp := d.spans[0]
+	d.spans = d.spans[1:]
+	return sp, true
+}
+
+// branchAndPrune exhaustively explores the hole box with the wave
+// engine; see the file comment for the determinism argument and
+// solver.go for the pruning rules and the δ-unsat convention.
+// Constraint intervals come from the pre-specialized programs, so no
+// scenario boxes are materialized.
+//
+// The error is non-nil exactly when ctx was canceled; the verdict is
+// then StatusUnknown.
+func (s *System) branchAndPrune(ctx context.Context, domains []interval.Interval, opts Options) ([]float64, Status, error) {
+	stats := s.statsOf(opts)
+	minWidths := make([]float64, len(domains))
+	for i, d := range domains {
+		minWidths[i] = math.Max(d.Width()*opts.MinBoxWidth, 1e-12)
+	}
+	workers := opts.PruneWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	frontier := [][]interval.Interval{append([]interval.Interval(nil), domains...)}
+	budget := opts.MaxBoxes
+	var results []pruneResult
+	depth := 0
+	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, StatusUnknown, err
+		}
+		n, truncated := len(frontier), false
+		if n > budget {
+			// Deterministic budget cut: only the first `budget` boxes of
+			// this wave are processed, exactly as the sequential engine
+			// stopped after MaxBoxes pops.
+			n, truncated = budget, true
+		}
+		if n == 0 {
+			return nil, StatusUnknown, nil
+		}
+		budget -= n
+		if stats != nil {
+			stats.Boxes.Add(int64(n))
+		}
+		if cap(results) < n {
+			results = make([]pruneResult, n)
+		}
+		results = results[:n]
+		if err := s.pruneWave(ctx, frontier[:n], results, minWidths, workers, stats); err != nil {
+			return nil, StatusUnknown, err
+		}
+
+		// Merge, in frontier order. The first witness in wave order wins
+		// regardless of which worker found it first in wall time.
+		pruned := 0
+		witness := -1
+		for i := range results {
+			switch results[i].kind {
+			case pruneWitness:
+				if witness < 0 {
+					witness = i
+				}
+			case prunePruned:
+				pruned++
+			}
+		}
+		if stats != nil && pruned > 0 {
+			stats.BoxesPruned.Add(int64(pruned))
+		}
+		if s.metrics != nil {
+			s.metrics.observePruneDepth(depth, n)
+		}
+		if witness >= 0 {
+			return results[witness].witness, StatusSat, nil
+		}
+		if truncated {
+			return nil, StatusUnknown, nil
+		}
+		next := make([][]interval.Interval, 0, 2*(n-pruned))
+		for i := range results {
+			if results[i].kind == pruneSplit {
+				next = append(next, results[i].left, results[i].right)
+			}
+			results[i] = pruneResult{} // release box references early
+		}
+		frontier = next
+		depth++
+	}
+	return nil, StatusUnsat, nil
+}
+
+// pruneWave evaluates wave[i] into results[i] for every i, using up to
+// `workers` goroutines over work-stealing span deques. workers is
+// clamped to the number of spans; at one worker the wave runs inline
+// with no goroutines and no steal accounting.
+func (s *System) pruneWave(ctx context.Context, wave [][]interval.Interval, results []pruneResult, minWidths []float64, workers int, stats *Stats) error {
+	n := len(wave)
+	if spans := (n + pruneChunk - 1) / pruneChunk; workers > spans {
+		workers = spans
+	}
+	if workers <= 1 {
+		mid := make([]float64, len(minWidths))
+		for i, box := range wave {
+			if i%pruneChunk == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			results[i] = s.evalPruneBox(box, minWidths, mid)
+		}
+		return nil
+	}
+
+	// Contiguous block per worker, pre-chunked so thieves can lift work
+	// off a busy owner span by span.
+	deques := make([]pruneDeque, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		for c := lo; c < hi; c += pruneChunk {
+			end := c + pruneChunk
+			if end > hi {
+				end = hi
+			}
+			deques[w].spans = append(deques[w].spans, pruneSpan{c, end})
+		}
+	}
+	var steals atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mid := make([]float64, len(minWidths))
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				sp, ok := deques[w].pop()
+				if !ok {
+					// Deterministic victim order (w+1, w+2, ...): not needed
+					// for result determinism — slots are slots — but it keeps
+					// steal pressure evenly spread.
+					for off := 1; off < workers && !ok; off++ {
+						sp, ok = deques[(w+off)%workers].steal()
+					}
+					if !ok {
+						return // every deque drained; in-flight spans finish elsewhere
+					}
+					steals.Add(1)
+				}
+				for i := sp.lo; i < sp.hi; i++ {
+					results[i] = s.evalPruneBox(wave[i], minWidths, mid)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if stats != nil {
+		if st := steals.Load(); st > 0 {
+			stats.Steals.Add(st)
+		}
+	}
+	return ctx.Err()
+}
+
+// evalPruneBox decides one box: refuted, witnessed, split, or dropped
+// at the floor. Pure with respect to the System (compiled programs are
+// closure-based and read-only; Viable carries the same thread-safety
+// contract the sampling stage already imposes), so it is safe and
+// deterministic under any evaluation order. mid is the caller's
+// per-worker scratch vector, len(domains) long.
+//
+// The decision sequence is exactly the sequential engine's: interval
+// refutation first, then the fully-feasible fast path (midpoint
+// accepted on interval evidence alone — Viable is deliberately not
+// consulted, matching the documented Problem.Viable semantics), then a
+// midpoint probe, then split-or-corner-check.
+func (s *System) evalPruneBox(box []interval.Interval, minWidths []float64, mid []float64) pruneResult {
+	feasible := true
+	for i := range s.cps {
+		diff := s.cps[i].diff.EvalInterval(nil, box)
+		if diff.Hi <= s.margin {
+			return pruneResult{kind: prunePruned}
+		}
+		if !(diff.Lo > s.margin) {
+			feasible = false
+		}
+	}
+	for i := range s.cts {
+		diff := s.cts[i].diff.EvalInterval(nil, box)
+		if diff.Lo > s.cts[i].band || diff.Hi < -s.cts[i].band {
+			return pruneResult{kind: prunePruned}
+		}
+		if !(diff.Lo >= -s.cts[i].band && diff.Hi <= s.cts[i].band) {
+			feasible = false
+		}
+	}
+	fillMidpoint(mid, box)
+	if feasible || s.Satisfies(mid) {
+		return pruneResult{kind: pruneWitness, witness: append([]float64(nil), mid...)}
+	}
+	// Split the widest dimension relative to its resolution floor.
+	widest, ratio := -1, 1.0
+	for i, iv := range box {
+		if r := iv.Width() / minWidths[i]; r > ratio {
+			widest, ratio = i, r
+		}
+	}
+	if widest < 0 {
+		// At the resolution floor and still undecided: point-check the
+		// corners (mid still holds the midpoint for dims beyond the
+		// enumeration cap).
+		if w := s.cornerWitness(box, mid); w != nil {
+			return pruneResult{kind: pruneWitness, witness: w}
+		}
+		return pruneResult{kind: pruneFloor}
+	}
+	l, r := box[widest].Split()
+	left := append([]interval.Interval(nil), box...)
+	right := append([]interval.Interval(nil), box...)
+	left[widest] = l
+	right[widest] = r
+	return pruneResult{kind: pruneSplit, left: left, right: right}
+}

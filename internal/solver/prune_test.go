@@ -1,0 +1,243 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"compsynth/internal/scenario"
+	"compsynth/internal/sketch"
+)
+
+// pruneOnly returns options that skip the sampling/repair stages so a
+// search exercises nothing but the branch-and-prune engine.
+func pruneOnly(workers int) Options {
+	opts := DefaultOptions()
+	opts.Samples = 0
+	opts.RepairRestarts = 0
+	opts.RepairSteps = 0
+	opts.PruneWorkers = workers
+	return opts
+}
+
+// contradictoryProblem is UNSAT by construction (a > b and b > a), so
+// the prune engine must exhaust the hole box to refute it.
+func contradictoryProblem() Problem {
+	return Problem{
+		Sketch: sketch.SWAN(),
+		Prefs: []Pref{
+			{Better: scenario.Scenario{5, 10}, Worse: scenario.Scenario{2, 100}},
+			{Better: scenario.Scenario{2, 100}, Worse: scenario.Scenario{5, 10}},
+		},
+		Margin: 1e-9,
+	}
+}
+
+type pruneOutcome struct {
+	holes  []float64
+	status Status
+	boxes  int64
+	pruned int64
+}
+
+// runPrune executes a prune-only FindCandidate and captures everything
+// that must be invariant under the worker count: the verdict, the
+// witness bits, and the deterministic effort counters. Steals are the
+// one scheduling-dependent counter and are deliberately excluded.
+func runPrune(t *testing.T, p Problem, mod func(*Options), workers int) pruneOutcome {
+	t.Helper()
+	stats := &Stats{}
+	opts := pruneOnly(workers)
+	opts.Stats = stats
+	if mod != nil {
+		mod(&opts)
+	}
+	h, st, err := Compile(p, stats).FindCandidate(context.Background(), opts, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatalf("workers=%d: unexpected error: %v", workers, err)
+	}
+	return pruneOutcome{holes: h, status: st, boxes: stats.Boxes.Load(), pruned: stats.BoxesPruned.Load()}
+}
+
+// TestPruneWorkerCountInvariance is the engine's central property: for
+// sat, unsat, and budget-truncated (unknown) instances, the verdict,
+// the witness, and the deterministic counters are bit-identical for
+// every PruneWorkers value — unlike the sampling stage, where Workers
+// partitions the RNG budget and is only deterministic per (seed,
+// Workers) pair.
+func TestPruneWorkerCountInvariance(t *testing.T) {
+	sat, _ := swanProblem(t, 20, 31)
+	cases := []struct {
+		name string
+		p    Problem
+		mod  func(*Options)
+		want Status
+	}{
+		{"sat", sat, nil, StatusSat},
+		{"unsat", contradictoryProblem(), func(o *Options) {
+			o.MinBoxWidth = 1.0 / 32
+			o.MaxBoxes = 2_000_000
+		}, StatusUnsat},
+		{"truncated", contradictoryProblem(), func(o *Options) {
+			// Budget far below what refutation needs: the frontier is cut
+			// at a deterministic index and the verdict degrades to unknown.
+			o.MinBoxWidth = 1.0 / 1024
+			o.MaxBoxes = 37
+		}, StatusUnknown},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := runPrune(t, tc.p, tc.mod, 1)
+			if base.status != tc.want {
+				t.Fatalf("workers=1: status = %v, want %v", base.status, tc.want)
+			}
+			for _, workers := range []int{2, 8} {
+				got := runPrune(t, tc.p, tc.mod, workers)
+				if got.status != base.status {
+					t.Errorf("workers=%d: status = %v, want %v", workers, got.status, base.status)
+				}
+				if len(got.holes) != len(base.holes) {
+					t.Fatalf("workers=%d: witness length %d, want %d", workers, len(got.holes), len(base.holes))
+				}
+				for i := range got.holes {
+					if got.holes[i] != base.holes[i] {
+						t.Errorf("workers=%d: witness[%d] = %v, want %v (bit-identical)",
+							workers, i, got.holes[i], base.holes[i])
+					}
+				}
+				if got.boxes != base.boxes || got.pruned != base.pruned {
+					t.Errorf("workers=%d: boxes/pruned = %d/%d, want %d/%d",
+						workers, got.boxes, got.pruned, base.boxes, base.pruned)
+				}
+			}
+		})
+	}
+}
+
+// TestPruneWorkerCountInvarianceGOMAXPROCS pins the ≤0 convention:
+// PruneWorkers unset follows the machine and still matches workers=1.
+func TestPruneWorkerCountInvarianceGOMAXPROCS(t *testing.T) {
+	p, _ := swanProblem(t, 12, 33)
+	base := runPrune(t, p, nil, 1)
+	got := runPrune(t, p, nil, 0)
+	if got.status != base.status {
+		t.Fatalf("default workers: status = %v, want %v", got.status, base.status)
+	}
+	for i := range got.holes {
+		if got.holes[i] != base.holes[i] {
+			t.Fatalf("default workers: witness diverges at dim %d", i)
+		}
+	}
+}
+
+// TestPruneStealHammer drives wide waves through a high worker count so
+// the race detector can chew on the deque pop/steal paths and the
+// slot-addressed results writes. Run via `make race`.
+func TestPruneStealHammer(t *testing.T) {
+	p := contradictoryProblem()
+	mod := func(o *Options) {
+		o.MinBoxWidth = 1.0 / 64
+		o.MaxBoxes = 2_000_000
+	}
+	base := runPrune(t, p, mod, 1)
+	if base.status != StatusUnsat {
+		t.Fatalf("status = %v, want unsat", base.status)
+	}
+	for round := 0; round < 4; round++ {
+		got := runPrune(t, p, mod, 16)
+		if got.status != base.status || got.boxes != base.boxes || got.pruned != base.pruned {
+			t.Fatalf("round %d: outcome (%v, %d, %d) diverged from sequential (%v, %d, %d)",
+				round, got.status, got.boxes, got.pruned, base.status, base.boxes, base.pruned)
+		}
+	}
+}
+
+// TestPruneCancellation checks the v1 error contract on the prune path:
+// a canceled context surfaces ctx.Err() with StatusUnknown and no
+// witness, both pre-canceled and mid-run.
+func TestPruneCancellation(t *testing.T) {
+	p := contradictoryProblem()
+	opts := pruneOnly(2)
+	opts.MinBoxWidth = 1.0 / 1024
+	opts.MaxBoxes = 2_000_000
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h, st, err := Compile(p, nil).FindCandidate(ctx, opts, rand.New(rand.NewSource(5)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st != StatusUnknown || h != nil {
+		t.Errorf("canceled search returned (%v, %v), want (nil, unknown)", h, st)
+	}
+
+	// Deadline in the past: same contract, DeadlineExceeded flavor.
+	dctx, dcancel := context.WithTimeout(context.Background(), -1)
+	defer dcancel()
+	_, st, err = Compile(p, nil).FindCandidate(dctx, opts, rand.New(rand.NewSource(6)))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if st != StatusUnknown {
+		t.Errorf("status = %v, want unknown", st)
+	}
+}
+
+// TestFindDiverseSingleCandidateFastPath pins the k ≤ 1 bugfix: the
+// single-candidate case must not build the witness pool or partition
+// the budget across workers — it delegates to FindCandidate staging and
+// returns that one witness (or nothing if the search fails).
+func TestFindDiverseSingleCandidateFastPath(t *testing.T) {
+	p, _ := swanProblem(t, 10, 91)
+	for _, k := range []int{0, 1} {
+		stats := &Stats{}
+		opts := DefaultOptions()
+		opts.Workers = 4
+		opts.Stats = stats
+		cands, err := Compile(p, stats).FindDiverse(context.Background(), k, opts, rand.New(rand.NewSource(12)))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(cands) != 1 {
+			t.Fatalf("k=%d: got %d candidates, want 1", k, len(cands))
+		}
+		if !Satisfies(p, cands[0]) {
+			t.Errorf("k=%d: candidate violates constraints", k)
+		}
+		// The fast path runs one FindCandidate, which stops sampling at the
+		// first witness — nowhere near the k>1 pool's exhaustive budget.
+		if s := stats.Samples.Load(); s > int64(opts.Samples) {
+			t.Errorf("k=%d: %d samples exceeds a single search budget %d — pool path taken?", k, s, opts.Samples)
+		}
+	}
+}
+
+// BenchmarkPruneEngineWorkers measures the wave engine alone on the
+// refutation (UNSAT) workload that dominates convergence checks, across
+// PruneWorkers values. On multi-core hosts the wave fan-out is the
+// speedup; on a single-core host the rows document the engine's
+// synchronization overhead instead.
+func BenchmarkPruneEngineWorkers(b *testing.B) {
+	p := contradictoryProblem()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := pruneOnly(workers)
+			opts.MinBoxWidth = 1.0 / 64
+			opts.MaxBoxes = 2_000_000
+			sys := compileSystem(p, nil)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := NewSearch(sys).FindCandidate(context.Background(), opts, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st != StatusUnsat {
+					b.Fatalf("status %v", st)
+				}
+			}
+		})
+	}
+}

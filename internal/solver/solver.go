@@ -21,6 +21,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -95,9 +96,12 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(%d)", int(s))
 }
 
-// Options tune the search. The zero value is not useful; start from
-// DefaultOptions.
-type Options struct {
+// Budget groups the search-budget knobs of Options: how much sampling,
+// repair, and pruning effort a query may spend, and how that effort is
+// spread across goroutines. It is embedded in Options, so existing
+// field accesses (opts.Samples, opts.MaxBoxes, ...) keep compiling;
+// composite literals should name the Budget explicitly.
+type Budget struct {
 	// Samples is the number of uniform random hole vectors tried before
 	// and between repair attempts.
 	Samples int
@@ -111,15 +115,31 @@ type Options struct {
 	MinBoxWidth float64
 	// MaxBoxes bounds the number of boxes branch-and-prune may process.
 	MaxBoxes int
+	// Workers parallelizes the sampling and repair stages across
+	// goroutines (≤ 1 means sequential). Results are deterministic for
+	// a fixed (seed, Workers) pair: every worker derives its own RNG
+	// from the caller's, and outcomes are merged in worker order —
+	// changing Workers changes which witness is found.
+	Workers int
+	// PruneWorkers parallelizes the branch-and-prune stage across the
+	// work-stealing wave engine (see prune.go). Unlike Workers, the
+	// prune verdict, witness, and box counts are bit-identical for any
+	// PruneWorkers value: per-box outcomes are pure and the merge runs
+	// in frontier order. ≤ 0 selects runtime.GOMAXPROCS(0), which is
+	// safe precisely because of that invariance.
+	PruneWorkers int
+}
+
+// Options tune the search. The zero value is not useful; start from
+// DefaultOptions.
+type Options struct {
+	// Budget holds the effort knobs; its fields are promoted, so
+	// opts.Samples etc. read as before.
+	Budget
 	// Hints are warm-start hole vectors (e.g. witnesses from earlier
 	// iterations). They are checked first and used as repair starting
 	// points; vectors outside the domain box are clamped.
 	Hints [][]float64
-	// Workers parallelizes the sampling and repair stages across
-	// goroutines (≤ 1 means sequential). Results are deterministic for
-	// a fixed (seed, Workers) pair: every worker derives its own RNG
-	// from the caller's, and outcomes are merged in worker order.
-	Workers int
 	// Stats, when non-nil, accumulates search-effort counters across
 	// calls (atomically; safe with Workers > 1). Observability hook for
 	// tuning budgets.
@@ -141,6 +161,13 @@ type Stats struct {
 	Repairs atomic.Int64
 	// Boxes is the number of boxes branch-and-prune processed.
 	Boxes atomic.Int64
+	// BoxesPruned is the number of boxes branch-and-prune refuted by
+	// interval bounds alone (no solution inside, no split needed).
+	BoxesPruned atomic.Int64
+	// Steals counts work-stealing deque steals in the parallel prune
+	// engine. Unlike the other counters it is scheduling-dependent:
+	// the value varies run to run (the results never do).
+	Steals atomic.Int64
 	// HintHits counts warm-start hints that were directly feasible.
 	HintHits atomic.Int64
 	// SpecCompiles counts constraint difference programs compiled into
@@ -166,6 +193,8 @@ type StatsSnapshot struct {
 	Samples       int64
 	Repairs       int64
 	Boxes         int64
+	BoxesPruned   int64
+	Steals        int64
 	HintHits      int64
 	SpecCompiles  int64
 	SpecCacheHits int64
@@ -179,6 +208,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Samples:       s.Samples.Load(),
 		Repairs:       s.Repairs.Load(),
 		Boxes:         s.Boxes.Load(),
+		BoxesPruned:   s.BoxesPruned.Load(),
+		Steals:        s.Steals.Load(),
 		HintHits:      s.HintHits.Load(),
 		SpecCompiles:  s.SpecCompiles.Load(),
 		SpecCacheHits: s.SpecCacheHits.Load(),
@@ -190,6 +221,8 @@ func (s *Stats) Reset() {
 	s.Samples.Store(0)
 	s.Repairs.Store(0)
 	s.Boxes.Store(0)
+	s.BoxesPruned.Store(0)
+	s.Steals.Store(0)
 	s.HintHits.Store(0)
 	s.SpecCompiles.Store(0)
 	s.SpecCacheHits.Store(0)
@@ -202,6 +235,8 @@ func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
 		Samples:       a.Samples - b.Samples,
 		Repairs:       a.Repairs - b.Repairs,
 		Boxes:         a.Boxes - b.Boxes,
+		BoxesPruned:   a.BoxesPruned - b.BoxesPruned,
+		Steals:        a.Steals - b.Steals,
 		HintHits:      a.HintHits - b.HintHits,
 		SpecCompiles:  a.SpecCompiles - b.SpecCompiles,
 		SpecCacheHits: a.SpecCacheHits - b.SpecCacheHits,
@@ -210,18 +245,20 @@ func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
 
 // String renders the snapshot in the Stats.String format.
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("samples=%d repairs=%d boxes=%d hint-hits=%d spec-compiles=%d spec-hits=%d",
-		s.Samples, s.Repairs, s.Boxes, s.HintHits, s.SpecCompiles, s.SpecCacheHits)
+	return fmt.Sprintf("samples=%d repairs=%d boxes=%d pruned=%d steals=%d hint-hits=%d spec-compiles=%d spec-hits=%d",
+		s.Samples, s.Repairs, s.Boxes, s.BoxesPruned, s.Steals, s.HintHits, s.SpecCompiles, s.SpecCacheHits)
 }
 
 // DefaultOptions returns the tuning used by the synthesizer.
 func DefaultOptions() Options {
 	return Options{
-		Samples:        400,
-		RepairRestarts: 12,
-		RepairSteps:    160,
-		MinBoxWidth:    1.0 / 256,
-		MaxBoxes:       20000,
+		Budget: Budget{
+			Samples:        400,
+			RepairRestarts: 12,
+			RepairSteps:    160,
+			MinBoxWidth:    1.0 / 256,
+			MaxBoxes:       20000,
+		},
 	}
 }
 
@@ -286,13 +323,15 @@ func Satisfies(p Problem, holes []float64) bool {
 // can return StatusUnsat; if its box budget is exhausted first the
 // result is StatusUnknown.
 //
-// The search runs on the compiled System representation; callers that
-// solve a growing problem repeatedly should hold a System themselves
-// (see NewSystem) and call its FindCandidate to skip the per-call
-// compile. Specializations are cached on the sketch, so this wrapper is
-// cheap after the first call per scenario anyway.
+// Deprecated: this wrapper cannot be canceled. Use the context-first v1
+// API instead: Compile(p, opts.Stats).FindCandidate(ctx, opts, rng)
+// (or NewSearch over a long-lived System). Callers that solve a growing
+// problem repeatedly should hold the System themselves to skip the
+// per-call compile; specializations are cached on the sketch, so this
+// wrapper is cheap after the first call per scenario anyway.
 func FindCandidate(p Problem, opts Options, rng *rand.Rand) ([]float64, Status) {
-	return compileSystem(p, opts.Stats).FindCandidate(opts, rng)
+	h, st, _ := Compile(p, opts.Stats).FindCandidate(context.Background(), opts, rng)
+	return h, st
 }
 
 // clampToBox returns a copy of h with every coordinate clamped into its
@@ -323,8 +362,12 @@ func randomVector(domains []interval.Interval, rng *rand.Rand) []float64 {
 // consistent) and the per-constraint satisfaction mask. The synthesizer
 // uses it to localize numerically infeasible preference edges when the
 // user's answers are inconsistent.
+//
+// Deprecated: this wrapper cannot be canceled. Use
+// Compile(p, opts.Stats).BestEffort(ctx, opts, rng).
 func BestEffort(p Problem, opts Options, rng *rand.Rand) (holes []float64, loss float64, satisfied []bool) {
-	return compileSystem(p, opts.Stats).BestEffort(opts, rng)
+	holes, loss, satisfied, _ = Compile(p, opts.Stats).BestEffort(context.Background(), opts, rng)
+	return holes, loss, satisfied
 }
 
 // FindDiverse returns up to k consistent hole vectors that are mutually
@@ -332,6 +375,10 @@ func BestEffort(p Problem, opts Options, rng *rand.Rand) (holes []float64, loss 
 // pool of found witnesses). Diversity is what gives the distinguishing
 // search leverage: behaviorally different candidates come from distant
 // corners of the version space.
+//
+// Deprecated: this wrapper cannot be canceled. Use
+// Compile(p, opts.Stats).FindDiverse(ctx, k, opts, rng).
 func FindDiverse(p Problem, k int, opts Options, rng *rand.Rand) [][]float64 {
-	return compileSystem(p, opts.Stats).FindDiverse(k, opts, rng)
+	out, _ := Compile(p, opts.Stats).FindDiverse(context.Background(), k, opts, rng)
+	return out
 }

@@ -1,9 +1,9 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"math/rand"
-	"time"
 
 	"compsynth/internal/expr"
 	"compsynth/internal/interval"
@@ -230,68 +230,77 @@ func (s *System) statsOf(opts Options) *Stats {
 
 // FindCandidate searches the hole box for a vector consistent with all
 // constraints; see the Problem-level FindCandidate for the staging.
+//
+// Deprecated: this wrapper cannot be canceled. Use
+// NewSearch(s).FindCandidate(ctx, opts, rng).
 func (s *System) FindCandidate(opts Options, rng *rand.Rand) ([]float64, Status) {
-	var start time.Time
-	if s.metrics != nil {
-		start = time.Now()
-	}
-	h, st := s.findCandidate(opts, rng)
-	if s.metrics != nil {
-		s.metrics.observe(s.metrics.candidateSearches, time.Since(start), st, true)
-	}
+	h, st, _ := NewSearch(s).FindCandidate(context.Background(), opts, rng)
 	return h, st
 }
 
-func (s *System) findCandidate(opts Options, rng *rand.Rand) ([]float64, Status) {
+func (s *System) findCandidate(ctx context.Context, opts Options, rng *rand.Rand) ([]float64, Status, error) {
 	domains := s.sk.Domains()
 	stats := s.statsOf(opts)
 
 	// Stage 0: warm-start hints.
 	for _, hint := range opts.Hints {
+		if err := ctx.Err(); err != nil {
+			return nil, StatusUnknown, err
+		}
 		h := clampToBox(hint, domains)
 		if s.Satisfies(h) {
 			if stats != nil {
 				stats.HintHits.Add(1)
 			}
-			return h, StatusSat
+			return h, StatusSat, nil
 		}
 		if stats != nil {
 			stats.Repairs.Add(1)
 		}
 		if repaired, ok := s.repair(h, domains, opts.RepairSteps, rng); ok {
-			return repaired, StatusSat
+			return repaired, StatusSat, nil
 		}
 	}
 
 	// Stages 1–2: uniform sampling, then hinge-loss repair.
 	if opts.Workers > 1 {
-		if ws := s.parallelWitnesses(opts, rng, 1); len(ws) > 0 {
-			return ws[0], StatusSat
+		ws, err := s.parallelWitnesses(ctx, opts, rng, 1)
+		if err != nil {
+			return nil, StatusUnknown, err
+		}
+		if len(ws) > 0 {
+			return ws[0], StatusSat, nil
 		}
 	} else {
 		scratch := make([]float64, len(domains))
 		for i := 0; i < opts.Samples; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, StatusUnknown, err
+			}
 			if stats != nil {
 				stats.Samples.Add(1)
 			}
 			fillRandomVector(scratch, domains, rng)
 			if s.Satisfies(scratch) {
-				return append([]float64(nil), scratch...), StatusSat
+				return append([]float64(nil), scratch...), StatusSat, nil
 			}
 		}
 		for r := 0; r < opts.RepairRestarts; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, StatusUnknown, err
+			}
 			if stats != nil {
 				stats.Repairs.Add(1)
 			}
 			fillRandomVector(scratch, domains, rng)
 			if repaired, ok := s.repair(scratch, domains, opts.RepairSteps, rng); ok {
-				return repaired, StatusSat
+				return repaired, StatusSat, nil
 			}
 		}
 	}
 
-	// Stage 3: branch-and-prune.
-	return s.branchAndPrune(domains, opts)
+	// Stage 3: branch-and-prune (the parallel wave engine; prune.go).
+	return s.branchAndPrune(ctx, domains, opts)
 }
 
 // repair runs coordinate descent on the hinge loss; see the package
@@ -348,93 +357,6 @@ func (s *System) repair(start []float64, domains []interval.Interval, steps int,
 	return h, loss == 0 && s.Satisfies(h)
 }
 
-// branchAndPrune exhaustively explores the hole box; see the
-// Problem-level documentation in solver.go for the pruning rules and
-// the δ-unsat convention. Constraint intervals come from the
-// pre-specialized programs, so no scenario boxes are materialized, and
-// the midpoint/corner scratch vector is reused across boxes.
-func (s *System) branchAndPrune(domains []interval.Interval, opts Options) ([]float64, Status) {
-	stats := s.statsOf(opts)
-	minWidths := make([]float64, len(domains))
-	for i, d := range domains {
-		minWidths[i] = math.Max(d.Width()*opts.MinBoxWidth, 1e-12)
-	}
-	stack := [][]interval.Interval{append([]interval.Interval(nil), domains...)}
-	processed := 0
-	mid := make([]float64, len(domains))
-
-	for len(stack) > 0 {
-		if processed >= opts.MaxBoxes {
-			return nil, StatusUnknown
-		}
-		processed++
-		if stats != nil {
-			stats.Boxes.Add(1)
-		}
-		box := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-
-		feasible := true
-		pruned := false
-		for i := range s.cps {
-			diff := s.cps[i].diff.EvalInterval(nil, box)
-			if diff.Hi <= s.margin {
-				pruned = true
-				break
-			}
-			if !(diff.Lo > s.margin) {
-				feasible = false
-			}
-		}
-		if !pruned {
-			for i := range s.cts {
-				diff := s.cts[i].diff.EvalInterval(nil, box)
-				if diff.Lo > s.cts[i].band || diff.Hi < -s.cts[i].band {
-					pruned = true
-					break
-				}
-				if !(diff.Lo >= -s.cts[i].band && diff.Hi <= s.cts[i].band) {
-					feasible = false
-				}
-			}
-		}
-		if pruned {
-			continue
-		}
-		fillMidpoint(mid, box)
-		if feasible {
-			return append([]float64(nil), mid...), StatusSat
-		}
-		// Undecided: try the midpoint as a cheap witness.
-		if s.Satisfies(mid) {
-			return append([]float64(nil), mid...), StatusSat
-		}
-		// Split the widest (relative to floor) dimension.
-		widest, ratio := -1, 1.0
-		for i, iv := range box {
-			if r := iv.Width() / minWidths[i]; r > ratio {
-				widest, ratio = i, r
-			}
-		}
-		if widest < 0 {
-			// At the resolution floor and still undecided: point-check the
-			// corners (mid still holds the midpoint for dims beyond the
-			// enumeration cap).
-			if w := s.cornerWitness(box, mid); w != nil {
-				return w, StatusSat
-			}
-			continue
-		}
-		l, r := box[widest].Split()
-		left := append([]interval.Interval(nil), box...)
-		right := append([]interval.Interval(nil), box...)
-		left[widest] = l
-		right[widest] = r
-		stack = append(stack, left, right)
-	}
-	return nil, StatusUnsat
-}
-
 // cornerWitness point-checks the corners of a box (up to 2^8 of them)
 // and returns a copy of the first satisfying corner, or nil. h must
 // hold the box midpoint on entry and is used as scratch.
@@ -460,19 +382,15 @@ func (s *System) cornerWitness(box []interval.Interval, h []float64) []float64 {
 
 // BestEffort returns the lowest-violation hole vector found within the
 // sampling/repair budget; see the Problem-level BestEffort.
+//
+// Deprecated: this wrapper cannot be canceled. Use
+// NewSearch(s).BestEffort(ctx, opts, rng).
 func (s *System) BestEffort(opts Options, rng *rand.Rand) (holes []float64, loss float64, satisfied []bool) {
-	var start time.Time
-	if s.metrics != nil {
-		start = time.Now()
-	}
-	holes, loss, satisfied = s.bestEffort(opts, rng)
-	if s.metrics != nil {
-		s.metrics.observe(s.metrics.bestEffortSearches, time.Since(start), 0, false)
-	}
+	holes, loss, satisfied, _ = NewSearch(s).BestEffort(context.Background(), opts, rng)
 	return holes, loss, satisfied
 }
 
-func (s *System) bestEffort(opts Options, rng *rand.Rand) (holes []float64, loss float64, satisfied []bool) {
+func (s *System) bestEffort(ctx context.Context, opts Options, rng *rand.Rand) (holes []float64, loss float64, satisfied []bool, err error) {
 	domains := s.sk.Domains()
 	best := randomVector(domains, rng)
 	bestLoss := s.Violation(best)
@@ -486,10 +404,16 @@ func (s *System) bestEffort(opts Options, rng *rand.Rand) (holes []float64, loss
 	}
 	scratch := make([]float64, len(domains))
 	for i := 0; i < opts.Samples && bestLoss > 0; i++ {
+		if err := ctx.Err(); err != nil {
+			return best, bestLoss, s.SatisfiedMask(best, nil), err
+		}
 		fillRandomVector(scratch, domains, rng)
 		consider(scratch)
 	}
 	for r := 0; r < opts.RepairRestarts && bestLoss > 0; r++ {
+		if err := ctx.Err(); err != nil {
+			return best, bestLoss, s.SatisfiedMask(best, nil), err
+		}
 		fillRandomVector(scratch, domains, rng)
 		start := scratch
 		if r == 0 && len(opts.Hints) > 0 {
@@ -498,24 +422,33 @@ func (s *System) bestEffort(opts Options, rng *rand.Rand) (holes []float64, loss
 		repaired, _ := s.repair(start, domains, opts.RepairSteps, rng)
 		consider(repaired)
 	}
-	return best, bestLoss, s.SatisfiedMask(best, nil)
+	return best, bestLoss, s.SatisfiedMask(best, nil), nil
 }
 
 // FindDiverse returns up to k consistent hole vectors that are mutually
 // spread out in the hole box; see the Problem-level FindDiverse.
+//
+// Deprecated: this wrapper cannot be canceled. Use
+// NewSearch(s).FindDiverse(ctx, k, opts, rng).
 func (s *System) FindDiverse(k int, opts Options, rng *rand.Rand) [][]float64 {
-	var start time.Time
-	if s.metrics != nil {
-		start = time.Now()
-	}
-	out := s.findDiverse(k, opts, rng)
-	if s.metrics != nil {
-		s.metrics.observe(s.metrics.diverseSearches, time.Since(start), 0, false)
-	}
+	out, _ := NewSearch(s).FindDiverse(context.Background(), k, opts, rng)
 	return out
 }
 
-func (s *System) findDiverse(k int, opts Options, rng *rand.Rand) [][]float64 {
+func (s *System) findDiverse(ctx context.Context, k int, opts Options, rng *rand.Rand) ([][]float64, error) {
+	// Single-candidate fast path: diversity is meaningless for k ≤ 1,
+	// so skip the pool build — and with it the per-worker budget
+	// partition (seed derivation + job allocation) that parallelWitnesses
+	// would otherwise redo on every call. FindCandidate's staging covers
+	// hints, sampling, repair, and the exhaustive fallback.
+	if k <= 1 {
+		h, st, err := s.findCandidate(ctx, opts, rng)
+		if err != nil || st != StatusSat {
+			return nil, err
+		}
+		return [][]float64{h}, nil
+	}
+
 	domains := s.sk.Domains()
 	stats := s.statsOf(opts)
 	var pool [][]float64
@@ -523,6 +456,9 @@ func (s *System) findDiverse(k int, opts Options, rng *rand.Rand) [][]float64 {
 	// Warm-start hints first: they anchor the pool in the known-feasible
 	// region and their repairs land on version-space boundaries.
 	for _, hint := range opts.Hints {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		h := clampToBox(hint, domains)
 		if s.Satisfies(h) {
 			if stats != nil {
@@ -544,10 +480,17 @@ func (s *System) findDiverse(k int, opts Options, rng *rand.Rand) [][]float64 {
 	// concentrate). With Workers > 1 the search fans out.
 	if opts.Workers > 1 {
 		per := (8*k + opts.Workers - 1) / opts.Workers
-		pool = append(pool, s.parallelWitnesses(opts, rng, per)...)
+		ws, err := s.parallelWitnesses(ctx, opts, rng, per)
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, ws...)
 	} else {
 		scratch := make([]float64, len(domains))
 		for i := 0; i < opts.Samples && len(pool) < 8*k; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if stats != nil {
 				stats.Samples.Add(1)
 			}
@@ -557,6 +500,9 @@ func (s *System) findDiverse(k int, opts Options, rng *rand.Rand) [][]float64 {
 			}
 		}
 		for r := 0; r < opts.RepairRestarts && len(pool) < 8*k; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if stats != nil {
 				stats.Repairs.Add(1)
 			}
@@ -567,17 +513,21 @@ func (s *System) findDiverse(k int, opts Options, rng *rand.Rand) [][]float64 {
 		}
 	}
 	if len(pool) == 0 {
-		if h, st := s.findCandidate(opts, rng); st == StatusSat {
+		h, st, err := s.findCandidate(ctx, opts, rng)
+		if err != nil {
+			return nil, err
+		}
+		if st == StatusSat {
 			pool = append(pool, h)
 		}
 	}
 	if len(pool) == 0 {
-		return nil
+		return nil, nil
 	}
 	if len(pool) <= k {
-		return pool
+		return pool, nil
 	}
-	return diverseSubset(pool, k, domains)
+	return diverseSubset(pool, k, domains), nil
 }
 
 // diverseSubset is the greedy max-min selection over a witness pool,
