@@ -3,15 +3,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json experiments examples obs-smoke obs-demo service-smoke fmt vet clean
+.PHONY: all build test test-short race cover bench bench-json experiments examples obs-smoke obs-demo service-smoke docs-lint fmt vet clean
 
 # Tier-1 verification: build, vet, the full test suite, the race
 # detector over the packages with real concurrency (parallel solver
 # workers, the work-stealing branch-and-prune engine and its steal
 # hammer, the sketch specialization cache, the synthesis service's
-# worker pool), and smoke tests of the observability HTTP endpoint and
-# the compsynthd service layer.
-all: build vet test race obs-smoke service-smoke
+# worker pool), smoke tests of the observability HTTP endpoint and
+# the compsynthd service layer, and the documentation gate.
+all: build vet test race obs-smoke service-smoke docs-lint
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,11 @@ examples:
 	$(GO) run ./examples/abr-qoe
 	$(GO) run ./examples/homenet
 	$(GO) run ./examples/perflow-te
+
+# Documentation gate: every internal/cmd package has a godoc package
+# comment, and every relative link in the top-level docs resolves.
+docs-lint:
+	$(GO) run ./cmd/doclint
 
 fmt:
 	gofmt -w .

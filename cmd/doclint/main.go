@@ -1,0 +1,145 @@
+// Command doclint is the repository's documentation gate, run by
+// `make docs-lint` as part of the tier-1 `all` target. It enforces two
+// invariants that plain `go vet` does not:
+//
+//   - every package under ./internal/... and ./cmd/... carries a godoc
+//     package comment (a doc comment attached to a package clause, or a
+//     detached top-of-file comment block in a non-doc.go file — the
+//     file-comment idiom several internal packages use);
+//   - every relative markdown link in the top-level docs (README.md,
+//     ARCHITECTURE.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md) resolves
+//     to a file that exists, so the doc set cannot silently fracture as
+//     files move.
+//
+// Exit status is non-zero with one line per violation; no output means
+// the docs are clean.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	var problems []string
+	pkgProblems, err := lintPackageComments(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	problems = append(problems, pkgProblems...)
+	for _, doc := range []string{"README.md", "ARCHITECTURE.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"} {
+		linkProblems, err := lintLinks(doc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, linkProblems...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// lintPackageComments walks internal/ and cmd/ under root and reports
+// every Go package directory without a package comment.
+func lintPackageComments(root string) ([]string, error) {
+	var problems []string
+	for _, top := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(filepath.Join(root, top), func(dir string, d fs.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			ok, checked, err := dirHasPackageComment(dir)
+			if err != nil {
+				return err
+			}
+			if checked && !ok {
+				problems = append(problems, fmt.Sprintf("%s: package has no godoc package comment", dir))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return problems, nil
+}
+
+// dirHasPackageComment parses the non-test Go files of one directory.
+// checked is false when the directory holds no Go package.
+func dirHasPackageComment(dir string) (ok, checked bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return false, false, fmt.Errorf("parse %s: %w", filepath.Join(dir, name), err)
+		}
+		checked = true
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, true, nil
+		}
+		// The file-comment idiom: a comment block directly below the
+		// package clause (separated by a blank line, so go/doc does not
+		// bind it to the clause) still documents the package for readers;
+		// accept it anywhere except doc.go, which must use the canonical
+		// attached form.
+		if name != "doc.go" {
+			for _, cg := range f.Comments {
+				if fset.Position(cg.Pos()).Line > fset.Position(f.Package).Line &&
+					strings.TrimSpace(cg.Text()) != "" {
+					return true, true, nil
+				}
+			}
+		}
+	}
+	return false, checked, nil
+}
+
+// mdLink matches inline markdown links; the path group stops before an
+// optional #fragment or "title".
+var mdLink = regexp.MustCompile(`\]\(([^)#" ]+)[^)]*\)`)
+
+// lintLinks reports every relative link in doc that does not resolve to
+// an existing file or directory. Absolute URLs are skipped. A missing
+// doc file itself is a problem: the lint list names the files the
+// repository promises to have.
+func lintLinks(doc string) ([]string, error) {
+	raw, err := os.ReadFile(doc)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return []string{fmt.Sprintf("%s: required doc file is missing", doc)}, nil
+		}
+		return nil, err
+	}
+	var problems []string
+	base := filepath.Dir(doc)
+	for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(base, target)); err != nil {
+			problems = append(problems, fmt.Sprintf("%s: broken link %q", doc, target))
+		}
+	}
+	return problems, nil
+}

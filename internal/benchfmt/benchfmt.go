@@ -25,6 +25,9 @@ type Result struct {
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric units (anything beyond the four
+	// standard ones), keyed by unit string — e.g. "boxes-explored/op".
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Parse reads `go test -bench` output and returns the benchmark lines
@@ -88,7 +91,13 @@ func parseLine(line string) (Result, error) {
 			res.BytesPerOp = int64(v)
 		case "allocs/op":
 			res.AllocsPerOp = int64(v)
-			// Unknown units are ignored.
+		default:
+			// Custom b.ReportMetric units — the interesting ones for
+			// domain benchmarks (e.g. boxes-explored/op).
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[unit] = v
 		}
 	}
 	if res.NsPerOp == 0 && !strings.Contains(line, "ns/op") {

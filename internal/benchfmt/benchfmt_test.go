@@ -61,3 +61,38 @@ func TestParseSkipsNoise(t *testing.T) {
 		t.Errorf("got %d results from noise, want 0", len(results))
 	}
 }
+
+func TestParseExtraMetrics(t *testing.T) {
+	const line = `BenchmarkIncrementalSynthesis/cache=on-1 	       3	 403000000 ns/op	     68670 boxes-explored/op	    404413 boxes-total/op	  120 B/op	       2 allocs/op
+`
+	results, err := Parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	r := results[0]
+	if r.NsPerOp != 403000000 || r.BytesPerOp != 120 || r.AllocsPerOp != 2 {
+		t.Errorf("standard units parsed wrong: %+v", r)
+	}
+	want := map[string]float64{"boxes-explored/op": 68670, "boxes-total/op": 404413}
+	if len(r.Extra) != len(want) {
+		t.Fatalf("Extra = %v, want %v", r.Extra, want)
+	}
+	for unit, v := range want {
+		if r.Extra[unit] != v {
+			t.Errorf("Extra[%q] = %v, want %v", unit, r.Extra[unit], v)
+		}
+	}
+	// A custom unit with a non-numeric value is skipped, not fatal, and
+	// must not materialize an Extra entry.
+	const odd = "BenchmarkOdd-1 	 100	 50 ns/op	 n/a widgets/op\n"
+	results, err = Parse(strings.NewReader(odd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results[0].Extra) != 0 {
+		t.Errorf("non-numeric custom value leaked into Extra: %v", results[0].Extra)
+	}
+}

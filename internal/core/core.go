@@ -131,6 +131,14 @@ type Config struct {
 	Solver      solver.Options
 	Distinguish solver.DistinguishOptions
 
+	// DisableLearnedCache turns off the cross-iteration learned-prune
+	// cache (solver.Learned). The cache is result-invariant — transcripts
+	// are bit-identical with it on or off, pinned by
+	// TestGoldenTranscriptLearnedCacheInvariance — so the zero value
+	// (enabled) is right for every production session; the knob exists
+	// for A/B benchmarks and as a kill switch.
+	DisableLearnedCache bool
+
 	// Seed drives all randomness in the session (scenario generation
 	// and solver search). Sessions with equal configs and seeds are
 	// reproducible.
@@ -259,6 +267,12 @@ type Synthesizer struct {
 	// loop issues goes through it so RunContext's ctx reaches down to
 	// individual samples, repair restarts, and prune waves.
 	search solver.Search
+	// learned is the cross-iteration learned-prune cache (nil when
+	// disabled). It is attached to sys once at construction and survives
+	// every insertEdge/rebuildSystem cycle; invalidation on relax flows
+	// through System.RemovePref, which retires the removed constraint's
+	// key and bumps the cache epoch.
+	learned *solver.Learned
 	// hints are warm-start hole vectors carried between iterations:
 	// witnesses found in earlier rounds anchor the solver in the
 	// remaining version space, which shrinks as constraints accumulate.
@@ -337,12 +351,41 @@ func New(cfg Config) (*Synthesizer, error) {
 	}
 	s.search = solver.NewSearch(s.sys)
 	s.user = timedOracle{s}
+	if !cfg.DisableLearnedCache {
+		s.learned = solver.NewLearned(0)
+		s.sys.SetLearned(s.learned)
+	}
 	if reg := cfg.Obs.Reg(); reg != nil {
 		s.om = newCoreMetrics(reg)
 		s.sys.SetMetrics(solver.NewMetrics(reg, cfg.Solver.Stats))
+		solver.RegisterLearnedMetrics(reg, s.learned)
 		sketch.RegisterMetrics(reg, cfg.Sketch)
 	}
 	return s, nil
+}
+
+// LearnedSummary exports the refuted regions accumulated in the
+// learned-prune cache, or nil when the cache is disabled or empty. The
+// service layer persists it in session checkpoints; a summary is only
+// meaningful against the same preference history (constraint indices),
+// which recovery guarantees by re-interning transcript scenarios in
+// recorded order.
+func (s *Synthesizer) LearnedSummary() *solver.LearnedSummary {
+	return s.sys.ExportLearned()
+}
+
+// ImportLearnedSummary seeds the learned-prune cache from a previously
+// exported summary. Every region is re-verified against the current
+// constraint system before anything is installed; a summary that fails
+// verification (tampered, or from a diverging history) is rejected
+// whole with an error and the session simply solves cold. A nil summary
+// or a disabled cache is a no-op. Returns the number of regions
+// installed.
+func (s *Synthesizer) ImportLearnedSummary(sum *solver.LearnedSummary) (int, error) {
+	if s.learned == nil || sum == nil {
+		return 0, nil
+	}
+	return s.sys.ImportLearned(sum)
 }
 
 // Run executes the synthesis session to convergence (or the iteration

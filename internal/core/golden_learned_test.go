@@ -1,0 +1,71 @@
+package core_test
+
+// Invariance tests for the learned-prune cache (solver.Learned): the
+// cache memoizes facts the prune engine would re-derive, so a session
+// must produce a bit-identical transcript — and identical deterministic
+// effort counters — with the cache enabled or disabled. This is the
+// test ISSUE 5's acceptance criteria and learned.go's file comment
+// point at.
+
+import (
+	"bytes"
+	"testing"
+
+	"compsynth/internal/core"
+	"compsynth/internal/solver"
+)
+
+// runTranscript runs one session and returns its serialized transcript
+// plus the deterministic solver effort counters.
+func runTranscript(t *testing.T, cfg core.Config) ([]byte, solver.StatsSnapshot) {
+	t.Helper()
+	stats := &solver.Stats{}
+	cfg.Solver.Stats = stats
+	synth, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := synth.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := core.Export(res).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), stats.Snapshot()
+}
+
+func TestGoldenTranscriptLearnedCacheInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden synthesis runs are not -short friendly")
+	}
+	for i, tc := range goldenCases() {
+		i := i
+		t.Run(tc.name, func(t *testing.T) {
+			// Fresh goldenCases() per run: each run must get its own Sketch
+			// instance, or the second run would inherit the first's
+			// per-sketch specialization caches and skew the spec counters.
+			on := goldenCases()[i].cfg
+			on.DisableLearnedCache = false
+			off := goldenCases()[i].cfg
+			off.DisableLearnedCache = true
+			gotOn, statsOn := runTranscript(t, on)
+			gotOff, statsOff := runTranscript(t, off)
+			if !bytes.Equal(gotOn, gotOff) {
+				t.Errorf("transcript differs with learned cache on vs off (%d vs %d bytes); the cache must be result-invariant",
+					len(gotOn), len(gotOff))
+			}
+			// The deterministic effort counters are part of the contract
+			// too: the cache skips re-deriving facts, it does not change
+			// how many boxes/samples/repairs the search accounts for.
+			// Steals is the one documented scheduling-dependent counter;
+			// exclude it.
+			statsOn.Steals, statsOff.Steals = 0, 0
+			if statsOn != statsOff {
+				t.Errorf("deterministic solver counters differ with learned cache on vs off:\non:  %+v\noff: %+v",
+					statsOn, statsOff)
+			}
+		})
+	}
+}

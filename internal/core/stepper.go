@@ -22,6 +22,7 @@ import (
 
 	"compsynth/internal/oracle"
 	"compsynth/internal/scenario"
+	"compsynth/internal/solver"
 )
 
 // Query is one pending preference question: "which of these two
@@ -134,6 +135,40 @@ func (st *Stepper) Preload(t *Transcript) error {
 		return errors.New("core: Preload after the session started")
 	}
 	return st.synth.Preload(t)
+}
+
+// ImportLearned seeds the synthesizer's learned-prune cache from a
+// checkpoint summary; see Synthesizer.ImportLearnedSummary for the
+// verification contract. Like Preload it must run before the first
+// Next, while the synthesis goroutine does not exist yet, and it should
+// run after Preload so the summary verifies against the recovered
+// constraint system.
+func (st *Stepper) ImportLearned(sum *solver.LearnedSummary) (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.started {
+		return 0, errors.New("core: ImportLearned after the session started")
+	}
+	return st.synth.ImportLearnedSummary(sum)
+}
+
+// LearnedSummary exports the learned-prune cache under the same
+// quiescence rule as Snapshot: it fails with ErrSessionBusy while the
+// synthesis goroutine is computing, and returns nil when the cache is
+// disabled or empty. Checkpoint writers call it alongside Snapshot so a
+// recovered session keeps its accumulated prune work.
+func (st *Stepper) LearnedSummary() (*solver.LearnedSummary, error) {
+	select {
+	case <-st.done:
+		return st.synth.LearnedSummary(), nil
+	default:
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.started && st.pending == nil {
+		return nil, ErrSessionBusy
+	}
+	return st.synth.LearnedSummary(), nil
 }
 
 // run executes the synthesis loop; it is the only goroutine that

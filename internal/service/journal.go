@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"compsynth/internal/core"
+	"compsynth/internal/solver"
 )
 
 // Journal record types.
@@ -51,6 +52,13 @@ type journalRecord struct {
 	Pref int       `json:"pref"`
 	// checkpoint / final
 	Transcript *core.Transcript `json:"transcript,omitempty"`
+	// checkpoint only: the learned-prune cache summary exported alongside
+	// the transcript, so a recovered session keeps its accumulated prune
+	// work. Optional and advisory — recovery re-verifies every region
+	// against the rebuilt constraint system and solves cold if the
+	// summary fails verification, so a tampered or stale summary can slow
+	// a session down but never change its answers.
+	Learned *solver.LearnedSummary `json:"learned,omitempty"`
 	// final only: the failure message for sessions that ended in error.
 	Err string `json:"error,omitempty"`
 }

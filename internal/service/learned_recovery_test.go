@@ -1,0 +1,191 @@
+package service
+
+// Recovery tests for the learned-prune cache summary persisted in
+// checkpoint records: a tampered summary must be rejected whole, the
+// session must fall back to cold solving, and — because the cache is
+// result-invariant — the recovered session must still produce a
+// transcript bit-identical to a recovery from the untampered journal.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"compsynth/internal/core"
+	"compsynth/internal/solver"
+)
+
+// copyJournal clones one session's journal file into another data dir.
+func copyJournal(t *testing.T, srcDir, dstDir, id string) {
+	t.Helper()
+	raw, err := os.ReadFile(journalPath(srcDir, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journalPath(dstDir, id), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// finishAndExport drives a recovered session to completion and returns
+// its serialized final transcript.
+func finishAndExport(t *testing.T, m *Manager, id string) []byte {
+	t.Helper()
+	s, err := m.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := driveSession(s, swanUser(t)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Transcript()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTamperedLearnedSummaryFallsBackCold journals a checkpoint whose
+// learned summary cannot verify (an impossible constraint index), then
+// recovers: the summary must be rejected without failing recovery, and
+// the completed session must be bit-identical to one recovered from the
+// same journal without the tampered summary — the documented "slower
+// but never different" contract.
+func TestTamperedLearnedSummaryFallsBackCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	user := swanUser(t)
+	srcDir := t.TempDir()
+	m, err := New(testConfig(srcDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Create(testSpec(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.ID
+	answerN(t, s, user, 10) // past initial ranking: the snapshot has content
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+
+	recs, err := readJournal(journalPath(srcDir, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastCk := -1
+	for i, rec := range recs {
+		if rec.Type == recCheckpoint {
+			lastCk = i
+		}
+	}
+	if lastCk < 0 {
+		t.Fatal("graceful close left no checkpoint")
+	}
+
+	cleanDir := filepath.Join(t.TempDir(), "clean")
+	tamperDir := filepath.Join(t.TempDir(), "tampered")
+	copyJournal(t, srcDir, cleanDir, id)
+	copyJournal(t, srcDir, tamperDir, id)
+
+	// Append a newer checkpoint (recovery preloads the last one) that
+	// reuses the real transcript but carries an unverifiable summary.
+	jr, err := openJournal(tamperDir, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := &solver.LearnedSummary{Refuted: []solver.RefutedRegion{{
+		Box:   [][2]float64{{0, 1}, {0, 1}, {0, 1}, {0, 1}},
+		Index: 9999,
+	}}}
+	if err := jr.append(journalRecord{Type: recCheckpoint, Transcript: recs[lastCk].Transcript, Learned: bogus}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cleanCfg := testConfig(cleanDir)
+	mClean, err := New(cleanCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mClean.Abort()
+	tamperCfg := testConfig(tamperDir)
+	mTampered, err := New(tamperCfg)
+	if err != nil {
+		t.Fatalf("a tampered learned summary must not fail recovery: %v", err)
+	}
+	defer mTampered.Abort()
+
+	sT, err := mTampered.Get(id)
+	if err != nil {
+		t.Fatalf("session with tampered summary should recover cold, got %v", err)
+	}
+	if got := sT.Status().Answers; got != 10 {
+		t.Fatalf("tampered-recovery session has %d answers, want 10", got)
+	}
+	want := finishAndExport(t, mClean, id)
+	got := finishAndExport(t, mTampered, id)
+	if !bytes.Equal(got, want) {
+		t.Errorf("transcript after cold fallback diverged from clean recovery (%d vs %d bytes); the cache must be result-invariant",
+			len(got), len(want))
+	}
+}
+
+// TestLearnedSummaryJournalRoundtrip pins the wire format: a checkpoint
+// record with a learned summary survives append + readJournal intact.
+func TestLearnedSummaryJournalRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	jr, err := createJournal(dir, "s000000", &SessionSpec{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := &solver.LearnedSummary{Refuted: []solver.RefutedRegion{
+		{Box: [][2]float64{{0, 1}, {2, 3}}, Index: 1},
+		{Box: [][2]float64{{4, 5}, {6, 7}}, Tie: true, Index: 0},
+	}}
+	// The journal's checkpoint validation requires a well-formed
+	// transcript alongside the summary.
+	tr := &core.Transcript{
+		Scenarios:   [][]float64{{1, 2}, {3, 4}},
+		Preferences: [][2]int{{0, 1}},
+	}
+	if err := jr.append(journalRecord{Type: recCheckpoint, Transcript: tr, Learned: sum}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readJournal(journalPath(dir, "s000000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *solver.LearnedSummary
+	for _, rec := range recs {
+		if rec.Type == recCheckpoint {
+			got = rec.Learned
+		}
+	}
+	if got == nil {
+		t.Fatal("summary lost in the journal roundtrip")
+	}
+	if len(got.Refuted) != 2 || !got.Refuted[1].Tie || got.Refuted[0].Index != 1 ||
+		got.Refuted[0].Box[1] != [2]float64{2, 3} {
+		t.Errorf("summary mutated in the roundtrip: %+v", got)
+	}
+}

@@ -369,6 +369,17 @@ func (m *Manager) rebuildLocked(id, path string) (*Session, error) {
 			return nil, fmt.Errorf("preload checkpoint: %w", err)
 		}
 		s.imported = true
+		// Re-seed the learned-prune cache from the checkpoint summary.
+		// Strictly best-effort: every region is re-verified against the
+		// constraint system Preload just rebuilt, and a summary that fails
+		// verification (tampered journal, diverging history) is rejected
+		// whole — the session then solves cold, which is slower but
+		// bit-identical.
+		if sum := recs[lastCk].Learned; sum != nil {
+			if _, err := s.stepper.ImportLearned(sum); err != nil {
+				m.logf("session %s: learned summary rejected, solving cold: %v", id, err)
+			}
+		}
 	}
 	replayed := 0
 	for i := lastCk + 1; i < len(recs); i++ {

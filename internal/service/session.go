@@ -447,9 +447,14 @@ func (s *Session) abort() {
 // the lock.
 func (s *Session) teardownLocked(checkpoint bool) {
 	var snap *core.Transcript
+	var learned *solver.LearnedSummary
 	if checkpoint && (s.state == StateIdle || s.state == StateAwaiting) && s.stepper != nil {
 		if t, err := s.stepper.Snapshot(); err == nil && len(t.Scenarios) > 0 {
 			snap = t
+			// Best-effort: the summary rides along with the checkpoint so a
+			// recovered session keeps its prune work; losing it only costs
+			// speed. Quiescence is already guaranteed by the Snapshot above.
+			learned, _ = s.stepper.LearnedSummary()
 		}
 	}
 	s.closing = true
@@ -460,7 +465,7 @@ func (s *Session) teardownLocked(checkpoint bool) {
 	s.mu.Unlock()
 	if jr != nil {
 		if snap != nil {
-			if err := jr.append(journalRecord{Type: recCheckpoint, Transcript: snap}); err != nil {
+			if err := jr.append(journalRecord{Type: recCheckpoint, Transcript: snap, Learned: learned}); err != nil {
 				s.m.logf("session %s: checkpoint: %v", s.ID, err)
 			}
 		}

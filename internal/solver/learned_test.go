@@ -1,0 +1,370 @@
+package solver
+
+// Tests for the learned-prune cache: differential parity of the cached
+// evalPruneBox path against cold evaluation across growing and
+// shrinking constraint sets, the invalidation protocol (refuter
+// presence vs removal epoch), and the checkpoint summary's
+// export/verify-on-import contract.
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"compsynth/internal/interval"
+	"compsynth/internal/scenario"
+	"compsynth/internal/sketch"
+)
+
+// comparePruneResults fails unless the two results are bit-identical.
+func comparePruneResults(t *testing.T, ctx string, cold, warm pruneResult) {
+	t.Helper()
+	if cold.kind != warm.kind {
+		t.Fatalf("%s: kind mismatch: cold=%d warm=%d", ctx, cold.kind, warm.kind)
+	}
+	if !samePoint(cold.witness, warm.witness) {
+		t.Fatalf("%s: witness mismatch: cold=%v warm=%v", ctx, cold.witness, warm.witness)
+	}
+	if !sameBox(cold.left, warm.left) || !sameBox(cold.right, warm.right) {
+		t.Fatalf("%s: split children mismatch:\ncold: %v | %v\nwarm: %v | %v",
+			ctx, cold.left, cold.right, warm.left, warm.right)
+	}
+}
+
+// TestEvalPruneBoxCacheParity is the cache's core differential fuzz: a
+// System with a Learned cache attached must decide every box exactly as
+// a cache-free System does — across an empty, growing, shrinking, and
+// rebuilt constraint set, and on repeated evaluation of the same boxes
+// (the second pass is served from the cache).
+func TestEvalPruneBoxCacheParity(t *testing.T) {
+	p, _ := swanProblem(t, 12, 7)
+	sk := p.Sketch
+	domains := sk.Domains()
+	minWidths := make([]float64, len(domains))
+	for i, d := range domains {
+		minWidths[i] = math.Max(d.Width()/64, 1e-12)
+	}
+
+	cold := NewSystem(sk, 1e-9, nil, nil)
+	warm := NewSystem(sk, 1e-9, nil, nil)
+	warm.SetLearned(NewLearned(0))
+
+	rng := rand.New(rand.NewSource(41))
+	randBox := func(scale float64) []interval.Interval {
+		box := make([]interval.Interval, len(domains))
+		for i, d := range domains {
+			w := d.Width() * scale * rng.Float64()
+			lo := d.Lo + rng.Float64()*(d.Width()-w)
+			box[i] = interval.New(lo, lo+w)
+		}
+		return box
+	}
+	var boxes [][]interval.Interval
+	for i := 0; i < 60; i++ {
+		boxes = append(boxes, randBox(1.0)) // large: mostly splits
+	}
+	for i := 0; i < 60; i++ {
+		boxes = append(boxes, randBox(0.05)) // small: refutations/witnesses
+	}
+	for i := 0; i < 30; i++ {
+		boxes = append(boxes, randBox(0.005)) // sub-floor: corner checks
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		midC := make([]float64, len(domains))
+		midW := make([]float64, len(domains))
+		for pass := 0; pass < 2; pass++ { // pass 1 replays from the cache
+			for bi, box := range boxes {
+				rc := cold.evalPruneBox(append([]interval.Interval(nil), box...), minWidths, midC)
+				rw := warm.evalPruneBox(append([]interval.Interval(nil), box...), minWidths, midW)
+				comparePruneResults(t, stage+": pass "+string(rune('0'+pass))+" box "+string(rune('0'+bi%10)), rc, rw)
+			}
+		}
+	}
+
+	check("empty")
+	for i, c := range p.Prefs {
+		cold.AddPref(c)
+		warm.AddPref(c)
+		if i%4 == 3 {
+			check("grow") // exercises the delta-eval path on cached entries
+		}
+	}
+	tie := Tie{A: scenario.Scenario{4, 40}, B: scenario.Scenario{6, 30}, Band: 0.5}
+	cold.AddTie(tie)
+	warm.AddTie(tie)
+	check("tie")
+	for i := 0; i < 4; i++ {
+		idx := len(p.Prefs) - 1 - i
+		cold.RemovePref(idx)
+		warm.RemovePref(idx)
+	}
+	check("shrink") // epoch bumped: point/undecided facts must not leak
+	// Rebuild (Reset + re-add), the transitive-reduction cycle in core:
+	// refutations survive via presence counts, everything else lapses.
+	cold.Reset()
+	warm.Reset()
+	for _, c := range p.Prefs[:6] {
+		cold.AddPref(c)
+		warm.AddPref(c)
+	}
+	check("rebuild")
+	if hits := warm.Learned().Snapshot().BoxHits; hits == 0 {
+		t.Error("cache never served a hit; the parity test exercised nothing")
+	}
+}
+
+// TestLearnedInvalidationTable pins the invalidation protocol entry
+// shape by entry shape: refutations are guarded by their refuter's
+// presence (and so survive rebuilds), undecided-box and point facts by
+// the removal epoch.
+func TestLearnedInvalidationTable(t *testing.T) {
+	box := []interval.Interval{interval.New(0, 1), interval.New(2, 3)}
+	pt := []float64{0.5, 2.5}
+	type probe func(l *Learned) bool
+	hitBox := func(l *Learned) bool {
+		_, ok := l.lookupBox(hashBox(box), box)
+		return ok
+	}
+	hitPoint := func(l *Learned) bool { return l.pointKnownUnsat(pt) }
+	cases := []struct {
+		name  string
+		setup func(l *Learned)
+		probe probe
+		want  bool
+	}{
+		{
+			name: "refutation survives rebuild of its refuter",
+			setup: func(l *Learned) {
+				l.constraintAdded("k1")
+				l.storeBox(hashBox(box), box, "k1", false)
+				l.constraintRemoved("k1") // Reset...
+				l.constraintAdded("k1")   // ...re-add
+			},
+			probe: hitBox, want: true,
+		},
+		{
+			name: "refutation survives removal of an unrelated constraint",
+			setup: func(l *Learned) {
+				l.constraintAdded("k1")
+				l.constraintAdded("k2")
+				l.storeBox(hashBox(box), box, "k1", false)
+				l.constraintRemoved("k2")
+			},
+			probe: hitBox, want: true,
+		},
+		{
+			name: "refutation dies with its refuter",
+			setup: func(l *Learned) {
+				l.constraintAdded("k1")
+				l.storeBox(hashBox(box), box, "k1", false)
+				l.constraintRemoved("k1")
+			},
+			probe: hitBox, want: false,
+		},
+		{
+			name: "undecided box survives constraint addition",
+			setup: func(l *Learned) {
+				l.constraintAdded("k1")
+				l.storeBox(hashBox(box), box, "", false)
+				l.constraintAdded("k2")
+			},
+			probe: hitBox, want: true,
+		},
+		{
+			name: "undecided box dies on any removal",
+			setup: func(l *Learned) {
+				l.constraintAdded("k1")
+				l.constraintAdded("k2")
+				l.storeBox(hashBox(box), box, "", false)
+				l.constraintRemoved("k2")
+			},
+			probe: hitBox, want: false,
+		},
+		{
+			name: "point fact survives constraint addition",
+			setup: func(l *Learned) {
+				l.constraintAdded("k1")
+				l.notePointUnsat(pt)
+				l.constraintAdded("k2")
+			},
+			probe: hitPoint, want: true,
+		},
+		{
+			name: "point fact dies on any removal",
+			setup: func(l *Learned) {
+				l.constraintAdded("k1")
+				l.notePointUnsat(pt)
+				l.constraintRemoved("k1")
+			},
+			probe: hitPoint, want: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := NewLearned(0)
+			tc.setup(l)
+			if got := tc.probe(l); got != tc.want {
+				t.Errorf("probe = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// unsatSearch runs a prune-only FindCandidate expected to end Unsat.
+func unsatSearch(t *testing.T, sys *System) {
+	t.Helper()
+	opts := pruneOnly(1)
+	opts.MinBoxWidth = 1.0 / 64
+	opts.MaxBoxes = 2_000_000
+	_, st, err := NewSearch(sys).FindCandidate(context.Background(), opts, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StatusUnsat {
+		t.Fatalf("status = %v, want Unsat", st)
+	}
+}
+
+// TestLearnedSummaryRoundtrip exports the refutations accumulated while
+// proving a contradictory system Unsat, imports them into a fresh
+// System with the same constraints, and checks the reloaded cache both
+// verifies fully and actually serves hits on the replayed search.
+func TestLearnedSummaryRoundtrip(t *testing.T) {
+	p := contradictoryProblem()
+	sys := compileSystem(p, nil)
+	sys.SetLearned(NewLearned(0))
+	unsatSearch(t, sys)
+	sum := sys.ExportLearned()
+	if sum == nil || len(sum.Refuted) == 0 {
+		t.Fatal("no refutations exported after an Unsat proof")
+	}
+	if err := sum.Validate(); err != nil {
+		t.Fatalf("exported summary fails its own validation: %v", err)
+	}
+
+	sys2 := compileSystem(p, nil)
+	l2 := NewLearned(0)
+	sys2.SetLearned(l2)
+	n, err := sys2.ImportLearned(sum)
+	if err != nil {
+		t.Fatalf("import of a faithful summary failed: %v", err)
+	}
+	if n != len(sum.Refuted) {
+		t.Fatalf("installed %d of %d regions", n, len(sum.Refuted))
+	}
+	unsatSearch(t, sys2)
+	if hits := l2.Snapshot().BoxHits; hits == 0 {
+		t.Error("imported summary served no hits on the replayed search")
+	}
+}
+
+// TestImportLearnedRejectsTampered pins the all-or-nothing verification
+// contract: a summary containing any region the current constraint
+// system cannot re-prove — a box the named constraint does not refute,
+// an out-of-range index, or structural garbage — is rejected whole, and
+// the cache stays empty (the session falls back to cold solving).
+func TestImportLearnedRejectsTampered(t *testing.T) {
+	p := contradictoryProblem()
+	sys := compileSystem(p, nil)
+	sys.SetLearned(NewLearned(0))
+	unsatSearch(t, sys)
+	sum := sys.ExportLearned()
+	if sum == nil || len(sum.Refuted) == 0 {
+		t.Fatal("no refutations to tamper with")
+	}
+	domains := sketch.SWAN().Domains()
+	full := make([][2]float64, len(domains))
+	for i, d := range domains {
+		full[i] = [2]float64{d.Lo, d.Hi}
+	}
+	tamper := func(mod func(s *LearnedSummary)) *LearnedSummary {
+		cp := &LearnedSummary{Refuted: append([]RefutedRegion(nil), sum.Refuted...)}
+		mod(cp)
+		return cp
+	}
+	cases := []struct {
+		name string
+		sum  *LearnedSummary
+	}{
+		{"unprovable region", tamper(func(s *LearnedSummary) {
+			// The whole hole box is not refuted by any single constraint
+			// (the root box splits), so verification must fail.
+			s.Refuted[len(s.Refuted)/2].Box = full
+		})},
+		{"index out of range", tamper(func(s *LearnedSummary) {
+			s.Refuted[0].Index = 99
+		})},
+		{"negative index", tamper(func(s *LearnedSummary) {
+			s.Refuted[0].Index = -1
+		})},
+		{"dimension mismatch", tamper(func(s *LearnedSummary) {
+			s.Refuted[0].Box = s.Refuted[0].Box[:1]
+		})},
+		{"non-finite bound", tamper(func(s *LearnedSummary) {
+			r := s.Refuted[0]
+			box := append([][2]float64(nil), r.Box...)
+			box[0][0] = math.NaN()
+			s.Refuted[0] = RefutedRegion{Box: box, Tie: r.Tie, Index: r.Index}
+		})},
+		{"inverted bounds", tamper(func(s *LearnedSummary) {
+			r := s.Refuted[0]
+			box := append([][2]float64(nil), r.Box...)
+			box[0][0], box[0][1] = box[0][1]+1, box[0][0]
+			s.Refuted[0] = RefutedRegion{Box: box, Tie: r.Tie, Index: r.Index}
+		})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys2 := compileSystem(p, nil)
+			l2 := NewLearned(0)
+			sys2.SetLearned(l2)
+			n, err := sys2.ImportLearned(tc.sum)
+			if err == nil {
+				t.Fatal("tampered summary was accepted")
+			}
+			if n != 0 {
+				t.Errorf("installed %d regions from a rejected summary", n)
+			}
+			if l2.Len() != 0 {
+				t.Errorf("cache holds %d entries after a rejected import; want 0 (all-or-nothing)", l2.Len())
+			}
+		})
+	}
+}
+
+// TestSystemLearnedWiring checks the System-side bookkeeping: removal
+// flows into the cache as an invalidation, and SetLearned(nil) detaches
+// cleanly (subsequent searches run cold without touching the old
+// cache).
+func TestSystemLearnedWiring(t *testing.T) {
+	p, _ := swanProblem(t, 4, 9)
+	sys := compileSystem(p, nil)
+	l := NewLearned(0)
+	sys.SetLearned(l)
+	pt := []float64{1, 2, 3, 4}
+	l.notePointUnsat(pt)
+	sys.RemovePref(3)
+	if snap := l.Snapshot(); snap.Invalidations != 1 {
+		t.Errorf("invalidations = %d after one removal, want 1", snap.Invalidations)
+	}
+	if l.pointKnownUnsat(pt) {
+		t.Error("point fact survived a constraint removal")
+	}
+	sys.SetLearned(nil)
+	if sys.Learned() != nil {
+		t.Fatal("SetLearned(nil) did not detach")
+	}
+	before := l.Snapshot()
+	// A search on the detached system must not touch the old cache.
+	opts := pruneOnly(1)
+	opts.MinBoxWidth = 1.0 / 16
+	if _, _, err := NewSearch(sys).FindCandidate(context.Background(), opts, rand.New(rand.NewSource(5))); err != nil {
+		t.Fatal(err)
+	}
+	if after := l.Snapshot(); after != before {
+		t.Errorf("detached cache was touched: before %+v, after %+v", before, after)
+	}
+}

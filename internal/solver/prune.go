@@ -9,12 +9,21 @@ package solver
 //
 // The engine achieves that with a wave (frontier-at-a-time) traversal:
 //
-//   - The frontier is the ordered list of surviving boxes at one depth.
-//   - Evaluating one box is a pure function of the box (interval
-//     evaluation of compiled constraint programs, a midpoint check, a
-//     corner check at the resolution floor — no RNG, no shared state),
-//     so boxes of a wave can be evaluated in any order, by any worker,
-//     into a slot-addressed results array.
+//   - The frontier is the ordered list of surviving boxes at one
+//     depth. Every frontier box still originates from the root split
+//     tree — the learned-prune cache (learned.go) seeds waves by
+//     *skipping evaluation work* for boxes whose outcome is already
+//     proven, never by changing which boxes a wave contains, so
+//     frontier composition and budget accounting are bit-identical
+//     with the cache on or off.
+//   - Evaluating one box is a deterministic function of the box and
+//     the constraint set (interval evaluation of compiled constraint
+//     programs, a midpoint check, a corner check at the resolution
+//     floor — no RNG). With a learned cache attached the evaluation
+//     also consults shared memoized facts, but those facts are
+//     themselves deterministic consequences of (box, constraints), so
+//     boxes of a wave can still be evaluated in any order, by any
+//     worker, into a slot-addressed results array.
 //   - Work within a wave is distributed through per-worker deques of
 //     index spans: owners pop LIFO from the tail, idle workers steal
 //     FIFO from the head of the next deque over. Stealing reshuffles
@@ -153,6 +162,10 @@ func (s *System) branchAndPrune(ctx context.Context, domains []interval.Interval
 			results = make([]pruneResult, n)
 		}
 		results = results[:n]
+		var waveHits0 int64
+		if s.metrics != nil && s.learned != nil {
+			waveHits0 = s.learned.boxHits.Load()
+		}
 		if err := s.pruneWave(ctx, frontier[:n], results, minWidths, workers, stats); err != nil {
 			return nil, StatusUnknown, err
 		}
@@ -176,6 +189,14 @@ func (s *System) branchAndPrune(ctx context.Context, domains []interval.Interval
 		}
 		if s.metrics != nil {
 			s.metrics.observePruneDepth(depth, n)
+			if s.learned != nil {
+				// A "seeded" wave is one where cached facts displaced cold
+				// evaluations; the histogram records at which depths the
+				// cache is earning its keep.
+				if d := s.learned.boxHits.Load() - waveHits0; d > 0 {
+					s.metrics.observeSeededDepth(depth, d)
+				}
+			}
 		}
 		if witness >= 0 {
 			return results[witness].witness, StatusSat, nil
@@ -271,23 +292,62 @@ func (s *System) pruneWave(ctx context.Context, wave [][]interval.Interval, resu
 }
 
 // evalPruneBox decides one box: refuted, witnessed, split, or dropped
-// at the floor. Pure with respect to the System (compiled programs are
-// closure-based and read-only; Viable carries the same thread-safety
-// contract the sampling stage already imposes), so it is safe and
-// deterministic under any evaluation order. mid is the caller's
-// per-worker scratch vector, len(domains) long.
+// at the floor. Deterministic with respect to the System and its
+// constraint set (compiled programs are closure-based and read-only;
+// Viable carries the same thread-safety contract the sampling stage
+// already imposes; the learned cache only memoizes deterministic
+// facts), so it is safe and result-identical under any evaluation
+// order. mid is the caller's per-worker scratch vector, len(domains)
+// long.
 //
-// The decision sequence is exactly the sequential engine's: interval
-// refutation first, then the fully-feasible fast path (midpoint
-// accepted on interval evidence alone — Viable is deliberately not
-// consulted, matching the documented Problem.Viable semantics), then a
-// midpoint probe, then split-or-corner-check.
+// With no learned cache attached this is exactly the cold evaluation.
+// With one attached, a cache miss evaluates cold and records the fact;
+// a hit takes evalPruneBoxCached, which reproduces the cold decision
+// while skipping the probes the cached fact already settles.
 func (s *System) evalPruneBox(box []interval.Interval, minWidths []float64, mid []float64) pruneResult {
+	l := s.learned
+	if l == nil {
+		res, _ := s.evalPruneBoxCold(box, minWidths, mid)
+		return res
+	}
+	h := hashBox(box)
+	if fact, ok := l.lookupBox(h, box); ok {
+		return s.evalPruneBoxCached(h, box, minWidths, mid, fact)
+	}
+	res, refuter := s.evalPruneBoxCold(box, minWidths, mid)
+	switch res.kind {
+	case prunePruned:
+		l.storeBox(h, box, refuter, false)
+	case pruneSplit:
+		// Undecided: no present constraint refutes the box and its
+		// midpoint fails Satisfies — facts that stay true as constraints
+		// are added (see learned.go).
+		l.storeBox(h, box, "", false)
+	case pruneFloor:
+		// As above, plus every corner fails Satisfies.
+		l.storeBox(h, box, "", true)
+	}
+	// pruneWitness is deliberately not cached: a witness ends the search
+	// immediately, and "this point satisfies" is not monotone under
+	// constraint additions.
+	return res
+}
+
+// evalPruneBoxCold is the direct evaluation, shared by the no-cache and
+// cache-miss paths. The decision sequence is exactly the sequential
+// engine's: interval refutation first, then the fully-feasible fast
+// path (midpoint accepted on interval evidence alone — Viable is
+// deliberately not consulted, matching the documented Problem.Viable
+// semantics), then a midpoint probe, then split-or-corner-check.
+//
+// refuter is the cache key of the first refuting constraint when the
+// result is prunePruned and a learned cache is attached; "" otherwise.
+func (s *System) evalPruneBoxCold(box []interval.Interval, minWidths []float64, mid []float64) (res pruneResult, refuter string) {
 	feasible := true
 	for i := range s.cps {
 		diff := s.cps[i].diff.EvalInterval(nil, box)
 		if diff.Hi <= s.margin {
-			return pruneResult{kind: prunePruned}
+			return pruneResult{kind: prunePruned}, s.cps[i].key
 		}
 		if !(diff.Lo > s.margin) {
 			feasible = false
@@ -296,7 +356,7 @@ func (s *System) evalPruneBox(box []interval.Interval, minWidths []float64, mid 
 	for i := range s.cts {
 		diff := s.cts[i].diff.EvalInterval(nil, box)
 		if diff.Lo > s.cts[i].band || diff.Hi < -s.cts[i].band {
-			return pruneResult{kind: prunePruned}
+			return pruneResult{kind: prunePruned}, s.cts[i].key
 		}
 		if !(diff.Lo >= -s.cts[i].band && diff.Hi <= s.cts[i].band) {
 			feasible = false
@@ -304,9 +364,63 @@ func (s *System) evalPruneBox(box []interval.Interval, minWidths []float64, mid 
 	}
 	fillMidpoint(mid, box)
 	if feasible || s.Satisfies(mid) {
-		return pruneResult{kind: pruneWitness, witness: append([]float64(nil), mid...)}
+		return pruneResult{kind: pruneWitness, witness: append([]float64(nil), mid...)}, ""
 	}
-	// Split the widest dimension relative to its resolution floor.
+	return s.splitOrFloor(box, minWidths, mid, false), ""
+}
+
+// evalPruneBoxCached reproduces the cold decision for a box the cache
+// already has a valid fact for. Soundness (why each skipped probe would
+// have produced the same answer) is argued entry shape by entry shape
+// in learned.go and DESIGN.md §11; in brief: a refutation holds while
+// its refuting constraint is present, and an undecided entry's negative
+// facts (no refutation at version ≤ v, midpoint/corners unsat) are
+// monotone under the only mutation the entry's guards admit — constraint
+// addition — so only constraints stamped after the entry's version need
+// fresh interval checks.
+func (s *System) evalPruneBoxCached(h uint64, box []interval.Interval, minWidths []float64, mid []float64, fact boxFact) pruneResult {
+	if fact.refuted {
+		return pruneResult{kind: prunePruned}
+	}
+	// Delta-check only the constraints added after the fact's version.
+	// Order matches the cold loop (prefs then ties, index order), so the
+	// first refuter found here is the first the cold path would find
+	// among the new constraints.
+	for i := range s.cps {
+		if s.cps[i].addVersion <= fact.version {
+			continue
+		}
+		if diff := s.cps[i].diff.EvalInterval(nil, box); diff.Hi <= s.margin {
+			s.learned.deltaRefutes.Add(1)
+			s.learned.storeBox(h, box, s.cps[i].key, false)
+			return pruneResult{kind: prunePruned}
+		}
+	}
+	for i := range s.cts {
+		if s.cts[i].addVersion <= fact.version {
+			continue
+		}
+		diff := s.cts[i].diff.EvalInterval(nil, box)
+		if diff.Lo > s.cts[i].band || diff.Hi < -s.cts[i].band {
+			s.learned.deltaRefutes.Add(1)
+			s.learned.storeBox(h, box, s.cts[i].key, false)
+			return pruneResult{kind: prunePruned}
+		}
+	}
+	// No refutation. The entry proves the fully-feasible fast path was
+	// already blocked by a constraint at version ≤ fact.version (still
+	// present — the epoch guard rules out removals) and that the midpoint
+	// fails Satisfies (monotone under additions), so both probes are
+	// skipped: the cold path would reach split-or-floor exactly as we do.
+	return s.splitOrFloor(box, minWidths, mid, fact.cornerUnsat)
+}
+
+// splitOrFloor is the undecided-box tail of the decision: split the
+// widest dimension relative to its resolution floor, or at the floor
+// point-check the corners and drop the box (δ-unsat convention).
+// cornerUnsat short-circuits the corner check with a cached "every
+// corner fails Satisfies" fact.
+func (s *System) splitOrFloor(box []interval.Interval, minWidths []float64, mid []float64, cornerUnsat bool) pruneResult {
 	widest, ratio := -1, 1.0
 	for i, iv := range box {
 		if r := iv.Width() / minWidths[i]; r > ratio {
@@ -314,11 +428,20 @@ func (s *System) evalPruneBox(box []interval.Interval, minWidths []float64, mid 
 		}
 	}
 	if widest < 0 {
+		if cornerUnsat {
+			return pruneResult{kind: pruneFloor}
+		}
 		// At the resolution floor and still undecided: point-check the
-		// corners (mid still holds the midpoint for dims beyond the
-		// enumeration cap).
+		// corners. fillMidpoint seeds the dims beyond cornerWitness's
+		// enumeration cap (on the cached path mid is stale scratch, so
+		// refill it — the cold path arrives with mid already holding the
+		// midpoint, and refilling is idempotent).
+		fillMidpoint(mid, box)
 		if w := s.cornerWitness(box, mid); w != nil {
 			return pruneResult{kind: pruneWitness, witness: w}
+		}
+		if s.learned != nil {
+			s.learned.storeBox(hashBox(box), box, "", true)
 		}
 		return pruneResult{kind: pruneFloor}
 	}

@@ -2,6 +2,8 @@ package solver
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -34,6 +36,11 @@ type System struct {
 	// (see SetMetrics). Nil means zero instrumentation cost: the
 	// wrappers skip even the clock reads.
 	metrics *Metrics
+	// learned, when non-nil, is the cross-search learned-prune cache
+	// (see SetLearned and learned.go). Every constraint mutation is
+	// reported to it so cached facts are invalidated exactly when the
+	// constraints supporting them go away.
+	learned *Learned
 
 	prefs []Pref
 	cps   []compiledPref
@@ -50,6 +57,12 @@ type System struct {
 // semantics).
 type compiledPref struct {
 	diff *expr.Program
+	// key and addVersion identify the constraint to the learned-prune
+	// cache: key is the content identity (exact scenario float bits),
+	// addVersion the cache's monotone addition counter. Both are zero
+	// when no cache is attached.
+	key        string
+	addVersion uint64
 }
 
 // compiledTie is an indifference constraint lowered the same way:
@@ -57,6 +70,9 @@ type compiledPref struct {
 type compiledTie struct {
 	diff *expr.Program
 	band float64
+	// key and addVersion: see compiledPref.
+	key        string
+	addVersion uint64
 }
 
 // NewSystem returns an empty compiled system over the sketch's hole
@@ -106,6 +122,52 @@ func (s *System) compileDiff(a, b []float64) *expr.Program {
 // concurrent searches.
 func (s *System) SetMetrics(m *Metrics) { s.metrics = m }
 
+// SetLearned attaches a learned-prune cache. Constraints already in the
+// system are registered with it, so attaching to a non-empty system is
+// safe; detaching (nil) leaves the cache's bookkeeping consistent for a
+// later re-attach. Like constraint mutation, SetLearned is not
+// goroutine-safe with concurrent searches.
+//
+// One cache must serve one constraint stream: attach a Learned to a
+// single System for its lifetime (the synthesizer holds exactly one of
+// each per session).
+func (s *System) SetLearned(l *Learned) {
+	if s.learned == l {
+		return
+	}
+	if s.learned != nil {
+		// Retire this system's constraints from the old cache so its
+		// presence counts do not leak.
+		for i := range s.cps {
+			s.learned.constraintRemoved(s.cps[i].key)
+		}
+		for i := range s.cts {
+			s.learned.constraintRemoved(s.cts[i].key)
+		}
+	}
+	s.learned = l
+	if l == nil {
+		for i := range s.cps {
+			s.cps[i].key, s.cps[i].addVersion = "", 0
+		}
+		for i := range s.cts {
+			s.cts[i].key, s.cts[i].addVersion = "", 0
+		}
+		return
+	}
+	for i := range s.cps {
+		s.cps[i].key = prefKey(s.prefs[i])
+		s.cps[i].addVersion = l.constraintAdded(s.cps[i].key)
+	}
+	for i := range s.cts {
+		s.cts[i].key = tieKey(s.ties[i])
+		s.cts[i].addVersion = l.constraintAdded(s.cts[i].key)
+	}
+}
+
+// Learned returns the attached learned-prune cache (nil if none).
+func (s *System) Learned() *Learned { return s.learned }
+
 // Sketch returns the sketch the system is compiled against.
 func (s *System) Sketch() *sketch.Sketch { return s.sk }
 
@@ -127,7 +189,18 @@ func (s *System) Ties() []Tie { return append([]Tie(nil), s.ties...) }
 // AddPref appends a preference constraint.
 func (s *System) AddPref(c Pref) {
 	s.prefs = append(s.prefs, c)
-	s.cps = append(s.cps, compiledPref{diff: s.compileDiff(c.Better, c.Worse)})
+	s.cps = append(s.cps, s.compilePref(c))
+}
+
+// compilePref lowers one preference constraint, registering it with the
+// learned cache when one is attached.
+func (s *System) compilePref(c Pref) compiledPref {
+	cp := compiledPref{diff: s.compileDiff(c.Better, c.Worse)}
+	if s.learned != nil {
+		cp.key = prefKey(c)
+		cp.addVersion = s.learned.constraintAdded(cp.key)
+	}
+	return cp
 }
 
 // InsertPref inserts a preference constraint at index i. Constraint
@@ -140,26 +213,151 @@ func (s *System) InsertPref(i int, c Pref) {
 	s.prefs[i] = c
 	s.cps = append(s.cps, compiledPref{})
 	copy(s.cps[i+1:], s.cps[i:])
-	s.cps[i] = compiledPref{diff: s.compileDiff(c.Better, c.Worse)}
+	s.cps[i] = s.compilePref(c)
 }
 
-// RemovePref removes the preference constraint at index i.
+// RemovePref removes the preference constraint at index i. With a
+// learned cache attached this bumps the cache's removal epoch: cached
+// point-level facts are no longer monotone once the constraint set can
+// shrink, and refutations proved by this constraint die with its last
+// instance.
 func (s *System) RemovePref(i int) {
+	if s.learned != nil {
+		s.learned.constraintRemoved(s.cps[i].key)
+	}
 	s.prefs = append(s.prefs[:i], s.prefs[i+1:]...)
 	s.cps = append(s.cps[:i], s.cps[i+1:]...)
 }
 
 // AddTie appends an indifference constraint.
 func (s *System) AddTie(t Tie) {
+	ct := compiledTie{diff: s.compileDiff(t.A, t.B), band: t.Band}
+	if s.learned != nil {
+		ct.key = tieKey(t)
+		ct.addVersion = s.learned.constraintAdded(ct.key)
+	}
 	s.ties = append(s.ties, t)
-	s.cts = append(s.cts, compiledTie{diff: s.compileDiff(t.A, t.B), band: t.Band})
+	s.cts = append(s.cts, ct)
 }
 
 // Reset drops all constraints, keeping the sketch and its
-// specialization cache.
+// specialization cache. A rebuild (Reset + re-adding the same
+// constraints) keeps the learned cache's refutations alive: each re-add
+// restores its key's presence count, so refuted boxes stay valid, while
+// point-level facts lapse with the epoch bump — exactly the
+// conservative direction.
 func (s *System) Reset() {
+	if s.learned != nil {
+		for i := range s.cps {
+			s.learned.constraintRemoved(s.cps[i].key)
+		}
+		for i := range s.cts {
+			s.learned.constraintRemoved(s.cts[i].key)
+		}
+	}
 	s.prefs, s.cps = s.prefs[:0], s.cps[:0]
 	s.ties, s.cts = s.ties[:0], s.cts[:0]
+}
+
+// ExportLearned serializes the attached learned cache's refuted boxes,
+// naming each refuting constraint by its current index in this system's
+// constraint order. Returns nil when no cache is attached or nothing is
+// cached. Call only while the constraint set is quiescent (same rule as
+// mutation).
+func (s *System) ExportLearned() *LearnedSummary {
+	if s.learned == nil {
+		return nil
+	}
+	prefIdx := make(map[string]int, len(s.cps))
+	for i := len(s.cps) - 1; i >= 0; i-- {
+		prefIdx[s.cps[i].key] = i // first instance wins
+	}
+	tieIdx := make(map[string]int, len(s.cts))
+	for i := len(s.cts) - 1; i >= 0; i-- {
+		tieIdx[s.cts[i].key] = i
+	}
+	var sum LearnedSummary
+	s.learned.forEachRefuted(func(box []interval.Interval, refuter string) {
+		r := RefutedRegion{Box: make([][2]float64, len(box))}
+		for i, iv := range box {
+			r.Box[i] = [2]float64{iv.Lo, iv.Hi}
+		}
+		if i, ok := prefIdx[refuter]; ok {
+			r.Index = i
+		} else if i, ok := tieIdx[refuter]; ok {
+			r.Tie, r.Index = true, i
+		} else {
+			return // constraint no longer in this system; drop the entry
+		}
+		sum.Refuted = append(sum.Refuted, r)
+	})
+	if len(sum.Refuted) == 0 {
+		return nil
+	}
+	return &sum
+}
+
+// ImportLearned verifies a summary against this system's constraints
+// and, if every region checks out, installs the refutations into the
+// attached cache. Verification re-proves each region from scratch — one
+// interval evaluation of the named constraint per box — so a summary
+// that lies (tampered checkpoint, stale journal, changed sketch) is
+// rejected as a whole and the caller falls back to cold solving; the
+// cache can never be poisoned through this path. Returns the number of
+// regions installed.
+func (s *System) ImportLearned(sum *LearnedSummary) (int, error) {
+	if sum == nil || len(sum.Refuted) == 0 {
+		return 0, nil
+	}
+	if s.learned == nil {
+		return 0, errors.New("solver: ImportLearned without an attached cache")
+	}
+	if err := sum.Validate(); err != nil {
+		return 0, err
+	}
+	dim := len(s.sk.Domains())
+	type verified struct {
+		box []interval.Interval
+		key string
+	}
+	regions := make([]verified, 0, len(sum.Refuted))
+	for i, r := range sum.Refuted {
+		if len(r.Box) != dim {
+			return 0, fmt.Errorf("solver: learned region %d has %d dims, sketch has %d", i, len(r.Box), dim)
+		}
+		box := make([]interval.Interval, dim)
+		for j, b := range r.Box {
+			box[j] = interval.New(b[0], b[1])
+		}
+		var key string
+		if r.Tie {
+			if r.Index >= len(s.cts) {
+				return 0, fmt.Errorf("solver: learned region %d names tie %d of %d", i, r.Index, len(s.cts))
+			}
+			ct := s.cts[r.Index]
+			diff := ct.diff.EvalInterval(nil, box)
+			if !(diff.Lo > ct.band || diff.Hi < -ct.band) {
+				return 0, fmt.Errorf("solver: learned region %d fails re-verification against tie %d", i, r.Index)
+			}
+			key = ct.key
+		} else {
+			if r.Index >= len(s.cps) {
+				return 0, fmt.Errorf("solver: learned region %d names constraint %d of %d", i, r.Index, len(s.cps))
+			}
+			cp := s.cps[r.Index]
+			diff := cp.diff.EvalInterval(nil, box)
+			if !(diff.Hi <= s.margin) {
+				return 0, fmt.Errorf("solver: learned region %d fails re-verification against constraint %d", i, r.Index)
+			}
+			key = cp.key
+		}
+		regions = append(regions, verified{box: box, key: key})
+	}
+	// All regions verified; install atomically with respect to failure.
+	for _, v := range regions {
+		s.learned.storeBox(hashBox(v.box), v.box, v.key, false)
+	}
+	return len(regions), nil
 }
 
 // Violation returns the hinge loss of θ against the constraints: 0 iff
@@ -242,13 +440,15 @@ func (s *System) findCandidate(ctx context.Context, opts Options, rng *rand.Rand
 	domains := s.sk.Domains()
 	stats := s.statsOf(opts)
 
-	// Stage 0: warm-start hints.
+	// Stage 0: warm-start hints (prior feasible witnesses carried
+	// between iterations; they double as repair starts when the newest
+	// constraint broke them).
 	for _, hint := range opts.Hints {
 		if err := ctx.Err(); err != nil {
 			return nil, StatusUnknown, err
 		}
 		h := clampToBox(hint, domains)
-		if s.Satisfies(h) {
+		if s.hintSatisfies(h) {
 			if stats != nil {
 				stats.HintHits.Add(1)
 			}
@@ -301,6 +501,27 @@ func (s *System) findCandidate(ctx context.Context, opts Options, rng *rand.Rand
 
 	// Stage 3: branch-and-prune (the parallel wave engine; prune.go).
 	return s.branchAndPrune(ctx, domains, opts)
+}
+
+// hintSatisfies is Satisfies with the learned point cache in front: a
+// hint that failed once stays failing while the constraint set only
+// grows (epoch-guarded against removals), so the full evaluation is
+// skipped; fresh failures are recorded. The boolean is identical to
+// Satisfies(h) — the cache only skips re-deriving it — which keeps the
+// hint stage's control flow, counters, and RNG consumption bit-exact
+// with the uncached path.
+func (s *System) hintSatisfies(h []float64) bool {
+	if s.learned == nil {
+		return s.Satisfies(h)
+	}
+	if s.learned.pointKnownUnsat(h) {
+		return false
+	}
+	if s.Satisfies(h) {
+		return true
+	}
+	s.learned.notePointUnsat(h)
+	return false
 }
 
 // repair runs coordinate descent on the hinge loss; see the package
@@ -460,7 +681,7 @@ func (s *System) findDiverse(ctx context.Context, k int, opts Options, rng *rand
 			return nil, err
 		}
 		h := clampToBox(hint, domains)
-		if s.Satisfies(h) {
+		if s.hintSatisfies(h) {
 			if stats != nil {
 				stats.HintHits.Add(1)
 			}
