@@ -3,15 +3,17 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json experiments examples obs-smoke obs-demo service-smoke docs-lint fmt vet clean
+.PHONY: all build test test-short race cover bench bench-smoke bench-json experiments examples obs-smoke obs-demo service-smoke docs-lint fmt vet clean
 
 # Tier-1 verification: build, vet, the full test suite, the race
 # detector over the packages with real concurrency (parallel solver
 # workers, the work-stealing branch-and-prune engine and its steal
-# hammer, the sketch specialization cache, the synthesis service's
-# worker pool), smoke tests of the observability HTTP endpoint and
-# the compsynthd service layer, and the documentation gate.
-all: build vet test race obs-smoke service-smoke docs-lint
+# hammer, the batched tape interpreters, the sketch specialization
+# cache, the synthesis service's worker pool), a one-iteration compile
+# check of every benchmark, smoke tests of the observability HTTP
+# endpoint and the compsynthd service layer, and the documentation
+# gate.
+all: build vet test race bench-smoke obs-smoke service-smoke docs-lint
 
 build:
 	$(GO) build ./...
@@ -23,13 +25,19 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/sketch/ ./internal/solver/ ./internal/core/ ./internal/obs/ ./internal/service/
+	$(GO) test -race ./internal/sketch/ ./internal/solver/ ./internal/core/ ./internal/obs/ ./internal/service/ ./internal/expr/
 
 cover:
 	$(GO) test -cover ./internal/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark under -short: catches benchmarks
+# that no longer compile or panic without paying for real measurement.
+# Part of tier-1 `all`.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
 
 # Archive hot-path benchmark results (ns/op, B/op, allocs/op) as JSON
 # for cross-commit perf tracking.

@@ -106,14 +106,16 @@ func run(out, benchRE, benchtime, commit string, count int, pkgs []string) error
 		return err
 	}
 	history.Upsert(benchfmt.Run{
-		Commit:    commit,
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Bench:     benchRE,
-		Packages:  pkgs,
-		Results:   results,
+		Commit:     commit,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Bench:      benchRE,
+		Packages:   pkgs,
+		Results:    results,
 	})
 
 	f, err := os.Create(out)

@@ -62,16 +62,17 @@ func main() {
 		traceFile    = flag.String("trace", "", "write the synthesis span trace (JSON Lines) to this file")
 		workers      = flag.Int("workers", 0, "sampling/repair worker count (0 keeps the sequential default; changes the seed-deterministic search path)")
 		pruneWorkers = flag.Int("prune-workers", 0, "branch-and-prune worker count (0 means one per CPU; never changes results)")
+		batchLanes   = flag.Int("batch-lanes", 0, "batched-evaluation lane width (0 keeps the solver default, 1 disables batching; never changes results)")
 	)
 	flag.Parse()
 
-	if err := run(*seed, *initN, *pairs, *interactive, *targetStr, *verbose, *save, *resume, *plot, *dot, *sketchFile, *explain, *obsAddr, *traceFile, *workers, *pruneWorkers); err != nil {
+	if err := run(*seed, *initN, *pairs, *interactive, *targetStr, *verbose, *save, *resume, *plot, *dot, *sketchFile, *explain, *obsAddr, *traceFile, *workers, *pruneWorkers, *batchLanes); err != nil {
 		fmt.Fprintln(os.Stderr, "compsynth:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, initN, pairs int, interactive bool, targetStr string, verbose bool, save, resume string, plot bool, dot, sketchFile string, explain bool, obsAddr, traceFile string, workers, pruneWorkers int) error {
+func run(seed int64, initN, pairs int, interactive bool, targetStr string, verbose bool, save, resume string, plot bool, dot, sketchFile string, explain bool, obsAddr, traceFile string, workers, pruneWorkers, batchLanes int) error {
 	// Observability edge: a registry when anything will scrape it, a
 	// tracer when anyone will read spans (live /trace or a -trace dump).
 	var observer *obs.Observer
@@ -174,10 +175,11 @@ func run(seed int64, initN, pairs int, interactive bool, targetStr string, verbo
 		Seed:              seed,
 		Obs:               observer,
 	}
-	if workers > 0 || pruneWorkers > 0 {
+	if workers > 0 || pruneWorkers > 0 || batchLanes > 0 {
 		cfg.Solver = solver.DefaultOptions()
 		cfg.Solver.Workers = workers
 		cfg.Solver.PruneWorkers = pruneWorkers
+		cfg.Solver.BatchLanes = batchLanes
 	}
 	if interactive {
 		// Humans deserve a progress pulse between questions.

@@ -17,12 +17,20 @@ type Run struct {
 	Generated string `json:"generated"`
 	// GoVersion and GOOS/GOARCH qualify the numbers: absolute ns/op are
 	// only comparable within one toolchain + platform.
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	Bench     string   `json:"bench_regex"`
-	Packages  []string `json:"packages"`
-	Results   []Result `json:"results"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GoMaxProcs and NumCPU record the host parallelism the run saw
+	// (runtime.GOMAXPROCS(0) and runtime.NumCPU()). Parallel-scaling
+	// benchmarks (worker pools, batched prune waves) are meaningless to
+	// diff across hosts with different core counts, so cross-run
+	// comparisons should check these first. Zero in a history entry
+	// means the run predates host recording.
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	NumCPU     int      `json:"num_cpu,omitempty"`
+	Bench      string   `json:"bench_regex"`
+	Packages   []string `json:"packages"`
+	Results    []Result `json:"results"`
 }
 
 // History is the cross-commit benchmark archive (cmd/benchjson's

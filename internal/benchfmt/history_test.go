@@ -8,14 +8,16 @@ import (
 
 func testRun(commit string, ns float64) Run {
 	return Run{
-		Commit:    commit,
-		Generated: "2026-01-01T00:00:00Z",
-		GoVersion: "go1.24.0",
-		GOOS:      "linux",
-		GOARCH:    "amd64",
-		Bench:     ".",
-		Packages:  []string{"./internal/solver/"},
-		Results:   []Result{{Name: "BenchmarkX-8", Iterations: 100, NsPerOp: ns}},
+		Commit:     commit,
+		Generated:  "2026-01-01T00:00:00Z",
+		GoVersion:  "go1.24.0",
+		GOOS:       "linux",
+		GOARCH:     "amd64",
+		GoMaxProcs: 8,
+		NumCPU:     8,
+		Bench:      ".",
+		Packages:   []string{"./internal/solver/"},
+		Results:    []Result{{Name: "BenchmarkX-8", Iterations: 100, NsPerOp: ns}},
 	}
 }
 
@@ -65,6 +67,36 @@ func TestHistoryRoundTrip(t *testing.T) {
 	}
 	if len(again.Runs) != 2 || again.Runs[1].Commit != "bbb2222" {
 		t.Fatalf("round trip mangled history: %+v", again.Runs)
+	}
+	if again.Runs[0].GoMaxProcs != 8 || again.Runs[0].NumCPU != 8 {
+		t.Errorf("host metadata lost in round trip: gomaxprocs=%d num_cpu=%d, want 8/8",
+			again.Runs[0].GoMaxProcs, again.Runs[0].NumCPU)
+	}
+}
+
+// TestReadHistoryWithoutHostMetadata pins the zero convention: entries
+// recorded before host metadata existed read back with zero values and
+// must not be rejected — zero means "predates host recording".
+func TestReadHistoryWithoutHostMetadata(t *testing.T) {
+	doc := `{
+	  "runs": [{
+	    "commit": "ddd4444",
+	    "generated": "2026-01-01T00:00:00Z",
+	    "go_version": "go1.24.0",
+	    "goos": "linux",
+	    "goarch": "amd64",
+	    "bench_regex": ".",
+	    "packages": ["./internal/solver/"],
+	    "results": [{"name": "BenchmarkZ", "iterations": 10, "ns_per_op": 42}]
+	  }]
+	}`
+	h, err := ReadHistory(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Runs[0].GoMaxProcs != 0 || h.Runs[0].NumCPU != 0 {
+		t.Errorf("pre-host-metadata run should read back zero, got gomaxprocs=%d num_cpu=%d",
+			h.Runs[0].GoMaxProcs, h.Runs[0].NumCPU)
 	}
 }
 

@@ -1,0 +1,261 @@
+package expr
+
+import (
+	"testing"
+
+	"compsynth/internal/interval"
+)
+
+// Differential fuzzing of the batched interpreters: for a random
+// expression and a batch of random lane environments, every lane of
+// EvalBatch / EvalIntervalBatch must reproduce the scalar Eval /
+// EvalInterval result for that lane's input bit for bit, for every
+// lane width and fill count — including the over-cap programs that
+// fall back to per-lane scalar evaluation. This is the contract that
+// lets the solver batch its sweeps without perturbing transcripts.
+
+// fuzzLaneWidths exercises the scalar path (1), a width that divides
+// nothing evenly (3), the default, and the cap.
+var fuzzLaneWidths = []int{1, 3, 16, MaxBatchLanes}
+
+func FuzzDifferentialBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 0, 3, 3, 2, 0, 2, 1})          // a - b style
+	f.Add([]byte{7, 1, 3, 1, 0, 0, 9, 3, 2, 2, 0, 1, 2}) // if with cmp
+	f.Add([]byte{3, 3, 0, 9, 1, 0, 3, 5, 0, 10, 2, 1})   // Inf arithmetic
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := &byteSrc{data: data}
+		e := genExpr(s, 5)
+		prog, err := Compile(e, fuzzVars, fuzzHoles)
+		if err != nil {
+			t.Fatalf("compile %s: %v", e, err)
+		}
+		if prog.ft == nil {
+			t.Fatalf("depth-5 expression rejected by flat-tape compiler: %s", e)
+		}
+		lanes := fuzzLaneWidths[int(s.next())%len(fuzzLaneWidths)]
+		pb := NewPointBatch(len(fuzzVars), len(fuzzHoles), lanes)
+		ib := NewIntervalBatch(len(fuzzVars), len(fuzzHoles), lanes)
+		n := 1 + int(s.next())%lanes // fill count in [1, lanes]
+
+		// Draw per-lane environments and load both batches.
+		varRows := make([][]float64, n)
+		holeRows := make([][]float64, n)
+		varIvRows := make([][]interval.Interval, n)
+		holeIvRows := make([][]interval.Interval, n)
+		for l := 0; l < n; l++ {
+			varRows[l] = make([]float64, len(fuzzVars))
+			holeRows[l] = make([]float64, len(fuzzHoles))
+			varIvRows[l] = make([]interval.Interval, len(fuzzVars))
+			holeIvRows[l] = make([]interval.Interval, len(fuzzHoles))
+			for i := range fuzzVars {
+				v := s.pick()
+				varRows[l][i] = v
+				varIvRows[l][i] = interval.Point(v)
+			}
+			for i := range fuzzHoles {
+				holeRows[l][i] = s.pick()
+				lo, hi := s.pick(), s.pick()
+				if hi < lo {
+					lo, hi = hi, lo
+				}
+				holeIvRows[l][i] = interval.New(lo, hi)
+			}
+			pb.SetVars(l, varRows[l])
+			pb.SetHoles(l, holeRows[l])
+			ib.SetVars(l, varIvRows[l])
+			ib.SetHoles(l, holeIvRows[l])
+		}
+
+		if !prog.EvalBatch(pb, n) {
+			t.Fatalf("tape-eligible program took the point fallback: %s", e)
+		}
+		for l := 0; l < n; l++ {
+			want := prog.Eval(varRows[l], holeRows[l])
+			if got := pb.Out(l); !eqBits(got, want) {
+				t.Errorf("point lane %d/%d of %s = %v, scalar = %v", l, n, e, got, want)
+			}
+		}
+		if !prog.EvalIntervalBatch(ib, n) {
+			t.Fatalf("tape-eligible program took the interval fallback: %s", e)
+		}
+		for l := 0; l < n; l++ {
+			want := prog.EvalInterval(varIvRows[l], holeIvRows[l])
+			if got := ib.Out(l); !eqInterval(got, want) {
+				t.Errorf("interval lane %d/%d of %s = %v, scalar = %v", l, n, e, got, want)
+			}
+		}
+	})
+}
+
+// overCapProgram builds a program whose float-stack depth exceeds the
+// tape caps, so both flat-tape and point-tape compilation reject it
+// and the batch entry points must take their per-lane fallbacks.
+func overCapProgram(t *testing.T) *Program {
+	t.Helper()
+	var e Expr = Hole{Name: "a"}
+	for i := 0; i < tapeMaxFloat+2; i++ {
+		// Right-nested subtraction grows stack depth by one per level
+		// (the left operand stays held while the right recurses).
+		e = Bin{Op: OpSub, L: Const{Value: float64(i)}, R: e}
+	}
+	prog, err := Compile(e, fuzzVars, fuzzHoles)
+	if err != nil {
+		t.Fatalf("compile over-cap chain: %v", err)
+	}
+	if prog.ft != nil || prog.tp != nil {
+		t.Fatalf("expected over-cap chain to be rejected by both tapes (ft=%v tp=%v)", prog.ft != nil, prog.tp != nil)
+	}
+	return prog
+}
+
+// TestBatchOverCapFallback pins the fallback boundary: a program past
+// the tape caps still evaluates every lane correctly through the batch
+// entry points, just via the scalar engines (reported by the false
+// return).
+func TestBatchOverCapFallback(t *testing.T) {
+	prog := overCapProgram(t)
+	vars := []float64{1, 2, 3}
+	for _, lanes := range fuzzLaneWidths {
+		pb := NewPointBatch(len(fuzzVars), len(fuzzHoles), lanes)
+		ib := NewIntervalBatch(len(fuzzVars), len(fuzzHoles), lanes)
+		varIvs := make([]interval.Interval, len(fuzzVars))
+		for i, v := range vars {
+			varIvs[i] = interval.Point(v)
+		}
+		for l := 0; l < lanes; l++ {
+			holes := []float64{float64(l) * 0.5, -float64(l)}
+			pb.SetVars(l, vars)
+			pb.SetHoles(l, holes)
+			ib.SetVars(l, varIvs)
+			ib.SetHoles(l, []interval.Interval{
+				{Lo: -float64(l), Hi: float64(l)},
+				{Lo: 0.25, Hi: 0.5},
+			})
+		}
+		if prog.EvalBatch(pb, lanes) {
+			t.Fatalf("lanes=%d: over-cap program claims the point tape ran", lanes)
+		}
+		if prog.EvalIntervalBatch(ib, lanes) {
+			t.Fatalf("lanes=%d: over-cap program claims the interval tape ran", lanes)
+		}
+		for l := 0; l < lanes; l++ {
+			holes := []float64{float64(l) * 0.5, -float64(l)}
+			if got, want := pb.Out(l), prog.Eval(vars, holes); !eqBits(got, want) {
+				t.Errorf("lanes=%d point lane %d = %v, scalar = %v", lanes, l, got, want)
+			}
+			holeIvs := []interval.Interval{
+				{Lo: -float64(l), Hi: float64(l)},
+				{Lo: 0.25, Hi: 0.5},
+			}
+			if got, want := ib.Out(l), prog.EvalInterval(varIvs, holeIvs); !eqInterval(got, want) {
+				t.Errorf("lanes=%d interval lane %d = %v, scalar = %v", lanes, l, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchLaneOverflowPanics pins the misuse guard: asking a batch to
+// evaluate more lanes than it holds is a programming error, not a
+// silent truncation.
+func TestBatchLaneOverflowPanics(t *testing.T) {
+	prog, err := Compile(Hole{Name: "a"}, nil, fuzzHoles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s with n > lanes did not panic", name)
+			}
+		}()
+		fn()
+	}
+	pb := NewPointBatch(0, len(fuzzHoles), 4)
+	expectPanic("EvalBatch", func() { prog.EvalBatch(pb, 5) })
+	ib := NewIntervalBatch(0, len(fuzzHoles), 4)
+	expectPanic("EvalIntervalBatch", func() { prog.EvalIntervalBatch(ib, 5) })
+}
+
+// TestBatchLaneClamp pins the constructor clamp to [1, MaxBatchLanes].
+func TestBatchLaneClamp(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{-1, 1}, {0, 1}, {1, 1}, {16, 16},
+		{MaxBatchLanes, MaxBatchLanes}, {MaxBatchLanes + 1, MaxBatchLanes},
+	} {
+		if got := NewPointBatch(1, 1, tc.ask).Lanes(); got != tc.want {
+			t.Errorf("NewPointBatch(lanes=%d).Lanes() = %d, want %d", tc.ask, got, tc.want)
+		}
+		if got := NewIntervalBatch(1, 1, tc.ask).Lanes(); got != tc.want {
+			t.Errorf("NewIntervalBatch(lanes=%d).Lanes() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestBoolDepthDeepCmpChain is a regression test for the bool-depth
+// accounting of comparisons: a right-nested Or chain of comparisons
+// needs one bool-stack slot per level plus the comparison's own slot,
+// and an undercount would index past the fixed-size Tri stack at eval
+// time. The tape compilers must either carry the chain correctly or
+// reject it — never corrupt the stack.
+func TestBoolDepthDeepCmpChain(t *testing.T) {
+	for chain := 1; chain <= tapeMaxBool+2; chain++ {
+		var b BoolExpr = Cmp{Op: CmpGT, L: Var{Name: "x"}, R: Const{Value: 0}}
+		for i := 1; i < chain; i++ {
+			// Right-nested: the left result is held while the right
+			// subtree (another full chain level) evaluates.
+			b = BoolBin{Op: OpOr, L: Cmp{Op: CmpGT, L: Var{Name: "x"}, R: Const{Value: float64(i)}}, R: b}
+		}
+		e := If{Cond: b, Then: Const{Value: 1}, Else: Const{Value: 0}}
+		prog, err := Compile(e, []string{"x"}, nil)
+		if err != nil {
+			t.Fatalf("chain=%d: compile: %v", chain, err)
+		}
+		for _, x := range []float64{-1, 0.5, float64(chain) + 1} {
+			want, err := Eval(e, Env{Vars: map[string]float64{"x": x}})
+			if err != nil {
+				t.Fatalf("chain=%d: tree eval: %v", chain, err)
+			}
+			if got := prog.Eval([]float64{x}, nil); !eqBits(got, want) {
+				t.Errorf("chain=%d x=%v: Eval = %v, tree = %v", chain, x, got, want)
+			}
+			iv := prog.EvalInterval([]interval.Interval{interval.Point(x)}, nil)
+			if !eqInterval(iv, interval.Point(want)) {
+				t.Errorf("chain=%d x=%v: EvalInterval = %v, tree = %v", chain, x, iv, want)
+			}
+			if prog.ft != nil {
+				pb := NewPointBatch(1, 0, 2)
+				pb.SetVars(0, []float64{x})
+				pb.SetVars(1, []float64{x})
+				if !prog.EvalBatch(pb, 2) {
+					t.Fatalf("chain=%d: flat tape present but EvalBatch fell back", chain)
+				}
+				if got := pb.Out(0); !eqBits(got, want) {
+					t.Errorf("chain=%d x=%v: EvalBatch = %v, tree = %v", chain, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchOutsAliasing documents that Outs returns live columns: the
+// next evaluation overwrites them, so callers must consume or copy.
+func TestBatchOutsAliasing(t *testing.T) {
+	prog, err := Compile(Hole{Name: "a"}, nil, fuzzHoles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := NewPointBatch(0, len(fuzzHoles), 2)
+	pb.SetHoles(0, []float64{1, 0})
+	pb.SetHoles(1, []float64{2, 0})
+	prog.EvalBatch(pb, 2)
+	outs := pb.Outs(2)
+	if outs[0] != 1 || outs[1] != 2 {
+		t.Fatalf("Outs = %v, want [1 2]", outs)
+	}
+	pb.SetHoles(0, []float64{7, 0})
+	prog.EvalBatch(pb, 1)
+	if outs[0] != 7 {
+		t.Errorf("Outs did not alias the batch: got %v after re-eval, want 7", outs[0])
+	}
+}

@@ -19,6 +19,7 @@ type Program struct {
 	fn     compiledNum
 	ifn    compiledNumIv
 	tp     *tape
+	ft     *flatTape
 }
 
 type compiledNum func(vars, holes []float64) float64
@@ -59,11 +60,13 @@ func Compile(e Expr, vars, holes []string) (*Program, error) {
 	}
 	p.fn = fn
 	p.ifn = ifn
-	// Point evaluation prefers the flat instruction tape; the closure
-	// tree remains as the fallback for expressions too deep for the
-	// tape's fixed stacks. Both engines are bit-identical (the
-	// differential fuzz test in fuzz_test.go holds them to that).
+	// Point evaluation prefers the jump-based instruction tape; interval
+	// and batched evaluation prefer the jump-free flat tape (flat.go,
+	// batch.go). The closure trees remain as fallbacks for expressions
+	// too deep for the tapes' fixed stacks. All engines are bit-identical
+	// (the differential fuzz tests in fuzz_test.go hold them to that).
 	p.tp, _ = newTape(e, p.varIdx, p.hole)
+	p.ft, _ = newFlatTape(e, p.varIdx, p.hole)
 	return p, nil
 }
 
@@ -101,7 +104,12 @@ func (p *Program) Eval(vars, holes []float64) float64 {
 	return p.fn(vars, holes)
 }
 
-// EvalInterval evaluates the program over boxes.
+// EvalInterval evaluates the program over boxes. Unlike Eval it
+// dispatches closure-first: the flat tape is select-lowered (every If
+// evaluates both branches), which pays off when amortized across a
+// batch of lanes but loses to the closure tree scalar-side, where
+// short-circuiting the untaken branch of a decided If dominates on
+// conditional-heavy programs. The tape serves EvalIntervalBatch.
 func (p *Program) EvalInterval(vars, holes []interval.Interval) interval.Interval {
 	return p.ifn(vars, holes)
 }
@@ -142,11 +150,12 @@ func (p *Program) compileNum(e Expr) (compiledNum, error) {
 		case OpDiv:
 			return func(v, h []float64) float64 { return l(v, h) / r(v, h) }, nil
 		case OpMin:
-			// math.Min (not a<b) so NaN and -0 handling matches the tree
-			// walker's applyBin and the tape exactly.
-			return func(v, h []float64) float64 { return math.Min(l(v, h), r(v, h)) }, nil
+			// Builtin min (not a<b) so NaN and -0 handling matches the tree
+			// walker's applyBin and the tapes exactly; for float64 the
+			// builtins share math.Min/math.Max's semantics.
+			return func(v, h []float64) float64 { return min(l(v, h), r(v, h)) }, nil
 		case OpMax:
-			return func(v, h []float64) float64 { return math.Max(l(v, h), r(v, h)) }, nil
+			return func(v, h []float64) float64 { return max(l(v, h), r(v, h)) }, nil
 		}
 		return nil, fmt.Errorf("expr: unknown binop %v", n.Op)
 	case Neg:

@@ -117,9 +117,12 @@ func applyBin(op BinOp, l, r float64) float64 {
 	case OpDiv:
 		return l / r
 	case OpMin:
-		return math.Min(l, r)
+		// Builtin min/max: identical to math.Min/math.Max for float64
+		// (NaN propagates, -0 orders below +0), and every engine in this
+		// package uses them so the engines stay bit-identical.
+		return min(l, r)
 	case OpMax:
-		return math.Max(l, r)
+		return max(l, r)
 	}
 	panic(fmt.Sprintf("expr: unknown binop %d", op))
 }

@@ -33,8 +33,8 @@ const (
 	tSub                        // pop b, a; push a-b
 	tMul                        // pop b, a; push a*b
 	tDiv                        // pop b, a; push a/b
-	tMin                        // pop b, a; push math.Min(a, b)
-	tMax                        // pop b, a; push math.Max(a, b)
+	tMin                        // pop b, a; push min(a, b)
+	tMax                        // pop b, a; push max(a, b)
 	tNeg                        // negate top of float stack
 	tAbs                        // absolute value of top of float stack
 	tCmpGE                      // pop b, a; push a>=b onto the bool stack
@@ -48,6 +48,7 @@ const (
 	tBoolConst                  // push arg != 0 onto the bool stack
 	tJmp                        // jump to arg
 	tJmpIfFalse                 // pop bool; jump to arg when false
+	tSelect                     // flat tape only: pop else, then, cond; push taken value
 )
 
 // Stack caps for the fixed-size evaluation arrays, and the operand
@@ -97,7 +98,7 @@ func numDepth(e Expr) (floats, bools int) {
 	case Bin:
 		lf, lb := numDepth(n.L)
 		rf, rb := numDepth(n.R)
-		return maxInt(lf, rf+1), maxInt(lb, rb)
+		return max(lf, rf+1), max(lb, rb)
 	case Neg:
 		return numDepth(n.X)
 	case Abs:
@@ -106,23 +107,29 @@ func numDepth(e Expr) (floats, bools int) {
 		cf, cb := boolDepth(n.Cond)
 		tf, tb := numDepth(n.Then)
 		ef, eb := numDepth(n.Else)
-		return maxInt(cf, maxInt(tf, ef)), maxInt(cb, maxInt(tb, eb))
+		return max(cf, tf, ef), max(cb, tb, eb)
 	default: // Const, Var, Hole
 		return 1, 0
 	}
 }
 
-// boolDepth is numDepth for boolean expressions.
+// boolDepth is numDepth for boolean expressions. The returned bool
+// depth includes the node's own pushed result — a Cmp occupies one bool
+// slot the moment it lands, so its depth is at least 1 even when both
+// operands are bool-free. (Counting only operand depths here used to
+// under-report right-leaning connective chains by one: nine Cmps under
+// an Or chain computed depth 8, passed the cap check, and overflowed
+// the bool stack at eval time.)
 func boolDepth(b BoolExpr) (floats, bools int) {
 	switch n := b.(type) {
 	case Cmp:
 		lf, lb := numDepth(n.L)
 		rf, rb := numDepth(n.R)
-		return maxInt(lf, rf+1), maxInt(lb, rb)
+		return max(lf, rf+1), max(lb, rb, 1)
 	case BoolBin:
 		lf, lb := boolDepth(n.L)
 		rf, rb := boolDepth(n.R)
-		return maxInt(lf, rf), maxInt(lb, rb+1)
+		return max(lf, rf), max(lb, rb+1)
 	case Not:
 		return boolDepth(n.X)
 	default: // BoolConst
@@ -130,30 +137,77 @@ func boolDepth(b BoolExpr) (floats, bools int) {
 	}
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 func (t *tape) emit(code tapeCode, arg int) int {
 	t.code = append(t.code, packInstr(code, arg))
 	return len(t.code) - 1
 }
 
-// constIndex returns the pool slot for v, reusing an existing slot with
+// poolConst returns the pool slot for v, reusing an existing slot with
 // the same bits (NaN never reaches the pool: Partial and the parser
 // only produce non-NaN constants, and folding guards against it).
-func (t *tape) constIndex(v float64) int {
+// Shared by the point and flat tapes.
+func poolConst(consts []float64, v float64) ([]float64, int) {
 	bits := math.Float64bits(v)
-	for i, c := range t.consts {
+	for i, c := range consts {
 		if math.Float64bits(c) == bits {
-			return i
+			return consts, i
 		}
 	}
-	t.consts = append(t.consts, v)
-	return len(t.consts) - 1
+	return append(consts, v), len(consts)
+}
+
+func (t *tape) constIndex(v float64) int {
+	var i int
+	t.consts, i = poolConst(t.consts, v)
+	return i
+}
+
+// binOpCode maps a numeric binary operator to its tape opcode.
+func binOpCode(op BinOp) tapeCode {
+	switch op {
+	case OpAdd:
+		return tAdd
+	case OpSub:
+		return tSub
+	case OpMul:
+		return tMul
+	case OpDiv:
+		return tDiv
+	case OpMin:
+		return tMin
+	}
+	return tMax
+}
+
+// cmpOpCode maps a comparison operator to its tape opcode.
+func cmpOpCode(op CmpOp) tapeCode {
+	switch op {
+	case CmpGE:
+		return tCmpGE
+	case CmpLE:
+		return tCmpLE
+	case CmpGT:
+		return tCmpGT
+	case CmpLT:
+		return tCmpLT
+	}
+	return tCmpEQ
+}
+
+// tapeCmpOp inverts cmpOpCode for the interval interpreters, which
+// reuse cmpInterval keyed by CmpOp.
+func tapeCmpOp(code tapeCode) CmpOp {
+	switch code {
+	case tCmpGE:
+		return CmpGE
+	case tCmpLE:
+		return CmpLE
+	case tCmpGT:
+		return CmpGT
+	case tCmpLT:
+		return CmpLT
+	}
+	return CmpEQ
 }
 
 func (t *tape) emitNum(e Expr, varIdx, holeIdx map[string]int) {
@@ -167,22 +221,7 @@ func (t *tape) emitNum(e Expr, varIdx, holeIdx map[string]int) {
 	case Bin:
 		t.emitNum(n.L, varIdx, holeIdx)
 		t.emitNum(n.R, varIdx, holeIdx)
-		var code tapeCode
-		switch n.Op {
-		case OpAdd:
-			code = tAdd
-		case OpSub:
-			code = tSub
-		case OpMul:
-			code = tMul
-		case OpDiv:
-			code = tDiv
-		case OpMin:
-			code = tMin
-		case OpMax:
-			code = tMax
-		}
-		t.emit(code, 0)
+		t.emit(binOpCode(n.Op), 0)
 	case Neg:
 		t.emitNum(n.X, varIdx, holeIdx)
 		t.emit(tNeg, 0)
@@ -205,20 +244,7 @@ func (t *tape) emitBool(b BoolExpr, varIdx, holeIdx map[string]int) {
 	case Cmp:
 		t.emitNum(n.L, varIdx, holeIdx)
 		t.emitNum(n.R, varIdx, holeIdx)
-		var code tapeCode
-		switch n.Op {
-		case CmpGE:
-			code = tCmpGE
-		case CmpLE:
-			code = tCmpLE
-		case CmpGT:
-			code = tCmpGT
-		case CmpLT:
-			code = tCmpLT
-		case CmpEQ:
-			code = tCmpEQ
-		}
-		t.emit(code, 0)
+		t.emit(cmpOpCode(n.Op), 0)
 	case BoolBin:
 		t.emitBool(n.L, varIdx, holeIdx)
 		t.emitBool(n.R, varIdx, holeIdx)
@@ -286,11 +312,15 @@ func (t *tape) eval(vars, holes []float64) float64 {
 			fsp--
 			top = fs[fsp] / top
 		case tMin:
+			// Builtin min/max match math.Min/math.Max exactly for float64
+			// (NaN in → NaN out, -0 sorts below +0, Go spec §builtins), so
+			// every engine — tree walker, closures, tapes — uses them; the
+			// differential fuzz test pins the engines to each other.
 			fsp--
-			top = math.Min(fs[fsp], top)
+			top = min(fs[fsp], top)
 		case tMax:
 			fsp--
-			top = math.Max(fs[fsp], top)
+			top = max(fs[fsp], top)
 		case tNeg:
 			top = -top
 		case tAbs:

@@ -101,13 +101,20 @@ func (iv Interval) Clamp(v float64) float64 {
 	return v
 }
 
+// Bound selection throughout uses the builtin min/max, which agree
+// with math.Min/math.Max on every float64 input — NaN in either
+// argument yields NaN, and -0 orders below +0 — but compile to
+// branchless instructions instead of a call (the lane helpers in
+// lanes.go inherit the win). NaN bounds cannot arise from non-NaN
+// inputs here: New rejects them and mulBound pins 0*Inf to 0.
+
 // Intersect returns the intersection of two intervals (possibly empty).
 func (iv Interval) Intersect(other Interval) Interval {
 	if iv.IsEmpty() || other.IsEmpty() {
 		return Empty()
 	}
-	lo := math.Max(iv.Lo, other.Lo)
-	hi := math.Min(iv.Hi, other.Hi)
+	lo := max(iv.Lo, other.Lo)
+	hi := min(iv.Hi, other.Hi)
 	if lo > hi {
 		return Empty()
 	}
@@ -123,7 +130,7 @@ func (iv Interval) Union(other Interval) Interval {
 	if other.IsEmpty() {
 		return iv
 	}
-	return Interval{Lo: math.Min(iv.Lo, other.Lo), Hi: math.Max(iv.Hi, other.Hi)}
+	return Interval{Lo: min(iv.Lo, other.Lo), Hi: max(iv.Hi, other.Hi)}
 }
 
 // Add returns iv + other.
@@ -162,8 +169,8 @@ func (iv Interval) Mul(other Interval) Interval {
 	p3 := mulBound(iv.Hi, other.Lo)
 	p4 := mulBound(iv.Hi, other.Hi)
 	return Interval{
-		Lo: math.Min(math.Min(p1, p2), math.Min(p3, p4)),
-		Hi: math.Max(math.Max(p1, p2), math.Max(p3, p4)),
+		Lo: min(min(p1, p2), min(p3, p4)),
+		Hi: max(max(p1, p2), max(p3, p4)),
 	}
 }
 
@@ -206,7 +213,7 @@ func (iv Interval) Sqr() Interval {
 		return Empty()
 	}
 	a, b := iv.Lo*iv.Lo, iv.Hi*iv.Hi
-	lo, hi := math.Min(a, b), math.Max(a, b)
+	lo, hi := min(a, b), max(a, b)
 	if iv.Contains(0) {
 		lo = 0
 	}
@@ -218,7 +225,7 @@ func (iv Interval) Min(other Interval) Interval {
 	if iv.IsEmpty() || other.IsEmpty() {
 		return Empty()
 	}
-	return Interval{Lo: math.Min(iv.Lo, other.Lo), Hi: math.Min(iv.Hi, other.Hi)}
+	return Interval{Lo: min(iv.Lo, other.Lo), Hi: min(iv.Hi, other.Hi)}
 }
 
 // Max returns the pointwise maximum interval.
@@ -226,7 +233,7 @@ func (iv Interval) Max(other Interval) Interval {
 	if iv.IsEmpty() || other.IsEmpty() {
 		return Empty()
 	}
-	return Interval{Lo: math.Max(iv.Lo, other.Lo), Hi: math.Max(iv.Hi, other.Hi)}
+	return Interval{Lo: max(iv.Lo, other.Lo), Hi: max(iv.Hi, other.Hi)}
 }
 
 // Abs returns |iv|.
@@ -240,7 +247,7 @@ func (iv Interval) Abs() Interval {
 	if iv.Hi <= 0 {
 		return iv.Neg()
 	}
-	return Interval{Lo: 0, Hi: math.Max(-iv.Lo, iv.Hi)}
+	return Interval{Lo: 0, Hi: max(-iv.Lo, iv.Hi)}
 }
 
 // Widen returns the interval grown by eps on each side (shrunk for

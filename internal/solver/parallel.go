@@ -73,6 +73,7 @@ func (s *System) parallelWitnesses(ctx context.Context, opts Options, rng *rand.
 	if maxPerWorker <= 0 {
 		maxPerWorker = 1
 	}
+	lanes := opts.batchLanes()
 	results := make([][][]float64, len(jobs))
 	var wg sync.WaitGroup
 	for w, job := range jobs {
@@ -80,20 +81,14 @@ func (s *System) parallelWitnesses(ctx context.Context, opts Options, rng *rand.
 		go func(w int, job searchJob) {
 			defer wg.Done()
 			wrng := rand.New(rand.NewSource(job.seed))
-			scratch := make([]float64, len(domains))
 			var found [][]float64
-			for i := 0; i < job.samples && len(found) < maxPerWorker; i++ {
-				if ctx.Err() != nil {
-					return
-				}
-				if stats != nil {
-					stats.Samples.Add(1)
-				}
-				fillRandomVector(scratch, domains, wrng)
-				if s.Satisfies(scratch) {
-					found = append(found, append([]float64(nil), scratch...))
-				}
+			if _, err := s.sampleSatisfying(ctx, job.samples, lanes, domains, wrng, stats, func(pt []float64) bool {
+				found = append(found, append([]float64(nil), pt...))
+				return len(found) < maxPerWorker
+			}); err != nil {
+				return
 			}
+			scratch := make([]float64, len(domains))
 			for r := 0; r < job.repairs && len(found) < maxPerWorker; r++ {
 				if ctx.Err() != nil {
 					return

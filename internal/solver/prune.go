@@ -49,10 +49,12 @@ import (
 	"compsynth/internal/interval"
 )
 
-// pruneChunk is the span granularity of the wave deques: boxes are
-// handed out (and stolen) in runs of this many slots. Large enough to
-// amortize the deque mutex, small enough that a straggler span cannot
-// serialize a wave tail.
+// pruneChunk is the span granularity of the wave deques when batching
+// is off: boxes are handed out (and stolen) in runs of this many slots.
+// Large enough to amortize the deque mutex, small enough that a
+// straggler span cannot serialize a wave tail. With batching on the
+// span size is the lane width instead, so each span is one batched
+// evaluation (see evalPruneSpan in system_batch.go).
 const pruneChunk = 8
 
 // pruneKind classifies one box's outcome.
@@ -135,6 +137,13 @@ func (s *System) branchAndPrune(ctx context.Context, domains []interval.Interval
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// One reusable lane-scratch Batch per worker slot, shared across all
+	// waves of this search (pruneWave may clamp the worker count per
+	// wave; extra batches just sit idle those waves).
+	batches := make([]*Batch, workers)
+	for w := range batches {
+		batches[w] = s.NewBatch(opts.batchLanes())
+	}
 
 	frontier := [][]interval.Interval{append([]interval.Interval(nil), domains...)}
 	budget := opts.MaxBoxes
@@ -166,7 +175,7 @@ func (s *System) branchAndPrune(ctx context.Context, domains []interval.Interval
 		if s.metrics != nil && s.learned != nil {
 			waveHits0 = s.learned.boxHits.Load()
 		}
-		if err := s.pruneWave(ctx, frontier[:n], results, minWidths, workers, stats); err != nil {
+		if err := s.pruneWave(ctx, frontier[:n], results, minWidths, workers, batches, stats); err != nil {
 			return nil, StatusUnknown, err
 		}
 
@@ -218,23 +227,29 @@ func (s *System) branchAndPrune(ctx context.Context, domains []interval.Interval
 }
 
 // pruneWave evaluates wave[i] into results[i] for every i, using up to
-// `workers` goroutines over work-stealing span deques. workers is
-// clamped to the number of spans; at one worker the wave runs inline
-// with no goroutines and no steal accounting.
-func (s *System) pruneWave(ctx context.Context, wave [][]interval.Interval, results []pruneResult, minWidths []float64, workers int, stats *Stats) error {
+// `workers` goroutines over work-stealing span deques. Each span is
+// decided by one batched evaluation (evalPruneSpan; one lane per box),
+// so the span size follows the lane width of the per-worker batches —
+// pruneChunk when batching is off. workers is clamped to the number of
+// spans; at one worker the wave runs inline with no goroutines and no
+// steal accounting.
+func (s *System) pruneWave(ctx context.Context, wave [][]interval.Interval, results []pruneResult, minWidths []float64, workers int, batches []*Batch, stats *Stats) error {
 	n := len(wave)
-	if spans := (n + pruneChunk - 1) / pruneChunk; workers > spans {
+	span := pruneChunk
+	if lanes := batches[0].lanes; lanes > 1 {
+		span = lanes
+	}
+	if spans := (n + span - 1) / span; workers > spans {
 		workers = spans
 	}
 	if workers <= 1 {
-		mid := make([]float64, len(minWidths))
-		for i, box := range wave {
-			if i%pruneChunk == 0 {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
+		b := batches[0]
+		for lo := 0; lo < n; lo += span {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			results[i] = s.evalPruneBox(box, minWidths, mid)
+			hi := min(lo+span, n)
+			s.evalPruneSpan(wave, lo, hi, results, minWidths, b, stats)
 		}
 		return nil
 	}
@@ -244,8 +259,8 @@ func (s *System) pruneWave(ctx context.Context, wave [][]interval.Interval, resu
 	deques := make([]pruneDeque, workers)
 	for w := 0; w < workers; w++ {
 		lo, hi := n*w/workers, n*(w+1)/workers
-		for c := lo; c < hi; c += pruneChunk {
-			end := c + pruneChunk
+		for c := lo; c < hi; c += span {
+			end := c + span
 			if end > hi {
 				end = hi
 			}
@@ -258,7 +273,7 @@ func (s *System) pruneWave(ctx context.Context, wave [][]interval.Interval, resu
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			mid := make([]float64, len(minWidths))
+			b := batches[w]
 			for {
 				if ctx.Err() != nil {
 					return
@@ -276,9 +291,7 @@ func (s *System) pruneWave(ctx context.Context, wave [][]interval.Interval, resu
 					}
 					steals.Add(1)
 				}
-				for i := sp.lo; i < sp.hi; i++ {
-					results[i] = s.evalPruneBox(wave[i], minWidths, mid)
-				}
+				s.evalPruneSpan(wave, sp.lo, sp.hi, results, minWidths, b, stats)
 			}
 		}(w)
 	}
@@ -366,7 +379,7 @@ func (s *System) evalPruneBoxCold(box []interval.Interval, minWidths []float64, 
 	if feasible || s.Satisfies(mid) {
 		return pruneResult{kind: pruneWitness, witness: append([]float64(nil), mid...)}, ""
 	}
-	return s.splitOrFloor(box, minWidths, mid, false), ""
+	return s.splitOrFloor(box, minWidths, mid, false, nil, nil), ""
 }
 
 // evalPruneBoxCached reproduces the cold decision for a box the cache
@@ -412,15 +425,18 @@ func (s *System) evalPruneBoxCached(h uint64, box []interval.Interval, minWidths
 	// present — the epoch guard rules out removals) and that the midpoint
 	// fails Satisfies (monotone under additions), so both probes are
 	// skipped: the cold path would reach split-or-floor exactly as we do.
-	return s.splitOrFloor(box, minWidths, mid, fact.cornerUnsat)
+	return s.splitOrFloor(box, minWidths, mid, fact.cornerUnsat, nil, nil)
 }
 
 // splitOrFloor is the undecided-box tail of the decision: split the
 // widest dimension relative to its resolution floor, or at the floor
 // point-check the corners and drop the box (δ-unsat convention).
 // cornerUnsat short-circuits the corner check with a cached "every
-// corner fails Satisfies" fact.
-func (s *System) splitOrFloor(box []interval.Interval, minWidths []float64, mid []float64, cornerUnsat bool) pruneResult {
+// corner fails Satisfies" fact. A non-nil multi-lane batch routes the
+// corner check through cornerWitnessBatch (bit-identical witness, one
+// sweep pass per lane-width chunk of corners instead of a Satisfies
+// call per corner); nil or 1-lane batches take the scalar check.
+func (s *System) splitOrFloor(box []interval.Interval, minWidths []float64, mid []float64, cornerUnsat bool, b *Batch, stats *Stats) pruneResult {
 	widest, ratio := -1, 1.0
 	for i, iv := range box {
 		if r := iv.Width() / minWidths[i]; r > ratio {
@@ -436,8 +452,14 @@ func (s *System) splitOrFloor(box []interval.Interval, minWidths []float64, mid 
 		// enumeration cap (on the cached path mid is stale scratch, so
 		// refill it — the cold path arrives with mid already holding the
 		// midpoint, and refilling is idempotent).
-		fillMidpoint(mid, box)
-		if w := s.cornerWitness(box, mid); w != nil {
+		var w []float64
+		if b != nil && b.lanes > 1 {
+			w = s.cornerWitnessBatch(b, box, stats)
+		} else {
+			fillMidpoint(mid, box)
+			w = s.cornerWitness(box, mid)
+		}
+		if w != nil {
 			return pruneResult{kind: pruneWitness, witness: w}
 		}
 		if s.learned != nil {

@@ -241,3 +241,135 @@ func BenchmarkPruneEngineWorkers(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPruneEngineLanes isolates the batched-evaluation win on the
+// single-threaded prune engine: identical work, lane width varied.
+// lanes=1 is the scalar path through the batch pipeline.
+func BenchmarkPruneEngineLanes(b *testing.B) {
+	p := contradictoryProblem()
+	for _, lanes := range []int{1, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			opts := pruneOnly(1)
+			opts.MinBoxWidth = 1.0 / 64
+			opts.MaxBoxes = 2_000_000
+			opts.BatchLanes = lanes
+			sys := compileSystem(p, nil)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := NewSearch(sys).FindCandidate(context.Background(), opts, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st != StatusUnsat {
+					b.Fatalf("status %v", st)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchLanesInvariance extends the engine's central property to the
+// batched evaluation pipeline: for sat, unsat, and budget-truncated
+// instances, the verdict, the witness bits, and the deterministic
+// counters are bit-identical for every BatchLanes value (off, narrow,
+// default, cap) crossed with every PruneWorkers value. BatchLanes is a
+// pure throughput knob; only BatchedEvals/ScalarEvals and wall time may
+// differ.
+func TestBatchLanesInvariance(t *testing.T) {
+	sat, _ := swanProblem(t, 20, 31)
+	cases := []struct {
+		name string
+		p    Problem
+		mod  func(*Options)
+		want Status
+	}{
+		{"sat", sat, nil, StatusSat},
+		{"unsat", contradictoryProblem(), func(o *Options) {
+			o.MinBoxWidth = 1.0 / 32
+			o.MaxBoxes = 2_000_000
+		}, StatusUnsat},
+		{"truncated", contradictoryProblem(), func(o *Options) {
+			o.MinBoxWidth = 1.0 / 1024
+			o.MaxBoxes = 37
+		}, StatusUnknown},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := runPrune(t, tc.p, func(o *Options) {
+				if tc.mod != nil {
+					tc.mod(o)
+				}
+				o.BatchLanes = 1 // scalar reference
+			}, 1)
+			if base.status != tc.want {
+				t.Fatalf("lanes=1: status = %v, want %v", base.status, tc.want)
+			}
+			for _, lanes := range []int{2, 16, 64} {
+				for _, workers := range []int{1, 3} {
+					got := runPrune(t, tc.p, func(o *Options) {
+						if tc.mod != nil {
+							tc.mod(o)
+						}
+						o.BatchLanes = lanes
+					}, workers)
+					if got.status != base.status {
+						t.Errorf("lanes=%d workers=%d: status = %v, want %v", lanes, workers, got.status, base.status)
+					}
+					if len(got.holes) != len(base.holes) {
+						t.Fatalf("lanes=%d workers=%d: witness length %d, want %d", lanes, workers, len(got.holes), len(base.holes))
+					}
+					for i := range got.holes {
+						if got.holes[i] != base.holes[i] {
+							t.Errorf("lanes=%d workers=%d: witness[%d] = %v, want %v (bit-identical)",
+								lanes, workers, i, got.holes[i], base.holes[i])
+						}
+					}
+					if got.boxes != base.boxes || got.pruned != base.pruned {
+						t.Errorf("lanes=%d workers=%d: boxes/pruned = %d/%d, want %d/%d",
+							lanes, workers, got.boxes, got.pruned, base.boxes, base.pruned)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchLanesSamplingInvariance pins the block-RNG contract of the
+// sampling stage: with the prune stage disabled, FindCandidate's
+// verdict, witness, and Samples counter are identical for every lane
+// width — the whole sample block is drawn before any row is evaluated,
+// so the RNG stream and the rows-walked count cannot depend on lanes.
+func TestBatchLanesSamplingInvariance(t *testing.T) {
+	p, _ := swanProblem(t, 12, 47)
+	run := func(lanes int) ([]float64, Status, int64) {
+		stats := &Stats{}
+		opts := DefaultOptions()
+		opts.MaxBoxes = 0 // sampling + repair only
+		opts.BatchLanes = lanes
+		opts.Stats = stats
+		h, st, err := Compile(p, stats).FindCandidate(context.Background(), opts, rand.New(rand.NewSource(23)))
+		if err != nil {
+			t.Fatalf("lanes=%d: unexpected error: %v", lanes, err)
+		}
+		return h, st, stats.Samples.Load()
+	}
+	baseH, baseSt, baseSamples := run(1)
+	for _, lanes := range []int{2, 16, 64} {
+		h, st, samples := run(lanes)
+		if st != baseSt {
+			t.Errorf("lanes=%d: status = %v, want %v", lanes, st, baseSt)
+		}
+		if samples != baseSamples {
+			t.Errorf("lanes=%d: samples = %d, want %d (rows walked must be lane-width-invariant)", lanes, samples, baseSamples)
+		}
+		if len(h) != len(baseH) {
+			t.Fatalf("lanes=%d: witness length %d, want %d", lanes, len(h), len(baseH))
+		}
+		for i := range h {
+			if h[i] != baseH[i] {
+				t.Errorf("lanes=%d: witness[%d] = %v, want %v (bit-identical)", lanes, i, h[i], baseH[i])
+			}
+		}
+	}
+}

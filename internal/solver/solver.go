@@ -128,6 +128,18 @@ type Budget struct {
 	// in frontier order. ≤ 0 selects runtime.GOMAXPROCS(0), which is
 	// safe precisely because of that invariance.
 	PruneWorkers int
+	// BatchLanes is the lane width of the batched structure-of-arrays
+	// evaluation pipeline (see system_batch.go): prune waves, sample
+	// sweeps, and learned delta-checks evaluate up to this many
+	// boxes/points per instruction-dispatch pass. 0 (the default)
+	// selects the built-in width; 1 disables batching (pure scalar
+	// evaluation); values above expr.MaxBatchLanes are clamped. Like
+	// PruneWorkers this knob NEVER affects results: witnesses,
+	// verdicts, transcripts, and the deterministic effort counters are
+	// bit-identical for every lane width — batching only changes how
+	// many lanes share one dispatch pass (and the config-dependent
+	// BatchedEvals/ScalarEvals counters that report it).
+	BatchLanes int
 }
 
 // Options tune the search. The zero value is not useful; start from
@@ -178,6 +190,20 @@ type Stats struct {
 	// SpecCacheHits counts constraint compilations served from the
 	// pair cache.
 	SpecCacheHits atomic.Int64
+	// BatchedEvals counts constraint-program lane evaluations executed
+	// through the structure-of-arrays batch interpreters (one count per
+	// lane per tape pass). Like Steals it is configuration-dependent:
+	// the value varies with BatchLanes — it is zero when batching is
+	// disabled — while the search results never do, so it is excluded
+	// from transcript-invariance comparisons.
+	BatchedEvals atomic.Int64
+	// ScalarEvals counts lane evaluations that entered the batch
+	// pipeline but fell back to per-lane scalar evaluation because the
+	// constraint program exceeds the flat-tape caps (see
+	// expr.MaxBatchLanes and flat.go). Configuration-dependent, like
+	// BatchedEvals. A high ratio of ScalarEvals to BatchedEvals means
+	// the sketch's constraints are too deep to batch.
+	ScalarEvals atomic.Int64
 }
 
 // String renders the counters compactly.
@@ -198,6 +224,8 @@ type StatsSnapshot struct {
 	HintHits      int64
 	SpecCompiles  int64
 	SpecCacheHits int64
+	BatchedEvals  int64
+	ScalarEvals   int64
 }
 
 // Snapshot copies the current counter values. Each counter is loaded
@@ -213,6 +241,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		HintHits:      s.HintHits.Load(),
 		SpecCompiles:  s.SpecCompiles.Load(),
 		SpecCacheHits: s.SpecCacheHits.Load(),
+		BatchedEvals:  s.BatchedEvals.Load(),
+		ScalarEvals:   s.ScalarEvals.Load(),
 	}
 }
 
@@ -226,6 +256,8 @@ func (s *Stats) Reset() {
 	s.HintHits.Store(0)
 	s.SpecCompiles.Store(0)
 	s.SpecCacheHits.Store(0)
+	s.BatchedEvals.Store(0)
+	s.ScalarEvals.Store(0)
 }
 
 // Sub returns the per-counter difference a − b: the effort spent
@@ -240,13 +272,15 @@ func (a StatsSnapshot) Sub(b StatsSnapshot) StatsSnapshot {
 		HintHits:      a.HintHits - b.HintHits,
 		SpecCompiles:  a.SpecCompiles - b.SpecCompiles,
 		SpecCacheHits: a.SpecCacheHits - b.SpecCacheHits,
+		BatchedEvals:  a.BatchedEvals - b.BatchedEvals,
+		ScalarEvals:   a.ScalarEvals - b.ScalarEvals,
 	}
 }
 
 // String renders the snapshot in the Stats.String format.
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("samples=%d repairs=%d boxes=%d pruned=%d steals=%d hint-hits=%d spec-compiles=%d spec-hits=%d",
-		s.Samples, s.Repairs, s.Boxes, s.BoxesPruned, s.Steals, s.HintHits, s.SpecCompiles, s.SpecCacheHits)
+	return fmt.Sprintf("samples=%d repairs=%d boxes=%d pruned=%d steals=%d hint-hits=%d spec-compiles=%d spec-hits=%d batch-evals=%d scalar-evals=%d",
+		s.Samples, s.Repairs, s.Boxes, s.BoxesPruned, s.Steals, s.HintHits, s.SpecCompiles, s.SpecCacheHits, s.BatchedEvals, s.ScalarEvals)
 }
 
 // DefaultOptions returns the tuning used by the synthesizer.

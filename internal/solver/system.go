@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"compsynth/internal/expr"
 	"compsynth/internal/interval"
@@ -46,6 +47,11 @@ type System struct {
 	cps   []compiledPref
 	ties  []Tie
 	cts   []compiledTie
+
+	// batchPool recycles Batch scratch across searches (sampling draws
+	// one per call; see getBatch). Pooled batches may have any lane
+	// width, so getBatch re-checks the width on the way out.
+	batchPool sync.Pool
 }
 
 // compiledPref is a preference edge lowered to one hole-only program
@@ -462,7 +468,8 @@ func (s *System) findCandidate(ctx context.Context, opts Options, rng *rand.Rand
 		}
 	}
 
-	// Stages 1–2: uniform sampling, then hinge-loss repair.
+	// Stages 1–2: uniform sampling (batched; see sampleSatisfying), then
+	// hinge-loss repair.
 	if opts.Workers > 1 {
 		ws, err := s.parallelWitnesses(ctx, opts, rng, 1)
 		if err != nil {
@@ -472,19 +479,18 @@ func (s *System) findCandidate(ctx context.Context, opts Options, rng *rand.Rand
 			return ws[0], StatusSat, nil
 		}
 	} else {
-		scratch := make([]float64, len(domains))
-		for i := 0; i < opts.Samples; i++ {
-			if err := ctx.Err(); err != nil {
-				return nil, StatusUnknown, err
-			}
-			if stats != nil {
-				stats.Samples.Add(1)
-			}
-			fillRandomVector(scratch, domains, rng)
-			if s.Satisfies(scratch) {
-				return append([]float64(nil), scratch...), StatusSat, nil
-			}
+		var witness []float64
+		found, err := s.sampleSatisfying(ctx, opts.Samples, opts.batchLanes(), domains, rng, stats, func(pt []float64) bool {
+			witness = append([]float64(nil), pt...)
+			return false
+		})
+		if err != nil {
+			return nil, StatusUnknown, err
 		}
+		if found {
+			return witness, StatusSat, nil
+		}
+		scratch := make([]float64, len(domains))
 		for r := 0; r < opts.RepairRestarts; r++ {
 			if err := ctx.Err(); err != nil {
 				return nil, StatusUnknown, err
@@ -707,19 +713,15 @@ func (s *System) findDiverse(ctx context.Context, k int, opts Options, rng *rand
 		}
 		pool = append(pool, ws...)
 	} else {
-		scratch := make([]float64, len(domains))
-		for i := 0; i < opts.Samples && len(pool) < 8*k; i++ {
-			if err := ctx.Err(); err != nil {
+		if len(pool) < 8*k {
+			if _, err := s.sampleSatisfying(ctx, opts.Samples, opts.batchLanes(), domains, rng, stats, func(pt []float64) bool {
+				pool = append(pool, append([]float64(nil), pt...))
+				return len(pool) < 8*k
+			}); err != nil {
 				return nil, err
 			}
-			if stats != nil {
-				stats.Samples.Add(1)
-			}
-			fillRandomVector(scratch, domains, rng)
-			if s.Satisfies(scratch) {
-				pool = append(pool, append([]float64(nil), scratch...))
-			}
 		}
+		scratch := make([]float64, len(domains))
 		for r := 0; r < opts.RepairRestarts && len(pool) < 8*k; r++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err

@@ -1,0 +1,580 @@
+package solver
+
+// Batched structure-of-arrays evaluation: the solver side of the
+// expr batch interpreters (internal/expr/batch.go).
+//
+// The hot loops of every search stage — the uniform-sampling sweep, the
+// prune wave, and the learned-cache delta-check — share one shape: many
+// independent inputs (points or boxes) evaluated against the same
+// ordered constraint programs. Batching turns each of those loops
+// inside out: instead of walking constraints per input, it walks inputs
+// per constraint, K lanes per instruction-dispatch pass, with an active
+// lane set that shrinks as constraints decide lanes (preserving the
+// scalar path's early-exit economics in constraint-major form).
+//
+// Determinism contract, mirrored from prune.go: BatchLanes NEVER
+// affects results. Every lane op is the scalar op applied elementwise
+// (see internal/interval lanes.go and the expr fuzz tests), decisions
+// are applied in lane order (= frontier/draw order), side effects
+// (learned-cache stores, Viable probes, witness copies) fire for
+// exactly the lanes and in exactly the order the scalar path fires
+// them, and the sampling stages draw randomness in fixed-size blocks so
+// RNG consumption is lane-width-invariant (see sampleSatisfying). The
+// only observable differences are the config-dependent
+// BatchedEvals/ScalarEvals counters and wall-clock time.
+
+import (
+	"context"
+	"math/rand"
+
+	"compsynth/internal/expr"
+	"compsynth/internal/interval"
+)
+
+// defaultBatchLanes is the lane width used when Budget.BatchLanes is 0
+// (batching on by default). Chosen to keep a batch's stack rows inside
+// L1 while amortizing dispatch well past the knee; MaxBatchLanes-wide
+// batches pay cache misses for little extra amortization.
+const defaultBatchLanes = 16
+
+// sampleBlock is the draw granularity of the batched sampling stages:
+// RNG rows are drawn this many at a time, independent of BatchLanes, so
+// the random stream consumed by a search is identical for every lane
+// width (including 1). See sampleSatisfying.
+const sampleBlock = 64
+
+// batchLanes resolves the BatchLanes knob to an effective lane width.
+func (b Budget) batchLanes() int {
+	switch {
+	case b.BatchLanes == 1:
+		return 1
+	case b.BatchLanes <= 0:
+		return defaultBatchLanes
+	case b.BatchLanes > expr.MaxBatchLanes:
+		return expr.MaxBatchLanes
+	}
+	return b.BatchLanes
+}
+
+// Batch is reusable lane scratch for a System's batched entry points.
+// Construct one per goroutine with NewBatch (a Batch is not safe for
+// concurrent use) and reuse it across calls; all slices are sized to
+// the lane width and the sketch's hole count at construction.
+type Batch struct {
+	lanes int
+	dim   int
+
+	iv *expr.IntervalBatch // interval lanes (constraint diffs are hole-only)
+	pt *expr.PointBatch    // point lanes
+
+	mid     []float64 // one midpoint / scalar-path scratch row
+	mids    []float64 // lanes midpoint rows, row-major
+	corners []float64 // lanes corner rows for the floor check, row-major
+	block   []float64 // sampleBlock sample rows, row-major
+
+	// Index-list and flag scratch. Each list has a single owner per
+	// call path so lists never alias each other: act is owned by
+	// sweepSurvivors (its return value), seq by sequential-lane callers,
+	// coldL/cachedL by evalPruneSpan's classification, midL by the
+	// midpoint sweep, subL by the delta-check subsets.
+	act, seq, coldL, cachedL, midL, subL []int
+	feas, decided                        []bool
+	facts                                []boxFact
+	hashes                               []uint64
+}
+
+// NewBatch returns lane scratch for batched evaluation against this
+// system's sketch. lanes is clamped to [1, expr.MaxBatchLanes]; a
+// 1-lane batch is valid and makes every batched entry point take its
+// scalar path.
+func (s *System) NewBatch(lanes int) *Batch {
+	if lanes < 1 {
+		lanes = 1
+	}
+	if lanes > expr.MaxBatchLanes {
+		lanes = expr.MaxBatchLanes
+	}
+	dim := len(s.sk.Domains())
+	return &Batch{
+		lanes:   lanes,
+		dim:     dim,
+		iv:      expr.NewIntervalBatch(0, dim, lanes),
+		pt:      expr.NewPointBatch(0, dim, lanes),
+		mid:     make([]float64, dim),
+		mids:    make([]float64, lanes*dim),
+		corners: make([]float64, lanes*dim),
+		block:   make([]float64, sampleBlock*dim),
+		act:     make([]int, 0, lanes),
+		seq:     make([]int, 0, lanes),
+		coldL:   make([]int, 0, lanes),
+		cachedL: make([]int, 0, lanes),
+		midL:    make([]int, 0, lanes),
+		subL:    make([]int, 0, lanes),
+		feas:    make([]bool, lanes),
+		decided: make([]bool, lanes),
+		facts:   make([]boxFact, lanes),
+		hashes:  make([]uint64, lanes),
+	}
+}
+
+// Lanes returns the batch's lane width.
+func (b *Batch) Lanes() int { return b.lanes }
+
+// getBatch returns pooled lane scratch of the requested width,
+// allocating when the pool is empty or holds a different width. Pair
+// with putBatch; the pool only ever amortizes allocation, it never
+// changes results (a Batch carries no state across calls).
+func (s *System) getBatch(lanes int) *Batch {
+	if b, ok := s.batchPool.Get().(*Batch); ok && b.lanes == lanes && b.dim == len(s.sk.Domains()) {
+		return b
+	}
+	return s.NewBatch(lanes)
+}
+
+// putBatch returns scratch to the pool.
+func (s *System) putBatch(b *Batch) {
+	if b != nil {
+		s.batchPool.Put(b)
+	}
+}
+
+// SatisfiesBatch evaluates Satisfies for every point, writing the
+// verdicts into out (grown as needed and returned). Points may
+// outnumber the batch's lanes; they are swept in lane-width chunks.
+// Verdicts are identical to calling Satisfies per point; Viable is
+// probed, in point order, only for points that pass every constraint —
+// exactly the scalar call pattern.
+func (s *System) SatisfiesBatch(b *Batch, points [][]float64, out []bool) []bool {
+	if cap(out) < len(points) {
+		out = make([]bool, len(points))
+	}
+	out = out[:len(points)]
+	if b.lanes <= 1 {
+		for i, pt := range points {
+			out[i] = s.Satisfies(pt)
+		}
+		return out
+	}
+	for lo := 0; lo < len(points); lo += b.lanes {
+		k := min(b.lanes, len(points)-lo)
+		seq := b.seq[:0]
+		for l := 0; l < k; l++ {
+			copy(b.mids[l*b.dim:(l+1)*b.dim], points[lo+l])
+			seq = append(seq, l)
+			out[lo+l] = false
+		}
+		for _, l := range s.sweepSurvivors(b, b.mids, b.dim, seq, s.stats) {
+			pt := b.mids[l*b.dim : (l+1)*b.dim]
+			out[lo+l] = s.viable == nil || s.viable(pt)
+		}
+	}
+	return out
+}
+
+// pointLanes evaluates prog over the listed rows of the row-major point
+// storage (stride dim) in one batch pass, returning the output column
+// parallel to lanes. The column aliases b.pt and is overwritten by the
+// next pass.
+func (s *System) pointLanes(b *Batch, prog *expr.Program, rows []float64, dim int, lanes []int, stats *Stats) []float64 {
+	for x, r := range lanes {
+		b.pt.SetHoles(x, rows[r*dim:(r+1)*dim])
+	}
+	if prog.EvalBatch(b.pt, len(lanes)) {
+		if stats != nil {
+			stats.BatchedEvals.Add(int64(len(lanes)))
+		}
+	} else if stats != nil {
+		stats.ScalarEvals.Add(int64(len(lanes)))
+	}
+	return b.pt.Outs(len(lanes))
+}
+
+// ivLanes is pointLanes over boxes: one interval-batch pass of prog for
+// the listed boxes. The returned columns alias b.iv.
+func (s *System) ivLanes(b *Batch, prog *expr.Program, boxes [][]interval.Interval, lanes []int, stats *Stats) (outLo, outHi []float64) {
+	for x, j := range lanes {
+		b.iv.SetHoles(x, boxes[j])
+	}
+	if prog.EvalIntervalBatch(b.iv, len(lanes)) {
+		if stats != nil {
+			stats.BatchedEvals.Add(int64(len(lanes)))
+		}
+	} else if stats != nil {
+		stats.ScalarEvals.Add(int64(len(lanes)))
+	}
+	return b.iv.Outs(len(lanes))
+}
+
+// sweepSurvivors returns, in ascending order, the subset of the listed
+// rows whose points pass every preference and tie constraint (Viable is
+// the caller's business). Constraint-major: each constraint evaluates
+// only the still-active rows in one batch pass, so a constraint that
+// kills most lanes early saves the later constraints' work — the
+// batched analog of Satisfies' early return. The returned slice aliases
+// b.act; lanesIn must not (callers pass b.seq or b.midL).
+func (s *System) sweepSurvivors(b *Batch, rows []float64, dim int, lanesIn []int, stats *Stats) []int {
+	active := append(b.act[:0], lanesIn...)
+	for i := 0; i < len(s.cps) && len(active) > 0; i++ {
+		outs := s.pointLanes(b, s.cps[i].diff, rows, dim, active, stats)
+		keep := active[:0]
+		for x, r := range active {
+			if outs[x] > s.margin {
+				keep = append(keep, r)
+			}
+		}
+		active = keep
+	}
+	for i := 0; i < len(s.cts) && len(active) > 0; i++ {
+		outs := s.pointLanes(b, s.cts[i].diff, rows, dim, active, stats)
+		band := s.cts[i].band
+		keep := active[:0]
+		for x, r := range active {
+			d := outs[x]
+			if d < 0 {
+				d = -d
+			}
+			if d <= band {
+				keep = append(keep, r)
+			}
+		}
+		active = keep
+	}
+	return active
+}
+
+// sampleSatisfying draws up to `samples` uniform points from the box
+// and yields the satisfying ones in draw order; yield returning false
+// stops the walk (yield's argument aliases internal scratch — copy to
+// retain). Reports whether a yield stopped it.
+//
+// Randomness is consumed in fixed blocks of sampleBlock rows — the
+// whole block is drawn before any of it is evaluated — so the RNG
+// stream position depends only on which block the walk stopped in,
+// never on the lane width: every BatchLanes value (including 1, the
+// scalar path) draws identically and leaves rng in the same state.
+// Stats.Samples counts exactly the rows walked up to and including the
+// stopping row, which is likewise lane-width-invariant.
+func (s *System) sampleSatisfying(ctx context.Context, samples, lanes int, domains []interval.Interval, rng *rand.Rand, stats *Stats, yield func(pt []float64) bool) (stopped bool, err error) {
+	if samples <= 0 {
+		return false, nil
+	}
+	dim := len(domains)
+	var b *Batch
+	var block []float64
+	if lanes > 1 {
+		b = s.getBatch(lanes)
+		defer s.putBatch(b)
+		block = b.block
+	} else {
+		block = make([]float64, sampleBlock*dim)
+	}
+	for done := 0; done < samples; {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		n := min(sampleBlock, samples-done)
+		for r := 0; r < n; r++ {
+			fillRandomVector(block[r*dim:(r+1)*dim], domains, rng)
+		}
+		walked, stop := 0, false
+		if b == nil {
+			for r := 0; r < n && !stop; r++ {
+				walked++
+				pt := block[r*dim : (r+1)*dim]
+				if s.Satisfies(pt) && !yield(pt) {
+					stop = true
+				}
+			}
+		} else {
+			for c := 0; c < n && !stop; c += lanes {
+				k := min(lanes, n-c)
+				seq := b.seq[:0]
+				for l := 0; l < k; l++ {
+					seq = append(seq, c+l)
+				}
+				surv := s.sweepSurvivors(b, block, dim, seq, stats)
+				si := 0
+				for l := 0; l < k && !stop; l++ {
+					walked++
+					row := c + l
+					if si < len(surv) && surv[si] == row {
+						si++
+						pt := block[row*dim : (row+1)*dim]
+						if (s.viable == nil || s.viable(pt)) && !yield(pt) {
+							stop = true
+						}
+					}
+				}
+			}
+		}
+		if stats != nil && walked > 0 {
+			stats.Samples.Add(int64(walked))
+		}
+		if stop {
+			return true, nil
+		}
+		done += n
+	}
+	return false, nil
+}
+
+// cornerWitnessBatch is cornerWitness through the batch pipeline: the
+// same corner enumeration (mask order, midpoint beyond the enumeration
+// cap), swept constraint-major in lane-width chunks, with Viable probed
+// in corner order only for constraint-passing corners and the walk
+// stopping at the first accepted corner — so the returned witness (a
+// copy, or nil) is bit-identical to cornerWitness's. Chunks past the
+// accepted corner are never evaluated, matching the scalar early exit.
+func (s *System) cornerWitnessBatch(b *Batch, box []interval.Interval, stats *Stats) []float64 {
+	d := len(box)
+	if d > 8 {
+		d = 8 // cap the enumeration; remaining dims stay at midpoint
+	}
+	dim := b.dim
+	total := 1 << d
+	for base := 0; base < total; base += b.lanes {
+		k := min(b.lanes, total-base)
+		seq := b.seq[:0]
+		for l := 0; l < k; l++ {
+			row := b.corners[l*dim : (l+1)*dim]
+			fillMidpoint(row, box)
+			mask := base + l
+			for i := 0; i < d; i++ {
+				if mask&(1<<i) != 0 {
+					row[i] = box[i].Hi
+				} else {
+					row[i] = box[i].Lo
+				}
+			}
+			seq = append(seq, l)
+		}
+		for _, l := range s.sweepSurvivors(b, b.corners, dim, seq, stats) {
+			row := b.corners[l*dim : (l+1)*dim]
+			if s.viable == nil || s.viable(row) {
+				return append([]float64(nil), row...)
+			}
+		}
+	}
+	return nil
+}
+
+// evalPruneSpan decides frontier boxes wave[lo:hi] into the matching
+// results slots: the batched form of calling evalPruneBox per box.
+// Outcomes, learned-cache stores (keys, corner flags, first-refuter
+// identity), and Viable/corner probes are identical to the scalar
+// loop's, per lane in lane order; see the file comment for the
+// determinism argument. A nil or 1-lane batch takes the scalar loop.
+func (s *System) evalPruneSpan(wave [][]interval.Interval, lo, hi int, results []pruneResult, minWidths []float64, b *Batch, stats *Stats) {
+	k := hi - lo
+	if b == nil || b.lanes <= 1 || k <= 1 {
+		for i := lo; i < hi; i++ {
+			results[i] = s.evalPruneBox(wave[i], minWidths, b.mid)
+		}
+		return
+	}
+	boxes := wave[lo:hi]
+	l := s.learned
+	cold := b.coldL[:0]
+	cached := b.cachedL[:0]
+	if l == nil {
+		for j := 0; j < k; j++ {
+			cold = append(cold, j)
+		}
+	} else {
+		for j := 0; j < k; j++ {
+			h := hashBox(boxes[j])
+			b.hashes[j] = h
+			if fact, ok := l.lookupBox(h, boxes[j]); ok {
+				if fact.refuted {
+					results[lo+j] = pruneResult{kind: prunePruned}
+				} else {
+					b.facts[j] = fact
+					cached = append(cached, j)
+				}
+			} else {
+				cold = append(cold, j)
+			}
+		}
+	}
+	if len(cold) > 0 {
+		s.pruneColdLanes(boxes, lo, cold, results, minWidths, b, stats)
+	}
+	if len(cached) > 0 {
+		s.pruneCachedLanes(boxes, lo, cached, results, minWidths, b, stats)
+	}
+}
+
+// pruneColdLanes is evalPruneBoxCold over a lane set: interval
+// refutation constraint-major with active-lane compaction, then the
+// fully-feasible fast path, then the batched midpoint probe, then
+// split-or-floor. Store rules per lane mirror evalPruneBox's cache-miss
+// switch (witnesses never cached; the floor path double-stores exactly
+// as the scalar path does via splitOrFloor's internal store).
+func (s *System) pruneColdLanes(boxes [][]interval.Interval, lo int, lanes []int, results []pruneResult, minWidths []float64, b *Batch, stats *Stats) {
+	l := s.learned
+	for _, j := range lanes {
+		b.feas[j] = true
+	}
+	active := lanes // filtered in place (aliases b.coldL, which this path owns)
+	for ci := 0; ci < len(s.cps) && len(active) > 0; ci++ {
+		cp := &s.cps[ci]
+		outLo, outHi := s.ivLanes(b, cp.diff, boxes, active, stats)
+		keep := active[:0]
+		for x, j := range active {
+			if outHi[x] <= s.margin {
+				results[lo+j] = pruneResult{kind: prunePruned}
+				if l != nil {
+					l.storeBox(b.hashes[j], boxes[j], cp.key, false)
+				}
+				continue
+			}
+			if !(outLo[x] > s.margin) {
+				b.feas[j] = false
+			}
+			keep = append(keep, j)
+		}
+		active = keep
+	}
+	for ci := 0; ci < len(s.cts) && len(active) > 0; ci++ {
+		ct := &s.cts[ci]
+		outLo, outHi := s.ivLanes(b, ct.diff, boxes, active, stats)
+		keep := active[:0]
+		for x, j := range active {
+			if outLo[x] > ct.band || outHi[x] < -ct.band {
+				results[lo+j] = pruneResult{kind: prunePruned}
+				if l != nil {
+					l.storeBox(b.hashes[j], boxes[j], ct.key, false)
+				}
+				continue
+			}
+			if !(outLo[x] >= -ct.band && outHi[x] <= ct.band) {
+				b.feas[j] = false
+			}
+			keep = append(keep, j)
+		}
+		active = keep
+	}
+	// Survivors: midpoint probe. Fully-feasible lanes witness their
+	// midpoint on interval evidence alone (Viable deliberately not
+	// consulted — evalPruneBoxCold's documented semantics); the rest go
+	// through the batched Satisfies sweep with Viable probed only for
+	// constraint-passing midpoints, in lane order.
+	dim := b.dim
+	midL := b.midL[:0]
+	for _, j := range active {
+		row := b.mids[j*dim : (j+1)*dim]
+		fillMidpoint(row, boxes[j])
+		if b.feas[j] {
+			results[lo+j] = pruneResult{kind: pruneWitness, witness: append([]float64(nil), row...)}
+		} else {
+			midL = append(midL, j)
+		}
+	}
+	if len(midL) == 0 {
+		return
+	}
+	surv := s.sweepSurvivors(b, b.mids, dim, midL, stats)
+	si := 0
+	for _, j := range midL {
+		row := b.mids[j*dim : (j+1)*dim]
+		if si < len(surv) && surv[si] == j {
+			si++
+			if s.viable == nil || s.viable(row) {
+				results[lo+j] = pruneResult{kind: pruneWitness, witness: append([]float64(nil), row...)}
+				continue
+			}
+		}
+		res := s.splitOrFloor(boxes[j], minWidths, b.mid, false, b, stats)
+		results[lo+j] = res
+		if l != nil {
+			switch res.kind {
+			case pruneSplit:
+				l.storeBox(b.hashes[j], boxes[j], "", false)
+			case pruneFloor:
+				l.storeBox(b.hashes[j], boxes[j], "", true)
+			}
+			// A corner witness at the floor is not cached, matching
+			// evalPruneBox.
+		}
+	}
+}
+
+// pruneCachedLanes is evalPruneBoxCached over a lane set: for each
+// constraint stamped after a lane's cached fact, delta-check the
+// still-undecided lanes in one batch pass (prefs then ties, index
+// order, so the first refuter matches the scalar delta loop), then
+// split-or-floor the rest with their cached corner facts.
+func (s *System) pruneCachedLanes(boxes [][]interval.Interval, lo int, lanes []int, results []pruneResult, minWidths []float64, b *Batch, stats *Stats) {
+	l := s.learned
+	for _, j := range lanes {
+		b.decided[j] = false
+	}
+	active := lanes // filtered in place (aliases b.cachedL, which this path owns)
+	for ci := 0; ci < len(s.cps) && len(active) > 0; ci++ {
+		cp := &s.cps[ci]
+		sub := b.subL[:0]
+		for _, j := range active {
+			if cp.addVersion > b.facts[j].version {
+				sub = append(sub, j)
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		_, outHi := s.ivLanes(b, cp.diff, boxes, sub, stats)
+		removed := false
+		for x, j := range sub {
+			if outHi[x] <= s.margin {
+				l.deltaRefutes.Add(1)
+				l.storeBox(b.hashes[j], boxes[j], cp.key, false)
+				results[lo+j] = pruneResult{kind: prunePruned}
+				b.decided[j] = true
+				removed = true
+			}
+		}
+		if removed {
+			keep := active[:0]
+			for _, j := range active {
+				if !b.decided[j] {
+					keep = append(keep, j)
+				}
+			}
+			active = keep
+		}
+	}
+	for ci := 0; ci < len(s.cts) && len(active) > 0; ci++ {
+		ct := &s.cts[ci]
+		sub := b.subL[:0]
+		for _, j := range active {
+			if ct.addVersion > b.facts[j].version {
+				sub = append(sub, j)
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		outLo, outHi := s.ivLanes(b, ct.diff, boxes, sub, stats)
+		removed := false
+		for x, j := range sub {
+			if outLo[x] > ct.band || outHi[x] < -ct.band {
+				l.deltaRefutes.Add(1)
+				l.storeBox(b.hashes[j], boxes[j], ct.key, false)
+				results[lo+j] = pruneResult{kind: prunePruned}
+				b.decided[j] = true
+				removed = true
+			}
+		}
+		if removed {
+			keep := active[:0]
+			for _, j := range active {
+				if !b.decided[j] {
+					keep = append(keep, j)
+				}
+			}
+			active = keep
+		}
+	}
+	for _, j := range active {
+		results[lo+j] = s.splitOrFloor(boxes[j], minWidths, b.mid, b.facts[j].cornerUnsat, b, stats)
+	}
+}
