@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"compsynth/internal/expr"
+	"compsynth/internal/interval"
 	"compsynth/internal/scenario"
 	"compsynth/internal/sketch"
 )
@@ -266,6 +268,55 @@ func BenchmarkPruneEngineLanes(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestPruneColdLanesSurvivorAliasing pins the survivor-scratch copy in
+// pruneColdLanes. A floor-level lane ordered ahead of a midpoint
+// witness in the same span re-enters sweepSurvivors via splitOrFloor →
+// cornerWitnessBatch, which rewrites b.act — the backing array of the
+// midpoint-sweep survivor list. Without copying that list first, the
+// later lane's survivor check compares against corner-sweep indices,
+// dropping the true witness (or fabricating a false one). The span must
+// decide bit-identically to the scalar loop — which runs with a nil
+// batch here, also covering evalPruneSpan's documented nil-batch path.
+func TestPruneColdLanesSurvivorAliasing(t *testing.T) {
+	space := scenario.MustNewSpace([]string{"x", "y"},
+		[]interval.Interval{interval.New(0, 1), interval.New(0, 1)})
+	sk := sketch.MustNew("alias", expr.MustParse(`??h * x - y`), space,
+		map[string]interval.Interval{"h": interval.New(0, 1)})
+	// f(A) - f(B) = h - 0.5, so the tie holds iff |h - 0.5| <= 0.01.
+	p := Problem{Sketch: sk, Ties: []Tie{{
+		A: scenario.Scenario{1, 0.5}, B: scenario.Scenario{0, 0}, Band: 0.01,
+	}}}
+	sys := compileSystem(p, nil)
+	wave := [][]interval.Interval{
+		// Floor-level (width 0.12 < 0.15): straddles the band, but the
+		// midpoint 0.46 and both corners fail, so this lane takes the
+		// re-entrant corner sweep and lands at the floor.
+		{interval.New(0.40, 0.52)},
+		// Midpoint h = 0.5 satisfies the tie exactly: must come back a
+		// witness, not a split.
+		{interval.New(0.30, 0.70)},
+	}
+	minWidths := []float64{0.15}
+
+	scalar := make([]pruneResult, len(wave))
+	sys.evalPruneSpan(wave, 0, len(wave), scalar, minWidths, nil, nil)
+	if scalar[0].kind != pruneFloor || scalar[1].kind != pruneWitness {
+		t.Fatalf("scalar reference: kinds = %v/%v, want %v/%v — scenario construction broke",
+			scalar[0].kind, scalar[1].kind, pruneFloor, pruneWitness)
+	}
+
+	batched := make([]pruneResult, len(wave))
+	sys.evalPruneSpan(wave, 0, len(wave), batched, minWidths, sys.NewBatch(4), nil)
+	for i := range wave {
+		if batched[i].kind != scalar[i].kind {
+			t.Errorf("lane %d: batched kind = %v, want %v", i, batched[i].kind, scalar[i].kind)
+		}
+	}
+	if w := batched[1].witness; len(w) != 1 || w[0] != scalar[1].witness[0] {
+		t.Errorf("lane 1: batched witness = %v, want %v (bit-identical)", w, scalar[1].witness)
 	}
 }
 

@@ -76,11 +76,14 @@ type Batch struct {
 	// call path so lists never alias each other: act is owned by
 	// sweepSurvivors (its return value), seq by sequential-lane callers,
 	// coldL/cachedL by evalPruneSpan's classification, midL by the
-	// midpoint sweep, subL by the delta-check subsets.
-	act, seq, coldL, cachedL, midL, subL []int
-	feas, decided                        []bool
-	facts                                []boxFact
-	hashes                               []uint64
+	// midpoint sweep, subL by the delta-check subsets, survL by
+	// pruneColdLanes' retained copy of the midpoint-sweep survivors
+	// (act itself is clobbered by any re-entrant sweepSurvivors call —
+	// see pruneColdLanes).
+	act, seq, coldL, cachedL, midL, subL, survL []int
+	feas, decided                               []bool
+	facts                                       []boxFact
+	hashes                                      []uint64
 }
 
 // NewBatch returns lane scratch for batched evaluation against this
@@ -110,6 +113,7 @@ func (s *System) NewBatch(lanes int) *Batch {
 		cachedL: make([]int, 0, lanes),
 		midL:    make([]int, 0, lanes),
 		subL:    make([]int, 0, lanes),
+		survL:   make([]int, 0, lanes),
 		feas:    make([]bool, lanes),
 		decided: make([]bool, lanes),
 		facts:   make([]boxFact, lanes),
@@ -211,7 +215,11 @@ func (s *System) ivLanes(b *Batch, prog *expr.Program, boxes [][]interval.Interv
 // only the still-active rows in one batch pass, so a constraint that
 // kills most lanes early saves the later constraints' work — the
 // batched analog of Satisfies' early return. The returned slice aliases
-// b.act; lanesIn must not (callers pass b.seq or b.midL).
+// b.act; lanesIn must not (callers pass b.seq or b.midL). Any later
+// sweepSurvivors call on the same batch rewrites b.act's backing array,
+// so a caller that can re-enter the batch pipeline before it is done
+// with the result (splitOrFloor reaches back in via cornerWitnessBatch)
+// must copy it first — see pruneColdLanes.
 func (s *System) sweepSurvivors(b *Batch, rows []float64, dim int, lanesIn []int, stats *Stats) []int {
 	active := append(b.act[:0], lanesIn...)
 	for i := 0; i < len(s.cps) && len(active) > 0; i++ {
@@ -367,8 +375,14 @@ func (s *System) cornerWitnessBatch(b *Batch, box []interval.Interval, stats *St
 func (s *System) evalPruneSpan(wave [][]interval.Interval, lo, hi int, results []pruneResult, minWidths []float64, b *Batch, stats *Stats) {
 	k := hi - lo
 	if b == nil || b.lanes <= 1 || k <= 1 {
+		var mid []float64
+		if b != nil {
+			mid = b.mid
+		} else {
+			mid = make([]float64, len(minWidths))
+		}
 		for i := lo; i < hi; i++ {
-			results[i] = s.evalPruneBox(wave[i], minWidths, b.mid)
+			results[i] = s.evalPruneBox(wave[i], minWidths, mid)
 		}
 		return
 	}
@@ -473,7 +487,12 @@ func (s *System) pruneColdLanes(boxes [][]interval.Interval, lo int, lanes []int
 	if len(midL) == 0 {
 		return
 	}
-	surv := s.sweepSurvivors(b, b.mids, dim, midL, stats)
+	// Copy the survivor list out of b.act: splitOrFloor below re-enters
+	// the batch pipeline on floor-level boxes (cornerWitnessBatch →
+	// sweepSurvivors), which rewrites b.act's backing array mid-loop —
+	// consuming the alias would match lanes against corner-sweep
+	// indices, yielding false witnesses or missed ones.
+	surv := append(b.survL[:0], s.sweepSurvivors(b, b.mids, dim, midL, stats)...)
 	si := 0
 	for _, j := range midL {
 		row := b.mids[j*dim : (j+1)*dim]
