@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-smoke bench-json experiments examples obs-smoke obs-demo service-smoke docs-lint fmt vet clean
+.PHONY: all build test test-short race cover bench bench-smoke bench-json experiments examples obs-smoke obs-demo service-smoke log-smoke docs-lint fmt vet clean
 
 # Tier-1 verification: build, vet, the full test suite, the race
 # detector over the packages with real concurrency (parallel solver
@@ -11,9 +11,9 @@ GO ?= go
 # hammer, the batched tape interpreters, the sketch specialization
 # cache, the synthesis service's worker pool), a one-iteration compile
 # check of every benchmark, smoke tests of the observability HTTP
-# endpoint and the compsynthd service layer, and the documentation
-# gate.
-all: build vet test race bench-smoke obs-smoke service-smoke docs-lint
+# endpoint, the compsynthd service layer, and the structured log
+# stream, and the documentation gate.
+all: build vet test race bench-smoke obs-smoke service-smoke log-smoke docs-lint
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,12 @@ obs-smoke:
 # telemetry mounts (the -short subset of the service tests).
 service-smoke:
 	$(GO) test -short -run 'TestHTTP|TestHandlerMountsObs|TestJournal|TestRecoverySkips' ./internal/service/
+
+# Boot a real compsynthd, drive a session over HTTP, and assert every
+# emitted log line is valid JSON carrying the session/request_id
+# correlation attributes.
+log-smoke:
+	$(GO) test -run TestLogSmoke ./cmd/compsynthd/
 
 # End-to-end demo of the -obs endpoint: run a small experiment campaign
 # with the endpoint attached, scrape /metrics while it lingers.

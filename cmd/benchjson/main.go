@@ -56,6 +56,16 @@ func main() {
 	}
 }
 
+// hostCaveats flags host conditions that taint this run's numbers so
+// later readers of the archive don't diff them at face value.
+func hostCaveats() []string {
+	var cav []string
+	if runtime.NumCPU() == 1 {
+		cav = append(cav, "single-CPU host: parallel-speedup benchmarks (worker pools, batched prune waves) measure overhead, not scaling")
+	}
+	return cav
+}
+
 // gitCommit best-effort resolves the current short commit hash; empty
 // outside a git checkout (the run then appends un-keyed).
 func gitCommit() string {
@@ -113,6 +123,7 @@ func run(out, benchRE, benchtime, commit string, count int, pkgs []string) error
 		GOARCH:     runtime.GOARCH,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Caveats:    hostCaveats(),
 		Bench:      benchRE,
 		Packages:   pkgs,
 		Results:    results,

@@ -12,6 +12,7 @@
 //	          [-workers N] [-prune-workers N]
 //	          [-save file] [-resume file] [-plot] [-dot file] [-explain]
 //	          [-obs addr] [-trace file.jsonl]
+//	          [-log DEST] [-log-level LVL] [-progress D]
 //
 // -workers partitions the sampling/repair budget across N goroutines
 // (results are deterministic per seed and worker count). -prune-workers
@@ -25,6 +26,11 @@
 // trace as JSON Lines when the session ends. Neither affects the
 // session's results: instrumentation reads clocks and counters only,
 // never the random state.
+//
+// -log emits structured JSON session events (stderr, stdout, a file
+// path, or "off"); -progress prints a live solver line to stderr every
+// D (search/wave/frontier counts read from atomics). Like -obs and
+// -trace, neither changes any result bit.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"compsynth/internal/core"
 	"compsynth/internal/expr"
@@ -60,37 +67,84 @@ func main() {
 		explain      = flag.Bool("explain", false, "report how tightly each hole is pinned down")
 		obsAddr      = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/pprof and /trace on this address while running (e.g. 127.0.0.1:8090)")
 		traceFile    = flag.String("trace", "", "write the synthesis span trace (JSON Lines) to this file")
+		logDest      = flag.String("log", "", "structured JSON log destination: stderr, stdout, a file path, or off (default off)")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		progressTick = flag.Duration("progress", 0, "print a live solver progress line to stderr every D (e.g. 2s; 0 disables)")
 		workers      = flag.Int("workers", 0, "sampling/repair worker count (0 keeps the sequential default; changes the seed-deterministic search path)")
 		pruneWorkers = flag.Int("prune-workers", 0, "branch-and-prune worker count (0 means one per CPU; never changes results)")
 		batchLanes   = flag.Int("batch-lanes", 0, "batched-evaluation lane width (0 keeps the solver default, 1 disables batching; never changes results)")
 	)
 	flag.Parse()
 
-	if err := run(*seed, *initN, *pairs, *interactive, *targetStr, *verbose, *save, *resume, *plot, *dot, *sketchFile, *explain, *obsAddr, *traceFile, *workers, *pruneWorkers, *batchLanes); err != nil {
+	opts := options{
+		seed: *seed, initN: *initN, pairs: *pairs,
+		interactive: *interactive, targetStr: *targetStr, verbose: *verbose,
+		save: *save, resume: *resume, plot: *plot, dot: *dot,
+		sketchFile: *sketchFile, explain: *explain,
+		obsAddr: *obsAddr, traceFile: *traceFile,
+		logDest: *logDest, logLevel: *logLevel, progressTick: *progressTick,
+		workers: *workers, pruneWorkers: *pruneWorkers, batchLanes: *batchLanes,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "compsynth:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, initN, pairs int, interactive bool, targetStr string, verbose bool, save, resume string, plot bool, dot, sketchFile string, explain bool, obsAddr, traceFile string, workers, pruneWorkers, batchLanes int) error {
+// options carries every compsynth flag; one struct so run's signature
+// survives new knobs.
+type options struct {
+	seed                  int64
+	initN, pairs          int
+	interactive           bool
+	targetStr             string
+	verbose               bool
+	save, resume          string
+	plot                  bool
+	dot, sketchFile       string
+	explain               bool
+	obsAddr, traceFile    string
+	logDest, logLevel     string
+	progressTick          time.Duration
+	workers, pruneWorkers int
+	batchLanes            int
+}
+
+func run(o options) error {
+	seed, initN, pairs := o.seed, o.initN, o.pairs
+	interactive, verbose := o.interactive, o.verbose
+	targetStr, sketchFile := o.targetStr, o.sketchFile
+	save, resume := o.save, o.resume
+	plot, dot, explain := o.plot, o.dot, o.explain
+	workers, pruneWorkers, batchLanes := o.workers, o.pruneWorkers, o.batchLanes
+
+	logger, closeLog, err := obs.OpenLogger(o.logDest, o.logLevel)
+	if err != nil {
+		return err
+	}
+	defer closeLog()
+
 	// Observability edge: a registry when anything will scrape it, a
-	// tracer when anyone will read spans (live /trace or a -trace dump).
+	// tracer when anyone will read spans (live /trace or a -trace dump),
+	// a logger when -log asked for one.
 	var observer *obs.Observer
-	if obsAddr != "" || traceFile != "" {
-		observer = &obs.Observer{Tracer: obs.NewTracer(0)}
-		if obsAddr != "" {
+	if o.obsAddr != "" || o.traceFile != "" || logger != nil {
+		observer = &obs.Observer{Logger: logger}
+		if o.obsAddr != "" || o.traceFile != "" {
+			observer.Tracer = obs.NewTracer(0)
+		}
+		if o.obsAddr != "" {
 			observer.Registry = obs.NewRegistry()
 		}
 	}
-	if obsAddr != "" {
-		srv, err := obs.Serve(obsAddr, observer.Registry, observer.Tracer)
+	if o.obsAddr != "" {
+		srv, err := obs.ServeSidecar(o.obsAddr, observer, os.Stdout)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("observability endpoint on http://%s/ (metrics, debug/vars, debug/pprof, trace)\n", srv.Addr())
 	}
-	if traceFile != "" {
+	if traceFile := o.traceFile; traceFile != "" {
 		// Deferred so failed sessions dump their trace too — that is
 		// when a trace is most useful.
 		defer func() {
@@ -180,6 +234,27 @@ func run(seed int64, initN, pairs int, interactive bool, targetStr string, verbo
 		cfg.Solver.Workers = workers
 		cfg.Solver.PruneWorkers = pruneWorkers
 		cfg.Solver.BatchLanes = batchLanes
+	}
+	if o.progressTick > 0 {
+		prog := &solver.Progress{}
+		cfg.Progress = prog
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(o.progressTick)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					ps := prog.Snapshot()
+					fmt.Fprintf(os.Stderr,
+						"progress: searches=%d waves=%d depth=%d frontier=%d pruned=%d cache-hits=%d\n",
+						ps.Searches, ps.Waves, ps.Depth, ps.Frontier, ps.BoxesPruned, ps.CacheHits)
+				}
+			}
+		}()
 	}
 	if interactive {
 		// Humans deserve a progress pulse between questions.

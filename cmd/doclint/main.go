@@ -42,6 +42,12 @@ func main() {
 		}
 		problems = append(problems, linkProblems...)
 	}
+	headingProblems, err := lintRequiredHeadings()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	problems = append(problems, headingProblems...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -49,6 +55,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
 		os.Exit(1)
 	}
+}
+
+// requiredHeadings are sections other docs (and operator habits) link
+// into by name; deleting or renaming one must fail the gate, not
+// silently orphan its references.
+var requiredHeadings = map[string][]string{
+	"DESIGN.md": {
+		"## 13. Logging, correlation, and the flight recorder",
+	},
+	"README.md": {
+		"## Operating the daemon: logs, correlation, flight dumps",
+	},
+}
+
+// lintRequiredHeadings reports every required section heading missing
+// from its document.
+func lintRequiredHeadings() ([]string, error) {
+	var problems []string
+	for doc, headings := range requiredHeadings {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range headings {
+			found := false
+			for _, line := range strings.Split(string(data), "\n") {
+				if strings.TrimSpace(line) == h {
+					found = true
+					break
+				}
+			}
+			if !found {
+				problems = append(problems, fmt.Sprintf("%s: required section %q is missing", doc, h))
+			}
+		}
+	}
+	return problems, nil
 }
 
 // lintPackageComments walks internal/ and cmd/ under root and reports

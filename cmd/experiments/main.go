@@ -7,6 +7,7 @@
 //	experiments [-table1] [-fig3] [-fig4] [-fig5] [-all]
 //	            [-runs N] [-seed S] [-fast] [-csv]
 //	            [-effort] [-obs addr] [-obs-linger d]
+//	            [-log DEST] [-log-level LVL]
 //
 // Without -fast the runs use the full solver budget (the fidelity used
 // by EXPERIMENTS.md); -fast cuts budgets for a quick smoke pass.
@@ -15,7 +16,9 @@
 // /debug/vars, pprof under /debug/pprof/) for the whole campaign;
 // -obs-linger keeps the endpoint up that long after the runs finish so
 // scrapers can collect the final counters. -effort appends a per-run
-// table of oracle time and solver search counters to Table 1.
+// table of oracle time and solver search counters to Table 1. -log
+// streams structured JSON session events (stderr, stdout, a file path,
+// or "off") for the whole campaign.
 package main
 
 import (
@@ -47,6 +50,8 @@ func main() {
 		effort   = flag.Bool("effort", false, "print per-run effort accounting (oracle time, solver counters) with -table1")
 		obsAddr  = flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (e.g. 127.0.0.1:8090)")
 		linger   = flag.Duration("obs-linger", 0, "keep the -obs endpoint up this long after the runs finish")
+		logDest  = flag.String("log", "", "structured JSON log destination: stderr, stdout, a file path, or off (default off)")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
 	if *all {
@@ -56,15 +61,25 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	logger, closeLog, err := obs.OpenLogger(*logDest, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer closeLog()
+	if *obsAddr != "" || logger != nil {
+		observer := &obs.Observer{Logger: logger}
+		if *obsAddr != "" {
+			observer.Registry, observer.Tracer = obs.NewRegistry(), obs.NewTracer(0)
+		}
+		experiments.SetObserver(observer)
+	}
 	if *obsAddr != "" {
-		reg, tr := obs.NewRegistry(), obs.NewTracer(0)
-		srv, err := obs.Serve(*obsAddr, reg, tr)
+		srv, err := obs.ServeSidecar(*obsAddr, experiments.Observer(), os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		experiments.SetObserver(&obs.Observer{Registry: reg, Tracer: tr})
-		fmt.Printf("observability endpoint on http://%s/ (metrics, debug/vars, debug/pprof, trace)\n", srv.Addr())
 		defer srv.Close()
 		if *linger > 0 {
 			defer func() {

@@ -26,11 +26,15 @@ type Run struct {
 	// diff across hosts with different core counts, so cross-run
 	// comparisons should check these first. Zero in a history entry
 	// means the run predates host recording.
-	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
-	NumCPU     int      `json:"num_cpu,omitempty"`
-	Bench      string   `json:"bench_regex"`
-	Packages   []string `json:"packages"`
-	Results    []Result `json:"results"`
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"num_cpu,omitempty"`
+	// Caveats flags conditions that make this run's numbers suspect
+	// (e.g. a single-CPU host, where parallel-speedup benchmarks
+	// degenerate). Free-form strings, surfaced verbatim by readers.
+	Caveats  []string `json:"caveats,omitempty"`
+	Bench    string   `json:"bench_regex"`
+	Packages []string `json:"packages"`
+	Results  []Result `json:"results"`
 }
 
 // History is the cross-commit benchmark archive (cmd/benchjson's

@@ -74,6 +74,38 @@ func TestHistoryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHistoryCaveatsRoundTrip pins the caveats field: recorded strings
+// survive the archive round trip verbatim, caveat-less runs omit the
+// key entirely, and pre-caveat entries read back nil.
+func TestHistoryCaveatsRoundTrip(t *testing.T) {
+	tainted := testRun("ccc3333", 300)
+	tainted.NumCPU = 1
+	tainted.Caveats = []string{"single-CPU host: parallel-speedup benchmarks measure overhead, not scaling"}
+	var h History
+	h.Upsert(testRun("aaa1111", 100))
+	h.Upsert(tainted)
+
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	if strings.Count(doc, `"caveats"`) != 1 {
+		t.Errorf("caveats key should appear exactly once (omitempty on clean runs):\n%s", doc)
+	}
+
+	again, err := ReadHistory(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Runs[0].Caveats != nil {
+		t.Errorf("clean run grew caveats: %v", again.Runs[0].Caveats)
+	}
+	if got := again.Runs[1].Caveats; len(got) != 1 || got[0] != tainted.Caveats[0] {
+		t.Errorf("caveats mangled in round trip: %v", got)
+	}
+}
+
 // TestReadHistoryWithoutHostMetadata pins the zero convention: entries
 // recorded before host metadata existed read back with zero values and
 // must not be rejected — zero means "predates host recording".

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"time"
@@ -125,6 +126,14 @@ type Config struct {
 	// the session's randomness — transcripts are bit-identical with and
 	// without it.
 	Obs *obs.Observer
+
+	// Progress optionally attaches a live introspection sink: the solver
+	// updates its gauges once per prune wave (atomics only, off the
+	// per-box hot path) so a server can report search depth and frontier
+	// size for an in-flight solve. Like Obs, it never touches the
+	// session's randomness; transcripts are bit-identical with and
+	// without it (TestGoldenTranscriptLogProgressInvariance).
+	Progress *solver.Progress
 
 	// Solver and Distinguish tune the constraint-solving backend; zero
 	// values select solver.DefaultOptions / DefaultDistinguishOptions.
@@ -361,6 +370,8 @@ func New(cfg Config) (*Synthesizer, error) {
 		solver.RegisterLearnedMetrics(reg, s.learned)
 		sketch.RegisterMetrics(reg, cfg.Sketch)
 	}
+	s.sys.SetProgress(cfg.Progress)
+	s.sys.SetLogger(cfg.Obs.Log())
 	return s, nil
 }
 
@@ -402,11 +413,17 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 	res := &Result{Graph: s.graph, Store: s.store}
 	s.om.sessionStart()
 	tr := s.tracer()
+	s.log().Info("core.session.start",
+		"seed", s.cfg.Seed,
+		"initial_scenarios", s.cfg.InitialScenarios,
+		"pairs_per_iteration", s.cfg.PairsPerIteration,
+		"max_iterations", s.cfg.MaxIterations)
 
 	spInit := tr.Begin("init")
 	initStart := time.Now()
 	if err := s.initGraph(res); err != nil {
 		spInit.End()
+		s.log().Error("core.session.fail", "phase", "init", "error", err.Error())
 		return nil, err
 	}
 	res.InitTime = time.Since(initStart)
@@ -415,6 +432,10 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 			obs.Num("edges", float64(s.graph.NumEdges())),
 			obs.Num("queries", float64(s.queries)))
 	}
+	s.log().Debug("core.init",
+		"edges", s.graph.NumEdges(),
+		"queries", s.queries,
+		"dur_ms", res.InitTime.Seconds()*1e3)
 	res.TotalSynthTime += res.InitTime
 
 	unsatStreak := 0
@@ -459,6 +480,9 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 			if spRelax.Active() {
 				spRelax.End(obs.Num("dropped", float64(dropped)))
 			}
+			s.log().Warn("core.relax",
+				"iteration", iter, "dropped", dropped,
+				"error", errString(relaxErr))
 			if relaxErr != nil {
 				spIter.End()
 				return nil, fmt.Errorf("%w (after %d iterations)", relaxErr, iter-1)
@@ -530,6 +554,24 @@ func (s *Synthesizer) endIteration(res *Result, stat IterationStat, sp obs.Span)
 		s.cfg.OnIteration(stat)
 	}
 	res.Iterations = stat.Index
+	if l := s.log(); l.Enabled(slog.LevelDebug) {
+		l.Event(slog.LevelDebug, "core.iteration",
+			obs.Num("index", float64(stat.Index)),
+			obs.Num("queries", float64(stat.Queries)),
+			obs.Num("new_edges", float64(stat.NewEdges)),
+			obs.Num("rejected", float64(stat.Rejected)),
+			obs.Num("status", float64(stat.Status)),
+			obs.Num("synth_ms", stat.SynthTime.Seconds()*1e3),
+			obs.Num("oracle_ms", stat.OracleTime.Seconds()*1e3))
+	}
+}
+
+// errString renders an error for a log attribute; nil becomes "".
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // initGraph seeds the preference graph with a ranking of random
@@ -771,16 +813,26 @@ func (s *Synthesizer) finish(ctx context.Context, res *Result) (*Result, error) 
 		sp.End(obs.Num("status", float64(status)))
 	}
 	if err != nil {
+		s.log().Error("core.session.fail", "phase", "finish", "error", err.Error())
 		return nil, fmt.Errorf("core: session canceled during final extraction: %w", err)
 	}
 	if status != solver.StatusSat {
+		s.log().Error("core.session.fail", "phase", "finish", "status", status.String())
 		return nil, fmt.Errorf("%w (final extraction: %v)", ErrNoCandidate, status)
 	}
 	cand, err := s.cfg.Sketch.Candidate(holes)
 	if err != nil {
+		s.log().Error("core.session.fail", "phase", "finish", "error", err.Error())
 		return nil, fmt.Errorf("core: final candidate invalid: %w", err)
 	}
 	res.Final = cand
+	s.log().Info("core.session.finish",
+		"converged", res.Converged,
+		"iterations", res.Iterations,
+		"queries", res.Queries,
+		"edges", s.graph.NumEdges(),
+		"synth_ms", res.TotalSynthTime.Seconds()*1e3,
+		"oracle_ms", res.OracleTime.Seconds()*1e3)
 	return res, nil
 }
 

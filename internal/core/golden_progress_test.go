@@ -1,0 +1,103 @@
+package core_test
+
+// The second observability layer must also be a pure observer: a
+// structured logger at debug level (with a flight recorder attached), a
+// live Progress sink polled concurrently, and a labeled span tracer all
+// read clocks and atomics but never the session's random state. The
+// transcript of a fully instrumented run must stay byte-identical to
+// the pinned golden transcript of the bare run — the acceptance
+// invariance criterion for logging, progress, and the flight recorder.
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"compsynth/internal/core"
+	"compsynth/internal/obs"
+	"compsynth/internal/solver"
+)
+
+func TestGoldenTranscriptLogProgressInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden synthesis runs are not -short friendly")
+	}
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fr := obs.NewFlightRecorder(256)
+			logger := obs.NewLogger(io.Discard, slog.LevelDebug).
+				With("session", "golden").WithRecorder(fr)
+			tracer := obs.NewTracer(0)
+			tracer.SetLabel("session", "golden")
+			prog := &solver.Progress{}
+
+			cfg := tc.cfg
+			cfg.Obs = &obs.Observer{
+				Registry: obs.NewRegistry(),
+				Tracer:   tracer,
+				Logger:   logger,
+			}
+			cfg.Progress = prog
+
+			synth, err := core.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Poll the progress gauges concurrently for the whole run —
+			// the monitoring endpoint's access pattern.
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+						_ = prog.Snapshot()
+					}
+				}
+			}()
+			res, err := synth.Run()
+			close(done)
+			wg.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var buf bytes.Buffer
+			if _, err := core.Export(res).WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden_"+tc.name+".json")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update-golden): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("transcript with logging+progress attached diverged from %s:\n"+
+					"instrumentation perturbed the session (it must not touch RNG state);\n"+
+					"got %d bytes, want %d bytes", path, buf.Len(), len(want))
+			}
+
+			// The instrumentation must actually have fired, or the
+			// invariance above is vacuous.
+			if fr.Len() == 0 {
+				t.Error("flight recorder captured no records — logger not wired")
+			}
+			if prog.Snapshot().Searches == 0 {
+				t.Error("progress recorded no searches — solver sink not wired")
+			}
+			if d := fr.Dump("golden", "failure", tracer); d == nil || len(d.Records) == 0 {
+				t.Error("flight dump for the session is empty")
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"strings"
 	"time"
 
@@ -73,6 +74,12 @@ func (s *Synthesizer) tracer() *obs.Tracer {
 	return s.cfg.Obs.Trace()
 }
 
+// log returns the configured structured logger (nil when logging is
+// off; obs.Logger methods are nil-safe).
+func (s *Synthesizer) log() *obs.Logger {
+	return s.cfg.Obs.Log()
+}
+
 // timedOracle wraps the user's oracle so every comparison is timed and
 // counted. It is installed unconditionally — Result.OracleTime and
 // Result.Queries are part of the session outcome, not optional
@@ -95,6 +102,11 @@ func (t timedOracle) Compare(a, b scenario.Scenario) oracle.Preference {
 		m.oracleSeconds.Observe(d.Seconds())
 	}
 	sp.End()
+	if l := t.s.log(); l.Enabled(slog.LevelDebug) {
+		l.Event(slog.LevelDebug, "core.oracle",
+			obs.Num("pref", float64(pref)),
+			obs.Num("dur_ms", d.Seconds()*1e3))
+	}
 	return pref
 }
 

@@ -23,6 +23,12 @@ func SetObserver(o *obs.Observer) {
 	observer.Store(o)
 }
 
+// Observer returns the attachment installed by SetObserver (nil when
+// detached) — binaries use it to serve the sidecar they just wired.
+func Observer() *obs.Observer {
+	return observer.Load()
+}
+
 // FormatEffort renders per-run effort accounting (oracle time and
 // solver search counters) as a table — the `-effort` view.
 func FormatEffort(results []RunResult) string {

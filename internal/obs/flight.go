@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+)
+
+// DefaultFlightCapacity is the flight-recorder ring size when the
+// configured capacity is zero. At a handful of records per request and
+// per synthesis step, 512 records hold the last few minutes of a busy
+// daemon — the window a post-mortem actually needs.
+const DefaultFlightCapacity = 512
+
+// flightSpanTail caps how many trailing spans a dump carries.
+const flightSpanTail = 256
+
+// LogRecord is one resolved log record retained by the flight
+// recorder — the dump-file schema (DESIGN.md §13). Attribute values
+// are resolved to plain JSON-able values at capture time, so a dump
+// never holds live references into the session it describes.
+type LogRecord struct {
+	Time  time.Time      `json:"time"`
+	Level string         `json:"level"`
+	Msg   string         `json:"msg"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// FlightRecorder is a bounded in-memory ring of recent log records: the
+// crash recorder behind session-failure, panic, and SIGQUIT dumps. It
+// is attached to a Logger with WithRecorder and receives every record
+// regardless of the logger's level filter. All methods are safe for
+// concurrent use; a nil *FlightRecorder is a no-op.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []LogRecord
+	next  int
+	total uint64
+	max   int
+}
+
+// NewFlightRecorder returns a recorder retaining the most recent
+// `capacity` records (DefaultFlightCapacity if capacity ≤ 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{buf: make([]LogRecord, 0, capacity), max: capacity}
+}
+
+// add captures one slog record, resolving its attributes.
+func (fr *FlightRecorder) add(r slog.Record) {
+	if fr == nil {
+		return
+	}
+	rec := LogRecord{Time: r.Time, Level: r.Level.String(), Msg: r.Message}
+	if n := r.NumAttrs(); n > 0 {
+		rec.Attrs = make(map[string]any, n)
+		r.Attrs(func(a slog.Attr) bool {
+			rec.Attrs[a.Key] = a.Value.Resolve().Any()
+			return true
+		})
+	}
+	fr.mu.Lock()
+	if len(fr.buf) < fr.max {
+		fr.buf = append(fr.buf, rec)
+	} else {
+		fr.buf[fr.next] = rec
+	}
+	fr.next = (fr.next + 1) % fr.max
+	fr.total++
+	fr.mu.Unlock()
+}
+
+// Len returns the number of retained records.
+func (fr *FlightRecorder) Len() int {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return len(fr.buf)
+}
+
+// Dropped returns how many records the ring has overwritten.
+func (fr *FlightRecorder) Dropped() uint64 {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if fr.total <= uint64(fr.max) {
+		return 0
+	}
+	return fr.total - uint64(fr.max)
+}
+
+// Records returns the retained records, oldest first.
+func (fr *FlightRecorder) Records() []LogRecord {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if len(fr.buf) < fr.max {
+		return append([]LogRecord(nil), fr.buf...)
+	}
+	out := make([]LogRecord, 0, len(fr.buf))
+	out = append(out, fr.buf[fr.next:]...)
+	out = append(out, fr.buf[:fr.next]...)
+	return out
+}
+
+// FlightDump is the on-disk post-mortem document: the filtered record
+// ring plus the tail of a span tracer, written as <id>.flight.json next
+// to the session's journal.
+type FlightDump struct {
+	// Session is the session the dump describes; empty for a whole-ring
+	// dump (SIGQUIT without a session filter).
+	Session string `json:"session,omitempty"`
+	// Reason says why the dump happened: "failure", "panic", "sigquit".
+	Reason   string    `json:"reason"`
+	DumpedAt time.Time `json:"dumped_at"`
+	// Dropped is how many older records the ring had already overwritten
+	// by dump time — non-zero means the window is truncated.
+	Dropped uint64       `json:"dropped,omitempty"`
+	Records []LogRecord  `json:"records"`
+	Spans   []SpanRecord `json:"spans,omitempty"`
+}
+
+// Dump assembles a post-mortem document. When session is non-empty only
+// records carrying a matching "session" attribute are kept (the ring is
+// shared across sessions; the attribute is the ownership key). tr, when
+// non-nil, contributes its most recent spans.
+func (fr *FlightRecorder) Dump(session, reason string, tr *Tracer) *FlightDump {
+	if fr == nil {
+		return nil
+	}
+	d := &FlightDump{
+		Session:  session,
+		Reason:   reason,
+		DumpedAt: time.Now().UTC(),
+		Dropped:  fr.Dropped(),
+		Records:  []LogRecord{},
+	}
+	for _, rec := range fr.Records() {
+		if session != "" {
+			if got, ok := rec.Attrs["session"]; !ok || got != session {
+				continue
+			}
+		}
+		d.Records = append(d.Records, rec)
+	}
+	if spans := tr.Spans(); len(spans) > 0 {
+		if len(spans) > flightSpanTail {
+			spans = spans[len(spans)-flightSpanTail:]
+		}
+		d.Spans = spans
+	}
+	return d
+}
+
+// WriteFile writes the dump as indented JSON.
+func (d *FlightDump) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadFlightDump parses a dump file (the test and tooling side of
+// WriteFile).
+func ReadFlightDump(path string) (*FlightDump, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d FlightDump
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

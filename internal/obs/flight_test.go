@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"path/filepath"
+	"testing"
+)
+
+// TestFlightRecorderRingWrap checks the bounded ring: oldest records
+// fall off, Records comes back oldest-first, Dropped counts the loss.
+func TestFlightRecorderRingWrap(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	l := NewLogger(nil, slog.LevelDebug).WithRecorder(fr)
+	for i := 0; i < 10; i++ {
+		l.Info(fmt.Sprintf("e%d", i), "i", i)
+	}
+	if fr.Len() != 4 || fr.Dropped() != 6 {
+		t.Fatalf("len=%d dropped=%d, want 4/6", fr.Len(), fr.Dropped())
+	}
+	recs := fr.Records()
+	for i, r := range recs {
+		want := fmt.Sprintf("e%d", 6+i)
+		if r.Msg != want {
+			t.Errorf("record %d = %q, want %q (oldest-first tail)", i, r.Msg, want)
+		}
+		if r.Attrs["i"] != int64(6+i) {
+			t.Errorf("record %d attrs = %v", i, r.Attrs)
+		}
+		if r.Level != "INFO" {
+			t.Errorf("record %d level = %q", i, r.Level)
+		}
+	}
+}
+
+// TestFlightDumpSessionFilter pins the dump shape: records for other
+// sessions are excluded, the span tail rides along, and the file
+// round-trips through WriteFile/ReadFlightDump.
+func TestFlightDumpSessionFilter(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	base := NewLogger(nil, slog.LevelDebug).WithRecorder(fr)
+	base.Info("daemon.start")
+	base.With("session", "s1").Info("session.create")
+	base.With("session", "s2").Info("session.create")
+	base.With("session", "s1").Debug("solver.prune.wave", "depth", 1)
+
+	tr := NewTracer(8)
+	tr.SetLabel("session", "s1")
+	tr.Begin("solve").End(Num("boxes", 2))
+
+	d := fr.Dump("s1", "failure", tr)
+	if d.Session != "s1" || d.Reason != "failure" {
+		t.Fatalf("dump header = %+v", d)
+	}
+	if len(d.Records) != 2 {
+		t.Fatalf("records = %d, want 2 (s1 only): %+v", len(d.Records), d.Records)
+	}
+	for _, r := range d.Records {
+		if r.Attrs["session"] != "s1" {
+			t.Errorf("foreign record leaked into dump: %+v", r)
+		}
+	}
+	if len(d.Spans) != 1 || d.Spans[0].Labels["session"] != "s1" {
+		t.Fatalf("spans = %+v", d.Spans)
+	}
+
+	path := filepath.Join(t.TempDir(), "s1.flight.json")
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFlightDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Session != "s1" || got.Reason != "failure" || len(got.Records) != 2 || len(got.Spans) != 1 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+}
+
+// TestFlightDumpUnfiltered covers session == "": everything in the ring
+// is dumped (the SIGQUIT whole-process path) and a nil tracer is fine.
+func TestFlightDumpUnfiltered(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	l := NewLogger(nil, slog.LevelDebug).WithRecorder(fr)
+	l.Info("a")
+	l.With("session", "s1").Info("b")
+	d := fr.Dump("", "sigquit", nil)
+	if len(d.Records) != 2 || len(d.Spans) != 0 {
+		t.Fatalf("dump = %+v", d)
+	}
+}
+
+// TestFlightDumpNilRecorder: a nil recorder dumps nothing but does not
+// panic — failure paths must be safe when logging is fully off.
+func TestFlightDumpNilRecorder(t *testing.T) {
+	var fr *FlightRecorder
+	if d := fr.Dump("s1", "failure", nil); d != nil {
+		t.Fatalf("nil recorder dump = %+v, want nil", d)
+	}
+	if fr.Len() != 0 || fr.Dropped() != 0 || fr.Records() != nil {
+		t.Fatal("nil recorder accessors not zero")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -84,6 +85,16 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 		fmt.Fprintln(w, "  /debug/pprof/  pprof profiles")
 		fmt.Fprintln(w, "  /trace         span log (JSONL)")
 	})
+	MountAll(mux, reg, tr)
+	return mux
+}
+
+// MountAll registers the diagnostic routes (/metrics, /debug/vars,
+// /debug/pprof/*, /trace) on an existing mux — the single mounting
+// point shared by the standalone diagnostics Handler and servers that
+// serve telemetry on their API listener (compsynthd). reg and tr may be
+// nil; the corresponding endpoints then serve empty documents.
+func MountAll(mux *http.ServeMux, reg *Registry, tr *Tracer) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w) //nolint:errcheck // client disconnects only
@@ -100,7 +111,21 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 			tr.WriteJSONL(w) //nolint:errcheck // client disconnects only
 		}
 	})
-	return mux
+}
+
+// ServeSidecar is the CLI -obs edge shared by compsynth and
+// experiments: start the diagnostics endpoint for the observer and
+// print the standard banner to w (nil skips the banner). The caller
+// defers Close on the returned server.
+func ServeSidecar(addr string, o *Observer, w io.Writer) (*Server, error) {
+	srv, err := Serve(addr, o.Reg(), o.Trace())
+	if err != nil {
+		return nil, err
+	}
+	if w != nil {
+		fmt.Fprintf(w, "observability endpoint on http://%s/ (metrics, debug/vars, debug/pprof, trace)\n", srv.Addr())
+	}
+	return srv, nil
 }
 
 // varsHandler renders the expvar document — every published process

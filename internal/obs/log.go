@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"time"
+)
+
+// Logger is the structured logging spine of the second observability
+// layer: a thin wrapper over a log/slog JSON handler that follows the
+// registry's nil-safe convention — a nil *Logger disables everything,
+// and the hot-path Event method is zero-alloc in that mode (pinned by
+// TestLoggerNilZeroAlloc), so instrumented code never branches on
+// whether logging is enabled.
+//
+// A Logger carries bound attributes (With) that are stamped onto every
+// record, which is how the service layer scopes records per session and
+// per request, and an optional FlightRecorder tee (WithRecorder): the
+// recorder receives every record regardless of the handler's level
+// filter, so a post-mortem dump shows debug detail even when the live
+// stream is filtered to info and above.
+//
+// Loggers are immutable after construction; With/WithRecorder return
+// derived copies, and all methods are safe for concurrent use (the
+// slog JSON handler serializes writes internally).
+type Logger struct {
+	h     slog.Handler
+	attrs []slog.Attr
+	fr    *FlightRecorder
+}
+
+// NewLogger builds a JSON logger writing to w at the given minimum
+// level. A nil w makes the logger record-only: nothing streams out, but
+// an attached FlightRecorder still captures every record — the mode a
+// daemon with logging disabled uses so flight dumps keep working.
+func NewLogger(w io.Writer, level slog.Level) *Logger {
+	l := &Logger{}
+	if w != nil {
+		l.h = slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	}
+	return l
+}
+
+// ParseLevel maps the -log-level flag values ("debug", "info", "warn",
+// "error", case-insensitive) onto slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(strings.TrimSpace(s))); err != nil {
+		return 0, err
+	}
+	return lv, nil
+}
+
+// OpenLogger resolves the CLI -log/-log-level flag pair shared by all
+// three binaries: dest "" or "off" disables logging entirely (nil
+// logger), "stderr" and "stdout" stream to the process descriptors, and
+// anything else opens (appends to) a file. The returned close func
+// flushes and closes a file destination; it is non-nil even when there
+// is nothing to close.
+func OpenLogger(dest, level string) (*Logger, func() error, error) {
+	nop := func() error { return nil }
+	switch strings.TrimSpace(dest) {
+	case "", "off", "none":
+		return nil, nop, nil
+	}
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, nop, err
+	}
+	switch dest {
+	case "stderr":
+		return NewLogger(os.Stderr, lv), nop, nil
+	case "stdout":
+		return NewLogger(os.Stdout, lv), nop, nil
+	}
+	f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nop, err
+	}
+	return NewLogger(f, lv), f.Close, nil
+}
+
+// With returns a logger whose records all carry the given key-value
+// pairs (slog argument conventions) in addition to the receiver's bound
+// attributes. Nil-safe: a nil logger stays nil.
+//
+// Bound attributes are kept on the Logger rather than pushed into the
+// handler so the FlightRecorder tee sees them too — a per-session
+// logger's "session" attribute must survive into the flight dump, where
+// it is the record-filtering key.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil || len(args) == 0 {
+		return l
+	}
+	nl := *l
+	nl.attrs = append(append([]slog.Attr(nil), l.attrs...), argsToAttrs(args)...)
+	return &nl
+}
+
+// WithRecorder returns a logger teeing every record — regardless of
+// level — into fr. Nil-safe on both sides.
+func (l *Logger) WithRecorder(fr *FlightRecorder) *Logger {
+	if l == nil || fr == nil {
+		return l
+	}
+	nl := *l
+	nl.fr = fr
+	return &nl
+}
+
+// Recorder returns the attached flight recorder, if any.
+func (l *Logger) Recorder() *FlightRecorder {
+	if l == nil {
+		return nil
+	}
+	return l.fr
+}
+
+// Enabled reports whether a record at the given level would go
+// anywhere (handler or flight recorder).
+func (l *Logger) Enabled(level slog.Level) bool {
+	if l == nil {
+		return false
+	}
+	if l.fr != nil {
+		return true
+	}
+	return l.h != nil && l.h.Enabled(context.Background(), level)
+}
+
+// Event emits a structured record built from the tracer's typed Attr
+// values — the hot-path emission API. The typed attributes avoid
+// interface boxing, and the leading nil/enabled check returns before
+// anything escapes, so a disabled logger costs zero allocations per
+// call (the contract the prune loop relies on; see
+// TestLoggerNilZeroAlloc and the solver's emitWave guard).
+func (l *Logger) Event(level slog.Level, msg string, attrs ...Attr) {
+	if l == nil || !l.Enabled(level) {
+		return
+	}
+	r := slog.NewRecord(time.Now(), level, msg, 0)
+	r.AddAttrs(l.attrs...)
+	for _, a := range attrs {
+		if a.str {
+			r.AddAttrs(slog.String(a.Key, a.S))
+		} else {
+			r.AddAttrs(slog.Float64(a.Key, a.Value))
+		}
+	}
+	l.emit(level, r)
+}
+
+// Debug emits a debug record with slog-convention key-value args.
+func (l *Logger) Debug(msg string, args ...any) { l.log(slog.LevelDebug, msg, args) }
+
+// Info emits an info record with slog-convention key-value args.
+func (l *Logger) Info(msg string, args ...any) { l.log(slog.LevelInfo, msg, args) }
+
+// Warn emits a warning record with slog-convention key-value args.
+func (l *Logger) Warn(msg string, args ...any) { l.log(slog.LevelWarn, msg, args) }
+
+// Error emits an error record with slog-convention key-value args.
+func (l *Logger) Error(msg string, args ...any) { l.log(slog.LevelError, msg, args) }
+
+func (l *Logger) log(level slog.Level, msg string, args []any) {
+	if l == nil || !l.Enabled(level) {
+		return
+	}
+	r := slog.NewRecord(time.Now(), level, msg, 0)
+	r.AddAttrs(l.attrs...)
+	r.Add(args...)
+	l.emit(level, r)
+}
+
+// emit fans a finished record out to the handler (level-filtered) and
+// the flight recorder (unfiltered).
+func (l *Logger) emit(level slog.Level, r slog.Record) {
+	if l.h != nil && l.h.Enabled(context.Background(), level) {
+		l.h.Handle(context.Background(), r) //nolint:errcheck // destination write error has no recovery
+	}
+	if l.fr != nil {
+		l.fr.add(r)
+	}
+}
+
+// argsToAttrs converts slog-convention key-value args into attributes,
+// using a scratch record so bad-key handling matches slog exactly.
+func argsToAttrs(args []any) []slog.Attr {
+	var r slog.Record
+	r.Add(args...)
+	out := make([]slog.Attr, 0, r.NumAttrs())
+	r.Attrs(func(a slog.Attr) bool {
+		out = append(out, a)
+		return true
+	})
+	return out
+}

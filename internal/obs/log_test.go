@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestLoggerNilZeroAlloc is the acceptance guard for the disabled-mode
+// hot path: nil-logger Event emission — the exact call the prune loop's
+// emitWave makes — must allocate nothing.
+func TestLoggerNilZeroAlloc(t *testing.T) {
+	var l *Logger
+	if a := testing.AllocsPerRun(200, func() {
+		l.Event(slog.LevelDebug, "solver.prune.wave",
+			Num("depth", 3), Num("boxes", 128), Num("pruned", 64))
+	}); a != 0 {
+		t.Fatalf("nil-logger Event: %v allocs/op, want 0", a)
+	}
+	// The convenience levels and derivations are nil-safe no-ops too.
+	l.Debug("x", "k", 1)
+	l.Info("x")
+	l.Warn("x")
+	l.Error("x")
+	if l.With("k", "v") != nil || l.WithRecorder(NewFlightRecorder(1)) != nil {
+		t.Fatal("derivations of a nil logger must stay nil")
+	}
+	if l.Enabled(slog.LevelError) {
+		t.Fatal("nil logger reports enabled")
+	}
+}
+
+// TestLoggerJSONAndBinding checks the JSON stream: records parse, carry
+// bound attributes from With, level filtering applies, and Event's
+// typed attrs land with the right JSON types.
+func TestLoggerJSONAndBinding(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelInfo).With("session", "s000001")
+
+	l.Debug("invisible")
+	l.Info("session.create", "seed", 42, "request_id", "req-abc")
+	l.Event(slog.LevelWarn, "pool.saturated", Num("workers", 4), Str("op", "answer"))
+
+	var lines []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("log line is not JSON: %v: %s", err, sc.Text())
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2 (debug filtered): %v", len(lines), lines)
+	}
+	info := lines[0]
+	if info["msg"] != "session.create" || info["session"] != "s000001" {
+		t.Errorf("bound attr missing: %v", info)
+	}
+	if info["request_id"] != "req-abc" || info["seed"] != float64(42) {
+		t.Errorf("args missing: %v", info)
+	}
+	warn := lines[1]
+	if warn["level"] != "WARN" || warn["workers"] != float64(4) || warn["op"] != "answer" {
+		t.Errorf("Event attrs wrong: %v", warn)
+	}
+}
+
+// TestLoggerRecorderSeesFilteredLevels pins the flight-recorder
+// contract: the recorder captures records below the stream level, with
+// bound attributes resolved, so post-mortems keep debug detail the live
+// stream dropped.
+func TestLoggerRecorderSeesFilteredLevels(t *testing.T) {
+	var buf bytes.Buffer
+	fr := NewFlightRecorder(8)
+	l := NewLogger(&buf, slog.LevelError).With("session", "s9").WithRecorder(fr)
+
+	l.Debug("solver.prune.wave", "depth", 2)
+	l.Info("session.answer", "seq", 1)
+
+	if strings.TrimSpace(buf.String()) != "" {
+		t.Fatalf("stream should be empty below error: %q", buf.String())
+	}
+	recs := fr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("recorder got %d records, want 2", len(recs))
+	}
+	if recs[0].Msg != "solver.prune.wave" || recs[0].Attrs["session"] != "s9" {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Attrs["seq"] != int64(1) {
+		t.Errorf("record 1 attrs = %+v", recs[1].Attrs)
+	}
+	if !l.Enabled(slog.LevelDebug) {
+		t.Error("recorder-backed logger should report enabled at debug")
+	}
+}
+
+// TestLoggerRecordOnly covers NewLogger(nil, ...): no stream, recorder
+// still captures — the daemon's logging-off flight mode.
+func TestLoggerRecordOnly(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	l := NewLogger(nil, slog.LevelInfo).WithRecorder(fr)
+	l.Info("session.fail", "error", "boom")
+	if fr.Len() != 1 {
+		t.Fatalf("recorder got %d records, want 1", fr.Len())
+	}
+	bare := NewLogger(nil, slog.LevelInfo)
+	if bare.Enabled(slog.LevelError) {
+		t.Error("record-only logger without recorder should be disabled")
+	}
+}
+
+// TestLoggerConcurrent hammers one logger from several goroutines (the
+// daemon shape: handler goroutines + advance goroutines share it) —
+// meaningful under -race, and every interleaved line must stay valid
+// JSON.
+func TestLoggerConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	fr := NewFlightRecorder(64)
+	l := NewLogger(w, slog.LevelDebug).WithRecorder(fr)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sl := l.With("session", "s", "g", g)
+			for i := 0; i < 100; i++ {
+				sl.Event(slog.LevelDebug, "e", Num("i", float64(i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		n++
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("interleaved line is not JSON: %v", err)
+		}
+	}
+	if n != 400 {
+		t.Fatalf("lines = %d, want 400", n)
+	}
+	if fr.Len() != 64 || fr.Dropped() != 400-64 {
+		t.Fatalf("recorder len=%d dropped=%d", fr.Len(), fr.Dropped())
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "INFO": slog.LevelInfo,
+		" warn ": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestOpenLogger(t *testing.T) {
+	for _, dest := range []string{"", "off", "none"} {
+		l, closeFn, err := OpenLogger(dest, "info")
+		if err != nil || l != nil {
+			t.Errorf("OpenLogger(%q) = %v, err %v; want nil logger", dest, l, err)
+		}
+		closeFn()
+	}
+	if _, _, err := OpenLogger("stderr", "loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+	path := filepath.Join(t.TempDir(), "d.log")
+	l, closeFn, err := OpenLogger(path, "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "k", "v")
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(data), &m); err != nil || m["msg"] != "hello" {
+		t.Fatalf("file log line = %q (%v)", data, err)
+	}
+}

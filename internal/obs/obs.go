@@ -482,13 +482,15 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
-// Observer bundles the two observability sinks an instrumented
-// component may write to: the metrics registry and the span tracer.
-// A nil *Observer (or nil fields) disables the corresponding sink;
-// the Reg/Trace accessors are nil-safe so call sites never branch.
+// Observer bundles the observability sinks an instrumented component
+// may write to: the metrics registry, the span tracer, and the
+// structured logger. A nil *Observer (or nil fields) disables the
+// corresponding sink; the Reg/Trace/Log accessors are nil-safe so call
+// sites never branch.
 type Observer struct {
 	Registry *Registry
 	Tracer   *Tracer
+	Logger   *Logger
 }
 
 // Reg returns the registry, or nil when the observer (or its registry)
@@ -506,4 +508,13 @@ func (o *Observer) Trace() *Tracer {
 		return nil
 	}
 	return o.Tracer
+}
+
+// Log returns the structured logger, or nil when disabled (nil *Logger
+// methods are no-ops, so the result is always safe to use).
+func (o *Observer) Log() *Logger {
+	if o == nil {
+		return nil
+	}
+	return o.Logger
 }

@@ -34,6 +34,10 @@ type SpanRecord struct {
 	// Attrs are optional numeric attributes attached at End (iteration
 	// index, query counts, solver status, ...).
 	Attrs map[string]float64 `json:"attrs,omitempty"`
+	// Labels are optional string attributes: the tracer's bound labels
+	// (SetLabel — correlation identity like session and request IDs)
+	// merged with any Str attributes attached at End.
+	Labels map[string]string `json:"labels,omitempty"`
 }
 
 // Tracer records completed spans into a fixed-capacity ring buffer.
@@ -53,6 +57,7 @@ type Tracer struct {
 	seq     uint64       // spans begun ever
 	depth   int          // current nesting level
 	maxSpan int
+	labels  map[string]string // bound labels, stamped on every recorded span
 }
 
 // NewTracer returns a tracer retaining the most recent `capacity`
@@ -74,14 +79,23 @@ type Span struct {
 	start time.Time
 }
 
-// Attr is a numeric span attribute; build them with Num.
+// Attr is a typed span/log attribute — numeric (Num) or string (Str).
+// The concrete struct avoids interface boxing, which is what keeps
+// disabled-mode emission (Span.End on an inert span, Logger.Event on a
+// nil logger) at zero allocations.
 type Attr struct {
 	Key   string
 	Value float64
+	S     string
+	str   bool
 }
 
-// Num builds a span attribute.
+// Num builds a numeric attribute.
 func Num(key string, v float64) Attr { return Attr{Key: key, Value: v} }
+
+// Str builds a string attribute. On spans it lands in
+// SpanRecord.Labels; on log records it becomes a string value.
+func Str(key, v string) Attr { return Attr{Key: key, S: v, str: true} }
 
 // Active reports whether the span will record on End. Call sites use
 // it to skip building attribute slices when tracing is disabled.
@@ -116,14 +130,32 @@ func (s Span) End(attrs ...Attr) {
 		StartMicros: s.start.Sub(s.t.epoch).Microseconds(),
 		DurMicros:   end.Sub(s.start).Microseconds(),
 	}
-	if len(attrs) > 0 {
-		rec.Attrs = make(map[string]float64, len(attrs))
-		for _, a := range attrs {
+	for _, a := range attrs {
+		if a.str {
+			if rec.Labels == nil {
+				rec.Labels = make(map[string]string)
+			}
+			rec.Labels[a.Key] = a.S
+		} else {
+			if rec.Attrs == nil {
+				rec.Attrs = make(map[string]float64, len(attrs))
+			}
 			rec.Attrs[a.Key] = a.Value
 		}
 	}
 	t := s.t
 	t.mu.Lock()
+	if len(t.labels) > 0 {
+		if rec.Labels == nil {
+			rec.Labels = make(map[string]string, len(t.labels))
+		}
+		for k, v := range t.labels {
+			// End-time Str attrs win over bound labels on a key collision.
+			if _, ok := rec.Labels[k]; !ok {
+				rec.Labels[k] = v
+			}
+		}
+	}
 	if t.depth > 0 {
 		t.depth--
 	}
@@ -135,6 +167,28 @@ func (s Span) End(attrs ...Attr) {
 	t.next = (t.next + 1) % t.maxSpan
 	t.total++
 	t.mu.Unlock()
+}
+
+// SetLabel binds a string label stamped onto every span recorded from
+// now on — the correlation hook: a per-session tracer carries
+// "session", and the serving layer updates "request_id" to the request
+// currently driving the session, so solver spans link back to the HTTP
+// request that caused them. An empty value removes the label. Nil-safe
+// and callable concurrently with span recording.
+func (t *Tracer) SetLabel(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if value == "" {
+		delete(t.labels, key)
+		return
+	}
+	if t.labels == nil {
+		t.labels = make(map[string]string)
+	}
+	t.labels[key] = value
 }
 
 // Len returns the number of retained spans.

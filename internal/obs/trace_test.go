@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -53,6 +54,119 @@ func TestTracerRingWrap(t *testing.T) {
 	}
 	if spans[len(spans)-1].Seq != 10 {
 		t.Errorf("newest seq = %d, want 10", spans[len(spans)-1].Seq)
+	}
+}
+
+// TestTracerLabels covers bound labels (SetLabel) and end-time Str
+// attributes: spans recorded while a label is set carry it, removal
+// stops the stamping, and an End-time Str wins a key collision.
+func TestTracerLabels(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Begin("before").End()
+	tr.SetLabel("session", "s000042")
+	tr.SetLabel("request_id", "req-1")
+	tr.Begin("during").End(Str("phase", "solve"), Num("boxes", 3))
+	tr.Begin("override").End(Str("request_id", "req-2"))
+	tr.SetLabel("request_id", "")
+	tr.Begin("after").End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(spans))
+	}
+	if spans[0].Labels != nil {
+		t.Errorf("pre-label span has labels %v", spans[0].Labels)
+	}
+	during := spans[1]
+	if during.Labels["session"] != "s000042" || during.Labels["request_id"] != "req-1" {
+		t.Errorf("bound labels missing: %v", during.Labels)
+	}
+	if during.Labels["phase"] != "solve" || during.Attrs["boxes"] != 3 {
+		t.Errorf("end-time attrs wrong: labels=%v attrs=%v", during.Labels, during.Attrs)
+	}
+	if spans[2].Labels["request_id"] != "req-2" {
+		t.Errorf("End-time Str should win collision: %v", spans[2].Labels)
+	}
+	if _, ok := spans[3].Labels["request_id"]; ok {
+		t.Errorf("cleared label still stamped: %v", spans[3].Labels)
+	}
+	if spans[3].Labels["session"] != "s000042" {
+		t.Errorf("remaining label lost: %v", spans[3].Labels)
+	}
+}
+
+// TestTracerRingWrapWithLabels pins that wraparound preserves the
+// newest spans' labels (the flight recorder reads exactly this tail).
+func TestTracerRingWrapWithLabels(t *testing.T) {
+	tr := NewTracer(3)
+	tr.SetLabel("session", "s1")
+	for i := 0; i < 8; i++ {
+		tr.Begin("e").End(Num("i", float64(i)))
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("retained = %d, want 3", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Labels["session"] != "s1" {
+			t.Fatalf("label lost across wrap: %+v", sp)
+		}
+	}
+	if spans[2].Attrs["i"] != 7 {
+		t.Errorf("newest span attr = %v, want 7", spans[2].Attrs["i"])
+	}
+}
+
+// TestTracerConcurrentExport hammers span recording, label updates,
+// and Export/Spans/WriteJSONL readers concurrently — run under -race
+// (the Makefile race target includes internal/obs).
+func TestTracerConcurrentExport(t *testing.T) {
+	tr := NewTracer(32)
+	var workers, exporter sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for i := 0; i < 500; i++ {
+				sp := tr.Begin("work")
+				if i%7 == 0 {
+					tr.SetLabel("request_id", "req")
+				}
+				sp.End(Num("i", float64(i)), Str("worker", "w"))
+			}
+		}()
+	}
+	exporter.Add(1)
+	go func() {
+		defer exporter.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tr.Spans()
+			_ = tr.Len()
+			_ = tr.Dropped()
+			var b strings.Builder
+			if err := tr.WriteJSONL(&b); err != nil {
+				t.Errorf("WriteJSONL: %v", err)
+				return
+			}
+		}
+	}()
+	workers.Wait()
+	close(stop)
+	exporter.Wait()
+
+	if tr.Len() != 32 {
+		t.Fatalf("retained = %d, want full ring", tr.Len())
+	}
+	for _, sp := range tr.Spans() {
+		if sp.Labels["worker"] != "w" {
+			t.Fatalf("span lost its Str attr: %+v", sp)
+		}
 	}
 }
 

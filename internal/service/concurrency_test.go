@@ -41,7 +41,7 @@ func driveSession(s *Session, user oracle.Oracle) error {
 			}
 			return nil
 		}
-		if _, err := s.Answer(q.Seq, user.Compare(q.A, q.B)); err != nil {
+		if _, err := s.Answer(context.Background(), q.Seq, user.Compare(q.A, q.B)); err != nil {
 			if errors.Is(err, ErrSaturated) {
 				time.Sleep(10 * time.Millisecond)
 				continue
@@ -92,7 +92,7 @@ func TestConcurrentAnswerHammer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Abort()
-	s, err := m.Create(spec)
+	s, err := m.Create(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestConcurrentAnswerHammer(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				_, err := s.Answer(q.Seq, pref)
+				_, err := s.Answer(context.Background(), q.Seq, pref)
 				switch {
 				case err == nil:
 					accepted.Add(1)
@@ -184,7 +184,7 @@ func TestManySessionsSmallPool(t *testing.T) {
 
 	sessions := make([]*Session, len(seeds))
 	for i, seed := range seeds {
-		if sessions[i], err = m.Create(testSpec(seed)); err != nil {
+		if sessions[i], err = m.Create(context.Background(), testSpec(seed)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"compsynth/internal/core"
+	"compsynth/internal/obs"
 	"compsynth/internal/oracle"
+	"compsynth/internal/solver"
 )
 
 // deprecationDate is the RFC 9745 Deprecation header value advertised
@@ -23,13 +25,16 @@ const deprecationDate = "@1785542400" // 2026-08-05T00:00:00Z
 // /v1 session routes it mounts the obs exposition endpoints (/metrics,
 // /debug/vars, /debug/pprof/, /trace) when the manager was built with
 // an observer, so one listener serves both the API and its telemetry.
+// The whole surface is wrapped in the correlation middleware: every
+// request gets (or keeps) an X-Request-Id and a W3C traceparent, echoed
+// on the response and stamped into the JSON access log.
 //
 // Every session route is also reachable at its historical unversioned
 // path (e.g. /sessions for /v1/sessions). Those aliases are frozen:
 // they serve the same handlers but answer with an RFC 9745
 // Deprecation header and a Link to the /v1 successor, and new routes
-// are added under /v1 only.
-func Handler(m *Manager, extra http.Handler) http.Handler {
+// (like /sessions/{id}/progress) are added under /v1 only.
+func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	routes := []struct {
 		method, path string
@@ -53,15 +58,46 @@ func Handler(m *Manager, extra http.Handler) http.Handler {
 			h(w, r)
 		})
 	}
+	mux.HandleFunc("GET /v1/sessions/{id}/progress", m.handleProgress)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	if extra != nil {
-		mux.Handle("/metrics", extra)
-		mux.Handle("/debug/", extra)
-		mux.Handle("/trace", extra)
+	// /readyz is the load-balancer gate, distinct from the liveness probe:
+	// the process is alive (healthz ok) but not serving while journal
+	// recovery replays (see NotReadyHandler) or once drain has begun.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !m.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	if o := m.cfg.Obs; o != nil {
+		obs.MountAll(mux, o.Reg(), o.Trace())
 	}
+	return correlate(mux, m.log)
+}
+
+// NotReadyHandler serves the boot window before the manager exists:
+// journal recovery runs inside New, so the daemon binds its listener
+// first and swaps the real Handler in once recovery finishes. Liveness
+// (GET /healthz) is already ok; readiness (GET /readyz) and every API
+// route answer 503 with the given reason.
+func NotReadyHandler(reason string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, reason)
+	})
 	return mux
 }
 
@@ -118,7 +154,7 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode spec: " + err.Error()})
 		return
 	}
-	s, err := m.Create(spec)
+	s, err := m.Create(r.Context(), spec)
 	if err != nil {
 		if errors.Is(err, ErrTooManySessions) || errors.Is(err, ErrClosed) {
 			writeError(w, err, "")
@@ -140,6 +176,41 @@ func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// progressResponse is the live-introspection document (GET
+// /v1/sessions/{id}/progress): the solver's per-wave gauges next to
+// the cumulative effort counters (which carry the batched-vs-scalar
+// evaluation split). Polling it never touches the session's idle clock
+// or its mutex, so monitoring cannot perturb or pin a session.
+type progressResponse struct {
+	ID       string                  `json:"id"`
+	State    State                   `json:"state"`
+	Progress solver.ProgressSnapshot `json:"progress"`
+	// SolverEffort is the session-scoped cumulative counter snapshot;
+	// BatchedEvals/ScalarEvals report how much of the prune work ran
+	// through the batched lanes.
+	SolverEffort *solver.StatsSnapshot `json:"solver_effort,omitempty"`
+}
+
+func (m *Manager) handleProgress(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	state := s.state
+	s.mu.Unlock()
+	resp := progressResponse{
+		ID:       s.ID,
+		State:    state,
+		Progress: s.Progress().Snapshot(),
+	}
+	if s.stats != nil {
+		snap := s.stats.Snapshot()
+		resp.SolverEffort = &snap
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (m *Manager) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -245,7 +316,7 @@ func (m *Manager) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	state, err := s.Answer(req.Seq, pref)
+	state, err := s.Answer(r.Context(), req.Seq, pref)
 	if err != nil {
 		writeError(w, err, state)
 		return

@@ -19,7 +19,7 @@ func TestHTTPUnversionedAliases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(Handler(m, nil))
+	srv := httptest.NewServer(Handler(m))
 	defer srv.Close()
 	defer m.Abort()
 

@@ -71,7 +71,7 @@ func TestTamperedLearnedSummaryFallsBackCold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := m.Create(testSpec(52))
+	s, err := m.Create(context.Background(), testSpec(52))
 	if err != nil {
 		t.Fatal(err)
 	}

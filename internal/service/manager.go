@@ -3,11 +3,13 @@ package service
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"compsynth/internal/core"
@@ -40,8 +42,13 @@ type Config struct {
 	LongPollMax time.Duration
 	// Obs receives service metrics and spans (nil disables).
 	Obs *obs.Observer
-	// Logf logs operational events (nil discards).
-	Logf func(format string, args ...any)
+	// Log receives structured operational events (nil disables the
+	// stream; the flight recorder still captures records either way, so
+	// post-mortem dumps work with logging off).
+	Log *obs.Logger
+	// FlightCapacity bounds the flight-recorder ring (0 selects
+	// obs.DefaultFlightCapacity).
+	FlightCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -69,10 +76,13 @@ func (c Config) withDefaults() Config {
 // Manager owns the session table, the worker pool, the janitor, and
 // startup recovery.
 type Manager struct {
-	cfg   Config
-	met   *metrics
-	slots chan struct{}
-	advWG sync.WaitGroup
+	cfg    Config
+	met    *metrics
+	log    *obs.Logger
+	flight *obs.FlightRecorder
+	slots  chan struct{}
+	advWG  sync.WaitGroup
+	ready  atomic.Bool
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -96,23 +106,35 @@ func New(cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:         cfg,
 		met:         newMetrics(cfg.Obs.Reg()),
+		flight:      obs.NewFlightRecorder(cfg.FlightCapacity),
 		slots:       make(chan struct{}, cfg.Workers),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 		sessions:    make(map[string]*Session),
 	}
+	// Always carry a logger: a nil Config.Log becomes a record-only base,
+	// so the flight recorder keeps capturing with the stream disabled.
+	base := cfg.Log
+	if base == nil {
+		base = obs.NewLogger(nil, slog.LevelInfo)
+	}
+	m.log = base.WithRecorder(m.flight)
 	if err := m.recoverAll(); err != nil {
 		return nil, err
 	}
+	m.ready.Store(true)
 	go m.janitor()
 	return m, nil
 }
 
-func (m *Manager) logf(format string, args ...any) {
-	if m.cfg.Logf != nil {
-		m.cfg.Logf(format, args...)
-	}
-}
+// Ready reports whether the manager is serving: true between the end of
+// journal recovery (New returning) and the start of drain (Close or
+// Abort). GET /readyz keys off it.
+func (m *Manager) Ready() bool { return m.ready.Load() }
+
+// Flight exposes the flight recorder (for whole-process dumps and
+// tests).
+func (m *Manager) Flight() *obs.FlightRecorder { return m.flight }
 
 func (m *Manager) now() time.Time { return time.Now() }
 
@@ -153,20 +175,30 @@ func (m *Manager) acquireSlot() (release func(), ok bool) {
 func (m *Manager) buildSession(id string, spec SessionSpec, jr *journal) (*Session, error) {
 	stats := &solver.Stats{}
 	// Sessions share the service registry only through the service-level
-	// metrics; the core pipeline gets the tracer alone, because core's
-	// registry instruments are named per-process and concurrent sessions
-	// would fight over them.
-	coreObs := &obs.Observer{Tracer: m.cfg.Obs.Trace()}
+	// metrics, because core's registry instruments are named per-process
+	// and concurrent sessions would fight over them. The core pipeline
+	// gets a per-session tracer (with the session ID bound as a label, so
+	// flight dumps can claim its spans) and a per-session logger; the
+	// shared service tracer keeps the service-level spans.
+	tracer := obs.NewTracer(0)
+	tracer.SetLabel("session", id)
+	log := m.log.With("session", id)
+	progress := &solver.Progress{}
+	coreObs := &obs.Observer{Tracer: tracer, Logger: log}
 	cfg, err := spec.config(coreObs, stats)
 	if err != nil {
 		return nil, err
 	}
+	cfg.Progress = progress
 	s := &Session{
 		ID:        id,
 		m:         m,
 		spec:      spec,
 		skName:    cfg.Sketch.Name(),
 		stats:     stats,
+		log:       log,
+		tracer:    tracer,
+		progress:  progress,
 		state:     StateIdle,
 		jr:        jr,
 		lastTouch: m.now(),
@@ -181,8 +213,10 @@ func (m *Manager) buildSession(id string, spec SessionSpec, jr *journal) (*Sessi
 	return s, nil
 }
 
-// Create starts a new session from a client spec.
-func (m *Manager) Create(spec SessionSpec) (*Session, error) {
+// Create starts a new session from a client spec. ctx carries the
+// request-correlation IDs (see correlate.go); it is not used for
+// cancellation.
+func (m *Manager) Create(ctx context.Context, spec SessionSpec) (*Session, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -209,6 +243,12 @@ func (m *Manager) Create(spec SessionSpec) (*Session, error) {
 	m.sessions[id] = s
 	m.met.created.Inc()
 	m.met.active.Set(float64(len(m.sessions)))
+	s.tracer.SetLabel("request_id", RequestID(ctx))
+	s.log.Info("session.create",
+		"sketch", s.skName,
+		"seed", spec.Seed,
+		"request_id", RequestID(ctx),
+		"trace_id", TraceID(ctx))
 	return s, nil
 }
 
@@ -262,6 +302,7 @@ func (m *Manager) Delete(id string) error {
 	if s != nil {
 		s.abort()
 	}
+	os.Remove(flightPath(m.cfg.DataDir, id))
 	path := journalPath(m.cfg.DataDir, id)
 	err := os.Remove(path)
 	if !ok && os.IsNotExist(err) {
@@ -271,6 +312,33 @@ func (m *Manager) Delete(id string) error {
 		return err
 	}
 	return nil
+}
+
+// flightPath is where a session's post-mortem dump lands, next to its
+// journal.
+func flightPath(dataDir, id string) string {
+	return filepath.Join(dataDir, id+".flight.json")
+}
+
+// DumpAll writes a flight dump for every resident session (SIGQUIT's
+// whole-fleet post-mortem). Dumps are best-effort; the count of files
+// written is returned.
+func (m *Manager) DumpAll(reason string) int {
+	m.mu.Lock()
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, s := range ss {
+		s.mu.Lock()
+		if s.dumpFlightLocked(reason) {
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // recoverAll rebuilds every session whose journal is in the data dir.
@@ -287,11 +355,12 @@ func (m *Manager) recoverAll() error {
 		if _, err := m.rebuildLocked(id, path); err != nil {
 			// A corrupt journal must not take the daemon down with it:
 			// quarantine and continue.
-			m.logf("recover %s: %v (quarantined as %s.bad)", id, err, path)
+			m.log.Warn("session.recover.fail",
+				"session", id, "error", err.Error(), "quarantine", path+".bad")
 			os.Rename(path, path+".bad")
 			continue
 		}
-		m.logf("recovered session %s", id)
+		m.log.Info("session.recover", "session", id)
 	}
 	return nil
 }
@@ -322,6 +391,7 @@ func (m *Manager) rebuildLocked(id, path string) (*Session, error) {
 			m:         m,
 			spec:      spec,
 			skName:    sk.Name(),
+			log:       m.log.With("session", id),
 			lastTouch: m.now(),
 			changed:   make(chan struct{}),
 			final:     rec.Transcript,
@@ -377,7 +447,8 @@ func (m *Manager) rebuildLocked(id, path string) (*Session, error) {
 		// bit-identical.
 		if sum := recs[lastCk].Learned; sum != nil {
 			if _, err := s.stepper.ImportLearned(sum); err != nil {
-				m.logf("session %s: learned summary rejected, solving cold: %v", id, err)
+				m.log.Warn("session.learned.reject",
+					"session", id, "error", err.Error())
 			}
 		}
 	}
@@ -396,7 +467,8 @@ func (m *Manager) rebuildLocked(id, path string) (*Session, error) {
 			return nil, fmt.Errorf("replay step %d: %w", replayed, err)
 		}
 		if q == nil {
-			m.logf("session %s: finished during replay with %d journaled answers unused", id, countAnswers(recs[i:]))
+			m.log.Warn("session.replay.truncated",
+				"session", id, "unused_answers", countAnswers(recs[i:]))
 			break
 		}
 		if !sameScenario(q.A, rec.A) || !sameScenario(q.B, rec.B) {
@@ -488,7 +560,7 @@ func (m *Manager) sweep() {
 		m.met.active.Set(float64(len(m.sessions)))
 		m.mu.Unlock()
 		m.met.evicted.Inc()
-		m.logf("evicted idle session %s (checkpointed)", s.ID)
+		s.log.Info("session.evict", "checkpointed", true)
 	}
 }
 
@@ -497,6 +569,7 @@ func (m *Manager) sweep() {
 // unfinished session to its journal, and releases all resources. After
 // Close the data directory alone reconstitutes every session.
 func (m *Manager) Close(ctx context.Context) error {
+	m.ready.Store(false)
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -523,6 +596,7 @@ func (m *Manager) Close(ctx context.Context) error {
 // Abort simulates a crash for tests: every session is dropped without
 // checkpoints, leaving only the fsynced answer trail in the journals.
 func (m *Manager) Abort() {
+	m.ready.Store(false)
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()

@@ -31,7 +31,7 @@ func answerN(t *testing.T, s *Session, user oracle.Oracle, n int) {
 		if q == nil {
 			t.Fatalf("session finished (state %s) after %d answers; wanted %d", state, answered, n)
 		}
-		if _, err := s.Answer(q.Seq, user.Compare(q.A, q.B)); err != nil {
+		if _, err := s.Answer(context.Background(), q.Seq, user.Compare(q.A, q.B)); err != nil {
 			t.Fatalf("Answer %d: %v", answered, err)
 		}
 		answered++
@@ -59,7 +59,7 @@ func TestEvictionCheckpointReload(t *testing.T) {
 	}
 	defer m.Abort()
 
-	s, err := m.Create(testSpec(46))
+	s, err := m.Create(context.Background(), testSpec(46))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestGracefulCloseCheckpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := m.Create(testSpec(47))
+	s, err := m.Create(context.Background(), testSpec(47))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestDeterministicJournalReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := m.Create(testSpec(48))
+	s, err := m.Create(context.Background(), testSpec(48))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -218,7 +218,7 @@ func TestHTTPGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(Handler(m, nil))
+	srv := httptest.NewServer(Handler(m))
 	defer srv.Close()
 	defer m.Abort()
 
@@ -266,7 +266,7 @@ func TestHTTPRestartRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv1 := httptest.NewServer(Handler(m1, nil))
+	srv1 := httptest.NewServer(Handler(m1))
 	id := createSession(t, srv1.URL, spec)
 	answered, done := driveHTTP(t, srv1.URL, id, user, 4)
 	if done {
@@ -279,7 +279,7 @@ func TestHTTPRestartRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv2 := httptest.NewServer(Handler(m2, nil))
+	srv2 := httptest.NewServer(Handler(m2))
 	defer srv2.Close()
 
 	// The session must already be resident (startup recovery).
@@ -344,7 +344,7 @@ func TestHTTPErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Abort()
-	srv := httptest.NewServer(Handler(m, nil))
+	srv := httptest.NewServer(Handler(m))
 	defer srv.Close()
 	client := srv.Client()
 
@@ -421,10 +421,10 @@ func TestHandlerMountsObs(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Abort()
-	srv := httptest.NewServer(Handler(m, obs.Handler(observer.Registry, nil)))
+	srv := httptest.NewServer(Handler(m))
 	defer srv.Close()
 
-	if _, err := m.Create(testSpec(1)); err != nil {
+	if _, err := m.Create(context.Background(), testSpec(1)); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := http.Get(srv.URL + "/metrics")

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,6 +79,13 @@ type Session struct {
 	spec   SessionSpec
 	skName string
 	stats  *solver.Stats
+	// log carries the session ID as a bound attribute; tracer carries it
+	// as a bound label (plus the latest request_id); progress is the live
+	// introspection sink the solver updates per prune wave. All three are
+	// nil on recovered-finished sessions, which have no stepper.
+	log      *obs.Logger
+	tracer   *obs.Tracer
+	progress *solver.Progress
 
 	iterations atomic.Int64
 
@@ -134,6 +142,22 @@ func (s *Session) startAdvanceLocked(release func()) {
 // start) to the next parked query or completion — while holding a
 // worker-pool slot.
 func (s *Session) advance(release func()) {
+	// Registered first so it runs last, after release() and the normal
+	// path's unlock: a panicking synthesis step must fail its own session
+	// (with a flight dump) without taking the rest of the fleet down.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.log.Error("session.panic",
+			"panic", fmt.Sprint(r),
+			"stack", string(debug.Stack()))
+		s.mu.Lock()
+		s.failWithReasonLocked(fmt.Errorf("panic in synthesis step: %v", r), "panic")
+		s.bumpLocked()
+		s.mu.Unlock()
+	}()
 	defer release()
 	sp := s.m.span("advance")
 	start := time.Now()
@@ -146,8 +170,12 @@ func (s *Session) advance(release func()) {
 	defer s.mu.Unlock()
 	defer s.bumpLocked()
 	if sp.Active() {
-		sp.End(obs.Num("answers", float64(s.answers)))
+		sp.End(obs.Str("session", s.ID), obs.Num("answers", float64(s.answers)))
 	}
+	s.log.Debug("session.step",
+		"answers", s.answers,
+		"dur_ms", time.Since(start).Seconds()*1e3,
+		"error", errAttr(err))
 	if s.closing {
 		// Shutdown or eviction owns the teardown. A completed session
 		// still records its result; anything else parks as idle so the
@@ -193,9 +221,13 @@ func (s *Session) finishLocked() {
 	s.result = res
 	s.state = StateDone
 	s.m.met.finished.Inc()
+	s.log.Info("session.finish",
+		"converged", t.Converged,
+		"iterations", t.Iterations,
+		"answers", s.answers)
 	if s.jr != nil {
 		if jerr := s.jr.append(journalRecord{Type: recFinal, Transcript: t}); jerr != nil {
-			s.m.logf("session %s: journal final record: %v", s.ID, jerr)
+			s.log.Error("session.journal.error", "record", "final", "error", jerr.Error())
 		}
 	}
 }
@@ -203,16 +235,55 @@ func (s *Session) finishLocked() {
 // failLocked marks the session failed and journals the failure so it is
 // not resumed into the same dead end on restart.
 func (s *Session) failLocked(err error) {
+	s.failWithReasonLocked(err, "failure")
+}
+
+// failWithReasonLocked is failLocked with the flight-dump reason made
+// explicit ("failure" for synthesis errors, "panic" for contained
+// panics). The dump is written before the journal record so a
+// post-mortem exists even if the final append fails too.
+func (s *Session) failWithReasonLocked(err error, reason string) {
 	s.state = StateFailed
 	s.failure = err.Error()
 	s.pending = nil
 	s.m.met.failed.Inc()
-	s.m.logf("session %s failed: %v", s.ID, err)
+	s.log.Error("session.fail", "reason", reason, "error", s.failure)
+	s.dumpFlightLocked(reason)
 	if s.jr != nil {
 		if jerr := s.jr.append(journalRecord{Type: recFinal, Err: s.failure}); jerr != nil {
-			s.m.logf("session %s: journal failure record: %v", s.ID, jerr)
+			s.log.Error("session.journal.error", "record", "failure", "error", jerr.Error())
 		}
 	}
+}
+
+// dumpFlightLocked writes the session's post-mortem document —
+// the flight-recorder records carrying this session's ID plus the tail
+// of its span tracer — as <id>.flight.json next to the journal. Reports
+// whether a file was written.
+func (s *Session) dumpFlightLocked(reason string) bool {
+	d := s.m.flight.Dump(s.ID, reason, s.tracer)
+	if d == nil {
+		return false
+	}
+	path := flightPath(s.m.cfg.DataDir, s.ID)
+	if err := d.WriteFile(path); err != nil {
+		s.log.Error("session.flight.error", "error", err.Error())
+		return false
+	}
+	s.log.Info("session.flight.dump",
+		"reason", reason,
+		"path", path,
+		"records", len(d.Records),
+		"spans", len(d.Spans))
+	return true
+}
+
+// errAttr renders an error for a log attribute; nil becomes "".
+func errAttr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // AwaitQuery long-polls for the session's next query. It kicks off the
@@ -240,8 +311,11 @@ func (s *Session) AwaitQuery(ctx context.Context) (*core.Query, State, error) {
 			release, ok := s.m.acquireSlot()
 			if !ok {
 				s.mu.Unlock()
+				s.log.Warn("pool.saturated",
+					"op", "query", "request_id", RequestID(ctx))
 				return nil, StateIdle, ErrSaturated
 			}
+			s.tracer.SetLabel("request_id", RequestID(ctx))
 			s.startAdvanceLocked(release)
 		case StateComputing:
 			// fall through to wait
@@ -260,12 +334,15 @@ func (s *Session) AwaitQuery(ctx context.Context) (*core.Query, State, error) {
 // sequence number must match the pending query's, which makes answers
 // idempotent under client retries and safe under racing clients: one
 // wins, the rest get ErrStaleAnswer. The answer is journaled (and
-// fsynced) before the synthesis loop may consume it.
-func (s *Session) Answer(seq int, pref oracle.Preference) (State, error) {
+// fsynced) before the synthesis loop may consume it. ctx carries the
+// request-correlation IDs; it is not used for cancellation.
+func (s *Session) Answer(ctx context.Context, seq int, pref oracle.Preference) (State, error) {
 	// Acquire the compute slot first: accepting an answer commits us to
 	// running the next step, and the pool is the backpressure boundary.
 	release, ok := s.m.acquireSlot()
 	if !ok {
+		s.log.Warn("pool.saturated",
+			"op", "answer", "request_id", RequestID(ctx))
 		return StateAwaiting, ErrSaturated
 	}
 	sp := s.m.span("answer")
@@ -273,7 +350,7 @@ func (s *Session) Answer(seq int, pref oracle.Preference) (State, error) {
 	defer s.mu.Unlock()
 	s.touchLocked()
 	if sp.Active() {
-		defer sp.End(obs.Num("seq", float64(seq)))
+		defer sp.End(obs.Str("session", s.ID), obs.Num("seq", float64(seq)))
 	}
 	if s.state != StateAwaiting || s.pending == nil {
 		release()
@@ -306,10 +383,20 @@ func (s *Session) Answer(seq int, pref oracle.Preference) (State, error) {
 	s.pending = nil
 	s.answers++
 	s.m.met.answers.Inc()
+	s.log.Debug("session.answer",
+		"seq", seq,
+		"pref", int(pref),
+		"request_id", RequestID(ctx))
+	s.tracer.SetLabel("request_id", RequestID(ctx))
 	s.startAdvanceLocked(release)
 	s.bumpLocked()
 	return StateComputing, nil
 }
+
+// Progress exposes the session's live solver-introspection sink (nil on
+// recovered-finished sessions; solver.Progress is nil-safe to
+// snapshot).
+func (s *Session) Progress() *solver.Progress { return s.progress }
 
 // Import preloads a recorded transcript into a fresh session (PUT
 // transcript). Only valid before any query has been asked; the imported
@@ -466,7 +553,7 @@ func (s *Session) teardownLocked(checkpoint bool) {
 	if jr != nil {
 		if snap != nil {
 			if err := jr.append(journalRecord{Type: recCheckpoint, Transcript: snap, Learned: learned}); err != nil {
-				s.m.logf("session %s: checkpoint: %v", s.ID, err)
+				s.log.Error("session.journal.error", "record", "checkpoint", "error", err.Error())
 			}
 		}
 		jr.close()

@@ -149,6 +149,7 @@ func (s *System) branchAndPrune(ctx context.Context, domains []interval.Interval
 	budget := opts.MaxBoxes
 	var results []pruneResult
 	depth := 0
+	s.startSearch(len(frontier))
 	for len(frontier) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, StatusUnknown, err
@@ -172,7 +173,7 @@ func (s *System) branchAndPrune(ctx context.Context, domains []interval.Interval
 		}
 		results = results[:n]
 		var waveHits0 int64
-		if s.metrics != nil && s.learned != nil {
+		if s.learned != nil && (s.metrics != nil || s.progress != nil || s.log != nil) {
 			waveHits0 = s.learned.boxHits.Load()
 		}
 		if err := s.pruneWave(ctx, frontier[:n], results, minWidths, workers, batches, stats); err != nil {
@@ -196,17 +197,20 @@ func (s *System) branchAndPrune(ctx context.Context, domains []interval.Interval
 		if stats != nil && pruned > 0 {
 			stats.BoxesPruned.Add(int64(pruned))
 		}
+		var waveHits int64
+		if s.learned != nil && (s.metrics != nil || s.progress != nil || s.log != nil) {
+			waveHits = s.learned.boxHits.Load() - waveHits0
+		}
 		if s.metrics != nil {
 			s.metrics.observePruneDepth(depth, n)
-			if s.learned != nil {
-				// A "seeded" wave is one where cached facts displaced cold
-				// evaluations; the histogram records at which depths the
-				// cache is earning its keep.
-				if d := s.learned.boxHits.Load() - waveHits0; d > 0 {
-					s.metrics.observeSeededDepth(depth, d)
-				}
+			// A "seeded" wave is one where cached facts displaced cold
+			// evaluations; the histogram records at which depths the
+			// cache is earning its keep.
+			if s.learned != nil && waveHits > 0 {
+				s.metrics.observeSeededDepth(depth, waveHits)
 			}
 		}
+		s.emitWave(depth, n, pruned, waveHits)
 		if witness >= 0 {
 			return results[witness].witness, StatusSat, nil
 		}

@@ -60,6 +60,7 @@ func (s Search) System() *System { return s.sys }
 // StatusUnknown.
 func (s Search) FindCandidate(ctx context.Context, opts Options, rng *rand.Rand) ([]float64, Status, error) {
 	sys := s.sys
+	sys.noteSearch()
 	var start time.Time
 	if sys.metrics != nil {
 		start = time.Now()
@@ -78,6 +79,7 @@ func (s Search) FindCandidate(ctx context.Context, opts Options, rng *rand.Rand)
 // only want completed searches should discard it when err != nil.
 func (s Search) BestEffort(ctx context.Context, opts Options, rng *rand.Rand) (holes []float64, loss float64, satisfied []bool, err error) {
 	sys := s.sys
+	sys.noteSearch()
 	var start time.Time
 	if sys.metrics != nil {
 		start = time.Now()
@@ -96,6 +98,7 @@ func (s Search) BestEffort(ctx context.Context, opts Options, rng *rand.Rand) (h
 // budget partition.
 func (s Search) FindDiverse(ctx context.Context, k int, opts Options, rng *rand.Rand) ([][]float64, error) {
 	sys := s.sys
+	sys.noteSearch()
 	var start time.Time
 	if sys.metrics != nil {
 		start = time.Now()
@@ -122,6 +125,7 @@ func (s Search) FindDistinguishing(ctx context.Context, opts Options, dopts Dist
 // user to rank several pairs per iteration (paper Figure 4).
 func (s Search) FindDistinguishingMany(ctx context.Context, k int, opts Options, dopts DistinguishOptions, rng *rand.Rand) ([]*Distinguishing, Status, error) {
 	sys := s.sys
+	sys.noteSearch()
 	var start time.Time
 	if sys.metrics != nil {
 		start = time.Now()

@@ -10,6 +10,7 @@ import (
 
 	"compsynth/internal/expr"
 	"compsynth/internal/interval"
+	"compsynth/internal/obs"
 	"compsynth/internal/sketch"
 )
 
@@ -42,6 +43,12 @@ type System struct {
 	// reported to it so cached facts are invalidated exactly when the
 	// constraints supporting them go away.
 	learned *Learned
+	// progress, when non-nil, receives per-wave live-introspection
+	// stores (see SetProgress and progress.go); log, when non-nil,
+	// receives wave-level debug events. Both are updated once per wave,
+	// never per box.
+	progress *Progress
+	log      *obs.Logger
 
 	prefs []Pref
 	cps   []compiledPref
