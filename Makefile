@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-smoke bench-json experiments examples obs-smoke obs-demo service-smoke log-smoke docs-lint fmt vet clean
+.PHONY: all build test test-short race cover bench bench-smoke bench-json experiments examples obs-smoke obs-demo service-smoke log-smoke fleet-smoke fleet-chaos docs-lint fmt vet clean
 
 # Tier-1 verification: build, vet, the full test suite, the race
 # detector over the packages with real concurrency (parallel solver
@@ -11,9 +11,10 @@ GO ?= go
 # hammer, the batched tape interpreters, the sketch specialization
 # cache, the synthesis service's worker pool), a one-iteration compile
 # check of every benchmark, smoke tests of the observability HTTP
-# endpoint, the compsynthd service layer, and the structured log
-# stream, and the documentation gate.
-all: build vet test race bench-smoke obs-smoke service-smoke log-smoke docs-lint
+# endpoint, the compsynthd service layer, the structured log
+# stream, and the multi-node fleet (router + daemons + chaos loadgen
+# over real HTTP), and the documentation gate.
+all: build vet test race bench-smoke obs-smoke service-smoke log-smoke fleet-smoke docs-lint
 
 build:
 	$(GO) build ./...
@@ -25,7 +26,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/sketch/ ./internal/solver/ ./internal/core/ ./internal/obs/ ./internal/service/ ./internal/expr/
+	$(GO) test -race ./internal/sketch/ ./internal/solver/ ./internal/core/ ./internal/obs/ ./internal/service/ ./internal/fleet/ ./internal/expr/
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -61,6 +62,28 @@ service-smoke:
 log-smoke:
 	$(GO) test -run TestLogSmoke ./cmd/compsynthd/
 
+# Boot a real fleet — router + 2 compsynthd processes — and run the
+# chaos loadgen short: concurrent sessions over real HTTP through
+# kill/restart, migrate, and drain events, every completed transcript
+# bit-identical to a single-process batch run, all logs valid JSON,
+# fleet metrics live. Part of tier-1 `all`.
+fleet-smoke:
+	mkdir -p .fleet-smoke/bin
+	$(GO) build -o .fleet-smoke/bin/ ./cmd/compsynthd ./cmd/compsynth-router ./cmd/synthload
+	.fleet-smoke/bin/synthload -sessions 6 -daemons 2 -events 4 \
+		-concurrency 4 -event-interval 250ms \
+		-daemon-bin .fleet-smoke/bin/compsynthd \
+		-router-bin .fleet-smoke/bin/compsynth-router
+
+# The full chaos acceptance bar: 200 sessions across a 3-member fleet
+# with 20 kill/restart/migrate/drain events.
+fleet-chaos:
+	mkdir -p .fleet-smoke/bin
+	$(GO) build -o .fleet-smoke/bin/ ./cmd/compsynthd ./cmd/compsynth-router ./cmd/synthload
+	.fleet-smoke/bin/synthload -sessions 200 -daemons 3 -events 20 \
+		-daemon-bin .fleet-smoke/bin/compsynthd \
+		-router-bin .fleet-smoke/bin/compsynth-router
+
 # End-to-end demo of the -obs endpoint: run a small experiment campaign
 # with the endpoint attached, scrape /metrics while it lingers.
 obs-demo:
@@ -95,3 +118,4 @@ vet:
 clean:
 	$(GO) clean ./...
 	rm -f test_output.txt bench_output.txt
+	rm -rf .fleet-smoke

@@ -63,9 +63,11 @@ func main() {
 var requiredHeadings = map[string][]string{
 	"DESIGN.md": {
 		"## 13. Logging, correlation, and the flight recorder",
+		"## 14. The synthesis fleet: routing, live migration, chaos testing",
 	},
 	"README.md": {
 		"## Operating the daemon: logs, correlation, flight dumps",
+		"## Running a fleet: router, live migration, chaos testing",
 	},
 }
 

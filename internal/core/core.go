@@ -399,6 +399,21 @@ func (s *Synthesizer) ImportLearnedSummary(sum *solver.LearnedSummary) (int, err
 	return s.sys.ImportLearned(sum)
 }
 
+// WarmLearnedSummary seeds the learned-prune cache best-effort from a
+// summary exported by a *different* session (the fleet's shared learned
+// tier): each region is re-proven independently against this session's
+// constraint system and only the regions that verify are installed —
+// see solver.System.WarmLearned. Unlike ImportLearnedSummary it never
+// fails the whole summary; unverifiable regions are simply skipped, so
+// a cross-tenant summary can only speed a session up, never change its
+// answers or poison its cache.
+func (s *Synthesizer) WarmLearnedSummary(sum *solver.LearnedSummary) (installed, skipped int) {
+	if s.learned == nil || sum == nil {
+		return 0, 0
+	}
+	return s.sys.WarmLearned(sum)
+}
+
 // Run executes the synthesis session to convergence (or the iteration
 // cap) and returns the result.
 func (s *Synthesizer) Run() (*Result, error) {

@@ -18,6 +18,13 @@ import (
 // stop answering and continue later, and a recorded session can replay
 // against a modified sketch.
 type Transcript struct {
+	// SessionID optionally names the serving-layer session this
+	// transcript was exported from. Core never sets it (batch exports
+	// stay byte-identical to historical ones); the service's migration
+	// bundle stamps it so an import can refuse a transcript addressed
+	// to a different session (a misrouted migration or tampered
+	// bundle).
+	SessionID string `json:"session_id,omitempty"`
 	// SketchName, Holes and Metrics identify the sketch the session ran
 	// against; Preload refuses a transcript recorded for a different
 	// shape.

@@ -1,0 +1,126 @@
+// Package fleet shards compsynthd into a multi-node synthesis tier: a
+// session-routing reverse proxy (cmd/compsynth-router) in front of N
+// compsynthd processes. Sessions are placed by rendezvous hashing over
+// the healthy members, every /v1 session route is forwarded to the
+// owning daemon with the correlation headers (X-Request-Id,
+// Traceparent) preserved end-to-end, and sessions move between members
+// by live migration: drain the session's traffic at the router, export
+// its migration bundle (spec + partial transcript + learned summary)
+// from the old owner, re-create and import it on the new owner, then
+// flip the routing entry. Migration is triggered by the admin API
+// (POST /v1/admin/migrate) and automatically when a member leaves the
+// watched member file while still healthy.
+//
+// The router also maintains the fleet's shared learned tier: finished
+// sessions' learned-prune summaries are harvested and merged per
+// sketch, and active sessions are periodically warmed with the merged
+// summary (PUT /v1/sessions/{id}/learned). Warming is advisory by
+// construction — the receiving daemon re-proves every region against
+// the session's own constraints and skips the rest — so one tenant's
+// refutations can speed every replica up but can never change any
+// session's answers, which is what keeps fleet transcripts
+// bit-identical to single-process batch runs (the invariance
+// cmd/synthload asserts under chaos).
+//
+// Failure handling in one line each: an unhealthy member keeps its
+// sessions (their journals are its durability; requests answer 503 +
+// Retry-After until it recovers), a departed-but-healthy member is
+// drained by migration, and a router restart recovers the routing
+// table lazily by probing members for sessions it cannot place.
+package fleet
+
+import (
+	"net/http"
+	"time"
+
+	"compsynth/internal/obs"
+)
+
+// Member is one compsynthd process in the fleet.
+type Member struct {
+	// Name is the stable identity rendezvous hashing scores; changing a
+	// member's name reshuffles the sessions it would be assigned.
+	Name string `json:"name"`
+	// URL is the member's base URL (scheme://host:port).
+	URL string `json:"url"`
+}
+
+// Config tunes the router.
+type Config struct {
+	// Members seeds the member set. With MemberFile set the file wins
+	// as soon as it is first read.
+	Members []Member
+	// MemberFile, when non-empty, is a watched membership file: one
+	// "name url" pair per line ('#' comments). Removing a line while
+	// the member is healthy triggers automatic drain-by-migration of
+	// its live sessions; adding a line joins the member for new
+	// placements.
+	MemberFile string
+	// WatchInterval is the member-file poll period (default 1s).
+	WatchInterval time.Duration
+	// HealthInterval is the /readyz probe period (default 1s).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe (default 2s).
+	HealthTimeout time.Duration
+	// MigrateTimeout bounds one migration end to end, drain included
+	// (default 60s).
+	MigrateTimeout time.Duration
+	// DrainRetry is the backoff between bundle-export attempts while
+	// the old owner's session is mid-step (default 50ms; the daemon's
+	// Retry-After, when longer, wins).
+	DrainRetry time.Duration
+	// LearnedCap bounds the shared learned tier's region count per
+	// sketch (default 4096; oldest evicted first).
+	LearnedCap int
+	// WarmInterval is how often active sessions are re-warmed from the
+	// shared learned tier, counted in accepted answers: after every
+	// WarmInterval-th answer the router schedules a warm if the tier
+	// has new regions for the session's sketch (default 2; <0
+	// disables warming).
+	WarmInterval int
+	// RouteTTL evicts routing entries untouched for this long; the
+	// probe path rebuilds them on demand (default 1h).
+	RouteTTL time.Duration
+	// Obs receives fleet metrics and spans (nil disables).
+	Obs *obs.Observer
+	// Log receives structured operational events (nil disables).
+	Log *obs.Logger
+	// Client is the HTTP client used for proxying and control calls
+	// (nil builds one with sane keep-alive defaults and no global
+	// timeout — long-polls are bounded by the inbound request's
+	// context).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.WatchInterval <= 0 {
+		c.WatchInterval = time.Second
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 2 * time.Second
+	}
+	if c.MigrateTimeout <= 0 {
+		c.MigrateTimeout = 60 * time.Second
+	}
+	if c.DrainRetry <= 0 {
+		c.DrainRetry = 50 * time.Millisecond
+	}
+	if c.LearnedCap <= 0 {
+		c.LearnedCap = 4096
+	}
+	if c.WarmInterval == 0 {
+		c.WarmInterval = 2
+	}
+	if c.RouteTTL <= 0 {
+		c.RouteTTL = time.Hour
+	}
+	if c.Client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = 32
+		c.Client = &http.Client{Transport: tr}
+	}
+	return c
+}

@@ -1,0 +1,650 @@
+package fleet
+
+// Fleet tests run real service managers behind httptest servers and a
+// real router in front, so everything below exercises the same HTTP
+// surface production does — only the listeners are in-process. The
+// acceptance bar is the repo-wide one: every transcript fetched through
+// the router must be bit-identical to the in-process batch run on the
+// same spec, no matter how many times the session migrated mid-flight.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"compsynth/internal/core"
+	"compsynth/internal/obs"
+	"compsynth/internal/oracle"
+	"compsynth/internal/scenario"
+	"compsynth/internal/service"
+	"compsynth/internal/sketch"
+	"compsynth/internal/solver"
+)
+
+func testSpec(seed int64) service.SessionSpec {
+	return service.SessionSpec{
+		Seed:        seed,
+		Solver:      &service.SolverSpec{Samples: 150, RepairRestarts: 5, RepairSteps: 60, Workers: 1},
+		Distinguish: &service.DistinguishSpec{Candidates: 6, PairSamples: 250, Gamma: 2},
+	}
+}
+
+func swanUser(t *testing.T) oracle.Oracle {
+	t.Helper()
+	cand, err := sketch.DefaultSWANTarget.Candidate(sketch.SWAN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oracle.NewGroundTruth(cand, 1e-9)
+}
+
+// batchTranscript is the single-process reference run every fleet path
+// must reproduce exactly.
+func batchTranscript(t *testing.T, spec service.SessionSpec, user oracle.Oracle) []byte {
+	t.Helper()
+	res, err := service.BatchRun(spec, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := core.Export(res).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// daemonHandle is one in-process member.
+type daemonHandle struct {
+	name string
+	mgr  *service.Manager
+	srv  *httptest.Server
+}
+
+func newDaemon(t *testing.T, name string) *daemonHandle {
+	t.Helper()
+	m, err := service.New(service.Config{
+		DataDir:         t.TempDir(),
+		Workers:         2,
+		MaxSessions:     32,
+		JanitorInterval: time.Hour,
+		StepTimeout:     time.Minute,
+		AcquireWait:     2 * time.Second,
+		LongPollMax:     25 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(service.Handler(m))
+	t.Cleanup(func() { srv.Close(); m.Abort() })
+	return &daemonHandle{name: name, mgr: m, srv: srv}
+}
+
+func newFleet(t *testing.T, n int, tweak func(*Config)) (*Router, *httptest.Server, []*daemonHandle) {
+	t.Helper()
+	ds := make([]*daemonHandle, n)
+	ms := make([]Member, n)
+	for i := range ds {
+		ds[i] = newDaemon(t, fmt.Sprintf("m%d", i+1))
+		ms[i] = Member{Name: ds[i].name, URL: ds[i].srv.URL}
+	}
+	cfg := Config{
+		Members:        ms,
+		HealthInterval: 50 * time.Millisecond,
+		WatchInterval:  50 * time.Millisecond,
+		DrainRetry:     10 * time.Millisecond,
+		Obs:            &obs.Observer{Registry: obs.NewRegistry()},
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(r.Handler())
+	t.Cleanup(func() { srv.Close(); r.Close() })
+	return r, srv, ds
+}
+
+func createVia(t *testing.T, base string, spec service.SessionSpec) string {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, raw)
+	}
+	var st service.SessionStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.ID
+}
+
+type queryResp struct {
+	State string    `json:"state"`
+	Seq   int       `json:"seq"`
+	A     []float64 `json:"a"`
+	B     []float64 `json:"b"`
+	Error string    `json:"error"`
+}
+
+func prefWord(p oracle.Preference) string {
+	switch p {
+	case oracle.PrefersFirst:
+		return "first"
+	case oracle.PrefersSecond:
+		return "second"
+	}
+	return "tie"
+}
+
+// drive answers a session's queries through the router until done (or
+// maxAnswers), riding out the transient statuses chaos produces: 409
+// answers are stale seqs after a migration (re-query), 503/502 are a
+// member mid-restart, 408 is a long-poll expiry.
+func drive(t *testing.T, base, id string, user oracle.Oracle, maxAnswers int) (int, bool) {
+	t.Helper()
+	client := &http.Client{Timeout: 60 * time.Second}
+	answered := 0
+	for tries := 0; tries < 4000; tries++ {
+		resp, err := client.Get(base + "/v1/sessions/" + id + "/query?wait=20s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusRequestTimeout, http.StatusTooManyRequests,
+			http.StatusConflict, http.StatusServiceUnavailable, http.StatusBadGateway:
+			time.Sleep(20 * time.Millisecond)
+			continue
+		default:
+			t.Fatalf("query: %d %s", resp.StatusCode, raw)
+		}
+		var qr queryResp
+		if err := json.Unmarshal(raw, &qr); err != nil {
+			t.Fatalf("decode query %q: %v", raw, err)
+		}
+		switch qr.State {
+		case "awaiting_answer":
+			if maxAnswers >= 0 && answered >= maxAnswers {
+				return answered, false
+			}
+			pref := user.Compare(scenario.Scenario(qr.A), scenario.Scenario(qr.B))
+			ab, _ := json.Marshal(map[string]any{"seq": qr.Seq, "pref": prefWord(pref)})
+			ar, err := client.Post(base+"/v1/sessions/"+id+"/answer", "application/json", bytes.NewReader(ab))
+			if err != nil {
+				t.Fatal(err)
+			}
+			araw, _ := io.ReadAll(ar.Body)
+			ar.Body.Close()
+			switch ar.StatusCode {
+			case http.StatusAccepted:
+				answered++
+			case http.StatusConflict, http.StatusTooManyRequests,
+				http.StatusServiceUnavailable, http.StatusBadGateway:
+				time.Sleep(20 * time.Millisecond)
+			default:
+				t.Fatalf("answer: %d %s", ar.StatusCode, araw)
+			}
+		case "done":
+			return answered, true
+		case "failed":
+			t.Fatalf("session failed: %s", qr.Error)
+		}
+	}
+	t.Fatal("session did not finish within the retry budget")
+	return answered, false
+}
+
+func fetchTranscript(t *testing.T, base, id string) []byte {
+	t.Helper()
+	client := &http.Client{Timeout: 30 * time.Second}
+	for i := 0; i < 200; i++ {
+		resp, err := client.Get(base + "/v1/sessions/" + id + "/transcript")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return raw
+		case http.StatusConflict, http.StatusServiceUnavailable, http.StatusBadGateway:
+			time.Sleep(20 * time.Millisecond)
+		default:
+			t.Fatalf("transcript: %d %s", resp.StatusCode, raw)
+		}
+	}
+	t.Fatal("transcript stayed busy")
+	return nil
+}
+
+func migrateVia(t *testing.T, base, id, target string) string {
+	t.Helper()
+	body, _ := json.Marshal(migrateRequest{Session: id, Target: target})
+	resp, err := http.Post(base+"/v1/admin/migrate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("migrate %s: %d %s", id, resp.StatusCode, raw)
+	}
+	var mr migrateResponse
+	if err := json.Unmarshal(raw, &mr); err != nil {
+		t.Fatal(err)
+	}
+	return mr.To
+}
+
+func TestRendezvousMinimalDisruption(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	members := make([]*member, len(names))
+	for i, n := range names {
+		members[i] = &member{Member: Member{Name: n}}
+	}
+	place := func(ms []*member, id string) string { return pick(ms, id).Name }
+	moved, total := 0, 500
+	for i := 0; i < total; i++ {
+		id := fmt.Sprintf("session-%d", i)
+		before := place(members, id)
+		after := place(members[:3], id) // "d" leaves
+		if before != after {
+			if before != "d" {
+				t.Fatalf("session %s moved from %s to %s though %s stayed", id, before, after, before)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no session was ever placed on the removed member (hash degenerate?)")
+	}
+	if moved > total/2 {
+		t.Fatalf("%d/%d sessions moved when one of four members left", moved, total)
+	}
+}
+
+func TestReadMemberFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "members")
+	content := "# fleet\nm1 http://127.0.0.1:1/\n\nm2 http://127.0.0.1:2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := ReadMemberFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{{Name: "m1", URL: "http://127.0.0.1:1"}, {Name: "m2", URL: "http://127.0.0.1:2"}}
+	if len(ms) != 2 || ms[0] != want[0] || ms[1] != want[1] {
+		t.Fatalf("parsed %+v, want %+v", ms, want)
+	}
+	if err := os.WriteFile(path, []byte("m3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMemberFile(path); err == nil {
+		t.Fatal("malformed line parsed without error")
+	}
+}
+
+func TestLearnedStoreMergeDedupCap(t *testing.T) {
+	s := newLearnedStore(3)
+	region := func(lo float64) solver.RefutedRegion {
+		return solver.RefutedRegion{Box: [][2]float64{{lo, lo + 1}}, Index: 0}
+	}
+	added, gen := s.Merge("swan", &solver.LearnedSummary{Refuted: []solver.RefutedRegion{region(0), region(1)}})
+	if added != 2 || gen != 1 {
+		t.Fatalf("first merge: added=%d gen=%d, want 2, 1", added, gen)
+	}
+	// Duplicates (same bits) do not re-add and do not bump the generation.
+	added, gen = s.Merge("swan", &solver.LearnedSummary{Refuted: []solver.RefutedRegion{region(0)}})
+	if added != 0 || gen != 1 {
+		t.Fatalf("dup merge: added=%d gen=%d, want 0, 1", added, gen)
+	}
+	// Beyond the cap the oldest regions are evicted.
+	s.Merge("swan", &solver.LearnedSummary{Refuted: []solver.RefutedRegion{region(2), region(3)}})
+	if s.Len() != 3 {
+		t.Fatalf("len after cap overflow = %d, want 3", s.Len())
+	}
+	sum, _ := s.Summary("swan")
+	if len(sum.Refuted) != 3 || sum.Refuted[0].Box[0][0] != 1 {
+		t.Fatalf("post-eviction summary wrong: %+v", sum.Refuted)
+	}
+	if sum2, _ := s.Summary("other"); sum2 != nil {
+		t.Fatal("unknown sketch returned a summary")
+	}
+}
+
+// TestRouterGolden is the fleet acceptance core: sessions created and
+// driven entirely through the router finish with transcripts
+// bit-identical to the batch run, and correlation IDs survive the hop.
+func TestRouterGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	user := swanUser(t)
+	spec := testSpec(101)
+	want := batchTranscript(t, spec, user)
+
+	_, srv, ds := newFleet(t, 2, nil)
+	id := createVia(t, srv.URL, spec)
+	if !strings.HasPrefix(id, "f") {
+		t.Fatalf("router-generated ID %q lacks the fleet prefix", id)
+	}
+
+	// Correlation: a client-sent request ID must come back from the
+	// router AND appear on the owning daemon's response (the daemon
+	// echoes what it received, so this proves end-to-end pass-through).
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/sessions/"+id, nil)
+	req.Header.Set("X-Request-Id", "corr-test-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "corr-test-1" {
+		t.Fatalf("router response X-Request-Id = %q, want corr-test-1", got)
+	}
+
+	if _, done := drive(t, srv.URL, id, user, -1); !done {
+		t.Fatal("session did not finish")
+	}
+	got := fetchTranscript(t, srv.URL, id)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("routed transcript differs from batch (%d vs %d bytes)", len(got), len(want))
+	}
+	// Exactly one member owns the session.
+	owners := 0
+	for _, d := range ds {
+		r, err := http.Get(d.srv.URL + "/v1/sessions/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode == http.StatusOK {
+			owners++
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("session resident on %d members, want 1", owners)
+	}
+}
+
+// TestMigrateQuiescent pins the basic migration protocol on a parked
+// session: the admin call moves it, the journal moves with it (the
+// source copy is deleted), and the finished transcript is still
+// bit-identical to batch.
+func TestMigrateQuiescent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	user := swanUser(t)
+	spec := testSpec(102)
+	spec.ID = "mig-quiescent"
+	want := batchTranscript(t, spec, user)
+
+	r, srv, ds := newFleet(t, 2, nil)
+	id := createVia(t, srv.URL, spec)
+	drive(t, srv.URL, id, user, 2)
+
+	rt := r.routeFor(id)
+	rt.mu.Lock()
+	before := rt.owner
+	rt.mu.Unlock()
+	to := migrateVia(t, srv.URL, id, "")
+	if to == before {
+		t.Fatalf("migrate target %q is the previous owner", to)
+	}
+	if got := r.met.migrations.Value(); got != 1 {
+		t.Fatalf("fleet_migrations_total = %d, want 1", got)
+	}
+	for _, d := range ds {
+		resp, err := http.Get(d.srv.URL + "/v1/sessions/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		wantCode := http.StatusNotFound
+		if d.name == to {
+			wantCode = http.StatusOK
+		}
+		if resp.StatusCode != wantCode {
+			t.Fatalf("member %s status for %s = %d, want %d", d.name, id, resp.StatusCode, wantCode)
+		}
+	}
+
+	if _, done := drive(t, srv.URL, id, user, -1); !done {
+		t.Fatal("session did not finish after migration")
+	}
+	if got := fetchTranscript(t, srv.URL, id); !bytes.Equal(got, want) {
+		t.Fatalf("post-migration transcript differs from batch (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestMigrateWhileAnswering is the race the migration gate exists for:
+// answers hammer the session through the router while migrations
+// ping-pong it between members. Every in-flight answer must either land
+// before the export (the bundle carries it) or fail cleanly and be
+// retried against the new owner — and the final transcript must still
+// be bit-identical to batch. Run under -race this also proves the
+// gate/drain bookkeeping itself is clean.
+func TestMigrateWhileAnswering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	user := swanUser(t)
+	spec := testSpec(103)
+	spec.ID = "mig-race"
+	want := batchTranscript(t, spec, user)
+
+	r, srv, _ := newFleet(t, 3, nil)
+	id := createVia(t, srv.URL, spec)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Ping-pong the session as fast as the drain allows. 409s
+		// (already migrating / finished) and 404s (session deleted at
+		// the end of the test) are expected outcomes here, not errors.
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body, _ := json.Marshal(migrateRequest{Session: id})
+			resp, err := http.Post(srv.URL+"/v1/admin/migrate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(30 * time.Millisecond)
+		}
+	}()
+
+	_, done := drive(t, srv.URL, id, user, -1)
+	close(stop)
+	wg.Wait()
+	if !done {
+		t.Fatal("session did not finish under migration churn")
+	}
+	if got := r.met.migrations.Value(); got == 0 {
+		t.Fatal("no migration completed during the churn window")
+	} else {
+		t.Logf("migrations during churn: %d (failures: %d)", got, r.met.migrationFailures.Value())
+	}
+	if got := fetchTranscript(t, srv.URL, id); !bytes.Equal(got, want) {
+		t.Fatalf("churned transcript differs from batch (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestAutoMigrateOnLeave covers the member-file path: removing a
+// healthy member from the set drains its live sessions to the
+// remaining members automatically.
+func TestAutoMigrateOnLeave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	user := swanUser(t)
+	spec := testSpec(104)
+	spec.ID = "mig-leave"
+	want := batchTranscript(t, spec, user)
+
+	r, srv, ds := newFleet(t, 2, nil)
+	id := createVia(t, srv.URL, spec)
+	drive(t, srv.URL, id, user, 2)
+
+	rt := r.routeFor(id)
+	rt.mu.Lock()
+	owner := rt.owner
+	rt.mu.Unlock()
+	var keep []Member
+	for _, d := range ds {
+		if d.name != owner {
+			keep = append(keep, Member{Name: d.name, URL: d.srv.URL})
+		}
+	}
+	if err := r.SetMembers(keep); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for r.met.migrations.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("departed member %s was not drained (failures: %d)", owner, r.met.migrationFailures.Value())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	rt.mu.Lock()
+	newOwner := rt.owner
+	rt.mu.Unlock()
+	if newOwner == owner {
+		t.Fatalf("session still routed to departed member %s", owner)
+	}
+	if _, done := drive(t, srv.URL, id, user, -1); !done {
+		t.Fatal("session did not finish after drain")
+	}
+	if got := fetchTranscript(t, srv.URL, id); !bytes.Equal(got, want) {
+		t.Fatalf("post-drain transcript differs from batch (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestRouterRestartProbe covers lazy route recovery: a brand-new router
+// (empty routing table) in front of the same members finds a session by
+// probing and keeps serving it.
+func TestRouterRestartProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	user := swanUser(t)
+	spec := testSpec(105)
+	spec.ID = "probe-restart"
+	want := batchTranscript(t, spec, user)
+
+	_, srv, ds := newFleet(t, 2, nil)
+	id := createVia(t, srv.URL, spec)
+	drive(t, srv.URL, id, user, 2)
+
+	// Second router, same members, no routing state.
+	r2, err := New(Config{
+		Members: []Member{
+			{Name: ds[0].name, URL: ds[0].srv.URL},
+			{Name: ds[1].name, URL: ds[1].srv.URL},
+		},
+		HealthInterval: 50 * time.Millisecond,
+		DrainRetry:     10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(r2.Handler())
+	defer srv2.Close()
+	defer r2.Close()
+
+	if _, done := drive(t, srv2.URL, id, user, -1); !done {
+		t.Fatal("session did not finish through the restarted router")
+	}
+	if got := fetchTranscript(t, srv2.URL, id); !bytes.Equal(got, want) {
+		t.Fatalf("transcript via restarted router differs from batch (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestSharedLearnedTier covers harvest and warm: one finished session
+// seeds the tier (best-effort — refutations only arise when prune
+// proves subboxes infeasible), a synthetic region stands in for another
+// tenant's harvest so the tier is never empty, a second session on the
+// same sketch gets warm pushes, and — the invariance that makes the
+// tier safe at all — its transcript is still bit-identical to an
+// unwarmed batch run. The synthetic region has the wrong
+// dimensionality on purpose: the daemon must skip what it cannot
+// re-prove, so even a poisoned tier cannot change results.
+func TestSharedLearnedTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	user := swanUser(t)
+	r, srv, _ := newFleet(t, 2, func(c *Config) { c.WarmInterval = 1 })
+
+	first := testSpec(106)
+	first.ID = "learn-seed"
+	idA := createVia(t, srv.URL, first)
+	if _, done := drive(t, srv.URL, idA, user, -1); !done {
+		t.Fatal("seed session did not finish")
+	}
+	// Give the async harvest a moment, then log what it found (often
+	// zero — the default spec rarely proves boxes infeasible).
+	time.Sleep(200 * time.Millisecond)
+	t.Logf("tier holds %d regions after harvest", r.learned.Len())
+
+	// Another tenant's harvest, faked: one region the daemon cannot
+	// verify (1-D box against the 4-hole swan sketch).
+	added, _ := r.learned.Merge("swan", &solver.LearnedSummary{
+		Refuted: []solver.RefutedRegion{{Box: [][2]float64{{0, 1}}, Index: 0}},
+	})
+	if added != 1 {
+		t.Fatalf("synthetic merge added %d regions, want 1", added)
+	}
+
+	second := testSpec(107)
+	second.ID = "learn-warmed"
+	want := batchTranscript(t, second, user)
+	idB := createVia(t, srv.URL, second)
+	if _, done := drive(t, srv.URL, idB, user, -1); !done {
+		t.Fatal("warmed session did not finish")
+	}
+	if got := fetchTranscript(t, srv.URL, idB); !bytes.Equal(got, want) {
+		t.Fatalf("warmed transcript differs from batch (%d vs %d bytes)", len(got), len(want))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for r.met.learnedWarmed.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no warm pushes reached the session's owner")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Logf("warm pushes delivered: %d", r.met.learnedWarmed.Value())
+}

@@ -1,0 +1,128 @@
+package fleet
+
+// The shared learned tier: a router-side store that merges the
+// learned-prune summaries exported by member sessions, per sketch, so
+// one tenant's refutations warm every replica. The store is advisory
+// cache content only — the receiving daemon re-proves every region
+// before installing it (System.WarmLearned), so a stale, foreign, or
+// even corrupted region can cost a skipped verify but never change a
+// session's answers.
+
+import (
+	"math"
+	"strconv"
+	"sync"
+
+	"compsynth/internal/solver"
+)
+
+// learnedStore merges learned summaries per sketch with exact-region
+// dedup and FIFO eviction at the configured cap.
+type learnedStore struct {
+	mu       sync.Mutex
+	cap      int
+	sketches map[string]*sketchTier
+	total    int
+}
+
+type sketchTier struct {
+	// gen counts mutations; warm pushes compare it against the last
+	// generation a session received so unchanged tiers are not re-sent.
+	gen     uint64
+	regions map[string]solver.RefutedRegion
+	order   []string // insertion order, oldest first, for eviction
+}
+
+func newLearnedStore(cap int) *learnedStore {
+	return &learnedStore{cap: cap, sketches: make(map[string]*sketchTier)}
+}
+
+// regionKey is an exact fingerprint of one refuted region: the raw
+// float bits of the box bounds plus the constraint coordinates, so
+// dedup never conflates regions that differ only in sign of zero or in
+// the refuting constraint.
+func regionKey(r solver.RefutedRegion) string {
+	b := make([]byte, 0, 16+len(r.Box)*34)
+	if r.Tie {
+		b = append(b, 't')
+	} else {
+		b = append(b, 'p')
+	}
+	b = strconv.AppendInt(b, int64(r.Index), 10)
+	for _, iv := range r.Box {
+		b = append(b, '|')
+		b = strconv.AppendUint(b, math.Float64bits(iv[0]), 16)
+		b = append(b, ',')
+		b = strconv.AppendUint(b, math.Float64bits(iv[1]), 16)
+	}
+	return string(b)
+}
+
+// Merge folds a summary into the sketch's tier. Returns how many
+// regions were new and the tier's generation after the merge.
+func (s *learnedStore) Merge(sketch string, sum *solver.LearnedSummary) (added int, gen uint64) {
+	if sketch == "" || sum == nil || len(sum.Refuted) == 0 {
+		return 0, s.gen(sketch)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.sketches[sketch]
+	if t == nil {
+		t = &sketchTier{regions: make(map[string]solver.RefutedRegion)}
+		s.sketches[sketch] = t
+	}
+	for _, r := range sum.Refuted {
+		k := regionKey(r)
+		if _, ok := t.regions[k]; ok {
+			continue
+		}
+		t.regions[k] = r
+		t.order = append(t.order, k)
+		s.total++
+		added++
+		for len(t.order) > s.cap {
+			evict := t.order[0]
+			t.order = t.order[1:]
+			delete(t.regions, evict)
+			s.total--
+		}
+	}
+	if added > 0 {
+		t.gen++
+	}
+	return added, t.gen
+}
+
+// Summary snapshots the sketch's merged tier (nil when empty) along
+// with its generation, in stable insertion order so repeated pushes of
+// an unchanged tier are byte-identical.
+func (s *learnedStore) Summary(sketch string) (*solver.LearnedSummary, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.sketches[sketch]
+	if t == nil || len(t.order) == 0 {
+		return nil, 0
+	}
+	sum := &solver.LearnedSummary{Refuted: make([]solver.RefutedRegion, 0, len(t.order))}
+	for _, k := range t.order {
+		sum.Refuted = append(sum.Refuted, t.regions[k])
+	}
+	return sum, t.gen
+}
+
+func (s *learnedStore) gen(sketch string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.sketches[sketch]; t != nil {
+		return t.gen
+	}
+	return 0
+}
+
+// Len is the total resident region count across sketches (the
+// fleet_learned_regions gauge).
+func (s *learnedStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}

@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"compsynth/internal/obs"
+)
+
+// metrics is the router's instrument set. Built over a nil registry
+// every field is a nil instrument whose methods are no-ops, so an
+// unobserved router pays nothing (the obs package's contract).
+type metrics struct {
+	members         *obs.Gauge
+	memberUnhealthy *obs.Gauge
+
+	proxied     *obs.Counter
+	proxyErrors *obs.Counter
+	probeRescue *obs.Counter
+
+	migrations        *obs.Counter
+	migrationFailures *obs.Counter
+	migrateSeconds    *obs.Histogram
+
+	learnedHarvested *obs.Counter
+	learnedWarmed    *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry, store *learnedStore) *metrics {
+	m := &metrics{
+		members: reg.Gauge("fleet_members",
+			"Members currently in the routing set (departed included)."),
+		memberUnhealthy: reg.Gauge("fleet_member_unhealthy",
+			"Members whose last /readyz probe failed."),
+		proxied: reg.Counter("fleet_proxied_requests_total",
+			"Session API requests forwarded to a member."),
+		proxyErrors: reg.Counter("fleet_proxy_errors_total",
+			"Forwarded requests that failed at the transport (502 to the client)."),
+		probeRescue: reg.Counter("fleet_probe_rescues_total",
+			"Routing entries rebuilt by probing members (router restart or stale owner)."),
+		migrations: reg.Counter("fleet_migrations_total",
+			"Sessions migrated between members (admin-triggered or drain)."),
+		migrationFailures: reg.Counter("fleet_migration_failures_total",
+			"Migrations that aborted; the session stayed on its old owner."),
+		migrateSeconds: reg.Histogram("fleet_migrate_seconds",
+			"End-to-end migration latency, drain included.",
+			obs.SecondsBuckets()),
+		learnedHarvested: reg.Counter("fleet_learned_harvested_regions_total",
+			"Refuted regions merged into the shared learned tier."),
+		learnedWarmed: reg.Counter("fleet_learned_warm_pushes_total",
+			"Warm pushes (PUT learned) delivered to member sessions."),
+	}
+	if reg != nil && store != nil {
+		reg.GaugeFunc("fleet_learned_regions",
+			"Refuted regions resident in the shared learned tier.",
+			func() float64 { return float64(store.Len()) })
+	}
+	return m
+}

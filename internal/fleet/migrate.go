@@ -1,0 +1,373 @@
+package fleet
+
+// Live session migration. The protocol, in order:
+//
+//  1. gate the session's router traffic (route.draining) and wait for
+//     the in-flight count to drain — an in-flight answer either lands
+//     before the export (the bundle carries it) or never reached the
+//     old owner and is retried by the client against the new one;
+//  2. export the migration bundle from the old owner, retrying while
+//     the session is mid-step (409 + Retry-After from the daemon);
+//  3. create the session on the new owner under the same ID (the spec
+//     travels inside the bundle) and import the partial transcript —
+//     the daemon's session_id tamper check makes a misrouted import a
+//     hard 409 instead of a silently corrupted session;
+//  4. push the learned summary (advisory; the new owner re-proves every
+//     region) and delete the session, journal included, from the old
+//     owner so a later migration back is clean;
+//  5. flip the routing entry and reopen the gate.
+//
+// A failure before step 3's create leaves the session untouched on the
+// old owner; a failure after it deletes the half-built copy from the
+// target before reopening the gate, so there is never a moment with two
+// routable copies.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"compsynth/internal/service"
+	"compsynth/internal/solver"
+)
+
+var (
+	errUnknownSession = errors.New("fleet: unknown session")
+	errNotMigratable  = errors.New("fleet: session is not migratable")
+	errMigrating      = errors.New("fleet: migration already in progress")
+	errNoTarget       = errors.New("fleet: no eligible target member")
+)
+
+// Migrate moves one session. target names the destination member;
+// empty re-picks by rendezvous among the placeable members excluding
+// the current owner. Returns the source and destination member names.
+func (r *Router) Migrate(ctx context.Context, id, target string) (from, to string, err error) {
+	rt := r.routeFor(id)
+	if rt == nil {
+		if owner := r.probeForSession(ctx, id); owner != nil {
+			rt = r.setRoute(id, owner.Name)
+		} else {
+			return "", "", fmt.Errorf("%w: %s", errUnknownSession, id)
+		}
+	}
+	rt.mu.Lock()
+	srcName := rt.owner
+	rt.mu.Unlock()
+	src := r.memberByName(srcName)
+	if src == nil {
+		return "", "", fmt.Errorf("fleet: session %s: owner %s left the fleet", id, srcName)
+	}
+	var dst *member
+	if target != "" {
+		if target == srcName {
+			return "", "", fmt.Errorf("%w: %s already owns %s", errNotMigratable, target, id)
+		}
+		dst = r.memberByName(target)
+		if dst == nil || !dst.healthy.Load() {
+			return "", "", fmt.Errorf("%w: %s", errNoTarget, target)
+		}
+	} else {
+		r.mu.Lock()
+		candidates := r.placeableLocked()
+		r.mu.Unlock()
+		filtered := candidates[:0]
+		for _, m := range candidates {
+			if m.Name != srcName {
+				filtered = append(filtered, m)
+			}
+		}
+		if dst = pick(filtered, id); dst == nil {
+			return "", "", fmt.Errorf("%w: for %s", errNoTarget, id)
+		}
+	}
+
+	// Gate the route.
+	rt.mu.Lock()
+	if rt.draining {
+		rt.mu.Unlock()
+		return "", "", fmt.Errorf("%w: %s", errMigrating, id)
+	}
+	rt.draining = true
+	rt.unblocked = make(chan struct{})
+	drained := make(chan struct{})
+	if rt.inflight == 0 {
+		close(drained)
+	} else {
+		rt.drained = drained
+	}
+	rt.mu.Unlock()
+
+	start := time.Now()
+	success := false
+	defer func() {
+		rt.mu.Lock()
+		rt.draining = false
+		rt.drained = nil
+		if success {
+			rt.owner = dst.Name
+			rt.warmGen = 0 // the new owner has none of the pushed regions
+		}
+		close(rt.unblocked)
+		rt.mu.Unlock()
+		if success {
+			r.met.migrations.Inc()
+			r.met.migrateSeconds.Observe(time.Since(start).Seconds())
+			r.log.Info("fleet.migrate", "session", id, "from", srcName, "to", dst.Name,
+				"dur_ms", time.Since(start).Seconds()*1e3)
+		} else {
+			r.met.migrationFailures.Inc()
+			if err != nil {
+				r.log.Warn("fleet.migrate.failed", "session", id, "from", srcName, "error", err.Error())
+			}
+		}
+	}()
+
+	dctx, cancel := context.WithTimeout(ctx, r.cfg.MigrateTimeout)
+	defer cancel()
+	select {
+	case <-drained:
+	case <-dctx.Done():
+		return "", "", fmt.Errorf("fleet: session %s: drain: %w", id, dctx.Err())
+	}
+
+	rawBundle, err := r.fetchBundle(dctx, src, id)
+	if err != nil {
+		return "", "", err
+	}
+
+	// One call adopts the session on the target: the daemon rebuilds it
+	// by deterministic replay of the bundle's journal records (the
+	// bit-equal resume path) and warms its learned cache from the
+	// bundle's summary. The raw bytes pass through untouched — no
+	// re-encode between export and import.
+	status, body, err := r.do(dctx, http.MethodPut, dst.URL+"/v1/sessions/"+id+"/restore", rawBundle)
+	if err != nil {
+		return "", "", fmt.Errorf("fleet: restore on %s: %w", dst.Name, err)
+	}
+	if status != http.StatusOK {
+		return "", "", fmt.Errorf("fleet: restore on %s: %d %s", dst.Name, status, firstLine(body))
+	}
+
+	if status, body, err = r.do(dctx, http.MethodDelete, src.URL+"/v1/sessions/"+id, nil); err != nil || (status != http.StatusOK && status != http.StatusNoContent && status != http.StatusNotFound) {
+		// The copy on the target is authoritative from here on; the
+		// leftover source copy only wastes a journal until its daemon is
+		// next asked for it.
+		r.log.Warn("fleet.migrate.source_delete", "session", id, "member", srcName,
+			"status", status, "detail", firstLine(body))
+	}
+
+	success = true
+	return srcName, dst.Name, nil
+}
+
+// fetchBundle exports the migration bundle (returned as raw bytes so
+// the restore call ships exactly what the source produced), retrying
+// while the session is mid-step. The daemon distinguishes the two 409s
+// by header: busy carries Retry-After (quiesce and come back), conflict
+// does not (done/failed sessions are not migratable).
+func (r *Router) fetchBundle(ctx context.Context, src *member, id string) ([]byte, error) {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, src.URL+"/v1/sessions/"+id+"/bundle", nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := r.client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: bundle from %s: %w", src.Name, err)
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			var b service.MigrationBundle
+			if err := json.Unmarshal(raw, &b); err != nil {
+				return nil, fmt.Errorf("fleet: bundle from %s: %w", src.Name, err)
+			}
+			return raw, nil
+		case resp.StatusCode == http.StatusConflict && resp.Header.Get("Retry-After") != "":
+			select {
+			case <-time.After(r.cfg.DrainRetry):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("fleet: bundle from %s: %w", src.Name, ctx.Err())
+			}
+		case resp.StatusCode == http.StatusConflict:
+			return nil, fmt.Errorf("%w: %s (%s)", errNotMigratable, id, firstLine(raw))
+		case resp.StatusCode == http.StatusNotFound:
+			return nil, fmt.Errorf("%w: %s vanished from %s", errUnknownSession, id, src.Name)
+		default:
+			return nil, fmt.Errorf("fleet: bundle from %s: %d %s", src.Name, resp.StatusCode, firstLine(raw))
+		}
+	}
+}
+
+// drainMember migrates every live session off a departed member (run
+// as a goroutine per departure; r.wg accounted by the caller).
+func (r *Router) drainMember(m *member) {
+	defer r.wg.Done()
+	r.mu.Lock()
+	var ids []string
+	for id, rt := range r.routes {
+		rt.mu.Lock()
+		if rt.owner == m.Name {
+			ids = append(ids, id)
+		}
+		rt.mu.Unlock()
+	}
+	r.mu.Unlock()
+	moved := 0
+	for _, id := range ids {
+		if m.departed.Load() == false {
+			return // rejoined mid-drain
+		}
+		ctx, cancel := timeoutContext(r.stop, r.cfg.MigrateTimeout)
+		_, _, err := r.Migrate(ctx, id, "")
+		cancel()
+		if err == nil {
+			moved++
+		} else if !errors.Is(err, errNotMigratable) {
+			r.log.Warn("fleet.drain.failed", "member", m.Name, "session", id, "error", err.Error())
+		}
+	}
+	r.log.Info("fleet.drain", "member", m.Name, "sessions", len(ids), "migrated", moved)
+}
+
+// learnedPayload mirrors the daemon's GET learned response shape.
+type learnedPayload struct {
+	Sketch  string                 `json:"sketch"`
+	Learned *solver.LearnedSummary `json:"learned,omitempty"`
+}
+
+// harvestRoute pulls a finished session's learned summary into the
+// shared tier.
+func (r *Router) harvestRoute(rt *route) {
+	defer r.wg.Done()
+	lp, ok := r.fetchLearned(rt)
+	if !ok {
+		return
+	}
+	added, _ := r.learned.Merge(lp.Sketch, lp.Learned)
+	if added > 0 {
+		r.met.learnedHarvested.Add(int64(added))
+		r.log.Info("fleet.learned.harvest", "session", rt.id, "sketch", lp.Sketch, "regions", added)
+	}
+}
+
+// warmRoute pushes the shared tier's merged summary into an active
+// session (skipped when the tier hasn't changed since the last push).
+func (r *Router) warmRoute(rt *route) {
+	defer r.wg.Done()
+	defer func() {
+		rt.mu.Lock()
+		rt.warming = false
+		rt.mu.Unlock()
+	}()
+	rt.mu.Lock()
+	sketch := rt.sketch
+	rt.mu.Unlock()
+	if sketch == "" {
+		lp, ok := r.fetchLearned(rt)
+		if !ok {
+			return
+		}
+		sketch = lp.Sketch
+		rt.mu.Lock()
+		rt.sketch = sketch
+		rt.mu.Unlock()
+		// The pull is a free harvest: the session's own refutations join
+		// the tier even before it finishes.
+		if added, _ := r.learned.Merge(sketch, lp.Learned); added > 0 {
+			r.met.learnedHarvested.Add(int64(added))
+		}
+	}
+	sum, gen := r.learned.Summary(sketch)
+	rt.mu.Lock()
+	stale := sum == nil || gen == rt.warmGen
+	owner := rt.owner
+	rt.mu.Unlock()
+	if stale {
+		return
+	}
+	m := r.memberByName(owner)
+	if m == nil {
+		return
+	}
+	raw, err := json.Marshal(sum)
+	if err != nil {
+		return
+	}
+	ctx, cancel := timeoutContext(r.stop, r.cfg.HealthTimeout)
+	defer cancel()
+	status, _, err := r.do(ctx, http.MethodPut, m.URL+"/v1/sessions/"+rt.id+"/learned", raw)
+	if err != nil || status != http.StatusOK {
+		return // busy or restarting; the next interval retries
+	}
+	rt.mu.Lock()
+	rt.warmGen = gen
+	rt.mu.Unlock()
+	r.met.learnedWarmed.Inc()
+}
+
+// fetchLearned GETs a session's learned export from its owner.
+func (r *Router) fetchLearned(rt *route) (*learnedPayload, bool) {
+	rt.mu.Lock()
+	owner := rt.owner
+	rt.mu.Unlock()
+	m := r.memberByName(owner)
+	if m == nil {
+		return nil, false
+	}
+	ctx, cancel := timeoutContext(r.stop, r.cfg.HealthTimeout)
+	defer cancel()
+	status, raw, err := r.do(ctx, http.MethodGet, m.URL+"/v1/sessions/"+rt.id+"/learned", nil)
+	if err != nil || status != http.StatusOK {
+		return nil, false
+	}
+	var lp learnedPayload
+	if json.Unmarshal(raw, &lp) != nil || lp.Sketch == "" {
+		return nil, false
+	}
+	return &lp, true
+}
+
+// do is the control-plane request helper (bundle/create/import/delete
+// and learned traffic — not the proxy path, which streams the client's
+// own headers through).
+func (r *Router) do(ctx context.Context, method, url string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// firstLine trims an error body for log/error embedding.
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}

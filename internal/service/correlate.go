@@ -125,6 +125,14 @@ func sessionFromPath(path string) string {
 	return rest
 }
 
+// Correlate wraps a handler with the same request-correlation
+// middleware the daemon API uses (exported for the fleet router, which
+// must mint and log the same IDs it forwards so one X-Request-Id links
+// the router access line to the member's).
+func Correlate(next http.Handler, log *obs.Logger) http.Handler {
+	return correlate(next, log)
+}
+
 // correlate wraps the API handler with request correlation and the
 // access log. Response headers are set before next runs so handlers
 // that write early still carry them.

@@ -59,6 +59,12 @@ func Handler(m *Manager) http.Handler {
 		})
 	}
 	mux.HandleFunc("GET /v1/sessions/{id}/progress", m.handleProgress)
+	// Fleet-era routes (v1-only, no unversioned aliases): the migration
+	// bundle and the shared-learned-tier export/warm endpoints.
+	mux.HandleFunc("GET /v1/sessions/{id}/bundle", m.handleBundle)
+	mux.HandleFunc("PUT /v1/sessions/{id}/restore", m.handleRestore)
+	mux.HandleFunc("GET /v1/sessions/{id}/learned", m.handleLearnedExport)
+	mux.HandleFunc("PUT /v1/sessions/{id}/learned", m.handleLearnedWarm)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -115,20 +121,29 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// writeError maps service errors onto HTTP statuses.
-func writeError(w http.ResponseWriter, err error, state State) {
+// writeError maps service errors onto HTTP statuses. Backpressure
+// (429) carries a Retry-After derived from the worker-pool acquire
+// wait, and drain (503) a 1-second one, so the fleet router and
+// well-behaved clients back off instead of hot-looping; ErrBusy (409,
+// a transient "step in flight") also advertises a 1-second retry for
+// the migration drain loop.
+func (m *Manager) writeError(w http.ResponseWriter, err error, state State) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrSaturated), errors.Is(err, ErrTooManySessions):
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", m.retryAfter)
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrBusy):
+		status = http.StatusConflict
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, ErrNoPending), errors.Is(err, ErrStaleAnswer),
-		errors.Is(err, ErrBusy), errors.Is(err, ErrConflict), errors.Is(err, ErrGone):
+		errors.Is(err, ErrConflict), errors.Is(err, ErrGone):
 		status = http.StatusConflict
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		// A long-poll that timed out server-side: not an error, just no
 		// content yet.
@@ -140,7 +155,7 @@ func writeError(w http.ResponseWriter, err error, state State) {
 func (m *Manager) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
 	s, err := m.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err, "")
+		m.writeError(w, err, "")
 		return nil, false
 	}
 	return s, true
@@ -156,8 +171,8 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s, err := m.Create(r.Context(), spec)
 	if err != nil {
-		if errors.Is(err, ErrTooManySessions) || errors.Is(err, ErrClosed) {
-			writeError(w, err, "")
+		if errors.Is(err, ErrTooManySessions) || errors.Is(err, ErrClosed) || errors.Is(err, ErrConflict) {
+			m.writeError(w, err, "")
 			return
 		}
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
@@ -215,7 +230,7 @@ func (m *Manager) handleProgress(w http.ResponseWriter, r *http.Request) {
 
 func (m *Manager) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if err := m.Delete(r.PathValue("id")); err != nil {
-		writeError(w, err, "")
+		m.writeError(w, err, "")
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -260,7 +275,7 @@ func (m *Manager) handleQuery(w http.ResponseWriter, r *http.Request) {
 		q, state, err = s.AwaitQuery(ctx)
 	}
 	if err != nil {
-		writeError(w, err, state)
+		m.writeError(w, err, state)
 		return
 	}
 	resp := queryResponse{State: state}
@@ -318,10 +333,113 @@ func (m *Manager) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	}
 	state, err := s.Answer(r.Context(), req.Seq, pref)
 	if err != nil {
-		writeError(w, err, state)
+		m.writeError(w, err, state)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"state": state, "seq": req.Seq})
+}
+
+// handleBundle serves GET /v1/sessions/{id}/bundle: the live-migration
+// export (spec + partial transcript + learned summary). 409 with a
+// Retry-After while a step is computing; the router's drain loop
+// retries until the session parks.
+func (m *Manager) handleBundle(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	b, err := s.Bundle()
+	if err != nil {
+		m.writeError(w, err, "")
+		return
+	}
+	m.met.bundles.Inc()
+	writeJSON(w, http.StatusOK, b)
+}
+
+// handleRestore serves PUT /v1/sessions/{id}/restore: the import half
+// of live migration. The body is a MigrationBundle; only its Journal
+// (and, best-effort, Learned) are used — the session is rebuilt by
+// deterministic replay of the journal records, the one resume path
+// that reproduces single-process transcripts bit-identically.
+func (m *Manager) handleRestore(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var b MigrationBundle
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&b); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode bundle: " + err.Error()})
+		return
+	}
+	s, err := m.Restore(id, b.Journal)
+	if err != nil {
+		if errors.Is(err, ErrConflict) || errors.Is(err, ErrClosed) || errors.Is(err, ErrTooManySessions) {
+			m.writeError(w, err, "")
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if b.Learned != nil && len(b.Learned.Refuted) > 0 {
+		if installed, _, err := s.WarmLearned(b.Learned); err == nil {
+			m.met.warmInstalled.Add(int64(installed))
+		}
+	}
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// learnedResponse is the GET /v1/sessions/{id}/learned document: the
+// summary plus the sketch identity the fleet's shared tier keys it by.
+type learnedResponse struct {
+	ID     string `json:"id"`
+	Sketch string `json:"sketch"`
+	// Holes is the hole-space dimensionality of the summary's regions
+	// (0 when the summary is empty).
+	Holes   int                    `json:"holes"`
+	Regions int                    `json:"regions"`
+	Learned *solver.LearnedSummary `json:"learned,omitempty"`
+}
+
+func (m *Manager) handleLearnedExport(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	sum, sk, holes, err := s.LearnedExport()
+	if err != nil {
+		m.writeError(w, err, "")
+		return
+	}
+	resp := learnedResponse{ID: s.ID, Sketch: sk, Holes: holes}
+	if sum != nil {
+		resp.Regions = len(sum.Refuted)
+		resp.Learned = sum
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLearnedWarm serves PUT /v1/sessions/{id}/learned: best-effort
+// cross-session cache warming. The body is a solver.LearnedSummary;
+// every region is re-proven against this session's own constraints and
+// unverifiable regions are skipped, so the endpoint is purely advisory
+// — it can speed the session up but never change its results.
+func (m *Manager) handleLearnedWarm(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	var sum solver.LearnedSummary
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&sum); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode learned summary: " + err.Error()})
+		return
+	}
+	installed, skipped, err := s.WarmLearned(&sum)
+	if err != nil {
+		m.writeError(w, err, "")
+		return
+	}
+	m.met.warmInstalled.Add(int64(installed))
+	writeJSON(w, http.StatusOK, map[string]int{"installed": installed, "skipped": skipped})
 }
 
 func (m *Manager) handleExport(w http.ResponseWriter, r *http.Request) {
@@ -331,7 +449,7 @@ func (m *Manager) handleExport(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := s.Transcript()
 	if err != nil {
-		writeError(w, err, "")
+		m.writeError(w, err, "")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -350,8 +468,18 @@ func (m *Manager) handleImport(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "read transcript: " + err.Error()})
 		return
 	}
+	// A transcript that names a session must name THIS session: a
+	// mismatch means a misrouted migration or a tampered bundle, and
+	// silently adopting someone else's history would corrupt both
+	// sessions. The body shape is pinned by TestImportSessionIDConflict.
+	if t.SessionID != "" && t.SessionID != s.ID {
+		writeJSON(w, http.StatusConflict, apiError{
+			Error: fmt.Sprintf("service: transcript session_id %q conflicts with session %q", t.SessionID, s.ID),
+		})
+		return
+	}
 	if err := s.Import(t); err != nil {
-		writeError(w, err, "")
+		m.writeError(w, err, "")
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Status())

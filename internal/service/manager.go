@@ -1,12 +1,15 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -83,6 +86,12 @@ type Manager struct {
 	slots  chan struct{}
 	advWG  sync.WaitGroup
 	ready  atomic.Bool
+	// retryAfter is the Retry-After value (whole seconds) stamped on 429
+	// backpressure responses: the worker-pool acquire wait rounded up,
+	// so a well-behaved client (or the fleet router) backs off for about
+	// as long as a queued request would have waited instead of
+	// hot-looping.
+	retryAfter string
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -105,6 +114,7 @@ func New(cfg Config) (*Manager, error) {
 	}
 	m := &Manager{
 		cfg:         cfg,
+		retryAfter:  retryAfterSeconds(cfg.AcquireWait),
 		met:         newMetrics(cfg.Obs.Reg()),
 		flight:      obs.NewFlightRecorder(cfg.FlightCapacity),
 		slots:       make(chan struct{}, cfg.Workers),
@@ -125,6 +135,17 @@ func New(cfg Config) (*Manager, error) {
 	m.ready.Store(true)
 	go m.janitor()
 	return m, nil
+}
+
+// retryAfterSeconds renders an HTTP Retry-After delay covering d,
+// rounded up to whole seconds with a 1s floor (Retry-After has no
+// sub-second form).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // Ready reports whether the manager is serving: true between the end of
@@ -228,8 +249,25 @@ func (m *Manager) Create(ctx context.Context, spec SessionSpec) (*Session, error
 	if len(m.sessions) >= m.cfg.MaxSessions {
 		return nil, fmt.Errorf("%w (%d resident)", ErrTooManySessions, len(m.sessions))
 	}
-	id := fmt.Sprintf("s%06d", m.nextID)
-	m.nextID++
+	id := spec.ID
+	if id == "" {
+		id = fmt.Sprintf("s%06d", m.nextID)
+		m.nextID++
+	} else {
+		// Client-assigned ID (fleet routing / migration adoption): refuse
+		// anything already resident or journaled, and keep the generated
+		// sequence ahead of adopted "sNNN" names so the two can never
+		// collide later.
+		if _, ok := m.sessions[id]; ok {
+			return nil, fmt.Errorf("%w: session %q already exists", ErrConflict, id)
+		}
+		if _, err := os.Stat(journalPath(m.cfg.DataDir, id)); err == nil {
+			return nil, fmt.Errorf("%w: session %q already has a journal", ErrConflict, id)
+		}
+		if n, ok := sessionSeq(id); ok && n >= m.nextID {
+			m.nextID = n + 1
+		}
+	}
 	jr, err := createJournal(m.cfg.DataDir, id, &spec)
 	if err != nil {
 		return nil, err
@@ -271,6 +309,102 @@ func (m *Manager) Get(id string) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s, nil
+}
+
+// Restore adopts a migrated session from its journal records (the
+// MigrationBundle's Journal field): the records are validated, written
+// as this daemon's journal for the session, and the session is rebuilt
+// through the normal recovery path — deterministic answer replay with
+// the divergence check — so a restored session is bit-identical to one
+// that lived here all along. Conflicts (resident session or existing
+// journal under the ID, or records addressed to a different session)
+// are ErrConflict; a replay that fails leaves no trace.
+func (m *Manager) Restore(id string, lines []json.RawMessage) (*Session, error) {
+	if id == "" {
+		return nil, fmt.Errorf("service: restore needs a session id")
+	}
+	if err := validateSessionID(id); err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("service: restore with an empty journal")
+	}
+	recs := make([]journalRecord, len(lines))
+	for i, ln := range lines {
+		if err := json.Unmarshal(ln, &recs[i]); err != nil {
+			return nil, fmt.Errorf("service: restore journal line %d: %w", i, err)
+		}
+	}
+	if recs[0].Type != recCreate || recs[0].Spec == nil {
+		return nil, fmt.Errorf("service: restore journal does not start with a create record")
+	}
+	// The embedded identity is the tamper/misroute guard, same contract
+	// as the transcript import's session_id check.
+	if recs[0].ID != "" && recs[0].ID != id {
+		return nil, fmt.Errorf("%w: journal create record names session %q, not %q", ErrConflict, recs[0].ID, id)
+	}
+	if recs[0].Spec.ID != "" && recs[0].Spec.ID != id {
+		return nil, fmt.Errorf("%w: journal spec names session %q, not %q", ErrConflict, recs[0].Spec.ID, id)
+	}
+	for i, rec := range recs {
+		if rec.Type == recFinal {
+			return nil, fmt.Errorf("%w: restore journal record %d is a final record; finished sessions do not migrate", ErrConflict, i)
+		}
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := m.sessions[id]; ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: session %q already exists", ErrConflict, id)
+	}
+	if n, ok := sessionSeq(id); ok && n >= m.nextID {
+		m.nextID = n + 1
+	}
+	m.mu.Unlock()
+
+	path := journalPath(m.cfg.DataDir, id)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("%w: session %q already has a journal", ErrConflict, id)
+		}
+		return nil, fmt.Errorf("service: restore journal: %w", err)
+	}
+	// Records arrive pretty-printed (writeJSON indents the bundle);
+	// journals are strictly one record per line, so compact each.
+	var buf bytes.Buffer
+	for _, ln := range lines {
+		if err = json.Compact(&buf, ln); err != nil {
+			break
+		}
+		buf.WriteByte('\n')
+	}
+	if err == nil {
+		_, err = f.Write(buf.Bytes())
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("service: write restore journal: %w", err)
+	}
+
+	s, err := m.Get(id) // the lazy-reload path: replay + divergence check
+	if err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("service: restore replay: %w", err)
+	}
+	m.met.restored.Inc()
+	m.log.Info("session.restore", "session", id, "answers", s.Status().Answers)
 	return s, nil
 }
 

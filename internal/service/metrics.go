@@ -20,6 +20,10 @@ type metrics struct {
 	rejected    *obs.Counter
 	saturated   *obs.Counter
 	stepSeconds *obs.Histogram
+
+	bundles       *obs.Counter
+	restored      *obs.Counter
+	warmInstalled *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -47,5 +51,11 @@ func newMetrics(reg *obs.Registry) *metrics {
 		stepSeconds: reg.Histogram("compsynthd_step_seconds",
 			"Per-step synthesis compute latency (answer accepted to next query).",
 			obs.SecondsBuckets()),
+		bundles: reg.Counter("compsynthd_migration_bundles_total",
+			"Migration bundles exported (GET /v1/sessions/{id}/bundle)."),
+		restored: reg.Counter("compsynthd_sessions_restored_total",
+			"Sessions adopted from migrated journals (PUT /v1/sessions/{id}/restore)."),
+		warmInstalled: reg.Counter("compsynthd_learned_warm_installed_total",
+			"Learned regions installed via cross-session warming (PUT learned)."),
 	}
 }

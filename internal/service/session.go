@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -448,6 +449,163 @@ func (s *Session) Transcript() (*core.Transcript, error) {
 		return nil, ErrBusy
 	}
 	return t, err
+}
+
+// MigrationBundle is the portable form of a live session: everything a
+// new owner needs to adopt it — the original spec (re-keyed to the
+// session's ID), the replayable journal of its history, a snapshot
+// transcript for inspection, and the learned summary riding along so
+// the adopted session keeps its prune work. The transcript carries the
+// session ID (core.Transcript.SessionID) as tamper protection, and the
+// journal's create record carries the same: the importing daemon
+// refuses history addressed to a different session.
+type MigrationBundle struct {
+	ID      string      `json:"id"`
+	Spec    SessionSpec `json:"spec"`
+	State   State       `json:"state"`
+	Answers int         `json:"answers"`
+	// Journal is the session's replayable history, verbatim journal
+	// records: the create record, the import checkpoint when the
+	// session began from PUT transcript, and every accepted answer in
+	// order. Restore rebuilds the session by deterministic replay of
+	// these records — the only resume path proven bit-identical to a
+	// single-process run (mid-session snapshot preloads are not; see
+	// Bundle).
+	Journal []json.RawMessage `json:"journal"`
+	// Transcript is a quiescent snapshot of the preference graph for
+	// inspection and backup tooling; nil for sessions with no committed
+	// history yet. Restore does NOT use it.
+	Transcript *core.Transcript       `json:"transcript,omitempty"`
+	Learned    *solver.LearnedSummary `json:"learned,omitempty"`
+}
+
+// Bundle exports the session for live migration. Only quiescent,
+// unfinished sessions bundle: computing is ErrBusy (retry once the step
+// parks), and finished sessions are ErrConflict — their transcript is
+// the migratable artifact, a stepper replay is not.
+//
+// The journal is the authoritative payload. A quiescent snapshot
+// (stepper.Snapshot) cannot be: answers inside the initial ranking
+// phase are not yet committed to the preference graph, and resuming
+// from a mid-session preload is convergent but not bit-identical to a
+// single-process run. Deterministic replay of the raw answer records is
+// (the crash-recovery invariant), so the bundle ships those and drops
+// mid-session checkpoints — only an import checkpoint, which replay
+// cannot reconstruct, is kept.
+func (s *Session) Bundle() (*MigrationBundle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touchLocked()
+	switch s.state {
+	case StateComputing:
+		return nil, ErrBusy
+	case StateEvicted:
+		return nil, ErrGone
+	case StateDone, StateFailed:
+		return nil, fmt.Errorf("%w: session is %s; export the transcript instead of migrating", ErrConflict, s.state)
+	}
+	recs, err := readJournal(s.jr.path)
+	if err != nil {
+		return nil, fmt.Errorf("service: bundle journal: %w", err)
+	}
+	b := &MigrationBundle{ID: s.ID, Spec: s.spec, State: s.state, Answers: s.answers}
+	b.Spec.ID = s.ID
+	answersSeen := false
+	for i, rec := range recs {
+		switch rec.Type {
+		case recCreate, recAnswer:
+			if rec.Type == recAnswer {
+				answersSeen = true
+			}
+		case recCheckpoint:
+			if i != 1 || answersSeen {
+				continue // eviction/shutdown checkpoint: replay subsumes it
+			}
+		default:
+			continue
+		}
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("service: bundle journal record %d: %w", i, err)
+		}
+		b.Journal = append(b.Journal, line)
+	}
+	if s.answers > 0 || s.imported {
+		t, err := s.stepper.Snapshot()
+		if err != nil {
+			if errors.Is(err, core.ErrSessionBusy) {
+				return nil, ErrBusy
+			}
+			return nil, err
+		}
+		t.SessionID = s.ID
+		b.Transcript = t
+		// Best-effort, like checkpointing: losing the summary costs the
+		// new owner speed, never correctness.
+		b.Learned, _ = s.stepper.LearnedSummary()
+	}
+	return b, nil
+}
+
+// LearnedExport returns the session's learned-prune summary together
+// with the sketch name and hole count the fleet's shared tier keys it
+// by. Finished sessions export their final summary; computing is
+// ErrBusy; sessions without live solver state (recovered-finished)
+// export nil.
+func (s *Session) LearnedExport() (sum *solver.LearnedSummary, sketchName string, holes int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touchLocked()
+	switch s.state {
+	case StateComputing:
+		return nil, "", 0, ErrBusy
+	case StateEvicted:
+		return nil, "", 0, ErrGone
+	}
+	if s.stepper == nil {
+		return nil, s.skName, 0, nil
+	}
+	sum, err = s.stepper.LearnedSummary()
+	if errors.Is(err, core.ErrSessionBusy) {
+		return nil, "", 0, ErrBusy
+	}
+	holes = 0
+	if sum != nil && len(sum.Refuted) > 0 {
+		holes = len(sum.Refuted[0].Box)
+	}
+	return sum, s.skName, holes, err
+}
+
+// WarmLearned seeds the session's learned-prune cache best-effort from
+// a cross-session summary (the fleet's shared learned tier). Each
+// region is re-proven against this session's own constraints before
+// installation (core.Stepper.WarmLearned), so warming is purely
+// advisory: it can only skip prune work, never change results.
+// Finished sessions and sessions without live solver state accept the
+// call as a no-op; computing is ErrBusy.
+func (s *Session) WarmLearned(sum *solver.LearnedSummary) (installed, skipped int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touchLocked()
+	switch s.state {
+	case StateComputing:
+		return 0, 0, ErrBusy
+	case StateEvicted:
+		return 0, 0, ErrGone
+	case StateDone, StateFailed:
+		return 0, 0, nil
+	}
+	if s.stepper == nil {
+		return 0, 0, nil
+	}
+	installed, skipped, err = s.stepper.WarmLearned(sum)
+	if errors.Is(err, core.ErrSessionBusy) {
+		return 0, 0, ErrBusy
+	}
+	if installed > 0 {
+		s.log.Debug("session.learned.warm", "installed", installed, "skipped", skipped)
+	}
+	return installed, skipped, err
 }
 
 // Status reports the session without touching its idle clock, so

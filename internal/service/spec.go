@@ -25,6 +25,7 @@ import (
 
 	"compsynth/internal/core"
 	"compsynth/internal/obs"
+	"compsynth/internal/oracle"
 	"compsynth/internal/sketch"
 	"compsynth/internal/solver"
 )
@@ -33,6 +34,13 @@ import (
 // body of POST /v1/sessions). It is stored verbatim in the session's
 // journal, so recovery rebuilds the exact same core.Config.
 type SessionSpec struct {
+	// ID optionally names the session. The fleet router assigns
+	// fleet-unique IDs at create time (and migration re-creates a
+	// session under its original ID on the new owner); when empty the
+	// daemon generates one. IDs are restricted to a filesystem-safe
+	// charset because they name journal files, and creating an ID that
+	// already exists (resident or journaled) is a 409 conflict.
+	ID string `json:"id,omitempty"`
 	// Sketch names a built-in sketch ("swan", the default). Exclusive
 	// with SpecText.
 	Sketch string `json:"sketch,omitempty"`
@@ -98,6 +106,24 @@ func (sp *SessionSpec) sketchFor() (*sketch.Sketch, error) {
 	return nil, fmt.Errorf("service: unknown sketch %q (built-ins: swan; or send an inline spec)", sp.Sketch)
 }
 
+// BatchRun runs a spec to completion in-process against the given
+// oracle — the single-process reference whose transcript every service
+// and fleet path must reproduce bit-identically. Exported for the fleet
+// tests and the synthload chaos harness, which compare HTTP-driven
+// transcripts against it.
+func BatchRun(spec SessionSpec, user oracle.Oracle) (*core.Result, error) {
+	cfg, err := spec.config(nil, &solver.Stats{})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Oracle = user
+	synth, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return synth.Run()
+}
+
 // config materializes a core.Config for a stepper. Each call builds a
 // fresh sketch so per-session specialization caches are not shared
 // across sessions (session isolation beats cache reuse here: a hung
@@ -160,6 +186,34 @@ func (sp *SessionSpec) config(obsv *obs.Observer, stats *solver.Stats) (core.Con
 
 // validate rejects specs that cannot produce a session.
 func (sp *SessionSpec) validate() error {
+	if err := validateSessionID(sp.ID); err != nil {
+		return err
+	}
 	_, err := sp.sketchFor()
 	return err
+}
+
+// validateSessionID enforces the client-assigned session ID charset:
+// 1–64 characters of [A-Za-z0-9._-], not starting with a dot. IDs name
+// journal files, so the charset is exactly what is safe to embed in a
+// filename on every platform (no separators, no hidden files).
+func validateSessionID(id string) error {
+	if id == "" {
+		return nil // daemon generates one
+	}
+	if len(id) > 64 {
+		return fmt.Errorf("service: session id longer than 64 bytes")
+	}
+	if id[0] == '.' {
+		return fmt.Errorf("service: session id %q starts with a dot", id)
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("service: session id %q contains %q (want [A-Za-z0-9._-])", id, c)
+		}
+	}
+	return nil
 }

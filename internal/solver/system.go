@@ -373,6 +373,87 @@ func (s *System) ImportLearned(sum *LearnedSummary) (int, error) {
 	return len(regions), nil
 }
 
+// WarmLearned is the advisory sibling of ImportLearned for summaries
+// that came from a *different* session (the fleet's shared learned
+// tier): instead of all-or-nothing verification it re-proves each
+// region independently and installs only the ones that check out,
+// skipping the rest. A region first tries the constraint index the
+// exporter named (cheap, and exact for same-history summaries); when
+// that fails — cross-session summaries index a different constraint
+// order — every constraint is scanned for one that refutes the box.
+// Every installed fact is therefore proven against *this* system, so
+// warming can never change results, only skip work the prune engine
+// would have redone. Returns how many regions were installed and how
+// many were skipped.
+func (s *System) WarmLearned(sum *LearnedSummary) (installed, skipped int) {
+	if sum == nil || s.learned == nil {
+		return 0, 0
+	}
+	dim := len(s.sk.Domains())
+	box := make([]interval.Interval, dim)
+	for _, r := range sum.Refuted {
+		if len(r.Box) != dim || !finiteRegion(r) {
+			skipped++
+			continue
+		}
+		for j, b := range r.Box {
+			box[j] = interval.New(b[0], b[1])
+		}
+		key, ok := s.refuterFor(box, r)
+		if !ok {
+			skipped++
+			continue
+		}
+		s.learned.storeBox(hashBox(box), append([]interval.Interval(nil), box...), key, false)
+		installed++
+	}
+	return installed, skipped
+}
+
+// refuterFor finds a constraint of this system that provably refutes
+// the box, preferring the index the exporting system recorded.
+func (s *System) refuterFor(box []interval.Interval, r RefutedRegion) (key string, ok bool) {
+	refutesPref := func(i int) bool {
+		diff := s.cps[i].diff.EvalInterval(nil, box)
+		return diff.Hi <= s.margin
+	}
+	refutesTie := func(i int) bool {
+		ct := s.cts[i]
+		diff := ct.diff.EvalInterval(nil, box)
+		return diff.Lo > ct.band || diff.Hi < -ct.band
+	}
+	if r.Tie && r.Index >= 0 && r.Index < len(s.cts) && refutesTie(r.Index) {
+		return s.cts[r.Index].key, true
+	}
+	if !r.Tie && r.Index >= 0 && r.Index < len(s.cps) && refutesPref(r.Index) {
+		return s.cps[r.Index].key, true
+	}
+	for i := range s.cps {
+		if refutesPref(i) {
+			return s.cps[i].key, true
+		}
+	}
+	for i := range s.cts {
+		if refutesTie(i) {
+			return s.cts[i].key, true
+		}
+	}
+	return "", false
+}
+
+// finiteRegion reports whether a region's bounds are finite, ordered
+// intervals — the structural subset of LearnedSummary.Validate that
+// WarmLearned enforces per region instead of rejecting the whole
+// summary.
+func finiteRegion(r RefutedRegion) bool {
+	for _, b := range r.Box {
+		if math.IsNaN(b[0]) || math.IsInf(b[0], 0) || math.IsNaN(b[1]) || math.IsInf(b[1], 0) || b[0] > b[1] {
+			return false
+		}
+	}
+	return true
+}
+
 // Violation returns the hinge loss of θ against the constraints: 0 iff
 // every constraint holds with the margin. Bit-identical to the
 // Problem-based violation reference.
