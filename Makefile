@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-smoke bench-json experiments examples obs-smoke obs-demo service-smoke log-smoke fleet-smoke fleet-chaos docs-lint fmt vet clean
+.PHONY: all build test test-short race cover bench bench-smoke bench-json effort-gate experiments examples obs-smoke obs-demo service-smoke log-smoke fleet-smoke fleet-chaos docs-lint fmt vet clean
 
 # Tier-1 verification: build, vet, the full test suite, the race
 # detector over the packages with real concurrency (parallel solver
@@ -13,8 +13,9 @@ GO ?= go
 # check of every benchmark, smoke tests of the observability HTTP
 # endpoint, the compsynthd service layer, the structured log
 # stream, and the multi-node fleet (router + daemons + chaos loadgen
-# over real HTTP), and the documentation gate.
-all: build vet test race bench-smoke obs-smoke service-smoke log-smoke fleet-smoke docs-lint
+# over real HTTP), the oracle-effort regression gate, and the
+# documentation gate.
+all: build vet test race bench-smoke obs-smoke service-smoke log-smoke fleet-smoke effort-gate docs-lint
 
 build:
 	$(GO) build ./...
@@ -40,10 +41,19 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
 
-# Archive hot-path benchmark results (ns/op, B/op, allocs/op) as JSON
-# for cross-commit perf tracking.
+# Archive hot-path benchmark results (ns/op, B/op, allocs/op, custom
+# metrics like queries/run) as JSON for cross-commit perf tracking.
+# Also refreshes the oracle-effort baseline that `make effort-gate`
+# enforces.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_solver.json
+
+# Oracle-effort regression gate: re-run the pinned queries-to-
+# convergence benchmark and fail if the planner needs more oracle
+# queries than the baseline archived in BENCH_solver.json, or saves
+# less than 30% over planner-off. Part of tier-1 `all`.
+effort-gate:
+	$(GO) run ./cmd/effortgate
 
 # Boot the live observability endpoint: /metrics (Prometheus text),
 # /debug/vars (expvar), /debug/pprof, /trace (JSONL spans).

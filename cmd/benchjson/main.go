@@ -30,11 +30,14 @@ import (
 	"compsynth/internal/benchfmt"
 )
 
-// defaultPackages are the hot-path packages whose benchmarks gate perf.
+// defaultPackages are the hot-path packages whose benchmarks gate perf,
+// plus the experiments package whose queries-to-convergence benchmark
+// records the oracle-effort baseline cmd/effortgate diffs against.
 var defaultPackages = []string{
 	"./internal/solver/",
 	"./internal/sketch/",
 	"./internal/expr/",
+	"./internal/experiments/",
 }
 
 func main() {

@@ -73,6 +73,8 @@ func main() {
 		workers      = flag.Int("workers", 0, "sampling/repair worker count (0 keeps the sequential default; changes the seed-deterministic search path)")
 		pruneWorkers = flag.Int("prune-workers", 0, "branch-and-prune worker count (0 means one per CPU; never changes results)")
 		batchLanes   = flag.Int("batch-lanes", 0, "batched-evaluation lane width (0 keeps the solver default, 1 disables batching; never changes results)")
+		planner      = flag.String("planner", "on", "active query planner: on (default) plans rounds of maximally informative queries, off keeps the seed's first-distinguishing-pair behavior")
+		batchQueries = flag.Int("batch-queries", 0, "queries per planner round (the modern spelling of -pairs; 0 defers to -pairs)")
 	)
 	flag.Parse()
 
@@ -84,6 +86,7 @@ func main() {
 		obsAddr: *obsAddr, traceFile: *traceFile,
 		logDest: *logDest, logLevel: *logLevel, progressTick: *progressTick,
 		workers: *workers, pruneWorkers: *pruneWorkers, batchLanes: *batchLanes,
+		planner: *planner, batchQueries: *batchQueries,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "compsynth:", err)
@@ -108,10 +111,23 @@ type options struct {
 	progressTick          time.Duration
 	workers, pruneWorkers int
 	batchLanes            int
+	planner               string
+	batchQueries          int
 }
 
 func run(o options) error {
 	seed, initN, pairs := o.seed, o.initN, o.pairs
+	if o.batchQueries > 0 {
+		pairs = o.batchQueries
+	}
+	plannerOff := false
+	switch o.planner {
+	case "", "on":
+	case "off":
+		plannerOff = true
+	default:
+		return fmt.Errorf("bad -planner %q (want on or off)", o.planner)
+	}
 	interactive, verbose := o.interactive, o.verbose
 	targetStr, sketchFile := o.targetStr, o.sketchFile
 	save, resume := o.save, o.resume
@@ -228,6 +244,7 @@ func run(o options) error {
 		PairsPerIteration: pairs,
 		Seed:              seed,
 		Obs:               observer,
+		DisablePlanner:    plannerOff,
 	}
 	if workers > 0 || pruneWorkers > 0 || batchLanes > 0 {
 		cfg.Solver = solver.DefaultOptions()

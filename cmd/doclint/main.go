@@ -64,10 +64,12 @@ var requiredHeadings = map[string][]string{
 	"DESIGN.md": {
 		"## 13. Logging, correlation, and the flight recorder",
 		"## 14. The synthesis fleet: routing, live migration, chaos testing",
+		"## 15. The active query planner and the batched Query/Judgment API",
 	},
 	"README.md": {
 		"## Operating the daemon: logs, correlation, flight dumps",
 		"## Running a fleet: router, live migration, chaos testing",
+		"## Batched queries and the v1 API migration",
 	},
 }
 

@@ -1,0 +1,137 @@
+// Command effortgate guards the synthesizer's oracle budget: it re-runs
+// the pinned queries-to-convergence benchmark (fast-mode Table 1
+// workload, fixed seeds) and fails when the planner arm needs more
+// oracle queries than the baseline archived in BENCH_solver.json, or
+// when the planner's saving over the planner-off arm falls below the
+// floor. Perf regressions show up in ns/op; this gate is for the metric
+// the paper actually optimizes — human answers consumed.
+//
+// Usage:
+//
+//	effortgate [-baseline BENCH_solver.json] [-tolerance 0.05]
+//	           [-min-saving 0.30] [-bench regex] [pkg]
+//
+// The baseline is the most recent run in the archive that carries the
+// benchmark's queries/run metric; refresh it with `make bench-json`
+// after an intentional change. Invoked by `make effort-gate` (tier-1).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+
+	"compsynth/internal/benchfmt"
+)
+
+// metricUnit is the custom b.ReportMetric unit the gate diffs.
+const metricUnit = "queries/run"
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "BENCH_solver.json", "benchmark archive holding the recorded baseline")
+		tolerance = flag.Float64("tolerance", 0.05, "allowed queries/run increase over the baseline before failing")
+		minSaving = flag.Float64("min-saving", 0.30, "minimum fractional query saving of planner=on over planner=off")
+		benchRE   = flag.String("bench", "^BenchmarkQueriesToConvergence$", "benchmark regex to run")
+	)
+	flag.Parse()
+	pkg := "./internal/experiments/"
+	if flag.NArg() > 0 {
+		pkg = flag.Arg(0)
+	}
+	if err := run(*baseline, *benchRE, pkg, *tolerance, *minSaving); err != nil {
+		fmt.Fprintln(os.Stderr, "effortgate: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("effortgate: PASS")
+}
+
+func run(baselinePath, benchRE, pkg string, tolerance, minSaving float64) error {
+	base, commit, err := baselineMetric(baselinePath)
+	if err != nil {
+		return err
+	}
+
+	args := []string{"test", "-run", "^$", "-bench", benchRE, "-benchtime", "1x", pkg}
+	cmd := exec.Command("go", args...)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "effortgate: go %v\n", args)
+	if err := cmd.Run(); err != nil {
+		os.Stderr.Write(stdout.Bytes())
+		return fmt.Errorf("go test: %w", err)
+	}
+	results, err := benchfmt.Parse(bytes.NewReader(stdout.Bytes()))
+	if err != nil {
+		return err
+	}
+	on, ok := metric(results, "planner=on")
+	if !ok {
+		return fmt.Errorf("benchmark run reported no planner=on %s (regex %q over %s)", metricUnit, benchRE, pkg)
+	}
+	off, ok := metric(results, "planner=off")
+	if !ok {
+		return fmt.Errorf("benchmark run reported no planner=off %s", metricUnit)
+	}
+
+	saving := 1 - on/off
+	fmt.Printf("effortgate: planner=on %.2f %s, planner=off %.2f (saving %.1f%%), baseline %.2f (commit %s)\n",
+		on, metricUnit, off, 100*saving, base, commit)
+	if limit := base * (1 + tolerance); on > limit {
+		return fmt.Errorf("planner=on needs %.2f %s, above the recorded baseline %.2f (+%.0f%% tolerance = %.2f); "+
+			"if the increase is intentional, refresh the archive with `make bench-json`",
+			on, metricUnit, base, 100*tolerance, limit)
+	}
+	if saving < minSaving {
+		return fmt.Errorf("planner saves only %.1f%% of oracle queries over planner=off, below the %.0f%% floor",
+			100*saving, 100*minSaving)
+	}
+	return nil
+}
+
+// baselineMetric finds the most recent archived run carrying the
+// planner=on queries/run metric.
+func baselineMetric(path string) (float64, string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, "", fmt.Errorf("reading baseline archive: %w (record one with `make bench-json`)", err)
+	}
+	history, err := benchfmt.ReadHistory(bytes.NewReader(raw))
+	if err != nil {
+		return 0, "", fmt.Errorf("baseline archive %s: %w", path, err)
+	}
+	for i := len(history.Runs) - 1; i >= 0; i-- {
+		if v, ok := metric(history.Runs[i].Results, "planner=on"); ok {
+			commit := history.Runs[i].Commit
+			if commit == "" {
+				commit = "unknown"
+			}
+			return v, commit, nil
+		}
+	}
+	return 0, "", fmt.Errorf("no run in %s carries a planner=on %s metric; record one with `make bench-json`", path, metricUnit)
+}
+
+// gomaxprocsSuffix is the "-8" style suffix go test appends to
+// benchmark names; the metric lookup ignores it so archives from hosts
+// with different core counts compare.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// metric extracts the queries/run metric of the named benchmark arm.
+func metric(results []benchfmt.Result, arm string) (float64, bool) {
+	for _, r := range results {
+		name := gomaxprocsSuffix.ReplaceAllString(r.Name, "")
+		if !strings.HasSuffix(name, "/"+arm) {
+			continue
+		}
+		if v, ok := r.Extra[metricUnit]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}

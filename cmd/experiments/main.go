@@ -48,6 +48,7 @@ func main() {
 		fatigue  = flag.Bool("fatigue", false, "extension: user-fatigue sweep (§4.3 discussion)")
 		strategy = flag.Bool("strategy", false, "ablation: query-selection strategy comparison")
 		effort   = flag.Bool("effort", false, "print per-run effort accounting (oracle time, solver counters) with -table1")
+		planner  = flag.String("planner", "on", "active query planner: on (default) or off (seed first-distinguishing-pair behavior)")
 		obsAddr  = flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running (e.g. 127.0.0.1:8090)")
 		linger   = flag.Duration("obs-linger", 0, "keep the -obs endpoint up this long after the runs finish")
 		logDest  = flag.String("log", "", "structured JSON log destination: stderr, stdout, a file path, or off (default off)")
@@ -59,6 +60,14 @@ func main() {
 	}
 	if !*table1 && !*fig3 && !*fig4 && !*fig5 && !*noise && !*multi && !*fatigue && !*strategy {
 		flag.Usage()
+		os.Exit(2)
+	}
+	switch *planner {
+	case "on":
+	case "off":
+		experiments.SetPlannerOff(true)
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: bad -planner %q (want on or off)\n", *planner)
 		os.Exit(2)
 	}
 	logger, closeLog, err := obs.OpenLogger(*logDest, *logLevel)

@@ -159,7 +159,19 @@ func run(o options) error {
 			go func(i int) {
 				defer func() { <-sem; wg.Done() }()
 				spec := loadSpec(o.seed + int64(i))
-				n, err := driveSession(f.routerURL, spec, gt)
+				// Alternate the two client generations so every run
+				// proves they coexist against the same fleet: even
+				// sessions speak the deprecated single-query protocol,
+				// odd sessions the batched rounds surface (with
+				// multi-query planner rounds to make the batches real).
+				var n int
+				var err error
+				if i%2 == 1 {
+					spec.PairsPerIteration = 3
+					n, err = driveSessionBatch(f.routerURL, spec, gt)
+				} else {
+					n, err = driveSession(f.routerURL, spec, gt)
+				}
 				if err != nil {
 					fail(fmt.Errorf("session %d: %w", i, err))
 					return
@@ -641,14 +653,7 @@ func driveSession(base string, spec service.SessionSpec, gt oracle.Oracle) (int,
 		}
 		switch qr.State {
 		case "awaiting_answer":
-			pref := gt.Compare(scenario.Scenario(qr.A), scenario.Scenario(qr.B))
-			word := "tie"
-			switch pref {
-			case oracle.PrefersFirst:
-				word = "first"
-			case oracle.PrefersSecond:
-				word = "second"
-			}
+			word := prefWord(gt.Compare(scenario.Scenario(qr.A), scenario.Scenario(qr.B)))
 			ab, _ := json.Marshal(map[string]any{"seq": qr.Seq, "pref": word})
 			ar, err := client.Post(base+"/v1/sessions/"+id+"/answer", "application/json", bytes.NewReader(ab))
 			if err != nil {
@@ -678,6 +683,125 @@ func driveSession(base string, spec service.SessionSpec, gt oracle.Oracle) (int,
 			// Verified; free the slot. Finished sessions stay resident
 			// (the run disables idle eviction), so without cleanup a
 			// long run wedges on the daemons' max-sessions cap.
+			return answered, deleteSession(client, base, id)
+		case "failed":
+			return answered, fmt.Errorf("session %s failed: %s", id, qr.Error)
+		}
+	}
+	return answered, fmt.Errorf("session %s did not finish within the retry budget", id)
+}
+
+// prefWord renders a preference in the API's answer vocabulary.
+func prefWord(pref oracle.Preference) string {
+	switch pref {
+	case oracle.PrefersFirst:
+		return "first"
+	case oracle.PrefersSecond:
+		return "second"
+	}
+	return "tie"
+}
+
+// batchQueriesResp mirrors the GET /queries document.
+type batchQueriesResp struct {
+	State   string `json:"state"`
+	Queries []struct {
+		Seq int       `json:"seq"`
+		A   []float64 `json:"a"`
+		B   []float64 `json:"b"`
+	} `json:"queries"`
+	Error string `json:"error"`
+}
+
+// driveSessionBatch is driveSession speaking the successor protocol:
+// it fetches whole query rounds from GET /queries and posts their
+// judgments as one POST /judgments batch — in reverse round order, to
+// exercise out-of-order acceptance, and with a mix of omitted and
+// explicit full confidences. The bit-identical transcript invariant is
+// the same: the batch surface must reproduce the single-process run.
+func driveSessionBatch(base string, spec service.SessionSpec, gt oracle.Oracle) (int, error) {
+	want, err := referenceTranscript(spec, gt)
+	if err != nil {
+		return 0, fmt.Errorf("batch reference: %w", err)
+	}
+	client := &http.Client{Timeout: 90 * time.Second}
+	id, err := createSession(client, base, spec)
+	if err != nil {
+		return 0, err
+	}
+	answered := 0
+	for tries := 0; tries < 8000; tries++ {
+		resp, err := client.Get(base + "/v1/sessions/" + id + "/queries?wait=20s")
+		if err != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusRequestTimeout, http.StatusTooManyRequests,
+			http.StatusConflict, http.StatusServiceUnavailable, http.StatusBadGateway:
+			sleepRetry(resp, 50*time.Millisecond)
+			continue
+		default:
+			return answered, fmt.Errorf("queries %s: %d %s", id, resp.StatusCode, raw)
+		}
+		var qr batchQueriesResp
+		if err := json.Unmarshal(raw, &qr); err != nil {
+			return answered, fmt.Errorf("decode queries %q: %w", raw, err)
+		}
+		switch qr.State {
+		case "awaiting_answer":
+			// Judge the whole round back-to-front. Confidence alternates
+			// between omitted and an explicit 1 — the two spellings of
+			// full confidence must be interchangeable.
+			items := make([]map[string]any, 0, len(qr.Queries))
+			for i := len(qr.Queries) - 1; i >= 0; i-- {
+				q := qr.Queries[i]
+				item := map[string]any{
+					"seq":  q.Seq,
+					"pref": prefWord(gt.Compare(scenario.Scenario(q.A), scenario.Scenario(q.B))),
+				}
+				if i%2 == 0 {
+					item["confidence"] = 1.0
+				}
+				items = append(items, item)
+			}
+			jb, _ := json.Marshal(map[string]any{"judgments": items})
+			jr, err := client.Post(base+"/v1/sessions/"+id+"/judgments", "application/json", bytes.NewReader(jb))
+			if err != nil {
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			jraw, _ := io.ReadAll(jr.Body)
+			jr.Body.Close()
+			// Even a failed batch may have applied a prefix (each judgment
+			// journals independently); count what the server accepted and
+			// re-fetch the open remainder of the round.
+			var jresp struct {
+				Accepted int `json:"accepted"`
+			}
+			if json.Unmarshal(jraw, &jresp) == nil {
+				answered += jresp.Accepted
+			}
+			switch jr.StatusCode {
+			case http.StatusAccepted:
+			case http.StatusConflict, http.StatusTooManyRequests,
+				http.StatusServiceUnavailable, http.StatusBadGateway:
+				sleepRetry(jr, 50*time.Millisecond)
+			default:
+				return answered, fmt.Errorf("judgments %s: %d %s", id, jr.StatusCode, jraw)
+			}
+		case "done":
+			got, err := fetchTranscript(client, base, id)
+			if err != nil {
+				return answered, err
+			}
+			if !bytes.Equal(got, want) {
+				return answered, fmt.Errorf("session %s: transcript differs from batch run (%d vs %d bytes)",
+					id, len(got), len(want))
+			}
 			return answered, deleteSession(client, base, id)
 		case "failed":
 			return answered, fmt.Errorf("session %s failed: %s", id, qr.Error)

@@ -28,6 +28,7 @@ import (
 
 	"compsynth/internal/obs"
 	"compsynth/internal/oracle"
+	"compsynth/internal/planner"
 	"compsynth/internal/prefgraph"
 	"compsynth/internal/scenario"
 	"compsynth/internal/sketch"
@@ -147,6 +148,18 @@ type Config struct {
 	// (enabled) is right for every production session; the knob exists
 	// for A/B benchmarks and as a kill switch.
 	DisableLearnedCache bool
+
+	// DisablePlanner turns off the active query planner and falls back
+	// to the solver's first-found/max-gap distinguishing search — the
+	// seed behavior, pinned bit-identical by TestGoldenTranscriptPlannerOff.
+	// Unlike the learned cache, the planner intentionally changes which
+	// queries are asked (that is its job: fewer, more informative ones),
+	// so the zero value (enabled) changes transcripts relative to older
+	// versions; this kill switch preserves the old behavior exactly.
+	DisablePlanner bool
+	// Planner tunes the active query planner (zero = defaults). Ignored
+	// when DisablePlanner is set.
+	Planner planner.Config
 
 	// Seed drives all randomness in the session (scenario generation
 	// and solver search). Sessions with equal configs and seeds are
@@ -294,6 +307,12 @@ type Synthesizer struct {
 	// user wraps cfg.Oracle with timing/counting (see timedOracle); all
 	// comparisons go through it.
 	user oracle.Oracle
+	// batch is the batch view of cfg.Oracle (native when the oracle
+	// implements oracle.BatchOracle, an adapter otherwise); the planner
+	// path asks whole rounds through it.
+	batch oracle.BatchOracle
+	// planner is the active query planner (nil when DisablePlanner).
+	planner *planner.Planner
 	// om holds the loop metrics (nil when no registry is attached).
 	om *coreMetrics
 	// oracleTime and queries accumulate across the session; finish
@@ -360,6 +379,10 @@ func New(cfg Config) (*Synthesizer, error) {
 	}
 	s.search = solver.NewSearch(s.sys)
 	s.user = timedOracle{s}
+	s.batch = oracle.AsBatch(cfg.Oracle)
+	if !cfg.DisablePlanner {
+		s.planner = planner.New(cfg.Planner)
+	}
 	if !cfg.DisableLearnedCache {
 		s.learned = solver.NewLearned(0)
 		s.sys.SetLearned(s.learned)
@@ -463,8 +486,7 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 
 		solveStart := time.Now()
 		spSolve := tr.Begin("solve")
-		wits, status, err := s.search.FindDistinguishingMany(
-			ctx, s.cfg.PairsPerIteration, s.solverOpts(0), s.cfg.Distinguish, s.rng)
+		wits, status, err := s.findQueries(ctx, 0)
 		if spSolve.Active() {
 			spSolve.End(obs.Num("escalation", 0), obs.Num("status", float64(status)))
 		}
@@ -476,8 +498,7 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 			// No consistent candidate found at the base budget. Escalate
 			// once: the version space may just be small.
 			spSolve = tr.Begin("solve")
-			wits, status, err = s.search.FindDistinguishingMany(
-				ctx, s.cfg.PairsPerIteration, s.solverOpts(2), s.cfg.Distinguish, s.rng)
+			wits, status, err = s.findQueries(ctx, 2)
 			if spSolve.Active() {
 				spSolve.End(obs.Num("escalation", 2), obs.Num("status", float64(status)))
 			}
@@ -529,16 +550,32 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 			s.addHints(w.A, w.B)
 		}
 		oracleBefore := s.oracleTime
-		for _, w := range wits {
-			pref := s.user.Compare(w.X1, w.X2)
-			stat.Queries++
-			added, rejected, err := s.record(w.X1, w.X2, pref)
-			if err != nil {
-				spIter.End()
-				return nil, err
+		if s.planner != nil {
+			// Planned rounds go to the oracle as one batch and come back
+			// as graded judgments recorded with weighted-edge semantics.
+			judgments := s.askBatch(wits)
+			stat.Queries += len(wits)
+			for i, w := range wits {
+				added, rejected, err := s.recordJudgment(w.X1, w.X2, judgments[i])
+				if err != nil {
+					spIter.End()
+					return nil, err
+				}
+				stat.NewEdges += added
+				stat.Rejected += rejected
 			}
-			stat.NewEdges += added
-			stat.Rejected += rejected
+		} else {
+			for _, w := range wits {
+				pref := s.user.Compare(w.X1, w.X2)
+				stat.Queries++
+				added, rejected, err := s.record(w.X1, w.X2, pref)
+				if err != nil {
+					spIter.End()
+					return nil, err
+				}
+				stat.NewEdges += added
+				stat.Rejected += rejected
+			}
 		}
 		stat.OracleTime = s.oracleTime - oracleBefore
 		if s.cfg.TransitiveReduction {
@@ -549,6 +586,34 @@ func (s *Synthesizer) RunContext(ctx context.Context) (*Result, error) {
 		s.endIteration(res, stat, spIter)
 	}
 	return s.finish(ctx, res)
+}
+
+// findQueries produces the iteration's query round: the active planner
+// when enabled (information-gain-ranked, non-redundant pairs), the
+// solver's plain distinguishing search otherwise. The verdict contract
+// is identical either way.
+func (s *Synthesizer) findQueries(ctx context.Context, escalation int) ([]*solver.Distinguishing, solver.Status, error) {
+	if s.planner == nil {
+		return s.search.FindDistinguishingMany(
+			ctx, s.cfg.PairsPerIteration, s.solverOpts(escalation), s.cfg.Distinguish, s.rng)
+	}
+	return s.planner.Plan(
+		ctx, s.search, s.cfg.PairsPerIteration, s.solverOpts(escalation), s.cfg.Distinguish, s.known, s.rng)
+}
+
+// known reports whether the ordering of a scenario pair is already
+// implied by the preference graph's transitive closure — the planner's
+// zero-gain filter.
+func (s *Synthesizer) known(x1, x2 scenario.Scenario) bool {
+	id1, ok := s.store.Find(x1)
+	if !ok {
+		return false
+	}
+	id2, ok := s.store.Find(x2)
+	if !ok {
+		return false
+	}
+	return id1 == id2 || s.graph.Comparable(id1, id2)
 }
 
 // endIteration publishes one completed round: loop metrics, the
@@ -688,6 +753,55 @@ func (s *Synthesizer) record(a, b scenario.Scenario, pref oracle.Preference) (ad
 	return 0, 0, fmt.Errorf("core: unknown noise policy %v", s.cfg.Noise)
 }
 
+// recordJudgment stores a graded batch answer with weighted-edge
+// semantics: the judgment's weight accrues on the pair's accumulated
+// support (prefgraph.Observe), and a contradiction only repairs the
+// graph once the accumulated support outweighs the installed opposing
+// edges — a single noisy answer can never rewrite history the way an
+// immediate NoiseRepair would. Pending (out-weighed) observations count
+// as rejected in the iteration stats. NoiseFail still aborts on any
+// contradiction. Zero-noise sessions never hit the contradiction path,
+// so their graphs match the unweighted record() exactly.
+func (s *Synthesizer) recordJudgment(a, b scenario.Scenario, j oracle.Judgment) (added, rejected int, err error) {
+	if j.Pref == oracle.Indifferent {
+		return s.record(a, b, j.Pref) // tie handling is weight-free
+	}
+	better, worse := a, b
+	if j.Pref == oracle.PrefersSecond {
+		better, worse = b, a
+	}
+	bid, err := s.store.Add(better)
+	if err != nil {
+		return 0, 0, err
+	}
+	wid, err := s.store.Add(worse)
+	if err != nil {
+		return 0, 0, err
+	}
+	if bid == wid {
+		return 0, 0, nil // deduplicated to the same vertex
+	}
+	if s.cfg.Noise == NoiseFail && s.graph.Prefers(wid, bid) {
+		return 0, 0, fmt.Errorf("%w: %d > %d contradicts recorded preferences",
+			ErrInconsistent, bid, wid)
+	}
+	res, err := s.graph.Observe(bid, wid, j.Weight())
+	if err != nil {
+		return 0, 0, err
+	}
+	switch {
+	case res.Added && len(res.Removed) > 0:
+		s.rebuildSystem()
+		return 1, len(res.Removed), nil
+	case res.Added:
+		s.insertEdge(prefgraph.Edge{Better: bid, Worse: wid})
+		return 1, 0, nil
+	case res.Pending:
+		return 0, 1, nil
+	}
+	return 0, 0, nil // repeated answer; support reinforced
+}
+
 // insertEdge mirrors a newly added graph edge into the compiled system.
 // sysEdges is kept in prefgraph.Edges() order (sorted by Better, then
 // Worse): constraint order is observable through the violation sum and
@@ -796,6 +910,18 @@ func (s *Synthesizer) relax(ctx context.Context) (int, error) {
 		}
 	}
 	if dropped == 0 {
+		if loss == 0 {
+			// Every constraint is satisfiable — the sampling search just
+			// missed the (by now tiny) consistent region that the repair
+			// walk reached. Nothing to relax: seed the feasible point as
+			// a hint so the next search starts inside the region, and
+			// report recovery. The loop cannot spin on this path: with
+			// the hint in place the next search finds at least one
+			// candidate, so it returns Sat (progress: new edges) or
+			// Unsat (convergence), never Unknown again.
+			s.addHints(best)
+			return 0, nil
+		}
 		// Nothing identifiably wrong yet no candidate: give up rather
 		// than loop forever.
 		return 0, ErrNoCandidate

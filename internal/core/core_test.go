@@ -478,6 +478,11 @@ func TestRunContextTimeout(t *testing.T) {
 	cfg := fastConfig(t, 73)
 	cfg.Distinguish.Gamma = 1e-9
 	cfg.MaxIterations = 10000
+	// This test is about cancellation machinery, so it needs a run that
+	// outlives the deadline. The baseline search at Gamma=1e-9 churns on
+	// sub-resolution disagreements forever; the planner's support filter
+	// would legitimately converge within the deadline.
+	cfg.DisablePlanner = true
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -29,6 +29,13 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite golden transcript 
 // parallel (Workers > 1) solver paths are covered: the parallel merge is
 // documented to be deterministic per (seed, Workers), so its transcript
 // must be stable too.
+//
+// Every case sets DisablePlanner: the golden files pin the pre-planner
+// seed behavior, and the active query planner intentionally changes
+// which queries are asked. This is the planner-off kill-switch
+// guarantee: with the switch thrown, transcripts stay bit-identical to
+// the seed across planner releases. The planner-on path has its own
+// golden (TestGoldenTranscriptPlanner).
 func goldenCases() []struct {
 	name string
 	cfg  core.Config
@@ -62,21 +69,23 @@ func goldenCases() []struct {
 		{
 			name: "default-seq",
 			cfg: core.Config{
-				Sketch:      sketch.SWAN(),
-				Oracle:      oracle.NewGroundTruth(target(sketch.DefaultSWANTarget), 1e-9),
-				Solver:      fastSolver(1),
-				Distinguish: fastDistinguish(),
-				Seed:        11,
+				Sketch:         sketch.SWAN(),
+				Oracle:         oracle.NewGroundTruth(target(sketch.DefaultSWANTarget), 1e-9),
+				Solver:         fastSolver(1),
+				Distinguish:    fastDistinguish(),
+				DisablePlanner: true,
+				Seed:           11,
 			},
 		},
 		{
 			name: "parallel-w3",
 			cfg: core.Config{
-				Sketch:      sketch.SWAN(),
-				Oracle:      oracle.NewGroundTruth(target(sketch.DefaultSWANTarget), 1e-9),
-				Solver:      fastSolver(3),
-				Distinguish: fastDistinguish(),
-				Seed:        12,
+				Sketch:         sketch.SWAN(),
+				Oracle:         oracle.NewGroundTruth(target(sketch.DefaultSWANTarget), 1e-9),
+				Solver:         fastSolver(3),
+				Distinguish:    fastDistinguish(),
+				DisablePlanner: true,
+				Seed:           12,
 			},
 		},
 		{
@@ -87,6 +96,7 @@ func goldenCases() []struct {
 				Solver:            fastSolver(1),
 				Distinguish:       fastDistinguish(),
 				PairsPerIteration: 2,
+				DisablePlanner:    true,
 				Seed:              13,
 			},
 		},

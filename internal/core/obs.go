@@ -9,6 +9,7 @@ import (
 	"compsynth/internal/obs"
 	"compsynth/internal/oracle"
 	"compsynth/internal/scenario"
+	"compsynth/internal/solver"
 )
 
 // coreMetrics are the synthesis-loop instruments. A nil *coreMetrics
@@ -108,6 +109,35 @@ func (t timedOracle) Compare(a, b scenario.Scenario) oracle.Preference {
 			obs.Num("dur_ms", d.Seconds()*1e3))
 	}
 	return pref
+}
+
+// askBatch sends one planned round to the oracle's batch view, with
+// the same timing/counting the per-query timedOracle does: the round's
+// wall time lands on oracleTime once and every query in it is counted.
+func (s *Synthesizer) askBatch(wits []*solver.Distinguishing) []oracle.Judgment {
+	qs := make([]oracle.Query, len(wits))
+	for i, w := range wits {
+		qs[i] = oracle.Query{A: w.X1, B: w.X2}
+	}
+	sp := s.tracer().Begin("oracle")
+	start := time.Now()
+	judgments := s.batch.AnswerBatch(qs)
+	d := time.Since(start)
+	s.oracleTime += d
+	s.queries += len(qs)
+	if m := s.om; m != nil {
+		for range qs {
+			m.queries.Inc()
+		}
+		m.oracleSeconds.Observe(d.Seconds())
+	}
+	sp.End()
+	if l := s.log(); l.Enabled(slog.LevelDebug) {
+		l.Event(slog.LevelDebug, "core.oracle.batch",
+			obs.Num("queries", float64(len(qs))),
+			obs.Num("dur_ms", d.Seconds()*1e3))
+	}
+	return judgments
 }
 
 // EffortReport renders the session's effort accounting as a short

@@ -9,15 +9,21 @@ package core
 // human architect on the other end).
 //
 // The inversion runs the unmodified synthesis loop on its own goroutine
-// behind a rendezvous oracle: Compare publishes the scenario pair on an
-// unbuffered channel and blocks until Answer supplies the preference.
-// Because it is the same loop, a stepper-driven session is bit-identical
-// to a batch run with the same Config and answer sequence — the golden
-// equivalence the service layer's tests pin.
+// behind a rendezvous oracle: the oracle publishes the round's queries
+// on an unbuffered channel and blocks until every one of them has been
+// answered. A single Compare is a round of one, so legacy single-query
+// clients see exactly the pre-batch behavior; the planner's k-query
+// rounds surface as k pending queries with distinct sequence numbers
+// that may be answered in any order (crowdsourced oracles answer
+// whichever architect responds first). Because it is the same loop, a
+// stepper-driven session is bit-identical to a batch run with the same
+// Config and answer sequence — the golden equivalence the service
+// layer's tests pin.
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 
 	"compsynth/internal/oracle"
@@ -30,7 +36,8 @@ import (
 type Query struct {
 	// Seq is the 0-based sequence number of the question within this
 	// stepper's lifetime. Answer validation uses it to reject stale or
-	// duplicate answers from concurrent clients.
+	// duplicate answers from concurrent clients, and out-of-order batch
+	// answers are keyed by it.
 	Seq int
 	// A and B are the two scenarios to compare.
 	A, B scenario.Scenario
@@ -42,77 +49,107 @@ var (
 	// outstanding query (none asked yet, or it was already answered).
 	ErrNoPendingQuery = errors.New("core: no pending query to answer")
 	// ErrSessionBusy is returned by Snapshot while the synthesis
-	// goroutine is computing (between an answer and the next query).
+	// goroutine is computing (between a completed round and the next
+	// round of queries).
 	ErrSessionBusy = errors.New("core: session is computing")
 	// ErrSessionRunning is returned by Result before the session ends.
 	ErrSessionRunning = errors.New("core: session still running")
 )
 
-// Stepper drives a synthesis session one query at a time. Typical use:
+// Stepper drives a synthesis session one query round at a time.
+// Typical use:
 //
 //	st, _ := core.NewStepper(cfg)           // cfg.Oracle must be nil
 //	for {
-//		q, err := st.Next(ctx)              // blocks while the solver works
-//		if err != nil || q == nil {
+//		qs, err := st.NextBatch(ctx)        // blocks while the solver works
+//		if err != nil || qs == nil {
 //			break                           // error, or session finished
 //		}
-//		st.Answer(askTheUser(q.A, q.B))
+//		for _, q := range qs {
+//			st.AnswerSeq(q.Seq, askTheUser(q.A, q.B))
+//		}
 //	}
 //	res, err := st.Result()
 //
-// Next, Answer, Snapshot, and Close are safe for concurrent use.
+// Single-query clients can keep calling Next/Answer: Next returns the
+// round's lowest-numbered unanswered query and Answer resolves it, so a
+// round of k queries is consumed as k Next/Answer exchanges.
+//
+// Next, NextBatch, Answer, AnswerSeq, Snapshot, and Close are safe for
+// concurrent use.
 type Stepper struct {
 	synth  *Synthesizer
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	queries chan Query
-	answers chan oracle.Preference
+	queries chan []Query
+	answers chan []oracle.Judgment
 	done    chan struct{}
 
-	// nextMu serializes Next so concurrent pollers agree on the pending
-	// query instead of racing for the channel receive.
+	// nextMu serializes Next/NextBatch so concurrent pollers agree on
+	// the pending round instead of racing for the channel receive.
 	nextMu sync.Mutex
 
-	mu      sync.Mutex
-	started bool
-	pending *Query
-	seq     int
-	res     *Result
-	err     error
+	mu        sync.Mutex
+	started   bool
+	batch     []Query           // current round's queries (nil while computing)
+	judg      []oracle.Judgment // parallel to batch
+	answered  []bool            // parallel to batch
+	left      int               // unanswered queries in the round
+	seq       int               // next sequence number to assign
+	answeredN int               // answers accepted over the stepper's lifetime
+	res       *Result
+	err       error
 }
 
 // stepOracle is the rendezvous oracle installed into the synthesizer:
-// every Compare becomes a yielded Query. On cancellation it answers
-// Indifferent, which the loop treats as "no information" — the run
-// goroutine then drains to the next context check and exits.
+// every oracle round becomes a yielded batch of queries. On
+// cancellation it answers Indifferent, which the loop treats as "no
+// information" — the run goroutine then drains to the next context
+// check and exits.
 type stepOracle struct{ st *Stepper }
 
 func (o stepOracle) Compare(a, b scenario.Scenario) oracle.Preference {
-	q := Query{A: a.Clone(), B: b.Clone()}
-	select {
-	case o.st.queries <- q:
-	case <-o.st.ctx.Done():
-		return oracle.Indifferent
+	return o.AnswerBatch([]oracle.Query{{A: a, B: b}})[0].Pref
+}
+
+// AnswerBatch implements oracle.BatchOracle: the whole round is
+// published at once and the call blocks until every query is answered.
+func (o stepOracle) AnswerBatch(qs []oracle.Query) []oracle.Judgment {
+	batch := make([]Query, len(qs))
+	for i, q := range qs {
+		batch[i] = Query{A: q.A.Clone(), B: q.B.Clone()}
+	}
+	indifferent := func() []oracle.Judgment {
+		js := make([]oracle.Judgment, len(qs))
+		for i := range js {
+			js[i] = oracle.Judgment{Pref: oracle.Indifferent, Confidence: 1}
+		}
+		return js
 	}
 	select {
-	case p := <-o.st.answers:
-		return p
+	case o.st.queries <- batch:
 	case <-o.st.ctx.Done():
-		return oracle.Indifferent
+		return indifferent()
+	}
+	select {
+	case js := <-o.st.answers:
+		return js
+	case <-o.st.ctx.Done():
+		return indifferent()
 	}
 }
 
 // NewStepper validates the config and creates a stepper. The config is
 // the same as New's except that Oracle must be nil: the stepper is the
-// oracle, yielding each comparison to the caller.
+// oracle, yielding each comparison round to the caller.
 func NewStepper(cfg Config) (*Stepper, error) {
 	if cfg.Oracle != nil {
 		return nil, errors.New("core: Stepper supplies its own oracle; Config.Oracle must be nil")
 	}
 	st := &Stepper{
-		queries: make(chan Query),
-		answers: make(chan oracle.Preference),
+		queries: make(chan []Query),
+		answers: make(chan []oracle.Judgment),
 		done:    make(chan struct{}),
 	}
 	st.ctx, st.cancel = context.WithCancel(context.Background())
@@ -155,7 +192,7 @@ func (st *Stepper) ImportLearned(sum *solver.LearnedSummary) (int, error) {
 // WarmLearned seeds the learned-prune cache best-effort from another
 // session's summary (see Synthesizer.WarmLearnedSummary). Unlike
 // ImportLearned it may run mid-session, under the same quiescence rule
-// as Snapshot: while the session is parked on a pending query (or has
+// as Snapshot: while the session is parked on a pending round (or has
 // not started, or has finished) the run goroutine is blocked on the
 // rendezvous channel, so the constraint system is safe to touch; while
 // it is computing WarmLearned fails with ErrSessionBusy. Every
@@ -172,7 +209,7 @@ func (st *Stepper) WarmLearned(sum *solver.LearnedSummary) (installed, skipped i
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.started && st.pending == nil {
+	if st.started && st.batch == nil {
 		return 0, 0, ErrSessionBusy
 	}
 	installed, skipped = st.synth.WarmLearnedSummary(sum)
@@ -192,7 +229,7 @@ func (st *Stepper) LearnedSummary() (*solver.LearnedSummary, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.started && st.pending == nil {
+	if st.started && st.batch == nil {
 		return nil, ErrSessionBusy
 	}
 	return st.synth.LearnedSummary(), nil
@@ -208,20 +245,14 @@ func (st *Stepper) run() {
 	close(st.done)
 }
 
-// Next returns the session's next query, starting the synthesis loop on
-// first call. It blocks while the solver searches for a distinguishing
-// pair. A nil Query with nil error means the session finished (check
-// Result). If ctx expires first, Next returns ctx's error and the
-// computation keeps running — a later Next picks the query up.
-func (st *Stepper) Next(ctx context.Context) (*Query, error) {
-	st.nextMu.Lock()
-	defer st.nextMu.Unlock()
-
+// await blocks until a round of queries is pending, starting the
+// synthesis loop on first call. It returns (false, nil) when the
+// session finished. Callers hold nextMu.
+func (st *Stepper) await(ctx context.Context) (bool, error) {
 	st.mu.Lock()
-	if st.pending != nil {
-		q := *st.pending
+	if st.batch != nil {
 		st.mu.Unlock()
-		return &q, nil
+		return true, nil
 	}
 	if !st.started {
 		st.started = true
@@ -230,59 +261,170 @@ func (st *Stepper) Next(ctx context.Context) (*Query, error) {
 	st.mu.Unlock()
 
 	select {
-	case q := <-st.queries:
+	case batch := <-st.queries:
 		st.mu.Lock()
-		q.Seq = st.seq
-		st.pending = &q
+		for i := range batch {
+			batch[i].Seq = st.seq + i
+		}
+		st.seq += len(batch)
+		st.batch = batch
+		st.judg = make([]oracle.Judgment, len(batch))
+		st.answered = make([]bool, len(batch))
+		st.left = len(batch)
 		st.mu.Unlock()
-		out := q
-		return &out, nil
+		return true, nil
 	case <-st.done:
-		return nil, nil
+		return false, nil
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return false, ctx.Err()
 	}
 }
 
-// Pending returns the outstanding query, if any, without blocking.
-func (st *Stepper) Pending() *Query {
+// Next returns the round's lowest-numbered unanswered query, starting
+// the synthesis loop on first call. It blocks while the solver searches
+// for distinguishing pairs. A nil Query with nil error means the
+// session finished (check Result). If ctx expires first, Next returns
+// ctx's error and the computation keeps running — a later Next picks
+// the round up.
+func (st *Stepper) Next(ctx context.Context) (*Query, error) {
+	st.nextMu.Lock()
+	defer st.nextMu.Unlock()
+	ok, err := st.await(ctx)
+	if !ok || err != nil {
+		return nil, err
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.pending == nil {
-		return nil
+	for i := range st.batch {
+		if !st.answered[i] {
+			q := st.batch[i]
+			return &q, nil
+		}
 	}
-	q := *st.pending
-	return &q
+	// Unreachable: a fully answered round is handed back to the run
+	// goroutine before the lock is released.
+	return nil, ErrNoPendingQuery
 }
 
-// Answer resolves the pending query with the user's preference and
+// NextBatch returns the full pending round — every not-yet-answered
+// query, in sequence order — blocking like Next until a round is
+// available. A nil slice with nil error means the session finished.
+func (st *Stepper) NextBatch(ctx context.Context) ([]Query, error) {
+	st.nextMu.Lock()
+	defer st.nextMu.Unlock()
+	ok, err := st.await(ctx)
+	if !ok || err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Query, 0, st.left)
+	for i := range st.batch {
+		if !st.answered[i] {
+			out = append(out, st.batch[i])
+		}
+	}
+	return out, nil
+}
+
+// Pending returns the outstanding unanswered queries, if any, without
+// blocking. The slice is in sequence order; nil means no round is
+// pending (computing, finished, or not started).
+func (st *Stepper) Pending() []Query {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.batch == nil {
+		return nil
+	}
+	out := make([]Query, 0, st.left)
+	for i := range st.batch {
+		if !st.answered[i] {
+			out = append(out, st.batch[i])
+		}
+	}
+	return out
+}
+
+// Answer resolves the round's lowest-numbered unanswered query with the
+// user's preference (full confidence) and, when it completes the round,
 // resumes the synthesis loop. It returns ErrNoPendingQuery when no
-// query is outstanding.
+// query is outstanding — the single-query client surface.
 func (st *Stepper) Answer(pref oracle.Preference) error {
 	st.mu.Lock()
-	if st.pending == nil {
-		st.mu.Unlock()
-		return ErrNoPendingQuery
+	for i := range st.batch {
+		if !st.answered[i] {
+			return st.resolveLocked(i, oracle.Judgment{Pref: pref, Confidence: 1})
+		}
 	}
-	st.pending = nil
-	st.seq++
 	st.mu.Unlock()
-	// The run goroutine is parked in Compare waiting for exactly this
-	// send, so it cannot block — unless the session was closed, which
-	// the ctx branch covers.
+	return ErrNoPendingQuery
+}
+
+// AnswerSeq resolves the pending query with the given sequence number —
+// out-of-order answers within the round are accepted, duplicate or
+// unknown sequence numbers are rejected with ErrNoPendingQuery. The
+// judgment's confidence grades the answer's evidence weight (zero means
+// full confidence; see oracle.Judgment).
+func (st *Stepper) AnswerSeq(seq int, j oracle.Judgment) error {
+	st.mu.Lock()
+	for i := range st.batch {
+		if st.batch[i].Seq == seq {
+			if st.answered[i] {
+				break
+			}
+			return st.resolveLocked(i, j)
+		}
+	}
+	st.mu.Unlock()
+	return fmt.Errorf("%w: seq %d", ErrNoPendingQuery, seq)
+}
+
+// resolveLocked records judgment j for batch index i and, when it was
+// the round's last open query, hands the full round back to the run
+// goroutine. Called with st.mu held; releases it.
+func (st *Stepper) resolveLocked(i int, j oracle.Judgment) error {
+	st.judg[i] = j
+	st.answered[i] = true
+	st.left--
+	st.answeredN++
+	if st.left > 0 {
+		st.mu.Unlock()
+		return nil
+	}
+	js := st.judg
+	st.batch, st.judg, st.answered = nil, nil, nil
+	st.mu.Unlock()
+	// The run goroutine is parked in AnswerBatch waiting for exactly
+	// this send, so it cannot block — unless the session was closed,
+	// which the ctx branch covers.
 	select {
-	case st.answers <- pref:
+	case st.answers <- js:
 		return nil
 	case <-st.ctx.Done():
 		return st.ctx.Err()
 	}
 }
 
+// RoundPartiallyAnswered reports whether the pending round has accepted
+// some but not all of its judgments. Those judgments live only inside
+// the stepper until the round completes (resolveLocked hands them to
+// the run goroutine as one batch), so a Snapshot taken in this window
+// does NOT subsume them: a checkpoint written now would make journal
+// recovery — which skips every record before the last checkpoint —
+// silently drop the accepted answers and reuse their sequence numbers.
+// Checkpoint writers must skip checkpointing while this is true and
+// rely on full answer replay instead.
+func (st *Stepper) RoundPartiallyAnswered() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.batch != nil && st.left < len(st.batch)
+}
+
 // Answered returns the number of answers accepted so far.
 func (st *Stepper) Answered() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.seq
+	return st.answeredN
 }
 
 // Done reports whether the session has finished (converged, failed, or
@@ -313,8 +455,10 @@ func (st *Stepper) Result() (*Result, error) {
 // scenarios shown so far, the preference edges recorded, and — once the
 // session has finished successfully — the final hole vector. It is the
 // checkpoint format of the service layer's journal. Snapshot fails with
-// ErrSessionBusy while the synthesis goroutine is between an answer and
-// the next query, because the underlying graph is being mutated then.
+// ErrSessionBusy while the synthesis goroutine is between a completed
+// round and the next round's queries, because the underlying graph is
+// being mutated then. A partially answered round is quiescent: the run
+// goroutine stays parked until the whole round is resolved.
 func (st *Stepper) Snapshot() (*Transcript, error) {
 	select {
 	case <-st.done:
@@ -330,7 +474,7 @@ func (st *Stepper) Snapshot() (*Transcript, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.started && st.pending == nil {
+	if st.started && st.batch == nil {
 		return nil, ErrSessionBusy
 	}
 	return st.partial(), nil
@@ -338,7 +482,7 @@ func (st *Stepper) Snapshot() (*Transcript, error) {
 
 // partial renders the synthesizer's current graph/store/ties as a
 // transcript without a final candidate. Callers must ensure the run
-// goroutine is quiescent (not started, parked on a pending query, or
+// goroutine is quiescent (not started, parked on a pending round, or
 // exited).
 func (st *Stepper) partial() *Transcript {
 	s := st.synth

@@ -221,8 +221,8 @@ func TestStepperAPIErrors(t *testing.T) {
 	if err := st.Preload(&core.Transcript{}); err == nil {
 		t.Error("Preload after start succeeded")
 	}
-	if p := st.Pending(); p == nil || p.Seq != q.Seq {
-		t.Errorf("Pending() = %v, want seq %d", p, q.Seq)
+	if p := st.Pending(); len(p) != 1 || p[0].Seq != q.Seq {
+		t.Errorf("Pending() = %v, want one query with seq %d", p, q.Seq)
 	}
 	// Next with an expired context still returns the pending query
 	// immediately (no blocking needed).

@@ -41,6 +41,11 @@ type RunConfig struct {
 	// Fast trades fidelity for speed (reduced solver budgets); used by
 	// the benchmark harness. Trends survive, absolute values shift.
 	Fast bool
+	// DisablePlanner forces the seed's first-distinguishing-pair query
+	// selection for this run regardless of the campaign default
+	// (SetPlannerOff) — the effort gate compares both arms in one
+	// process.
+	DisablePlanner bool
 }
 
 // RunResult summarizes one synthesis run.
@@ -76,6 +81,7 @@ func RunOnce(cfg RunConfig) (RunResult, error) {
 		PairsPerIteration: cfg.PairsPerIteration,
 		Seed:              cfg.Seed,
 		Obs:               observer.Load(),
+		DisablePlanner:    cfg.DisablePlanner || PlannerOff(),
 	}
 	// Fresh per-run counters so RunResult.Solver is this run's effort,
 	// not the campaign's cumulative total.

@@ -64,14 +64,15 @@ func runNoisy(flipProb float64, policy core.NoisePolicy, seed int64, fast bool) 
 	truth := oracle.NewGroundTruth(target, 1e-9)
 	var user oracle.Oracle = truth
 	if flipProb > 0 {
-		user = &oracle.Noisy{Inner: truth, FlipProb: flipProb, Rng: rand.New(rand.NewSource(seed + 31))}
+		user = oracle.NewNoisy(truth, flipProb, rand.New(rand.NewSource(seed+31)))
 	}
 	cfg := core.Config{
-		Sketch:        sk,
-		Oracle:        user,
-		Noise:         policy,
-		Seed:          seed,
-		MaxIterations: 120,
+		Sketch:         sk,
+		Oracle:         user,
+		Noise:          policy,
+		Seed:           seed,
+		MaxIterations:  120,
+		DisablePlanner: PlannerOff(),
 	}
 	if fast {
 		cfg.Solver.Samples = 150
@@ -140,6 +141,10 @@ func RunStrategyComparison(runs int, baseSeed int64, fast bool) ([]StrategyPoint
 				Sketch: sk,
 				Oracle: oracle.NewGroundTruth(target, 1e-9),
 				Seed:   seed,
+				// This ablation measures the legacy per-pair selection
+				// strategies, which the planner supersedes; run it on the
+				// planner-off path so the strategies actually differ.
+				DisablePlanner: true,
 			}
 			cfg.Distinguish = solver.DefaultDistinguishOptions()
 			cfg.Distinguish.Strategy = strategy
@@ -222,11 +227,11 @@ func RunFatigueSweep(patiences []int, runs int, baseSeed int64, fast bool) ([]Fa
 			var user oracle.Oracle = truth
 			var fat *oracle.Fatigued
 			if patience > 0 {
-				fat = &oracle.Fatigued{Inner: truth, Patience: patience,
-					Rng: rand.New(rand.NewSource(seed + 13))}
+				fat = oracle.NewFatigued(truth, patience, rand.New(rand.NewSource(seed+13)))
 				user = fat
 			}
-			cfg := core.Config{Sketch: sk, Oracle: user, Seed: seed, MaxIterations: 120}
+			cfg := core.Config{Sketch: sk, Oracle: user, Seed: seed, MaxIterations: 120,
+				DisablePlanner: PlannerOff()}
 			if fast {
 				cfg.Solver.Samples = 150
 				cfg.Solver.RepairRestarts = 5
@@ -306,10 +311,11 @@ func RunMultiRegion(regions []int, runs int, baseSeed int64, fast bool) ([]Multi
 		for r := 0; r < runs; r++ {
 			seed := baseSeed + int64(ri)*1000 + int64(r)
 			cfg := core.Config{
-				Sketch:        sk,
-				Oracle:        oracle.NewGroundTruth(target, 1e-9),
-				Seed:          seed,
-				MaxIterations: 200,
+				Sketch:         sk,
+				Oracle:         oracle.NewGroundTruth(target, 1e-9),
+				Seed:           seed,
+				MaxIterations:  200,
+				DisablePlanner: PlannerOff(),
 			}
 			if fast {
 				cfg.Solver.Samples = 200

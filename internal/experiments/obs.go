@@ -29,6 +29,24 @@ func Observer() *obs.Observer {
 	return observer.Load()
 }
 
+// plannerOff is the campaign-wide default for the active query
+// planner, set by the CLI's -planner flag. Like the observer it is
+// process-wide: experiment harnesses run many sequential sessions and
+// the planner choice applies to all of them.
+var plannerOff atomic.Bool
+
+// SetPlannerOff selects the campaign-wide planner default for
+// subsequent runs: true falls back to the seed's
+// first-distinguishing-pair behavior.
+func SetPlannerOff(off bool) {
+	plannerOff.Store(off)
+}
+
+// PlannerOff reports the default installed by SetPlannerOff.
+func PlannerOff() bool {
+	return plannerOff.Load()
+}
+
 // FormatEffort renders per-run effort accounting (oracle time and
 // solver search counters) as a table — the `-effort` view.
 func FormatEffort(results []RunResult) string {

@@ -516,27 +516,39 @@ func (r *Router) afterProxy(rt *route, method, verb string, status int, body []b
 		r.dropRoute(rt.id)
 		return
 	case method == http.MethodPost && verb == "answer",
-		method == http.MethodGet && verb == "query":
+		method == http.MethodPost && verb == "judgments",
+		method == http.MethodGet && verb == "query",
+		method == http.MethodGet && verb == "queries":
 	default:
 		return
 	}
 	var qr struct {
 		State string `json:"state"`
+		// Accepted is the batch judgments route's applied count; the
+		// single answer route always applies exactly one.
+		Accepted int `json:"accepted"`
 	}
 	if json.Unmarshal(body, &qr) != nil {
 		return
 	}
 	rt.mu.Lock()
+	applied := 0
 	if method == http.MethodPost {
-		rt.answers++
+		applied = 1
+		if verb == "judgments" {
+			applied = qr.Accepted
+		}
+		rt.answers += applied
 	}
 	finished := qr.State == "done" || qr.State == "failed"
 	wantHarvest := finished && !rt.harvested
 	if wantHarvest {
 		rt.harvested = true
 	}
+	// A batch may step over the exact warm multiple, so warm whenever
+	// this POST crossed a WarmInterval boundary rather than landed on it.
 	wantWarm := !finished && r.cfg.WarmInterval > 0 && !rt.warming &&
-		method == http.MethodPost && rt.answers%r.cfg.WarmInterval == 0
+		applied > 0 && rt.answers/r.cfg.WarmInterval > (rt.answers-applied)/r.cfg.WarmInterval
 	if wantWarm {
 		rt.warming = true
 	}

@@ -1,0 +1,92 @@
+package oracle
+
+import "compsynth/internal/scenario"
+
+// Query is one preference question: "order scenario A against B".
+type Query struct {
+	A, B scenario.Scenario
+}
+
+// Judgment is the answer to a Query. Confidence grades how much weight
+// the answer should carry when preferences are learned from noisy or
+// crowdsourced users: 1 is a firm answer, values in (0,1) are hedged,
+// and 0 means "unspecified" and is treated as 1 (so the zero value of
+// a strict Judgment behaves like a classic Compare answer).
+type Judgment struct {
+	Pref       Preference
+	Confidence float64
+}
+
+// Weight returns the effective evidence weight of the judgment: its
+// Confidence clamped to (0, 1], with the zero value mapping to 1.
+func (j Judgment) Weight() float64 {
+	if j.Confidence <= 0 || j.Confidence > 1 {
+		return 1
+	}
+	return j.Confidence
+}
+
+// BatchOracle answers whole rounds of queries at once — the interface
+// behind the planner's k-queries-per-round protocol and the service's
+// batch endpoints. Implementations must return exactly one judgment
+// per query, in query order (the caller matches them positionally even
+// when the underlying user answered out of order).
+type BatchOracle interface {
+	AnswerBatch(qs []Query) []Judgment
+}
+
+// compatBatch adapts a legacy pairwise Oracle to BatchOracle by asking
+// the queries sequentially in order, each answer carrying full weight.
+type compatBatch struct {
+	inner Oracle
+}
+
+func (c compatBatch) AnswerBatch(qs []Query) []Judgment {
+	out := make([]Judgment, len(qs))
+	for i, q := range qs {
+		out[i] = Judgment{Pref: c.inner.Compare(q.A, q.B), Confidence: 1}
+	}
+	return out
+}
+
+// AsBatch returns the batch view of an oracle: the oracle itself when
+// it already implements BatchOracle, a sequential adapter otherwise.
+// The adapter asks in query order, so stateful oracles (Noisy,
+// Fatigued, Counting) consume their randomness and fatigue budgets
+// exactly as a sequence of Compare calls would — batched and
+// sequential sessions stay reproducible against each other.
+func AsBatch(o Oracle) BatchOracle {
+	if b, ok := o.(BatchOracle); ok {
+		return b
+	}
+	return compatBatch{inner: o}
+}
+
+// AnswerBatch implements BatchOracle: the count reflects every query
+// in the round, then the inner oracle answers (natively batched when
+// it supports it).
+func (c *Counting) AnswerBatch(qs []Query) []Judgment {
+	c.Queries += len(qs)
+	return AsBatch(c.Inner).AnswerBatch(qs)
+}
+
+// AnswerBatch implements BatchOracle. Answers are drawn in query
+// order, so a batch consumes the flip randomness exactly like the same
+// queries asked one by one through Compare.
+func (n *Noisy) AnswerBatch(qs []Query) []Judgment {
+	out := make([]Judgment, len(qs))
+	for i, q := range qs {
+		out[i] = Judgment{Pref: n.Compare(q.A, q.B), Confidence: 1}
+	}
+	return out
+}
+
+// AnswerBatch implements BatchOracle; fatigue accrues in query order,
+// matching the sequential Compare path.
+func (f *Fatigued) AnswerBatch(qs []Query) []Judgment {
+	out := make([]Judgment, len(qs))
+	for i, q := range qs {
+		out[i] = Judgment{Pref: f.Compare(q.A, q.B), Confidence: 1}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"compsynth/internal/scenario"
+)
+
+// firstDim orders scenarios by their first coordinate — a deterministic
+// inner oracle for exercising the stateful wrappers.
+type firstDim struct{}
+
+func (firstDim) Compare(a, b scenario.Scenario) Preference {
+	switch {
+	case a[0] > b[0]:
+		return PrefersFirst
+	case a[0] < b[0]:
+		return PrefersSecond
+	default:
+		return Indifferent
+	}
+}
+
+func batchQueries(n int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]Query, n)
+	for i := range qs {
+		a, b := rng.Float64(), rng.Float64()
+		qs[i] = Query{A: scenario.Scenario{a}, B: scenario.Scenario{b}}
+	}
+	return qs
+}
+
+// The contract AnswerBatch documents: a batch consumes randomness and
+// fatigue exactly like the same queries asked one by one, so batched
+// and sequential sessions replaying the same seed stay comparable.
+func TestNoisyBatchMatchesSequential(t *testing.T) {
+	qs := batchQueries(40, 7)
+	batched := NewNoisy(firstDim{}, 0.3, rand.New(rand.NewSource(99)))
+	sequential := NewNoisy(firstDim{}, 0.3, rand.New(rand.NewSource(99)))
+	got := batched.AnswerBatch(qs)
+	if len(got) != len(qs) {
+		t.Fatalf("AnswerBatch returned %d judgments for %d queries", len(got), len(qs))
+	}
+	flipped := false
+	for i, q := range qs {
+		want := sequential.Compare(q.A, q.B)
+		if got[i].Pref != want {
+			t.Fatalf("query %d: batch answered %v, sequential %v", i, got[i].Pref, want)
+		}
+		if got[i].Weight() != 1 {
+			t.Errorf("query %d: model answer weight = %v, want 1", i, got[i].Weight())
+		}
+		if got[i].Pref != firstDim.Compare(firstDim{}, q.A, q.B) {
+			flipped = true
+		}
+	}
+	if !flipped {
+		t.Error("FlipProb 0.3 over 40 strict queries flipped nothing; inner oracle leaked through")
+	}
+}
+
+func TestFatiguedBatchMatchesSequential(t *testing.T) {
+	qs := batchQueries(30, 8)
+	batched := NewFatigued(firstDim{}, 5, rand.New(rand.NewSource(4)))
+	sequential := NewFatigued(firstDim{}, 5, rand.New(rand.NewSource(4)))
+	got := batched.AnswerBatch(qs)
+	indifferent := 0
+	for i, q := range qs {
+		want := sequential.Compare(q.A, q.B)
+		if got[i].Pref != want {
+			t.Fatalf("query %d: batch answered %v, sequential %v", i, got[i].Pref, want)
+		}
+		if got[i].Pref == Indifferent {
+			indifferent++
+		}
+	}
+	if indifferent == 0 {
+		t.Error("patience 5 over 30 queries produced no fatigue; model inert")
+	}
+	if a := batched.Answered(); a != len(qs) {
+		t.Errorf("batched Answered() = %d, want %d", a, len(qs))
+	}
+}
+
+func TestCountingBatchCountsWholeRound(t *testing.T) {
+	c := &Counting{Inner: NewNoisy(firstDim{}, 0.2, rand.New(rand.NewSource(11)))}
+	qs := batchQueries(6, 9)
+	c.AnswerBatch(qs[:4])
+	c.AnswerBatch(qs[4:])
+	if c.Queries != 6 {
+		t.Errorf("Counting.Queries = %d after batches of 4+2, want 6", c.Queries)
+	}
+	// The count must match what the sequential path would have charged.
+	ref := &Counting{Inner: firstDim{}}
+	for _, q := range qs {
+		ref.Compare(q.A, q.B)
+	}
+	if ref.Queries != c.Queries {
+		t.Errorf("batched count %d != sequential count %d", c.Queries, ref.Queries)
+	}
+}
+
+func TestAsBatchIdentityAndAdapter(t *testing.T) {
+	n := NewNoisy(firstDim{}, 0, rand.New(rand.NewSource(1)))
+	if b := AsBatch(n); b != BatchOracle(n) {
+		t.Error("AsBatch wrapped an oracle that already implements BatchOracle")
+	}
+	// A plain Oracle goes through the sequential adapter, answering in
+	// query order with full confidence.
+	qs := batchQueries(5, 3)
+	got := AsBatch(firstDim{}).AnswerBatch(qs)
+	for i, q := range qs {
+		if want := firstDim.Compare(firstDim{}, q.A, q.B); got[i].Pref != want {
+			t.Errorf("adapter query %d: got %v, want %v", i, got[i].Pref, want)
+		}
+		if got[i].Confidence != 1 {
+			t.Errorf("adapter query %d: confidence %v, want 1", i, got[i].Confidence)
+		}
+	}
+}
+
+func TestConstructorsPanicOnNilRng(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s(nil rng) did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewNoisy", func() { NewNoisy(firstDim{}, 0.1, nil) })
+	mustPanic("NewFatigued", func() { NewFatigued(firstDim{}, 5, nil) })
+}
+
+func TestJudgmentWeight(t *testing.T) {
+	cases := []struct {
+		conf, want float64
+	}{
+		{0, 1},    // zero value = classic Compare answer
+		{-0.5, 1}, // out of range clamps to firm
+		{1.5, 1},
+		{0.3, 0.3},
+		{1, 1},
+	}
+	for _, c := range cases {
+		if got := (Judgment{Confidence: c.conf}).Weight(); got != c.want {
+			t.Errorf("Weight(conf=%v) = %v, want %v", c.conf, got, c.want)
+		}
+	}
+}

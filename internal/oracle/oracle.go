@@ -83,10 +83,29 @@ func (g *GroundTruth) Compare(a, b scenario.Scenario) Preference {
 // Noisy wraps an oracle and flips strict answers with probability
 // FlipProb — the inconsistent-user model of the paper's §6.1. Indifferent
 // answers pass through unchanged.
+//
+// Rng is required and must be privately seeded (NewNoisy enforces it):
+// drawing from shared package-level randomness would make the flip
+// sequence depend on every other rand consumer in the process, so
+// batched and sequential runs of the same queries could not be
+// compared. With a private Rng the flips are a pure function of the
+// seed and the answer order, and AnswerBatch answers in query order —
+// a batch flips exactly like the same queries asked one by one.
 type Noisy struct {
 	Inner    Oracle
 	FlipProb float64
 	Rng      *rand.Rand
+}
+
+// NewNoisy builds the §6.1 inconsistent-user model. The caller must
+// supply a privately seeded rng; NewNoisy panics on nil rather than
+// falling back to package-level randomness, which would break
+// batched-vs-sequential reproducibility.
+func NewNoisy(inner Oracle, flipProb float64, rng *rand.Rand) *Noisy {
+	if rng == nil {
+		panic("oracle: NewNoisy requires a seeded *rand.Rand")
+	}
+	return &Noisy{Inner: inner, FlipProb: flipProb, Rng: rng}
 }
 
 // Compare implements Oracle.
@@ -111,6 +130,16 @@ type Fatigued struct {
 	Patience int
 	Rng      *rand.Rand
 	answered int
+}
+
+// NewFatigued builds the fatigue model. Like NewNoisy it demands a
+// privately seeded rng so the indifference sequence is a pure function
+// of the seed and the answer order (batched-vs-sequential reproducible).
+func NewFatigued(inner Oracle, patience int, rng *rand.Rand) *Fatigued {
+	if rng == nil {
+		panic("oracle: NewFatigued requires a seeded *rand.Rand")
+	}
+	return &Fatigued{Inner: inner, Patience: patience, Rng: rng}
 }
 
 // Compare implements Oracle.

@@ -1,0 +1,297 @@
+// Package planner implements active query planning for comparative
+// synthesis — the ROADMAP's "query planning that minimizes oracle
+// cost" item.
+//
+// The baseline synthesizer asks the user about the first (or widest)
+// disagreement the solver finds between two consistent candidates. The
+// planner instead treats query selection as an information-gain
+// problem over the sampled version space:
+//
+//  1. It asks the solver for a pool of diverse consistent candidates
+//     scored against a shared pool of random scenario pairs
+//     (solver.Search.FindDistinguishPool).
+//  2. Candidates with identical vote signatures across every pair are
+//     collapsed into one behavioral class; the class weight (member
+//     count) is a volume estimate of that behavior's share of the
+//     remaining version space. Without this collapse, near-duplicate
+//     candidates double-count a behavior and distort the vote split.
+//  3. Every scenario pair is scored by expected elimination: with the
+//     classes voting X1≻X2 carrying weight WA and the classes voting
+//     X2≻X1 carrying WB, the answer eliminates WB with probability
+//     WA/(WA+WB) and WA otherwise — expected cut 2·WA·WB/(WA+WB),
+//     maximized by an even split of the pool (binary search over
+//     behaviors). Pairs whose ordering is already implied by the
+//     preference graph's transitive closure carry zero gain and are
+//     skipped.
+//  4. A round of k queries is assembled greedily: after each pick the
+//     class weights are rescaled by their probability of surviving the
+//     still-unknown answer, so later picks target the behavioral mass
+//     the earlier ones are expected to leave unresolved, and pairs
+//     (nearly) equal to an already-picked pair are skipped — k
+//     non-redundant queries per round for batch/crowdsourced oracles.
+//
+// The planner reuses the solver's sampling machinery and adds only
+// arithmetic on the score matrix; its solver cost is one diverse-pool
+// search per round, the same shape the baseline pays.
+package planner
+
+import (
+	"context"
+	"math"
+	"math/rand"
+
+	"compsynth/internal/scenario"
+	"compsynth/internal/solver"
+)
+
+// Config tunes the planner.
+type Config struct {
+	// Candidates is the number of diverse consistent candidates the
+	// planner scores per round. More candidates sharpen the volume
+	// estimates behind the expected-cut score at linear solver cost.
+	// Zero selects DefaultCandidates; the effective pool never drops
+	// below the solver's own DistinguishOptions.Candidates.
+	Candidates int
+	// MinSupport is the minimum surviving class weight each side of a
+	// pair must carry before the pair is worth a query: a disagreement
+	// backed by fewer sampled candidates is within sampling noise (a
+	// sliver of the version space the expected cut rounds to zero).
+	// Zero selects DefaultMinSupport; 1 asks about every disagreement,
+	// exactly like the baseline search.
+	MinSupport float64
+}
+
+// DefaultCandidates is the planning pool size (double the solver's
+// distinguishing default: vote splits estimated from 8 samples are too
+// coarse to rank pairs by expected cut).
+const DefaultCandidates = 16
+
+// DefaultMinSupport is the per-side support floor: both sides of a
+// queried disagreement must be backed by at least two sampled
+// candidates out of the pool.
+const DefaultMinSupport = 2
+
+// Known reports whether the ordering of a scenario pair is already
+// determined by the recorded preferences (the preference graph's
+// transitive closure). Such pairs carry no information gain.
+type Known func(x1, x2 scenario.Scenario) bool
+
+// Planner plans rounds of preference queries.
+type Planner struct {
+	cfg Config
+}
+
+// New creates a planner. A zero Config selects the defaults.
+func New(cfg Config) *Planner {
+	if cfg.Candidates <= 0 {
+		cfg.Candidates = DefaultCandidates
+	}
+	if cfg.MinSupport <= 0 {
+		cfg.MinSupport = DefaultMinSupport
+	}
+	return &Planner{cfg: cfg}
+}
+
+// Plan builds one round of up to k non-redundant queries, highest
+// expected information gain first.
+//
+// The verdict contract matches solver.Search.FindDistinguishingMany:
+// StatusSat with witnesses, StatusUnsat when no two consistent
+// candidates disagree above the Gamma resolution (converged), and
+// StatusUnknown when no consistent candidate exists at all. known may
+// be nil (no redundancy filter beyond the round itself).
+func (p *Planner) Plan(ctx context.Context, search solver.Search, k int, opts solver.Options, dopts solver.DistinguishOptions, known Known, rng *rand.Rand) ([]*solver.Distinguishing, solver.Status, error) {
+	if k < 1 {
+		k = 1
+	}
+	if dopts.Candidates < p.cfg.Candidates {
+		dopts.Candidates = p.cfg.Candidates
+	}
+	pool, st, err := search.FindDistinguishPool(ctx, opts, dopts, rng)
+	if st != solver.StatusSat {
+		return nil, st, err
+	}
+	classes := classify(pool)
+	scored := scorePairs(pool, classes, known, p.cfg.MinSupport)
+	if len(scored) == 0 {
+		// Candidates exist but none disagree above Gamma with MinSupport
+		// backing on both sides: converged at this resolution, the same
+		// verdict the baseline search reports when nothing disagrees.
+		return nil, solver.StatusUnsat, nil
+	}
+	return selectRound(pool, classes, scored, k), solver.StatusSat, nil
+}
+
+// class is one behavioral equivalence class of the candidate pool.
+type class struct {
+	members []int   // candidate indices
+	weight  float64 // surviving volume estimate (starts at len(members))
+}
+
+// classify groups candidates by their vote signature over the pair
+// pool. Candidate order is preserved (first member of the first class
+// is candidate 0), keeping the planner deterministic for a fixed pool.
+func classify(pool *solver.DistinguishPool) []class {
+	sigs := make(map[string]int, len(pool.Cands)) // signature → class index
+	var classes []class
+	sig := make([]byte, len(pool.X1s))
+	for c := range pool.Cands {
+		for s := range pool.X1s {
+			sig[s] = byte(pool.Vote(c, s) + 1)
+		}
+		key := string(sig)
+		i, ok := sigs[key]
+		if !ok {
+			i = len(classes)
+			sigs[key] = i
+			classes = append(classes, class{})
+		}
+		classes[i].members = append(classes[i].members, c)
+	}
+	for i := range classes {
+		classes[i].weight = float64(len(classes[i].members))
+	}
+	return classes
+}
+
+// pairScore is one usable scenario pair: at least one class on each
+// side of its ordering.
+type pairScore struct {
+	s    int     // pair index into the pool
+	gain float64 // expected eliminated class weight
+}
+
+// scorePairs computes the initial expected cut of every pair, dropping
+// pairs with no two-sided disagreement carrying at least minSupport on
+// each side, and pairs whose ordering is already known.
+func scorePairs(pool *solver.DistinguishPool, classes []class, known Known, minSupport float64) []pairScore {
+	out := make([]pairScore, 0, len(pool.X1s))
+	for s := range pool.X1s {
+		wa, wb := sideWeights(pool, classes, s)
+		if wa < minSupport || wb < minSupport {
+			continue
+		}
+		if known != nil && known(pool.X1s[s], pool.X2s[s]) {
+			continue
+		}
+		out = append(out, pairScore{s: s, gain: expectedCut(wa, wb)})
+	}
+	return out
+}
+
+// sideWeights sums the surviving class weights voting each way on pair
+// s. A class votes the way of its first member — members share the
+// signature by construction, so any member is representative.
+func sideWeights(pool *solver.DistinguishPool, classes []class, s int) (wa, wb float64) {
+	for _, cl := range classes {
+		if cl.weight == 0 {
+			continue
+		}
+		switch pool.Vote(cl.members[0], s) {
+		case 1:
+			wa += cl.weight
+		case -1:
+			wb += cl.weight
+		}
+	}
+	return wa, wb
+}
+
+// expectedCut is the expected eliminated weight of a WA/WB split under
+// the sampled-volume prior P(X1≻X2) = WA/(WA+WB): the harmonic-mean
+// form 2·WA·WB/(WA+WB), maximal for an even split.
+func expectedCut(wa, wb float64) float64 {
+	return 2 * wa * wb / (wa + wb)
+}
+
+// selectRound greedily picks up to k pairs: highest current expected
+// cut first (pair-pool order breaks ties, for determinism), rescaling
+// class weights by survival probability after each pick and skipping
+// pairs nearly identical to one already picked.
+func selectRound(pool *solver.DistinguishPool, classes []class, scored []pairScore, k int) []*solver.Distinguishing {
+	var out []*solver.Distinguishing
+	taken := make([]bool, len(scored))
+	for len(out) < k {
+		best, bestGain := -1, 0.0
+		for i, ps := range scored {
+			if taken[i] {
+				continue
+			}
+			wa, wb := sideWeights(pool, classes, ps.s)
+			if wa == 0 || wb == 0 {
+				taken[i] = true // earlier picks resolved this pair in expectation
+				continue
+			}
+			if g := expectedCut(wa, wb); g > bestGain {
+				best, bestGain = i, g
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		w := witness(pool, scored[best].s)
+		fresh := true
+		for _, kept := range out {
+			if solver.SamePair(w, kept, pool.Space) {
+				fresh = false
+				break
+			}
+		}
+		if !fresh {
+			continue
+		}
+		out = append(out, w)
+		if len(out) < k {
+			rescale(pool, classes, scored[best].s)
+		}
+	}
+	return out
+}
+
+// rescale multiplies every voting class's weight by its probability of
+// surviving the (unknown) answer to pair s: P(X1≻X2) = WA/(WA+WB) for
+// the X1 side and the complement for the X2 side. Abstaining classes
+// survive either answer untouched.
+func rescale(pool *solver.DistinguishPool, classes []class, s int) {
+	wa, wb := sideWeights(pool, classes, s)
+	total := wa + wb
+	if total == 0 {
+		return
+	}
+	pa := wa / total
+	for i := range classes {
+		switch pool.Vote(classes[i].members[0], s) {
+		case 1:
+			classes[i].weight *= pa
+		case -1:
+			classes[i].weight *= 1 - pa
+		}
+	}
+}
+
+// witness builds the Distinguishing for pair s using the most decided
+// candidate on each side (the same choice the solver's vote-split
+// strategy makes), so the hole-vector hints the synthesizer harvests
+// from the witness stay informative.
+func witness(pool *solver.DistinguishPool, s int) *solver.Distinguishing {
+	bestA, bestB := -1, -1
+	for c := range pool.Cands {
+		d := pool.Scores[c][s]
+		switch {
+		case d > pool.Gamma:
+			if bestA < 0 || d > pool.Scores[bestA][s] {
+				bestA = c
+			}
+		case d < -pool.Gamma:
+			if bestB < 0 || d < pool.Scores[bestB][s] {
+				bestB = c
+			}
+		}
+	}
+	return &solver.Distinguishing{
+		A: pool.Cands[bestA], B: pool.Cands[bestB],
+		X1: pool.X1s[s], X2: pool.X2s[s],
+		Gap: math.Min(pool.Scores[bestA][s], -pool.Scores[bestB][s]),
+	}
+}

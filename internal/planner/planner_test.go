@@ -1,0 +1,196 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"compsynth/internal/interval"
+	"compsynth/internal/scenario"
+	"compsynth/internal/solver"
+)
+
+// testPool hand-builds a planning pool with a known vote structure on a
+// 1-D space:
+//
+//	pair  c0  c1  c2  c3    (score rows; Gamma 0.5, so ±1 votes, 0 abstains)
+//	s0    +1  +1  −1  −2
+//	s1    +1  +1  +1  −1
+//	s2    +1  +1  −1   0
+//	s3    +1  +1  −1  −2    (scenarios within SamePair tolerance of s0)
+//
+// c0 and c1 share a signature, so classify must collapse them into one
+// class of weight 2.
+func testPool() *solver.DistinguishPool {
+	space, err := scenario.NewSpace([]string{"x"}, []interval.Interval{interval.New(0, 100)})
+	if err != nil {
+		panic(err)
+	}
+	pair := func(a, b float64) (scenario.Scenario, scenario.Scenario) {
+		return scenario.Scenario{a}, scenario.Scenario{b}
+	}
+	p := &solver.DistinguishPool{
+		Cands: [][]float64{{0}, {1}, {2}, {3}},
+		Gamma: 0.5,
+		Space: space,
+		Scores: [][]float64{
+			{1, 1, 1, 1},
+			{1, 1, 1, 1},
+			{-1, 1, -1, -1},
+			{-2, -1, 0, -2},
+		},
+	}
+	for _, xs := range [][2]float64{{10, 20}, {30, 40}, {50, 60}, {10.01, 20.01}} {
+		x1, x2 := pair(xs[0], xs[1])
+		p.X1s, p.X2s = append(p.X1s, x1), append(p.X2s, x2)
+	}
+	return p
+}
+
+func TestClassifyCollapsesDuplicateSignatures(t *testing.T) {
+	classes := classify(testPool())
+	if len(classes) != 3 {
+		t.Fatalf("classify produced %d classes, want 3", len(classes))
+	}
+	if got := classes[0].members; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("first class members = %v, want [0 1] (candidate order preserved)", got)
+	}
+	for i, want := range []float64{2, 1, 1} {
+		if classes[i].weight != want {
+			t.Errorf("class %d weight = %v, want %v", i, classes[i].weight, want)
+		}
+	}
+}
+
+func TestExpectedCutMaximalAtEvenSplit(t *testing.T) {
+	if got := expectedCut(2, 2); got != 2 {
+		t.Errorf("expectedCut(2,2) = %v, want 2", got)
+	}
+	if even, skew := expectedCut(2, 2), expectedCut(3, 1); skew >= even {
+		t.Errorf("skewed split %v should score below even split %v", skew, even)
+	}
+}
+
+func TestScorePairsMinSupportAndKnownFilter(t *testing.T) {
+	pool := testPool()
+	classes := classify(pool)
+
+	// minSupport 1: every pair has two-sided disagreement.
+	all := scorePairs(pool, classes, nil, 1)
+	if len(all) != 4 {
+		t.Fatalf("minSupport 1 kept %d pairs, want 4", len(all))
+	}
+	// s0 splits 2 vs 2 → cut 2; s1 splits 3 vs 1 → 1.5; s2 splits 2 vs 1
+	// (c3 abstains) → 4/3.
+	wantGain := []float64{2, 1.5, 4.0 / 3, 2}
+	for i, ps := range all {
+		if math.Abs(ps.gain-wantGain[ps.s]) > 1e-12 {
+			t.Errorf("pair %d (s=%d) gain = %v, want %v", i, ps.s, ps.gain, wantGain[ps.s])
+		}
+	}
+
+	// minSupport 2 drops the pairs whose minority side is a single
+	// sampled candidate (s1 and s2): within sampling noise.
+	strong := scorePairs(pool, classes, nil, 2)
+	if len(strong) != 2 || strong[0].s != 0 || strong[1].s != 3 {
+		t.Errorf("minSupport 2 kept %v, want pairs s0 and s3", strong)
+	}
+
+	// A known ordering carries no information gain regardless of split.
+	known := func(x1, x2 scenario.Scenario) bool { return x1[0] < 25 }
+	left := scorePairs(pool, classes, Known(known), 1)
+	if len(left) != 2 || left[0].s != 1 || left[1].s != 2 {
+		t.Errorf("known filter kept %v, want pairs s1 and s2", left)
+	}
+}
+
+// selectRound must pick by expected cut, skip pairs that duplicate an
+// already-picked scenario pair, and rescale class weights after each
+// pick so later picks target the unresolved behavioral mass.
+func TestSelectRoundGreedyNonRedundant(t *testing.T) {
+	pool := testPool()
+	classes := classify(pool)
+	scored := scorePairs(pool, classes, nil, 1)
+
+	round := selectRound(pool, classes, scored, 3)
+	if len(round) != 3 {
+		t.Fatalf("round has %d queries, want 3", len(round))
+	}
+	// First pick: s0 (cut 2; ties with its near-duplicate s3, pool order
+	// breaks the tie). s3 is then skipped as redundant, so the remaining
+	// picks are s1 (post-rescale cut 0.75) and s2 (0.5).
+	wantX1 := []float64{10, 30, 50}
+	for i, w := range round {
+		if w.X1[0] != wantX1[i] {
+			t.Errorf("pick %d asks about X1=%v, want %v", i, w.X1[0], wantX1[i])
+		}
+	}
+	for i, w := range round {
+		for j := i + 1; j < len(round); j++ {
+			if solver.SamePair(w, round[j], pool.Space) {
+				t.Errorf("picks %d and %d are the same scenario pair", i, j)
+			}
+		}
+	}
+}
+
+func TestSelectRoundStopsWhenPoolExhausted(t *testing.T) {
+	pool := testPool()
+	classes := classify(pool)
+	scored := scorePairs(pool, classes, nil, 1)
+	// Asking for more queries than distinct informative pairs exist must
+	// return the 3 distinct ones, not loop or pad with duplicates.
+	if round := selectRound(pool, classes, scored, 10); len(round) != 3 {
+		t.Errorf("k=10 over 3 distinct pairs returned %d queries", len(round))
+	}
+}
+
+// The witness must use the most decided candidate on each side, the
+// same choice the solver's vote-split strategy makes, so hole-vector
+// hints stay informative.
+func TestWitnessPicksMostDecidedCandidates(t *testing.T) {
+	pool := testPool()
+	w := witness(pool, 0)
+	// Side A: c0 and c1 both score +1; first wins. Side B: c3 (−2) is
+	// more decided than c2 (−1).
+	if w.A[0] != 0 {
+		t.Errorf("witness A = candidate %v, want 0", w.A[0])
+	}
+	if w.B[0] != 3 {
+		t.Errorf("witness B = candidate %v, want 3", w.B[0])
+	}
+	if w.Gap != 1 {
+		t.Errorf("witness Gap = %v, want 1 (min of the two decisive margins)", w.Gap)
+	}
+	if w.X1[0] != pool.X1s[0][0] || w.X2[0] != pool.X2s[0][0] {
+		t.Error("witness scenario pair does not match the scored pair")
+	}
+}
+
+func TestRescaleSurvivalProbabilities(t *testing.T) {
+	pool := testPool()
+	classes := classify(pool)
+	rescale(pool, classes, 0) // s0 splits 2 (class{c0,c1}) vs 2 (c2, c3)
+	for i, want := range []float64{1, 0.5, 0.5} {
+		if classes[i].weight != want {
+			t.Errorf("class %d weight after rescale = %v, want %v", i, classes[i].weight, want)
+		}
+	}
+	// An abstaining class must survive untouched: rescale on s2, where
+	// c3 abstains.
+	classes = classify(pool)
+	rescale(pool, classes, 2)
+	if classes[2].weight != 1 {
+		t.Errorf("abstaining class rescaled: weight %v, want 1", classes[2].weight)
+	}
+}
+
+func TestNewAppliesDefaults(t *testing.T) {
+	p := New(Config{})
+	if p.cfg.Candidates != DefaultCandidates || p.cfg.MinSupport != DefaultMinSupport {
+		t.Errorf("zero config resolved to %+v", p.cfg)
+	}
+	p = New(Config{Candidates: 3, MinSupport: 1})
+	if p.cfg.Candidates != 3 || p.cfg.MinSupport != 1 {
+		t.Errorf("explicit config overridden: %+v", p.cfg)
+	}
+}

@@ -28,6 +28,14 @@ type Graph struct {
 	succ map[int]map[int]bool // succ[u][v]: u preferred over v
 	pred map[int]map[int]bool
 	n    int // number of edges
+	// weight is the accumulated observation weight per ordered pair
+	// (weighted-edge learning; see weighted.go). Nil until the first
+	// Observe — the unweighted Add/ForceAdd surface never touches it.
+	weight map[Edge]float64
+}
+
+func errSelf(v int) error {
+	return fmt.Errorf("prefgraph: self-preference on vertex %d", v)
 }
 
 // New returns an empty preference graph.
@@ -68,7 +76,7 @@ func (g *Graph) AddVertex(v int) {
 // is a no-op.
 func (g *Graph) Add(better, worse int) error {
 	if better == worse {
-		return fmt.Errorf("prefgraph: self-preference on vertex %d", better)
+		return errSelf(better)
 	}
 	g.AddVertex(better)
 	g.AddVertex(worse)
@@ -370,7 +378,8 @@ func edgeWeight(weight func(Edge) float64, e Edge) float64 {
 	return weight(e)
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph, accumulated edge weights
+// included.
 func (g *Graph) Clone() *Graph {
 	c := New()
 	for u, ws := range g.succ {
@@ -380,6 +389,12 @@ func (g *Graph) Clone() *Graph {
 			c.succ[u][w] = true
 			c.pred[w][u] = true
 			c.n++
+		}
+	}
+	if g.weight != nil {
+		c.weight = make(map[Edge]float64, len(g.weight))
+		for e, w := range g.weight {
+			c.weight[e] = w
 		}
 	}
 	return c

@@ -1,0 +1,115 @@
+package prefgraph
+
+// Weighted-edge learning (noise-robust preference accumulation).
+//
+// The classic Add/ForceAdd surface treats every answer as ground truth:
+// the first contradicting answer either bounces (reject) or immediately
+// rewrites history (repair). Crowdsourced and fatigued users need a
+// middle ground — evidence should accumulate, and the graph should only
+// be repaired when the accumulated weight for an ordering actually
+// exceeds the weight of the installed edges contradicting it.
+//
+// Observe implements that rule. Every observation of better>worse adds
+// its weight to the pair's accumulated support, whether or not an edge
+// can be installed. An edge installs when no opposing path exists, or
+// when every opposing path can be cleared by removing an edge strictly
+// weaker than the new support; otherwise the support stays pending and
+// the graph is unchanged (the observation is not lost — enough repeat
+// observations eventually tip the balance).
+//
+// Edges installed through the unweighted Add/ForceAdd surface count as
+// support 1 (one firm observation), so mixed use keeps the zero-noise
+// behavior: a fresh contradiction with weight 1 never evicts an
+// installed answer of weight 1 — exactly the reject policy — and a
+// weighted run with no contradictions produces the same graph as the
+// unweighted surface (TestObserveZeroNoiseMatchesAdd).
+
+// ObserveResult reports what an Observe call did to the graph.
+type ObserveResult struct {
+	// Installed reports that the observed edge is now present in the
+	// DAG (whether it was already there or was added by this call).
+	Installed bool
+	// Added reports that this call added the edge.
+	Added bool
+	// Removed lists the contradicting edges repaired away to make room
+	// (non-empty only when Added).
+	Removed []Edge
+	// Pending reports that the observation contradicts installed
+	// preferences of at least equal weight: the support was recorded
+	// but the graph is unchanged.
+	Pending bool
+}
+
+// Weight returns the accumulated observation weight for the ordered
+// pair better>worse. Installed edges that were never Observed (added
+// through Add/ForceAdd) count as 1; pairs never seen count as 0.
+func (g *Graph) Weight(better, worse int) float64 {
+	w := g.weight[Edge{Better: better, Worse: worse}]
+	if w == 0 && g.succ[better][worse] {
+		return 1
+	}
+	return w
+}
+
+// Observe records a weighted observation of better>worse and installs
+// the edge when the accumulated support justifies it; see the file
+// comment for the semantics. w ≤ 0 counts as 1 (a firm answer). The
+// self-pair is rejected like Add rejects it.
+func (g *Graph) Observe(better, worse int, w float64) (ObserveResult, error) {
+	if better == worse {
+		return ObserveResult{}, errSelf(better)
+	}
+	if w <= 0 {
+		w = 1
+	}
+	g.AddVertex(better)
+	g.AddVertex(worse)
+	if g.weight == nil {
+		g.weight = make(map[Edge]float64)
+	}
+	e := Edge{Better: better, Worse: worse}
+	// Seed the implicit weight of a pre-existing unweighted edge before
+	// accumulating, so Add-then-Observe histories weigh the same as
+	// Observe-only ones.
+	if g.weight[e] == 0 && g.succ[better][worse] {
+		g.weight[e] = 1
+	}
+	g.weight[e] += w
+	if g.succ[better][worse] {
+		return ObserveResult{Installed: true}, nil
+	}
+	support := g.weight[e]
+
+	// Clear opposing paths while each can spare an edge strictly weaker
+	// than the accumulated support; roll back and stay pending when one
+	// cannot.
+	var removed []Edge
+	for {
+		p := g.path(worse, better)
+		if p == nil {
+			break
+		}
+		weak := Edge{Better: p[0], Worse: p[1]}
+		weakW := g.Weight(weak.Better, weak.Worse)
+		for i := 1; i+1 < len(p); i++ {
+			cand := Edge{Better: p[i], Worse: p[i+1]}
+			if cw := g.Weight(cand.Better, cand.Worse); cw < weakW {
+				weak, weakW = cand, cw
+			}
+		}
+		if weakW >= support {
+			for _, r := range removed {
+				g.succ[r.Better][r.Worse] = true
+				g.pred[r.Worse][r.Better] = true
+				g.n++
+			}
+			return ObserveResult{Pending: true}, nil
+		}
+		g.Remove(weak.Better, weak.Worse)
+		removed = append(removed, weak)
+	}
+	g.succ[better][worse] = true
+	g.pred[worse][better] = true
+	g.n++
+	return ObserveResult{Installed: true, Added: true, Removed: removed}, nil
+}

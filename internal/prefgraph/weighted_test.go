@@ -1,0 +1,211 @@
+package prefgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustObserve(t *testing.T, g *Graph, better, worse int, w float64) ObserveResult {
+	t.Helper()
+	res, err := g.Observe(better, worse, w)
+	if err != nil {
+		t.Fatalf("Observe(%d, %d, %v): %v", better, worse, w, err)
+	}
+	return res
+}
+
+func TestObserveInstallsAndAccumulates(t *testing.T) {
+	g := New()
+	res := mustObserve(t, g, 1, 2, 0.4)
+	if !res.Installed || !res.Added || res.Pending {
+		t.Errorf("first uncontested observation: %+v, want installed+added", res)
+	}
+	if !g.Has(1, 2) {
+		t.Error("edge 1>2 not installed")
+	}
+	res = mustObserve(t, g, 1, 2, 0.4)
+	if !res.Installed || res.Added {
+		t.Errorf("repeat observation: %+v, want installed without re-add", res)
+	}
+	if w := g.Weight(1, 2); w != 0.8 {
+		t.Errorf("Weight(1,2) = %v, want 0.8", w)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestObserveSelfErrors(t *testing.T) {
+	g := New()
+	if _, err := g.Observe(3, 3, 1); err == nil {
+		t.Error("self observation accepted")
+	}
+}
+
+func TestWeightDefaults(t *testing.T) {
+	g := New()
+	if w := g.Weight(1, 2); w != 0 {
+		t.Errorf("Weight of unseen pair = %v, want 0", w)
+	}
+	mustAdd(t, g, 1, 2)
+	if w := g.Weight(1, 2); w != 1 {
+		t.Errorf("Weight of unweighted installed edge = %v, want 1", w)
+	}
+	if w := g.Weight(2, 1); w != 0 {
+		t.Errorf("Weight of reverse of installed edge = %v, want 0", w)
+	}
+}
+
+// A contradiction stays pending until its accumulated weight strictly
+// exceeds the weight of the installed answer, then repairs it — the
+// noise-robust middle ground between reject and immediate repair.
+func TestObserveContradictionBelowThresholdPending(t *testing.T) {
+	g := New()
+	mustAdd(t, g, 1, 2) // firm answer, weight 1
+
+	res := mustObserve(t, g, 2, 1, 0.5)
+	if !res.Pending || res.Installed || res.Added {
+		t.Errorf("contested observation below threshold: %+v, want pending", res)
+	}
+	if !g.Has(1, 2) || g.Has(2, 1) {
+		t.Error("pending observation mutated the graph")
+	}
+	if w := g.Weight(2, 1); w != 0.5 {
+		t.Errorf("pending support not recorded: Weight(2,1) = %v", w)
+	}
+
+	// 0.5+0.4 = 0.9 still does not beat the installed weight 1: equal
+	// or weaker support never evicts (the zero-noise reject policy).
+	res = mustObserve(t, g, 2, 1, 0.4)
+	if !res.Pending {
+		t.Errorf("support 0.9 vs installed 1: %+v, want pending", res)
+	}
+}
+
+func TestObserveContradictionAboveThresholdRepairs(t *testing.T) {
+	g := New()
+	mustAdd(t, g, 1, 2)
+	mustObserve(t, g, 2, 1, 0.5)
+	mustObserve(t, g, 2, 1, 0.4)
+
+	res := mustObserve(t, g, 2, 1, 0.6) // accumulated 1.5 > 1
+	if !res.Installed || !res.Added || res.Pending {
+		t.Fatalf("support 1.5 vs installed 1: %+v, want repair", res)
+	}
+	if len(res.Removed) != 1 || res.Removed[0] != (Edge{Better: 1, Worse: 2}) {
+		t.Errorf("Removed = %v, want [{1 2}]", res.Removed)
+	}
+	if !g.Has(2, 1) || g.Has(1, 2) {
+		t.Error("repair did not flip the edge")
+	}
+	if g.FindCycle() != nil {
+		t.Error("graph cyclic after repair")
+	}
+}
+
+// A transitive contradiction (no direct reverse edge, only an opposing
+// path) repairs by evicting the weakest edge on the path — and only one
+// eviction when that already clears every opposing path.
+func TestObserveTransitiveRepairEvictsWeakestEdge(t *testing.T) {
+	g := New()
+	mustObserve(t, g, 1, 2, 3) // strong
+	mustObserve(t, g, 2, 3, 1) // weak link
+
+	res := mustObserve(t, g, 3, 1, 2) // contradicts path 1>2>3
+	if !res.Added {
+		t.Fatalf("support 2 vs weakest link 1: %+v, want repair", res)
+	}
+	if len(res.Removed) != 1 || res.Removed[0] != (Edge{Better: 2, Worse: 3}) {
+		t.Errorf("Removed = %v, want the weak link {2 3}", res.Removed)
+	}
+	if !g.Has(1, 2) {
+		t.Error("strong edge 1>2 evicted instead of the weak link")
+	}
+	if !g.Has(3, 1) || g.FindCycle() != nil {
+		t.Error("observed edge missing or graph cyclic after repair")
+	}
+}
+
+// When the opposing path cannot spare a strictly weaker edge the
+// observation must roll back completely, including any edges it
+// tentatively removed from other opposing paths.
+func TestObservePendingRollsBackPartialRepair(t *testing.T) {
+	g := New()
+	// Two parallel paths 1→3: one weak (via 2), one strong (via 4).
+	mustObserve(t, g, 1, 2, 1)
+	mustObserve(t, g, 2, 3, 1)
+	mustObserve(t, g, 1, 4, 5)
+	mustObserve(t, g, 4, 3, 5)
+
+	res := mustObserve(t, g, 3, 1, 2) // clears the weak path, stalls on the strong one
+	if !res.Pending {
+		t.Fatalf("result %+v, want pending (strong path survives)", res)
+	}
+	for _, e := range []Edge{{1, 2}, {2, 3}, {1, 4}, {4, 3}} {
+		if !g.Has(e.Better, e.Worse) {
+			t.Errorf("edge %v lost: partial repair not rolled back", e)
+		}
+	}
+	if g.Has(3, 1) {
+		t.Error("pending observation installed its edge")
+	}
+}
+
+// With no contradictions (a zero-noise user) the weighted surface must
+// produce exactly the graph the unweighted Add surface produces.
+func TestObserveZeroNoiseMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 10
+	ga, gb := New(), New()
+	for i := 0; i < 200; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		// Hidden total order: smaller index is better. Zero noise means
+		// every answer agrees with it.
+		if a > b {
+			a, b = b, a
+		}
+		if err := ga.Add(a, b); err != nil {
+			t.Fatalf("Add(%d, %d): %v", a, b, err)
+		}
+		if _, err := gb.Observe(a, b, 1); err != nil {
+			t.Fatalf("Observe(%d, %d): %v", a, b, err)
+		}
+	}
+	if ga.NumEdges() != gb.NumEdges() || ga.NumVertices() != gb.NumVertices() {
+		t.Fatalf("counts differ: Add %d/%d, Observe %d/%d",
+			ga.NumEdges(), ga.NumVertices(), gb.NumEdges(), gb.NumVertices())
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if ga.Has(i, j) != gb.Has(i, j) {
+				t.Errorf("Has(%d, %d): Add %v, Observe %v", i, j, ga.Has(i, j), gb.Has(i, j))
+			}
+			if ga.Prefers(i, j) != gb.Prefers(i, j) {
+				t.Errorf("Prefers(%d, %d): Add %v, Observe %v", i, j, ga.Prefers(i, j), gb.Prefers(i, j))
+			}
+		}
+	}
+}
+
+// Hedged answers (weight in (0,1)) and "unspecified" weights (≤ 0,
+// counted firm) interact: a firm installed answer shrugs off hedged
+// contradictions until they accumulate past it.
+func TestObserveNonpositiveWeightCountsFirm(t *testing.T) {
+	g := New()
+	mustObserve(t, g, 1, 2, 0) // w ≤ 0 counts as a firm 1
+	if w := g.Weight(1, 2); w != 1 {
+		t.Errorf("Weight after w=0 observation = %v, want 1", w)
+	}
+	if res := mustObserve(t, g, 2, 1, 0.9); !res.Pending {
+		t.Errorf("hedged 0.9 vs firm 1: %+v, want pending", res)
+	}
+	if res := mustObserve(t, g, 2, 1, 0.9); !res.Added {
+		t.Errorf("accumulated 1.8 vs firm 1: %+v, want repair", res)
+	}
+}

@@ -303,6 +303,19 @@ func (st *Store) Add(s Scenario) (int, error) {
 	return len(st.items) - 1, nil
 }
 
+// Find returns the ID of an already-interned scenario matching s within
+// the dedup tolerance, without interning anything. It is the read-only
+// side of Add, used by the query planner to test whether a sampled
+// scenario is already a preference-graph vertex.
+func (st *Store) Find(s Scenario) (int, bool) {
+	for id, existing := range st.items {
+		if existing.AlmostEqual(s, st.dedupTol) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
 // Get returns the scenario with the given ID.
 func (st *Store) Get(id int) (Scenario, bool) {
 	if id < 0 || id >= len(st.items) {

@@ -34,30 +34,53 @@ const deprecationDate = "@1785542400" // 2026-08-05T00:00:00Z
 // they serve the same handlers but answer with an RFC 9745
 // Deprecation header and a Link to the /v1 successor, and new routes
 // (like /sessions/{id}/progress) are added under /v1 only.
+//
+// The single-query surface (GET query, POST answer) is itself
+// deprecated in favor of the batched round surface (GET queries, POST
+// judgments): its /v1 routes keep serving unchanged but now carry a
+// Deprecation header plus a Link to the batch successor on the same
+// session.
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	routes := []struct {
 		method, path string
 		h            http.HandlerFunc
+		// successor, when set, marks the /v1 route itself deprecated:
+		// it answers with Deprecation plus a Link to this sibling verb.
+		successor string
 	}{
-		{"POST", "/sessions", m.handleCreate},
-		{"GET", "/sessions", m.handleList},
-		{"GET", "/sessions/{id}", m.handleStatus},
-		{"DELETE", "/sessions/{id}", m.handleDelete},
-		{"GET", "/sessions/{id}/query", m.handleQuery},
-		{"POST", "/sessions/{id}/answer", m.handleAnswer},
-		{"GET", "/sessions/{id}/transcript", m.handleExport},
-		{"PUT", "/sessions/{id}/transcript", m.handleImport},
+		{"POST", "/sessions", m.handleCreate, ""},
+		{"GET", "/sessions", m.handleList, ""},
+		{"GET", "/sessions/{id}", m.handleStatus, ""},
+		{"DELETE", "/sessions/{id}", m.handleDelete, ""},
+		{"GET", "/sessions/{id}/query", m.handleQuery, "queries"},
+		{"POST", "/sessions/{id}/answer", m.handleAnswer, "judgments"},
+		{"GET", "/sessions/{id}/transcript", m.handleExport, ""},
+		{"PUT", "/sessions/{id}/transcript", m.handleImport, ""},
 	}
 	for _, rt := range routes {
-		mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
 		h := rt.h
+		if succ := rt.successor; succ != "" {
+			mux.HandleFunc(rt.method+" /v1"+rt.path, func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Deprecation", deprecationDate)
+				w.Header().Set("Link",
+					`</v1/sessions/`+r.PathValue("id")+`/`+succ+`>; rel="successor-version"`)
+				h(w, r)
+			})
+		} else {
+			mux.HandleFunc(rt.method+" /v1"+rt.path, h)
+		}
 		mux.HandleFunc(rt.method+" "+rt.path, func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Deprecation", deprecationDate)
 			w.Header().Set("Link", `</v1`+r.URL.EscapedPath()+`>; rel="successor-version"`)
 			h(w, r)
 		})
 	}
+	// The batched round surface (v1-only): one GET yields the planner's
+	// whole query round, one POST may carry any subset of its judgments
+	// in any order, each graded with a confidence.
+	mux.HandleFunc("GET /v1/sessions/{id}/queries", m.handleQueries)
+	mux.HandleFunc("POST /v1/sessions/{id}/judgments", m.handleJudgments)
 	mux.HandleFunc("GET /v1/sessions/{id}/progress", m.handleProgress)
 	// Fleet-era routes (v1-only, no unversioned aliases): the migration
 	// bundle and the shared-learned-tier export/warm endpoints.
@@ -128,6 +151,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // a transient "step in flight") also advertises a 1-second retry for
 // the migration drain loop.
 func (m *Manager) writeError(w http.ResponseWriter, err error, state State) {
+	writeJSON(w, m.errorStatus(w, err), apiError{Error: err.Error(), State: state})
+}
+
+// errorStatus maps a service error to its HTTP status, stamping the
+// backoff headers on w as a side effect. Split from writeError for
+// routes that need the mapping under a custom response body (the
+// batch judgments route reports partial acceptance alongside the
+// error).
+func (m *Manager) errorStatus(w http.ResponseWriter, err error) int {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrSaturated), errors.Is(err, ErrTooManySessions):
@@ -149,7 +181,7 @@ func (m *Manager) writeError(w http.ResponseWriter, err error, state State) {
 		// content yet.
 		status = http.StatusRequestTimeout
 	}
-	writeJSON(w, status, apiError{Error: err.Error(), State: state})
+	return status
 }
 
 func (m *Manager) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
@@ -247,21 +279,31 @@ type queryResponse struct {
 	Error string    `json:"error,omitempty"`
 }
 
+// pollWindow resolves the long-poll duration for a query GET: the
+// ?wait= parameter clamped to the configured maximum.
+func (m *Manager) pollWindow(r *http.Request) (time.Duration, error) {
+	wait := m.cfg.LongPollMax
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return 0, fmt.Errorf("bad wait duration: %w", err)
+		}
+		if d < wait {
+			wait = d
+		}
+	}
+	return wait, nil
+}
+
 func (m *Manager) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s, ok := m.session(w, r)
 	if !ok {
 		return
 	}
-	wait := m.cfg.LongPollMax
-	if v := r.URL.Query().Get("wait"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad wait duration: " + err.Error()})
-			return
-		}
-		if d < wait {
-			wait = d
-		}
+	wait, err := m.pollWindow(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()
@@ -337,6 +379,145 @@ func (m *Manager) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"state": state, "seq": req.Seq})
+}
+
+// queryItem is one open query of a round (GET queries).
+type queryItem struct {
+	Seq int       `json:"seq"`
+	A   []float64 `json:"a"`
+	B   []float64 `json:"b"`
+}
+
+// queriesResponse carries the pending round: every not-yet-judged
+// query, in sequence order. Finished sessions report the outcome
+// inline, exactly like the single-query route.
+type queriesResponse struct {
+	State   State       `json:"state"`
+	Queries []queryItem `json:"queries,omitempty"`
+	Final   []float64   `json:"final,omitempty"`
+	Error   string      `json:"error,omitempty"`
+}
+
+// handleQueries serves GET /v1/sessions/{id}/queries: the batch
+// long-poll. One response carries the planner's whole query round, so
+// an architect (or a panel of them) can judge k scenarios per
+// synthesis step instead of one.
+func (m *Manager) handleQueries(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	wait, err := m.pollWindow(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	qs, state, err := s.AwaitQueries(ctx)
+	if errors.Is(err, ErrGone) {
+		// Evicted between lookup and wait; the journal has it — retry the
+		// lookup once so the client never sees the eviction.
+		if s, ok = m.session(w, r); !ok {
+			return
+		}
+		qs, state, err = s.AwaitQueries(ctx)
+	}
+	if err != nil {
+		m.writeError(w, err, state)
+		return
+	}
+	resp := queriesResponse{State: state}
+	if len(qs) > 0 {
+		resp.Queries = make([]queryItem, len(qs))
+		for i, q := range qs {
+			resp.Queries[i] = queryItem{Seq: q.Seq, A: q.A, B: q.B}
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	st := s.Status()
+	resp.Final = st.Final
+	resp.Error = st.Error
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// judgmentItem is one judgment of the POST judgments body.
+type judgmentItem struct {
+	Seq int `json:"seq"`
+	// Pref accepts the same spellings as the answer route.
+	Pref string `json:"pref"`
+	// Confidence grades the judgment in (0, 1]; 0 (or omitted) means
+	// full confidence. The preference graph weighs contradictory
+	// evidence by accumulated confidence before repairing an edge.
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// judgmentsRequest is the POST judgments body: any non-empty subset of
+// the pending round's open queries, in any order.
+type judgmentsRequest struct {
+	Judgments []judgmentItem `json:"judgments"`
+}
+
+// judgmentsResponse reports how much of the batch was applied.
+// Accepted counts judgments journaled and consumed; on a mid-batch
+// failure it tells the client exactly which suffix to retry.
+type judgmentsResponse struct {
+	State    State  `json:"state"`
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleJudgments serves POST /v1/sessions/{id}/judgments. Judgments
+// are applied in body order; each is journaled before the next is
+// considered, so a mid-batch error loses nothing — the response's
+// Accepted count marks the retry point. The round's last judgment
+// kicks off the next synthesis step (state flips to computing).
+func (m *Manager) handleJudgments(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.session(w, r)
+	if !ok {
+		return
+	}
+	var req judgmentsRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode judgments: " + err.Error()})
+		return
+	}
+	if len(req.Judgments) == 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "empty judgments batch"})
+		return
+	}
+	// Validate the whole batch before applying any of it: a malformed
+	// entry rejects the request outright rather than half-applying.
+	js := make([]oracle.Judgment, len(req.Judgments))
+	for i, item := range req.Judgments {
+		pref, err := parsePref(item.Pref)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("judgment %d: %v", i, err)})
+			return
+		}
+		if item.Confidence < 0 || item.Confidence > 1 {
+			writeJSON(w, http.StatusBadRequest, apiError{
+				Error: fmt.Sprintf("judgment %d: confidence %v outside [0, 1]", i, item.Confidence)})
+			return
+		}
+		js[i] = oracle.Judgment{Pref: pref, Confidence: item.Confidence}
+	}
+	accepted := 0
+	state := State("")
+	for i, item := range req.Judgments {
+		st, err := s.Judge(r.Context(), item.Seq, js[i])
+		if err != nil {
+			status := m.errorStatus(w, err)
+			writeJSON(w, status, judgmentsResponse{State: st, Accepted: accepted, Error: err.Error()})
+			return
+		}
+		state = st
+		accepted++
+	}
+	writeJSON(w, http.StatusAccepted, judgmentsResponse{State: state, Accepted: accepted})
 }
 
 // handleBundle serves GET /v1/sessions/{id}/bundle: the live-migration

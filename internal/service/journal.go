@@ -50,6 +50,10 @@ type journalRecord struct {
 	A    []float64 `json:"a,omitempty"`
 	B    []float64 `json:"b,omitempty"`
 	Pref int       `json:"pref"`
+	// Conf is the judgment confidence in (0, 1]. Zero (and every legacy
+	// record, which predates the field) means full confidence — the same
+	// zero-value convention as oracle.Judgment.
+	Conf float64 `json:"conf,omitempty"`
 	// checkpoint / final
 	Transcript *core.Transcript `json:"transcript,omitempty"`
 	// checkpoint only: the learned-prune cache summary exported alongside

@@ -586,35 +586,54 @@ func (m *Manager) rebuildLocked(id, path string) (*Session, error) {
 			}
 		}
 	}
+	// Replay is batch-aware: the journal records judgments in arrival
+	// order, which within a planner round may differ from sequence
+	// order, so each record is matched against the regenerated round's
+	// still-open queries by scenario pair rather than strictly against
+	// the next query. A round that was only partially answered before
+	// the crash replays its recorded prefix and leaves the rest parked.
 	replayed := 0
+	var open []core.Query
 	for i := lastCk + 1; i < len(recs); i++ {
 		rec := recs[i]
 		if rec.Type != recAnswer {
 			continue
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), m.cfg.StepTimeout)
-		q, err := s.stepper.Next(ctx)
-		cancel()
-		if err != nil {
-			jr.close()
-			s.stepper.Close()
-			return nil, fmt.Errorf("replay step %d: %w", replayed, err)
+		if len(open) == 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), m.cfg.StepTimeout)
+			qs, err := s.stepper.NextBatch(ctx)
+			cancel()
+			if err != nil {
+				jr.close()
+				s.stepper.Close()
+				return nil, fmt.Errorf("replay step %d: %w", replayed, err)
+			}
+			if qs == nil {
+				m.log.Warn("session.replay.truncated",
+					"session", id, "unused_answers", countAnswers(recs[i:]))
+				break
+			}
+			open = qs
 		}
-		if q == nil {
-			m.log.Warn("session.replay.truncated",
-				"session", id, "unused_answers", countAnswers(recs[i:]))
-			break
+		match := -1
+		for k := range open {
+			if sameScenario(open[k].A, rec.A) && sameScenario(open[k].B, rec.B) {
+				match = k
+				break
+			}
 		}
-		if !sameScenario(q.A, rec.A) || !sameScenario(q.B, rec.B) {
+		if match < 0 {
 			jr.close()
 			s.stepper.Close()
 			return nil, fmt.Errorf("replay step %d: regenerated query diverged from journal (stale journal for this build?)", replayed)
 		}
-		if err := s.stepper.Answer(oracle.Preference(rec.Pref)); err != nil {
+		j := oracle.Judgment{Pref: oracle.Preference(rec.Pref), Confidence: rec.Conf}
+		if err := s.stepper.AnswerSeq(open[match].Seq, j); err != nil {
 			jr.close()
 			s.stepper.Close()
 			return nil, fmt.Errorf("replay answer %d: %w", replayed, err)
 		}
+		open = append(open[:match], open[match+1:]...)
 		replayed++
 	}
 	s.answers = countAnswers(recs)

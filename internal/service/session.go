@@ -90,10 +90,13 @@ type Session struct {
 
 	iterations atomic.Int64
 
-	mu        sync.Mutex
-	state     State
-	stepper   *core.Stepper
-	pending   *core.Query
+	mu      sync.Mutex
+	state   State
+	stepper *core.Stepper
+	// pending holds the current round's unanswered queries in sequence
+	// order (external seqs, i.e. seqBase already applied). Legacy
+	// single-query sessions are the k=1 special case: one entry.
+	pending   []core.Query
 	answers   int // accepted answers over the session's whole life (journal count)
 	seqBase   int // journaled answers subsumed by checkpoints before this stepper
 	imported  bool
@@ -115,7 +118,10 @@ type SessionStatus struct {
 	Iterations int64  `json:"iterations"`
 	Answers    int    `json:"answers"`
 	PendingSeq *int   `json:"pending_seq,omitempty"`
-	Converged  bool   `json:"converged"`
+	// PendingSeqs lists every open query in the current round (the batch
+	// surface); PendingSeq stays the lowest of them for old clients.
+	PendingSeqs []int `json:"pending_seqs,omitempty"`
+	Converged   bool  `json:"converged"`
 	// Final is the synthesized hole vector, present once done.
 	Final []float64 `json:"final,omitempty"`
 	Error string    `json:"error,omitempty"`
@@ -163,7 +169,7 @@ func (s *Session) advance(release func()) {
 	sp := s.m.span("advance")
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), s.m.cfg.StepTimeout)
-	q, err := s.stepper.Next(ctx)
+	qs, err := s.stepper.NextBatch(ctx)
 	cancel()
 	s.m.met.stepSeconds.Observe(time.Since(start).Seconds())
 
@@ -181,12 +187,10 @@ func (s *Session) advance(release func()) {
 		// Shutdown or eviction owns the teardown. A completed session
 		// still records its result; anything else parks as idle so the
 		// checkpoint logic sees a quiescent state.
-		if err == nil && q == nil {
+		if err == nil && qs == nil {
 			s.finishLocked()
-		} else if err == nil && q != nil {
-			q.Seq += s.seqBase
-			s.pending = q
-			s.state = StateAwaiting
+		} else if err == nil && qs != nil {
+			s.parkRoundLocked(qs)
 		} else {
 			s.state = StateIdle
 		}
@@ -199,14 +203,23 @@ func (s *Session) advance(release func()) {
 		go s.stepper.Close()
 		return
 	}
-	if q != nil {
-		q.Seq += s.seqBase
-		s.pending = q
-		s.state = StateAwaiting
-		s.m.met.queries.Inc()
+	if qs != nil {
+		s.parkRoundLocked(qs)
+		s.m.met.queries.Add(int64(len(qs)))
 		return
 	}
 	s.finishLocked()
+}
+
+// parkRoundLocked installs a fresh query round as the pending batch,
+// rebasing the stepper's internal sequence numbers into the session's
+// external numbering.
+func (s *Session) parkRoundLocked(qs []core.Query) {
+	for i := range qs {
+		qs[i].Seq += s.seqBase
+	}
+	s.pending = qs
+	s.state = StateAwaiting
 }
 
 // finishLocked records the completed session outcome and journals the
@@ -287,20 +300,35 @@ func errAttr(err error) string {
 	return err.Error()
 }
 
-// AwaitQuery long-polls for the session's next query. It kicks off the
-// first synthesis step for idle sessions (which needs a worker slot —
-// ErrSaturated when none frees up in time). Returns the pending query,
-// or (nil, state, nil) for finished sessions, or ctx's error when the
-// poll deadline passes while the solver is still working.
+// AwaitQuery long-polls for the session's next query — the legacy
+// single-query view of the batch surface: it returns the lowest open
+// query of the pending round. Returns the pending query, or (nil,
+// state, nil) for finished sessions, or ctx's error when the poll
+// deadline passes while the solver is still working.
 func (s *Session) AwaitQuery(ctx context.Context) (*core.Query, State, error) {
+	qs, state, err := s.AwaitQueries(ctx)
+	if err != nil || len(qs) == 0 {
+		return nil, state, err
+	}
+	return &qs[0], state, nil
+}
+
+// AwaitQueries long-polls for the session's pending query round. It
+// kicks off the first synthesis step for idle sessions (which needs a
+// worker slot — ErrSaturated when none frees up in time). Returns the
+// round's open queries in sequence order, or (nil, state, nil) for
+// finished sessions, or ctx's error when the poll deadline passes
+// while the solver is still working.
+func (s *Session) AwaitQueries(ctx context.Context) ([]core.Query, State, error) {
 	for {
 		s.mu.Lock()
 		s.touchLocked()
 		switch s.state {
 		case StateAwaiting:
-			q := *s.pending
+			qs := make([]core.Query, len(s.pending))
+			copy(qs, s.pending)
 			s.mu.Unlock()
-			return &q, StateAwaiting, nil
+			return qs, StateAwaiting, nil
 		case StateDone, StateFailed:
 			st := s.state
 			s.mu.Unlock()
@@ -331,15 +359,27 @@ func (s *Session) AwaitQuery(ctx context.Context) (*core.Query, State, error) {
 	}
 }
 
-// Answer applies the architect's preference for the pending query. The
-// sequence number must match the pending query's, which makes answers
-// idempotent under client retries and safe under racing clients: one
-// wins, the rest get ErrStaleAnswer. The answer is journaled (and
-// fsynced) before the synthesis loop may consume it. ctx carries the
-// request-correlation IDs; it is not used for cancellation.
+// Answer applies the architect's preference for the pending query —
+// the legacy single-query surface, now a full-confidence judgment.
 func (s *Session) Answer(ctx context.Context, seq int, pref oracle.Preference) (State, error) {
-	// Acquire the compute slot first: accepting an answer commits us to
-	// running the next step, and the pool is the backpressure boundary.
+	return s.Judge(ctx, seq, oracle.Judgment{Pref: pref})
+}
+
+// Judge applies one judgment to an open query of the pending round.
+// The sequence number must match an open query's, which makes answers
+// idempotent under client retries and safe under racing clients: one
+// wins, the rest get ErrStaleAnswer. Queries within a round may be
+// judged in any order. The judgment is journaled (and fsynced) before
+// the synthesis loop may consume it. While the round still has open
+// queries the session stays awaiting (no compute slot is held); the
+// round's last judgment hands a slot to the next synthesis step. ctx
+// carries the request-correlation IDs; it is not used for
+// cancellation.
+func (s *Session) Judge(ctx context.Context, seq int, j oracle.Judgment) (State, error) {
+	// Acquire the compute slot first: accepting the round's last answer
+	// commits us to running the next step, and the pool is the
+	// backpressure boundary. Mid-round judgments release it immediately
+	// below — paying one acquire for slot-before-mutex ordering.
 	release, ok := s.m.acquireSlot()
 	if !ok {
 		s.log.Warn("pool.saturated",
@@ -353,22 +393,31 @@ func (s *Session) Answer(ctx context.Context, seq int, pref oracle.Preference) (
 	if sp.Active() {
 		defer sp.End(obs.Str("session", s.ID), obs.Num("seq", float64(seq)))
 	}
-	if s.state != StateAwaiting || s.pending == nil {
+	if s.state != StateAwaiting || len(s.pending) == 0 {
 		release()
 		s.m.met.rejected.Inc()
 		return s.state, fmt.Errorf("%w (session is %s)", ErrNoPending, s.state)
 	}
-	if seq != s.pending.Seq {
+	idx := -1
+	for i := range s.pending {
+		if s.pending[i].Seq == seq {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
 		release()
 		s.m.met.rejected.Inc()
-		return s.state, fmt.Errorf("%w: got seq %d, pending is %d", ErrStaleAnswer, seq, s.pending.Seq)
+		return s.state, fmt.Errorf("%w: got seq %d, pending is %d", ErrStaleAnswer, seq, s.pending[0].Seq)
 	}
+	q := s.pending[idx]
 	rec := journalRecord{
 		Type: recAnswer,
 		Seq:  seq,
-		A:    s.pending.A,
-		B:    s.pending.B,
-		Pref: int(pref),
+		A:    q.A,
+		B:    q.B,
+		Pref: int(j.Pref),
+		Conf: j.Confidence,
 	}
 	if err := s.jr.append(rec); err != nil {
 		release()
@@ -376,19 +425,29 @@ func (s *Session) Answer(ctx context.Context, seq int, pref oracle.Preference) (
 		s.bumpLocked()
 		return StateFailed, err
 	}
-	if err := s.stepper.Answer(pref); err != nil {
+	if err := s.stepper.AnswerSeq(seq-s.seqBase, j); err != nil {
 		release()
 		s.m.met.rejected.Inc()
 		return s.state, err
 	}
-	s.pending = nil
+	s.pending = append(s.pending[:idx], s.pending[idx+1:]...)
 	s.answers++
 	s.m.met.answers.Inc()
 	s.log.Debug("session.answer",
 		"seq", seq,
-		"pref", int(pref),
+		"pref", int(j.Pref),
+		"conf", j.Weight(),
+		"open", len(s.pending),
 		"request_id", RequestID(ctx))
 	s.tracer.SetLabel("request_id", RequestID(ctx))
+	if len(s.pending) > 0 {
+		// The round is still open: no compute to run, give the slot back
+		// and keep serving the remaining queries.
+		release()
+		s.bumpLocked()
+		return StateAwaiting, nil
+	}
+	s.pending = nil
 	s.startAdvanceLocked(release)
 	s.bumpLocked()
 	return StateComputing, nil
@@ -622,9 +681,13 @@ func (s *Session) Status() SessionStatus {
 		Answers:    s.answers,
 		Error:      s.failure,
 	}
-	if s.state == StateAwaiting && s.pending != nil {
-		seq := s.pending.Seq
+	if s.state == StateAwaiting && len(s.pending) > 0 {
+		seq := s.pending[0].Seq
 		st.PendingSeq = &seq
+		st.PendingSeqs = make([]int, len(s.pending))
+		for i, q := range s.pending {
+			st.PendingSeqs[i] = q.Seq
+		}
 	}
 	if s.final != nil {
 		st.Converged = s.final.Converged
@@ -693,7 +756,15 @@ func (s *Session) abort() {
 func (s *Session) teardownLocked(checkpoint bool) {
 	var snap *core.Transcript
 	var learned *solver.LearnedSummary
-	if checkpoint && (s.state == StateIdle || s.state == StateAwaiting) && s.stepper != nil {
+	// A partially answered round must not be checkpointed: its accepted
+	// judgments are still inside the stepper (they commit when the round
+	// completes), so the snapshot would not subsume the journaled answer
+	// records before it — recovery, which replays only records after the
+	// last checkpoint, would silently drop those answers and reuse their
+	// seqs. Skipping the checkpoint keeps recovery on the full-replay
+	// path, which is exact.
+	if checkpoint && (s.state == StateIdle || s.state == StateAwaiting) && s.stepper != nil &&
+		!s.stepper.RoundPartiallyAnswered() {
 		if t, err := s.stepper.Snapshot(); err == nil && len(t.Scenarios) > 0 {
 			snap = t
 			// Best-effort: the summary rides along with the checkpoint so a

@@ -78,6 +78,18 @@ type SolverSpec struct {
 	// (0 keeps the solver default; 1 disables batching). Like
 	// PruneWorkers it never affects results, only throughput.
 	BatchLanes int `json:"batch_lanes,omitempty"`
+	// Planner selects the active query planner: "on" (or empty, the
+	// default) plans rounds of maximally informative queries; "off"
+	// falls back to the seed's first-distinguishing-pair behavior,
+	// bit-identical to pre-planner builds.
+	Planner string `json:"planner,omitempty"`
+	// PlannerCandidates sizes the candidate pool the planner scores
+	// query pairs over (0 keeps the planner default).
+	PlannerCandidates int `json:"planner_candidates,omitempty"`
+	// PlannerMinSupport is the per-side support floor below which a
+	// split is considered too lopsided to ask about (0 keeps the
+	// planner default).
+	PlannerMinSupport int `json:"planner_min_support,omitempty"`
 }
 
 // DistinguishSpec overrides solver.DistinguishOptions fields.
@@ -164,6 +176,19 @@ func (sp *SessionSpec) config(obsv *obs.Observer, stats *solver.Stats) (core.Con
 		// 1 is meaningful (batching off), so apply any non-zero value.
 		if s.BatchLanes != 0 {
 			opts.BatchLanes = s.BatchLanes
+		}
+		switch strings.ToLower(s.Planner) {
+		case "", "on":
+		case "off":
+			cfg.DisablePlanner = true
+		default:
+			return core.Config{}, fmt.Errorf("service: bad planner %q (want on or off)", s.Planner)
+		}
+		if s.PlannerCandidates > 0 {
+			cfg.Planner.Candidates = s.PlannerCandidates
+		}
+		if s.PlannerMinSupport > 0 {
+			cfg.Planner.MinSupport = float64(s.PlannerMinSupport)
 		}
 	}
 	opts.Stats = stats
