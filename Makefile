@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-smoke bench-json effort-gate experiments examples obs-smoke obs-demo service-smoke log-smoke fleet-smoke fleet-chaos docs-lint fmt vet clean
+.PHONY: all build test test-short race cover bench bench-smoke bench-json effort-gate experiments examples obs-smoke obs-demo service-smoke log-smoke fleet-smoke fleet-ha-smoke fleet-chaos docs-lint fmt vet clean
 
 # Tier-1 verification: build, vet, the full test suite, the race
 # detector over the packages with real concurrency (parallel solver
@@ -12,10 +12,11 @@ GO ?= go
 # cache, the synthesis service's worker pool), a one-iteration compile
 # check of every benchmark, smoke tests of the observability HTTP
 # endpoint, the compsynthd service layer, the structured log
-# stream, and the multi-node fleet (router + daemons + chaos loadgen
-# over real HTTP), the oracle-effort regression gate, and the
-# documentation gate.
-all: build vet test race bench-smoke obs-smoke service-smoke log-smoke fleet-smoke effort-gate docs-lint
+# stream, the multi-node fleet (router + daemons + chaos loadgen
+# over real HTTP), the replicated-journal failover path (a member
+# SIGKILLed and never restarted, its sessions adopted elsewhere), the
+# oracle-effort regression gate, and the documentation gate.
+all: build vet test race bench-smoke obs-smoke service-smoke log-smoke fleet-smoke fleet-ha-smoke effort-gate docs-lint
 
 build:
 	$(GO) build ./...
@@ -85,12 +86,29 @@ fleet-smoke:
 		-daemon-bin .fleet-smoke/bin/compsynthd \
 		-router-bin .fleet-smoke/bin/compsynth-router
 
+# Failover smoke (DESIGN.md §16): a replicated 3-member fleet where
+# one chaos event SIGKILLs a member permanently — no restart. Its
+# sessions must complete through automatic adoption of the replica
+# journals (fleet_adoptions_total >= 1 is asserted by synthload), with
+# every transcript still bit-identical to a batch run. Part of
+# tier-1 `all`.
+fleet-ha-smoke:
+	mkdir -p .fleet-smoke/bin
+	$(GO) build -o .fleet-smoke/bin/ ./cmd/compsynthd ./cmd/compsynth-router ./cmd/synthload
+	.fleet-smoke/bin/synthload -sessions 6 -daemons 3 -events 4 \
+		-replicas 2 -dead-kills 1 \
+		-concurrency 4 -event-interval 250ms \
+		-daemon-bin .fleet-smoke/bin/compsynthd \
+		-router-bin .fleet-smoke/bin/compsynth-router
+
 # The full chaos acceptance bar: 200 sessions across a 3-member fleet
-# with 20 kill/restart/migrate/drain events.
+# with 20 kill/restart/migrate/drain events, five of them permanent
+# owner deaths recovered only by replica adoption.
 fleet-chaos:
 	mkdir -p .fleet-smoke/bin
 	$(GO) build -o .fleet-smoke/bin/ ./cmd/compsynthd ./cmd/compsynth-router ./cmd/synthload
 	.fleet-smoke/bin/synthload -sessions 200 -daemons 3 -events 20 \
+		-replicas 2 -dead-kills 5 \
 		-daemon-bin .fleet-smoke/bin/compsynthd \
 		-router-bin .fleet-smoke/bin/compsynth-router
 

@@ -6,6 +6,7 @@
 //
 //	compsynth-router [-addr :8070]
 //	                 [-member name=url]... | [-member-file PATH]
+//	                 [-replicas R] [-failover-after N]
 //	                 [-health-interval D] [-migrate-timeout D]
 //	                 [-warm-interval N] [-log DEST] [-log-level LVL] [-v]
 //
@@ -16,6 +17,12 @@
 // session between members; removing a line from -member-file while
 // that member is healthy drains all its sessions by migration.
 // GET /v1/admin/members reports per-member health.
+//
+// With -replicas R > 1 every session's journal is replicated to the
+// next R-1 members of its rendezvous ranking, and a member that fails
+// -failover-after consecutive health probes has its sessions adopted
+// by their surviving replicas automatically (see DESIGN.md §16 and
+// OPERATIONS.md for the protocol and runbook).
 //
 // The observability endpoints (/metrics, /debug/vars, /debug/pprof/,
 // /trace) are mounted on the same listener; fleet_* metrics cover
@@ -68,6 +75,8 @@ func main() {
 		watchInterval  = flag.Duration("watch-interval", time.Second, "member-file poll period")
 		migrateTimeout = flag.Duration("migrate-timeout", 60*time.Second, "end-to-end bound on one session migration, drain included")
 		warmInterval   = flag.Int("warm-interval", 2, "warm active sessions from the shared learned tier every N accepted answers (<0 disables)")
+		replicas       = flag.Int("replicas", 2, "journal copies per session, owner included (1 disables replication)")
+		failoverAfter  = flag.Int("failover-after", 2, "consecutive failed health probes before a member's sessions fail over (<0 disables)")
 		logDest        = flag.String("log", "stderr", "structured JSON log destination: stderr, stdout, a file path, or off")
 		logLevel       = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		verbose        = flag.Bool("v", false, "shorthand for -log-level debug")
@@ -79,13 +88,13 @@ func main() {
 	if *verbose {
 		level = "debug"
 	}
-	if err := run(*addr, members, *memberFile, *healthInterval, *watchInterval, *migrateTimeout, *warmInterval, *logDest, level); err != nil {
+	if err := run(*addr, members, *memberFile, *healthInterval, *watchInterval, *migrateTimeout, *warmInterval, *replicas, *failoverAfter, *logDest, level); err != nil {
 		fmt.Fprintln(os.Stderr, "compsynth-router:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, members []fleet.Member, memberFile string, healthInterval, watchInterval, migrateTimeout time.Duration, warmInterval int, logDest, logLevel string) error {
+func run(addr string, members []fleet.Member, memberFile string, healthInterval, watchInterval, migrateTimeout time.Duration, warmInterval, replicas, failoverAfter int, logDest, logLevel string) error {
 	if len(members) == 0 && memberFile == "" {
 		return fmt.Errorf("no members: pass -member name=url or -member-file")
 	}
@@ -107,6 +116,8 @@ func run(addr string, members []fleet.Member, memberFile string, healthInterval,
 		WatchInterval:  watchInterval,
 		MigrateTimeout: migrateTimeout,
 		WarmInterval:   warmInterval,
+		Replicas:       replicas,
+		FailoverAfter:  failoverAfter,
 		Obs:            observer,
 		Log:            logger,
 	})

@@ -69,6 +69,7 @@ func main() {
 		logDest     = flag.String("log", "stderr", "structured JSON log destination: stderr, stdout, a file path, or off")
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		flight      = flag.Int("flight", 0, "flight-recorder ring capacity (0 selects the default)")
+		replTimeout = flag.Duration("replica-timeout", 2*time.Second, "bound on one replica push round trip (replicated fleets)")
 		verbose     = flag.Bool("v", false, "shorthand for -log-level debug")
 	)
 	flag.Parse()
@@ -90,6 +91,7 @@ func main() {
 		logDest:     *logDest,
 		logLevel:    level,
 		flight:      *flight,
+		replTimeout: *replTimeout,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "compsynthd:", err)
@@ -110,6 +112,7 @@ type daemonOptions struct {
 	logDest     string
 	logLevel    string
 	flight      int
+	replTimeout time.Duration
 	// logWriter, when non-nil, overrides logDest with a direct sink
 	// (tests capture the JSON stream without touching process stderr).
 	logWriter interface{ Write([]byte) (int, error) }
@@ -181,6 +184,7 @@ func startDaemon(opts daemonOptions) (*daemon, error) {
 		Obs:            observer,
 		Log:            logger,
 		FlightCapacity: opts.flight,
+		ReplicaTimeout: opts.replTimeout,
 	})
 	if err != nil {
 		srv.Close()

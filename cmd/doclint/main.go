@@ -7,9 +7,13 @@
 //     detached top-of-file comment block in a non-doc.go file — the
 //     file-comment idiom several internal packages use);
 //   - every relative markdown link in the top-level docs (README.md,
-//     ARCHITECTURE.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md) resolves
-//     to a file that exists, so the doc set cannot silently fracture as
-//     files move.
+//     ARCHITECTURE.md, DESIGN.md, EXPERIMENTS.md, OPERATIONS.md,
+//     ROADMAP.md) resolves to a file that exists, so the doc set cannot
+//     silently fracture as files move;
+//   - the sections other docs link into by name exist (see
+//     requiredHeadings), and the normative protocol docs (DESIGN.md,
+//     OPERATIONS.md) carry no TODO/TBD/FIXME markers — a runbook with a
+//     hole in it reads as complete right up until the outage.
 //
 // Exit status is non-zero with one line per violation; no output means
 // the docs are clean.
@@ -34,7 +38,7 @@ func main() {
 		os.Exit(2)
 	}
 	problems = append(problems, pkgProblems...)
-	for _, doc := range []string{"README.md", "ARCHITECTURE.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"} {
+	for _, doc := range []string{"README.md", "ARCHITECTURE.md", "DESIGN.md", "EXPERIMENTS.md", "OPERATIONS.md", "ROADMAP.md"} {
 		linkProblems, err := lintLinks(doc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "doclint:", err)
@@ -48,6 +52,12 @@ func main() {
 		os.Exit(2)
 	}
 	problems = append(problems, headingProblems...)
+	markerProblems, err := lintMarkers()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	problems = append(problems, markerProblems...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -65,12 +75,46 @@ var requiredHeadings = map[string][]string{
 		"## 13. Logging, correlation, and the flight recorder",
 		"## 14. The synthesis fleet: routing, live migration, chaos testing",
 		"## 15. The active query planner and the batched Query/Judgment API",
+		"## 16. Replication & adoption protocol",
 	},
 	"README.md": {
 		"## Operating the daemon: logs, correlation, flight dumps",
 		"## Running a fleet: router, live migration, chaos testing",
 		"## Batched queries and the v1 API migration",
 	},
+	"OPERATIONS.md": {
+		"## Fleet bring-up with replication",
+		"## Reading the replication metrics",
+		"## Forced adoption",
+		"## Forced re-replication",
+		"## jq one-liners",
+	},
+}
+
+// markerDocs are the normative docs that must not ship with
+// placeholder markers: DESIGN.md is the protocol contract and
+// OPERATIONS.md is what an operator follows mid-outage — an
+// unfinished step in either is worse than a missing one.
+var markerDocs = []string{"DESIGN.md", "OPERATIONS.md"}
+
+var markerRe = regexp.MustCompile(`\b(TODO|TBD|FIXME|XXX)\b`)
+
+// lintMarkers reports every placeholder marker in the normative docs,
+// one problem per offending line.
+func lintMarkers() ([]string, error) {
+	var problems []string
+	for _, doc := range markerDocs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := markerRe.FindString(line); m != "" {
+				problems = append(problems, fmt.Sprintf("%s:%d: placeholder marker %q in a normative doc", doc, i+1, m))
+			}
+		}
+	}
+	return problems, nil
 }
 
 // lintRequiredHeadings reports every required section heading missing

@@ -10,8 +10,19 @@
 //
 //	synthload [-sessions 200] [-daemons 3] [-events 20]
 //	          [-concurrency 16] [-workers 4] [-seed 1]
+//	          [-replicas 2] [-dead-kills 0]
 //	          [-event-interval 400ms] [-dir DIR] [-keep]
 //	          [-daemon-bin PATH] [-router-bin PATH]
+//
+// With -dead-kills N > 0, N of the chaos events SIGKILL a member and
+// never restart it: the router must notice the corpse, fail its
+// sessions over to their surviving replica copies (DESIGN.md §16), and
+// the orphaned drivers must still finish with bit-identical
+// transcripts. At most one member is permanently down at a time — the
+// previous victim rejoins with a wiped data directory before the next
+// kill, so every adoption promotes a replica copy, never a recovered
+// journal. After such a run the router must report at least one
+// fleet_adoptions_total.
 //
 // The drivers ride out everything chaos produces — 429 backpressure
 // (honoring Retry-After), 409 stale sequence numbers after migration,
@@ -65,6 +76,8 @@ func main() {
 		concurrency = flag.Int("concurrency", 16, "concurrent session drivers")
 		workers     = flag.Int("workers", 4, "worker pool size per daemon")
 		seed        = flag.Int64("seed", 1, "base RNG seed (session i uses seed+i; chaos uses seed)")
+		replicas    = flag.Int("replicas", 2, "journal copies per session, owner included (passed to the router; 1 disables replication)")
+		deadKills   = flag.Int("dead-kills", 0, "chaos events that SIGKILL a member permanently (no restart); its sessions must finish by failover adoption")
 		interval    = flag.Duration("event-interval", 400*time.Millisecond, "pause between chaos events")
 		dir         = flag.String("dir", "", "working directory (default: a fresh temp dir)")
 		keep        = flag.Bool("keep", false, "keep the working directory after the run")
@@ -75,6 +88,7 @@ func main() {
 	if err := run(options{
 		sessions: *sessions, daemons: *daemons, events: *events,
 		concurrency: *concurrency, workers: *workers, seed: *seed,
+		replicas: *replicas, deadKills: *deadKills,
 		interval: *interval, dir: *dir, keep: *keep,
 		daemonBin: *daemonBin, routerBin: *routerBin,
 	}); err != nil {
@@ -85,6 +99,7 @@ func main() {
 
 type options struct {
 	sessions, daemons, events, concurrency, workers int
+	replicas, deadKills                             int
 	seed                                            int64
 	interval                                        time.Duration
 	dir                                             string
@@ -106,6 +121,14 @@ func loadSpec(seed int64) service.SessionSpec {
 func run(o options) error {
 	if o.sessions < 1 || o.daemons < 1 || o.concurrency < 1 {
 		return errors.New("need -sessions, -daemons, -concurrency >= 1")
+	}
+	if o.deadKills > 0 {
+		if o.daemons < 2 || o.replicas < 2 {
+			return errors.New("-dead-kills needs -daemons >= 2 and -replicas >= 2 (a lone copy cannot be adopted)")
+		}
+		if o.deadKills > (o.events+3)/4 {
+			return fmt.Errorf("-dead-kills %d needs -events >= %d (one dead kill per four events)", o.deadKills, o.deadKills*4-3)
+		}
 	}
 	if err := resolveBins(&o); err != nil {
 		return err
@@ -186,7 +209,7 @@ func run(o options) error {
 		wg.Wait()
 	}()
 
-	chaos := newChaos(f, rand.New(rand.NewSource(o.seed)), o.interval)
+	chaos := newChaos(f, rand.New(rand.NewSource(o.seed)), o.interval, o.deadKills)
 	chaosErr := chaos.run(o.events, loadDone)
 	<-loadDone
 	if chaosErr != nil {
@@ -195,13 +218,19 @@ func run(o options) error {
 	if failures.Load() > 0 {
 		return fmt.Errorf("%d sessions failed; first: %v", failures.Load(), firstErr.Load())
 	}
-	fmt.Printf("synthload: %d sessions, %d answers, %d chaos events (%d kill/restart, %d migrate, %d drain) in %.1fs\n",
+	fmt.Printf("synthload: %d sessions, %d answers, %d chaos events (%d kill/restart, %d dead-kill, %d migrate, %d drain) in %.1fs\n",
 		completed.Load(), answers.Load(),
-		chaos.kills+chaos.migrates+chaos.drains, chaos.kills, chaos.migrates, chaos.drains,
+		chaos.kills+chaos.deadKills+chaos.migrates+chaos.drains,
+		chaos.kills, chaos.deadKills, chaos.migrates, chaos.drains,
 		time.Since(start).Seconds())
 
-	if err := checkMetrics(f.routerURL, chaos.migrateOK); err != nil {
+	if err := checkMetrics(f.routerURL, chaos.migrateOK, chaos.deadKills); err != nil {
 		return err
+	}
+	if o.replicas > 1 {
+		if err := checkMemberMetrics(f, chaos.deadMember); err != nil {
+			return err
+		}
 	}
 	if err := validateLogs(filepath.Join(dir, "logs")); err != nil {
 		return err
@@ -298,6 +327,8 @@ func startFleet(o options, dir string) (*fleetHarness, error) {
 	r := exec.Command(o.routerBin,
 		"-addr", addr,
 		"-member-file", f.memberFile,
+		"-replicas", strconv.Itoa(o.replicas),
+		"-failover-after", "2",
 		"-health-interval", "200ms",
 		"-watch-interval", "200ms",
 		"-log", filepath.Join(f.dir, "logs", "router.log"),
@@ -432,22 +463,30 @@ type chaosEngine struct {
 	rng      *rand.Rand
 	interval time.Duration
 
-	kills, migrates, drains int
+	// deadTarget is how many events must be permanent kills; deadMember
+	// is the at-most-one member currently dead for good.
+	deadTarget int
+	deadMember *memberProc
+
+	kills, deadKills, migrates, drains int
 	// migrateOK counts admin migrations the router confirmed with 200;
 	// each one must show up in fleet_migrations_total.
 	migrateOK int
 }
 
-func newChaos(f *fleetHarness, rng *rand.Rand, interval time.Duration) *chaosEngine {
-	return &chaosEngine{f: f, rng: rng, interval: interval}
+func newChaos(f *fleetHarness, rng *rand.Rand, interval time.Duration, deadTarget int) *chaosEngine {
+	return &chaosEngine{f: f, rng: rng, interval: interval, deadTarget: deadTarget}
 }
 
 // run executes exactly n chaos events, pausing `interval` between
-// them. Event kinds cycle deterministically (kill → migrate → drain)
-// so every run with three or more events exercises all three; the rng
-// only picks targets. It keeps at most one member disrupted at a time
-// so the fleet always has healthy capacity, and finishes any in-flight
-// disruption (restart, rejoin) before returning.
+// them. Event kinds cycle deterministically (kill → migrate → drain,
+// with every fourth event a permanent kill until -dead-kills is spent)
+// so every run with three or more events exercises the full
+// vocabulary; the rng only picks targets. It keeps at most one member
+// disrupted at a time so the fleet always has healthy capacity, and
+// finishes any in-flight disruption (restart, rejoin) before
+// returning. Permanent kills are front-loaded (events 0, 4, 8, ...)
+// so even a short run orphans sessions while the load is still hot.
 func (c *chaosEngine) run(n int, loadDone <-chan struct{}) error {
 	for i := 0; i < n; i++ {
 		select {
@@ -459,13 +498,17 @@ func (c *chaosEngine) run(n int, loadDone <-chan struct{}) error {
 		case <-time.After(c.interval):
 		}
 		var err error
-		switch i % 3 {
-		case 0:
-			err = c.killRestart()
-		case 1:
-			err = c.migrate()
-		case 2:
-			err = c.drainRejoin()
+		if c.deadKills < c.deadTarget && i%4 == 0 {
+			err = c.killDead()
+		} else {
+			switch i % 3 {
+			case 0:
+				err = c.killRestart()
+			case 1:
+				err = c.migrate()
+			case 2:
+				err = c.drainRejoin()
+			}
 		}
 		if err != nil {
 			return fmt.Errorf("chaos event %d: %w", i+1, err)
@@ -474,11 +517,59 @@ func (c *chaosEngine) run(n int, loadDone <-chan struct{}) error {
 	return nil
 }
 
+// killDead SIGKILLs a member and never restarts it: the router's
+// health probes must declare it dead and adopt its sessions onto
+// their surviving replica copies (DESIGN.md §16). At most one member
+// stays permanently down — the previous victim rejoins first with a
+// wiped data directory, so its earlier sessions were only ever
+// recoverable by adoption, never by journal replay.
+func (c *chaosEngine) killDead() error {
+	if len(c.f.members) < 2 {
+		return c.killRestart()
+	}
+	if prev := c.deadMember; prev != nil {
+		c.deadMember = nil
+		if err := os.RemoveAll(prev.data); err != nil {
+			return err
+		}
+		fmt.Printf("synthload: chaos revive %s (data wiped)\n", prev.name)
+		if err := c.f.startMember(prev); err != nil {
+			return err
+		}
+		if err := waitReady(prev.url, 15*time.Second); err != nil {
+			return fmt.Errorf("%s did not rejoin: %w", prev.name, err)
+		}
+		// Re-replication grace: owners holding the revived member as a
+		// stale replica target resync their full journal on the next
+		// append (after the push-retry cooldown). The drivers are
+		// answering continuously, so every live session appends well
+		// within this pause — without it the next kill could orphan a
+		// session whose only copy was just wiped.
+		time.Sleep(1500 * time.Millisecond)
+	}
+	m := c.memberWithLiveSessions()
+	if m == nil {
+		m = c.f.members[c.rng.Intn(len(c.f.members))]
+	}
+	fmt.Printf("synthload: chaos kill -9 %s (permanent; sessions must fail over)\n", m.name)
+	c.f.killMember(m)
+	c.deadMember = m
+	c.deadKills++
+	return nil
+}
+
 // killRestart SIGKILLs a random member mid-flight and restarts it on
 // the same address and data directory: its sessions recover by journal
-// replay, the exactly-replayable path.
+// replay, the exactly-replayable path. The permanently-dead member, if
+// any, is never picked — it must stay a corpse.
 func (c *chaosEngine) killRestart() error {
-	m := c.f.members[c.rng.Intn(len(c.f.members))]
+	var live []*memberProc
+	for _, m := range c.f.members {
+		if m != c.deadMember {
+			live = append(live, m)
+		}
+	}
+	m := live[c.rng.Intn(len(live))]
 	fmt.Printf("synthload: chaos kill -9 %s\n", m.name)
 	c.f.killMember(m)
 	time.Sleep(time.Duration(100+c.rng.Intn(200)) * time.Millisecond)
@@ -926,8 +1017,9 @@ func sleepRetry(resp *http.Response, def time.Duration) {
 
 // checkMetrics scrapes the router's /metrics and requires the fleet
 // instruments to be visible; every admin migration the router
-// confirmed must be reflected in fleet_migrations_total.
-func checkMetrics(base string, migrateOK int) error {
+// confirmed must be reflected in fleet_migrations_total, and a run
+// with permanent kills must have adopted at least one session.
+func checkMetrics(base string, migrateOK, deadKills int) error {
 	resp, err := http.Get(base + "/metrics")
 	if err != nil {
 		return fmt.Errorf("scrape /metrics: %w", err)
@@ -940,6 +1032,7 @@ func checkMetrics(base string, migrateOK int) error {
 		"fleet_member_unhealthy",
 		"fleet_proxied_requests_total",
 		"fleet_migrations_total",
+		"fleet_adoptions_total",
 		"fleet_learned_regions",
 	}
 	for _, name := range required {
@@ -948,12 +1041,43 @@ func checkMetrics(base string, migrateOK int) error {
 		}
 	}
 	migrations := metricValue(text, "fleet_migrations_total")
+	adoptions := metricValue(text, "fleet_adoptions_total")
 	unhealthy := metricValue(text, "fleet_member_unhealthy")
-	fmt.Printf("synthload: metrics — fleet_migrations_total=%g fleet_member_unhealthy=%g\n",
-		migrations, unhealthy)
+	fmt.Printf("synthload: metrics — fleet_migrations_total=%g fleet_adoptions_total=%g fleet_member_unhealthy=%g\n",
+		migrations, adoptions, unhealthy)
 	if migrations < float64(migrateOK) {
 		return fmt.Errorf("router confirmed %d admin migrations but fleet_migrations_total is %g", migrateOK, migrations)
 	}
+	if deadKills > 0 && adoptions < 1 {
+		return fmt.Errorf("%d members were killed for good but fleet_adoptions_total is %g", deadKills, adoptions)
+	}
+	return nil
+}
+
+// checkMemberMetrics scrapes each surviving member's /metrics and
+// requires the daemon half of the replication instruments
+// (fleet_replication_lag_seconds) to be exposed.
+func checkMemberMetrics(f *fleetHarness, dead *memberProc) error {
+	scraped := 0
+	for _, m := range f.members {
+		if m == dead {
+			continue
+		}
+		resp, err := http.Get(m.url + "/metrics")
+		if err != nil {
+			continue // mid-disruption stragglers are not the assertion here
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(raw), "fleet_replication_lag_seconds") {
+			return fmt.Errorf("member %s /metrics is missing fleet_replication_lag_seconds", m.name)
+		}
+		scraped++
+	}
+	if scraped == 0 {
+		return errors.New("no member /metrics endpoint was scrapeable")
+	}
+	fmt.Printf("synthload: %d members expose fleet_replication_lag_seconds\n", scraped)
 	return nil
 }
 

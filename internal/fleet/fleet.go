@@ -22,11 +22,26 @@
 // bit-identical to single-process batch runs (the invariance
 // cmd/synthload asserts under chaos).
 //
-// Failure handling in one line each: an unhealthy member keeps its
-// sessions (their journals are its durability; requests answer 503 +
-// Retry-After until it recovers), a departed-but-healthy member is
-// drained by migration, and a router restart recovers the routing
-// table lazily by probing members for sessions it cannot place.
+// Sessions are replicated for failover (DESIGN.md §16): at create time
+// the router injects a replica set — the next Replicas-1 members in
+// the session's rendezvous ranking — into the spec, and the owning
+// daemon pushes every fsynced journal record to those members before
+// confirming the triggering request. When the health checker sees an
+// owner fail FailoverAfter consecutive probes, the router drains the
+// dead owner's routes and adopts each session on the best surviving
+// replica copy (highest epoch, then most records, then rendezvous
+// rank): losing copies are fenced at the new epoch, the winner replays
+// its copy through the deterministic-replay restore path, and the
+// route flips. Epoch fencing makes the old owner a zombie — any later
+// push it attempts is rejected and it destroys its stale copy.
+//
+// Failure handling in one line each: an unhealthy member's sessions
+// fail over to their replicas after FailoverAfter missed probes (and
+// until then answer 502/503, which well-behaved clients retry), a
+// departed-but-healthy member is drained by migration, and a router
+// restart recovers the routing table lazily by probing members for
+// sessions it cannot place — including, as a last resort, adopting
+// from a surviving replica copy when no member owns the session.
 package fleet
 
 import (
@@ -81,6 +96,16 @@ type Config struct {
 	// RouteTTL evicts routing entries untouched for this long; the
 	// probe path rebuilds them on demand (default 1h).
 	RouteTTL time.Duration
+	// Replicas is the total number of journal copies per session, owner
+	// included: the router injects the next Replicas-1 members of the
+	// session's rendezvous ranking as its replica set at create time
+	// (default 2; 1 disables replication and failover adoption).
+	Replicas int
+	// FailoverAfter is how many consecutive failed health probes
+	// declare an owner dead and trigger failover adoption of its
+	// sessions (default 2; <0 disables the automatic trigger — the
+	// probe-on-miss adoption fallback still works).
+	FailoverAfter int
 	// Obs receives fleet metrics and spans (nil disables).
 	Obs *obs.Observer
 	// Log receives structured operational events (nil disables).
@@ -116,6 +141,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RouteTTL <= 0 {
 		c.RouteTTL = time.Hour
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.FailoverAfter == 0 {
+		c.FailoverAfter = 2
 	}
 	if c.Client == nil {
 		tr := http.DefaultTransport.(*http.Transport).Clone()

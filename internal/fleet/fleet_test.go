@@ -65,14 +65,16 @@ func batchTranscript(t *testing.T, spec service.SessionSpec, user oracle.Oracle)
 // daemonHandle is one in-process member.
 type daemonHandle struct {
 	name string
+	dir  string
 	mgr  *service.Manager
 	srv  *httptest.Server
 }
 
 func newDaemon(t *testing.T, name string) *daemonHandle {
 	t.Helper()
+	dir := t.TempDir()
 	m, err := service.New(service.Config{
-		DataDir:         t.TempDir(),
+		DataDir:         dir,
 		Workers:         2,
 		MaxSessions:     32,
 		JanitorInterval: time.Hour,
@@ -85,7 +87,7 @@ func newDaemon(t *testing.T, name string) *daemonHandle {
 	}
 	srv := httptest.NewServer(service.Handler(m))
 	t.Cleanup(func() { srv.Close(); m.Abort() })
-	return &daemonHandle{name: name, mgr: m, srv: srv}
+	return &daemonHandle{name: name, dir: dir, mgr: m, srv: srv}
 }
 
 func newFleet(t *testing.T, n int, tweak func(*Config)) (*Router, *httptest.Server, []*daemonHandle) {
@@ -647,4 +649,311 @@ func TestSharedLearnedTier(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Logf("warm pushes delivered: %d", r.met.learnedWarmed.Value())
+}
+
+// ---------------------------------------------------------------------
+// Replication and failover adoption (DESIGN.md §16).
+
+// handleFor maps a member name back to its in-process daemon.
+func handleFor(t *testing.T, ds []*daemonHandle, name string) *daemonHandle {
+	t.Helper()
+	for _, d := range ds {
+		if d.name == name {
+			return d
+		}
+	}
+	t.Fatalf("no daemon named %q", name)
+	return nil
+}
+
+// ownerOf reads a route's current owner.
+func ownerOf(r *Router, id string) string {
+	rt := r.routeFor(id)
+	if rt == nil {
+		return ""
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.owner
+}
+
+// waitAdoptions blocks until fleet_adoptions_total reaches n.
+func waitAdoptions(t *testing.T, r *Router, n int64, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for r.met.adoptions.Value() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet_adoptions_total stuck at %d, want >= %d (failures: %d)",
+				r.met.adoptions.Value(), n, r.met.adoptionFailures.Value())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// replicaStatusOf asks one member for its copy of a session, returning
+// found=false on a 404.
+func replicaStatusOf(t *testing.T, base, id string) (service.ReplicaStatus, bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/replica/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusNotFound {
+		return service.ReplicaStatus{}, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica status: %d %s", resp.StatusCode, raw)
+	}
+	var st service.ReplicaStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st, true
+}
+
+// replicaPut pushes a raw record stream at a member's replica store and
+// returns the HTTP status — the owner's push loop, hand-rolled.
+func replicaPut(t *testing.T, base, id string, epoch uint64, reset bool, after int, records []json.RawMessage) int {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{
+		"epoch": epoch, "reset": reset, "after": after, "records": records,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, base+"/v1/replica/sessions/"+id+"/records", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// journalRecords reads a session's journal off a member's disk, one raw
+// record per line.
+func journalRecords(t *testing.T, d *daemonHandle, id string) []json.RawMessage {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(d.dir, id+".journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []json.RawMessage
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		recs = append(recs, json.RawMessage(bytes.Clone(line)))
+	}
+	return recs
+}
+
+// TestFailoverAdoptionZombieFenced is the §16 acceptance core: the
+// owner dies for good, the router adopts the session from its replica
+// copy, the client finishes through the new owner with a transcript
+// bit-identical to batch — and when the old owner comes back as a
+// zombie and tries to keep writing, epoch fencing rejects its push and
+// the zombie destroys its own stale copy.
+func TestFailoverAdoptionZombieFenced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	user := swanUser(t)
+	spec := testSpec(108)
+	spec.ID = "zombie-fence"
+	want := batchTranscript(t, spec, user)
+
+	r, srv, ds := newFleet(t, 3, nil) // defaults: Replicas=2, FailoverAfter=2
+	id := createVia(t, srv.URL, spec)
+	drive(t, srv.URL, id, user, 2)
+
+	owner := ownerOf(r, id)
+	dead := handleFor(t, ds, owner)
+	dead.srv.Close() // SIGKILL, in-process flavor: the listener vanishes
+	waitAdoptions(t, r, 1, 15*time.Second)
+	if got := ownerOf(r, id); got == owner {
+		t.Fatalf("route still points at the dead owner %s", owner)
+	}
+
+	// Resurrect the old owner's manager on a fresh listener: a zombie
+	// that still believes it owns the session and still knows its
+	// replica targets. Its next journal append must be fenced.
+	zombie := httptest.NewServer(service.Handler(dead.mgr))
+	defer zombie.Close()
+	resp, err := http.Get(zombie.URL + "/v1/sessions/" + id + "/query?wait=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var qr queryResp
+	if resp.StatusCode == http.StatusOK && json.Unmarshal(raw, &qr) == nil && qr.State == "awaiting_answer" {
+		pref := user.Compare(scenario.Scenario(qr.A), scenario.Scenario(qr.B))
+		ab, _ := json.Marshal(map[string]any{"seq": qr.Seq, "pref": prefWord(pref)})
+		ar, err := http.Post(zombie.URL+"/v1/sessions/"+id+"/answer", "application/json", bytes.NewReader(ab))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, ar.Body)
+		ar.Body.Close()
+		// The answer may confirm locally before the fence lands; either
+		// way the fenced push must make the zombie abandon the session.
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sr, err := http.Get(zombie.URL + "/v1/sessions/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, sr.Body)
+		sr.Body.Close()
+		if sr.StatusCode == http.StatusNotFound {
+			break // fenced and self-destroyed
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("zombie owner still serves session %s after a fenced push", id)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The client, oblivious to all of the above, finishes the session
+	// through the router and gets the canonical transcript.
+	if _, done := drive(t, srv.URL, id, user, -1); !done {
+		t.Fatal("session did not finish after adoption")
+	}
+	if got := fetchTranscript(t, srv.URL, id); !bytes.Equal(got, want) {
+		t.Fatalf("post-adoption transcript differs from batch (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestAdoptionPrefersFullestCopy pins the candidate ordering: when two
+// replica copies disagree, the one missing the journal tail loses to
+// the fuller one even if the rendezvous ranking prefers it. The
+// rendezvous-ranked replica is rewritten to a lagging prefix and the
+// full record stream is planted on the other survivor; adoption must
+// promote the full copy and fence the lagging one.
+func TestAdoptionPrefersFullestCopy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	user := swanUser(t)
+	spec := testSpec(109)
+	spec.ID = "adopt-lag"
+	want := batchTranscript(t, spec, user)
+
+	r, srv, ds := newFleet(t, 3, nil)
+	id := createVia(t, srv.URL, spec)
+	drive(t, srv.URL, id, user, 3)
+	time.Sleep(500 * time.Millisecond) // let trailing checkpoint appends settle
+
+	owner := ownerOf(r, id)
+	var holder, third *daemonHandle
+	for _, d := range ds {
+		if d.name == owner {
+			continue
+		}
+		if _, ok := replicaStatusOf(t, d.srv.URL, id); ok {
+			holder = d
+		} else {
+			third = d
+		}
+	}
+	if holder == nil || third == nil {
+		t.Fatalf("expected exactly one replica holder among the non-owners")
+	}
+
+	recs := journalRecords(t, handleFor(t, ds, owner), id)
+	if len(recs) < 2 {
+		t.Fatalf("owner journal has only %d records", len(recs))
+	}
+	// Plant the full stream on the member rendezvous never chose, then
+	// cut the tail off the ranked replica's copy.
+	if code := replicaPut(t, third.srv.URL, id, 0, true, 0, recs); code != http.StatusOK {
+		t.Fatalf("planting full copy: %d", code)
+	}
+	if code := replicaPut(t, holder.srv.URL, id, 0, true, 0, recs[:len(recs)-1]); code != http.StatusOK {
+		t.Fatalf("truncating ranked copy: %d", code)
+	}
+
+	handleFor(t, ds, owner).srv.Close()
+	waitAdoptions(t, r, 1, 15*time.Second)
+	if got := ownerOf(r, id); got != third.name {
+		t.Fatalf("adoption promoted %s, want the fullest copy on %s", got, third.name)
+	}
+	// The lagging copy must be fenced at the adoption epoch so it can
+	// never be promoted later.
+	if st, ok := replicaStatusOf(t, holder.srv.URL, id); ok && st.Epoch == 0 {
+		t.Fatalf("lagging copy on %s was not fenced (epoch still 0)", holder.name)
+	}
+
+	if _, done := drive(t, srv.URL, id, user, -1); !done {
+		t.Fatal("session did not finish after adoption")
+	}
+	if got := fetchTranscript(t, srv.URL, id); !bytes.Equal(got, want) {
+		t.Fatalf("post-adoption transcript differs from batch (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestAdoptWhileAnswering is the failover analog of
+// TestMigrateWhileAnswering, and the reason the adoption path shares
+// the migration drain gate: answers hammer the session through the
+// router while its owner is killed — twice, so the second adoption can
+// only succeed off the copy the first adoption re-replicated. Run
+// under -race this proves the gate, the health-probe trigger, and the
+// push bookkeeping are clean against live traffic.
+func TestAdoptWhileAnswering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs are not -short friendly")
+	}
+	user := swanUser(t)
+	spec := testSpec(110)
+	spec.ID = "adopt-race"
+	want := batchTranscript(t, spec, user)
+
+	r, srv, ds := newFleet(t, 4, nil)
+	id := createVia(t, srv.URL, spec)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := int64(1); round <= 2; round++ {
+			time.Sleep(300 * time.Millisecond)
+			owner := ownerOf(r, id)
+			if owner == "" {
+				t.Error("session lost its route mid-churn")
+				return
+			}
+			for _, d := range ds {
+				if d.name == owner {
+					d.srv.Close()
+				}
+			}
+			deadline := time.Now().Add(20 * time.Second)
+			for r.met.adoptions.Value() < round {
+				if time.Now().After(deadline) {
+					t.Errorf("adoption %d never happened (failures: %d)",
+						round, r.met.adoptionFailures.Value())
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+	}()
+
+	_, done := drive(t, srv.URL, id, user, -1)
+	wg.Wait()
+	if !done {
+		t.Fatal("session did not finish under failover churn")
+	}
+	if got := r.met.adoptions.Value(); got < 2 {
+		t.Fatalf("fleet_adoptions_total = %d, want >= 2", got)
+	}
+	if got := fetchTranscript(t, srv.URL, id); !bytes.Equal(got, want) {
+		t.Fatalf("churned transcript differs from batch (%d vs %d bytes)", len(got), len(want))
+	}
 }

@@ -19,6 +19,10 @@ type metrics struct {
 	migrationFailures *obs.Counter
 	migrateSeconds    *obs.Histogram
 
+	adoptions        *obs.Counter
+	adoptionFailures *obs.Counter
+	adoptSeconds     *obs.Histogram
+
 	learnedHarvested *obs.Counter
 	learnedWarmed    *obs.Counter
 }
@@ -41,6 +45,13 @@ func newMetrics(reg *obs.Registry, store *learnedStore) *metrics {
 			"Migrations that aborted; the session stayed on its old owner."),
 		migrateSeconds: reg.Histogram("fleet_migrate_seconds",
 			"End-to-end migration latency, drain included.",
+			obs.SecondsBuckets()),
+		adoptions: reg.Counter("fleet_adoptions_total",
+			"Sessions adopted from a replica copy after their owner died."),
+		adoptionFailures: reg.Counter("fleet_adoption_failures_total",
+			"Failover adoptions that found no promotable replica copy."),
+		adoptSeconds: reg.Histogram("fleet_adopt_seconds",
+			"End-to-end failover adoption latency per session.",
 			obs.SecondsBuckets()),
 		learnedHarvested: reg.Counter("fleet_learned_harvested_regions_total",
 			"Refuted regions merged into the shared learned tier."),

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,12 @@ type member struct {
 	// from new placements and drained by migration, but still routable
 	// for sessions pinned to it (finished sessions stay until deleted).
 	departed atomic.Bool
+	// failStreak counts consecutive failed probes; crossing
+	// Config.FailoverAfter declares the member dead and triggers
+	// failover adoption of its sessions (adopting is the once-only
+	// latch for that scan).
+	failStreak atomic.Int32
+	adopting   atomic.Bool
 }
 
 func (m *member) placeable() bool { return m.healthy.Load() && !m.departed.Load() }
@@ -62,6 +69,23 @@ func pick(candidates []*member, sessionID string) *member {
 		}
 	}
 	return best
+}
+
+// rank orders candidates by descending rendezvous score (name
+// ascending on ties, matching pick). Rank 0 is the session's owner;
+// ranks 1..R-1 are its replica set (DESIGN.md §16), so placement and
+// replication derive from the same deterministic ordering.
+func rank(candidates []*member, sessionID string) []*member {
+	out := append([]*member(nil), candidates...)
+	sort.Slice(out, func(i, j int) bool {
+		si := rendezvousScore(out[i].Name, sessionID)
+		sj := rendezvousScore(out[j].Name, sessionID)
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 // placeable returns the members eligible for new placements, in stable
@@ -109,12 +133,35 @@ func (r *Router) checkHealth() {
 		if was != ok {
 			if ok {
 				r.log.Info("fleet.member.healthy", "member", m.Name, "url", m.URL)
+				// Anti-entropy (DESIGN.md §16): the member may have come
+				// back with an empty disk, holding none of its standby
+				// copies. Ordinary pushes only ride appends, so ask the
+				// rest of the fleet to re-push every journal replicated
+				// here — otherwise a later failover onto this member
+				// would find nothing to adopt.
+				if r.cfg.Replicas > 1 {
+					r.wg.Add(1)
+					go r.resyncFleet(m.Name)
+				}
 			} else {
 				r.log.Warn("fleet.member.unhealthy", "member", m.Name, "url", m.URL)
 			}
 		}
-		if !ok {
-			unhealthy++
+		if ok {
+			m.failStreak.Store(0)
+			continue
+		}
+		unhealthy++
+		// Crossing the failover threshold declares the member dead once
+		// per outage: its sessions are adopted from their replica copies.
+		// The streak keeps counting so the trigger cannot re-fire until
+		// the member comes back healthy in between.
+		streak := r.cfg.FailoverAfter
+		if streak > 0 && r.cfg.Replicas > 1 &&
+			int(m.failStreak.Add(1)) == streak &&
+			m.adopting.CompareAndSwap(false, true) {
+			r.wg.Add(1)
+			go r.adoptFrom(m)
 		}
 	}
 	r.met.memberUnhealthy.Set(float64(unhealthy))

@@ -347,21 +347,52 @@ func (r *Router) handleCreate(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	id, _ := spec["id"].(string)
+	minted := false
 	if id == "" {
 		id = r.nextID()
 		spec["id"] = id
+		minted = true
+	}
+	r.mu.Lock()
+	ranked := rank(r.placeableLocked(), id)
+	r.mu.Unlock()
+	if len(ranked) == 0 {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "fleet: no healthy members"})
+		return
+	}
+	owner := ranked[0]
+	// Inject the replica set — ranks 1..Replicas-1 of the same
+	// rendezvous ordering that picked the owner — unless the client
+	// pinned its own (DESIGN.md §16). The replication factor is a
+	// floor, not best effort: a create the fleet cannot replicate R
+	// ways right now is refused (retryable 503) rather than silently
+	// confirmed with a lone copy that a single member death would
+	// destroy.
+	injected := false
+	if _, has := spec["replicas"]; !has && r.cfg.Replicas > 1 {
+		if len(ranked) < r.cfg.Replicas {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: fmt.Sprintf(
+				"fleet: replication factor %d needs %d healthy members (%d available)",
+				r.cfg.Replicas, r.cfg.Replicas, len(ranked))})
+			return
+		}
+		var reps []Member
+		for _, m := range ranked[1:] {
+			if len(reps) == r.cfg.Replicas-1 {
+				break
+			}
+			reps = append(reps, m.Member)
+		}
+		spec["replicas"] = reps
+		injected = true
+	}
+	if minted || injected {
 		if raw, err = json.Marshal(spec); err != nil {
 			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 			return
 		}
-	}
-	r.mu.Lock()
-	owner := pick(r.placeableLocked(), id)
-	r.mu.Unlock()
-	if owner == nil {
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "fleet: no healthy members"})
-		return
 	}
 	rt := r.setRoute(id, owner.Name)
 	if err := rt.begin(req.Context()); err != nil {
@@ -431,6 +462,13 @@ func (r *Router) handleSession(w http.ResponseWriter, req *http.Request) {
 	rt := r.routeFor(id)
 	if rt == nil {
 		owner := r.probeForSession(req.Context(), id)
+		if owner == nil {
+			// Last resort: no member owns the session, but a surviving
+			// replica copy might (a router restart that raced an owner
+			// death). Adoption is idempotent-by-epoch, so probing it here
+			// is safe even if a health-triggered scan runs concurrently.
+			owner = r.adoptOrphan(id)
+		}
 		if owner == nil {
 			writeJSON(w, http.StatusNotFound, apiError{Error: "fleet: unknown session " + id})
 			return

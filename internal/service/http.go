@@ -88,6 +88,9 @@ func Handler(m *Manager) http.Handler {
 	mux.HandleFunc("PUT /v1/sessions/{id}/restore", m.handleRestore)
 	mux.HandleFunc("GET /v1/sessions/{id}/learned", m.handleLearnedExport)
 	mux.HandleFunc("PUT /v1/sessions/{id}/learned", m.handleLearnedWarm)
+	// The replica surface (fleet-internal; see replicahttp.go): the
+	// /v1/replica/ prefix keeps it out of the router's session proxy.
+	m.mountReplicaRoutes(mux)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")

@@ -72,6 +72,13 @@ type journal struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
+	// count is the number of intact records in the file. repl, when
+	// set, mirrors every appended record to the session's replica set
+	// under the same mutex — after the local fsync, before append
+	// returns — which is the ack-before-confirm ordering the failover
+	// protocol relies on (DESIGN.md §16).
+	count int
+	repl  *replicator
 }
 
 // journalPath names the session's journal file.
@@ -123,7 +130,23 @@ func (j *journal) append(rec journalRecord) error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("service: sync journal: %w", err)
 	}
+	j.count++
+	if j.repl != nil {
+		j.repl.push(data[:len(data)-1], j.count-1)
+	}
 	return nil
+}
+
+// sync forces a full replica resynchronization of the journal (session
+// create and post-adoption re-replication). Reports whether every
+// replica acknowledged; no-op true without a replicator.
+func (j *journal) sync() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.repl == nil {
+		return true
+	}
+	return j.repl.syncAll()
 }
 
 // close releases the file handle; further appends fail.
@@ -136,6 +159,38 @@ func (j *journal) close() error {
 	err := j.f.Close()
 	j.f = nil
 	return err
+}
+
+// readJournalSpec loads just the session spec from a journal's create
+// record — enough to know a session's replica set and epoch without
+// decoding the whole file (the anti-entropy resync scan).
+func readJournalSpec(path string) (*SessionSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("service: journal %s: bad create record: %w", path, err)
+		}
+		if rec.Type != recCreate || rec.Spec == nil {
+			return nil, fmt.Errorf("service: journal %s does not start with a create record", path)
+		}
+		spec := *rec.Spec
+		return &spec, nil
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("service: read journal %s: %w", path, err)
+	}
+	return nil, fmt.Errorf("service: journal %s has no intact records", path)
 }
 
 // readJournal loads all intact records from a journal file. A torn

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -52,6 +54,14 @@ type Config struct {
 	// FlightCapacity bounds the flight-recorder ring (0 selects
 	// obs.DefaultFlightCapacity).
 	FlightCapacity int
+	// ReplicaTimeout bounds one replica push round trip (default 2s).
+	ReplicaTimeout time.Duration
+	// ReplicaRetry is the cooldown before a replica that failed a push
+	// is retried with a full resynchronization (default 250ms).
+	ReplicaRetry time.Duration
+	// ReplicaClient is the HTTP client for replica pushes and delete
+	// propagation (nil builds one with keep-alive defaults).
+	ReplicaClient *http.Client
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +83,17 @@ func (c Config) withDefaults() Config {
 	if c.LongPollMax <= 0 {
 		c.LongPollMax = 30 * time.Second
 	}
+	if c.ReplicaTimeout <= 0 {
+		c.ReplicaTimeout = 2 * time.Second
+	}
+	if c.ReplicaRetry <= 0 {
+		c.ReplicaRetry = 250 * time.Millisecond
+	}
+	if c.ReplicaClient == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = 8
+		c.ReplicaClient = &http.Client{Transport: tr}
+	}
 	return c
 }
 
@@ -86,6 +107,10 @@ type Manager struct {
 	slots  chan struct{}
 	advWG  sync.WaitGroup
 	ready  atomic.Bool
+	// replicas is the standby copies of other members' journals this
+	// daemon holds; replClient carries the owner-push traffic out.
+	replicas   *replicaStore
+	replClient *http.Client
 	// retryAfter is the Retry-After value (whole seconds) stamped on 429
 	// backpressure responses: the worker-pool acquire wait rounded up,
 	// so a well-behaved client (or the fleet router) backs off for about
@@ -118,6 +143,8 @@ func New(cfg Config) (*Manager, error) {
 		met:         newMetrics(cfg.Obs.Reg()),
 		flight:      obs.NewFlightRecorder(cfg.FlightCapacity),
 		slots:       make(chan struct{}, cfg.Workers),
+		replicas:    newReplicaStore(cfg.DataDir),
+		replClient:  cfg.ReplicaClient,
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 		sessions:    make(map[string]*Session),
@@ -225,6 +252,10 @@ func (m *Manager) buildSession(id string, spec SessionSpec, jr *journal) (*Sessi
 		lastTouch: m.now(),
 		changed:   make(chan struct{}),
 	}
+	s.repl = newReplicator(m, id, &spec, log)
+	if jr != nil {
+		jr.repl = s.repl
+	}
 	cfg.OnIteration = func(core.IterationStat) { s.iterations.Add(1) }
 	st, err := core.NewStepper(cfg)
 	if err != nil {
@@ -236,8 +267,19 @@ func (m *Manager) buildSession(id string, spec SessionSpec, jr *journal) (*Sessi
 
 // Create starts a new session from a client spec. ctx carries the
 // request-correlation IDs (see correlate.go); it is not used for
-// cancellation.
+// cancellation. For a replicated spec the create record is pushed to
+// the replica set before the session is confirmed (degraded-mode push
+// failures are tolerated; the next append retries).
 func (m *Manager) Create(ctx context.Context, spec SessionSpec) (*Session, error) {
+	s, err := m.createSession(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.jr.sync()
+	return s, nil
+}
+
+func (m *Manager) createSession(ctx context.Context, spec SessionSpec) (*Session, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -321,14 +363,160 @@ func (m *Manager) Get(id string) (*Session, error) {
 // journal under the ID, or records addressed to a different session)
 // are ErrConflict; a replay that fails leaves no trace.
 func (m *Manager) Restore(id string, lines []json.RawMessage) (*Session, error) {
+	recs, err := validateJournalLines(id, lines)
+	if err != nil {
+		return nil, err
+	}
+	for i, rec := range recs {
+		if rec.Type == recFinal {
+			return nil, fmt.Errorf("%w: restore journal record %d is a final record; finished sessions do not migrate", ErrConflict, i)
+		}
+	}
+	s, err := m.installJournal(id, lines)
+	if err != nil {
+		return nil, err
+	}
+	m.met.restored.Inc()
+	m.log.Info("session.restore", "session", id, "answers", s.Status().Answers)
+	return s, nil
+}
+
+// Adopt promotes this member's standby replica copy of a session into
+// a live local session — the failover path (POST
+// /v1/replica/sessions/{id}/adopt). The copy is fenced at epoch in the
+// same atomic step that snapshots its records (an epoch older than the
+// copy's is ErrReplicaFenced), the create record is re-keyed to the
+// new epoch and replica set, and the session is rebuilt through the
+// recovery path — deterministic replay with the divergence check.
+// Unlike Restore, journals ending in a final record are accepted: a
+// session that finished but whose transcript was never fetched must
+// survive its owner's death too. On success the promoted journal is
+// pushed to the new replica set before returning, so the fleet is back
+// at full copy count (best-effort, and skipped for finished sessions,
+// which serve their final record without an open journal).
+func (m *Manager) Adopt(id string, epoch uint64, replicas []ReplicaTarget) (*Session, error) {
+	lines, err := m.replicas.Take(id, epoch)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := validateJournalLines(id, lines)
+	if err != nil {
+		return nil, err
+	}
+	first := recs[0]
+	spec := *first.Spec
+	spec.Epoch = epoch
+	spec.Replicas = replicas
+	first.Spec = &spec
+	line0, err := json.Marshal(first)
+	if err != nil {
+		return nil, err
+	}
+	lines = append([]json.RawMessage{line0}, lines[1:]...)
+	s, err := m.installJournal(id, lines)
+	if err != nil {
+		return nil, fmt.Errorf("service: adopt %s: %w", id, err)
+	}
+	// The copy is a journal now; keep its epoch behind as a tombstone so
+	// the dead owner's pushes stay rejected here too.
+	if err := m.replicas.Tombstone(id, epoch); err != nil {
+		m.log.Warn("session.adopt.tombstone", "session", id, "error", err.Error())
+	}
+	m.met.adopted.Inc()
+	st := s.Status()
+	m.log.Info("session.adopt",
+		"session", id, "epoch", epoch, "answers", st.Answers, "state", st.State)
+	// Re-replicate to the set the router handed us so the session can
+	// survive this member's death too. A finished session has no live
+	// journal object; push its final record stream off the file instead.
+	if s.jr != nil {
+		s.jr.sync()
+	} else if rp := newReplicator(m, id, &s.spec, s.log); rp != nil {
+		rp.syncAll()
+	}
+	return s, nil
+}
+
+// ResyncReplicas pushes a full copy of every local session journal
+// whose replica set includes target (every replicated journal when
+// target is empty) back out to its replicas, and reports how many
+// sessions were pushed. This is the anti-entropy half of replication
+// (DESIGN.md §16): ordinary pushes ride answer appends, so a member
+// that rejoined after losing its disk would never receive fresh copies
+// of sessions that had already finished — and a later failover would
+// find nothing to adopt. The router broadcasts a resync whenever a
+// member transitions back to healthy.
+func (m *Manager) ResyncReplicas(target string) int {
+	paths, err := filepath.Glob(filepath.Join(m.cfg.DataDir, "*.journal"))
+	if err != nil {
+		m.log.Warn("replica.resync.scan", "error", err.Error())
+		return 0
+	}
+	sort.Strings(paths)
+	n := 0
+	for _, path := range paths {
+		id := strings.TrimSuffix(filepath.Base(path), ".journal")
+		m.mu.Lock()
+		s := m.sessions[id]
+		m.mu.Unlock()
+		// A resident live session syncs through its journal object — the
+		// journal mutex serializes the resync against its own appends.
+		// Anything else (evicted, finished) has no appender, so a
+		// transient replicator can read the journal file directly.
+		if s != nil && s.jr != nil {
+			if replicaSetHas(s.spec.Replicas, target) && s.jr.sync() {
+				n++
+			}
+			continue
+		}
+		spec, err := readJournalSpec(path)
+		if err != nil {
+			m.log.Warn("replica.resync.spec", "session", id, "error", err.Error())
+			continue
+		}
+		if !replicaSetHas(spec.Replicas, target) {
+			continue
+		}
+		if rp := newReplicator(m, id, spec, m.log.With("session", id)); rp != nil && rp.syncAll() {
+			n++
+		}
+	}
+	if n > 0 {
+		m.log.Info("replica.resync", "target", target, "sessions", n)
+	}
+	return n
+}
+
+// replicaSetHas reports whether the replica set names target (any
+// non-empty set matches the empty target).
+func replicaSetHas(set []ReplicaTarget, target string) bool {
+	if len(set) == 0 {
+		return false
+	}
+	if target == "" {
+		return true
+	}
+	for _, t := range set {
+		if t.Name == target {
+			return true
+		}
+	}
+	return false
+}
+
+// validateJournalLines decodes and sanity-checks journal records being
+// imported under id (restore and adoption). The first record must be a
+// create record whose embedded identity — the tamper/misroute guard,
+// same contract as the transcript import's session_id check — matches.
+func validateJournalLines(id string, lines []json.RawMessage) ([]journalRecord, error) {
 	if id == "" {
-		return nil, fmt.Errorf("service: restore needs a session id")
+		return nil, fmt.Errorf("service: journal import needs a session id")
 	}
 	if err := validateSessionID(id); err != nil {
 		return nil, err
 	}
 	if len(lines) == 0 {
-		return nil, fmt.Errorf("service: restore with an empty journal")
+		return nil, fmt.Errorf("service: journal import with no records")
 	}
 	recs := make([]journalRecord, len(lines))
 	for i, ln := range lines {
@@ -339,20 +527,22 @@ func (m *Manager) Restore(id string, lines []json.RawMessage) (*Session, error) 
 	if recs[0].Type != recCreate || recs[0].Spec == nil {
 		return nil, fmt.Errorf("service: restore journal does not start with a create record")
 	}
-	// The embedded identity is the tamper/misroute guard, same contract
-	// as the transcript import's session_id check.
 	if recs[0].ID != "" && recs[0].ID != id {
 		return nil, fmt.Errorf("%w: journal create record names session %q, not %q", ErrConflict, recs[0].ID, id)
 	}
 	if recs[0].Spec.ID != "" && recs[0].Spec.ID != id {
 		return nil, fmt.Errorf("%w: journal spec names session %q, not %q", ErrConflict, recs[0].Spec.ID, id)
 	}
-	for i, rec := range recs {
-		if rec.Type == recFinal {
-			return nil, fmt.Errorf("%w: restore journal record %d is a final record; finished sessions do not migrate", ErrConflict, i)
-		}
-	}
+	return recs, nil
+}
 
+// installJournal writes validated journal records as this daemon's
+// journal for the session and rebuilds it through the normal recovery
+// path — deterministic answer replay with the divergence check — so an
+// imported session is bit-identical to one that lived here all along.
+// Conflicts (resident session or existing journal under the ID) are
+// ErrConflict; a replay that fails leaves no trace.
+func (m *Manager) installJournal(id string, lines []json.RawMessage) (*Session, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -403,8 +593,6 @@ func (m *Manager) Restore(id string, lines []json.RawMessage) (*Session, error) 
 		os.Remove(path)
 		return nil, fmt.Errorf("service: restore replay: %w", err)
 	}
-	m.met.restored.Inc()
-	m.log.Info("session.restore", "session", id, "answers", s.Status().Answers)
 	return s, nil
 }
 
@@ -424,8 +612,15 @@ func (m *Manager) List() []SessionStatus {
 	return out
 }
 
-// Delete removes a session and its journal entirely.
-func (m *Manager) Delete(id string) error {
+// Delete removes a session and its journal entirely, and propagates
+// the delete to the session's replica set (best-effort, async) so
+// standby copies do not outlive the session they shadow.
+func (m *Manager) Delete(id string) error { return m.remove(id, true) }
+
+// remove is Delete's body; propagate=false is the fencing path, which
+// must never delete the replica copies (they belong to the new owner's
+// epoch now).
+func (m *Manager) remove(id string, propagate bool) error {
 	m.mu.Lock()
 	s, ok := m.sessions[id]
 	if ok {
@@ -435,6 +630,9 @@ func (m *Manager) Delete(id string) error {
 	m.mu.Unlock()
 	if s != nil {
 		s.abort()
+		if propagate && len(s.spec.Replicas) > 0 {
+			go m.propagateDelete(s)
+		}
 	}
 	os.Remove(flightPath(m.cfg.DataDir, id))
 	path := journalPath(m.cfg.DataDir, id)
@@ -446,6 +644,34 @@ func (m *Manager) Delete(id string) error {
 		return err
 	}
 	return nil
+}
+
+// propagateDelete tells the session's replica set to drop their
+// standby copies. Runs off the request path; a replica that misses the
+// delete keeps a harmless orphan copy until re-replication or operator
+// cleanup (OPERATIONS.md).
+func (m *Manager) propagateDelete(s *Session) {
+	rp := s.repl
+	if rp == nil {
+		rp = newReplicator(m, s.ID, &s.spec, s.log)
+	}
+	rp.deleteAll()
+}
+
+// fenceAbandon is the replicator's zombie latch: a replica rejected
+// this daemon's push because a higher epoch exists, meaning the
+// session was adopted away while we were presumed dead. The local copy
+// — journal included — is destroyed so the stale session cannot be
+// found, served, or adopted again. The actual removal runs in a
+// goroutine because the latch trips under the journal mutex.
+func (m *Manager) fenceAbandon(id string, epoch uint64) {
+	m.met.fenced.Inc()
+	go func() {
+		m.log.Warn("session.fenced", "session", id, "epoch", epoch)
+		if err := m.remove(id, false); err != nil && !errors.Is(err, ErrNotFound) {
+			m.log.Warn("session.fenced.remove", "session", id, "error", err.Error())
+		}
+	}()
 }
 
 // flightPath is where a session's post-mortem dump lands, next to its
@@ -547,6 +773,10 @@ func (m *Manager) rebuildLocked(id, path string) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	// openJournal does not count records; seed the count so replica
+	// pushes index correctly. Replica targets start unacked, so the
+	// first post-rebuild append resynchronizes them with the full file.
+	jr.count = len(recs)
 	s, err := m.buildSession(id, spec, jr)
 	if err != nil {
 		jr.close()
@@ -742,6 +972,7 @@ func (m *Manager) Close(ctx context.Context) error {
 		s.shutdown(ctx)
 	}
 	m.advWG.Wait()
+	m.replicas.Close()
 	m.met.active.Set(0)
 	return ctx.Err()
 }
@@ -769,5 +1000,6 @@ func (m *Manager) Abort() {
 		s.abort()
 	}
 	m.advWG.Wait()
+	m.replicas.Close()
 	m.met.active.Set(0)
 }

@@ -24,6 +24,15 @@ type metrics struct {
 	bundles       *obs.Counter
 	restored      *obs.Counter
 	warmInstalled *obs.Counter
+
+	// Replication & failover (DESIGN.md §16). replLag carries the fleet_
+	// prefix because it is the per-member half of the fleet-level HA
+	// story the router's adoption counters complete.
+	replLag        *obs.Histogram
+	replDegraded   *obs.Counter
+	replicaRecords *obs.Counter
+	adopted        *obs.Counter
+	fenced         *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -57,5 +66,16 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Sessions adopted from migrated journals (PUT /v1/sessions/{id}/restore)."),
 		warmInstalled: reg.Counter("compsynthd_learned_warm_installed_total",
 			"Learned regions installed via cross-session warming (PUT learned)."),
+		replLag: reg.Histogram("fleet_replication_lag_seconds",
+			"Time to push a journal record to every replica (full-set acks only).",
+			obs.SecondsBuckets()),
+		replDegraded: reg.Counter("compsynthd_replication_degraded_total",
+			"Journal appends confirmed with at least one replica unacknowledged."),
+		replicaRecords: reg.Counter("compsynthd_replica_records_total",
+			"Journal records accepted into standby replica copies."),
+		adopted: reg.Counter("compsynthd_sessions_adopted_total",
+			"Standby replica copies promoted to live sessions (failover)."),
+		fenced: reg.Counter("compsynthd_sessions_fenced_total",
+			"Local sessions abandoned because a higher epoch fenced them out."),
 	}
 }

@@ -1,0 +1,424 @@
+package service
+
+// The replica store: standby copies of other members' session journals.
+// Each copy is one append-only JSONL file (<id>.replica) in the data
+// directory — a header line naming the session and its fencing epoch,
+// the mirrored journal records verbatim, and an appended epoch line per
+// fence. The distinct extension keeps recovery (which globs *.journal)
+// from rebuilding standby copies as live sessions.
+//
+// The store is the passive half of the replication protocol specified
+// in DESIGN.md §16: owners push records (PUT
+// /v1/replica/sessions/{id}/records), the router fences and adopts
+// copies during failover (POST fence / POST adopt), and adoption
+// promotes the copy into a real journal via the deterministic-replay
+// restore path. Every mutation is fsynced before it is acknowledged,
+// the same durability contract as the journal itself.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Replica-protocol errors, mapped onto HTTP 409 bodies that carry the
+// store's current epoch and record count so the sender can tell a fence
+// from a gap and resynchronize.
+var (
+	// ErrReplicaFenced means the append or adopt carried an epoch older
+	// than the copy's: the sender lost ownership to a failover.
+	ErrReplicaFenced = errors.New("service: replica epoch fenced")
+	// ErrReplicaGap means a non-reset append did not continue exactly at
+	// the copy's record count; the owner must resynchronize with a full
+	// reset push.
+	ErrReplicaGap = errors.New("service: replica records out of sequence")
+)
+
+// replicaMeta is a non-record line of a replica file: the header
+// ("header") or an epoch fence ("fence"). Journal record lines never
+// carry the "replica" key, which is how the loader tells them apart.
+type replicaMeta struct {
+	Replica string `json:"replica"`
+	ID      string `json:"id,omitempty"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// replicaCopy is one session's standby journal copy.
+type replicaCopy struct {
+	epoch uint64
+	recs  []json.RawMessage
+	f     *os.File
+}
+
+// replicaStore owns every standby copy in the data directory. One
+// mutex serializes all operations: copies are small and mutations rare
+// (one append per accepted answer fleet-wide per replica).
+type replicaStore struct {
+	dir string
+
+	mu   sync.Mutex
+	open map[string]*replicaCopy
+}
+
+func newReplicaStore(dir string) *replicaStore {
+	return &replicaStore{dir: dir, open: make(map[string]*replicaCopy)}
+}
+
+func replicaPath(dir, id string) string {
+	return filepath.Join(dir, id+".replica")
+}
+
+// load returns the copy for id, reading it from disk on first touch.
+// Returns nil when no copy exists. Caller holds rs.mu.
+func (rs *replicaStore) load(id string) (*replicaCopy, error) {
+	if c, ok := rs.open[id]; ok {
+		return c, nil
+	}
+	path := replicaPath(rs.dir, id)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	c := &replicaCopy{}
+	sawHeader := false
+	for _, line := range bytes.Split(raw, []byte{'\n'}) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var meta replicaMeta
+		if err := json.Unmarshal(line, &meta); err != nil {
+			// Torn tail of a crashed append: tolerated and dropped, same
+			// contract as the journal reader.
+			continue
+		}
+		switch meta.Replica {
+		case "":
+			c.recs = append(c.recs, json.RawMessage(bytes.Clone(line)))
+		case "header":
+			if meta.ID != "" && meta.ID != id {
+				return nil, fmt.Errorf("service: replica file %s names session %q", path, meta.ID)
+			}
+			sawHeader = true
+			if meta.Epoch > c.epoch {
+				c.epoch = meta.Epoch
+			}
+		case "fence":
+			if meta.Epoch > c.epoch {
+				c.epoch = meta.Epoch
+			}
+		default:
+			return nil, fmt.Errorf("service: replica file %s has unknown meta line %q", path, meta.Replica)
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("service: replica file %s has no header", path)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	c.f = f
+	rs.open[id] = c
+	return c, nil
+}
+
+// appendLine writes one fsynced line to the copy's file.
+func (c *replicaCopy) appendLine(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := c.f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return c.f.Sync()
+}
+
+// rewrite replaces the copy's file contents wholesale (a reset push or
+// an epoch-carrying truncation): header plus records, written to a temp
+// file and renamed into place so a crash never leaves a half-reset copy.
+func (rs *replicaStore) rewrite(id string, c *replicaCopy) error {
+	path := replicaPath(rs.dir, id)
+	var buf bytes.Buffer
+	hdr, err := json.Marshal(replicaMeta{Replica: "header", ID: id, Epoch: c.epoch})
+	if err != nil {
+		return err
+	}
+	buf.Write(hdr)
+	buf.WriteByte('\n')
+	for _, rec := range c.recs {
+		var cb bytes.Buffer
+		if err := json.Compact(&cb, rec); err != nil {
+			return fmt.Errorf("service: replica record: %w", err)
+		}
+		buf.Write(cb.Bytes())
+		buf.WriteByte('\n')
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(buf.Bytes()); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if c.f != nil {
+		c.f.Close()
+	}
+	c.f, err = os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	return err
+}
+
+// Append applies one owner push. A reset push replaces the copy
+// entirely; an incremental push must continue exactly at the copy's
+// record count (after == count) or the owner is told to resync
+// (ErrReplicaGap). An epoch older than the copy's is rejected outright
+// (ErrReplicaFenced); a newer one is adopted — the owner learned of a
+// failover epoch before this replica did. Returns the copy's epoch and
+// record count after (or despite) the push.
+func (rs *replicaStore) Append(id string, epoch uint64, reset bool, after int, records []json.RawMessage) (uint64, int, error) {
+	if err := validateSessionID(id); err != nil {
+		return 0, 0, err
+	}
+	if id == "" {
+		return 0, 0, fmt.Errorf("service: replica append needs a session id")
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	c, err := rs.load(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	if c == nil {
+		if !reset && after != 0 {
+			return 0, 0, fmt.Errorf("%w: no copy of %s here (push after=%d)", ErrReplicaGap, id, after)
+		}
+		c = &replicaCopy{epoch: epoch}
+		if err := rs.rewrite(id, c); err != nil {
+			return 0, 0, err
+		}
+		rs.open[id] = c
+	}
+	if epoch < c.epoch {
+		return c.epoch, len(c.recs), fmt.Errorf("%w: push epoch %d, copy epoch %d", ErrReplicaFenced, epoch, c.epoch)
+	}
+	if reset {
+		c.epoch = epoch
+		c.recs = append([]json.RawMessage(nil), records...)
+		if err := rs.rewrite(id, c); err != nil {
+			return c.epoch, len(c.recs), err
+		}
+		return c.epoch, len(c.recs), nil
+	}
+	if epoch > c.epoch {
+		c.epoch = epoch
+		if err := c.appendLine(replicaMeta{Replica: "fence", Epoch: epoch}); err != nil {
+			return c.epoch, len(c.recs), err
+		}
+	}
+	if after != len(c.recs) {
+		return c.epoch, len(c.recs), fmt.Errorf("%w: push after=%d, copy holds %d", ErrReplicaGap, after, len(c.recs))
+	}
+	for _, rec := range records {
+		var cb bytes.Buffer
+		if err := json.Compact(&cb, rec); err != nil {
+			return c.epoch, len(c.recs), fmt.Errorf("service: replica record: %w", err)
+		}
+		line := cb.Bytes()
+		if _, err := c.f.Write(append(line, '\n')); err != nil {
+			return c.epoch, len(c.recs), err
+		}
+		c.recs = append(c.recs, json.RawMessage(bytes.Clone(line)))
+	}
+	if err := c.f.Sync(); err != nil {
+		return c.epoch, len(c.recs), err
+	}
+	return c.epoch, len(c.recs), nil
+}
+
+// Fence raises the copy's epoch (idempotent at the same epoch; a lower
+// epoch is ErrReplicaFenced). Fencing an unknown session creates an
+// empty fenced copy, so a zombie owner's later reset push is rejected
+// here too.
+func (rs *replicaStore) Fence(id string, epoch uint64) (uint64, error) {
+	if err := validateSessionID(id); err != nil {
+		return 0, err
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	c, err := rs.load(id)
+	if err != nil {
+		return 0, err
+	}
+	if c == nil {
+		c = &replicaCopy{epoch: epoch}
+		if err := rs.rewrite(id, c); err != nil {
+			return 0, err
+		}
+		rs.open[id] = c
+		return c.epoch, nil
+	}
+	if epoch < c.epoch {
+		return c.epoch, fmt.Errorf("%w: fence epoch %d, copy epoch %d", ErrReplicaFenced, epoch, c.epoch)
+	}
+	if epoch > c.epoch {
+		c.epoch = epoch
+		if err := c.appendLine(replicaMeta{Replica: "fence", Epoch: epoch}); err != nil {
+			return c.epoch, err
+		}
+	}
+	return c.epoch, nil
+}
+
+// Take fences the copy at epoch and returns its records for adoption —
+// one atomic step, so a push racing the adoption either lands before
+// the returned snapshot or is rejected by the raised epoch.
+func (rs *replicaStore) Take(id string, epoch uint64) ([]json.RawMessage, error) {
+	if err := validateSessionID(id); err != nil {
+		return nil, err
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	c, err := rs.load(id)
+	if err != nil {
+		return nil, err
+	}
+	if c == nil || len(c.recs) == 0 {
+		return nil, fmt.Errorf("%w: no replica copy of %s", ErrNotFound, id)
+	}
+	if epoch < c.epoch {
+		return nil, fmt.Errorf("%w: adopt epoch %d, copy epoch %d", ErrReplicaFenced, epoch, c.epoch)
+	}
+	if epoch > c.epoch {
+		c.epoch = epoch
+		if err := c.appendLine(replicaMeta{Replica: "fence", Epoch: epoch}); err != nil {
+			return nil, err
+		}
+	}
+	return append([]json.RawMessage(nil), c.recs...), nil
+}
+
+// Status reports one copy's epoch and record count (found=false when no
+// copy exists).
+func (rs *replicaStore) Status(id string) (epoch uint64, count int, found bool, err error) {
+	if err := validateSessionID(id); err != nil {
+		return 0, 0, false, err
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	c, err := rs.load(id)
+	if err != nil || c == nil {
+		return 0, 0, false, err
+	}
+	return c.epoch, len(c.recs), true, nil
+}
+
+// Tombstone reduces the copy to an empty fenced marker at epoch: the
+// records go away (adoption promoted them into a real journal here)
+// but the epoch survives, so a zombie owner's later push — even a
+// reset push after a "gap" answer — is still rejected. Compare Drop,
+// which forgets the epoch entirely and would let a zombie quietly
+// recreate the copy at its stale epoch.
+func (rs *replicaStore) Tombstone(id string, epoch uint64) error {
+	if err := validateSessionID(id); err != nil {
+		return err
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	c, err := rs.load(id)
+	if err != nil {
+		return err
+	}
+	if c == nil {
+		c = &replicaCopy{}
+	}
+	if epoch > c.epoch {
+		c.epoch = epoch
+	}
+	c.recs = nil
+	if err := rs.rewrite(id, c); err != nil {
+		return err
+	}
+	rs.open[id] = c
+	return nil
+}
+
+// Drop removes the copy and its file (session deleted, or promoted
+// into a real journal by adoption).
+func (rs *replicaStore) Drop(id string) error {
+	if err := validateSessionID(id); err != nil {
+		return err
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if c, ok := rs.open[id]; ok {
+		if c.f != nil {
+			c.f.Close()
+		}
+		delete(rs.open, id)
+	}
+	err := os.Remove(replicaPath(rs.dir, id))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// List reports every copy in the store (resident or on disk), for the
+// operator surface and the router's adoption probe.
+func (rs *replicaStore) List() ([]ReplicaStatus, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	paths, err := filepath.Glob(filepath.Join(rs.dir, "*.replica"))
+	if err != nil {
+		return nil, err
+	}
+	var out []ReplicaStatus
+	for _, path := range paths {
+		id := strings.TrimSuffix(filepath.Base(path), ".replica")
+		c, err := rs.load(id)
+		if err != nil || c == nil {
+			continue // a corrupt copy is not adoptable; skip, don't fail the list
+		}
+		out = append(out, ReplicaStatus{ID: id, Epoch: c.epoch, Records: len(c.recs)})
+	}
+	return out, nil
+}
+
+// ReplicaStatus is one standby copy's summary (GET /v1/replica/sessions).
+type ReplicaStatus struct {
+	ID      string `json:"id"`
+	Epoch   uint64 `json:"epoch"`
+	Records int    `json:"records"`
+}
+
+// Close releases every open file handle.
+func (rs *replicaStore) Close() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for id, c := range rs.open {
+		if c.f != nil {
+			c.f.Close()
+		}
+		delete(rs.open, id)
+	}
+}

@@ -1,0 +1,193 @@
+package service
+
+// The replica-facing half of the /v1/replica/... surface (DESIGN.md
+// §16): the record-stream push owners append with, the status and list
+// probes the router's failover scan reads, and the fence/adopt verbs
+// that execute a failover. These routes are fleet-internal — they are
+// mounted under /v1/replica/ precisely so the router's /v1/sessions
+// proxy patterns can never match them, and clients have no business
+// calling them directly.
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// mountReplicaRoutes adds the replica surface to the daemon mux.
+func (m *Manager) mountReplicaRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("PUT /v1/replica/sessions/{id}/records", m.handleReplicaAppend)
+	mux.HandleFunc("GET /v1/replica/sessions", m.handleReplicaList)
+	mux.HandleFunc("GET /v1/replica/sessions/{id}", m.handleReplicaStatus)
+	mux.HandleFunc("POST /v1/replica/sessions/{id}/fence", m.handleReplicaFence)
+	mux.HandleFunc("POST /v1/replica/sessions/{id}/adopt", m.handleReplicaAdopt)
+	mux.HandleFunc("DELETE /v1/replica/sessions/{id}", m.handleReplicaDelete)
+	mux.HandleFunc("POST /v1/replica/resync", m.handleReplicaResync)
+}
+
+// handleReplicaAppend serves the owner's record-stream push. Protocol
+// rejections (fence, gap) answer 409 with a machine-readable Reason
+// plus the copy's current epoch and count, which is everything the
+// owner needs to either resynchronize or stand down.
+func (m *Manager) handleReplicaAppend(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req replicaAppendRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, replicaAppendResponse{Error: "decode push: " + err.Error()})
+		return
+	}
+	epoch, count, err := m.replicas.Append(id, req.Epoch, req.Reset, req.After, req.Records)
+	switch {
+	case errors.Is(err, ErrReplicaFenced):
+		writeJSON(w, http.StatusConflict, replicaAppendResponse{
+			Epoch: epoch, Count: count, Reason: "fenced", Error: err.Error()})
+	case errors.Is(err, ErrReplicaGap):
+		writeJSON(w, http.StatusConflict, replicaAppendResponse{
+			Epoch: epoch, Count: count, Reason: "gap", Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, replicaAppendResponse{
+			Epoch: epoch, Count: count, Error: err.Error()})
+	default:
+		m.met.replicaRecords.Add(int64(len(req.Records)))
+		writeJSON(w, http.StatusOK, replicaAppendResponse{Epoch: epoch, Count: count})
+	}
+}
+
+// handleReplicaList serves GET /v1/replica/sessions: every standby
+// copy this member holds. The router's failover scan calls this on
+// each live member to find adoption candidates.
+func (m *Manager) handleReplicaList(w http.ResponseWriter, r *http.Request) {
+	list, err := m.replicas.List()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	if list == nil {
+		list = []ReplicaStatus{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"replicas": list})
+}
+
+// handleReplicaStatus serves GET /v1/replica/sessions/{id}: one copy's
+// epoch and record count.
+func (m *Manager) handleReplicaStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	epoch, count, found, err := m.replicas.Status(id)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if !found {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no replica copy of " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReplicaStatus{ID: id, Epoch: epoch, Records: count})
+}
+
+// replicaFenceRequest is the POST fence body.
+type replicaFenceRequest struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// handleReplicaFence serves POST /v1/replica/sessions/{id}/fence: the
+// router raises losing candidates' epochs before adopting on the
+// winner, so a copy that was passed over can never later be adopted at
+// a stale epoch. Fencing a session with no copy here creates an empty
+// fenced tombstone, which also blocks a zombie owner's reset push.
+func (m *Manager) handleReplicaFence(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req replicaFenceRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode fence: " + err.Error()})
+		return
+	}
+	epoch, err := m.replicas.Fence(id, req.Epoch)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrReplicaFenced) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"epoch": epoch})
+}
+
+// replicaAdoptRequest is the POST adopt body: the new epoch this
+// member takes ownership under, and the replica set the promoted
+// session re-replicates to.
+type replicaAdoptRequest struct {
+	Epoch    uint64          `json:"epoch"`
+	Replicas []ReplicaTarget `json:"replicas,omitempty"`
+}
+
+// handleReplicaAdopt serves POST /v1/replica/sessions/{id}/adopt: the
+// failover promotion. On success the response is the promoted
+// session's status document, same shape as a create.
+func (m *Manager) handleReplicaAdopt(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req replicaAdoptRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode adopt: " + err.Error()})
+		return
+	}
+	s, err := m.Adopt(id, req.Epoch, req.Replicas)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrReplicaFenced):
+			writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+		case errors.Is(err, ErrNotFound), errors.Is(err, ErrConflict),
+			errors.Is(err, ErrClosed), errors.Is(err, ErrTooManySessions):
+			m.writeError(w, err, "")
+		default:
+			// Replay failure: the copy could not be promoted here. 500 so
+			// the router tries the next candidate.
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// replicaResyncRequest is the POST resync body: the member whose
+// standby copies should be refreshed (empty = every replica target).
+type replicaResyncRequest struct {
+	Member string `json:"member,omitempty"`
+}
+
+// handleReplicaResync serves POST /v1/replica/resync: anti-entropy.
+// This member pushes a full copy of every journal it replicates to the
+// named target (all targets when none is named). The router broadcasts
+// this to the fleet when a member transitions back to healthy, because
+// a member that lost its disk holds none of its standby copies and
+// ordinary pushes only ride appends — finished sessions would stay
+// un-replicated until a failover needed their copy and found nothing.
+func (m *Manager) handleReplicaResync(w http.ResponseWriter, r *http.Request) {
+	var req replicaResyncRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decode resync: " + err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"synced": m.ResyncReplicas(req.Member)})
+}
+
+// handleReplicaDelete serves DELETE /v1/replica/sessions/{id}: the
+// owner's delete propagation (and the operator's manual cleanup of
+// orphaned copies). Idempotent — deleting a copy that is not here is
+// still 204.
+func (m *Manager) handleReplicaDelete(w http.ResponseWriter, r *http.Request) {
+	if err := m.replicas.Drop(r.PathValue("id")); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

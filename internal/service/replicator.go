@@ -1,0 +1,303 @@
+package service
+
+// The owner-push half of journal replication (DESIGN.md §16): every
+// record the owner fsyncs into a session's journal is pushed to the
+// session's replica set before the request that caused it is confirmed
+// to the client. The push is synchronous — ack-before-confirm is the
+// invariant that makes a replica copy adoptable without losing
+// acknowledged answers — but degrades instead of blocking: a replica
+// that fails a push is marked stale and the session keeps serving; the
+// owner retries the stale member with a full resynchronization (a
+// reset push of the whole journal) after a short cooldown, so a
+// bounced replica catches back up on the next append.
+//
+// Fencing: a push rejected with ErrReplicaFenced means a higher epoch
+// exists — this owner lost the session to a failover adoption and is a
+// zombie. The replicator trips its fenced latch exactly once, and the
+// manager destroys the local copy (journal included) so the stale
+// session cannot be found, served, or adopted again.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"compsynth/internal/obs"
+)
+
+// replicaAppendRequest is the PUT /v1/replica/sessions/{id}/records
+// body: the record-stream push. A reset push replaces the copy with
+// Records wholesale; an incremental push appends Records after exactly
+// After existing records.
+type replicaAppendRequest struct {
+	Epoch   uint64            `json:"epoch"`
+	Reset   bool              `json:"reset,omitempty"`
+	After   int               `json:"after"`
+	Records []json.RawMessage `json:"records"`
+}
+
+// replicaAppendResponse reports the copy's state after (or despite) a
+// push. On 409 the Reason field tells the sender how to proceed:
+// "gap" → resynchronize with a reset push; "fenced" → stop, ownership
+// moved.
+type replicaAppendResponse struct {
+	Epoch  uint64 `json:"epoch"`
+	Count  int    `json:"count"`
+	Reason string `json:"reason,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// replTarget is one replica member plus the owner's view of its state.
+type replTarget struct {
+	ReplicaTarget
+	// acked is how many records this replica has acknowledged; equal to
+	// the local pre-append count means an incremental push suffices.
+	acked int
+	// stale marks a replica that failed its last push; it is retried
+	// with a full resync once the cooldown passes.
+	stale   bool
+	lastTry time.Time
+}
+
+// replicator is a session's push state. All fields except the fenced
+// latch are guarded by the owning journal's mutex (pushes happen inside
+// the fsynced append).
+type replicator struct {
+	id       string
+	path     string
+	epoch    uint64
+	client   *http.Client
+	timeout  time.Duration
+	cooldown time.Duration
+	log      *obs.Logger
+	met      *metrics
+	targets  []*replTarget
+	fenced   atomic.Bool
+	onFenced func(epoch uint64)
+}
+
+func newReplicator(m *Manager, id string, spec *SessionSpec, log *obs.Logger) *replicator {
+	if len(spec.Replicas) == 0 {
+		return nil
+	}
+	rp := &replicator{
+		id:       id,
+		path:     journalPath(m.cfg.DataDir, id),
+		epoch:    spec.Epoch,
+		client:   m.replClient,
+		timeout:  m.cfg.ReplicaTimeout,
+		cooldown: m.cfg.ReplicaRetry,
+		log:      log,
+		met:      m.met,
+	}
+	for _, t := range spec.Replicas {
+		rp.targets = append(rp.targets, &replTarget{ReplicaTarget: t})
+	}
+	rp.onFenced = func(epoch uint64) { m.fenceAbandon(id, epoch) }
+	return rp
+}
+
+// push replicates the record just appended at index (0-based). Called
+// under the journal mutex, so pushes are ordered exactly like the
+// journal itself.
+func (rp *replicator) push(line []byte, index int) {
+	if rp == nil || rp.fenced.Load() {
+		return
+	}
+	start := time.Now()
+	var full []json.RawMessage
+	allAcked := true
+	for _, t := range rp.targets {
+		if !rp.pushTarget(t, line, index, &full) {
+			allAcked = false
+		}
+	}
+	if allAcked {
+		rp.met.replLag.Observe(time.Since(start).Seconds())
+	} else {
+		rp.met.replDegraded.Inc()
+	}
+}
+
+// syncAll forces a full resynchronization of every replica (session
+// create, post-adoption re-replication). Called under the journal
+// mutex. Reports whether every replica acknowledged.
+func (rp *replicator) syncAll() bool {
+	if rp == nil || rp.fenced.Load() {
+		return true
+	}
+	start := time.Now()
+	var full []json.RawMessage
+	allAcked := true
+	for _, t := range rp.targets {
+		if !rp.resync(t, &full) {
+			allAcked = false
+		}
+	}
+	if allAcked {
+		rp.met.replLag.Observe(time.Since(start).Seconds())
+	} else {
+		rp.met.replDegraded.Inc()
+	}
+	return allAcked
+}
+
+// pushTarget delivers one record to one replica, falling back to a
+// full resync on a gap and to the cooldown on transport failure.
+// Reports whether the replica is fully caught up.
+func (rp *replicator) pushTarget(t *replTarget, line []byte, index int, full *[]json.RawMessage) bool {
+	if t.stale {
+		if time.Since(t.lastTry) < rp.cooldown {
+			return false // still cooling down; the copy lags until the next retry
+		}
+		return rp.resync(t, full)
+	}
+	if t.acked != index {
+		return rp.resync(t, full)
+	}
+	resp, err := rp.do(t, replicaAppendRequest{
+		Epoch: rp.epoch, After: index, Records: []json.RawMessage{json.RawMessage(line)},
+	})
+	switch {
+	case err != nil:
+		t.stale = true
+		t.lastTry = time.Now()
+		rp.log.Warn("session.replica.push", "replica", t.Name, "error", err.Error())
+		return false
+	case resp.Reason == "fenced":
+		rp.fence(resp.Epoch)
+		return false
+	case resp.Reason == "gap":
+		return rp.resync(t, full)
+	case resp.Error != "":
+		t.stale = true
+		t.lastTry = time.Now()
+		rp.log.Warn("session.replica.push", "replica", t.Name, "error", resp.Error)
+		return false
+	}
+	t.acked = resp.Count
+	return true
+}
+
+// resync replaces the replica's copy with the whole local journal.
+func (rp *replicator) resync(t *replTarget, full *[]json.RawMessage) bool {
+	if *full == nil {
+		recs, err := readRawRecords(rp.path)
+		if err != nil || len(recs) == 0 {
+			rp.log.Warn("session.replica.resync", "replica", t.Name, "error", errAttr(err))
+			return false
+		}
+		*full = recs
+	}
+	resp, err := rp.do(t, replicaAppendRequest{Epoch: rp.epoch, Reset: true, Records: *full})
+	switch {
+	case err != nil:
+		t.stale = true
+		t.lastTry = time.Now()
+		rp.log.Warn("session.replica.resync", "replica", t.Name, "error", err.Error())
+		return false
+	case resp.Reason == "fenced":
+		rp.fence(resp.Epoch)
+		return false
+	case resp.Error != "":
+		t.stale = true
+		t.lastTry = time.Now()
+		rp.log.Warn("session.replica.resync", "replica", t.Name, "error", resp.Error)
+		return false
+	}
+	t.stale = false
+	t.acked = resp.Count
+	rp.log.Info("session.replica.synced", "replica", t.Name, "records", resp.Count)
+	return true
+}
+
+// do is one push round trip. Any 2xx/409 with a parseable body is a
+// protocol answer; everything else is a transport-level failure.
+func (rp *replicator) do(t *replTarget, reqBody replicaAppendRequest) (*replicaAppendResponse, error) {
+	raw, err := json.Marshal(reqBody)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rp.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		t.URL+"/v1/replica/sessions/"+rp.id+"/records", bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := rp.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	var resp replicaAppendResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// fence trips the zombie latch exactly once.
+func (rp *replicator) fence(epoch uint64) {
+	if rp.fenced.Swap(true) {
+		return
+	}
+	rp.log.Warn("session.replica.fenced", "session", rp.id, "epoch", epoch)
+	if rp.onFenced != nil {
+		rp.onFenced(epoch)
+	}
+}
+
+// deleteAll propagates a session delete to its replica set
+// (best-effort; a fenced replicator never deletes — the copies belong
+// to the new owner's epoch now).
+func (rp *replicator) deleteAll() {
+	if rp == nil || rp.fenced.Load() {
+		return
+	}
+	for _, t := range rp.targets {
+		ctx, cancel := context.WithTimeout(context.Background(), rp.timeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+			t.URL+"/v1/replica/sessions/"+rp.id, nil)
+		if err == nil {
+			if resp, err := rp.client.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}
+		cancel()
+	}
+}
+
+// readRawRecords loads a journal's intact record lines verbatim for a
+// resync push, tolerating (and dropping) a torn final line the same way
+// readJournal does.
+func readRawRecords(path string) ([]json.RawMessage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []json.RawMessage
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			break // torn tail; nothing after it is trusted
+		}
+		recs = append(recs, json.RawMessage(bytes.Clone(line)))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

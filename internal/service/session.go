@@ -96,11 +96,14 @@ type Session struct {
 	// pending holds the current round's unanswered queries in sequence
 	// order (external seqs, i.e. seqBase already applied). Legacy
 	// single-query sessions are the k=1 special case: one entry.
-	pending   []core.Query
-	answers   int // accepted answers over the session's whole life (journal count)
-	seqBase   int // journaled answers subsumed by checkpoints before this stepper
-	imported  bool
-	jr        *journal
+	pending  []core.Query
+	answers  int // accepted answers over the session's whole life (journal count)
+	seqBase  int // journaled answers subsumed by checkpoints before this stepper
+	imported bool
+	jr       *journal
+	// repl mirrors journal appends to the session's replica set; nil
+	// for unreplicated sessions. Set once at build and immutable after.
+	repl      *replicator
 	lastTouch time.Time
 	changed   chan struct{} // closed and replaced on every state change
 	final     *core.Transcript

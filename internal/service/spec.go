@@ -60,6 +60,27 @@ type SessionSpec struct {
 	// omitted fields keep the solver defaults.
 	Solver      *SolverSpec      `json:"solver,omitempty"`
 	Distinguish *DistinguishSpec `json:"distinguish,omitempty"`
+	// Replicas names the members that hold standby copies of this
+	// session's journal (the fleet router injects the set at create
+	// time; see DESIGN.md §16). Every record appended to the owner's
+	// journal is pushed to each replica before the triggering request is
+	// confirmed. Replication never touches the solver configuration, so
+	// a replicated session's transcript is bit-identical to an
+	// unreplicated one.
+	Replicas []ReplicaTarget `json:"replicas,omitempty"`
+	// Epoch is the session's fencing epoch: 0 at creation, bumped by
+	// every failover adoption. Replica members reject appends carrying
+	// an epoch older than the one they last saw, which is what stops a
+	// zombie ex-owner from corrupting the replicated history.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// ReplicaTarget is one member of a session's replica set.
+type ReplicaTarget struct {
+	// Name is the member's stable fleet identity.
+	Name string `json:"name"`
+	// URL is the member's base URL (scheme://host:port).
+	URL string `json:"url"`
 }
 
 // SolverSpec overrides solver.Options fields (zero keeps the default).
@@ -213,6 +234,11 @@ func (sp *SessionSpec) config(obsv *obs.Observer, stats *solver.Stats) (core.Con
 func (sp *SessionSpec) validate() error {
 	if err := validateSessionID(sp.ID); err != nil {
 		return err
+	}
+	for i, t := range sp.Replicas {
+		if t.Name == "" || t.URL == "" {
+			return fmt.Errorf("service: replica %d needs both a name and a url", i)
+		}
 	}
 	_, err := sp.sketchFor()
 	return err
